@@ -1,0 +1,498 @@
+//! **ed — Edge-Detector** (paper Fig 3).
+//!
+//! "Given an image, detects its edges by using Canny's algorithm."
+//! Size parameter: the image edge length.
+//!
+//! Full integer Canny pipeline: 3×3 Gaussian smoothing, Sobel
+//! gradients, L1 gradient magnitude, 4-way direction quantization,
+//! non-maximum suppression, and double-threshold hysteresis via an
+//! explicit worklist (no recursion).
+
+use crate::util::{alloc_ints, gen_image, read_ints};
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// Hysteresis thresholds on the L1 gradient magnitude.
+pub const HI_THRESH: i32 = 250;
+/// Low threshold: weak-edge candidates.
+pub const LO_THRESH: i32 = 100;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    m.func(
+        "clampi",
+        vec![("v", DType::Int), ("lo", DType::Int), ("hi", DType::Int)],
+        Some(DType::Int),
+        vec![
+            if_(var("v").lt(var("lo")), vec![ret(var("lo"))]),
+            if_(var("v").gt(var("hi")), vec![ret(var("hi"))]),
+            ret(var("v")),
+        ],
+    );
+
+    // Clamped pixel fetch.
+    m.func(
+        "px",
+        vec![
+            ("s", DType::Int),
+            ("img", DType::int_arr()),
+            ("y", DType::Int),
+            ("x", DType::Int),
+        ],
+        Some(DType::Int),
+        vec![
+            let_(
+                "yy",
+                call("clampi", vec![var("y"), iconst(0), var("s").sub(iconst(1))]),
+            ),
+            let_(
+                "xx",
+                call("clampi", vec![var("x"), iconst(0), var("s").sub(iconst(1))]),
+            ),
+            ret(var("img").index(var("yy").mul(var("s")).add(var("xx")))),
+        ],
+    );
+
+    // 3x3 Gaussian smoothing (1 2 1 / 2 4 2 / 1 2 1, /16).
+    m.func(
+        "smooth",
+        vec![("s", DType::Int), ("img", DType::int_arr())],
+        Some(DType::int_arr()),
+        vec![
+            let_("out", new_arr(DType::Int, var("s").mul(var("s")))),
+            for_(
+                "y",
+                iconst(0),
+                var("s"),
+                vec![for_(
+                    "x",
+                    iconst(0),
+                    var("s"),
+                    vec![
+                        let_("acc", iconst(0)),
+                        // Unrolled kernel taps keep the DSL readable.
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x").sub(iconst(1))]))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x")]).mul(iconst(2)))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x").add(iconst(1))]))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x").sub(iconst(1))]).mul(iconst(2)))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x")]).mul(iconst(4)))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x").add(iconst(1))]).mul(iconst(2)))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x").sub(iconst(1))]))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x")]).mul(iconst(2)))),
+                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x").add(iconst(1))]))),
+                        set_index(
+                            var("out"),
+                            var("y").mul(var("s")).add(var("x")),
+                            var("acc").div(iconst(16)),
+                        ),
+                    ],
+                )],
+            ),
+            ret(var("out")),
+        ],
+    );
+
+    // The main Canny pipeline.
+    m.func_with_attrs(
+        "edge_detect",
+        vec![("s", DType::Int), ("img", DType::int_arr())],
+        Some(DType::int_arr()),
+        vec![
+            let_("n", var("s").mul(var("s"))),
+            let_("sm", call("smooth", vec![var("s"), var("img")])),
+            let_("mag", new_arr(DType::Int, var("n"))),
+            let_("dir", new_arr(DType::Int, var("n"))),
+            // Sobel gradients + magnitude + direction.
+            for_(
+                "y",
+                iconst(0),
+                var("s"),
+                vec![for_(
+                    "x",
+                    iconst(0),
+                    var("s"),
+                    vec![
+                        let_("p00", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x").sub(iconst(1))])),
+                        let_("p01", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x")])),
+                        let_("p02", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x").add(iconst(1))])),
+                        let_("p10", call("px", vec![var("s"), var("sm"), var("y"), var("x").sub(iconst(1))])),
+                        let_("p12", call("px", vec![var("s"), var("sm"), var("y"), var("x").add(iconst(1))])),
+                        let_("p20", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x").sub(iconst(1))])),
+                        let_("p21", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x")])),
+                        let_("p22", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x").add(iconst(1))])),
+                        // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+                        let_(
+                            "gx",
+                            var("p02")
+                                .add(var("p12").mul(iconst(2)))
+                                .add(var("p22"))
+                                .sub(var("p00").add(var("p10").mul(iconst(2))).add(var("p20"))),
+                        ),
+                        // gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+                        let_(
+                            "gy",
+                            var("p20")
+                                .add(var("p21").mul(iconst(2)))
+                                .add(var("p22"))
+                                .sub(var("p00").add(var("p01").mul(iconst(2))).add(var("p02"))),
+                        ),
+                        let_("ax", var("gx")),
+                        if_(var("ax").lt(iconst(0)), vec![assign("ax", var("ax").neg())]),
+                        let_("ay", var("gy")),
+                        if_(var("ay").lt(iconst(0)), vec![assign("ay", var("ay").neg())]),
+                        let_("idx", var("y").mul(var("s")).add(var("x"))),
+                        set_index(var("mag"), var("idx"), var("ax").add(var("ay"))),
+                        // Quantized gradient direction.
+                        let_("d", iconst(0)),
+                        if_else(
+                            var("ay").mul(iconst(2)).le(var("ax")),
+                            vec![assign("d", iconst(0))], // horizontal gradient
+                            vec![if_else(
+                                var("ax").mul(iconst(2)).le(var("ay")),
+                                vec![assign("d", iconst(2))], // vertical gradient
+                                vec![if_else(
+                                    var("gx").mul(var("gy")).ge(iconst(0)),
+                                    vec![assign("d", iconst(1))], // main diagonal
+                                    vec![assign("d", iconst(3))], // anti-diagonal
+                                )],
+                            )],
+                        ),
+                        set_index(var("dir"), var("idx"), var("d")),
+                    ],
+                )],
+            ),
+            // Non-maximum suppression (interior only).
+            let_("nms", new_arr(DType::Int, var("n"))),
+            for_(
+                "y",
+                iconst(1),
+                var("s").sub(iconst(1)),
+                vec![for_(
+                    "x",
+                    iconst(1),
+                    var("s").sub(iconst(1)),
+                    vec![
+                        let_("idx", var("y").mul(var("s")).add(var("x"))),
+                        let_("mv", var("mag").index(var("idx"))),
+                        let_("d", var("dir").index(var("idx"))),
+                        let_("dy", iconst(0)),
+                        let_("dx", iconst(1)),
+                        if_(var("d").eq(iconst(1)), vec![assign("dy", iconst(1)), assign("dx", iconst(1))]),
+                        if_(var("d").eq(iconst(2)), vec![assign("dy", iconst(1)), assign("dx", iconst(0))]),
+                        if_(var("d").eq(iconst(3)), vec![assign("dy", iconst(1)), assign("dx", iconst(-1))]),
+                        let_("n1", var("y").add(var("dy")).mul(var("s")).add(var("x").add(var("dx")))),
+                        let_("n2", var("y").sub(var("dy")).mul(var("s")).add(var("x").sub(var("dx")))),
+                        if_else(
+                            var("mv")
+                                .ge(var("mag").index(var("n1")))
+                                .bitand(var("mv").ge(var("mag").index(var("n2")))),
+                            vec![set_index(var("nms"), var("idx"), var("mv"))],
+                            vec![set_index(var("nms"), var("idx"), iconst(0))],
+                        ),
+                    ],
+                )],
+            ),
+            // Double threshold + hysteresis with an explicit worklist.
+            let_("out", new_arr(DType::Int, var("n"))),
+            let_("stack", new_arr(DType::Int, var("n"))),
+            let_("sp", iconst(0)),
+            for_(
+                "i",
+                iconst(0),
+                var("n"),
+                vec![if_(
+                    var("nms").index(var("i")).ge(iconst(HI_THRESH)),
+                    vec![
+                        set_index(var("out"), var("i"), iconst(255)),
+                        set_index(var("stack"), var("sp"), var("i")),
+                        assign("sp", var("sp").add(iconst(1))),
+                    ],
+                )],
+            ),
+            while_(
+                var("sp").gt(iconst(0)),
+                vec![
+                    assign("sp", var("sp").sub(iconst(1))),
+                    let_("i", var("stack").index(var("sp"))),
+                    let_("cy", var("i").div(var("s"))),
+                    let_("cx", var("i").rem(var("s"))),
+                    for_(
+                        "dy",
+                        iconst(-1),
+                        iconst(2),
+                        vec![for_(
+                            "dx",
+                            iconst(-1),
+                            iconst(2),
+                            vec![
+                                let_("ny", var("cy").add(var("dy"))),
+                                let_("nx", var("cx").add(var("dx"))),
+                                if_(
+                                    var("ny")
+                                        .ge(iconst(0))
+                                        .bitand(var("ny").lt(var("s")))
+                                        .bitand(var("nx").ge(iconst(0)))
+                                        .bitand(var("nx").lt(var("s"))),
+                                    vec![
+                                        let_("ni", var("ny").mul(var("s")).add(var("nx"))),
+                                        if_(
+                                            var("out")
+                                                .index(var("ni"))
+                                                .eq(iconst(0))
+                                                .bitand(
+                                                    var("nms")
+                                                        .index(var("ni"))
+                                                        .ge(iconst(LO_THRESH)),
+                                                ),
+                                            vec![
+                                                set_index(var("out"), var("ni"), iconst(255)),
+                                                set_index(var("stack"), var("sp"), var("ni")),
+                                                assign("sp", var("sp").add(iconst(1))),
+                                            ],
+                                        ),
+                                    ],
+                                ),
+                            ],
+                        )],
+                    ),
+                ],
+            ),
+            ret(var("out")),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("ed compiles")
+}
+
+/// Native reference implementation (identical pipeline).
+pub fn reference(s: usize, img: &[i32]) -> Vec<i32> {
+    let si = s as i32;
+    let px = |buf: &[i32], y: i32, x: i32| -> i32 {
+        let yy = y.clamp(0, si - 1) as usize;
+        let xx = x.clamp(0, si - 1) as usize;
+        buf[yy * s + xx]
+    };
+    let n = s * s;
+    // Smooth.
+    let mut sm = vec![0i32; n];
+    for y in 0..si {
+        for x in 0..si {
+            let acc = px(img, y - 1, x - 1)
+                + 2 * px(img, y - 1, x)
+                + px(img, y - 1, x + 1)
+                + 2 * px(img, y, x - 1)
+                + 4 * px(img, y, x)
+                + 2 * px(img, y, x + 1)
+                + px(img, y + 1, x - 1)
+                + 2 * px(img, y + 1, x)
+                + px(img, y + 1, x + 1);
+            sm[(y * si + x) as usize] = acc / 16;
+        }
+    }
+    // Gradients.
+    let mut mag = vec![0i32; n];
+    let mut dir = vec![0i32; n];
+    for y in 0..si {
+        for x in 0..si {
+            let p00 = px(&sm, y - 1, x - 1);
+            let p01 = px(&sm, y - 1, x);
+            let p02 = px(&sm, y - 1, x + 1);
+            let p10 = px(&sm, y, x - 1);
+            let p12 = px(&sm, y, x + 1);
+            let p20 = px(&sm, y + 1, x - 1);
+            let p21 = px(&sm, y + 1, x);
+            let p22 = px(&sm, y + 1, x + 1);
+            let gx = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+            let gy = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+            let (ax, ay) = (gx.abs(), gy.abs());
+            let idx = (y * si + x) as usize;
+            mag[idx] = ax + ay;
+            dir[idx] = if 2 * ay <= ax {
+                0
+            } else if 2 * ax <= ay {
+                2
+            } else if gx * gy >= 0 {
+                1
+            } else {
+                3
+            };
+        }
+    }
+    // NMS.
+    let mut nms = vec![0i32; n];
+    for y in 1..si - 1 {
+        for x in 1..si - 1 {
+            let idx = (y * si + x) as usize;
+            let (dy, dx) = match dir[idx] {
+                0 => (0, 1),
+                1 => (1, 1),
+                2 => (1, 0),
+                _ => (1, -1),
+            };
+            let n1 = ((y + dy) * si + x + dx) as usize;
+            let n2 = ((y - dy) * si + x - dx) as usize;
+            nms[idx] = if mag[idx] >= mag[n1] && mag[idx] >= mag[n2] {
+                mag[idx]
+            } else {
+                0
+            };
+        }
+    }
+    // Hysteresis.
+    let mut out = vec![0i32; n];
+    let mut stack = Vec::new();
+    for i in 0..n {
+        if nms[i] >= HI_THRESH {
+            out[i] = 255;
+            stack.push(i);
+        }
+    }
+    while let Some(i) = stack.pop() {
+        let (cy, cx) = ((i / s) as i32, (i % s) as i32);
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                let (ny, nx) = (cy + dy, cx + dx);
+                if ny >= 0 && ny < si && nx >= 0 && nx < si {
+                    let ni = (ny * si + nx) as usize;
+                    if out[ni] == 0 && nms[ni] >= LO_THRESH {
+                        out[ni] = 255;
+                        stack.push(ni);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The ed workload.
+pub struct Ed {
+    program: Program,
+    method: MethodId,
+}
+
+impl Ed {
+    /// Build the workload.
+    pub fn new() -> Ed {
+        let program = build_program();
+        let method = program
+            .find_method(MODULE_CLASS, "edge_detect")
+            .expect("method");
+        Ed { program, method }
+    }
+}
+
+impl Default for Ed {
+    fn default() -> Self {
+        Ed::new()
+    }
+}
+
+impl Workload for Ed {
+    fn name(&self) -> &str {
+        "ed"
+    }
+    fn description(&self) -> &str {
+        "Given an image, detects its edges by using Canny's algorithm"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![8, 16, 24, 32, 48, 64, 96, 128]
+    }
+    fn calibration_sizes(&self) -> Vec<u32> {
+        vec![8, 16, 32, 64, 128]
+    }
+    fn size_meaning(&self) -> &str {
+        "image edge length (pixels)"
+    }
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value> {
+        let img = gen_image(size, rng);
+        vec![Value::Int(size as i32), Value::Ref(alloc_ints(heap, &img))]
+    }
+    fn check(&self, heap: &Heap, size: u32, result: Option<Value>) -> Option<bool> {
+        let h = match result {
+            Some(Value::Ref(h)) => h,
+            _ => return Some(false),
+        };
+        let out = read_ints(heap, h);
+        Some(
+            out.len() == (size * size) as usize
+                && out.iter().all(|&p| p == 0 || p == 255),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn matches_reference() {
+        let w = Ed::new();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let img = gen_image(20, &mut rng.clone());
+        let mut vm = Vm::client(w.program());
+        let args = w.make_args(&mut vm.heap, 20, &mut rng);
+        let out = vm.invoke(w.potential_method(), args).unwrap();
+        let h = out.unwrap().as_ref().unwrap();
+        assert_eq!(read_ints(&vm.heap, h), reference(20, &img));
+    }
+
+    #[test]
+    fn detects_a_sharp_boundary() {
+        let w = Ed::new();
+        let s = 16usize;
+        let img: Vec<i32> = (0..s * s)
+            .map(|i| if i % s < s / 2 { 10 } else { 240 })
+            .collect();
+        let mut vm = Vm::client(w.program());
+        let h = alloc_ints(&mut vm.heap, &img);
+        let out = vm
+            .invoke(w.potential_method(), vec![Value::Int(s as i32), Value::Ref(h)])
+            .unwrap();
+        let res = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
+        let edges = res.iter().filter(|&&p| p == 255).count();
+        assert!(edges > 0, "vertical boundary must be detected");
+        // Edges should hug the middle column.
+        for y in 2..s - 2 {
+            let hit = (s / 2 - 2..s / 2 + 2).any(|x| res[y * s + x] == 255);
+            assert!(hit, "row {y} missed the boundary");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let w = Ed::new();
+        let s = 12usize;
+        let img = vec![123i32; s * s];
+        let mut vm = Vm::client(w.program());
+        let h = alloc_ints(&mut vm.heap, &img);
+        let out = vm
+            .invoke(w.potential_method(), vec![Value::Int(s as i32), Value::Ref(h)])
+            .unwrap();
+        let res = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
+        assert!(res.iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,195 @@
+//! **fe — Function-Evaluator** (paper Fig 3).
+//!
+//! "Given a function `f`, a range `x`, and a step size, calculates the
+//! integral of `f(x)` in this range." Size parameter: the step count.
+//!
+//! The integrand is `4 / (1 + x²)` evaluated by midpoint quadrature —
+//! over `[0, 1]` the integral is π, which doubles as a correctness
+//! oracle.
+
+use crate::util::read_floats;
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    m.func(
+        "f",
+        vec![("x", DType::Float)],
+        Some(DType::Float),
+        vec![ret(fconst(4.0).div(fconst(1.0).add(var("x").mul(var("x")))))],
+    );
+
+    m.func_with_attrs(
+        "integrate",
+        vec![
+            ("steps", DType::Int),
+            ("lo", DType::Float),
+            ("hi", DType::Float),
+        ],
+        Some(DType::Float),
+        vec![
+            let_(
+                "h",
+                var("hi").sub(var("lo")).div(var("steps").to_f()),
+            ),
+            let_("acc", fconst(0.0)),
+            for_(
+                "i",
+                iconst(0),
+                var("steps"),
+                vec![
+                    let_(
+                        "x",
+                        var("lo").add(
+                            var("i")
+                                .to_f()
+                                .add(fconst(0.5))
+                                .mul(var("h")),
+                        ),
+                    ),
+                    assign("acc", var("acc").add(call("f", vec![var("x")]))),
+                ],
+            ),
+            ret(var("acc").mul(var("h"))),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("fe compiles")
+}
+
+/// Native Rust reference (bit-identical operation order).
+pub fn reference(steps: u32, lo: f64, hi: f64) -> f64 {
+    let h = (hi - lo) / f64::from(steps);
+    let mut acc = 0.0f64;
+    for i in 0..steps {
+        let x = lo + (f64::from(i) + 0.5) * h;
+        acc += 4.0 / (1.0 + x * x);
+    }
+    acc * h
+}
+
+/// The fe workload.
+pub struct Fe {
+    program: Program,
+    method: MethodId,
+}
+
+impl Fe {
+    /// Build the workload.
+    pub fn new() -> Fe {
+        let program = build_program();
+        let method = program.find_method(MODULE_CLASS, "integrate").expect("method");
+        Fe { program, method }
+    }
+}
+
+impl Default for Fe {
+    fn default() -> Self {
+        Fe::new()
+    }
+}
+
+impl Workload for Fe {
+    fn name(&self) -> &str {
+        "fe"
+    }
+    fn description(&self) -> &str {
+        "Given a function f, a range x, and a step size, calculates the integral of f(x) in this range"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![4096, 8192, 16384, 32768, 65536]
+    }
+    fn size_meaning(&self) -> &str {
+        "step count over [0, 1]"
+    }
+    fn make_args(&self, _heap: &mut Heap, size: u32, _rng: &mut SmallRng) -> Vec<Value> {
+        vec![
+            Value::Int(size as i32),
+            Value::Float(0.0),
+            Value::Float(1.0),
+        ]
+    }
+    fn check(&self, _heap: &Heap, size: u32, result: Option<Value>) -> Option<bool> {
+        let got = match result {
+            Some(Value::Float(v)) => v,
+            _ => return Some(false),
+        };
+        Some(got == reference(size, 0.0, 1.0))
+    }
+}
+
+/// Decode a float result (for examples).
+pub fn result_value(heap: &Heap, result: Option<Value>) -> f64 {
+    match result {
+        Some(Value::Float(v)) => v,
+        Some(Value::Ref(h)) => read_floats(heap, h)[0],
+        _ => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn matches_reference_and_pi() {
+        let fe = Fe::new();
+        let mut vm = Vm::client(fe.program());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let args = fe.make_args(&mut vm.heap, 512, &mut rng);
+        let out = vm.invoke(fe.potential_method(), args).unwrap();
+        assert_eq!(fe.check(&vm.heap, 512, out), Some(true));
+        let v = match out {
+            Some(Value::Float(v)) => v,
+            other => panic!("{other:?}"),
+        };
+        assert!((v - std::f64::consts::PI).abs() < 1e-4, "{v}");
+    }
+
+    #[test]
+    fn compiled_levels_bit_identical() {
+        let fe = Fe::new();
+        let m = fe.potential_method();
+        let mut expect = None;
+        for level in [None, Some(jem_jvm::OptLevel::L1), Some(jem_jvm::OptLevel::L2), Some(jem_jvm::OptLevel::L3)] {
+            let mut vm = Vm::client(fe.program());
+            if let Some(level) = level {
+                for mm in [fe.program().find_method(MODULE_CLASS, "f").unwrap(), m] {
+                    let c = jem_jvm::compile(fe.program(), mm, level);
+                    vm.install_native(mm, std::rc::Rc::new(c.code));
+                }
+            }
+            let mut rng = SmallRng::seed_from_u64(0);
+            let args = fe.make_args(&mut vm.heap, 300, &mut rng);
+            let out = vm.invoke(m, args).unwrap();
+            match &expect {
+                None => expect = Some(out),
+                Some(e) => assert_eq!(&out, e, "{level:?}"),
+            }
+        }
+    }
+}

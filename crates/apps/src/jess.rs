@@ -1,0 +1,269 @@
+//! **jess — expert system shell** (paper Fig 3).
+//!
+//! "An expert system shell from the SpecJVM98 benchmark suite"; the
+//! paper used the s1 dataset and modified the code to make offloading
+//! possible while retaining the core logic. Our stand-in retains that
+//! core logic: a forward-chaining production system — rules with two
+//! antecedent facts and one consequent fire repeatedly over a working
+//! memory until fixpoint. Size parameter: the number of rules.
+//!
+//! The generator builds layered rule bases where early facts enable
+//! later rules, producing multi-pass inference cascades like a real
+//! rule engine's agenda.
+
+use crate::util::{alloc_ints, read_ints};
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Initially asserted facts.
+pub const SEED_FACTS: usize = 8;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    m.func_with_attrs(
+        "infer",
+        vec![
+            ("nrules", DType::Int),
+            ("a1", DType::int_arr()),
+            ("a2", DType::int_arr()),
+            ("cons", DType::int_arr()),
+            ("facts", DType::int_arr()),
+        ],
+        Some(DType::Int),
+        vec![
+            let_("fired", new_arr(DType::Int, var("nrules"))),
+            let_("count", iconst(0)),
+            let_("changed", iconst(1)),
+            while_(
+                var("changed").gt(iconst(0)),
+                vec![
+                    assign("changed", iconst(0)),
+                    for_(
+                        "r",
+                        iconst(0),
+                        var("nrules"),
+                        vec![if_(
+                            var("fired").index(var("r")).eq(iconst(0)),
+                            vec![if_(
+                                var("facts")
+                                    .index(var("a1").index(var("r")))
+                                    .gt(iconst(0))
+                                    .bitand(
+                                        var("facts")
+                                            .index(var("a2").index(var("r")))
+                                            .gt(iconst(0)),
+                                    ),
+                                vec![
+                                    set_index(
+                                        var("facts"),
+                                        var("cons").index(var("r")),
+                                        iconst(1),
+                                    ),
+                                    set_index(var("fired"), var("r"), iconst(1)),
+                                    assign("changed", iconst(1)),
+                                    assign("count", var("count").add(iconst(1))),
+                                ],
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            ret(var("count")),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("jess compiles")
+}
+
+/// Generate a layered rule base: `(a1, a2, cons, facts)` where the
+/// fact universe has `2·nrules + SEED_FACTS` slots.
+pub fn gen_rules(nrules: u32, rng: &mut SmallRng) -> (Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>) {
+    let nrules = nrules as usize;
+    let universe = 2 * nrules + SEED_FACTS;
+    let mut a1 = Vec::with_capacity(nrules);
+    let mut a2 = Vec::with_capacity(nrules);
+    let mut cons = Vec::with_capacity(nrules);
+    for r in 0..nrules {
+        // Antecedents reference facts that can plausibly be true by the
+        // time the rule is considered: the seeds plus consequents of
+        // earlier rules. A fraction of rules reference never-derivable
+        // facts so the engine also pays for rules that never fire.
+        let derivable_pool = SEED_FACTS + r;
+        let pick = |rng: &mut SmallRng, pool: usize| -> i32 {
+            if pool == 0 || rng.gen::<f64>() < 0.15 {
+                // Possibly underivable: point into the upper half.
+                (SEED_FACTS + nrules + rng.gen_range(0..nrules.max(1))) as i32
+            } else {
+                let idx = rng.gen_range(0..pool);
+                if idx < SEED_FACTS {
+                    idx as i32
+                } else {
+                    // Consequent slot of an earlier rule.
+                    (SEED_FACTS + (idx - SEED_FACTS)) as i32
+                }
+            }
+        };
+        a1.push(pick(rng, derivable_pool));
+        a2.push(pick(rng, derivable_pool));
+        // Rule r's consequent gets its own fact slot.
+        cons.push((SEED_FACTS + r) as i32);
+    }
+    let mut facts = vec![0i32; universe];
+    for f in facts.iter_mut().take(SEED_FACTS) {
+        *f = 1;
+    }
+    (a1, a2, cons, facts)
+}
+
+/// Native reference (identical fixpoint iteration).
+pub fn reference(a1: &[i32], a2: &[i32], cons: &[i32], facts: &mut [i32]) -> i32 {
+    let nrules = a1.len();
+    let mut fired = vec![false; nrules];
+    let mut count = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in 0..nrules {
+            if !fired[r] && facts[a1[r] as usize] > 0 && facts[a2[r] as usize] > 0 {
+                facts[cons[r] as usize] = 1;
+                fired[r] = true;
+                changed = true;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// The jess workload.
+pub struct Jess {
+    program: Program,
+    method: MethodId,
+}
+
+impl Jess {
+    /// Build the workload.
+    pub fn new() -> Jess {
+        let program = build_program();
+        let method = program.find_method(MODULE_CLASS, "infer").expect("method");
+        Jess { program, method }
+    }
+}
+
+impl Default for Jess {
+    fn default() -> Self {
+        Jess::new()
+    }
+}
+
+impl Workload for Jess {
+    fn name(&self) -> &str {
+        "jess"
+    }
+    fn description(&self) -> &str {
+        "An expert system shell from SpecJVM98 benchmark suite"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![64, 128, 256, 512]
+    }
+    fn size_meaning(&self) -> &str {
+        "number of rules"
+    }
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value> {
+        let (a1, a2, cons, facts) = gen_rules(size, rng);
+        vec![
+            Value::Int(size as i32),
+            Value::Ref(alloc_ints(heap, &a1)),
+            Value::Ref(alloc_ints(heap, &a2)),
+            Value::Ref(alloc_ints(heap, &cons)),
+            Value::Ref(alloc_ints(heap, &facts)),
+        ]
+    }
+    fn check(&self, _heap: &Heap, size: u32, result: Option<Value>) -> Option<bool> {
+        match result {
+            Some(Value::Int(fired)) => Some(fired >= 0 && fired <= size as i32),
+            _ => Some(false),
+        }
+    }
+}
+
+/// Read the final working memory (for examples).
+pub fn final_facts(heap: &Heap, facts: jem_jvm::Handle) -> Vec<i32> {
+    read_ints(heap, facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn chains_simple_rules() {
+        // fact0 & fact1 → fact8; fact8 & fact0 → fact9.
+        let w = Jess::new();
+        let a1 = vec![0, 8];
+        let a2 = vec![1, 0];
+        let cons = vec![8, 9];
+        let mut facts = vec![0i32; 10];
+        facts[0] = 1;
+        facts[1] = 1;
+        let mut vm = Vm::client(w.program());
+        let args = vec![
+            Value::Int(2),
+            Value::Ref(alloc_ints(&mut vm.heap, &a1)),
+            Value::Ref(alloc_ints(&mut vm.heap, &a2)),
+            Value::Ref(alloc_ints(&mut vm.heap, &cons)),
+            Value::Ref(alloc_ints(&mut vm.heap, &facts)),
+        ];
+        let out = vm.invoke(w.potential_method(), args).unwrap();
+        assert_eq!(out, Some(Value::Int(2)), "both rules fire");
+    }
+
+    #[test]
+    fn matches_reference_on_generated_rulebases() {
+        let w = Jess::new();
+        for seed in [4u64, 5, 6] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (a1, a2, cons, mut facts) = gen_rules(100, &mut rng.clone());
+            let expect = reference(&a1, &a2, &cons, &mut facts);
+            let mut vm = Vm::client(w.program());
+            let args = w.make_args(&mut vm.heap, 100, &mut rng);
+            let out = vm.invoke(w.potential_method(), args).unwrap();
+            assert_eq!(out, Some(Value::Int(expect)), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_rulebases_cascade() {
+        // The generator must produce real inference work, not a dead
+        // rule base.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (a1, a2, cons, mut facts) = gen_rules(200, &mut rng);
+        let fired = reference(&a1, &a2, &cons, &mut facts);
+        assert!(fired > 20, "only {fired} rules fired");
+        assert!(fired <= 200);
+    }
+}

@@ -1,0 +1,124 @@
+//! # jem-apps — the eight benchmark applications (paper Fig 3)
+//!
+//! | app | description | size parameter |
+//! |---|---|---|
+//! | [`fe`] | integral of f(x) over a range | step count |
+//! | [`pf`] | shortest path tree on a map | number of nodes |
+//! | [`mf`] | median filtering of a PGM image | image edge |
+//! | [`hpf`] | high-pass filter of an image | image edge |
+//! | [`ed`] | Canny edge detection | image edge |
+//! | [`sort`] | quicksort | array length |
+//! | [`jess`] | expert-system shell (SpecJVM98 stand-in) | number of rules |
+//! | [`db`] | database query system (SpecJVM98 stand-in) | number of records |
+//!
+//! Each module contains: the MJVM program (written in the `jem-jvm`
+//! DSL and compiled to bytecode), a [`jem_core::Workload`]
+//! implementation with the workload generator, and a native Rust
+//! reference implementation used by the differential tests (results
+//! must match bit-for-bit across the interpreter and every JIT level).
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod ed;
+pub mod fe;
+pub mod hpf;
+pub mod jess;
+pub mod mf;
+pub mod pf;
+pub mod pgm;
+pub mod sort;
+pub mod util;
+
+use jem_core::Workload;
+
+/// All eight workloads, in the paper's Fig 3 order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(fe::Fe::new()),
+        Box::new(pf::Pf::new()),
+        Box::new(mf::Mf::new()),
+        Box::new(hpf::Hpf::new()),
+        Box::new(ed::Ed::new()),
+        Box::new(sort::Sort::new()),
+        Box::new(jess::Jess::new()),
+        Box::new(db::Db::new()),
+    ]
+}
+
+/// Build a single workload by its Fig 3 short name.
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "fe" => Box::new(fe::Fe::new()) as Box<dyn Workload>,
+        "pf" => Box::new(pf::Pf::new()),
+        "mf" => Box::new(mf::Mf::new()),
+        "hpf" => Box::new(hpf::Hpf::new()),
+        "ed" => Box::new(ed::Ed::new()),
+        "sort" => Box::new(sort::Sort::new()),
+        "jess" => Box::new(jess::Jess::new()),
+        "db" => Box::new(db::Db::new()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_core::Partition;
+    use jem_jvm::verify::verify_program;
+
+    #[test]
+    fn every_workload_builds_verifies_and_partitions() {
+        for w in all_workloads() {
+            verify_program(w.program())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            let part = Partition::analyze(w.program())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert!(
+                part.is_potential(w.potential_method()),
+                "{}: potential method not annotated",
+                w.name()
+            );
+            assert!(!w.sizes().is_empty(), "{}", w.name());
+            assert!(!w.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let names: Vec<String> = all_workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in &names {
+            assert!(workload_by_name(n).is_some(), "{n}");
+        }
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_runs_and_checks_at_smallest_size() {
+        use jem_jvm::Vm;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for w in all_workloads() {
+            let size = w.sizes()[0];
+            let mut vm = Vm::client(w.program());
+            let mut rng = SmallRng::seed_from_u64(99);
+            let args = w.make_args(&mut vm.heap, size, &mut rng);
+            let out = vm
+                .invoke(w.potential_method(), args)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            assert_eq!(
+                w.check(&vm.heap, size, out),
+                Some(true),
+                "{} failed its check",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! **mf — Median-Filter** (paper Fig 3).
+//!
+//! "Given an image (in PGM format) and the size of the window,
+//! generates a new image by applying median filtering." Size
+//! parameter: the image edge length (the window is the classic 3×3).
+//!
+//! Border pixels use clamped (replicated-edge) sampling.
+
+use crate::util::{alloc_ints, gen_image, read_ints};
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    // clamp(v, lo, hi)
+    m.func(
+        "clamp",
+        vec![("v", DType::Int), ("lo", DType::Int), ("hi", DType::Int)],
+        Some(DType::Int),
+        vec![
+            if_(var("v").lt(var("lo")), vec![ret(var("lo"))]),
+            if_(var("v").gt(var("hi")), vec![ret(var("hi"))]),
+            ret(var("v")),
+        ],
+    );
+
+    // Median of the 9-element window buffer (insertion sort, pick [4]).
+    m.func(
+        "median9",
+        vec![("w", DType::int_arr())],
+        Some(DType::Int),
+        vec![
+            for_(
+                "i",
+                iconst(1),
+                iconst(9),
+                vec![
+                    let_("key", var("w").index(var("i"))),
+                    let_("j", var("i").sub(iconst(1))),
+                    let_("moving", iconst(1)),
+                    while_(
+                        var("moving").bitand(var("j").ge(iconst(0))),
+                        vec![if_else(
+                            var("w").index(var("j")).gt(var("key")),
+                            vec![
+                                set_index(
+                                    var("w"),
+                                    var("j").add(iconst(1)),
+                                    var("w").index(var("j")),
+                                ),
+                                assign("j", var("j").sub(iconst(1))),
+                            ],
+                            vec![assign("moving", iconst(0))],
+                        )],
+                    ),
+                    set_index(var("w"), var("j").add(iconst(1)), var("key")),
+                ],
+            ),
+            ret(var("w").index(iconst(4))),
+        ],
+    );
+
+    m.func_with_attrs(
+        "median_filter",
+        vec![("s", DType::Int), ("img", DType::int_arr())],
+        Some(DType::int_arr()),
+        vec![
+            let_("out", new_arr(DType::Int, var("s").mul(var("s")))),
+            let_("win", new_arr(DType::Int, iconst(9))),
+            for_(
+                "y",
+                iconst(0),
+                var("s"),
+                vec![for_(
+                    "x",
+                    iconst(0),
+                    var("s"),
+                    vec![
+                        let_("k", iconst(0)),
+                        for_(
+                            "dy",
+                            iconst(-1),
+                            iconst(2),
+                            vec![for_(
+                                "dx",
+                                iconst(-1),
+                                iconst(2),
+                                vec![
+                                    let_(
+                                        "yy",
+                                        call(
+                                            "clamp",
+                                            vec![
+                                                var("y").add(var("dy")),
+                                                iconst(0),
+                                                var("s").sub(iconst(1)),
+                                            ],
+                                        ),
+                                    ),
+                                    let_(
+                                        "xx",
+                                        call(
+                                            "clamp",
+                                            vec![
+                                                var("x").add(var("dx")),
+                                                iconst(0),
+                                                var("s").sub(iconst(1)),
+                                            ],
+                                        ),
+                                    ),
+                                    set_index(
+                                        var("win"),
+                                        var("k"),
+                                        var("img")
+                                            .index(var("yy").mul(var("s")).add(var("xx"))),
+                                    ),
+                                    assign("k", var("k").add(iconst(1))),
+                                ],
+                            )],
+                        ),
+                        set_index(
+                            var("out"),
+                            var("y").mul(var("s")).add(var("x")),
+                            call("median9", vec![var("win")]),
+                        ),
+                    ],
+                )],
+            ),
+            ret(var("out")),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("mf compiles")
+}
+
+/// Native reference implementation.
+pub fn reference(s: usize, img: &[i32]) -> Vec<i32> {
+    let clamp = |v: i64, hi: i64| v.clamp(0, hi) as usize;
+    let mut out = vec![0; s * s];
+    let mut win = [0i32; 9];
+    for y in 0..s {
+        for x in 0..s {
+            let mut k = 0;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let yy = clamp(y as i64 + dy, s as i64 - 1);
+                    let xx = clamp(x as i64 + dx, s as i64 - 1);
+                    win[k] = img[yy * s + xx];
+                    k += 1;
+                }
+            }
+            win.sort_unstable();
+            out[y * s + x] = win[4];
+        }
+    }
+    out
+}
+
+/// The mf workload.
+pub struct Mf {
+    program: Program,
+    method: MethodId,
+}
+
+impl Mf {
+    /// Build the workload.
+    pub fn new() -> Mf {
+        let program = build_program();
+        let method = program
+            .find_method(MODULE_CLASS, "median_filter")
+            .expect("method");
+        Mf { program, method }
+    }
+}
+
+impl Default for Mf {
+    fn default() -> Self {
+        Mf::new()
+    }
+}
+
+impl Workload for Mf {
+    fn name(&self) -> &str {
+        "mf"
+    }
+    fn description(&self) -> &str {
+        "Given an image (in PGM format) and the size of the window, generates a new image by applying median filtering"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![8, 16, 24, 32, 48, 64, 96, 128]
+    }
+    fn calibration_sizes(&self) -> Vec<u32> {
+        vec![8, 16, 32, 64, 128]
+    }
+    fn size_meaning(&self) -> &str {
+        "image edge length (pixels)"
+    }
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value> {
+        let img = gen_image(size, rng);
+        vec![Value::Int(size as i32), Value::Ref(alloc_ints(heap, &img))]
+    }
+    fn check(&self, heap: &Heap, size: u32, result: Option<Value>) -> Option<bool> {
+        let h = match result {
+            Some(Value::Ref(h)) => h,
+            _ => return Some(false),
+        };
+        let out = read_ints(heap, h);
+        Some(out.len() == (size * size) as usize && out.iter().all(|&p| (0..=255).contains(&p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn matches_reference() {
+        let w = Mf::new();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let img = gen_image(16, &mut rng.clone());
+        let mut vm = Vm::client(w.program());
+        let args = w.make_args(&mut vm.heap, 16, &mut rng);
+        let out = vm.invoke(w.potential_method(), args).unwrap();
+        let h = out.unwrap().as_ref().unwrap();
+        assert_eq!(read_ints(&vm.heap, h), reference(16, &img));
+    }
+
+    #[test]
+    fn median_removes_speckle() {
+        // A constant image with one hot pixel: the median filter must
+        // remove the speckle entirely.
+        let w = Mf::new();
+        let s = 8usize;
+        let mut img = vec![100i32; s * s];
+        img[3 * s + 4] = 255;
+        let mut vm = Vm::client(w.program());
+        let h = alloc_ints(&mut vm.heap, &img);
+        let out = vm
+            .invoke(
+                w.potential_method(),
+                vec![Value::Int(s as i32), Value::Ref(h)],
+            )
+            .unwrap();
+        let res = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
+        assert!(res.iter().all(|&p| p == 100), "{res:?}");
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let w = Mf::new();
+        let rng = SmallRng::seed_from_u64(6);
+        let mut interp = Vm::client(w.program());
+        let args = w.make_args(&mut interp.heap, 12, &mut rng.clone());
+        let out = interp.invoke(w.potential_method(), args).unwrap();
+        let expect = read_ints(&interp.heap, out.unwrap().as_ref().unwrap());
+
+        for level in jem_jvm::OptLevel::ALL {
+            let mut vm = Vm::client(w.program());
+            for i in 0..w.program().methods.len() {
+                let id = jem_jvm::MethodId(i as u32);
+                let c = jem_jvm::compile(w.program(), id, level);
+                vm.install_native(id, std::rc::Rc::new(c.code));
+            }
+            let args = w.make_args(&mut vm.heap, 12, &mut rng.clone());
+            let out = vm.invoke(w.potential_method(), args).unwrap();
+            assert_eq!(
+                read_ints(&vm.heap, out.unwrap().as_ref().unwrap()),
+                expect,
+                "{level}"
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! **pf — Path-Finder** (paper Fig 3).
+//!
+//! "Given a map and a source location (node), finds the shortest path
+//! tree with the source location as root." Size parameter: the number
+//! of nodes (the generated maps carry ~3 edges per node).
+//!
+//! Dijkstra with O(n²) linear minimum extraction — the standard choice
+//! on embedded targets without a priority-queue library.
+
+use crate::util::{alloc_ints, gen_graph, read_ints};
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// "Infinity" distance marker (fits in i32 with headroom for adds).
+pub const INF: i32 = 1 << 29;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    m.func_with_attrs(
+        "shortest_paths",
+        vec![
+            ("n", DType::Int),
+            ("off", DType::int_arr()),
+            ("dst", DType::int_arr()),
+            ("wt", DType::int_arr()),
+            ("src", DType::Int),
+        ],
+        Some(DType::int_arr()),
+        vec![
+            let_("dist", new_arr(DType::Int, var("n"))),
+            let_("done", new_arr(DType::Int, var("n"))),
+            for_(
+                "i",
+                iconst(0),
+                var("n"),
+                vec![set_index(var("dist"), var("i"), iconst(INF))],
+            ),
+            set_index(var("dist"), var("src"), iconst(0)),
+            for_(
+                "round",
+                iconst(0),
+                var("n"),
+                vec![
+                    // Find the unvisited node with minimum distance.
+                    let_("u", iconst(-1)),
+                    let_("best", iconst(INF)),
+                    for_(
+                        "i",
+                        iconst(0),
+                        var("n"),
+                        vec![if_(
+                            var("done")
+                                .index(var("i"))
+                                .eq(iconst(0))
+                                .bitand(var("dist").index(var("i")).lt(var("best"))),
+                            vec![
+                                assign("best", var("dist").index(var("i"))),
+                                assign("u", var("i")),
+                            ],
+                        )],
+                    ),
+                    if_(
+                        var("u").ge(iconst(0)),
+                        vec![
+                            set_index(var("done"), var("u"), iconst(1)),
+                            // Relax outgoing edges.
+                            for_(
+                                "e",
+                                var("off").index(var("u")),
+                                var("off").index(var("u").add(iconst(1))),
+                                vec![
+                                    let_("v", var("dst").index(var("e"))),
+                                    let_(
+                                        "nd",
+                                        var("dist").index(var("u")).add(var("wt").index(var("e"))),
+                                    ),
+                                    if_(
+                                        var("nd").lt(var("dist").index(var("v"))),
+                                        vec![set_index(var("dist"), var("v"), var("nd"))],
+                                    ),
+                                ],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            ret(var("dist")),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("pf compiles")
+}
+
+/// Native reference (identical algorithm).
+pub fn reference(n: usize, off: &[i32], dst: &[i32], wt: &[i32], src: usize) -> Vec<i32> {
+    let mut dist = vec![INF; n];
+    let mut done = vec![false; n];
+    dist[src] = 0;
+    for _ in 0..n {
+        let mut u = usize::MAX;
+        let mut best = INF;
+        for i in 0..n {
+            if !done[i] && dist[i] < best {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        done[u] = true;
+        for e in off[u] as usize..off[u + 1] as usize {
+            let v = dst[e] as usize;
+            let nd = dist[u] + wt[e];
+            if nd < dist[v] {
+                dist[v] = nd;
+            }
+        }
+    }
+    dist
+}
+
+/// The pf workload.
+pub struct Pf {
+    program: Program,
+    method: MethodId,
+}
+
+impl Pf {
+    /// Build the workload.
+    pub fn new() -> Pf {
+        let program = build_program();
+        let method = program
+            .find_method(MODULE_CLASS, "shortest_paths")
+            .expect("method");
+        Pf { program, method }
+    }
+}
+
+impl Default for Pf {
+    fn default() -> Self {
+        Pf::new()
+    }
+}
+
+impl Workload for Pf {
+    fn name(&self) -> &str {
+        "pf"
+    }
+    fn description(&self) -> &str {
+        "Given a map and a source location (node), finds the shortest path tree with the source location as root"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![16, 32, 64, 128]
+    }
+    fn size_meaning(&self) -> &str {
+        "number of map nodes"
+    }
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value> {
+        let (off, dst, wt) = gen_graph(size, 2, rng);
+        vec![
+            Value::Int(size as i32),
+            Value::Ref(alloc_ints(heap, &off)),
+            Value::Ref(alloc_ints(heap, &dst)),
+            Value::Ref(alloc_ints(heap, &wt)),
+            Value::Int(0),
+        ]
+    }
+    fn check(&self, heap: &Heap, size: u32, result: Option<Value>) -> Option<bool> {
+        let h = match result {
+            Some(Value::Ref(h)) => h,
+            _ => return Some(false),
+        };
+        let dist = read_ints(heap, h);
+        // Connected graph: every node reachable, source at 0.
+        Some(dist.len() == size as usize && dist[0] == 0 && dist.iter().all(|&d| d < INF))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        let w = Pf::new();
+        for seed in [1u64, 2, 3] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (off, dst, wt) = gen_graph(40, 2, &mut rng.clone());
+            let mut vm = Vm::client(w.program());
+            let args = w.make_args(&mut vm.heap, 40, &mut rng);
+            let out = vm.invoke(w.potential_method(), args).unwrap();
+            let h = out.unwrap().as_ref().unwrap();
+            assert_eq!(
+                read_ints(&vm.heap, h),
+                reference(40, &off, &dst, &wt, 0),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_handcrafted_graph() {
+        // 0 -1- 1 -1- 2, plus a 10-weight shortcut 0-2.
+        let w = Pf::new();
+        let off = vec![0, 2, 4, 6];
+        let dst = vec![1, 2, 0, 2, 1, 0];
+        let wt = vec![1, 10, 1, 1, 1, 10];
+        let mut vm = Vm::client(w.program());
+        let args = vec![
+            Value::Int(3),
+            Value::Ref(alloc_ints(&mut vm.heap, &off)),
+            Value::Ref(alloc_ints(&mut vm.heap, &dst)),
+            Value::Ref(alloc_ints(&mut vm.heap, &wt)),
+            Value::Int(0),
+        ];
+        let out = vm.invoke(w.potential_method(), args).unwrap();
+        let dist = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
+        assert_eq!(dist, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal PGM (portable graymap) reader/writer.
+//!
+//! The paper's image benchmarks take "an image (in PGM format)"; the
+//! example binaries use this module to read/write real image files
+//! around the MJVM pipeline. Supports P2 (ASCII) and P5 (binary),
+//! 8-bit depth.
+
+use std::fmt;
+
+/// A grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pgm {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixels, 0..=255.
+    pub pixels: Vec<i32>,
+}
+
+/// PGM parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PgmError {
+    /// Bad magic number (not P2/P5).
+    BadMagic,
+    /// Malformed or missing header fields.
+    BadHeader,
+    /// Fewer pixels than the header promised.
+    Truncated,
+    /// Pixel value above the declared maximum.
+    BadPixel,
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::BadMagic => write!(f, "not a P2/P5 PGM file"),
+            PgmError::BadHeader => write!(f, "malformed PGM header"),
+            PgmError::Truncated => write!(f, "PGM pixel data truncated"),
+            PgmError::BadPixel => write!(f, "pixel exceeds maxval"),
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+impl Pgm {
+    /// Wrap a square image buffer.
+    ///
+    /// # Panics
+    /// If `pixels.len() != edge * edge`.
+    pub fn square(edge: usize, pixels: Vec<i32>) -> Pgm {
+        assert_eq!(pixels.len(), edge * edge, "pixel count mismatch");
+        Pgm {
+            width: edge,
+            height: edge,
+            pixels,
+        }
+    }
+
+    /// Encode as binary P5.
+    pub fn to_p5(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.pixels.iter().map(|&p| p.clamp(0, 255) as u8));
+        out
+    }
+
+    /// Encode as ASCII P2.
+    pub fn to_p2(&self) -> String {
+        let mut out = format!("P2\n{} {}\n255\n", self.width, self.height);
+        for row in self.pixels.chunks(self.width) {
+            let line: Vec<String> = row.iter().map(|&p| p.clamp(0, 255).to_string()).collect();
+            out.push_str(&line.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decode from P2 or P5 bytes.
+    ///
+    /// # Errors
+    /// [`PgmError`] for malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Pgm, PgmError> {
+        if bytes.len() < 2 {
+            return Err(PgmError::BadMagic);
+        }
+        let magic = &bytes[..2];
+        match magic {
+            b"P2" => parse_p2(bytes),
+            b"P5" => parse_p5(bytes),
+            _ => Err(PgmError::BadMagic),
+        }
+    }
+}
+
+/// Tokenize header fields, skipping whitespace and `#` comments.
+/// Returns (width, height, maxval, offset-just-past-maxval-whitespace).
+fn parse_header(bytes: &[u8]) -> Result<(usize, usize, u32, usize), PgmError> {
+    let mut fields = Vec::with_capacity(3);
+    let mut i = 2; // past magic
+    while fields.len() < 3 {
+        // Skip whitespace/comments.
+        loop {
+            match bytes.get(i) {
+                Some(b'#') => {
+                    while !matches!(bytes.get(i), None | Some(b'\n')) {
+                        i += 1;
+                    }
+                }
+                Some(c) if c.is_ascii_whitespace() => i += 1,
+                _ => break,
+            }
+        }
+        let start = i;
+        while bytes.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == start {
+            return Err(PgmError::BadHeader);
+        }
+        let text = std::str::from_utf8(&bytes[start..i]).map_err(|_| PgmError::BadHeader)?;
+        fields.push(text.parse::<u64>().map_err(|_| PgmError::BadHeader)?);
+    }
+    // Exactly one whitespace byte after maxval (per spec) for P5.
+    let (w, h, maxval) = (fields[0], fields[1], fields[2]);
+    if w == 0 || h == 0 || maxval == 0 || maxval > 255 {
+        return Err(PgmError::BadHeader);
+    }
+    Ok((w as usize, h as usize, maxval as u32, i + 1))
+}
+
+fn parse_p5(bytes: &[u8]) -> Result<Pgm, PgmError> {
+    let (width, height, maxval, data_at) = parse_header(bytes)?;
+    let n = width * height;
+    let data = bytes.get(data_at..data_at + n).ok_or(PgmError::Truncated)?;
+    let pixels: Vec<i32> = data.iter().map(|&b| i32::from(b)).collect();
+    if pixels.iter().any(|&p| p as u32 > maxval) {
+        return Err(PgmError::BadPixel);
+    }
+    Ok(Pgm {
+        width,
+        height,
+        pixels,
+    })
+}
+
+fn parse_p2(bytes: &[u8]) -> Result<Pgm, PgmError> {
+    let (width, height, maxval, data_at) = parse_header(bytes)?;
+    let text = std::str::from_utf8(&bytes[data_at.saturating_sub(1)..])
+        .map_err(|_| PgmError::BadHeader)?;
+    let mut pixels = Vec::with_capacity(width * height);
+    for tok in text.split_ascii_whitespace() {
+        let v: u32 = tok.parse().map_err(|_| PgmError::BadHeader)?;
+        if v > maxval {
+            return Err(PgmError::BadPixel);
+        }
+        pixels.push(v as i32);
+        if pixels.len() == width * height {
+            break;
+        }
+    }
+    if pixels.len() < width * height {
+        return Err(PgmError::Truncated);
+    }
+    Ok(Pgm {
+        width,
+        height,
+        pixels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Pgm {
+        Pgm {
+            width: 3,
+            height: 2,
+            pixels: vec![0, 128, 255, 10, 20, 30],
+        }
+    }
+
+    #[test]
+    fn p5_round_trips() {
+        let img = sample();
+        let encoded = img.to_p5();
+        assert_eq!(Pgm::parse(&encoded).unwrap(), img);
+    }
+
+    #[test]
+    fn p2_round_trips() {
+        let img = sample();
+        let encoded = img.to_p2();
+        assert_eq!(Pgm::parse(encoded.as_bytes()).unwrap(), img);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "P2\n# created by jem\n3 2\n# another\n255\n0 128 255 10 20 30\n";
+        assert_eq!(Pgm::parse(text.as_bytes()).unwrap(), sample());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert_eq!(Pgm::parse(b"JPEG"), Err(PgmError::BadMagic));
+        assert_eq!(Pgm::parse(b"P5\n3 2\n255\nab"), Err(PgmError::Truncated));
+        assert_eq!(Pgm::parse(b"P2\nx y\n255\n"), Err(PgmError::BadHeader));
+        assert_eq!(
+            Pgm::parse(b"P2\n1 1\n100\n200\n"),
+            Err(PgmError::BadPixel)
+        );
+        assert_eq!(Pgm::parse(b"P2\n0 1\n255\n"), Err(PgmError::BadHeader));
+    }
+
+    #[test]
+    fn square_helper_checks_length() {
+        let img = Pgm::square(2, vec![1, 2, 3, 4]);
+        assert_eq!(img.width, 2);
+        assert_eq!(img.height, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count mismatch")]
+    fn square_rejects_bad_length() {
+        let _ = Pgm::square(2, vec![1, 2, 3]);
+    }
+}

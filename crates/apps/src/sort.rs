@@ -1,0 +1,321 @@
+//! **sort — Sorting** (paper Fig 3).
+//!
+//! "Sorts a given set of array elements using Quicksort." Size
+//! parameter: the array length.
+//!
+//! The MJVM implementation is a production-shaped quicksort:
+//! median-of-three pivot, Hoare partition, recursion on the smaller
+//! side only (bounded stack depth), insertion sort below a cutoff.
+
+use crate::util::{alloc_ints, gen_ints, read_ints};
+use jem_core::Workload;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// Insertion-sort cutoff (both in the DSL program and the reference).
+const CUTOFF: i32 = 16;
+
+/// Build the MJVM program.
+pub fn build_program() -> Program {
+    let mut m = ModuleBuilder::new();
+
+    // Insertion sort of a[lo..hi).
+    m.func(
+        "isort",
+        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        None,
+        vec![
+            for_(
+                "i",
+                var("lo").add(iconst(1)),
+                var("hi"),
+                vec![
+                    let_("key", var("a").index(var("i"))),
+                    let_("j", var("i").sub(iconst(1))),
+                    // No short-circuit && in the DSL: guard the array
+                    // read inside the loop body instead.
+                    let_("moving", iconst(1)),
+                    while_(
+                        var("moving").bitand(var("j").ge(var("lo"))),
+                        vec![if_else(
+                            var("a").index(var("j")).gt(var("key")),
+                            vec![
+                                set_index(
+                                    var("a"),
+                                    var("j").add(iconst(1)),
+                                    var("a").index(var("j")),
+                                ),
+                                assign("j", var("j").sub(iconst(1))),
+                            ],
+                            vec![assign("moving", iconst(0))],
+                        )],
+                    ),
+                    set_index(var("a"), var("j").add(iconst(1)), var("key")),
+                ],
+            ),
+            ret_void(),
+        ],
+    );
+
+    // Median-of-three pivot *value* for a[lo..hi).
+    m.func(
+        "pivot",
+        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        Some(DType::Int),
+        vec![
+            let_("x", var("a").index(var("lo"))),
+            let_(
+                "y",
+                var("a").index(var("lo").add(var("hi").sub(var("lo")).div(iconst(2)))),
+            ),
+            let_("z", var("a").index(var("hi").sub(iconst(1)))),
+            // Return the median of x, y, z.
+            if_(
+                var("x").gt(var("y")),
+                vec![
+                    // swap x,y via temp
+                    let_("t", var("x")),
+                    assign("x", var("y")),
+                    assign("y", var("t")),
+                ],
+            ),
+            if_(
+                var("y").gt(var("z")),
+                vec![
+                    assign("y", var("z")),
+                    // y is now min(y,z); re-establish x<=y
+                    if_(
+                        var("x").gt(var("y")),
+                        vec![assign("y", var("x"))],
+                    ),
+                ],
+            ),
+            ret(var("y")),
+        ],
+    );
+
+    // Hoare partition around pivot value p; returns split point.
+    m.func(
+        "partition",
+        vec![
+            ("a", DType::int_arr()),
+            ("lo", DType::Int),
+            ("hi", DType::Int),
+            ("p", DType::Int),
+        ],
+        Some(DType::Int),
+        vec![
+            let_("i", var("lo").sub(iconst(1))),
+            let_("j", var("hi")),
+            while_(
+                iconst(1),
+                vec![
+                    assign("i", var("i").add(iconst(1))),
+                    while_(
+                        var("a").index(var("i")).lt(var("p")),
+                        vec![assign("i", var("i").add(iconst(1)))],
+                    ),
+                    assign("j", var("j").sub(iconst(1))),
+                    while_(
+                        var("a").index(var("j")).gt(var("p")),
+                        vec![assign("j", var("j").sub(iconst(1)))],
+                    ),
+                    if_(var("i").ge(var("j")), vec![ret(var("j").add(iconst(1)))]),
+                    let_("t", var("a").index(var("i"))),
+                    set_index(var("a"), var("i"), var("a").index(var("j"))),
+                    set_index(var("a"), var("j"), var("t")),
+                ],
+            ),
+            ret(var("lo")), // unreachable; satisfies the verifier
+        ],
+    );
+
+    // Quicksort with smaller-side recursion.
+    m.func(
+        "qsort",
+        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        None,
+        vec![
+            let_("l", var("lo")),
+            let_("h", var("hi")),
+            while_(
+                var("h").sub(var("l")).gt(iconst(CUTOFF)),
+                vec![
+                    let_(
+                        "p",
+                        call("pivot", vec![var("a"), var("l"), var("h")]),
+                    ),
+                    let_(
+                        "mid",
+                        call(
+                            "partition",
+                            vec![var("a"), var("l"), var("h"), var("p")],
+                        ),
+                    ),
+                    if_else(
+                        var("mid").sub(var("l")).lt(var("h").sub(var("mid"))),
+                        vec![
+                            expr_stmt(call("qsort", vec![var("a"), var("l"), var("mid")])),
+                            assign("l", var("mid")),
+                        ],
+                        vec![
+                            expr_stmt(call("qsort", vec![var("a"), var("mid"), var("h")])),
+                            assign("h", var("mid")),
+                        ],
+                    ),
+                ],
+            ),
+            expr_stmt(call("isort", vec![var("a"), var("l"), var("h")])),
+            ret_void(),
+        ],
+    );
+
+    m.func_with_attrs(
+        "sort",
+        vec![("a", DType::int_arr())],
+        Some(DType::int_arr()),
+        vec![
+            expr_stmt(call("qsort", vec![var("a"), iconst(0), var("a").len()])),
+            ret(var("a")),
+        ],
+        MethodAttrs {
+            potential: true,
+            size_param: Some(0),
+            ..Default::default()
+        },
+    );
+
+    m.compile().expect("sort compiles")
+}
+
+/// Native reference: plain sort (the result contract is "ascending",
+/// not a particular algorithm).
+pub fn reference(mut data: Vec<i32>) -> Vec<i32> {
+    data.sort_unstable();
+    data
+}
+
+/// The sort workload.
+pub struct Sort {
+    program: Program,
+    method: MethodId,
+}
+
+impl Sort {
+    /// Build the workload.
+    pub fn new() -> Sort {
+        let program = build_program();
+        let method = program.find_method(MODULE_CLASS, "sort").expect("method");
+        Sort { program, method }
+    }
+}
+
+impl Default for Sort {
+    fn default() -> Self {
+        Sort::new()
+    }
+}
+
+impl Workload for Sort {
+    fn name(&self) -> &str {
+        "sort"
+    }
+    fn description(&self) -> &str {
+        "Sorts a given set of array elements using Quicksort"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![256, 512, 1024, 2048]
+    }
+    fn size_meaning(&self) -> &str {
+        "array length"
+    }
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value> {
+        let data = gen_ints(size, -100_000, 100_000, rng);
+        vec![Value::Ref(alloc_ints(heap, &data))]
+    }
+    fn check(&self, heap: &Heap, _size: u32, result: Option<Value>) -> Option<bool> {
+        let h = match result {
+            Some(Value::Ref(h)) => h,
+            _ => return Some(false),
+        };
+        let out = read_ints(heap, h);
+        Some(out.windows(2).all(|w| w[0] <= w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::verify::verify_program;
+    use jem_jvm::Vm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn program_verifies() {
+        verify_program(&build_program()).unwrap();
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        let w = Sort::new();
+        let mut vm = Vm::client(w.program());
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Must match make_args' generation exactly.
+        let data = gen_ints(500, -100_000, 100_000, &mut rng.clone());
+        let args = w.make_args(&mut vm.heap, 500, &mut rng);
+        let out = vm.invoke(w.potential_method(), args).unwrap();
+        let h = out.unwrap().as_ref().unwrap();
+        assert_eq!(read_ints(&vm.heap, h), reference(data));
+    }
+
+    #[test]
+    fn handles_adversarial_inputs() {
+        let w = Sort::new();
+        for data in [
+            vec![],
+            vec![1],
+            vec![2, 1],
+            vec![5; 100],                        // all equal
+            (0..200).collect::<Vec<i32>>(),      // sorted
+            (0..200).rev().collect::<Vec<i32>>(), // reversed
+        ] {
+            let mut vm = Vm::client(w.program());
+            let h = alloc_ints(&mut vm.heap, &data);
+            let out = vm
+                .invoke(w.potential_method(), vec![Value::Ref(h)])
+                .unwrap();
+            let hh = out.unwrap().as_ref().unwrap();
+            assert_eq!(read_ints(&vm.heap, hh), reference(data));
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let w = Sort::new();
+        let rng = SmallRng::seed_from_u64(9);
+        let mut interp_vm = Vm::client(w.program());
+        let args = w.make_args(&mut interp_vm.heap, 400, &mut rng.clone());
+        let out = interp_vm.invoke(w.potential_method(), args).unwrap();
+        let expect = read_ints(&interp_vm.heap, out.unwrap().as_ref().unwrap());
+
+        for level in jem_jvm::OptLevel::ALL {
+            let mut vm = Vm::client(w.program());
+            for i in 0..w.program().methods.len() {
+                let id = jem_jvm::MethodId(i as u32);
+                let c = jem_jvm::compile(w.program(), id, level);
+                vm.install_native(id, std::rc::Rc::new(c.code));
+            }
+            let args = w.make_args(&mut vm.heap, 400, &mut rng.clone());
+            let out = vm.invoke(w.potential_method(), args).unwrap();
+            let got = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
+            assert_eq!(got, expect, "{level}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared helpers: moving data between Rust and the MJVM heap, and
+//! deterministic workload generation.
+
+use jem_jvm::{Handle, Heap, Value};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Allocate an `int[]` holding `data`.
+pub fn alloc_ints(heap: &mut Heap, data: &[i32]) -> Handle {
+    let h = heap.alloc_int_array(data.len());
+    for (i, &x) in data.iter().enumerate() {
+        heap.array_set(h, i, Value::Int(x)).expect("fresh array");
+    }
+    h
+}
+
+/// Allocate a `float[]` holding `data`.
+pub fn alloc_floats(heap: &mut Heap, data: &[f64]) -> Handle {
+    let h = heap.alloc_float_array(data.len());
+    for (i, &x) in data.iter().enumerate() {
+        heap.array_set(h, i, Value::Float(x)).expect("fresh array");
+    }
+    h
+}
+
+/// Read an `int[]` back into a Rust vector.
+///
+/// # Panics
+/// If `h` is not an int array.
+pub fn read_ints(heap: &Heap, h: Handle) -> Vec<i32> {
+    let len = heap.array_len(h).expect("array handle");
+    (0..len)
+        .map(|i| {
+            heap.array_get(h, i)
+                .expect("in bounds")
+                .as_int()
+                .expect("int array")
+        })
+        .collect()
+}
+
+/// Read a `float[]` back into a Rust vector.
+///
+/// # Panics
+/// If `h` is not a float array.
+pub fn read_floats(heap: &Heap, h: Handle) -> Vec<f64> {
+    let len = heap.array_len(h).expect("array handle");
+    (0..len)
+        .map(|i| {
+            heap.array_get(h, i)
+                .expect("in bounds")
+                .as_float()
+                .expect("float array")
+        })
+        .collect()
+}
+
+/// A deterministic grayscale test image (0..=255) with smooth
+/// structure plus speckle — gives filters realistic gradients, edges
+/// and noise.
+pub fn gen_image(edge: u32, rng: &mut SmallRng) -> Vec<i32> {
+    let s = edge as i32;
+    let mut img = Vec::with_capacity((s * s) as usize);
+    for y in 0..s {
+        for x in 0..s {
+            // Soft diagonal ramp + a bright disc + noise.
+            let ramp = (x + y) * 255 / (2 * s).max(1);
+            let cx = x - s / 2;
+            let cy = y - s / 3;
+            let disc = if cx * cx + cy * cy < (s / 4) * (s / 4) {
+                80
+            } else {
+                0
+            };
+            let noise = rng.gen_range(-12..=12);
+            img.push((ramp + disc + noise).clamp(0, 255));
+        }
+    }
+    img
+}
+
+/// A deterministic random int array for sorting/database workloads.
+pub fn gen_ints(n: u32, lo: i32, hi: i32, rng: &mut SmallRng) -> Vec<i32> {
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// A random connected graph in CSR form: `(offsets, dst, weight)`.
+/// Node 0 is connected to everything through a random spanning tree
+/// plus `extra_per_node` extra edges per node. Edges are directed both
+/// ways.
+pub fn gen_graph(
+    n: u32,
+    extra_per_node: u32,
+    rng: &mut SmallRng,
+) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+    let n = n as usize;
+    let mut adj: Vec<Vec<(i32, i32)>> = vec![Vec::new(); n];
+    // Spanning tree: each node i>0 links to a random earlier node.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let w = rng.gen_range(1..=100);
+        adj[i].push((j as i32, w));
+        adj[j].push((i as i32, w));
+    }
+    // Extra edges.
+    for i in 0..n {
+        for _ in 0..extra_per_node {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                let w = rng.gen_range(1..=100);
+                adj[i].push((j as i32, w));
+                adj[j].push((i as i32, w));
+            }
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut dst = Vec::new();
+    let mut weight = Vec::new();
+    offsets.push(0);
+    for edges in &adj {
+        for &(d, w) in edges {
+            dst.push(d);
+            weight.push(w);
+        }
+        offsets.push(dst.len() as i32);
+    }
+    (offsets, dst, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn int_array_round_trip() {
+        let mut heap = Heap::new();
+        let data = vec![3, -1, 4, 1, 5];
+        let h = alloc_ints(&mut heap, &data);
+        assert_eq!(read_ints(&heap, h), data);
+    }
+
+    #[test]
+    fn float_array_round_trip() {
+        let mut heap = Heap::new();
+        let data = vec![0.5, -1.25];
+        let h = alloc_floats(&mut heap, &data);
+        assert_eq!(read_floats(&heap, h), data);
+    }
+
+    #[test]
+    fn image_pixels_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let img = gen_image(32, &mut rng);
+        assert_eq!(img.len(), 1024);
+        assert!(img.iter().all(|&p| (0..=255).contains(&p)));
+        // Not constant.
+        assert!(img.iter().any(|&p| p != img[0]));
+    }
+
+    #[test]
+    fn graph_is_well_formed_and_connected() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (off, dst, w) = gen_graph(50, 2, &mut rng);
+        assert_eq!(off.len(), 51);
+        assert_eq!(dst.len(), w.len());
+        assert_eq!(*off.last().unwrap() as usize, dst.len());
+        // BFS from 0 reaches all.
+        let mut seen = [false; 50];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &d in &dst[off[u] as usize..off[u + 1] as usize] {
+                let v = d as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = gen_image(16, &mut SmallRng::seed_from_u64(7));
+        let b = gen_image(16, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gen_image(16, &mut SmallRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+}

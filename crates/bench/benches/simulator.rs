@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the simulator itself (host-side
+//! performance, not simulated energy): interpreter throughput, JIT
+//! compile time per level, native-execution throughput, serialization,
+//! the cache model, and whole-scenario runs.
+//!
+//! Run with: `cargo bench -p jem-bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jem_apps::workload_by_name;
+use jem_core::Profile;
+use jem_energy::{CacheConfig, CacheSim};
+use jem_jvm::{compile, serial, OptLevel, Vm};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = workload_by_name("sort").expect("sort");
+    c.bench_function("interpreter/sort-256", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = Vm::client(w.program());
+                let mut rng = SmallRng::seed_from_u64(1);
+                let args = w.make_args(&mut vm.heap, 256, &mut rng);
+                (vm, args)
+            },
+            |(mut vm, args)| {
+                black_box(vm.invoke(w.potential_method(), args).expect("runs"));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_native(c: &mut Criterion) {
+    let w = workload_by_name("sort").expect("sort");
+    let compiled: Vec<_> = (0..w.program().methods.len())
+        .map(|i| {
+            Rc::new(compile(w.program(), jem_jvm::MethodId(i as u32), OptLevel::L2).code)
+        })
+        .collect();
+    c.bench_function("native-l2/sort-256", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = Vm::client(w.program());
+                for (i, code) in compiled.iter().enumerate() {
+                    vm.install_native(jem_jvm::MethodId(i as u32), Rc::clone(code));
+                }
+                let mut rng = SmallRng::seed_from_u64(1);
+                let args = w.make_args(&mut vm.heap, 256, &mut rng);
+                (vm, args)
+            },
+            |(mut vm, args)| {
+                black_box(vm.invoke(w.potential_method(), args).expect("runs"));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_jit(c: &mut Criterion) {
+    let w = workload_by_name("ed").expect("ed");
+    let mut group = c.benchmark_group("jit-compile/ed");
+    for level in OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| black_box(compile(w.program(), w.potential_method(), level)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let w = workload_by_name("mf").expect("mf");
+    let mut vm = Vm::client(w.program());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let args = w.make_args(&mut vm.heap, 64, &mut rng);
+    c.bench_function("serialize/mf-64-args", |b| {
+        b.iter(|| black_box(serial::serialize_args(&vm.heap, &args).expect("serializes")))
+    });
+    let bytes = serial::serialize_args(&vm.heap, &args).expect("serializes");
+    c.bench_function("deserialize/mf-64-args", |b| {
+        b.iter_batched(
+            jem_jvm::Heap::new,
+            |mut heap| {
+                black_box(serial::deserialize_args(&mut heap, &bytes).expect("parses"));
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/250k-sequential", |b| {
+        b.iter_batched(
+            || CacheSim::new(CacheConfig::client_dcache()),
+            |mut cache| {
+                for addr in (0..1_000_000u64).step_by(4) {
+                    black_box(cache.access(addr));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let w = workload_by_name("fe").expect("fe");
+    let profile = Profile::build(w.as_ref(), 42);
+    c.bench_function("scenario/fe-al-10-invocations", |b| {
+        let scenario =
+            jem_sim::Scenario::paper(jem_sim::Situation::GoodDominant, &w.sizes(), 5)
+                .with_runs(10);
+        b.iter(|| {
+            black_box(jem_core::run_scenario(
+                w.as_ref(),
+                &profile,
+                &scenario,
+                jem_core::Strategy::AdaptiveLocal,
+            ))
+        });
+    });
+}
+
+fn quick() -> Criterion {
+    // The simulation benches are deterministic; short sampling keeps
+    // `cargo bench --workspace` tractable on small machines.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets =
+        bench_interpreter,
+        bench_native,
+        bench_jit,
+        bench_serialization,
+        bench_cache,
+        bench_scenario,
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Fig 7 — average normalized energy of all strategies under the
+//! three situations.
+//!
+//! "Each benchmark is executed by choosing three different situations
+//! … (i) the channel condition is predominantly good and one input
+//! size dominates; (ii) the channel condition is predominantly poor
+//! and one input size dominates; and (iii) both channel condition and
+//! size parameters are uniformly distributed. … For each scenario, an
+//! application is executed 300 times … Fig 7 shows the energy
+//! consumption of different execution strategies, normalized with
+//! respect to L1. Note that these values are averaged over all eight
+//! benchmarks."
+//!
+//! Headline claims checked by this harness: AL outperforms every
+//! static strategy in all three situations (the paper reports 25%,
+//! 10% and 22% savings vs the best static), and AA saves more than AL.
+//!
+//! Usage: `fig7 [--runs N]` (default 300, the paper's count).
+
+use jem_apps::all_workloads;
+use jem_bench::{arg_usize, build_profiles, fmt_norm, print_table};
+use jem_core::{run_scenario, Strategy};
+use jem_sim::{parallel::sweep, Scenario, Situation};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = arg_usize(&args, "--runs", 300);
+
+    let workloads = all_workloads();
+    eprintln!("building profiles for {} workloads...", workloads.len());
+    let profiles = build_profiles(&workloads, 42);
+
+    // Grid: (workload, situation) cells in parallel; strategies inside
+    // a cell share the cell's scenario seed so every strategy sees the
+    // same size/channel draw sequence.
+    let mut cells: Vec<(usize, Situation)> = Vec::new();
+    for wi in 0..workloads.len() {
+        for sit in Situation::ALL {
+            cells.push((wi, sit));
+        }
+    }
+    eprintln!(
+        "running {} cells x {} strategies x {runs} invocations...",
+        cells.len(),
+        Strategy::ALL.len()
+    );
+    let results = sweep(&cells, 0, |&(wi, sit)| {
+        let w = workloads[wi].as_ref();
+        let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
+        let energies: Vec<f64> = Strategy::ALL
+            .iter()
+            .map(|&s| {
+                run_scenario(w, &profiles[wi], &scenario, s)
+                    .total_energy
+                    .nanojoules()
+            })
+            .collect();
+        (wi, sit, energies)
+    });
+
+    // Normalize each cell to its L1 (index 2 in Strategy::ALL), then
+    // average across benchmarks per situation.
+    let l1_idx = Strategy::ALL
+        .iter()
+        .position(|&s| s == Strategy::Local1)
+        .expect("L1 present");
+    let mut rows = Vec::new();
+    for sit in Situation::ALL {
+        let mut sums = vec![0.0; Strategy::ALL.len()];
+        let mut count = 0usize;
+        for (_, s, energies) in results.iter().filter(|(_, s, _)| *s == sit) {
+            let _ = s;
+            let l1 = energies[l1_idx];
+            for (i, e) in energies.iter().enumerate() {
+                sums[i] += e / l1 * 100.0;
+            }
+            count += 1;
+        }
+        let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+        let mut row = vec![sit.key().to_string()];
+        row.extend(avg.iter().map(|&v| fmt_norm(v)));
+        rows.push(row);
+
+        // Paper-style claim lines.
+        let best_static = Strategy::STATIC
+            .iter()
+            .map(|s| {
+                let i = Strategy::ALL.iter().position(|x| x == s).expect("present");
+                (s.key(), avg[i])
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        let al = avg[Strategy::ALL
+            .iter()
+            .position(|&s| s == Strategy::AdaptiveLocal)
+            .expect("AL")];
+        let aa = avg[Strategy::ALL
+            .iter()
+            .position(|&s| s == Strategy::AdaptiveAdaptive)
+            .expect("AA")];
+        println!(
+            "situation {:>3}: best static = {} ({:.1}); AL saves {:.1}% vs it; AA saves {:.1}% vs it",
+            sit.key(),
+            best_static.0,
+            best_static.1,
+            (1.0 - al / best_static.1) * 100.0,
+            (1.0 - aa / best_static.1) * 100.0,
+        );
+    }
+
+    let headers: Vec<&str> = std::iter::once("situation")
+        .chain(Strategy::ALL.iter().map(|s| s.key()))
+        .collect();
+    print_table(
+        &format!("Fig 7: average normalized energy over 8 benchmarks ({runs} runs/scenario, L1 = 100)"),
+        &headers,
+        &rows,
+    );
+}

@@ -1,0 +1,111 @@
+//! The paper's constant tables: Fig 1 (instruction energies), Fig 2
+//! (radio component powers), Fig 3 (benchmarks), Fig 5 (strategies).
+//!
+//! Usage: `tables [fig1|fig2|fig3|fig5]` — no argument prints all.
+
+use jem_apps::all_workloads;
+use jem_bench::print_table;
+use jem_core::Strategy;
+use jem_energy::{EnergyTable, InstrClass};
+use jem_radio::{ChannelClass, RadioComponent, RadioPowerTable};
+
+fn fig1() {
+    let t = EnergyTable::microsparc_iiep();
+    let mut rows: Vec<Vec<String>> = InstrClass::ALL
+        .iter()
+        .map(|&c| {
+            vec![
+                c.name().to_string(),
+                format!("{:.3} nJ", t.energy(c).nanojoules()),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Main Memory".to_string(),
+        format!("{:.2} nJ", t.main_memory.nanojoules()),
+    ]);
+    print_table(
+        "Fig 1: energy consumption values for processor core and memory",
+        &["Instruction Type", "Energy"],
+        &rows,
+    );
+}
+
+fn fig2() {
+    let t = RadioPowerTable::wcdma();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in RadioComponent::ALL {
+        if c == RadioComponent::PowerAmplifier {
+            for class in ChannelClass::ALL {
+                rows.push(vec![
+                    format!("{} ({class})", c.name()),
+                    format!("{}", t.power(c, class)),
+                ]);
+            }
+        } else {
+            rows.push(vec![
+                c.name().to_string(),
+                format!("{}", t.power(c, ChannelClass::C4)),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 2: power consumption values for communication components",
+        &["Component", "Power"],
+        &rows,
+    );
+}
+
+fn fig3() {
+    let rows: Vec<Vec<String>> = all_workloads()
+        .iter()
+        .map(|w| {
+            vec![
+                w.name().to_string(),
+                w.description().to_string(),
+                w.size_meaning().to_string(),
+                format!("{:?}", w.sizes()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 3: description of our benchmarks",
+        &["App", "Description", "Size parameter", "Sizes"],
+        &rows,
+    );
+}
+
+fn fig5() {
+    let rows: Vec<Vec<String>> = Strategy::ALL
+        .iter()
+        .map(|s| {
+            vec![
+                s.key().to_string(),
+                if s.is_adaptive() { "dynamic" } else { "static" }.to_string(),
+                s.compilation_desc().to_string(),
+                s.execution_desc().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 5: summary of the static and dynamic (adaptive) strategies",
+        &["Strategy", "Kind", "Compilation", "Execution"],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("fig1") => fig1(),
+        Some("fig2") => fig2(),
+        Some("fig3") => fig3(),
+        Some("fig5") => fig5(),
+        _ => {
+            fig1();
+            fig2();
+            fig3();
+            fig5();
+        }
+    }
+}

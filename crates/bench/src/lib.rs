@@ -1,0 +1,94 @@
+//! # jem-bench — experiment harnesses
+//!
+//! Binaries that regenerate every table and figure of the paper
+//! (see DESIGN.md §5 for the experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `tables` | Fig 1, Fig 2, Fig 3, Fig 5 (constant tables) |
+//! | `fig6` | Fig 6 — static strategies, 3 benchmarks × 2 sizes |
+//! | `fig7` | Fig 7 — all strategies × 3 situations × 8 benchmarks |
+//! | `fig8` | Fig 8 — local vs remote compilation energies |
+//! | `speedup` | §3.2 — remote-execution speedup (2.5–10×) |
+//! | `estfit` | §3.2 — curve-fit estimator accuracy (≤ 2%) |
+//! | `ablation` | design-choice ablations (EWMA weight, power-down, …) |
+//!
+//! This library holds the shared plumbing: table rendering and
+//! parallel profile construction.
+
+#![warn(missing_docs)]
+
+use jem_core::{Profile, Workload};
+
+/// Render a fixed-width text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate().take(ncols) {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Build profiles for a set of workloads in parallel.
+pub fn build_profiles(workloads: &[Box<dyn Workload>], seed: u64) -> Vec<Profile> {
+    let refs: Vec<&dyn Workload> = workloads.iter().map(AsRef::as_ref).collect();
+    jem_sim::parallel::sweep(&refs, 0, |w| Profile::build(*w, seed))
+}
+
+/// Format a normalized (×100) value like the paper's tables.
+pub fn fmt_norm(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Parse a `--runs N`-style flag from argv, with a default.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when `--full` was passed (run paper-scale workloads).
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["prog", "--runs", "42", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "--runs", 7), 42);
+        assert_eq!(arg_usize(&args, "--missing", 7), 7);
+        assert!(arg_flag(&args, "--full"));
+        assert!(!arg_flag(&args, "--quick"));
+    }
+
+    #[test]
+    fn fmt_norm_one_decimal() {
+        assert_eq!(fmt_norm(100.0), "100.0");
+        assert_eq!(fmt_norm(33.333), "33.3");
+    }
+}

@@ -1,0 +1,347 @@
+//! Profiling and cost estimation — the data behind the helper methods.
+//!
+//! The paper obtains its estimates from three sources, all reproduced
+//! here:
+//!
+//! * **Compile energies are profiled constants**: "given a specific
+//!   platform, a method and an optimization level, the compilation
+//!   cost is constant; … the local compilation energy values are
+//!   obtained by profiling; these values are then incorporated into
+//!   the applications' class files as static final variables."
+//!   [`Profile::build`] compiles the potential method's whole static
+//!   call closure (the *compilation plan*) at every level and prices
+//!   the JIT's work units.
+//! * **Execution energies come from curve fitting** over calibration
+//!   runs: "we employ a curve fitting based technique to estimate the
+//!   energy cost of executing a method locally … within 2% of the
+//!   actual energy value."
+//! * **Remote costs** are computed from the fitted serialized
+//!   input/output sizes, the fitted server execution time, the channel
+//!   power tracked at run time, and the power-down leakage.
+
+use crate::fit::CurveFit;
+use crate::partition::reachable;
+use crate::workload::Workload;
+use jem_energy::{Energy, Machine, MachineConfig, Power, SimTime};
+use jem_jvm::costs::{compile_work_mix, compiler_init_mix, serialize_mix};
+use jem_jvm::{compile, serial, Heap, MethodId, NativeCode, OptLevel, Value, Vm};
+use jem_radio::{ChannelClass, LinkConfig, RadioPowerTable};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// One plan method compiled at one level.
+#[derive(Debug, Clone)]
+pub struct CompiledMethod {
+    /// The method.
+    pub method: MethodId,
+    /// Its code object.
+    pub code: NativeCode,
+    /// JIT work units expended compiling it.
+    pub work_units: u64,
+}
+
+/// The per-workload deployment profile (what the paper ships inside
+/// the class file as attributes + static finals).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// The potential method.
+    pub method: MethodId,
+    /// The compilation plan: the potential method plus everything it
+    /// can call.
+    pub plan: Vec<MethodId>,
+    /// Plan code per level (`[L1, L2, L3]`), pre-compiled so runs can
+    /// install without re-running the JIT (its energy is charged from
+    /// the profiled work units instead).
+    pub compiled: [Vec<CompiledMethod>; 3],
+    /// Profiled client-local compile energy per level (per-method JIT
+    /// work only; the one-time compiler load is separate).
+    pub compile_energy: [Energy; 3],
+    /// One-time energy of loading + initializing the compiler classes
+    /// on the client, paid before the first local compilation.
+    pub compiler_init_energy: Energy,
+    /// Total emitted code bytes per level (what remote compilation
+    /// downloads).
+    pub code_bytes: [u32; 3],
+    /// Interpreted execution energy vs size.
+    pub interp_energy: CurveFit,
+    /// Native execution energy vs size per level.
+    pub local_energy: [CurveFit; 3],
+    /// Interpreted execution time (ns) vs size.
+    pub interp_time_ns: CurveFit,
+    /// Native execution time (ns) vs size per level.
+    pub local_time_ns: [CurveFit; 3],
+    /// Serialized argument bytes vs size.
+    pub input_bytes: CurveFit,
+    /// Serialized result bytes vs size.
+    pub output_bytes: CurveFit,
+    /// Server-side handling time (deserialize + execute + serialize,
+    /// ns) vs size.
+    pub server_time_ns: CurveFit,
+    /// Radio power table used for remote estimates.
+    pub radio: RadioPowerTable,
+    /// Link configuration used for remote estimates.
+    pub link: LinkConfig,
+    /// Client leakage power during power-down.
+    pub leak_power: Power,
+}
+
+/// Degree cap and tolerance used when fitting profile curves.
+const FIT_MAX_DEGREE: usize = 3;
+const FIT_TOLERANCE: f64 = 0.02;
+
+impl Profile {
+    /// Build the profile for a workload by calibration runs at
+    /// [`Workload::calibration_sizes`].
+    pub fn build(w: &dyn Workload, seed: u64) -> Profile {
+        let program = w.program();
+        let method = w.potential_method();
+        let plan_set = reachable(program, method);
+        let plan: Vec<MethodId> = plan_set.into_iter().collect();
+
+        // --- compile the plan at every level; price the work. ---
+        let client_table = MachineConfig::mobile_client().table;
+        let mut compiled: [Vec<CompiledMethod>; 3] = [vec![], vec![], vec![]];
+        let mut compile_energy = [Energy::ZERO; 3];
+        let mut code_bytes = [0u32; 3];
+        for level in OptLevel::ALL {
+            let li = level.index();
+            for &m in &plan {
+                let c = compile(program, m, level);
+                compile_energy[li] +=
+                    client_table.energy_of_mix(&compile_work_mix(c.report.work_units));
+                code_bytes[li] += c.report.code_bytes;
+                compiled[li].push(CompiledMethod {
+                    method: m,
+                    code: c.code,
+                    work_units: c.report.work_units,
+                });
+            }
+        }
+
+        // --- calibration runs. ---
+        let sizes = w.calibration_sizes();
+        let mut interp_e = Vec::new();
+        let mut interp_t = Vec::new();
+        let mut local_e: [Vec<(f64, f64)>; 3] = [vec![], vec![], vec![]];
+        let mut local_t: [Vec<(f64, f64)>; 3] = [vec![], vec![], vec![]];
+        let mut in_bytes = Vec::new();
+        let mut out_bytes = Vec::new();
+        let mut server_t = Vec::new();
+
+        for (i, &size) in sizes.iter().enumerate() {
+            let x = f64::from(size);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64) << 32);
+
+            // Interpreted run.
+            {
+                let mut vm = Vm::client(program);
+                let args = w.make_args(&mut vm.heap, size, &mut rng.clone());
+                vm.invoke(method, args).expect("calibration run failed");
+                interp_e.push((x, vm.machine.energy().nanojoules()));
+                interp_t.push((x, vm.machine.elapsed().nanos()));
+            }
+
+            // Native runs per level.
+            for level in OptLevel::ALL {
+                let li = level.index();
+                let mut vm = Vm::client(program);
+                for cm in &compiled[li] {
+                    vm.install_native(cm.method, Rc::new(cm.code.clone()));
+                }
+                let args = w.make_args(&mut vm.heap, size, &mut rng.clone());
+                vm.invoke(method, args).expect("calibration run failed");
+                local_e[li].push((x, vm.machine.energy().nanojoules()));
+                local_t[li].push((x, vm.machine.elapsed().nanos()));
+            }
+
+            // Serialized sizes + server handling time.
+            {
+                let mut client_heap = Heap::new();
+                let args = w.make_args(&mut client_heap, size, &mut rng);
+                let payload =
+                    serial::serialize_args(&client_heap, &args).expect("serializable args");
+                in_bytes.push((x, payload.len() as f64));
+
+                let mut server = Vm::server(program);
+                for cm in &compiled[OptLevel::L3.index()] {
+                    server.install_native(cm.method, Rc::new(cm.code.clone()));
+                }
+                let cp = server.machine.checkpoint();
+                server
+                    .machine
+                    .charge_mix(&serialize_mix(payload.len() as u64));
+                let server_args = serial::deserialize_args(&mut server.heap, &payload)
+                    .expect("round trip");
+                let result = server
+                    .invoke(method, server_args)
+                    .expect("server calibration run failed");
+                let result_payload = serial::serialize(
+                    &server.heap,
+                    result.unwrap_or(Value::Null),
+                )
+                .expect("serializable result");
+                server
+                    .machine
+                    .charge_mix(&serialize_mix(result_payload.len() as u64));
+                let (_, dt) = server.machine.since(&cp);
+                server_t.push((x, dt.nanos()));
+                out_bytes.push((x, result_payload.len() as f64));
+            }
+        }
+
+        let fit = |pts: &Vec<(f64, f64)>| CurveFit::fit_adaptive(pts, FIT_MAX_DEGREE, FIT_TOLERANCE);
+        Profile {
+            method,
+            plan,
+            compile_energy,
+            compiler_init_energy: client_table.energy_of_mix(&compiler_init_mix()),
+            code_bytes,
+            interp_energy: fit(&interp_e),
+            interp_time_ns: fit(&interp_t),
+            local_energy: [fit(&local_e[0]), fit(&local_e[1]), fit(&local_e[2])],
+            local_time_ns: [fit(&local_t[0]), fit(&local_t[1]), fit(&local_t[2])],
+            input_bytes: fit(&in_bytes),
+            output_bytes: fit(&out_bytes),
+            server_time_ns: fit(&server_t),
+            compiled,
+            radio: RadioPowerTable::wcdma(),
+            link: LinkConfig::wcdma_2_3mbps(),
+            leak_power: {
+                let mc = MachineConfig::mobile_client();
+                mc.nominal_power * mc.leak_fraction
+            },
+        }
+    }
+
+    /// Install the plan's code at `level` into a VM (no energy
+    /// charged — the caller decides whether compilation was local,
+    /// remote, or pre-existing and charges accordingly).
+    pub fn install(&self, vm: &mut Vm<'_>, level: OptLevel) {
+        for cm in &self.compiled[level.index()] {
+            vm.install_native(cm.method, Rc::new(cm.code.clone()));
+        }
+    }
+
+    /// Revert the plan's methods to bytecode in a VM.
+    pub fn deinstall(&self, vm: &mut Vm<'_>) {
+        for &m in &self.plan {
+            vm.deinstall(m);
+        }
+    }
+
+    /// Charge the *local* compilation of the plan at `level` to a
+    /// machine (the client JIT running).
+    pub fn charge_local_compile(&self, machine: &mut Machine, level: OptLevel) {
+        for cm in &self.compiled[level.index()] {
+            machine.charge_mix(&compile_work_mix(cm.work_units));
+        }
+    }
+
+    // ---- helper-method estimators (the paper's e, E', E, E'') ----
+
+    /// `e(m, s)`: estimated interpretation energy for one invocation.
+    pub fn e_interp(&self, s: f64) -> Energy {
+        Energy::from_nanojoules(self.interp_energy.eval_nonneg(s))
+    }
+
+    /// `E_o(m, s)`: estimated native execution energy at `level`.
+    pub fn e_local(&self, level: OptLevel, s: f64) -> Energy {
+        Energy::from_nanojoules(self.local_energy[level.index()].eval_nonneg(s))
+    }
+
+    /// `E'_o(m)`: profiled local compilation energy at `level`,
+    /// including the one-time compiler load unless it already happened
+    /// (`compiler_loaded`).
+    pub fn e_compile_local(&self, level: OptLevel, compiler_loaded: bool) -> Energy {
+        let init = if compiler_loaded {
+            Energy::ZERO
+        } else {
+            self.compiler_init_energy
+        };
+        init + self.compile_energy[level.index()]
+    }
+
+    /// Estimated serialized request bytes at size `s`.
+    pub fn est_input_bytes(&self, s: f64) -> u64 {
+        self.input_bytes.eval_nonneg(s).round() as u64
+    }
+
+    /// Estimated serialized response bytes at size `s`.
+    pub fn est_output_bytes(&self, s: f64) -> u64 {
+        self.output_bytes.eval_nonneg(s).round() as u64
+    }
+
+    /// Estimated server handling time at size `s`.
+    pub fn est_server_time(&self, s: f64) -> SimTime {
+        SimTime::from_nanos(self.server_time_ns.eval_nonneg(s))
+    }
+
+    /// Estimated local (native) execution time at `level`, size `s`.
+    pub fn est_local_time(&self, level: OptLevel, s: f64) -> SimTime {
+        SimTime::from_nanos(self.local_time_ns[level.index()].eval_nonneg(s))
+    }
+
+    /// Estimated interpretation time at size `s`.
+    pub fn est_interp_time(&self, s: f64) -> SimTime {
+        SimTime::from_nanos(self.interp_time_ns.eval_nonneg(s))
+    }
+
+    /// Airtime for `bytes` on the configured link.
+    fn airtime(&self, bytes: u64) -> SimTime {
+        let wire = bytes + u64::from(self.link.overhead_bytes);
+        SimTime::from_secs(wire as f64 * 8.0 / self.link.data_rate_bps)
+    }
+
+    /// Fixed transmit-chain power excluding the PA (DAC + driver +
+    /// modulator + VCO).
+    fn tx_fixed_power(&self) -> Power {
+        self.radio.dac + self.radio.driver_amplifier + self.radio.modulator + self.radio.vco
+    }
+
+    /// `E''(m, s, p)`: estimated client energy of one remote
+    /// execution, with the transmit PA at `pa_power`.
+    ///
+    /// Components: serialize + transmit request, leakage while
+    /// powered down during server handling, receive + deserialize the
+    /// response.
+    pub fn e_remote(&self, s: f64, pa_power: Power) -> Energy {
+        let table = &MachineConfig::mobile_client().table;
+        let bi = self.est_input_bytes(s);
+        let bo = self.est_output_bytes(s);
+
+        let e_ser = table.energy_of_mix(&serialize_mix(bi))
+            + table.energy_of_mix(&serialize_mix(bo));
+        let up = self.airtime(bi);
+        let e_tx = (self.tx_fixed_power() + pa_power).over(up);
+        let down = self.airtime(bo);
+        let e_rx = self.radio.rx_power().over(down);
+        let e_leak = self.leak_power.over(self.est_server_time(s) + up + down);
+        e_ser + e_tx + e_rx + e_leak
+    }
+
+    /// Estimated client energy of *remote compilation* at `level`:
+    /// transmit the fully-qualified method name, receive the
+    /// pre-compiled code, link it.
+    pub fn e_remote_compile(&self, level: OptLevel, class: ChannelClass) -> Energy {
+        let table = &MachineConfig::mobile_client().table;
+        let name_bytes = 64u64; // fully-qualified name + request header
+        let code = u64::from(self.code_bytes[level.index()]);
+        let e_tx = self
+            .radio
+            .tx_power(class)
+            .over(self.airtime(name_bytes));
+        let e_rx = self.radio.rx_power().over(self.airtime(code));
+        // Linking the downloaded code: one pass over it.
+        let e_link = table.energy_of_mix(&serialize_mix(code));
+        e_tx + e_rx + e_link
+    }
+
+    /// Estimated wall-clock of one remote execution (for the
+    /// power-down timer).
+    pub fn est_remote_time(&self, s: f64) -> SimTime {
+        self.airtime(self.est_input_bytes(s))
+            + self.est_server_time(s)
+            + self.airtime(self.est_output_bytes(s))
+    }
+}

@@ -1,0 +1,94 @@
+//! Scenario execution: the experiment workhorse behind Figs 6 and 7.
+//!
+//! A scenario run executes a workload's potential method `runs` times
+//! (the paper uses 300) with sizes and channel conditions drawn from
+//! the scenario's distributions, under one strategy, and reports the
+//! client's total energy, time, and decision statistics.
+
+use crate::estimate::Profile;
+use crate::runtime::{EnergyAwareVm, InvocationReport, RunStats};
+use crate::strategy::Strategy;
+use crate::workload::Workload;
+use jem_energy::{Energy, EnergyBreakdown, SimTime};
+use jem_sim::Scenario;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Result of one scenario × strategy run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Strategy executed.
+    pub strategy: Strategy,
+    /// Total client energy over all invocations.
+    pub total_energy: Energy,
+    /// Per-component breakdown of the client energy.
+    pub breakdown: EnergyBreakdown,
+    /// Total client wall time.
+    pub total_time: SimTime,
+    /// Number of invocations executed.
+    pub invocations: usize,
+    /// Decision statistics.
+    pub stats: RunStats,
+    /// Per-invocation reports (energy, mode, …).
+    pub reports: Vec<InvocationReport>,
+}
+
+impl ScenarioResult {
+    /// Mean energy per invocation.
+    pub fn mean_energy(&self) -> Energy {
+        if self.invocations == 0 {
+            Energy::ZERO
+        } else {
+            self.total_energy / self.invocations as f64
+        }
+    }
+}
+
+/// Run `scenario` under `strategy`.
+pub fn run_scenario(
+    workload: &dyn Workload,
+    profile: &Profile,
+    scenario: &Scenario,
+    strategy: Strategy,
+) -> ScenarioResult {
+    let mut rng = SmallRng::seed_from_u64(scenario.seed);
+    let mut channel = scenario.channel.clone();
+    let mut vm = EnergyAwareVm::new(workload, profile);
+    let mut reports = Vec::with_capacity(scenario.runs);
+
+    for _ in 0..scenario.runs {
+        let size = scenario.sizes.sample(&mut rng);
+        let true_class = channel.advance(&mut rng);
+        let report = vm
+            .invoke_once(strategy, size, true_class, &mut rng)
+            .expect("benchmark invocation failed");
+        reports.push(report);
+        vm.end_invocation();
+    }
+
+    ScenarioResult {
+        strategy,
+        total_energy: vm.total_energy(),
+        breakdown: vm.client.machine.breakdown(),
+        total_time: vm.total_time(),
+        invocations: scenario.runs,
+        stats: vm.stats.clone(),
+        reports,
+    }
+}
+
+/// Run a scenario under every strategy in `strategies`, returning the
+/// results in the same order. (Each strategy gets its own fresh
+/// client/server pair and the same scenario seed, so they see exactly
+/// the same size/channel sequences.)
+pub fn run_strategies(
+    workload: &dyn Workload,
+    profile: &Profile,
+    scenario: &Scenario,
+    strategies: &[Strategy],
+) -> Vec<ScenarioResult> {
+    strategies
+        .iter()
+        .map(|&s| run_scenario(workload, profile, scenario, s))
+        .collect()
+}

@@ -1,0 +1,295 @@
+//! Polynomial least-squares curve fitting.
+//!
+//! "We employ a curve fitting based technique to estimate the energy
+//! cost of executing a method locally. … we found that our curve
+//! fitting based energy estimation is within 2% of the actual energy
+//! value." The fitted curves are encoded into helper methods; here
+//! they are [`CurveFit`] values attached to a deployment profile.
+//!
+//! Fits are ordinary least squares on a Vandermonde system, solved via
+//! normal equations with partial-pivot Gaussian elimination. Inputs
+//! are scaled to keep the system well-conditioned for size parameters
+//! spanning several orders of magnitude.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted polynomial `y = c0 + c1·(x/scale) + c2·(x/scale)² + …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveFit {
+    coeffs: Vec<f64>,
+    scale: f64,
+}
+
+impl CurveFit {
+    /// Fit a polynomial of `degree` to `(x, y)` points.
+    ///
+    /// The effective degree is clamped to `points.len() - 1`. Returns
+    /// a constant-zero fit for empty input.
+    pub fn fit(points: &[(f64, f64)], degree: usize) -> CurveFit {
+        if points.is_empty() {
+            return CurveFit {
+                coeffs: vec![0.0],
+                scale: 1.0,
+            };
+        }
+        let degree = degree.min(points.len() - 1);
+        let n = degree + 1;
+        let scale = points
+            .iter()
+            .map(|&(x, _)| x.abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+
+        // Weighted normal equations: (VᵀWV) c = VᵀW y with weights
+        // 1/y², i.e. *relative* least squares. Energy curves span
+        // orders of magnitude across the size range; relative
+        // weighting is what makes the "within 2%" accuracy hold at the
+        // small-size end too.
+        let typical_y = points.iter().map(|&(_, y)| y.abs()).fold(0.0f64, f64::max);
+        let mut ata = vec![vec![0.0f64; n]; n];
+        let mut aty = vec![0.0f64; n];
+        for &(x, y) in points {
+            let xs = x / scale;
+            // Normalized so weights are O(1): w = (y_max / y)².
+            let denom = y.abs().max(typical_y * 1e-6).max(1e-12);
+            let w = (typical_y.max(1e-12) / denom).powi(2);
+            let mut pow = vec![1.0f64; 2 * n - 1];
+            for i in 1..pow.len() {
+                pow[i] = pow[i - 1] * xs;
+            }
+            for (i, row) in ata.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell += w * pow[i + j];
+                }
+                aty[i] += w * pow[i] * y;
+            }
+        }
+
+        let coeffs = solve(ata, aty).unwrap_or_else(|| {
+            // Degenerate system (e.g. repeated x): fall back to the
+            // mean as a constant fit.
+            let mean = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
+            vec![mean]
+        });
+        CurveFit { coeffs, scale }
+    }
+
+    /// Fit and, if the relative error on the calibration points
+    /// exceeds `tolerance`, retry with the next higher degree up to
+    /// `max_degree`. Mirrors how one would tune helper-method formulas
+    /// until they are "within 2%".
+    pub fn fit_adaptive(points: &[(f64, f64)], max_degree: usize, tolerance: f64) -> CurveFit {
+        let mut best: Option<(f64, CurveFit)> = None;
+        for degree in 1..=max_degree {
+            let fit = CurveFit::fit(points, degree);
+            let err = fit.max_relative_error(points);
+            if err <= tolerance {
+                return fit;
+            }
+            match &best {
+                Some((e, _)) if *e <= err => {}
+                _ => best = Some((err, fit)),
+            }
+        }
+        best.map(|(_, f)| f)
+            .unwrap_or_else(|| CurveFit::fit(points, 1))
+    }
+
+    /// Evaluate the fit at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let xs = x / self.scale;
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * xs + c;
+        }
+        acc
+    }
+
+    /// Evaluate, clamped below at zero (energies and byte counts are
+    /// never negative; extrapolation must not produce nonsense).
+    pub fn eval_nonneg(&self, x: f64) -> f64 {
+        self.eval(x).max(0.0)
+    }
+
+    /// Largest relative error over a set of points (0 when all `y`
+    /// are 0).
+    pub fn max_relative_error(&self, points: &[(f64, f64)]) -> f64 {
+        points
+            .iter()
+            .map(|&(x, y)| {
+                let e = self.eval(x);
+                if y.abs() < 1e-12 {
+                    e.abs().min(1.0)
+                } else {
+                    ((e - y) / y).abs()
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Polynomial degree of the fit.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// A constant fit (used for size-independent quantities).
+    pub fn constant(y: f64) -> CurveFit {
+        CurveFit {
+            coeffs: vec![y],
+            scale: 1.0,
+        }
+    }
+}
+
+/// Gaussian elimination with partial pivoting. Returns `None` on a
+/// (numerically) singular system.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    // Relative singularity threshold.
+    let magnitude = a
+        .iter()
+        .flatten()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let eps = magnitude * 1e-12;
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < eps {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            let (top, bottom) = a.split_at_mut(row);
+            let pivot_row = &top[col];
+            for (cell, p) in bottom[0].iter_mut().zip(pivot_row).skip(col) {
+                *cell -= factor * p;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let f = CurveFit::fit(&pts, 1);
+        for &(x, y) in &pts {
+            assert!((f.eval(x) - y).abs() < 1e-9);
+        }
+        assert!((f.eval(10.0) - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let pts: Vec<(f64, f64)> = (0..6)
+            .map(|i| {
+                let x = i as f64 * 100.0;
+                (x, 0.5 * x * x - 2.0 * x + 7.0)
+            })
+            .collect();
+        let f = CurveFit::fit(&pts, 2);
+        assert!(f.max_relative_error(&pts) < 1e-6, "{}", f.max_relative_error(&pts));
+    }
+
+    #[test]
+    fn large_scale_inputs_stay_conditioned() {
+        // Sizes like 512*512 pixels: x up to ~2.6e5.
+        let pts: Vec<(f64, f64)> = [64u32, 128, 256, 512]
+            .iter()
+            .map(|&s| {
+                let x = f64::from(s * s);
+                (x, 12.0 * x + 3_000.0)
+            })
+            .collect();
+        let f = CurveFit::fit(&pts, 2);
+        // Exact linear data: tiny numerical residual only.
+        assert!(f.max_relative_error(&pts) < 1e-4);
+    }
+
+    #[test]
+    fn adaptive_fit_raises_degree_until_tolerance() {
+        let pts: Vec<(f64, f64)> = (1..=8)
+            .map(|i| {
+                let x = i as f64;
+                (x, x * x * x) // cubic data
+            })
+            .collect();
+        let f = CurveFit::fit_adaptive(&pts, 4, 0.02);
+        assert!(f.max_relative_error(&pts) <= 0.02);
+        assert!(f.degree() >= 3);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_mean() {
+        let pts = vec![(5.0, 10.0), (5.0, 20.0)]; // same x twice
+        let f = CurveFit::fit(&pts, 1);
+        assert!((f.eval(5.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let f = CurveFit::fit(&[], 2);
+        assert_eq!(f.eval(123.0), 0.0);
+    }
+
+    #[test]
+    fn nonneg_clamps_extrapolation() {
+        let pts = vec![(1.0, 1.0), (2.0, 0.5)];
+        let f = CurveFit::fit(&pts, 1);
+        assert!(f.eval(100.0) < 0.0);
+        assert_eq!(f.eval_nonneg(100.0), 0.0);
+    }
+
+    #[test]
+    fn constant_fit() {
+        let f = CurveFit::constant(42.0);
+        assert_eq!(f.eval(0.0), 42.0);
+        assert_eq!(f.eval(1e9), 42.0);
+    }
+
+    #[test]
+    fn noisy_fit_within_two_percent() {
+        // The paper's claim: 20 held-out points within 2%. Generate a
+        // smooth quadratic "energy curve" with small deterministic
+        // wobble, fit on even points, validate on odd.
+        let all: Vec<(f64, f64)> = (1..=40)
+            .map(|i| {
+                let x = i as f64 * 50.0;
+                let wobble = 1.0 + 0.0015 * ((i * 2654435761u64 % 7) as f64 - 3.0);
+                (x, (0.02 * x * x + 5.0 * x + 300.0) * wobble)
+            })
+            .collect();
+        let train: Vec<_> = all.iter().copied().step_by(2).collect();
+        let test: Vec<_> = all.iter().copied().skip(1).step_by(2).collect();
+        let f = CurveFit::fit_adaptive(&train, 3, 0.02);
+        assert!(
+            f.max_relative_error(&test) < 0.02,
+            "held-out error {}",
+            f.max_relative_error(&test)
+        );
+    }
+}

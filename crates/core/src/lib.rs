@@ -1,0 +1,52 @@
+//! # jem-core — energy-aware compilation and execution framework
+//!
+//! The paper's contribution: a runtime that, for every invocation of
+//! an annotated *potential method* on a wireless mobile client,
+//! chooses among
+//!
+//! * interpreting the bytecode locally,
+//! * JIT-compiling locally at one of three optimization levels and
+//!   running natively,
+//! * downloading pre-compiled native code from a trusted server
+//!   (remote compilation), or
+//! * shipping the invocation to the server over the wireless link and
+//!   powering the client down while it waits (remote execution),
+//!
+//! whichever minimizes the client's energy under the current channel
+//! condition and predicted input size.
+//!
+//! Map from the paper's machinery to modules:
+//!
+//! | paper | module |
+//! |---|---|
+//! | partition API, potential-method annotations | [`partition`] |
+//! | profiled compile energies, curve-fitted execution/remote costs | [`estimate`], [`fit`] |
+//! | EWMA size/power prediction (`u = 0.7`) | [`predict`] |
+//! | strategies R/I/L1/L2/L3/AL/AA and the argmin rule | [`strategy`] |
+//! | serialization-based offload protocol, mobile status table | [`remote`] |
+//! | pre-compiled native code download | [`rcomp`] |
+//! | the assembled runtime | [`runtime`] |
+//! | 300-invocation scenario runs | [`experiment`] |
+
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod experiment;
+pub mod fit;
+pub mod partition;
+pub mod predict;
+pub mod rcomp;
+pub mod remote;
+pub mod runtime;
+pub mod strategy;
+pub mod workload;
+
+pub use estimate::Profile;
+pub use experiment::{run_scenario, run_strategies, ScenarioResult};
+pub use fit::CurveFit;
+pub use partition::Partition;
+pub use predict::{Ewma, MethodState};
+pub use remote::{RemoteConfig, RemoteFailure, ServerNode};
+pub use runtime::{EnergyAwareVm, InvocationReport, RunStats};
+pub use strategy::{DecisionEstimates, Mode, Strategy};
+pub use workload::Workload;

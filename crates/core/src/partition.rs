@@ -1,0 +1,250 @@
+//! The partition API: which methods may be offloaded.
+//!
+//! §3: "Potential methods of a class are annotated using the attribute
+//! string in the class file. … Methods containing inherently local
+//! operations, such as input or output activities, cannot be potential
+//! methods or called by a potential method." This module reads the
+//! annotations off a [`Program`] and enforces that closure rule over
+//! the static call graph (including every possible virtual target).
+
+use jem_jvm::bytecode::Op;
+use jem_jvm::{MethodId, Program};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation of the partition rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError {
+    /// The offending potential method.
+    pub potential: String,
+    /// The local-only method it (transitively) reaches.
+    pub local_only: String,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "potential method {} reaches inherently-local method {}",
+            self.potential, self.local_only
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// The validated partition of a program.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    potential: Vec<MethodId>,
+}
+
+impl Partition {
+    /// Read annotations from `program` and validate the local-only
+    /// closure rule.
+    ///
+    /// # Errors
+    /// [`PartitionError`] if a potential method can (statically) reach
+    /// a method marked `local_only`.
+    pub fn analyze(program: &Program) -> Result<Partition, PartitionError> {
+        let potential = program.potential_methods();
+        for &pm in &potential {
+            let reach = reachable(program, pm);
+            for &m in &reach {
+                if program.method(m).attrs.local_only {
+                    return Err(PartitionError {
+                        potential: program.qualified_name(pm),
+                        local_only: program.qualified_name(m),
+                    });
+                }
+            }
+        }
+        Ok(Partition { potential })
+    }
+
+    /// The annotated potential methods.
+    pub fn potential_methods(&self) -> &[MethodId] {
+        &self.potential
+    }
+
+    /// Whether `m` is a potential method.
+    pub fn is_potential(&self, m: MethodId) -> bool {
+        self.potential.contains(&m)
+    }
+}
+
+/// All methods statically reachable from `root` (virtual call sites
+/// conservatively include every implementation at the slot).
+pub fn reachable(program: &Program, root: MethodId) -> BTreeSet<MethodId> {
+    let mut seen: BTreeSet<MethodId> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(m) = stack.pop() {
+        if !seen.insert(m) {
+            continue;
+        }
+        for op in &program.method(m).code {
+            match *op {
+                Op::Call(target) => stack.push(target),
+                Op::CallVirt { slot, .. } => {
+                    for class in &program.classes {
+                        if let Some(&target) = class.vtable.get(slot as usize) {
+                            stack.push(target);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::class::{MethodAttrs, MethodSig, ProgramBuilder};
+    use jem_jvm::Op;
+
+    fn attrs(potential: bool, local_only: bool) -> MethodAttrs {
+        MethodAttrs {
+            potential,
+            local_only,
+            size_param: potential.then_some(0),
+        }
+    }
+
+    #[test]
+    fn accepts_clean_partition() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("App", None, &[]);
+        let helper = b.add_static_method(
+            c,
+            "helper",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Ret],
+            attrs(false, false),
+        );
+        let hot = b.add_static_method(
+            c,
+            "hot",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Call(helper), Op::Ret],
+            attrs(true, false),
+        );
+        let _io = b.add_static_method(
+            c,
+            "print",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Ret],
+            attrs(false, true),
+        );
+        let p = b.finish();
+        let part = Partition::analyze(&p).unwrap();
+        assert_eq!(part.potential_methods(), &[hot]);
+        assert!(part.is_potential(hot));
+        assert!(!part.is_potential(helper));
+    }
+
+    #[test]
+    fn rejects_potential_reaching_local_only() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("App", None, &[]);
+        let io = b.add_static_method(
+            c,
+            "print",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Ret],
+            attrs(false, true),
+        );
+        let mid = b.add_static_method(
+            c,
+            "mid",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Call(io), Op::Ret],
+            attrs(false, false),
+        );
+        b.add_static_method(
+            c,
+            "hot",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Call(mid), Op::Ret],
+            attrs(true, false),
+        );
+        let p = b.finish();
+        let err = Partition::analyze(&p).unwrap_err();
+        assert!(err.potential.contains("hot"));
+        assert!(err.local_only.contains("print"));
+    }
+
+    #[test]
+    fn virtual_targets_are_conservative() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", None, &[]);
+        let (_, slot) = b.add_virtual_method(
+            base,
+            "work",
+            MethodSig::new(vec![], None),
+            1,
+            vec![Op::Ret],
+            attrs(false, false),
+        );
+        let sub = b.add_class("Sub", Some(base), &[]);
+        b.add_virtual_method(
+            sub,
+            "work",
+            MethodSig::new(vec![], None),
+            1,
+            vec![Op::Ret],
+            attrs(false, true), // the override does I/O
+        );
+        let app = b.add_class("App", None, &[]);
+        b.add_static_method(
+            app,
+            "hot",
+            MethodSig::new(vec![jem_jvm::Type::Ref], None),
+            1,
+            vec![Op::Load(0), Op::CallVirt { slot, argc: 0 }, Op::Ret],
+            attrs(true, false),
+        );
+        let p = b.finish();
+        // Even though the receiver might be Base, the Sub override is
+        // a possible target and is local-only: reject.
+        assert!(Partition::analyze(&p).is_err());
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("App", None, &[]);
+        // Mutually recursive pair.
+        let f = b.add_static_method(
+            c,
+            "f",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Nop, Op::Ret],
+            attrs(true, false),
+        );
+        let g = b.add_static_method(
+            c,
+            "g",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Call(f), Op::Ret],
+            attrs(false, false),
+        );
+        // Patch f to call g (builder gave us ids already).
+        let mut p = b.finish();
+        p.methods[f.0 as usize].code = vec![Op::Call(g), Op::Ret];
+        let part = Partition::analyze(&p).unwrap();
+        assert_eq!(part.potential_methods(), &[f]);
+        let reach = reachable(&p, f);
+        assert!(reach.contains(&f) && reach.contains(&g));
+    }
+}

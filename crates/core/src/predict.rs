@@ -1,0 +1,173 @@
+//! Exponentially-weighted prediction of size parameters and channel
+//! power.
+//!
+//! §3.2: "We predict the future parameter size and communication power
+//! based on the weighted average of current and past values.
+//! Specifically, at the k-th invocation …
+//! `s̄k = u1·s̄(k−1) + (1−u1)·sk`, `p̄k = u2·p̄(k−1) + (1−u2)·pk`,
+//! 0 ≤ u1, u2 ≤ 1. … setting both u1 and u2 to 0.7 yields satisfactory
+//! results." The adaptive strategies also "optimistically assume that
+//! a method executed k times will be executed k more times".
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's recommended smoothing weight.
+pub const PAPER_U: f64 = 0.7;
+
+/// One exponentially-weighted moving average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    /// Weight on history, `0 ≤ u ≤ 1`.
+    pub u: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// A tracker with weight `u`.
+    ///
+    /// # Panics
+    /// If `u` is outside `[0, 1]`.
+    pub fn new(u: f64) -> Self {
+        assert!((0.0..=1.0).contains(&u), "u out of [0,1]");
+        Ewma { u, value: None }
+    }
+
+    /// The paper's `u = 0.7` tracker.
+    pub fn paper() -> Self {
+        Ewma::new(PAPER_U)
+    }
+
+    /// Fold in the current observation and return the updated
+    /// prediction `x̄k = u·x̄(k−1) + (1−u)·xk`.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x, // first observation seeds the tracker
+            Some(prev) => self.u * prev + (1.0 - self.u) * x,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current prediction, if any observation has been folded in.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Per-method adaptive state: invocation counter plus the two EWMA
+/// trackers the helper method consults.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodState {
+    /// Invocations seen so far (`k` in the paper's formulas).
+    pub k: u64,
+    /// Predicted size parameter.
+    pub size: Ewma,
+    /// Predicted transmit power (watts).
+    pub power: Ewma,
+}
+
+impl MethodState {
+    /// Fresh state with the paper's weights.
+    pub fn new() -> Self {
+        MethodState {
+            k: 0,
+            size: Ewma::paper(),
+            power: Ewma::paper(),
+        }
+    }
+
+    /// Fresh state with custom weights (for the ablation benches).
+    pub fn with_weights(u1: f64, u2: f64) -> Self {
+        MethodState {
+            k: 0,
+            size: Ewma::new(u1),
+            power: Ewma::new(u2),
+        }
+    }
+
+    /// Record the k-th invocation's observations; returns
+    /// `(k, s̄k, p̄k)` where `k` now counts this invocation.
+    pub fn observe(&mut self, size: f64, power_w: f64) -> (u64, f64, f64) {
+        self.k += 1;
+        let s = self.size.update(size);
+        let p = self.power.update(power_w);
+        (self.k, s, p)
+    }
+
+    /// The optimistic remaining-invocation estimate: a method executed
+    /// `k` times is assumed to run `k` more times.
+    pub fn expected_remaining(&self) -> u64 {
+        self.k.max(1)
+    }
+}
+
+impl Default for MethodState {
+    fn default() -> Self {
+        MethodState::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ewma::paper();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn paper_formula() {
+        let mut e = Ewma::new(0.7);
+        e.update(10.0);
+        // 0.7*10 + 0.3*20 = 13
+        assert!((e.update(20.0) - 13.0).abs() < 1e-12);
+        // 0.7*13 + 0.3*10 = 12.1
+        assert!((e.update(10.0) - 12.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u_zero_tracks_instantly_u_one_never_moves() {
+        let mut fresh = Ewma::new(0.0);
+        fresh.update(5.0);
+        assert_eq!(fresh.update(9.0), 9.0);
+
+        let mut frozen = Ewma::new(1.0);
+        frozen.update(5.0);
+        assert_eq!(frozen.update(9.0), 5.0);
+    }
+
+    #[test]
+    fn prediction_stays_within_history_bounds() {
+        let mut e = Ewma::paper();
+        let history = [3.0, 9.0, 4.0, 8.0, 5.0, 7.0];
+        let (lo, hi) = (3.0, 9.0);
+        for x in history {
+            let p = e.update(x);
+            assert!((lo..=hi).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn method_state_counts_and_predicts() {
+        let mut st = MethodState::new();
+        assert_eq!(st.expected_remaining(), 1);
+        let (k, s, p) = st.observe(100.0, 0.37);
+        assert_eq!(k, 1);
+        assert_eq!(s, 100.0);
+        assert_eq!(p, 0.37);
+        let (k, s, _) = st.observe(200.0, 0.37);
+        assert_eq!(k, 2);
+        assert!((s - 130.0).abs() < 1e-12);
+        assert_eq!(st.expected_remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "u out of")]
+    fn rejects_bad_weight() {
+        let _ = Ewma::new(1.5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Remote compilation: downloading pre-compiled native code.
+//!
+//! §3.3: "If the server is trusted and the communication channel is
+//! safe, the security rules of JVM can be relaxed to allow JVM to
+//! download, link and execute pre-compiled native codes of some
+//! methods from the server. … Whenever remote compilation is desired,
+//! the client passes the fully qualified method name to the server and
+//! receives the pre-compiled method from the server. This pre-compiled
+//! method also contains necessary information that allows the client
+//! JVM to link it with code on the client side."
+//!
+//! The server keeps pre-compiled versions for its "limited number of
+//! preferred client types"; generating them costs the server nothing
+//! that the client pays for. The client pays: transmitting the method
+//! name, receiving the code bytes (which depend on the optimization
+//! level — inlining grows code), and one linking pass over the
+//! downloaded bytes.
+
+use crate::estimate::Profile;
+use jem_energy::Energy;
+use jem_jvm::costs::serialize_mix;
+use jem_jvm::{OptLevel, Vm};
+use jem_radio::{ChannelClass, Link, TransferDirection};
+use serde::{Deserialize, Serialize};
+
+/// Bytes of the fully-qualified-name request (name + header).
+pub const NAME_REQUEST_BYTES: u64 = 64;
+
+/// Accounting for one code download.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownloadReport {
+    /// Level downloaded.
+    pub level: OptLevel,
+    /// Code bytes received (the whole compilation plan).
+    pub code_bytes: u64,
+    /// Total client radio energy spent.
+    pub radio_energy: Energy,
+}
+
+/// Download the pre-compiled plan at `level` from the server and
+/// install it into the client VM, charging the client for the
+/// transfers and the linking pass.
+///
+/// The downloaded code bypasses the bytecode verifier — it *cannot* be
+/// verified ("this verification mechanism does not work for native
+/// code"); trust in the server is a precondition, exactly as in the
+/// paper.
+pub fn download_and_install(
+    client: &mut Vm<'_>,
+    profile: &Profile,
+    level: OptLevel,
+    link: &mut Link,
+    class: ChannelClass,
+) -> DownloadReport {
+    let code_bytes = u64::from(profile.code_bytes[level.index()]);
+
+    // Request: transmit the fully qualified method name.
+    let up = link.transfer(NAME_REQUEST_BYTES, TransferDirection::Send, class);
+    client
+        .machine
+        .charge_radio(up.tx_energy, Energy::ZERO);
+    client.machine.power_down(up.airtime);
+
+    // Response: receive the pre-compiled, linkable code.
+    let down = link.transfer(code_bytes, TransferDirection::Receive, class);
+    client
+        .machine
+        .charge_radio(Energy::ZERO, down.rx_energy);
+    client.machine.power_down(down.airtime);
+
+    // Link it (one pass over the bytes, CPU active).
+    client.machine.charge_mix(&serialize_mix(code_bytes));
+
+    profile.install(client, level);
+
+    DownloadReport {
+        level,
+        code_bytes,
+        radio_energy: up.tx_energy + down.rx_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use jem_jvm::dsl::*;
+    use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+    use rand::rngs::SmallRng;
+
+    struct Quad {
+        program: Program,
+        method: MethodId,
+    }
+
+    impl Quad {
+        fn new() -> Quad {
+            let mut m = ModuleBuilder::new();
+            m.func_with_attrs(
+                "quad",
+                vec![("n", DType::Int)],
+                Some(DType::Int),
+                vec![
+                    let_("acc", iconst(0)),
+                    for_(
+                        "i",
+                        iconst(0),
+                        var("n"),
+                        vec![
+                            for_(
+                                "j",
+                                iconst(0),
+                                var("n"),
+                                vec![assign(
+                                    "acc",
+                                    var("acc").add(var("i").mul(var("j"))),
+                                )],
+                            ),
+                        ],
+                    ),
+                    ret(var("acc")),
+                ],
+                MethodAttrs {
+                    potential: true,
+                    size_param: Some(0),
+                    ..Default::default()
+                },
+            );
+            let program = m.compile().unwrap();
+            let method = program.find_method(MODULE_CLASS, "quad").unwrap();
+            Quad { program, method }
+        }
+    }
+
+    impl Workload for Quad {
+        fn name(&self) -> &str {
+            "quad"
+        }
+        fn description(&self) -> &str {
+            "quadratic kernel"
+        }
+        fn program(&self) -> &Program {
+            &self.program
+        }
+        fn potential_method(&self) -> MethodId {
+            self.method
+        }
+        fn sizes(&self) -> Vec<u32> {
+            vec![8, 16, 32, 64]
+        }
+        fn size_meaning(&self) -> &str {
+            "loop bound"
+        }
+        fn make_args(&self, _heap: &mut Heap, size: u32, _rng: &mut SmallRng) -> Vec<Value> {
+            vec![Value::Int(size as i32)]
+        }
+    }
+
+    #[test]
+    fn download_installs_working_code() {
+        let w = Quad::new();
+        let profile = Profile::build(&w, 7);
+        let mut client = Vm::client(w.program());
+        let mut link = Link::default();
+        let report = download_and_install(
+            &mut client,
+            &profile,
+            OptLevel::L2,
+            &mut link,
+            ChannelClass::C4,
+        );
+        assert!(client.is_native(w.method));
+        assert!(report.code_bytes > 0);
+        assert!(report.radio_energy > Energy::ZERO);
+        // And the code runs correctly.
+        let out = client.invoke(w.method, vec![Value::Int(10)]).unwrap();
+        let mut reference = Vm::client(w.program());
+        let expect = reference.invoke(w.method, vec![Value::Int(10)]).unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn download_cost_tracks_channel_condition() {
+        let w = Quad::new();
+        let profile = Profile::build(&w, 7);
+        let mut costs = Vec::new();
+        for class in ChannelClass::ALL {
+            let mut client = Vm::client(w.program());
+            let mut link = Link::default();
+            download_and_install(&mut client, &profile, OptLevel::L1, &mut link, class);
+            costs.push(client.machine.energy());
+        }
+        // C1 (poor) must cost more than C4 (good) — the uplink name
+        // request pays PA power (Fig 8's remote columns fall C1→C4).
+        assert!(costs[0] > costs[3], "{costs:?}");
+    }
+
+    #[test]
+    fn estimate_matches_actual_download_radio_energy() {
+        let w = Quad::new();
+        let profile = Profile::build(&w, 7);
+        for class in ChannelClass::ALL {
+            for level in OptLevel::ALL {
+                let mut client = Vm::client(w.program());
+                let mut link = Link::default();
+                let before = client.machine.energy();
+                download_and_install(&mut client, &profile, level, &mut link, class);
+                let actual = client.machine.energy() - before;
+                let est = profile.e_remote_compile(level, class);
+                // The estimate covers radio + link pass; power-down
+                // leakage during the transfer is the only unmodeled
+                // part, so the estimate must be within ~10%.
+                let ratio = actual.ratio(est);
+                assert!(
+                    (0.9..=1.15).contains(&ratio),
+                    "{level} {class}: est {est} vs actual {actual}"
+                );
+            }
+        }
+    }
+}

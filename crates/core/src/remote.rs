@@ -1,0 +1,496 @@
+//! Remote method execution over the wireless link (paper Fig 4).
+//!
+//! Client side: serialize the arguments, transmit, power down for the
+//! estimated server-handling duration, wake, receive, deserialize.
+//! Server side: deserialize, dispatch by reflection (our analogue:
+//! direct `MethodId` dispatch into the server VM), serialize the
+//! result — and consult the **mobile status table**: "the server
+//! computes the difference between the time the request was made by
+//! the client and the time when the object for that client is ready.
+//! If this difference is less than the estimated power-down duration,
+//! the server knows that the client will still be in power-down mode,
+//! and queues the data for that client until it wakes up. In case the
+//! server-side computation is delayed, we incur the penalty of early
+//! re-activation of the client from the power-down state."
+//!
+//! Connection loss: "when the result is not obtained within a
+//! predefined time threshold, connectivity to server is considered
+//! lost and execution begins locally" — modeled by a per-call loss
+//! probability; the caller performs the local fallback.
+
+use jem_energy::SimTime;
+use jem_jvm::costs::serialize_mix;
+use jem_jvm::{serial, MethodId, Value, Vm, VmError};
+use jem_radio::{ChannelClass, Link, TransferDirection};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Remote-execution protocol knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RemoteConfig {
+    /// How long the client waits (awake) for a response before
+    /// declaring the connection lost.
+    pub response_timeout: SimTime,
+    /// Per-call probability that the response is lost.
+    pub loss_probability: f64,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            response_timeout: SimTime::from_millis(500.0),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// One row of the server's mobile status table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatusEntry {
+    /// When the client issued the request (client clock).
+    pub request_at: SimTime,
+    /// Until when the client declared it would be powered down.
+    pub powered_down_until: SimTime,
+    /// When the server finished computing the result.
+    pub result_ready_at: SimTime,
+    /// Whether the result had to be queued for a sleeping client.
+    pub queued: bool,
+}
+
+/// The server node: a resource-rich VM plus protocol state.
+#[derive(Debug)]
+pub struct ServerNode<'p> {
+    /// The server's VM (750 MHz SPARC).
+    pub vm: Vm<'p>,
+    /// The server finishes requests in order; next free instant.
+    pub busy_until: SimTime,
+    /// Mobile status table (history of this client's windows).
+    pub status_table: Vec<StatusEntry>,
+}
+
+impl<'p> ServerNode<'p> {
+    /// A server node around a server VM.
+    pub fn new(vm: Vm<'p>) -> Self {
+        ServerNode {
+            vm,
+            busy_until: SimTime::ZERO,
+            status_table: Vec::new(),
+        }
+    }
+
+    /// Handle one request arriving at `arrival`: deserialize, invoke,
+    /// serialize. Returns `(completion time, result payload)`.
+    ///
+    /// # Errors
+    /// Any [`VmError`] from the offloaded execution (propagated to the
+    /// client as in Java RMI).
+    pub fn handle(
+        &mut self,
+        arrival: SimTime,
+        method: MethodId,
+        payload: &[u8],
+    ) -> Result<(SimTime, Vec<u8>), VmError> {
+        let start = self.busy_until.max(arrival);
+        let cp = self.vm.machine.checkpoint();
+        self.vm
+            .machine
+            .charge_mix(&serialize_mix(payload.len() as u64));
+        let args = serial::deserialize_args(&mut self.vm.heap, payload)
+            .map_err(|_| VmError::StackUnderflow)?;
+        let result = self.vm.invoke(method, args)?;
+        let out = serial::serialize(&self.vm.heap, result.unwrap_or(Value::Null))
+            .expect("server results serialize");
+        self.vm
+            .machine
+            .charge_mix(&serialize_mix(out.len() as u64));
+        let (_, handling) = self.vm.machine.since(&cp);
+        let done = start + handling;
+        self.busy_until = done;
+        Ok((done, out))
+    }
+}
+
+/// Why a remote invocation failed without a VM error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemoteFailure {
+    /// The response did not arrive within the timeout.
+    ConnectionLost,
+}
+
+/// Accounting for one remote invocation.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// The result value (deserialized into the *client* heap), or the
+    /// failure that the caller must handle with a local fallback.
+    pub result: Result<Option<Value>, RemoteFailure>,
+    /// Whether the client woke before the result was ready.
+    pub early_wake: bool,
+    /// Whether the server queued the result for a sleeping client.
+    pub queued: bool,
+    /// Request payload bytes.
+    pub bytes_up: u64,
+    /// Response payload bytes.
+    pub bytes_down: u64,
+    /// Whether the transmission was repeated because the chosen power
+    /// class was too optimistic for the true channel.
+    pub retransmitted: bool,
+}
+
+/// Execute `method(args)` remotely.
+///
+/// `chosen_class` is the transmit power class the client's pilot
+/// estimator selected; `true_class` is the actual channel condition —
+/// transmitting with less power than the channel requires costs one
+/// retransmission. `est_server_time` sets the client's power-down
+/// duration.
+///
+/// # Errors
+/// VM errors raised by the server-side execution.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_invoke<R: Rng + ?Sized>(
+    client: &mut Vm<'_>,
+    server: &mut ServerNode<'_>,
+    link: &mut Link,
+    chosen_class: ChannelClass,
+    true_class: ChannelClass,
+    method: MethodId,
+    args: &[Value],
+    est_server_time: SimTime,
+    cfg: &RemoteConfig,
+    rng: &mut R,
+) -> Result<RemoteOutcome, VmError> {
+    // 1. Serialize the request on the client (active CPU).
+    let payload = serial::serialize_args(&client.heap, args)?;
+    client
+        .machine
+        .charge_mix(&serialize_mix(payload.len() as u64));
+    let t0 = client.machine.elapsed();
+
+    // 2. Transmit. An underpowered transmission (chosen class assumes
+    // a better channel than the truth) must be repeated at the true
+    // channel's power.
+    let up = link.transfer(payload.len() as u64, TransferDirection::Send, chosen_class);
+    client.machine.charge_radio(up.tx_energy, jem_energy::Energy::ZERO);
+    client.machine.power_down(up.airtime);
+    let retransmitted = chosen_class.quality() > true_class.quality();
+    let mut uplink_time = up.airtime;
+    if retransmitted {
+        let again = link.transfer(payload.len() as u64, TransferDirection::Send, true_class);
+        client
+            .machine
+            .charge_radio(again.tx_energy, jem_energy::Energy::ZERO);
+        client.machine.power_down(again.airtime);
+        uplink_time += again.airtime;
+    }
+    let arrival = t0 + uplink_time;
+
+    // 3. Client powers down for the estimated server time, recording
+    // its window in the server's mobile status table.
+    let t_wake = arrival + est_server_time;
+
+    // 4. Loss?
+    if rng.gen::<f64>() < cfg.loss_probability {
+        // Sleep through the scheduled window, then wait awake for the
+        // timeout before giving up.
+        client.machine.power_down(est_server_time);
+        client.machine.active_idle(cfg.response_timeout);
+        server.status_table.push(StatusEntry {
+            request_at: t0,
+            powered_down_until: t_wake,
+            result_ready_at: SimTime::from_nanos(f64::INFINITY),
+            queued: false,
+        });
+        return Ok(RemoteOutcome {
+            result: Err(RemoteFailure::ConnectionLost),
+            early_wake: true,
+            queued: false,
+            bytes_up: up.wire_bytes,
+            bytes_down: 0,
+            retransmitted,
+        });
+    }
+
+    // 5. Server handles the request.
+    let (done, out_payload) = server.handle(arrival, method, &payload)?;
+
+    // 6. The server consults the status table: queue the result if the
+    // client is still asleep; otherwise (server late) the client woke
+    // early and idles until the result is ready.
+    let queued = done <= t_wake;
+    let early_wake = !queued;
+    server.status_table.push(StatusEntry {
+        request_at: t0,
+        powered_down_until: t_wake,
+        result_ready_at: done,
+        queued,
+    });
+
+    client.machine.power_down(est_server_time);
+    if early_wake {
+        client.machine.active_idle(done - t_wake);
+    }
+
+    // 7. Receive (CPU still down, receiver on) and deserialize.
+    let down = link.transfer(
+        out_payload.len() as u64,
+        TransferDirection::Receive,
+        true_class,
+    );
+    client
+        .machine
+        .charge_radio(jem_energy::Energy::ZERO, down.rx_energy);
+    client.machine.power_down(down.airtime);
+    client
+        .machine
+        .charge_mix(&serialize_mix(out_payload.len() as u64));
+    let value = serial::deserialize(&mut client.heap, &out_payload)
+        .map_err(|_| VmError::StackUnderflow)?;
+    let result = match value {
+        Value::Null => None,
+        v => Some(v),
+    };
+
+    Ok(RemoteOutcome {
+        result: Ok(result),
+        early_wake,
+        queued,
+        bytes_up: up.wire_bytes,
+        bytes_down: down.wire_bytes,
+        retransmitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_jvm::dsl::*;
+    use jem_jvm::{Program, Value};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn program() -> Program {
+        let mut m = ModuleBuilder::new();
+        m.func_with_attrs(
+            "work",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+            jem_jvm::MethodAttrs {
+                potential: true,
+                size_param: Some(0),
+                ..Default::default()
+            },
+        );
+        m.compile().unwrap()
+    }
+
+    fn setup(p: &Program) -> (Vm<'_>, ServerNode<'_>, Link, SmallRng) {
+        (
+            Vm::client(p),
+            ServerNode::new(Vm::server(p)),
+            Link::default(),
+            SmallRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn remote_result_matches_local() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+
+        let mut local = Vm::client(&p);
+        let expect = local.invoke(m, vec![Value::Int(100)]).unwrap();
+
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(100)],
+            SimTime::from_millis(1.0),
+            &RemoteConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.result, Ok(expect));
+        assert!(!out.retransmitted);
+    }
+
+    #[test]
+    fn client_burns_radio_but_not_core() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(5000)],
+            SimTime::from_millis(5.0),
+            &RemoteConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let b = client.machine.breakdown();
+        assert!(b.communication().nanojoules() > 0.0);
+        assert!(b[jem_energy::Component::Leakage].nanojoules() > 0.0);
+        // Core only did serialization work — far less than an
+        // interpreted execution of 5000 loop iterations.
+        let mut local = Vm::client(&p);
+        local.invoke(m, vec![Value::Int(5000)]).unwrap();
+        assert!(
+            b[jem_energy::Component::Core]
+                < local.machine.breakdown()[jem_energy::Component::Core]
+        );
+    }
+
+    #[test]
+    fn poor_channel_costs_more() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let mut energies = Vec::new();
+        for class in [ChannelClass::C4, ChannelClass::C1] {
+            let (mut client, mut server, mut link, mut rng) = setup(&p);
+            remote_invoke(
+                &mut client,
+                &mut server,
+                &mut link,
+                class,
+                class,
+                m,
+                &[Value::Int(100)],
+                SimTime::from_millis(1.0),
+                &RemoteConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            energies.push(client.machine.energy());
+        }
+        assert!(energies[1] > energies[0] * 2.0, "{:?}", energies);
+    }
+
+    #[test]
+    fn accurate_estimate_queues_result() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        // Generous estimate: server will certainly finish first.
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(10)],
+            SimTime::from_secs(1.0),
+            &RemoteConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.queued);
+        assert!(!out.early_wake);
+        assert_eq!(server.status_table.len(), 1);
+        assert!(server.status_table[0].queued);
+    }
+
+    #[test]
+    fn underestimate_causes_early_wake_penalty() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(200_000)], // long server run
+            SimTime::from_nanos(10.0), // absurdly small estimate
+            &RemoteConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.early_wake);
+        assert!(!out.queued);
+    }
+
+    #[test]
+    fn connection_loss_reported() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        let cfg = RemoteConfig {
+            loss_probability: 1.0,
+            ..Default::default()
+        };
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(10)],
+            SimTime::from_millis(1.0),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.result, Err(RemoteFailure::ConnectionLost));
+        // The client burned the timeout awake.
+        assert!(client.machine.elapsed() > cfg.response_timeout);
+    }
+
+    #[test]
+    fn underpowered_transmission_retransmits() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4, // client believes the channel is great
+            ChannelClass::C1, // it is terrible
+            m,
+            &[Value::Int(10)],
+            SimTime::from_millis(1.0),
+            &RemoteConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.retransmitted);
+    }
+
+    #[test]
+    fn server_processes_sequentially() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let mut server = ServerNode::new(Vm::server(&p));
+        let mut heap = jem_jvm::Heap::new();
+        let payload = serial::serialize_args(&heap, &[Value::Int(1000)]).unwrap();
+        let _ = &mut heap;
+        let (done1, _) = server.handle(SimTime::ZERO, m, &payload).unwrap();
+        // Second request arrives while the first is still running.
+        let (done2, _) = server.handle(SimTime::ZERO, m, &payload).unwrap();
+        assert!(done2 > done1);
+        assert!(done2.nanos() >= 2.0 * done1.nanos() * 0.9);
+    }
+}

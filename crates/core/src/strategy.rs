@@ -1,0 +1,287 @@
+//! Execution/compilation strategies and the adaptive decision rule.
+//!
+//! The paper evaluates seven strategies (its Fig 5):
+//!
+//! | strategy | compilation | execution |
+//! |---|---|---|
+//! | Remote (R) | — | server |
+//! | Interpreter (I) | — | client, bytecode |
+//! | Local1 (L1) | client, no opts | client, native |
+//! | Local2 (L2) | client, medium opts | client, native |
+//! | Local3 (L3) | client, max opts | client, native |
+//! | AL | client, all levels | client or server, adaptive |
+//! | AA | client *or server*, all levels | client or server, adaptive |
+//!
+//! The adaptive rule (§3.2): after `k` executions, pick the minimum of
+//! `EI = k·e(m,s̄)`, `ER = k·E″(m,s̄,p̄)`,
+//! `ELi = E′oi(m) + k·Eoi(m,s̄)`, omitting `E′` for a compiled form
+//! that is already installed.
+
+use crate::estimate::Profile;
+use jem_energy::{Energy, Power};
+use jem_jvm::OptLevel;
+use jem_radio::ChannelClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven strategies of the paper's Fig 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Always execute potential methods on the server.
+    Remote,
+    /// Always interpret on the client.
+    Interpreter,
+    /// Compile locally with no optimization; run natively.
+    Local1,
+    /// Compile locally with medium optimization; run natively.
+    Local2,
+    /// Compile locally with maximum optimization; run natively.
+    Local3,
+    /// Adaptive execution, local compilation.
+    AdaptiveLocal,
+    /// Adaptive execution, adaptive (local/remote) compilation.
+    AdaptiveAdaptive,
+}
+
+impl Strategy {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::Remote,
+        Strategy::Interpreter,
+        Strategy::Local1,
+        Strategy::Local2,
+        Strategy::Local3,
+        Strategy::AdaptiveLocal,
+        Strategy::AdaptiveAdaptive,
+    ];
+
+    /// The five static strategies (Fig 6 compares these).
+    pub const STATIC: [Strategy; 5] = [
+        Strategy::Remote,
+        Strategy::Interpreter,
+        Strategy::Local1,
+        Strategy::Local2,
+        Strategy::Local3,
+    ];
+
+    /// Paper abbreviation.
+    pub const fn key(self) -> &'static str {
+        match self {
+            Strategy::Remote => "R",
+            Strategy::Interpreter => "I",
+            Strategy::Local1 => "L1",
+            Strategy::Local2 => "L2",
+            Strategy::Local3 => "L3",
+            Strategy::AdaptiveLocal => "AL",
+            Strategy::AdaptiveAdaptive => "AA",
+        }
+    }
+
+    /// True for the two adaptive strategies.
+    pub const fn is_adaptive(self) -> bool {
+        matches!(self, Strategy::AdaptiveLocal | Strategy::AdaptiveAdaptive)
+    }
+
+    /// The fixed compile level of a static local strategy.
+    pub const fn static_level(self) -> Option<OptLevel> {
+        match self {
+            Strategy::Local1 => Some(OptLevel::L1),
+            Strategy::Local2 => Some(OptLevel::L2),
+            Strategy::Local3 => Some(OptLevel::L3),
+            _ => None,
+        }
+    }
+
+    /// Fig 5 row: where/how compilation happens.
+    pub const fn compilation_desc(self) -> &'static str {
+        match self {
+            Strategy::Remote | Strategy::Interpreter => "-",
+            Strategy::Local1 => "client, no opts",
+            Strategy::Local2 => "client, medium opts",
+            Strategy::Local3 => "client, maximum opts",
+            Strategy::AdaptiveLocal => "client, all levels of opts",
+            Strategy::AdaptiveAdaptive => "server/client, all levels of opts",
+        }
+    }
+
+    /// Fig 5 row: where/how execution happens.
+    pub const fn execution_desc(self) -> &'static str {
+        match self {
+            Strategy::Remote => "server",
+            Strategy::Interpreter => "client, bytecode",
+            Strategy::Local1 | Strategy::Local2 | Strategy::Local3 => "client, native",
+            Strategy::AdaptiveLocal | Strategy::AdaptiveAdaptive => {
+                "server/client, native/bytecode"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// How one invocation will execute (the decision's outcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Interpret on the client.
+    Interpret,
+    /// Ship to the server.
+    Remote,
+    /// Run natively on the client at this level.
+    Local(OptLevel),
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Interpret => write!(f, "interpret"),
+            Mode::Remote => write!(f, "remote"),
+            Mode::Local(l) => write!(f, "local/{l}"),
+        }
+    }
+}
+
+/// The candidate energy estimates behind one decision (`EI`, `ER`,
+/// `EL1..EL3` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionEstimates {
+    /// `EI = k·e(m, s̄)`.
+    pub interpret: Energy,
+    /// `ER = k·E″(m, s̄, p̄)`.
+    pub remote: Energy,
+    /// `ELi = E′ + k·E_oi(m, s̄)` per level.
+    pub local: [Energy; 3],
+}
+
+impl DecisionEstimates {
+    /// The minimum-energy mode among the candidates.
+    pub fn argmin(&self) -> Mode {
+        let mut best = (Mode::Interpret, self.interpret);
+        if self.remote < best.1 {
+            best = (Mode::Remote, self.remote);
+        }
+        for level in OptLevel::ALL {
+            let e = self.local[level.index()];
+            if e < best.1 {
+                best = (Mode::Local(level), e);
+            }
+        }
+        best.0
+    }
+}
+
+/// Evaluate the AL decision: expected energies for `k` further
+/// invocations at predicted size `s̄` and PA power `p̄`, given the
+/// currently installed compile level (whose `E′` is omitted).
+pub fn evaluate(
+    profile: &Profile,
+    k: u64,
+    s_bar: f64,
+    pa_bar: Power,
+    installed: Option<OptLevel>,
+    compiler_loaded: bool,
+) -> DecisionEstimates {
+    let kf = k.max(1) as f64;
+    let mut local = [Energy::ZERO; 3];
+    for level in OptLevel::ALL {
+        let compile = if installed == Some(level) {
+            Energy::ZERO
+        } else {
+            profile.e_compile_local(level, compiler_loaded)
+        };
+        local[level.index()] = compile + profile.e_local(level, s_bar) * kf;
+    }
+    DecisionEstimates {
+        interpret: profile.e_interp(s_bar) * kf,
+        remote: profile.e_remote(s_bar, pa_bar) * kf,
+        local,
+    }
+}
+
+/// The AA refinement: when the decision is to compile to `level`,
+/// choose between local compilation and downloading pre-compiled code
+/// from the server at the current channel condition. Returns
+/// `(use_remote_compilation, estimated_cost)`.
+pub fn compile_source(
+    profile: &Profile,
+    level: OptLevel,
+    class: ChannelClass,
+    compiler_loaded: bool,
+) -> (bool, Energy) {
+    let local = profile.e_compile_local(level, compiler_loaded);
+    let remote = profile.e_remote_compile(level, class);
+    if remote < local {
+        (true, remote)
+    } else {
+        (false, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_match_paper() {
+        let keys: Vec<&str> = Strategy::ALL.iter().map(|s| s.key()).collect();
+        assert_eq!(keys, vec!["R", "I", "L1", "L2", "L3", "AL", "AA"]);
+    }
+
+    #[test]
+    fn static_levels() {
+        assert_eq!(Strategy::Local2.static_level(), Some(OptLevel::L2));
+        assert_eq!(Strategy::Remote.static_level(), None);
+        assert!(Strategy::AdaptiveLocal.is_adaptive());
+        assert!(!Strategy::Local1.is_adaptive());
+    }
+
+    #[test]
+    fn argmin_picks_minimum() {
+        let e = |x: f64| Energy::from_nanojoules(x);
+        let d = DecisionEstimates {
+            interpret: e(100.0),
+            remote: e(50.0),
+            local: [e(80.0), e(60.0), e(70.0)],
+        };
+        assert_eq!(d.argmin(), Mode::Remote);
+        let d2 = DecisionEstimates {
+            interpret: e(10.0),
+            remote: e(50.0),
+            local: [e(80.0), e(60.0), e(70.0)],
+        };
+        assert_eq!(d2.argmin(), Mode::Interpret);
+        let d3 = DecisionEstimates {
+            interpret: e(100.0),
+            remote: e(50.0),
+            local: [e(80.0), e(30.0), e(70.0)],
+        };
+        assert_eq!(d3.argmin(), Mode::Local(OptLevel::L2));
+    }
+
+    #[test]
+    fn argmin_ties_prefer_interpreter() {
+        // Equal estimates: keep the no-cost default (interpretation),
+        // mirroring "if either the bytecode or remote execution is
+        // preferred, no compilation is performed".
+        let e = Energy::from_nanojoules(5.0);
+        let d = DecisionEstimates {
+            interpret: e,
+            remote: e,
+            local: [e, e, e],
+        };
+        assert_eq!(d.argmin(), Mode::Interpret);
+    }
+
+    #[test]
+    fn fig5_rows_are_complete() {
+        for s in Strategy::ALL {
+            assert!(!s.compilation_desc().is_empty());
+            assert!(!s.execution_desc().is_empty());
+        }
+        assert_eq!(Strategy::Remote.execution_desc(), "server");
+        assert_eq!(Strategy::Interpreter.execution_desc(), "client, bytecode");
+    }
+}

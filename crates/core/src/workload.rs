@@ -1,0 +1,48 @@
+//! The workload abstraction that ties benchmarks to the framework.
+//!
+//! A [`Workload`] is one of the paper's benchmark applications: an
+//! MJVM program, the name of its annotated *potential method*, the
+//! size parameters it supports (paper Fig 3), and a generator that
+//! materializes the input arguments for a given size. `jem-apps`
+//! provides the eight paper benchmarks as implementations.
+
+use jem_jvm::{Heap, MethodId, Program, Value};
+use rand::rngs::SmallRng;
+
+/// One benchmark application.
+pub trait Workload: Sync {
+    /// Short name (paper Fig 3 abbreviation, e.g. `"hpf"`).
+    fn name(&self) -> &str;
+
+    /// One-line description (paper Fig 3).
+    fn description(&self) -> &str;
+
+    /// The compiled program.
+    fn program(&self) -> &Program;
+
+    /// The annotated potential method the framework partitions on.
+    fn potential_method(&self) -> MethodId;
+
+    /// The size parameters this benchmark supports, ascending (paper
+    /// Fig 3's "size parameter" column; e.g. image edge lengths).
+    fn sizes(&self) -> Vec<u32>;
+
+    /// Human-readable meaning of the size parameter.
+    fn size_meaning(&self) -> &str;
+
+    /// Materialize arguments for an invocation at `size` into `heap`.
+    fn make_args(&self, heap: &mut Heap, size: u32, rng: &mut SmallRng) -> Vec<Value>;
+
+    /// Calibration sizes for profiling (defaults to all supported
+    /// sizes). Profiles are fitted over these and must interpolate the
+    /// rest.
+    fn calibration_sizes(&self) -> Vec<u32> {
+        self.sizes()
+    }
+
+    /// Verify an invocation result for `size` (used by differential
+    /// tests); `None` if the workload has no cheap independent check.
+    fn check(&self, _heap: &Heap, _size: u32, _result: Option<Value>) -> Option<bool> {
+        None
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the adaptive machinery: EWMA algebra, decision
+//! optimality, and curve-fit sanity.
+
+use jem_core::fit::CurveFit;
+use jem_core::predict::{Ewma, MethodState};
+use jem_core::strategy::DecisionEstimates;
+use jem_core::Mode;
+use jem_energy::Energy;
+use jem_jvm::OptLevel;
+use proptest::prelude::*;
+
+proptest! {
+    /// The prediction always lies within the [min, max] envelope of
+    /// the observations (a convex combination property).
+    #[test]
+    fn ewma_stays_within_history_bounds(
+        u in 0.0f64..=1.0,
+        xs in prop::collection::vec(0.1f64..1e6, 1..50),
+    ) {
+        let mut e = Ewma::new(u);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let p = e.update(x);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// With u = 0 the tracker equals the last observation; with u = 1
+    /// it never leaves the first.
+    #[test]
+    fn ewma_extremes(xs in prop::collection::vec(-1e6f64..1e6, 2..20)) {
+        let mut fresh = Ewma::new(0.0);
+        let mut frozen = Ewma::new(1.0);
+        for &x in &xs {
+            fresh.update(x);
+            frozen.update(x);
+        }
+        prop_assert_eq!(fresh.value().unwrap(), *xs.last().unwrap());
+        prop_assert_eq!(frozen.value().unwrap(), xs[0]);
+    }
+
+    /// The invocation counter equals the number of observations and
+    /// drives the optimistic remaining-run estimate.
+    #[test]
+    fn method_state_counts(n in 1usize..100) {
+        let mut st = MethodState::new();
+        for i in 0..n {
+            st.observe(i as f64, 0.37);
+        }
+        prop_assert_eq!(st.k, n as u64);
+        prop_assert_eq!(st.expected_remaining(), n as u64);
+    }
+
+    /// argmin picks a candidate whose energy is <= all others.
+    #[test]
+    fn argmin_is_optimal(
+        i in 0.0f64..1e9,
+        r in 0.0f64..1e9,
+        l1 in 0.0f64..1e9,
+        l2 in 0.0f64..1e9,
+        l3 in 0.0f64..1e9,
+    ) {
+        let d = DecisionEstimates {
+            interpret: Energy::from_nanojoules(i),
+            remote: Energy::from_nanojoules(r),
+            local: [
+                Energy::from_nanojoules(l1),
+                Energy::from_nanojoules(l2),
+                Energy::from_nanojoules(l3),
+            ],
+        };
+        let chosen = d.argmin();
+        let chosen_energy = match chosen {
+            Mode::Interpret => i,
+            Mode::Remote => r,
+            Mode::Local(OptLevel::L1) => l1,
+            Mode::Local(OptLevel::L2) => l2,
+            Mode::Local(OptLevel::L3) => l3,
+        };
+        for e in [i, r, l1, l2, l3] {
+            prop_assert!(chosen_energy <= e);
+        }
+    }
+
+    /// Fitting points sampled from a polynomial of degree <= 3
+    /// reproduces them within the adaptive tolerance.
+    #[test]
+    fn polyfit_recovers_polynomials(
+        c0 in -1e3f64..1e3,
+        c1 in -10.0f64..10.0,
+        c2 in 0.001f64..0.1,
+        n in 4usize..12,
+    ) {
+        let points: Vec<(f64, f64)> = (1..=n)
+            .map(|i| {
+                let x = i as f64 * 37.0;
+                (x, c0 + c1 * x + c2 * x * x)
+            })
+            .collect();
+        // Only meaningful when values stay well away from zero
+        // (relative error blows up around roots).
+        prop_assume!(points.iter().all(|&(_, y)| y.abs() > 1.0));
+        let fit = CurveFit::fit_adaptive(&points, 3, 0.02);
+        prop_assert!(fit.max_relative_error(&points) <= 0.05);
+    }
+
+    /// eval_nonneg never goes negative anywhere.
+    #[test]
+    fn eval_nonneg_is_nonneg(
+        pts in prop::collection::vec((0.0f64..1e4, -1e6f64..1e6), 2..8),
+        x in -1e5f64..1e5,
+    ) {
+        let fit = CurveFit::fit(&pts, 2);
+        prop_assert!(fit.eval_nonneg(x) >= 0.0);
+    }
+}

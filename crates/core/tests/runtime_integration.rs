@@ -1,0 +1,211 @@
+//! Integration tests of the runtime and profiling machinery on a
+//! small synthetic workload (cheap enough for the ordinary suite).
+
+use jem_core::{
+    run_scenario, strategy::evaluate, EnergyAwareVm, Mode, Profile, RemoteConfig, Strategy,
+    Workload,
+};
+use jem_energy::Power;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, OptLevel, Program, Value};
+use jem_radio::ChannelClass;
+use jem_sim::{Scenario, SizeDist, Situation};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A quadratic-work kernel: enough cycles to make modes distinguishable.
+struct Kernel {
+    program: Program,
+    method: MethodId,
+}
+
+impl Kernel {
+    fn new() -> Kernel {
+        let mut m = ModuleBuilder::new();
+        m.func_with_attrs(
+            "kernel",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![for_(
+                        "j",
+                        iconst(0),
+                        var("n"),
+                        vec![assign(
+                            "acc",
+                            var("acc")
+                                .add(var("i").mul(var("j")))
+                                .bitxor(var("acc").shr(iconst(3))),
+                        )],
+                    )],
+                ),
+                ret(var("acc")),
+            ],
+            MethodAttrs {
+                potential: true,
+                size_param: Some(0),
+                ..Default::default()
+            },
+        );
+        let program = m.compile().unwrap();
+        let method = program.find_method(MODULE_CLASS, "kernel").unwrap();
+        Kernel { program, method }
+    }
+}
+
+impl Workload for Kernel {
+    fn name(&self) -> &str {
+        "kernel"
+    }
+    fn description(&self) -> &str {
+        "synthetic quadratic kernel"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![16, 32, 64, 128]
+    }
+    fn size_meaning(&self) -> &str {
+        "loop bound"
+    }
+    fn make_args(&self, _heap: &mut Heap, size: u32, _rng: &mut SmallRng) -> Vec<Value> {
+        vec![Value::Int(size as i32)]
+    }
+}
+
+#[test]
+fn profile_curves_interpolate_between_calibration_points() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    // 48 was not a calibration size; the quadratic fit must still be
+    // close to an actual run.
+    let mut vm = jem_jvm::Vm::client(w.program());
+    let mut rng = SmallRng::seed_from_u64(0);
+    let args = w.make_args(&mut vm.heap, 48, &mut rng);
+    vm.invoke(w.potential_method(), args).unwrap();
+    let actual = vm.machine.energy().nanojoules();
+    let est = p.e_interp(48.0).nanojoules();
+    let err = ((est - actual) / actual).abs();
+    assert!(err < 0.02, "interpolation error {err}");
+}
+
+#[test]
+fn profile_orderings_hold() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    for &s in &[16u32, 64, 128] {
+        let s = f64::from(s);
+        // Interpretation costs more than any native level.
+        for level in OptLevel::ALL {
+            assert!(p.e_interp(s) > p.e_local(level, s), "size {s} {level}");
+        }
+    }
+    // Compile cost grows with level (init excluded and included).
+    for loaded in [true, false] {
+        assert!(p.e_compile_local(OptLevel::L1, loaded) < p.e_compile_local(OptLevel::L2, loaded));
+        assert!(p.e_compile_local(OptLevel::L2, loaded) < p.e_compile_local(OptLevel::L3, loaded));
+    }
+    // The init makes the cold compile strictly pricier.
+    assert!(p.e_compile_local(OptLevel::L1, false) > p.e_compile_local(OptLevel::L1, true));
+}
+
+#[test]
+fn remote_estimate_tracks_pa_power() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    let e4 = p.e_remote(64.0, Power::from_watts(0.37));
+    let e1 = p.e_remote(64.0, Power::from_watts(5.88));
+    assert!(e1 > e4);
+    // And grows with size (bigger inputs, longer server time).
+    assert!(p.e_remote(128.0, Power::from_watts(0.37)) > e4);
+}
+
+#[test]
+fn evaluate_omits_compile_cost_for_installed_level() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    let with = evaluate(&p, 10, 64.0, Power::from_watts(0.37), None, true);
+    let installed = evaluate(&p, 10, 64.0, Power::from_watts(0.37), Some(OptLevel::L2), true);
+    assert!(installed.local[1] < with.local[1]);
+    assert_eq!(installed.local[0], with.local[0]);
+}
+
+#[test]
+fn adaptive_run_reaches_native_steady_state() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    let scenario = Scenario {
+        situation: Situation::PoorDominant,
+        channel: jem_radio::ChannelProcess::Fixed(ChannelClass::C1),
+        sizes: SizeDist::Fixed(128),
+        runs: 40,
+        seed: 2,
+    };
+    let r = run_scenario(&w, &p, &scenario, Strategy::AdaptiveLocal);
+    // In a terrible channel with a hot method, AL must end up running
+    // native code (after the usual amortization transient), having
+    // compiled at most a couple of times.
+    let native_runs: u64 = r.stats.local.iter().sum();
+    assert!(native_runs >= 15, "stats: {:?}", r.stats);
+    assert!(r.stats.local_compiles <= 3);
+    // Late invocations execute natively.
+    assert!(matches!(r.reports.last().unwrap().mode, Mode::Local(_)));
+}
+
+#[test]
+fn connection_loss_falls_back_and_completes() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    let mut vm = EnergyAwareVm::new(&w, &p);
+    vm.remote_cfg = RemoteConfig {
+        loss_probability: 1.0,
+        ..Default::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(3);
+    let report = vm
+        .invoke_once(Strategy::Remote, 32, ChannelClass::C4, &mut rng)
+        .unwrap();
+    assert!(report.fell_back);
+    assert_eq!(vm.stats.fallbacks, 1);
+    // The fallback interpreted locally.
+    assert_eq!(vm.stats.interpreted, 1);
+}
+
+#[test]
+fn run_stats_account_for_every_invocation() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    for strategy in Strategy::ALL {
+        let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 9).with_runs(25);
+        let r = run_scenario(&w, &p, &scenario, strategy);
+        let executed = r.stats.remote
+            + r.stats.interpreted
+            + r.stats.local.iter().sum::<u64>();
+        assert_eq!(executed, 25, "{strategy}: {:?}", r.stats);
+        assert!(r.total_energy.nanojoules() > 0.0);
+        assert!(r.total_time.nanos() > 0.0);
+    }
+}
+
+#[test]
+fn per_invocation_energies_sum_to_total() {
+    let w = Kernel::new();
+    let p = Profile::build(&w, 1);
+    let scenario = Scenario::paper(Situation::GoodDominant, &w.sizes(), 11).with_runs(20);
+    let r = run_scenario(&w, &p, &scenario, Strategy::AdaptiveAdaptive);
+    let sum: f64 = r.reports.iter().map(|x| x.energy.nanojoules()).sum();
+    let total = r.total_energy.nanojoules();
+    assert!(
+        (sum - total).abs() < total * 1e-9 + 1.0,
+        "sum {sum} vs total {total}"
+    );
+}

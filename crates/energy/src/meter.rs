@@ -1,0 +1,193 @@
+//! Per-component energy breakdown reports.
+//!
+//! The paper's simulator "tracks the energy consumptions in the
+//! processor core (datapath), on-chip caches, off-chip DRAM module and
+//! the wireless communication components". [`EnergyBreakdown`] is the
+//! ledger all of those charges land in; every experiment harness
+//! ultimately reports one of these (or a normalized view of it).
+
+use crate::units::Energy;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut};
+
+/// The energy-consuming components of the mobile client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Processor datapath (per-instruction base energies, Fig 1).
+    Core,
+    /// Off-chip DRAM accesses (cache misses).
+    Dram,
+    /// Leakage burned while in the power-down state (10 % of nominal).
+    Leakage,
+    /// Radio transmit chain (DAC, modulator, driver amp, PA, VCO).
+    RadioTx,
+    /// Radio receive chain (mixer, demodulator, ADC, VCO).
+    RadioRx,
+}
+
+impl Component {
+    /// All components, in report order.
+    pub const ALL: [Component; 5] = [
+        Component::Core,
+        Component::Dram,
+        Component::Leakage,
+        Component::RadioTx,
+        Component::RadioRx,
+    ];
+
+    /// Stable index for array-backed storage.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Component::Core => 0,
+            Component::Dram => 1,
+            Component::Leakage => 2,
+            Component::RadioTx => 3,
+            Component::RadioRx => 4,
+        }
+    }
+
+    /// Display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Component::Core => "core",
+            Component::Dram => "dram",
+            Component::Leakage => "leakage",
+            Component::RadioTx => "radio-tx",
+            Component::RadioRx => "radio-rx",
+        }
+    }
+}
+
+/// Energy charged to each [`Component`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    slots: [Energy; 5],
+}
+
+impl EnergyBreakdown {
+    /// An all-zero ledger.
+    pub const fn new() -> Self {
+        EnergyBreakdown {
+            slots: [Energy::ZERO; 5],
+        }
+    }
+
+    /// Charge `amount` to `component`.
+    #[inline]
+    pub fn charge(&mut self, component: Component, amount: Energy) {
+        self.slots[component.index()] += amount;
+    }
+
+    /// Total energy across all components.
+    pub fn total(&self) -> Energy {
+        self.slots.iter().copied().sum()
+    }
+
+    /// Computation-side energy (core + DRAM + leakage), i.e. everything
+    /// that is not the radio.
+    pub fn computation(&self) -> Energy {
+        self[Component::Core] + self[Component::Dram] + self[Component::Leakage]
+    }
+
+    /// Communication-side energy (radio TX + RX).
+    pub fn communication(&self) -> Energy {
+        self[Component::RadioTx] + self[Component::RadioRx]
+    }
+
+    /// Iterate `(component, energy)` pairs in report order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Energy)> + '_ {
+        Component::ALL.iter().map(move |&c| (c, self[c]))
+    }
+}
+
+impl Index<Component> for EnergyBreakdown {
+    type Output = Energy;
+    #[inline]
+    fn index(&self, c: Component) -> &Energy {
+        &self.slots[c.index()]
+    }
+}
+
+impl IndexMut<Component> for EnergyBreakdown {
+    #[inline]
+    fn index_mut(&mut self, c: Component) -> &mut Energy {
+        &mut self.slots[c.index()]
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        for i in 0..self.slots.len() {
+            self.slots[i] += rhs.slots[i];
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {}", self.total())?;
+        for (c, e) in self.iter() {
+            write!(f, " | {} {}", c.name(), e)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut b = EnergyBreakdown::new();
+        b.charge(Component::Core, Energy::from_nanojoules(10.0));
+        b.charge(Component::Dram, Energy::from_nanojoules(5.0));
+        b.charge(Component::RadioTx, Energy::from_nanojoules(2.0));
+        assert_eq!(b.total().nanojoules(), 17.0);
+        assert_eq!(b.computation().nanojoules(), 15.0);
+        assert_eq!(b.communication().nanojoules(), 2.0);
+    }
+
+    #[test]
+    fn add_merges_ledgers() {
+        let mut a = EnergyBreakdown::new();
+        a.charge(Component::Core, Energy::from_nanojoules(1.0));
+        let mut b = EnergyBreakdown::new();
+        b.charge(Component::Core, Energy::from_nanojoules(2.0));
+        b.charge(Component::Leakage, Energy::from_nanojoules(3.0));
+        let c = a + b;
+        assert_eq!(c[Component::Core].nanojoules(), 3.0);
+        assert_eq!(c[Component::Leakage].nanojoules(), 3.0);
+        assert_eq!(c.total().nanojoules(), 6.0);
+    }
+
+    #[test]
+    fn component_indices_are_bijective() {
+        let mut seen = [false; 5];
+        for c in Component::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_mentions_every_component() {
+        let b = EnergyBreakdown::new();
+        let s = format!("{b}");
+        for c in Component::ALL {
+            assert!(s.contains(c.name()), "missing {}", c.name());
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Strongly typed physical quantities used throughout the simulator.
+//!
+//! All energies are carried in **nanojoules**, all times in
+//! **nanoseconds**, and all powers in **milliwatts**, matching the
+//! granularities of the paper's data sheets (per-instruction energies
+//! in nJ, component powers in mW, a 100 MHz clock with 10 ns cycles).
+//! The newtypes prevent the classic simulator bug of adding joules to
+//! seconds; conversions between the three are explicit.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An amount of energy, stored in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Construct from nanojoules.
+    #[inline]
+    pub const fn from_nanojoules(nj: f64) -> Self {
+        Energy(nj)
+    }
+
+    /// Construct from microjoules.
+    #[inline]
+    pub fn from_microjoules(uj: f64) -> Self {
+        Energy(uj * 1e3)
+    }
+
+    /// Construct from millijoules.
+    #[inline]
+    pub fn from_millijoules(mj: f64) -> Self {
+        Energy(mj * 1e6)
+    }
+
+    /// Construct from joules.
+    #[inline]
+    pub fn from_joules(j: f64) -> Self {
+        Energy(j * 1e9)
+    }
+
+    /// The stored value in nanojoules.
+    #[inline]
+    pub const fn nanojoules(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in microjoules.
+    #[inline]
+    pub fn microjoules(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The stored value in millijoules.
+    #[inline]
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The stored value in joules.
+    #[inline]
+    pub fn joules(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Ratio of this energy to another; panics only in debug builds on
+    /// division by exact zero (returns `inf`/`nan` like `f64`).
+    #[inline]
+    pub fn ratio(self, other: Energy) -> f64 {
+        self.0 / other.0
+    }
+
+    /// `max(self, other)` (total order assuming no NaN, which the
+    /// simulator never produces).
+    #[inline]
+    pub fn max(self, other: Energy) -> Energy {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: Energy) -> Energy {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when the value is finite (always holds for simulator
+    /// output; used by property tests).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    #[inline]
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    #[inline]
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    #[inline]
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Energy) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    #[inline]
+    fn neg(self) -> Energy {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    #[inline]
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    #[inline]
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nj = self.0;
+        if nj.abs() >= 1e9 {
+            write!(f, "{:.3} J", nj * 1e-9)
+        } else if nj.abs() >= 1e6 {
+            write!(f, "{:.3} mJ", nj * 1e-6)
+        } else if nj.abs() >= 1e3 {
+            write!(f, "{:.3} uJ", nj * 1e-3)
+        } else {
+            write!(f, "{:.3} nJ", nj)
+        }
+    }
+}
+
+/// A span of simulated time, stored in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: f64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        SimTime(us * 1e3)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        SimTime(ms * 1e6)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn from_secs(s: f64) -> Self {
+        SimTime(s * 1e9)
+    }
+
+    /// Duration of `cycles` clock cycles at `clock_hz`.
+    #[inline]
+    pub fn from_cycles(cycles: u64, clock_hz: f64) -> Self {
+        SimTime(cycles as f64 * 1e9 / clock_hz)
+    }
+
+    /// The stored value in nanoseconds.
+    #[inline]
+    pub const fn nanos(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in microseconds.
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The stored value in milliseconds.
+    #[inline]
+    pub fn millis(self) -> f64 {
+        self.0 * 1e-6
+    }
+
+    /// The stored value in seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)`.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns.abs() >= 1e9 {
+            write!(f, "{:.3} s", ns * 1e-9)
+        } else if ns.abs() >= 1e6 {
+            write!(f, "{:.3} ms", ns * 1e-6)
+        } else if ns.abs() >= 1e3 {
+            write!(f, "{:.3} us", ns * 1e-3)
+        } else {
+            write!(f, "{:.3} ns", ns)
+        }
+    }
+}
+
+/// Electrical power, stored in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Construct from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Power(mw)
+    }
+
+    /// Construct from watts.
+    #[inline]
+    pub const fn from_watts(w: f64) -> Self {
+        Power(w * 1e3)
+    }
+
+    /// The stored value in milliwatts.
+    #[inline]
+    pub const fn milliwatts(self) -> f64 {
+        self.0
+    }
+
+    /// The stored value in watts.
+    #[inline]
+    pub fn watts(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// Energy consumed by drawing this power for `t`.
+    ///
+    /// mW × ns = pJ, hence the 1e-3 scale to nanojoules.
+    #[inline]
+    pub fn over(self, t: SimTime) -> Energy {
+        Energy::from_nanojoules(self.0 * t.nanos() * 1e-3)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    #[inline]
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    #[inline]
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    #[inline]
+    fn sub(self, rhs: Power) -> Power {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    #[inline]
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mw = self.0;
+        if mw.abs() >= 1e3 {
+            write!(f, "{:.3} W", mw * 1e-3)
+        } else {
+            write!(f, "{:.3} mW", mw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_conversions_round_trip() {
+        let e = Energy::from_joules(1.5);
+        assert!((e.nanojoules() - 1.5e9).abs() < 1e-3);
+        assert!((e.millijoules() - 1500.0).abs() < 1e-9);
+        assert!((e.microjoules() - 1.5e6).abs() < 1e-6);
+        assert!((e.joules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_nanojoules(2.0);
+        let b = Energy::from_nanojoules(3.0);
+        assert_eq!((a + b).nanojoules(), 5.0);
+        assert_eq!((b - a).nanojoules(), 1.0);
+        assert_eq!((a * 2.0).nanojoules(), 4.0);
+        assert_eq!((2.0 * a).nanojoules(), 4.0);
+        assert_eq!((b / 3.0).nanojoules(), 1.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.nanojoules(), 5.0);
+        c -= a;
+        assert_eq!(c.nanojoules(), 3.0);
+        assert_eq!((-a).nanojoules(), -2.0);
+    }
+
+    #[test]
+    fn energy_sum_and_minmax() {
+        let total: Energy = (1..=4)
+            .map(|i| Energy::from_nanojoules(i as f64))
+            .sum();
+        assert_eq!(total.nanojoules(), 10.0);
+        let a = Energy::from_nanojoules(1.0);
+        let b = Energy::from_nanojoules(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn time_conversions() {
+        let t = SimTime::from_millis(2.0);
+        assert!((t.nanos() - 2e6).abs() < 1e-6);
+        assert!((t.micros() - 2000.0).abs() < 1e-9);
+        assert!((t.secs() - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_from_cycles() {
+        // 100 MHz clock: one cycle is 10 ns.
+        let t = SimTime::from_cycles(100, 100e6);
+        assert!((t.nanos() - 1000.0).abs() < 1e-9);
+        // 750 MHz server clock.
+        let t = SimTime::from_cycles(750, 750e6);
+        assert!((t.nanos() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_over_time_is_energy() {
+        // 1 W for 1 s = 1 J.
+        let e = Power::from_watts(1.0).over(SimTime::from_secs(1.0));
+        assert!((e.joules() - 1.0).abs() < 1e-12);
+        // Paper's Class 1 PA: 5.88 W for 1 ms = 5.88 mJ.
+        let e = Power::from_watts(5.88).over(SimTime::from_millis(1.0));
+        assert!((e.millijoules() - 5.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_sensible_scales() {
+        assert_eq!(format!("{}", Energy::from_nanojoules(4.814)), "4.814 nJ");
+        assert_eq!(format!("{}", Energy::from_joules(2.0)), "2.000 J");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500 s");
+        assert_eq!(format!("{}", Power::from_watts(5.88)), "5.880 W");
+        assert_eq!(format!("{}", Power::from_milliwatts(33.75)), "33.750 mW");
+    }
+}

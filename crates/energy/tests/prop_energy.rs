@@ -1,0 +1,112 @@
+//! Property tests for the energy substrate: cache accounting
+//! invariants and machine-ledger consistency.
+
+use jem_energy::{
+    CacheConfig, CacheSim, EnergyTable, InstrClass, InstrMix, Machine, MachineConfig, MemOp,
+    SimTime,
+};
+use proptest::prelude::*;
+
+fn any_class() -> impl Strategy<Value = InstrClass> {
+    prop_oneof![
+        Just(InstrClass::Load),
+        Just(InstrClass::Store),
+        Just(InstrClass::Branch),
+        Just(InstrClass::AluSimple),
+        Just(InstrClass::AluComplex),
+        Just(InstrClass::Nop),
+    ]
+}
+
+proptest! {
+    /// hits + misses == accesses, and replaying the same trace on a
+    /// fresh cache gives identical stats (determinism).
+    #[test]
+    fn cache_accounting(addrs in prop::collection::vec(0u64..1u64<<20, 1..500)) {
+        let cfg = CacheConfig { size_bytes: 4096, line_bytes: 32 };
+        let mut a = CacheSim::new(cfg);
+        for &x in &addrs {
+            a.access(x);
+        }
+        prop_assert_eq!(a.stats().accesses(), addrs.len() as u64);
+        prop_assert_eq!(a.stats().hits + a.stats().misses, addrs.len() as u64);
+
+        let mut b = CacheSim::new(cfg);
+        for &x in &addrs {
+            b.access(x);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// Accessing the same line twice in a row always hits the second
+    /// time.
+    #[test]
+    fn immediate_reuse_hits(addr in 0u64..1u64<<30) {
+        let mut c = CacheSim::new(CacheConfig::client_dcache());
+        c.access(addr);
+        prop_assert!(c.access(addr));
+    }
+
+    /// Machine energy is exactly the sum of its component ledger, and
+    /// bulk-charging a mix equals the table price of that mix.
+    #[test]
+    fn machine_ledger_consistent(
+        loads in 0u64..1000,
+        stores in 0u64..1000,
+        branches in 0u64..1000,
+        mems in 0u64..100,
+    ) {
+        let mix = InstrMix::new()
+            .with(InstrClass::Load, loads)
+            .with(InstrClass::Store, stores)
+            .with(InstrClass::Branch, branches)
+            .with_mem(mems);
+        let mut m = Machine::new(MachineConfig::mobile_client());
+        m.charge_mix(&mix);
+        let expect = EnergyTable::microsparc_iiep().energy_of_mix(&mix);
+        prop_assert!((m.energy().nanojoules() - expect.nanojoules()).abs() < 1e-6);
+        let total: f64 = m
+            .breakdown()
+            .iter()
+            .map(|(_, e)| e.nanojoules())
+            .sum();
+        prop_assert!((total - m.energy().nanojoules()).abs() < 1e-6);
+    }
+
+    /// Stepping arbitrary instruction traces keeps energy and cycles
+    /// monotonically nondecreasing, and elapsed time consistent with
+    /// cycles at the configured clock.
+    #[test]
+    fn stepping_is_monotone(trace in prop::collection::vec((any_class(), 0u64..1u64<<20, prop::option::of(0u64..1u64<<20)), 1..300)) {
+        let mut m = Machine::new(MachineConfig::mobile_client());
+        let mut last_e = 0.0;
+        let mut last_c = 0;
+        for (class, pc, mem) in trace {
+            let memop = match (class, mem) {
+                (InstrClass::Store, Some(a)) => MemOp::Write(a),
+                (_, Some(a)) => MemOp::Read(a),
+                (_, None) => MemOp::None,
+            };
+            m.step(pc, class, memop);
+            prop_assert!(m.energy().nanojoules() >= last_e);
+            prop_assert!(m.cycles() >= last_c);
+            last_e = m.energy().nanojoules();
+            last_c = m.cycles();
+        }
+        let t = SimTime::from_cycles(m.cycles(), m.config().clock_hz);
+        prop_assert!((m.elapsed().nanos() - t.nanos()).abs() < 1e-6);
+    }
+
+    /// Power-down leakage is exactly leak_fraction of active idle for
+    /// the same duration.
+    #[test]
+    fn leakage_fraction_exact(ms in 0.01f64..1e4) {
+        let t = SimTime::from_millis(ms);
+        let mut down = Machine::new(MachineConfig::mobile_client());
+        let mut idle = Machine::new(MachineConfig::mobile_client());
+        down.power_down(t);
+        idle.active_idle(t);
+        let ratio = down.energy().nanojoules() / idle.energy().nanojoules();
+        prop_assert!((ratio - 0.10).abs() < 1e-9, "{ratio}");
+    }
+}

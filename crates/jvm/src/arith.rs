@@ -1,0 +1,145 @@
+//! Arithmetic semantics shared by the interpreter and JIT-compiled
+//! code.
+//!
+//! Compilation must never change observable results, so both engines
+//! call these single definitions: wrapping 32-bit integer arithmetic
+//! (JVM semantics), trapping division by zero, `fcmpl`-style float
+//! comparison (NaN sorts low), and saturating float→int truncation.
+
+use crate::bytecode::{FBin, IBin};
+use crate::VmError;
+
+/// Apply an integer binary operator with JVM semantics.
+///
+/// # Errors
+/// [`VmError::DivByZero`] for `Div`/`Rem` with a zero divisor.
+#[inline]
+pub fn ibin(op: IBin, a: i32, b: i32) -> Result<i32, VmError> {
+    Ok(match op {
+        IBin::Add => a.wrapping_add(b),
+        IBin::Sub => a.wrapping_sub(b),
+        IBin::Mul => a.wrapping_mul(b),
+        IBin::Div => {
+            if b == 0 {
+                return Err(VmError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        IBin::Rem => {
+            if b == 0 {
+                return Err(VmError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        IBin::And => a & b,
+        IBin::Or => a | b,
+        IBin::Xor => a ^ b,
+        IBin::Shl => a.wrapping_shl(b as u32 & 31),
+        IBin::Shr => a.wrapping_shr(b as u32 & 31),
+    })
+}
+
+/// Apply a float binary operator (IEEE-754, like the JVM).
+#[inline]
+pub fn fbin(op: FBin, a: f64, b: f64) -> f64 {
+    match op {
+        FBin::Add => a + b,
+        FBin::Sub => a - b,
+        FBin::Mul => a * b,
+        FBin::Div => a / b,
+    }
+}
+
+/// Three-way integer comparison: `sign(a - b)` without overflow.
+#[inline]
+pub fn icmp(a: i32, b: i32) -> i32 {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+
+/// Three-way float comparison with NaN sorting low (`fcmpl`).
+#[inline]
+pub fn fcmp(a: f64, b: f64) -> i32 {
+    // NaN sorts low, exactly like `fcmpl`.
+    if a.is_nan() || b.is_nan() || a < b {
+        -1
+    } else if a > b {
+        1
+    } else {
+        0
+    }
+}
+
+/// Truncating, saturating float → int conversion (JVM `d2i`).
+#[inline]
+pub fn f2i(x: f64) -> i32 {
+    // Rust's `as` performs exactly the saturating JVM conversion
+    // (NaN → 0).
+    x as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_int_ops() {
+        assert_eq!(ibin(IBin::Add, i32::MAX, 1).unwrap(), i32::MIN);
+        assert_eq!(ibin(IBin::Sub, i32::MIN, 1).unwrap(), i32::MAX);
+        assert_eq!(ibin(IBin::Mul, 1 << 30, 4).unwrap(), 0);
+        assert_eq!(ibin(IBin::Div, i32::MIN, -1).unwrap(), i32::MIN);
+        assert_eq!(ibin(IBin::Rem, 7, 3).unwrap(), 1);
+        assert_eq!(ibin(IBin::Rem, -7, 3).unwrap(), -1);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert_eq!(ibin(IBin::Div, 1, 0), Err(VmError::DivByZero));
+        assert_eq!(ibin(IBin::Rem, 1, 0), Err(VmError::DivByZero));
+    }
+
+    #[test]
+    fn shifts_mask_to_five_bits() {
+        assert_eq!(ibin(IBin::Shl, 1, 33).unwrap(), 2);
+        assert_eq!(ibin(IBin::Shr, -8, 1).unwrap(), -4); // arithmetic
+        assert_eq!(ibin(IBin::Shr, 8, 2).unwrap(), 2);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(ibin(IBin::And, 0b1100, 0b1010).unwrap(), 0b1000);
+        assert_eq!(ibin(IBin::Or, 0b1100, 0b1010).unwrap(), 0b1110);
+        assert_eq!(ibin(IBin::Xor, 0b1100, 0b1010).unwrap(), 0b0110);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(icmp(1, 2), -1);
+        assert_eq!(icmp(2, 2), 0);
+        assert_eq!(icmp(3, 2), 1);
+        assert_eq!(icmp(i32::MIN, i32::MAX), -1); // no overflow
+        assert_eq!(fcmp(1.0, 2.0), -1);
+        assert_eq!(fcmp(2.0, 2.0), 0);
+        assert_eq!(fcmp(f64::NAN, 0.0), -1);
+        assert_eq!(fcmp(0.0, f64::NAN), -1);
+    }
+
+    #[test]
+    fn float_to_int_saturates() {
+        assert_eq!(f2i(1.9), 1);
+        assert_eq!(f2i(-1.9), -1);
+        assert_eq!(f2i(1e99), i32::MAX);
+        assert_eq!(f2i(-1e99), i32::MIN);
+        assert_eq!(f2i(f64::NAN), 0);
+    }
+
+    #[test]
+    fn float_ops_are_ieee() {
+        assert_eq!(fbin(FBin::Div, 1.0, 0.0), f64::INFINITY);
+        assert!(fbin(FBin::Div, 0.0, 0.0).is_nan());
+        assert_eq!(fbin(FBin::Mul, 2.0, 3.5), 7.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The MJVM bytecode instruction set.
+//!
+//! A stack-oriented ISA closely modeled on the JVM's: typed loads and
+//! stores, local-variable slots, array and field access, static and
+//! virtual calls. Branch targets are indices into the method's `code`
+//! vector. The encoded byte size of each op (what would sit in a class
+//! file) is modeled by [`Op::encoded_size`]; class-file and
+//! over-the-air sizes are derived from it.
+
+use crate::value::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison conditions for branches and compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluate on an ordering of `a` vs `b`.
+    #[inline]
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// Integer binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IBin {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division (traps on zero divisor).
+    Div,
+    /// Remainder (traps on zero divisor).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (masked to 0..31).
+    Shl,
+    /// Arithmetic shift right (masked to 0..31).
+    Shr,
+}
+
+impl IBin {
+    /// True for multiply/divide/remainder, which the energy model
+    /// prices as complex-ALU work.
+    pub fn is_complex(self) -> bool {
+        matches!(self, IBin::Mul | IBin::Div | IBin::Rem)
+    }
+}
+
+/// Float binary ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FBin {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// A method reference: index into the program's flat method table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MethodId(pub u32);
+
+/// A class reference: index into the program's class table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    // ---- constants ----
+    /// Push an integer constant.
+    IConst(i32),
+    /// Push a float constant.
+    FConst(f64),
+    /// Push `null`.
+    NullConst,
+
+    // ---- locals ----
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+
+    // ---- stack ----
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the two topmost values.
+    Swap,
+
+    // ---- integer arithmetic ----
+    /// Pop two ints, push the binary result.
+    IArith(IBin),
+    /// Negate the top int.
+    INeg,
+    /// Pop two ints, push `-1/0/1` comparison result.
+    ICmp,
+
+    // ---- float arithmetic ----
+    /// Pop two floats, push the binary result.
+    FArith(FBin),
+    /// Negate the top float.
+    FNeg,
+    /// Pop two floats, push `-1/0/1` (NaN compares as less, like
+    /// the JVM's `fcmpl`).
+    FCmp,
+
+    // ---- conversions ----
+    /// int → float.
+    I2F,
+    /// float → int (truncating; saturates at i32 bounds).
+    F2I,
+
+    // ---- control flow ----
+    /// Unconditional jump to code index.
+    Goto(u32),
+    /// Pop two ints `a, b`; jump when `cond(a, b)`.
+    ICmpBr(Cond, u32),
+    /// Pop one int `a`; jump when `cond(a, 0)`.
+    BrZ(Cond, u32),
+
+    // ---- arrays ----
+    /// Pop length, allocate an array of `ty`, push its reference.
+    NewArr(Type),
+    /// Pop index and array ref, push the element (typed, like the
+    /// JVM's `iaload`/`faload`/`aaload`).
+    ALoad(Type),
+    /// Pop value, index and array ref; store the element (typed).
+    AStore(Type),
+    /// Pop array ref, push its length.
+    ArrLen,
+
+    // ---- objects ----
+    /// Allocate an instance of the class, push its reference.
+    New(ClassId),
+    /// Pop object ref, push field `n` (the type is the field's
+    /// declared type, resolved from the class file's descriptor).
+    GetField(u16, Type),
+    /// Pop value and object ref; store into field `n`.
+    PutField(u16),
+
+    // ---- calls ----
+    /// Static call: pops the callee's `nargs` arguments.
+    Call(MethodId),
+    /// Virtual call through vtable slot `slot` with `argc` arguments
+    /// *plus* the receiver beneath them.
+    CallVirt {
+        /// Vtable slot to dispatch through.
+        slot: u16,
+        /// Number of non-receiver arguments.
+        argc: u8,
+    },
+    /// Return with no value.
+    Ret,
+    /// Return the top of stack.
+    RetVal,
+
+    /// No operation.
+    Nop,
+}
+
+impl Op {
+    /// The size in bytes this op would occupy in an encoded class file
+    /// (JVM-like: one opcode byte plus operand bytes). Used to model
+    /// bytecode footprint and transfer sizes.
+    pub fn encoded_size(self) -> u32 {
+        match self {
+            Op::IConst(v) => {
+                if (-1..=5).contains(&v) {
+                    1 // iconst_<n>
+                } else if i8::try_from(v).is_ok() {
+                    2 // bipush
+                } else {
+                    3 // sipush, or ldc via the constant pool
+                }
+            }
+            Op::FConst(_) => 3,
+            Op::NullConst => 1,
+            Op::Load(n) | Op::Store(n) => {
+                if n < 4 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Op::Pop | Op::Dup | Op::Swap => 1,
+            Op::IArith(_) | Op::INeg | Op::ICmp => 1,
+            Op::FArith(_) | Op::FNeg | Op::FCmp => 1,
+            Op::I2F | Op::F2I => 1,
+            Op::Goto(_) | Op::ICmpBr(..) | Op::BrZ(..) => 3,
+            Op::NewArr(_) => 2,
+            Op::ALoad(_) | Op::AStore(_) | Op::ArrLen => 1,
+            Op::New(_) => 3,
+            Op::GetField(..) | Op::PutField(_) => 3,
+            Op::Call(_) => 3,
+            Op::CallVirt { .. } => 3,
+            Op::Ret | Op::RetVal => 1,
+            Op::Nop => 1,
+        }
+    }
+
+    /// The branch target, if this is a control-transfer op.
+    pub fn branch_target(self) -> Option<u32> {
+        match self {
+            Op::Goto(t) | Op::ICmpBr(_, t) | Op::BrZ(_, t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the branch target (no-op for non-branches).
+    pub fn with_branch_target(self, t: u32) -> Op {
+        match self {
+            Op::Goto(_) => Op::Goto(t),
+            Op::ICmpBr(c, _) => Op::ICmpBr(c, t),
+            Op::BrZ(c, _) => Op::BrZ(c, t),
+            other => other,
+        }
+    }
+
+    /// True when control never falls through to the next op.
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Op::Goto(_) | Op::Ret | Op::RetVal)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Total encoded size of a code vector in bytes.
+pub fn code_size_bytes(code: &[Op]) -> u32 {
+    code.iter().map(|op| op.encoded_size()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_matrix() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(1, 2));
+        assert!(Cond::Le.eval(2, 2));
+        assert!(Cond::Gt.eval(3, 2));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(!Cond::Ge.eval(1, 2));
+    }
+
+    #[test]
+    fn cond_negation_is_involutive_and_exclusive() {
+        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+        for c in conds {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-3, 3)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn complex_arith_classification() {
+        assert!(IBin::Mul.is_complex());
+        assert!(IBin::Div.is_complex());
+        assert!(IBin::Rem.is_complex());
+        assert!(!IBin::Add.is_complex());
+        assert!(!IBin::Shl.is_complex());
+    }
+
+    #[test]
+    fn encoded_sizes_match_jvm_conventions() {
+        assert_eq!(Op::IConst(0).encoded_size(), 1);
+        assert_eq!(Op::IConst(100).encoded_size(), 2);
+        assert_eq!(Op::IConst(1000).encoded_size(), 3);
+        assert_eq!(Op::IConst(1_000_000).encoded_size(), 3);
+        assert_eq!(Op::Load(0).encoded_size(), 1);
+        assert_eq!(Op::Load(9).encoded_size(), 2);
+        assert_eq!(Op::Goto(0).encoded_size(), 3);
+        assert_eq!(Op::Call(MethodId(0)).encoded_size(), 3);
+    }
+
+    #[test]
+    fn branch_target_accessors() {
+        assert_eq!(Op::Goto(7).branch_target(), Some(7));
+        assert_eq!(Op::ICmpBr(Cond::Lt, 9).branch_target(), Some(9));
+        assert_eq!(Op::BrZ(Cond::Eq, 2).branch_target(), Some(2));
+        assert_eq!(Op::Nop.branch_target(), None);
+        assert_eq!(
+            Op::ICmpBr(Cond::Lt, 9).with_branch_target(4),
+            Op::ICmpBr(Cond::Lt, 4)
+        );
+        assert_eq!(Op::Pop.with_branch_target(4), Op::Pop);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Op::Goto(0).is_terminator());
+        assert!(Op::Ret.is_terminator());
+        assert!(Op::RetVal.is_terminator());
+        assert!(!Op::BrZ(Cond::Eq, 0).is_terminator());
+        assert!(!Op::Call(MethodId(0)).is_terminator());
+    }
+
+    #[test]
+    fn code_size_sums() {
+        let code = [Op::IConst(1), Op::IConst(2), Op::IArith(IBin::Add), Op::RetVal];
+        assert_eq!(code_size_bytes(&code), 1 + 1 + 1 + 1);
+    }
+}

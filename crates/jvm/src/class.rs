@@ -1,0 +1,535 @@
+//! Classes, methods, and whole programs.
+//!
+//! A [`Program`] is the MJVM's unit of deployment — the analogue of a
+//! set of Java class files. It holds a class table (with single
+//! inheritance and vtables for virtual dispatch) and a flat method
+//! table. Method attributes carry the paper's class-file annotations:
+//! the *potential method* marker ("potential methods of a class are
+//! annotated using the attribute string in the class file"), the
+//! *inherently local* marker for I/O-bound methods that "cannot be
+//! potential methods or called by a potential method", and the index
+//! of the *size parameter* the helper methods feed their cost models.
+
+use crate::bytecode::{code_size_bytes, ClassId, MethodId, Op};
+use crate::value::Type;
+use serde::{Deserialize, Serialize};
+
+/// A method signature: parameter types and optional return type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodSig {
+    /// Parameter types, in order. For virtual methods the receiver is
+    /// *not* listed; it implicitly occupies local slot 0.
+    pub params: Vec<Type>,
+    /// Return type, or `None` for void.
+    pub ret: Option<Type>,
+}
+
+impl MethodSig {
+    /// Signature with the given parameters and return type.
+    pub fn new(params: Vec<Type>, ret: Option<Type>) -> Self {
+        MethodSig { params, ret }
+    }
+
+    /// Number of declared parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// Class-file attributes attached to a method (paper §3).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodAttrs {
+    /// Annotated as a *potential method*: may be executed remotely.
+    pub potential: bool,
+    /// Contains inherently local operations (I/O); can never be
+    /// offloaded nor called from an offloaded method.
+    pub local_only: bool,
+    /// Index (into locals, i.e. params with receiver at 0 for virtual
+    /// methods) of the size parameter used by cost estimation.
+    pub size_param: Option<u16>,
+}
+
+/// One method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Method {
+    /// Unqualified name.
+    pub name: String,
+    /// Owning class.
+    pub class: ClassId,
+    /// Signature.
+    pub sig: MethodSig,
+    /// Total local slots (must cover receiver + params + temporaries).
+    pub nlocals: u16,
+    /// Bytecode.
+    pub code: Vec<Op>,
+    /// Paper annotations.
+    pub attrs: MethodAttrs,
+    /// True when the method is virtual (receiver in slot 0, vtable
+    /// dispatched).
+    pub is_virtual: bool,
+}
+
+impl Method {
+    /// Number of argument slots on invocation (receiver included for
+    /// virtual methods).
+    pub fn invoke_arity(&self) -> usize {
+        self.sig.arity() + usize::from(self.is_virtual)
+    }
+
+    /// Encoded bytecode size in bytes.
+    pub fn bytecode_size(&self) -> u32 {
+        code_size_bytes(&self.code)
+    }
+}
+
+/// One declared field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+}
+
+/// One class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Class {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Superclass, if any.
+    pub super_class: Option<ClassId>,
+    /// Own (non-inherited) fields.
+    pub fields: Vec<Field>,
+    /// Resolved field types including inherited fields, in slot order
+    /// (inherited first).
+    pub field_types: Vec<Type>,
+    /// Resolved vtable: slot → implementing method.
+    pub vtable: Vec<MethodId>,
+}
+
+impl Class {
+    /// Slot of the field named `name` (searching inherited + own
+    /// resolved slots via the builder's recorded names).
+    pub fn field_count(&self) -> usize {
+        self.field_types.len()
+    }
+}
+
+/// A complete MJVM program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Class table.
+    pub classes: Vec<Class>,
+    /// Flat method table.
+    pub methods: Vec<Method>,
+}
+
+impl Program {
+    /// Borrow a method.
+    ///
+    /// # Panics
+    /// On out-of-range ids (program construction guarantees validity).
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// Borrow a class.
+    ///
+    /// # Panics
+    /// On out-of-range ids.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Find a method by class and method name.
+    pub fn find_method(&self, class_name: &str, method_name: &str) -> Option<MethodId> {
+        let class_idx = self.classes.iter().position(|c| c.name == class_name)?;
+        self.methods
+            .iter()
+            .position(|m| m.class.0 as usize == class_idx && m.name == method_name)
+            .map(|i| MethodId(i as u32))
+    }
+
+    /// Find a class by name.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Fully-qualified name of a method (`Class.method`).
+    pub fn qualified_name(&self, id: MethodId) -> String {
+        let m = self.method(id);
+        format!("{}.{}", self.class(m.class).name, m.name)
+    }
+
+    /// Resolve a virtual dispatch: the implementation `class` provides
+    /// for vtable `slot`.
+    ///
+    /// # Panics
+    /// If the slot is out of range for the class (verified programs
+    /// never are).
+    pub fn resolve_virtual(&self, class: ClassId, slot: u16) -> MethodId {
+        self.class(class).vtable[slot as usize]
+    }
+
+    /// True when `sub` equals `ancestor` or inherits from it.
+    pub fn is_subclass_of(&self, sub: ClassId, ancestor: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.class(c).super_class;
+        }
+        false
+    }
+
+    /// All methods annotated as potential methods.
+    pub fn potential_methods(&self) -> Vec<MethodId> {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.attrs.potential)
+            .map(|(i, _)| MethodId(i as u32))
+            .collect()
+    }
+
+    /// Total bytecode footprint of the program in bytes.
+    pub fn total_bytecode_size(&self) -> u32 {
+        self.methods.iter().map(Method::bytecode_size).sum()
+    }
+
+    /// All classes that override vtable `slot` differently from
+    /// `class` (used by the JIT's class-hierarchy analysis to decide
+    /// whether virtual inlining is safe).
+    pub fn overriding_classes(&self, class: ClassId, slot: u16) -> Vec<ClassId> {
+        let base_impl = self.resolve_virtual(class, slot);
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                let cid = ClassId(*i as u32);
+                cid != class
+                    && self.is_subclass_of(cid, class)
+                    && (slot as usize) < c.vtable.len()
+                    && c.vtable[slot as usize] != base_impl
+            })
+            .map(|(i, _)| ClassId(i as u32))
+            .collect()
+    }
+}
+
+/// Incremental builder for [`Program`]s, mirroring how class files are
+/// assembled. Handles vtable construction and inherited field layout.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<Class>,
+    methods: Vec<Method>,
+    /// Per class: resolved field names (inherited + own) for slot
+    /// lookup during construction.
+    field_names: Vec<Vec<String>>,
+    /// Per class: vtable slot → method name (to match overrides).
+    vslot_names: Vec<Vec<String>>,
+}
+
+impl ProgramBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a class. Inherited fields and vtable entries are copied
+    /// from the superclass, which must have been declared first.
+    ///
+    /// # Panics
+    /// If the name duplicates an existing class.
+    pub fn add_class(
+        &mut self,
+        name: &str,
+        super_class: Option<ClassId>,
+        fields: &[(&str, Type)],
+    ) -> ClassId {
+        assert!(
+            self.classes.iter().all(|c| c.name != name),
+            "duplicate class {name}"
+        );
+        let (mut field_types, mut names, vtable, vnames) = match super_class {
+            Some(sup) => {
+                let sc = &self.classes[sup.0 as usize];
+                (
+                    sc.field_types.clone(),
+                    self.field_names[sup.0 as usize].clone(),
+                    sc.vtable.clone(),
+                    self.vslot_names[sup.0 as usize].clone(),
+                )
+            }
+            None => (Vec::new(), Vec::new(), Vec::new(), Vec::new()),
+        };
+        for (fname, fty) in fields {
+            assert!(
+                !names.iter().any(|n| n == fname),
+                "duplicate field {fname} in {name}"
+            );
+            names.push((*fname).to_string());
+            field_types.push(*fty);
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(Class {
+            name: name.to_string(),
+            super_class,
+            fields: fields
+                .iter()
+                .map(|(n, t)| Field {
+                    name: (*n).to_string(),
+                    ty: *t,
+                })
+                .collect(),
+            field_types,
+            vtable,
+        });
+        self.field_names.push(names);
+        self.vslot_names.push(vnames);
+        id
+    }
+
+    /// Field slot of `field` in `class` (inherited slots included).
+    ///
+    /// # Panics
+    /// If the field does not exist.
+    pub fn field_slot(&self, class: ClassId, field: &str) -> u16 {
+        self.field_names[class.0 as usize]
+            .iter()
+            .position(|n| n == field)
+            .unwrap_or_else(|| panic!("no field {field} in {}", self.classes[class.0 as usize].name))
+            as u16
+    }
+
+    /// Add a static (non-virtual) method.
+    pub fn add_static_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        sig: MethodSig,
+        nlocals: u16,
+        code: Vec<Op>,
+        attrs: MethodAttrs,
+    ) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        assert!(nlocals as usize >= sig.arity(), "locals must cover params");
+        self.methods.push(Method {
+            name: name.to_string(),
+            class,
+            sig,
+            nlocals,
+            code,
+            attrs,
+            is_virtual: false,
+        });
+        id
+    }
+
+    /// Add (or override) a virtual method; returns `(method, vtable
+    /// slot)`. A method with the same name in the superclass vtable is
+    /// overridden; otherwise a fresh slot is appended.
+    pub fn add_virtual_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        sig: MethodSig,
+        nlocals: u16,
+        code: Vec<Op>,
+        attrs: MethodAttrs,
+    ) -> (MethodId, u16) {
+        assert!(
+            nlocals as usize > sig.arity(),
+            "locals must cover receiver + params"
+        );
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(Method {
+            name: name.to_string(),
+            class,
+            sig,
+            nlocals,
+            code,
+            attrs,
+            is_virtual: true,
+        });
+        let ci = class.0 as usize;
+        let slot = match self.vslot_names[ci].iter().position(|n| n == name) {
+            Some(slot) => {
+                self.classes[ci].vtable[slot] = id;
+                slot
+            }
+            None => {
+                self.vslot_names[ci].push(name.to_string());
+                self.classes[ci].vtable.push(id);
+                self.classes[ci].vtable.len() - 1
+            }
+        };
+        (id, slot as u16)
+    }
+
+    /// Vtable slot of virtual method `name` in `class`.
+    ///
+    /// # Panics
+    /// If no such virtual method exists.
+    pub fn vslot(&self, class: ClassId, name: &str) -> u16 {
+        self.vslot_names[class.0 as usize]
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("no virtual method {name}")) as u16
+    }
+
+    /// Finish construction.
+    pub fn finish(self) -> Program {
+        Program {
+            classes: self.classes,
+            methods: self.methods,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::Op;
+
+    fn void_sig() -> MethodSig {
+        MethodSig::new(vec![], None)
+    }
+
+    #[test]
+    fn build_class_with_fields() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("Point", None, &[("x", Type::Int), ("y", Type::Int)]);
+        assert_eq!(b.field_slot(c, "x"), 0);
+        assert_eq!(b.field_slot(c, "y"), 1);
+        let p = b.finish();
+        assert_eq!(p.class(c).field_count(), 2);
+        assert_eq!(p.find_class("Point"), Some(c));
+        assert_eq!(p.find_class("Nope"), None);
+    }
+
+    #[test]
+    fn inheritance_layouts_fields_after_super() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Base", None, &[("a", Type::Int)]);
+        let derived = b.add_class("Derived", Some(base), &[("b", Type::Float)]);
+        assert_eq!(b.field_slot(derived, "a"), 0);
+        assert_eq!(b.field_slot(derived, "b"), 1);
+        let p = b.finish();
+        assert_eq!(p.class(derived).field_types, vec![Type::Int, Type::Float]);
+        assert!(p.is_subclass_of(derived, base));
+        assert!(!p.is_subclass_of(base, derived));
+    }
+
+    #[test]
+    fn vtable_override() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("Shape", None, &[]);
+        let (area_base, slot) =
+            b.add_virtual_method(base, "area", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        let circle = b.add_class("Circle", Some(base), &[]);
+        let (area_circle, slot2) = b.add_virtual_method(
+            circle,
+            "area",
+            void_sig(),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
+        assert_eq!(slot, slot2);
+        let p = b.finish();
+        assert_eq!(p.resolve_virtual(base, slot), area_base);
+        assert_eq!(p.resolve_virtual(circle, slot), area_circle);
+    }
+
+    #[test]
+    fn overriding_classes_found_by_cha() {
+        let mut b = ProgramBuilder::new();
+        let base = b.add_class("B", None, &[]);
+        let (_, slot) =
+            b.add_virtual_method(base, "f", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        let d1 = b.add_class("D1", Some(base), &[]);
+        let _d2 = b.add_class("D2", Some(base), &[]); // inherits, no override
+        b.add_virtual_method(d1, "f", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        let p = b.finish();
+        assert_eq!(p.overriding_classes(base, slot), vec![d1]);
+    }
+
+    #[test]
+    fn potential_method_registry() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("App", None, &[]);
+        let m1 = b.add_static_method(
+            c,
+            "hot",
+            void_sig(),
+            0,
+            vec![Op::Ret],
+            MethodAttrs {
+                potential: true,
+                size_param: Some(0),
+                ..Default::default()
+            },
+        );
+        let _m2 = b.add_static_method(c, "cold", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
+        let p = b.finish();
+        assert_eq!(p.potential_methods(), vec![m1]);
+        assert_eq!(p.qualified_name(m1), "App.hot");
+    }
+
+    #[test]
+    fn find_method_scoped_by_class() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_class("A", None, &[]);
+        let c = b.add_class("C", None, &[]);
+        let ma = b.add_static_method(a, "run", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
+        let mc = b.add_static_method(c, "run", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
+        let p = b.finish();
+        assert_eq!(p.find_method("A", "run"), Some(ma));
+        assert_eq!(p.find_method("C", "run"), Some(mc));
+        assert_eq!(p.find_method("A", "walk"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_class_rejected() {
+        let mut b = ProgramBuilder::new();
+        b.add_class("X", None, &[]);
+        b.add_class("X", None, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "locals must cover")]
+    fn insufficient_locals_rejected() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("X", None, &[]);
+        b.add_static_method(
+            c,
+            "f",
+            MethodSig::new(vec![Type::Int, Type::Int], None),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
+    }
+
+    #[test]
+    fn bytecode_size_accumulates() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("X", None, &[]);
+        b.add_static_method(
+            c,
+            "f",
+            void_sig(),
+            0,
+            vec![Op::IConst(1), Op::Pop, Op::Ret],
+            MethodAttrs::default(),
+        );
+        let p = b.finish();
+        assert_eq!(p.total_bytecode_size(), 3);
+    }
+}

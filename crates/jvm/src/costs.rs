@@ -1,0 +1,380 @@
+//! The MJVM cost model: how much simulated machine work each VM
+//! activity performs.
+//!
+//! The paper's energy numbers come from running the LaTTe JVM under an
+//! instruction-level simulator — interpretation, JIT compilation and
+//! generated native code all decompose into counted SPARC instructions.
+//! We reproduce that decomposition with explicit per-activity
+//! instruction mixes:
+//!
+//! * **Interpretation** — every bytecode pays a dispatch overhead
+//!   (opcode fetch, decode, indirect jump: the classic threaded
+//!   interpreter loop) plus the cost of its operand-stack traffic,
+//!   which lives in memory. This is why interpreted execution is
+//!   energy-expensive relative to native code.
+//! * **Native execution** — each emitted native instruction is one
+//!   machine event; operand traffic lives in registers.
+//! * **JIT compilation** — compiler passes report *work units*
+//!   (IR nodes visited); each unit costs [`compile_work_mix`].
+//! * **Serialization** — charged per byte via [`serialize_mix`].
+//!
+//! Simulated address-space layout (for the cache models):
+//!
+//! | region | base |
+//! |---|---|
+//! | interpreter handlers (I-cache) | [`INTERP_CODE_BASE`] |
+//! | JIT-emitted native code (I-cache) | [`NATIVE_CODE_BASE`] |
+//! | operand stack / frames (D-cache) | [`FRAME_BASE`] |
+//! | heap objects (D-cache) | `jem_jvm::heap::HEAP_BASE` |
+
+use crate::bytecode::{IBin, Op};
+use jem_energy::{InstrClass, InstrMix};
+
+/// Base simulated address of the interpreter's handler code.
+pub const INTERP_CODE_BASE: u64 = 0x1000_0000;
+/// Bytes reserved per opcode handler (spreads handlers over I-cache
+/// sets like a real threaded interpreter).
+pub const HANDLER_STRIDE: u64 = 128;
+/// Base simulated address of JIT-emitted native code.
+pub const NATIVE_CODE_BASE: u64 = 0x3000_0000;
+/// Base simulated address of the operand stack / frame region.
+pub const FRAME_BASE: u64 = 0x5000_0000;
+/// Simulated bytes per emitted native instruction (SPARC: 4).
+pub const NATIVE_INSTR_BYTES: u64 = 4;
+
+/// Simulated I-cache address of the handler for `op`.
+pub fn handler_address(op: &Op) -> u64 {
+    INTERP_CODE_BASE + opcode_index(op) * HANDLER_STRIDE
+}
+
+/// Dense opcode index (for handler addressing).
+fn opcode_index(op: &Op) -> u64 {
+    match op {
+        Op::IConst(_) => 0,
+        Op::FConst(_) => 1,
+        Op::NullConst => 2,
+        Op::Load(_) => 3,
+        Op::Store(_) => 4,
+        Op::Pop => 5,
+        Op::Dup => 6,
+        Op::Swap => 7,
+        Op::IArith(b) => 8 + ibin_index(*b),
+        Op::INeg => 18,
+        Op::ICmp => 19,
+        Op::FArith(_) => 20,
+        Op::FNeg => 24,
+        Op::FCmp => 25,
+        Op::I2F => 26,
+        Op::F2I => 27,
+        Op::Goto(_) => 28,
+        Op::ICmpBr(..) => 29,
+        Op::BrZ(..) => 30,
+        Op::NewArr(_) => 31,
+        Op::ALoad(_) => 32,
+        Op::AStore(_) => 33,
+        Op::ArrLen => 34,
+        Op::New(_) => 35,
+        Op::GetField(..) => 36,
+        Op::PutField(_) => 37,
+        Op::Call(_) => 38,
+        Op::CallVirt { .. } => 39,
+        Op::Ret => 40,
+        Op::RetVal => 41,
+        Op::Nop => 42,
+    }
+}
+
+fn ibin_index(b: IBin) -> u64 {
+    match b {
+        IBin::Add => 0,
+        IBin::Sub => 1,
+        IBin::Mul => 2,
+        IBin::Div => 3,
+        IBin::Rem => 4,
+        IBin::And => 5,
+        IBin::Or => 6,
+        IBin::Xor => 7,
+        IBin::Shl => 8,
+        IBin::Shr => 9,
+    }
+}
+
+/// Per-bytecode dispatch overhead of the threaded interpreter:
+/// opcode fetch (load from the bytecode array), pc bump + decode
+/// (2 simple ALU ops). The indirect dispatch jump itself is issued
+/// separately through the I-cache by the interpreter so it can miss
+/// realistically.
+pub fn dispatch_mix() -> InstrMix {
+    InstrMix::new()
+        .with(InstrClass::Load, 1)
+        .with(InstrClass::AluSimple, 2)
+}
+
+/// The interpreter's per-op work beyond dispatch and beyond explicit
+/// heap traffic (which the interpreter routes through the D-cache with
+/// real addresses). Operand-stack pushes are stores, pops are loads —
+/// the memory traffic that makes interpretation expensive.
+pub fn op_work_mix(op: &Op) -> InstrMix {
+    let m = InstrMix::new();
+    match op {
+        // push imm
+        Op::IConst(_) | Op::NullConst => m
+            .with(InstrClass::Load, 1) // operand fetch
+            .with(InstrClass::Store, 1),
+        Op::FConst(_) => m
+            .with(InstrClass::Load, 2) // 8-byte operand fetch
+            .with(InstrClass::Store, 2),
+        // local read + push / pop + local write
+        Op::Load(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::Store, 1),
+        Op::Store(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::Store, 1),
+        Op::Pop => m.with(InstrClass::AluSimple, 1),
+        Op::Dup => m.with(InstrClass::Load, 1).with(InstrClass::Store, 1),
+        Op::Swap => m.with(InstrClass::Load, 2).with(InstrClass::Store, 2),
+        // pop 2, op, push 1
+        Op::IArith(b) => {
+            let alu = if b.is_complex() {
+                InstrClass::AluComplex
+            } else {
+                InstrClass::AluSimple
+            };
+            m.with(InstrClass::Load, 2).with(alu, 1).with(InstrClass::Store, 1)
+        }
+        Op::INeg => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluSimple, 1)
+            .with(InstrClass::Store, 1),
+        Op::ICmp => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 2)
+            .with(InstrClass::Store, 1),
+        // float ops: complex ALU (no FPU on the microSPARC-IIep)
+        Op::FArith(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluComplex, 1)
+            .with(InstrClass::Store, 1),
+        Op::FNeg => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluComplex, 1)
+            .with(InstrClass::Store, 1),
+        Op::FCmp => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluComplex, 1)
+            .with(InstrClass::Store, 1),
+        Op::I2F | Op::F2I => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluComplex, 1)
+            .with(InstrClass::Store, 1),
+        // control: operand fetch + compare + taken/untaken branch
+        Op::Goto(_) => m.with(InstrClass::Load, 1).with(InstrClass::Branch, 1),
+        Op::ICmpBr(..) => m
+            .with(InstrClass::Load, 3)
+            .with(InstrClass::AluSimple, 1)
+            .with(InstrClass::Branch, 1),
+        Op::BrZ(..) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 1)
+            .with(InstrClass::Branch, 1),
+        // allocation: header init + zeroing is charged per element by
+        // the interpreter (see `alloc_zero_mix`)
+        Op::NewArr(_) => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluSimple, 3)
+            .with(InstrClass::Store, 2),
+        Op::New(_) => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluSimple, 3)
+            .with(InstrClass::Store, 2),
+        // array access: pops + bounds check; the element touch goes
+        // through the D-cache separately
+        Op::ALoad(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 2)
+            .with(InstrClass::Branch, 1)
+            .with(InstrClass::Store, 1),
+        Op::AStore(_) => m
+            .with(InstrClass::Load, 3)
+            .with(InstrClass::AluSimple, 2)
+            .with(InstrClass::Branch, 1),
+        Op::ArrLen => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::Store, 1),
+        Op::GetField(..) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 1)
+            .with(InstrClass::Store, 1),
+        Op::PutField(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 1),
+        // call/return: frame setup (locals copy priced per arg by the
+        // interpreter), vtable lookup for virtual
+        Op::Call(_) => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 4)
+            .with(InstrClass::Store, 2)
+            .with(InstrClass::Branch, 1),
+        Op::CallVirt { .. } => m
+            .with(InstrClass::Load, 4) // receiver class + vtable entry
+            .with(InstrClass::AluSimple, 4)
+            .with(InstrClass::Store, 2)
+            .with(InstrClass::Branch, 1),
+        Op::Ret => m
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluSimple, 2)
+            .with(InstrClass::Branch, 1),
+        Op::RetVal => m
+            .with(InstrClass::Load, 2)
+            .with(InstrClass::AluSimple, 2)
+            .with(InstrClass::Store, 1)
+            .with(InstrClass::Branch, 1),
+        Op::Nop => m,
+    }
+}
+
+/// Per-argument cost of copying arguments into a callee frame.
+pub fn arg_copy_mix(nargs: usize) -> InstrMix {
+    InstrMix::new()
+        .with(InstrClass::Load, nargs as u64)
+        .with(InstrClass::Store, nargs as u64)
+}
+
+/// Per-element zeroing cost of array/object allocation (one store per
+/// 8 bytes, like an optimized memset).
+pub fn alloc_zero_mix(bytes: u64) -> InstrMix {
+    InstrMix::new().with(InstrClass::Store, bytes.div_ceil(8))
+}
+
+/// One-time cost of loading and initializing the JIT compiler's own
+/// classes on the client — paid before the *first* local compilation.
+/// The paper's Fig 6 energies explicitly "include the energy cost of
+/// loading and initializing the compiler classes", and this cost is
+/// what makes interpretation or remote execution preferable for small
+/// inputs, and remote *compilation* attractive at all ("remote
+/// compilation … can reduce both the energy and memory overheads").
+///
+/// Sized at ~2.5M instructions (~25 ms at 100 MHz): reading, verifying
+/// and initializing the compiler while still running interpreted — in
+/// line with JIT warm-up measurements from the era. Large enough to
+/// dominate a small-input invocation (the paper's Fig 6 shows I and R
+/// beating every local strategy at small sizes for exactly this
+/// reason), small enough to amortize over a 300-invocation scenario.
+pub fn compiler_init_mix() -> InstrMix {
+    InstrMix::new()
+        .with(InstrClass::Load, 875_000)
+        .with(InstrClass::Store, 375_000)
+        .with(InstrClass::AluSimple, 875_000)
+        .with(InstrClass::AluComplex, 37_500)
+        .with(InstrClass::Branch, 250_000)
+        .with_mem(50_000)
+}
+
+/// One compiler *work unit*: the instruction footprint of visiting
+/// one IR node in a pass, including its share of the surrounding
+/// machinery a JVM JIT drags along per compiled node — class-file
+/// parsing and constant-pool resolution, bytecode re-verification,
+/// allocation and GC of the IR itself, and hash-table churn. The
+/// per-unit footprint is calibrated so that a whole-application
+/// compile lands in the regime the paper's Fig 8 establishes
+/// empirically: local compilation energy is comparable to the radio
+/// energy of downloading the resulting code (which is what makes the
+/// local/remote compilation tradeoff a real decision).
+pub fn compile_work_mix(units: u64) -> InstrMix {
+    InstrMix::new()
+        .with(InstrClass::Load, 120 * units)
+        .with(InstrClass::Store, 40 * units)
+        .with(InstrClass::AluSimple, 120 * units)
+        .with(InstrClass::Branch, 40 * units)
+        .with_mem(3 * units)
+}
+
+/// Cost of serializing or deserializing `bytes` bytes of object data
+/// (tag handling, copying, handle fixup — roughly one load+store plus
+/// bookkeeping per word).
+pub fn serialize_mix(bytes: u64) -> InstrMix {
+    let words = bytes.div_ceil(4);
+    InstrMix::new()
+        .with(InstrClass::Load, words)
+        .with(InstrClass::Store, words)
+        .with(InstrClass::AluSimple, words / 2)
+        .with(InstrClass::Branch, words / 8)
+        .with_mem(words / 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_energy::EnergyTable;
+
+    #[test]
+    fn handler_addresses_are_distinct_per_opcode() {
+        let ops = [
+            Op::IConst(0),
+            Op::Load(0),
+            Op::IArith(IBin::Add),
+            Op::IArith(IBin::Mul),
+            Op::Goto(0),
+            Op::Ret,
+        ];
+        let mut addrs: Vec<u64> = ops.iter().map(handler_address).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), ops.len());
+    }
+
+    #[test]
+    fn handlers_fit_in_icache() {
+        // All handlers must fit in the 16 KB client I-cache so a hot
+        // interpreter loop stays cache-resident, as real threaded
+        // interpreters do.
+        let max = 43 * HANDLER_STRIDE;
+        assert!(max <= 16 * 1024, "handler region too large: {max}");
+    }
+
+    #[test]
+    fn interpretation_overhead_dominates_op_work() {
+        // Dispatch + operand-stack traffic should make the interpreted
+        // iadd several times more expensive than the single simple-ALU
+        // instruction native code uses.
+        let table = EnergyTable::default();
+        let interp =
+            table.energy_of_mix(&(dispatch_mix() + op_work_mix(&Op::IArith(IBin::Add))));
+        let native = table.energy_of_mix(&InstrMix::new().with(InstrClass::AluSimple, 1));
+        let ratio = interp.ratio(native);
+        assert!(ratio > 4.0, "interpretation too cheap: {ratio}");
+        assert!(ratio < 20.0, "interpretation unrealistically dear: {ratio}");
+    }
+
+    #[test]
+    fn complex_ops_cost_more_than_simple() {
+        let table = EnergyTable::default();
+        let add = table.energy_of_mix(&op_work_mix(&Op::IArith(IBin::Add)));
+        let mul = table.energy_of_mix(&op_work_mix(&Op::IArith(IBin::Mul)));
+        assert!(mul > add);
+    }
+
+    #[test]
+    fn serialize_cost_scales_linearly() {
+        let table = EnergyTable::default();
+        let small = table.energy_of_mix(&serialize_mix(1024));
+        let large = table.energy_of_mix(&serialize_mix(4096));
+        let ratio = large.ratio(small);
+        assert!((ratio - 4.0).abs() < 0.1, "{ratio}");
+    }
+
+    #[test]
+    fn compile_work_nonzero() {
+        let table = EnergyTable::default();
+        assert!(table.energy_of_mix(&compile_work_mix(100)).nanojoules() > 0.0);
+        assert!(compile_work_mix(0).is_empty());
+    }
+
+    #[test]
+    fn alloc_zeroing_per_8_bytes() {
+        assert_eq!(alloc_zero_mix(64).count(InstrClass::Store), 8);
+        assert_eq!(alloc_zero_mix(1).count(InstrClass::Store), 1);
+        assert_eq!(alloc_zero_mix(0).count(InstrClass::Store), 0);
+    }
+}

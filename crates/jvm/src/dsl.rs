@@ -1,0 +1,1581 @@
+//! A typed mini-language that compiles to MJVM bytecode.
+//!
+//! The paper's benchmarks are ordinary Java programs; ours are written
+//! in this embedded DSL and compiled to the MJVM's stack bytecode,
+//! playing the role of `javac`. The DSL is deliberately Java-shaped:
+//! statically typed expressions, locals, `if`/`while`/`for`, arrays,
+//! objects with virtual methods, and static method calls.
+//!
+//! ```
+//! use jem_jvm::dsl::*;
+//! use jem_jvm::value::Type;
+//!
+//! let mut m = ModuleBuilder::new();
+//! m.func(
+//!     "square",
+//!     vec![("x", DType::Int)],
+//!     Some(DType::Int),
+//!     vec![ret(var("x").mul(var("x")))],
+//! );
+//! let program = m.compile().unwrap();
+//! jem_jvm::verify::verify_program(&program).unwrap();
+//! ```
+
+use crate::bytecode::{ClassId, Cond, FBin, IBin, MethodId, Op};
+use crate::class::{MethodAttrs, MethodSig, ProgramBuilder};
+use crate::class::Program;
+use crate::value::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// DSL-level types. Richer than VM [`Type`]s: arrays know their
+/// element type and objects their class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DType {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Array with the given element type.
+    Arr(Box<DType>),
+    /// Instance of the named class.
+    Obj(String),
+}
+
+impl DType {
+    /// Shorthand for `Arr(Int)`.
+    pub fn int_arr() -> DType {
+        DType::Arr(Box::new(DType::Int))
+    }
+
+    /// Shorthand for `Arr(Float)`.
+    pub fn float_arr() -> DType {
+        DType::Arr(Box::new(DType::Float))
+    }
+
+    /// Shorthand for `Obj(name)`.
+    pub fn obj(name: &str) -> DType {
+        DType::Obj(name.to_string())
+    }
+
+    /// The VM-level category this type lowers to.
+    pub fn vm_type(&self) -> Type {
+        match self {
+            DType::Int => Type::Int,
+            DType::Float => Type::Float,
+            DType::Arr(_) | DType::Obj(_) => Type::Ref,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::Int => write!(f, "int"),
+            DType::Float => write!(f, "float"),
+            DType::Arr(e) => write!(f, "{e}[]"),
+            DType::Obj(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Arithmetic operators, resolved to int or float forms by operand
+/// type at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `a % b` (int only)
+    Rem,
+    /// `a & b` (int only)
+    And,
+    /// `a | b` (int only)
+    Or,
+    /// `a ^ b` (int only)
+    Xor,
+    /// `a << b` (int only)
+    Shl,
+    /// `a >> b` (int only)
+    Shr,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i32),
+    /// Float literal.
+    FloatLit(f64),
+    /// The null reference, typed.
+    Null(DType),
+    /// Read a local variable.
+    Var(String),
+    /// Binary arithmetic.
+    Bin(ArithOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing 0/1.
+    Cmp(Cond, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Logical negation of a 0/1 int.
+    Not(Box<Expr>),
+    /// int → float.
+    ToF(Box<Expr>),
+    /// float → int (truncating).
+    ToI(Box<Expr>),
+    /// `arr[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `arr.length`.
+    Len(Box<Expr>),
+    /// Static call to a module function.
+    Call(String, Vec<Expr>),
+    /// Virtual call `recv.method(args)`.
+    CallVirt {
+        /// Receiver expression (must be `Obj`).
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `new C()` (fields zero-initialized).
+    New(String),
+    /// `new T[len]`.
+    NewArr(DType, Box<Expr>),
+    /// `obj.field`.
+    Field(Box<Expr>, String),
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods mirror Java operators by design
+impl Expr {
+    fn bx(self) -> Box<Expr> {
+        Box::new(self)
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Add, self.bx(), rhs.bx())
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Sub, self.bx(), rhs.bx())
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Mul, self.bx(), rhs.bx())
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Div, self.bx(), rhs.bx())
+    }
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Rem, self.bx(), rhs.bx())
+    }
+    /// `self & rhs`
+    pub fn bitand(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::And, self.bx(), rhs.bx())
+    }
+    /// `self | rhs`
+    pub fn bitor(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Or, self.bx(), rhs.bx())
+    }
+    /// `self ^ rhs`
+    pub fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Xor, self.bx(), rhs.bx())
+    }
+    /// `self << rhs`
+    pub fn shl(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Shl, self.bx(), rhs.bx())
+    }
+    /// `self >> rhs`
+    pub fn shr(self, rhs: Expr) -> Expr {
+        Expr::Bin(ArithOp::Shr, self.bx(), rhs.bx())
+    }
+    /// `self == rhs` (0/1)
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Eq, self.bx(), rhs.bx())
+    }
+    /// `self != rhs` (0/1)
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Ne, self.bx(), rhs.bx())
+    }
+    /// `self < rhs` (0/1)
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Lt, self.bx(), rhs.bx())
+    }
+    /// `self <= rhs` (0/1)
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Le, self.bx(), rhs.bx())
+    }
+    /// `self > rhs` (0/1)
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Gt, self.bx(), rhs.bx())
+    }
+    /// `self >= rhs` (0/1)
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(Cond::Ge, self.bx(), rhs.bx())
+    }
+    /// `-self`
+    pub fn neg(self) -> Expr {
+        Expr::Neg(self.bx())
+    }
+    /// `!self` for 0/1 ints
+    pub fn not(self) -> Expr {
+        Expr::Not(self.bx())
+    }
+    /// `(float) self`
+    pub fn to_f(self) -> Expr {
+        Expr::ToF(self.bx())
+    }
+    /// `(int) self`
+    pub fn to_i(self) -> Expr {
+        Expr::ToI(self.bx())
+    }
+    /// `self[idx]`
+    pub fn index(self, idx: Expr) -> Expr {
+        Expr::Index(self.bx(), idx.bx())
+    }
+    /// `self.length`
+    pub fn len(self) -> Expr {
+        Expr::Len(self.bx())
+    }
+    /// `self.field`
+    pub fn field(self, name: &str) -> Expr {
+        Expr::Field(self.bx(), name.to_string())
+    }
+    /// `self.method(args)` (virtual dispatch)
+    pub fn vcall(self, method: &str, args: Vec<Expr>) -> Expr {
+        Expr::CallVirt {
+            recv: self.bx(),
+            method: method.to_string(),
+            args,
+        }
+    }
+}
+
+/// Integer literal.
+pub fn iconst(v: i32) -> Expr {
+    Expr::IntLit(v)
+}
+
+/// Float literal.
+pub fn fconst(v: f64) -> Expr {
+    Expr::FloatLit(v)
+}
+
+/// Variable reference.
+pub fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string())
+}
+
+/// Static call to a module function.
+pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+    Expr::Call(name.to_string(), args)
+}
+
+/// `new C()`.
+pub fn new_obj(class: &str) -> Expr {
+    Expr::New(class.to_string())
+}
+
+/// `new T[len]`.
+pub fn new_arr(elem: DType, len: Expr) -> Expr {
+    Expr::NewArr(elem, Box::new(len))
+}
+
+/// The typed null reference.
+pub fn null(ty: DType) -> Expr {
+    Expr::Null(ty)
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare and initialize a new local.
+    Let(String, Expr),
+    /// Assign an existing local.
+    Assign(String, Expr),
+    /// `arr[idx] = val`.
+    SetIndex(Expr, Expr, Expr),
+    /// `obj.field = val`.
+    SetField(Expr, String, Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (name = start; name < end; name++) { .. }`.
+    For(String, Expr, Expr, Vec<Stmt>),
+    /// `return expr;`.
+    Return(Option<Expr>),
+    /// Evaluate for side effects; a non-void result is discarded.
+    Expr(Expr),
+}
+
+/// Declare and initialize a local (type inferred from the expression).
+pub fn let_(name: &str, value: Expr) -> Stmt {
+    Stmt::Let(name.to_string(), value)
+}
+
+/// Assign an existing local.
+pub fn assign(name: &str, value: Expr) -> Stmt {
+    Stmt::Assign(name.to_string(), value)
+}
+
+/// `arr[idx] = val`.
+pub fn set_index(arr: Expr, idx: Expr, val: Expr) -> Stmt {
+    Stmt::SetIndex(arr, idx, val)
+}
+
+/// `obj.field = val`.
+pub fn set_field(obj: Expr, field: &str, val: Expr) -> Stmt {
+    Stmt::SetField(obj, field.to_string(), val)
+}
+
+/// Two-armed conditional.
+pub fn if_else(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, els)
+}
+
+/// One-armed conditional.
+pub fn if_(cond: Expr, then: Vec<Stmt>) -> Stmt {
+    Stmt::If(cond, then, vec![])
+}
+
+/// `while` loop.
+pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::While(cond, body)
+}
+
+/// Counted loop over `[start, end)`.
+pub fn for_(name: &str, start: Expr, end: Expr, body: Vec<Stmt>) -> Stmt {
+    Stmt::For(name.to_string(), start, end, body)
+}
+
+/// `return expr;`
+pub fn ret(value: Expr) -> Stmt {
+    Stmt::Return(Some(value))
+}
+
+/// `return;`
+pub fn ret_void() -> Stmt {
+    Stmt::Return(None)
+}
+
+/// Evaluate an expression as a statement.
+pub fn expr_stmt(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+/// A compile-time error in a DSL program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslError {
+    /// Function being compiled.
+    pub func: String,
+    /// Reason.
+    pub reason: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dsl error in {}: {}", self.func, self.reason)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A function definition awaiting compilation.
+#[derive(Debug, Clone)]
+struct DslFunc {
+    name: String,
+    /// Owning class name, or `None` for a module-level static.
+    class: Option<String>,
+    is_virtual: bool,
+    params: Vec<(String, DType)>,
+    ret: Option<DType>,
+    body: Vec<Stmt>,
+    attrs: MethodAttrs,
+}
+
+/// A class definition awaiting compilation.
+#[derive(Debug, Clone)]
+struct DslClass {
+    name: String,
+    super_class: Option<String>,
+    fields: Vec<(String, DType)>,
+}
+
+/// Top-level builder for a DSL module.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    classes: Vec<DslClass>,
+    funcs: Vec<DslFunc>,
+}
+
+/// Name of the synthetic class holding module-level functions.
+pub const MODULE_CLASS: &str = "Module";
+
+impl ModuleBuilder {
+    /// A fresh module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a class with fields (superclass must be declared first).
+    pub fn class(&mut self, name: &str, super_class: Option<&str>, fields: &[(&str, DType)]) {
+        self.classes.push(DslClass {
+            name: name.to_string(),
+            super_class: super_class.map(str::to_string),
+            fields: fields
+                .iter()
+                .map(|(n, t)| ((*n).to_string(), t.clone()))
+                .collect(),
+        });
+    }
+
+    /// Define a module-level (static) function.
+    pub fn func(
+        &mut self,
+        name: &str,
+        params: Vec<(&str, DType)>,
+        ret: Option<DType>,
+        body: Vec<Stmt>,
+    ) {
+        self.func_with_attrs(name, params, ret, body, MethodAttrs::default());
+    }
+
+    /// Define a module-level function with paper annotations
+    /// (potential-method marker, size parameter, …).
+    pub fn func_with_attrs(
+        &mut self,
+        name: &str,
+        params: Vec<(&str, DType)>,
+        ret: Option<DType>,
+        body: Vec<Stmt>,
+        attrs: MethodAttrs,
+    ) {
+        self.funcs.push(DslFunc {
+            name: name.to_string(),
+            class: None,
+            is_virtual: false,
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret,
+            body,
+            attrs,
+        });
+    }
+
+    /// Define a virtual method on a class. Inside the body the
+    /// receiver is available as the variable `this`.
+    pub fn virtual_method(
+        &mut self,
+        class: &str,
+        name: &str,
+        params: Vec<(&str, DType)>,
+        ret: Option<DType>,
+        body: Vec<Stmt>,
+    ) {
+        self.funcs.push(DslFunc {
+            name: name.to_string(),
+            class: Some(class.to_string()),
+            is_virtual: true,
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret,
+            body,
+            attrs: MethodAttrs::default(),
+        });
+    }
+
+    /// Compile the module to an MJVM [`Program`].
+    ///
+    /// # Errors
+    /// A [`DslError`] describing the first type or resolution error.
+    pub fn compile(self) -> Result<Program, DslError> {
+        let mut pb = ProgramBuilder::new();
+
+        // Class layout phase.
+        let module_class = pb.add_class(MODULE_CLASS, None, &[]);
+        let mut class_ids: HashMap<String, ClassId> = HashMap::new();
+        class_ids.insert(MODULE_CLASS.to_string(), module_class);
+        let mut class_fields: HashMap<String, Vec<(String, DType)>> = HashMap::new();
+        class_fields.insert(MODULE_CLASS.to_string(), vec![]);
+
+        for c in &self.classes {
+            let super_id = match &c.super_class {
+                Some(s) => Some(*class_ids.get(s).ok_or_else(|| DslError {
+                    func: format!("class {}", c.name),
+                    reason: format!("unknown superclass {s}"),
+                })?),
+                None => None,
+            };
+            let fields_vm: Vec<(&str, Type)> = c
+                .fields
+                .iter()
+                .map(|(n, t)| (n.as_str(), t.vm_type()))
+                .collect();
+            let id = pb.add_class(&c.name, super_id, &fields_vm);
+            class_ids.insert(c.name.clone(), id);
+            // Resolved (inherited + own) DSL field list for typing.
+            let mut all = match &c.super_class {
+                Some(s) => class_fields[s].clone(),
+                None => vec![],
+            };
+            all.extend(c.fields.iter().cloned());
+            class_fields.insert(c.name.clone(), all);
+        }
+
+        // Method declaration phase: add every method with placeholder
+        // code so ids and vtable slots exist before bodies compile.
+        let mut func_ids: HashMap<String, (MethodId, Vec<DType>, Option<DType>)> = HashMap::new();
+        let mut vmethods: HashMap<(String, String), VirtSig> = HashMap::new();
+        let mut declared: Vec<MethodId> = Vec::with_capacity(self.funcs.len());
+
+        for f in &self.funcs {
+            let sig = MethodSig::new(
+                f.params.iter().map(|(_, t)| t.vm_type()).collect(),
+                f.ret.as_ref().map(DType::vm_type),
+            );
+            let placeholder = vec![Op::Nop];
+            let param_tys: Vec<DType> = f.params.iter().map(|(_, t)| t.clone()).collect();
+            if f.is_virtual {
+                let class_name = f.class.as_deref().expect("virtual methods have a class");
+                let class_id = *class_ids.get(class_name).ok_or_else(|| DslError {
+                    func: f.name.clone(),
+                    reason: format!("unknown class {class_name}"),
+                })?;
+                let nlocals = (1 + f.params.len()) as u16;
+                let (id, slot) = pb.add_virtual_method(
+                    class_id,
+                    &f.name,
+                    sig,
+                    nlocals,
+                    placeholder,
+                    f.attrs.clone(),
+                );
+                vmethods.insert(
+                    (class_name.to_string(), f.name.clone()),
+                    (slot, param_tys, f.ret.clone()),
+                );
+                declared.push(id);
+            } else {
+                if func_ids.contains_key(&f.name) {
+                    return Err(DslError {
+                        func: f.name.clone(),
+                        reason: "duplicate function name".into(),
+                    });
+                }
+                let nlocals = f.params.len() as u16;
+                let id = pb.add_static_method(
+                    module_class,
+                    &f.name,
+                    sig,
+                    nlocals,
+                    placeholder,
+                    f.attrs.clone(),
+                );
+                func_ids.insert(f.name.clone(), (id, param_tys, f.ret.clone()));
+                declared.push(id);
+            }
+        }
+
+        // Propagate virtual-method visibility through subclasses so a
+        // call on a subclass instance finds inherited slots.
+        // (Resolution walks up the declared class chain at lookup.)
+        let mut program = pb.finish();
+
+        let resolver = Resolver {
+            class_ids: &class_ids,
+            class_fields: &class_fields,
+            class_supers: self
+                .classes
+                .iter()
+                .map(|c| (c.name.clone(), c.super_class.clone()))
+                .collect(),
+            func_ids: &func_ids,
+            vmethods: &vmethods,
+        };
+
+        // Body compilation phase.
+        for (f, id) in self.funcs.iter().zip(&declared) {
+            let mut ctx = FuncCtx::new(f, &resolver)?;
+            ctx.compile_body(&f.body)?;
+            let (code, nlocals) = ctx.finish(f)?;
+            let m = &mut program.methods[id.0 as usize];
+            m.code = code;
+            m.nlocals = nlocals;
+        }
+
+        Ok(program)
+    }
+}
+
+/// Signature of a resolvable callable: vtable slot (virtual only),
+/// parameter types, return type.
+type VirtSig = (u16, Vec<DType>, Option<DType>);
+
+/// Name-resolution context shared by all function compilations.
+struct Resolver<'a> {
+    class_ids: &'a HashMap<String, ClassId>,
+    class_fields: &'a HashMap<String, Vec<(String, DType)>>,
+    class_supers: HashMap<String, Option<String>>,
+    func_ids: &'a HashMap<String, (MethodId, Vec<DType>, Option<DType>)>,
+    vmethods: &'a HashMap<(String, String), VirtSig>,
+}
+
+impl Resolver<'_> {
+    fn field_slot(&self, class: &str, field: &str) -> Option<(u16, DType)> {
+        let fields = self.class_fields.get(class)?;
+        fields
+            .iter()
+            .position(|(n, _)| n == field)
+            .map(|i| (i as u16, fields[i].1.clone()))
+    }
+
+    /// Find the vtable slot for `method` on `class`, walking up the
+    /// inheritance chain.
+    fn vmethod(&self, class: &str, method: &str) -> Option<VirtSig> {
+        let mut cur = Some(class.to_string());
+        while let Some(c) = cur {
+            if let Some(found) = self.vmethods.get(&(c.clone(), method.to_string())) {
+                return Some(found.clone());
+            }
+            cur = self.class_supers.get(&c).cloned().flatten();
+        }
+        None
+    }
+}
+
+/// Per-function compilation state.
+struct FuncCtx<'a> {
+    fname: String,
+    resolver: &'a Resolver<'a>,
+    code: Vec<Op>,
+    /// name → (slot, type); lexically innermost wins (names may
+    /// shadow, each `let` takes a fresh slot).
+    scopes: Vec<Vec<(String, u16, DType)>>,
+    next_slot: u16,
+    ret: Option<DType>,
+}
+
+impl<'a> FuncCtx<'a> {
+    fn new(f: &DslFunc, resolver: &'a Resolver<'a>) -> Result<Self, DslError> {
+        let mut ctx = FuncCtx {
+            fname: f.name.clone(),
+            resolver,
+            code: Vec::new(),
+            scopes: vec![Vec::new()],
+            next_slot: 0,
+            ret: f.ret.clone(),
+        };
+        if f.is_virtual {
+            let class = f.class.clone().expect("virtual has class");
+            ctx.declare("this", DType::Obj(class))?;
+        }
+        for (n, t) in &f.params {
+            ctx.declare(n, t.clone())?;
+        }
+        Ok(ctx)
+    }
+
+    fn err(&self, reason: impl Into<String>) -> DslError {
+        DslError {
+            func: self.fname.clone(),
+            reason: reason.into(),
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: DType) -> Result<u16, DslError> {
+        let slot = self.next_slot;
+        self.next_slot = self
+            .next_slot
+            .checked_add(1)
+            .ok_or_else(|| self.err("too many locals"))?;
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .push((name.to_string(), slot, ty));
+        Ok(slot)
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u16, DType)> {
+        for scope in self.scopes.iter().rev() {
+            for (n, slot, ty) in scope.iter().rev() {
+                if n == name {
+                    return Some((*slot, ty.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    fn emit(&mut self, op: Op) {
+        self.code.push(op);
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Emit a branch with placeholder target; returns the index to
+    /// patch.
+    fn emit_branch(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        self.code[at] = self.code[at].with_branch_target(target);
+    }
+
+    // ---- expressions ----
+
+    fn compile_expr(&mut self, e: &Expr) -> Result<DType, DslError> {
+        match e {
+            Expr::IntLit(v) => {
+                self.emit(Op::IConst(*v));
+                Ok(DType::Int)
+            }
+            Expr::FloatLit(v) => {
+                self.emit(Op::FConst(*v));
+                Ok(DType::Float)
+            }
+            Expr::Null(ty) => {
+                if ty.vm_type() != Type::Ref {
+                    return Err(self.err(format!("null must be a reference type, not {ty}")));
+                }
+                self.emit(Op::NullConst);
+                Ok(ty.clone())
+            }
+            Expr::Var(name) => {
+                let (slot, ty) = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("unknown variable {name}")))?;
+                self.emit(Op::Load(slot));
+                Ok(ty)
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.compile_expr(a)?;
+                let tb = self.compile_expr(b)?;
+                if ta != tb {
+                    return Err(self.err(format!("operand types differ: {ta} vs {tb}")));
+                }
+                match (&ta, op) {
+                    (DType::Int, _) => {
+                        self.emit(Op::IArith(ibin_of(*op)));
+                        Ok(DType::Int)
+                    }
+                    (
+                        DType::Float,
+                        ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Div,
+                    ) => {
+                        self.emit(Op::FArith(fbin_of(*op)));
+                        Ok(DType::Float)
+                    }
+                    (DType::Float, _) => {
+                        Err(self.err(format!("{op:?} is not defined on floats")))
+                    }
+                    _ => Err(self.err(format!("arithmetic on non-numeric type {ta}"))),
+                }
+            }
+            Expr::Cmp(cond, a, b) => {
+                let ta = self.compile_expr(a)?;
+                let tb = self.compile_expr(b)?;
+                if ta != tb {
+                    return Err(self.err(format!("comparison types differ: {ta} vs {tb}")));
+                }
+                match ta {
+                    DType::Int => {
+                        // a ? b → 0/1 via ICmp then compare to 0.
+                        self.emit(Op::ICmp);
+                        self.emit_cond_to_bool(*cond);
+                        Ok(DType::Int)
+                    }
+                    DType::Float => {
+                        self.emit(Op::FCmp);
+                        self.emit_cond_to_bool(*cond);
+                        Ok(DType::Int)
+                    }
+                    other => Err(self.err(format!("cannot compare {other}"))),
+                }
+            }
+            Expr::Neg(a) => match self.compile_expr(a)? {
+                DType::Int => {
+                    self.emit(Op::INeg);
+                    Ok(DType::Int)
+                }
+                DType::Float => {
+                    self.emit(Op::FNeg);
+                    Ok(DType::Float)
+                }
+                other => Err(self.err(format!("cannot negate {other}"))),
+            },
+            Expr::Not(a) => {
+                let t = self.compile_expr(a)?;
+                if t != DType::Int {
+                    return Err(self.err(format!("logical not on {t}")));
+                }
+                self.emit_cond_to_bool(Cond::Eq);
+                Ok(DType::Int)
+            }
+            Expr::ToF(a) => {
+                let t = self.compile_expr(a)?;
+                if t != DType::Int {
+                    return Err(self.err(format!("to_f on {t}")));
+                }
+                self.emit(Op::I2F);
+                Ok(DType::Float)
+            }
+            Expr::ToI(a) => {
+                let t = self.compile_expr(a)?;
+                if t != DType::Float {
+                    return Err(self.err(format!("to_i on {t}")));
+                }
+                self.emit(Op::F2I);
+                Ok(DType::Int)
+            }
+            Expr::Index(arr, idx) => {
+                let ta = self.compile_expr(arr)?;
+                let elem = match ta {
+                    DType::Arr(e) => *e,
+                    other => return Err(self.err(format!("indexing non-array {other}"))),
+                };
+                let ti = self.compile_expr(idx)?;
+                if ti != DType::Int {
+                    return Err(self.err(format!("index must be int, got {ti}")));
+                }
+                self.emit(Op::ALoad(elem.vm_type()));
+                Ok(elem)
+            }
+            Expr::Len(arr) => {
+                let ta = self.compile_expr(arr)?;
+                if !matches!(ta, DType::Arr(_)) {
+                    return Err(self.err(format!("length of non-array {ta}")));
+                }
+                self.emit(Op::ArrLen);
+                Ok(DType::Int)
+            }
+            Expr::Call(name, args) => {
+                let (id, params, ret) = self
+                    .resolver
+                    .func_ids
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("unknown function {name}")))?;
+                if args.len() != params.len() {
+                    return Err(self.err(format!(
+                        "{name} expects {} args, got {}",
+                        params.len(),
+                        args.len()
+                    )));
+                }
+                for (arg, want) in args.iter().zip(&params) {
+                    let got = self.compile_expr(arg)?;
+                    if &got != want {
+                        return Err(
+                            self.err(format!("argument to {name}: expected {want}, got {got}"))
+                        );
+                    }
+                }
+                self.emit(Op::Call(id));
+                Ok(ret.unwrap_or(DType::Int)) // void results handled by Stmt::Expr
+            }
+            Expr::CallVirt { recv, method, args } => {
+                let tr = self.compile_expr(recv)?;
+                let class = match &tr {
+                    DType::Obj(c) => c.clone(),
+                    other => return Err(self.err(format!("virtual call on non-object {other}"))),
+                };
+                let (slot, params, ret) = self
+                    .resolver
+                    .vmethod(&class, method)
+                    .ok_or_else(|| self.err(format!("no virtual method {class}.{method}")))?;
+                if args.len() != params.len() {
+                    return Err(self.err(format!(
+                        "{class}.{method} expects {} args, got {}",
+                        params.len(),
+                        args.len()
+                    )));
+                }
+                for (arg, want) in args.iter().zip(&params) {
+                    let got = self.compile_expr(arg)?;
+                    if &got != want {
+                        return Err(self.err(format!(
+                            "argument to {class}.{method}: expected {want}, got {got}"
+                        )));
+                    }
+                }
+                self.emit(Op::CallVirt {
+                    slot,
+                    argc: args.len() as u8,
+                });
+                Ok(ret.unwrap_or(DType::Int))
+            }
+            Expr::New(class) => {
+                let id = self
+                    .resolver
+                    .class_ids
+                    .get(class)
+                    .copied()
+                    .ok_or_else(|| self.err(format!("unknown class {class}")))?;
+                self.emit(Op::New(id));
+                Ok(DType::Obj(class.clone()))
+            }
+            Expr::NewArr(elem, len) => {
+                let tl = self.compile_expr(len)?;
+                if tl != DType::Int {
+                    return Err(self.err(format!("array length must be int, got {tl}")));
+                }
+                self.emit(Op::NewArr(elem.vm_type()));
+                Ok(DType::Arr(Box::new(elem.clone())))
+            }
+            Expr::Field(obj, name) => {
+                let to = self.compile_expr(obj)?;
+                let class = match &to {
+                    DType::Obj(c) => c.clone(),
+                    other => return Err(self.err(format!("field access on non-object {other}"))),
+                };
+                let (slot, ty) = self
+                    .resolver
+                    .field_slot(&class, name)
+                    .ok_or_else(|| self.err(format!("no field {class}.{name}")))?;
+                self.emit(Op::GetField(slot, ty.vm_type()));
+                Ok(ty)
+            }
+        }
+    }
+
+    /// Turn the -1/0/1 comparison word on the stack into a 0/1 boolean
+    /// for condition `cond` (vs zero).
+    fn emit_cond_to_bool(&mut self, cond: Cond) {
+        // stack: cmpword → bool. Branchy encoding, like javac's.
+        let br_true = self.emit_branch(Op::BrZ(cond, u32::MAX));
+        self.emit(Op::IConst(0));
+        let done = self.emit_branch(Op::Goto(u32::MAX));
+        let t_true = self.here();
+        self.emit(Op::IConst(1));
+        let t_done = self.here();
+        self.patch(br_true, t_true);
+        self.patch(done, t_done);
+    }
+
+    /// Compile `cond`; jump to a placeholder false-target when it is
+    /// false. Returns the patch index for the false branch.
+    fn compile_cond_false_jump(&mut self, cond: &Expr) -> Result<usize, DslError> {
+        match cond {
+            Expr::Cmp(c, a, b) => {
+                let ta = self.compile_expr(a)?;
+                let tb = self.compile_expr(b)?;
+                if ta != tb {
+                    return Err(self.err(format!("comparison types differ: {ta} vs {tb}")));
+                }
+                match ta {
+                    DType::Int => Ok(self.emit_branch(Op::ICmpBr(c.negate(), u32::MAX))),
+                    DType::Float => {
+                        self.emit(Op::FCmp);
+                        Ok(self.emit_branch(Op::BrZ(c.negate(), u32::MAX)))
+                    }
+                    other => Err(self.err(format!("cannot compare {other}"))),
+                }
+            }
+            other => {
+                let t = self.compile_expr(other)?;
+                if t != DType::Int {
+                    return Err(self.err(format!("condition must be int, got {t}")));
+                }
+                Ok(self.emit_branch(Op::BrZ(Cond::Eq, u32::MAX)))
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn compile_body(&mut self, body: &[Stmt]) -> Result<(), DslError> {
+        for s in body {
+            self.compile_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn compile_block(&mut self, body: &[Stmt]) -> Result<(), DslError> {
+        self.scopes.push(Vec::new());
+        let result = self.compile_body(body);
+        self.scopes.pop();
+        result
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> Result<(), DslError> {
+        match s {
+            Stmt::Let(name, value) => {
+                let ty = self.compile_expr(value)?;
+                let slot = self.declare(name, ty)?;
+                self.emit(Op::Store(slot));
+                Ok(())
+            }
+            Stmt::Assign(name, value) => {
+                let (slot, want) = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(format!("assignment to unknown variable {name}")))?;
+                let got = self.compile_expr(value)?;
+                if got != want {
+                    return Err(
+                        self.err(format!("assignment to {name}: expected {want}, got {got}"))
+                    );
+                }
+                self.emit(Op::Store(slot));
+                Ok(())
+            }
+            Stmt::SetIndex(arr, idx, val) => {
+                let ta = self.compile_expr(arr)?;
+                let elem = match ta {
+                    DType::Arr(e) => *e,
+                    other => return Err(self.err(format!("indexing non-array {other}"))),
+                };
+                let ti = self.compile_expr(idx)?;
+                if ti != DType::Int {
+                    return Err(self.err(format!("index must be int, got {ti}")));
+                }
+                let tv = self.compile_expr(val)?;
+                if tv != elem {
+                    return Err(self.err(format!("store of {tv} into {elem}[] element")));
+                }
+                self.emit(Op::AStore(elem.vm_type()));
+                Ok(())
+            }
+            Stmt::SetField(obj, field, val) => {
+                let to = self.compile_expr(obj)?;
+                let class = match &to {
+                    DType::Obj(c) => c.clone(),
+                    other => return Err(self.err(format!("field store on non-object {other}"))),
+                };
+                let (slot, want) = self
+                    .resolver
+                    .field_slot(&class, field)
+                    .ok_or_else(|| self.err(format!("no field {class}.{field}")))?;
+                let got = self.compile_expr(val)?;
+                if got != want {
+                    return Err(
+                        self.err(format!("store of {got} into field {class}.{field}: {want}"))
+                    );
+                }
+                self.emit(Op::PutField(slot));
+                Ok(())
+            }
+            Stmt::If(cond, then, els) => {
+                let false_jump = self.compile_cond_false_jump(cond)?;
+                self.compile_block(then)?;
+                if els.is_empty() {
+                    let after = self.here();
+                    self.patch(false_jump, after);
+                } else {
+                    // No jump over the else-arm when the then-arm
+                    // cannot fall through (it ended in return/goto) —
+                    // emitting one would create an unreachable branch
+                    // with a possibly out-of-range target.
+                    let then_falls_through =
+                        !self.code.last().is_some_and(|op| op.is_terminator());
+                    let skip_else = then_falls_through
+                        .then(|| self.emit_branch(Op::Goto(u32::MAX)));
+                    let else_start = self.here();
+                    self.patch(false_jump, else_start);
+                    self.compile_block(els)?;
+                    let after = self.here();
+                    if let Some(skip_else) = skip_else {
+                        self.patch(skip_else, after);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let start = self.here();
+                let exit_jump = self.compile_cond_false_jump(cond)?;
+                self.compile_block(body)?;
+                self.emit(Op::Goto(start));
+                let after = self.here();
+                self.patch(exit_jump, after);
+                Ok(())
+            }
+            Stmt::For(name, start, end, body) => {
+                // Hoist the bound into a hidden local so it is
+                // evaluated once, then lower to a while loop.
+                self.scopes.push(Vec::new());
+                let ts = self.compile_expr(start)?;
+                if ts != DType::Int {
+                    return Err(self.err(format!("for start must be int, got {ts}")));
+                }
+                let islot = self.declare(name, DType::Int)?;
+                self.emit(Op::Store(islot));
+                let te = self.compile_expr(end)?;
+                if te != DType::Int {
+                    return Err(self.err(format!("for bound must be int, got {te}")));
+                }
+                let bslot = self.declare(&format!("$bound_{name}"), DType::Int)?;
+                self.emit(Op::Store(bslot));
+
+                let loop_start = self.here();
+                self.emit(Op::Load(islot));
+                self.emit(Op::Load(bslot));
+                let exit_jump = self.emit_branch(Op::ICmpBr(Cond::Ge, u32::MAX));
+                self.compile_block(body)?;
+                self.emit(Op::Load(islot));
+                self.emit(Op::IConst(1));
+                self.emit(Op::IArith(IBin::Add));
+                self.emit(Op::Store(islot));
+                self.emit(Op::Goto(loop_start));
+                let after = self.here();
+                self.patch(exit_jump, after);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                match (value, self.ret.clone()) {
+                    (None, None) => {
+                        self.emit(Op::Ret);
+                        Ok(())
+                    }
+                    (Some(e), Some(want)) => {
+                        let got = self.compile_expr(e)?;
+                        if got != want {
+                            return Err(
+                                self.err(format!("return type: expected {want}, got {got}"))
+                            );
+                        }
+                        self.emit(Op::RetVal);
+                        Ok(())
+                    }
+                    (None, Some(t)) => Err(self.err(format!("missing return value of type {t}"))),
+                    (Some(_), None) => Err(self.err("return value in void function".to_string())),
+                }
+            }
+            Stmt::Expr(e) => {
+                // Calls may be void; anything else leaves a value to pop.
+                let leaves_value = match e {
+                    Expr::Call(name, _) => self
+                        .resolver
+                        .func_ids
+                        .get(name)
+                        .map(|(_, _, r)| r.is_some())
+                        .unwrap_or(true),
+                    Expr::CallVirt { recv, method, .. } => {
+                        // Resolve the receiver type cheaply: compile in
+                        // a scratch context is overkill; re-resolve by
+                        // typing the receiver expression "statically".
+                        // We just compile and check below.
+                        let _ = (recv, method);
+                        true // determined after compilation below
+                    }
+                    _ => true,
+                };
+                match e {
+                    Expr::CallVirt { .. } => {
+                        // Need the real return type: compile and pop if
+                        // non-void. compile_expr returns the declared
+                        // ret or Int-default for void; detect void via
+                        // resolver inside a small pre-pass:
+                        let is_void = self.virt_is_void(e)?;
+                        let _ = self.compile_expr(e)?;
+                        if !is_void {
+                            self.emit(Op::Pop);
+                        }
+                        Ok(())
+                    }
+                    _ => {
+                        let _ = self.compile_expr(e)?;
+                        if leaves_value {
+                            self.emit(Op::Pop);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a `CallVirt` expression targets a void method (requires
+    /// typing the receiver without emitting code, which we approximate
+    /// by looking the variable/field chain up; falls back to non-void).
+    fn virt_is_void(&mut self, e: &Expr) -> Result<bool, DslError> {
+        if let Expr::CallVirt { recv, method, .. } = e {
+            let class = self.static_obj_type(recv);
+            if let Some(class) = class {
+                if let Some((_, _, ret)) = self.resolver.vmethod(&class, method) {
+                    return Ok(ret.is_none());
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Best-effort static object-type resolution for receivers that
+    /// are variables, `new` expressions, or field chains.
+    fn static_obj_type(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Var(name) => match self.lookup(name)?.1 {
+                DType::Obj(c) => Some(c),
+                _ => None,
+            },
+            Expr::New(c) => Some(c.clone()),
+            Expr::Field(obj, f) => {
+                let c = self.static_obj_type(obj)?;
+                match self.resolver.field_slot(&c, f)?.1 {
+                    DType::Obj(c2) => Some(c2),
+                    _ => None,
+                }
+            }
+            Expr::Null(DType::Obj(c)) => Some(c.clone()),
+            _ => None,
+        }
+    }
+
+    fn finish(mut self, f: &DslFunc) -> Result<(Vec<Op>, u16), DslError> {
+        // Implicit return for void functions whose body can fall off
+        // the end.
+        if self.ret.is_none() {
+            match self.code.last() {
+                Some(op) if op.is_terminator() => {}
+                _ => self.emit(Op::Ret),
+            }
+        } else {
+            match self.code.last() {
+                Some(op) if op.is_terminator() => {}
+                _ => {
+                    return Err(self.err(format!(
+                        "non-void function {} may fall off the end",
+                        f.name
+                    )))
+                }
+            }
+        }
+        Ok((self.code, self.next_slot))
+    }
+}
+
+fn ibin_of(op: ArithOp) -> IBin {
+    match op {
+        ArithOp::Add => IBin::Add,
+        ArithOp::Sub => IBin::Sub,
+        ArithOp::Mul => IBin::Mul,
+        ArithOp::Div => IBin::Div,
+        ArithOp::Rem => IBin::Rem,
+        ArithOp::And => IBin::And,
+        ArithOp::Or => IBin::Or,
+        ArithOp::Xor => IBin::Xor,
+        ArithOp::Shl => IBin::Shl,
+        ArithOp::Shr => IBin::Shr,
+    }
+}
+
+fn fbin_of(op: ArithOp) -> FBin {
+    match op {
+        ArithOp::Add => FBin::Add,
+        ArithOp::Sub => FBin::Sub,
+        ArithOp::Mul => FBin::Mul,
+        ArithOp::Div => FBin::Div,
+        _ => unreachable!("checked by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_program;
+
+    #[test]
+    fn compiles_square() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "square",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").mul(var("x")))],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+        let f = p.find_method(MODULE_CLASS, "square").unwrap();
+        assert_eq!(p.method(f).sig.params, vec![Type::Int]);
+    }
+
+    #[test]
+    fn compiles_loop_and_verifies() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "sum_to",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn compiles_if_else_and_while() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "collatz_len",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("steps", iconst(0)),
+                let_("x", var("n")),
+                while_(
+                    var("x").gt(iconst(1)),
+                    vec![
+                        if_else(
+                            var("x").rem(iconst(2)).eq(iconst(0)),
+                            vec![assign("x", var("x").div(iconst(2)))],
+                            vec![assign("x", var("x").mul(iconst(3)).add(iconst(1)))],
+                        ),
+                        assign("steps", var("steps").add(iconst(1))),
+                    ],
+                ),
+                ret(var("steps")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn compiles_arrays() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "fill",
+            vec![("n", DType::Int)],
+            Some(DType::int_arr()),
+            vec![
+                let_("a", new_arr(DType::Int, var("n"))),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("a").len(),
+                    vec![set_index(var("a"), var("i"), var("i").mul(iconst(2)))],
+                ),
+                ret(var("a")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn compiles_float_math() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "area",
+            vec![("r", DType::Float)],
+            Some(DType::Float),
+            vec![ret(fconst(std::f64::consts::PI).mul(var("r")).mul(var("r")))],
+        );
+        m.func(
+            "round_up",
+            vec![("x", DType::Float)],
+            Some(DType::Int),
+            vec![if_else(
+                var("x").gt(var("x").to_i().to_f()),
+                vec![ret(var("x").to_i().add(iconst(1)))],
+                vec![ret(var("x").to_i())],
+            )],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn compiles_static_calls() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "helper",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").add(iconst(1)))],
+        );
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![ret(call("helper", vec![iconst(41)]))],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn compiles_objects_and_virtual_calls() {
+        let mut m = ModuleBuilder::new();
+        m.class("Counter", None, &[("count", DType::Int)]);
+        m.virtual_method(
+            "Counter",
+            "bump",
+            vec![("by", DType::Int)],
+            None,
+            vec![set_field(
+                var("this"),
+                "count",
+                var("this").field("count").add(var("by")),
+            )],
+        );
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("c", new_obj("Counter")),
+                expr_stmt(var("c").vcall("bump", vec![iconst(5)])),
+                expr_stmt(var("c").vcall("bump", vec![iconst(2)])),
+                ret(var("c").field("count")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn inherited_virtual_methods_resolve() {
+        let mut m = ModuleBuilder::new();
+        m.class("Base", None, &[]);
+        m.virtual_method("Base", "f", vec![], Some(DType::Int), vec![ret(iconst(1))]);
+        m.class("Derived", Some("Base"), &[]);
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("d", new_obj("Derived")),
+                ret(var("d").vcall("f", vec![])),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_errors() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "bad",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").add(fconst(1.0)))],
+        );
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("operand types differ"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let mut m = ModuleBuilder::new();
+        m.func("bad", vec![], Some(DType::Int), vec![ret(var("nope"))]);
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let mut m = ModuleBuilder::new();
+        m.func("bad", vec![], Some(DType::Int), vec![let_("x", iconst(1))]);
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("fall off the end"), "{err}");
+    }
+
+    #[test]
+    fn rejects_float_modulo() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "bad",
+            vec![("x", DType::Float)],
+            Some(DType::Float),
+            vec![ret(var("x").rem(var("x")))],
+        );
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("not defined on floats"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let mut m = ModuleBuilder::new();
+        m.func("f", vec![], None, vec![ret_void()]);
+        m.func("f", vec![], None, vec![ret_void()]);
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "g",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x"))],
+        );
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![ret(call("g", vec![]))],
+        );
+        let err = m.compile().unwrap_err();
+        assert!(err.reason.contains("expects 1 args"), "{err}");
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("y", iconst(1)),
+                if_(
+                    var("x").gt(iconst(0)),
+                    vec![
+                        let_("y", fconst(2.0)), // shadows outer int y
+                        expr_stmt(var("y").add(fconst(1.0))),
+                    ],
+                ),
+                ret(var("y")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+
+    #[test]
+    fn null_literals_typed() {
+        let mut m = ModuleBuilder::new();
+        m.class("Node", None, &[("next", DType::obj("Node"))]);
+        m.func(
+            "make",
+            vec![],
+            Some(DType::obj("Node")),
+            vec![
+                let_("n", new_obj("Node")),
+                set_field(var("n"), "next", null(DType::obj("Node"))),
+                ret(var("n")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+    }
+}

@@ -1,0 +1,344 @@
+//! Native code emission.
+//!
+//! Turns optimized NIR into a [`NativeCode`] object: for every NIR
+//! instruction, a short sequence of *micro-instructions* (target
+//! machine instructions with Fig 1 classes) plus spill traffic for
+//! registers that did not fit the physical register file. The micro
+//! sequences determine both the execution cost (each is one machine
+//! event, with I-cache pressure from the method's code footprint) and
+//! the code size — which in turn is what remote compilation pays to
+//! download.
+
+use crate::bytecode::MethodId;
+use crate::nir::{NFunc, NInst, VReg};
+use crate::regalloc::{allocate, Allocation, PHYS_REGS};
+use jem_energy::InstrClass;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memory behaviour of one micro-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MicroMem {
+    /// Register-only.
+    None,
+    /// Frame access (spill slot); address derived from the frame base.
+    Frame,
+    /// Heap access; address computed at run time from the operands.
+    Heap,
+}
+
+/// One emitted machine instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Micro {
+    /// Fig 1 instruction class.
+    pub class: InstrClass,
+    /// Memory behaviour.
+    pub mem: MicroMem,
+}
+
+const fn m(class: InstrClass) -> Micro {
+    Micro {
+        class,
+        mem: MicroMem::None,
+    }
+}
+
+const fn mframe(class: InstrClass) -> Micro {
+    Micro {
+        class,
+        mem: MicroMem::Frame,
+    }
+}
+
+const fn mheap(class: InstrClass) -> Micro {
+    Micro {
+        class,
+        mem: MicroMem::Heap,
+    }
+}
+
+/// JIT compilation level (the paper's Local1/Local2/Local3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Plain translation, no optimization.
+    L1,
+    /// CSE + LICM + strength reduction + redundancy elimination.
+    L2,
+    /// L2 + method inlining.
+    L3,
+}
+
+impl OptLevel {
+    /// All levels, ascending.
+    pub const ALL: [OptLevel; 3] = [OptLevel::L1, OptLevel::L2, OptLevel::L3];
+
+    /// Paper-style name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OptLevel::L1 => "Local1",
+            OptLevel::L2 => "Local2",
+            OptLevel::L3 => "Local3",
+        }
+    }
+
+    /// Zero-based index.
+    pub const fn index(self) -> usize {
+        match self {
+            OptLevel::L1 => 0,
+            OptLevel::L2 => 1,
+            OptLevel::L3 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// An executable native-code object for one method.
+#[derive(Debug, Clone)]
+pub struct NativeCode {
+    /// The method this code implements.
+    pub method: MethodId,
+    /// Optimization level it was compiled at.
+    pub level: OptLevel,
+    /// The (optimized) NIR the executor interprets.
+    pub func: NFunc,
+    /// Spill slots for registers that did not fit [`PHYS_REGS`].
+    pub spill_slots: HashMap<VReg, u32>,
+    /// Per block, per instruction: emitted micro sequence.
+    pub micros: Vec<Vec<Vec<Micro>>>,
+    /// Per block, per instruction: cumulative micro offset (for
+    /// I-cache addressing).
+    pub offsets: Vec<Vec<u32>>,
+    /// Emitted code size in bytes (4 bytes per micro, like SPARC).
+    pub code_bytes: u32,
+}
+
+impl NativeCode {
+    /// Total emitted machine instructions.
+    pub fn micro_count(&self) -> u32 {
+        self.code_bytes / 4
+    }
+}
+
+/// Emission result: the code object and the work spent producing it.
+#[derive(Debug, Clone)]
+pub struct EmitResult {
+    /// The code object.
+    pub code: NativeCode,
+    /// Work units (regalloc + emission).
+    pub work_units: u64,
+}
+
+/// Emit `func` at `level`.
+pub fn emit(func: NFunc, level: OptLevel) -> EmitResult {
+    let alloc: Allocation = allocate(&func, PHYS_REGS);
+    let mut work_units = alloc.work_units;
+
+    let mut micros: Vec<Vec<Vec<Micro>>> = Vec::with_capacity(func.blocks.len());
+    let mut offsets: Vec<Vec<u32>> = Vec::with_capacity(func.blocks.len());
+    let mut cursor: u32 = 0;
+
+    for block in &func.blocks {
+        let mut bm = Vec::with_capacity(block.insts.len());
+        let mut bo = Vec::with_capacity(block.insts.len());
+        for inst in &block.insts {
+            work_units += 4; // instruction selection
+            let mut seq: Vec<Micro> = Vec::with_capacity(4);
+            // Reload spilled operands from the frame.
+            for u in inst.uses() {
+                if alloc.is_spilled(u) {
+                    seq.push(mframe(InstrClass::Load));
+                    work_units += 1;
+                }
+            }
+            seq.extend_from_slice(&core_micros(inst));
+            // Store a spilled definition back to the frame.
+            if let Some(d) = inst.def() {
+                if alloc.is_spilled(d) {
+                    seq.push(mframe(InstrClass::Store));
+                    work_units += 1;
+                }
+            }
+            bo.push(cursor);
+            cursor += seq.len() as u32;
+            bm.push(seq);
+        }
+        micros.push(bm);
+        offsets.push(bo);
+    }
+
+    let code = NativeCode {
+        method: func.method,
+        level,
+        code_bytes: cursor * 4,
+        spill_slots: alloc.spill_slots,
+        micros,
+        offsets,
+        func,
+    };
+    EmitResult { code, work_units }
+}
+
+/// The core (non-spill) micro sequence of one NIR instruction.
+fn core_micros(inst: &NInst) -> Vec<Micro> {
+    use InstrClass::*;
+    match inst {
+        NInst::IConst { .. } | NInst::NullConst { .. } | NInst::Mov { .. } => vec![m(AluSimple)],
+        NInst::FConst { .. } => vec![m(AluSimple), m(AluSimple)], // 64-bit imm
+        NInst::IBinOp { op, .. } => {
+            if op.is_complex() {
+                vec![m(AluComplex)]
+            } else {
+                vec![m(AluSimple)]
+            }
+        }
+        NInst::IShlImm { .. } | NInst::INegOp { .. } => vec![m(AluSimple)],
+        NInst::ICmpOp { .. } => vec![m(AluSimple), m(AluSimple)],
+        NInst::FBinOp { .. } | NInst::FNegOp { .. } => vec![m(AluComplex)],
+        NInst::FCmpOp { .. } => vec![m(AluComplex), m(AluSimple)],
+        NInst::I2FOp { .. } | NInst::F2IOp { .. } => vec![m(AluComplex)],
+        // Allocation: a runtime call (zeroing charged per byte by the
+        // executor, matching the interpreter's accounting).
+        NInst::NewArr { .. } | NInst::NewObj { .. } => vec![m(AluSimple), m(Branch)],
+        // Array access: address arithmetic + bounds check + the access.
+        NInst::ALoadOp { .. } => {
+            vec![m(AluSimple), m(AluSimple), m(Branch), mheap(Load)]
+        }
+        NInst::AStoreOp { .. } => {
+            vec![m(AluSimple), m(AluSimple), m(Branch), mheap(Store)]
+        }
+        NInst::ArrLenOp { .. } => vec![mheap(Load)],
+        NInst::GetFieldOp { .. } => vec![mheap(Load)],
+        NInst::PutFieldOp { .. } => vec![mheap(Store)],
+        // Calls: argument staging is modeled by the callee's
+        // `arg_copy_mix`; the call itself is register saves + jump.
+        NInst::CallOp { .. } => vec![m(AluSimple), m(Branch)],
+        // Virtual dispatch additionally loads the vtable entry.
+        NInst::CallVirtOp { .. } => vec![mheap(Load), m(AluSimple), m(Branch)],
+        NInst::Jmp { .. } => vec![m(Branch)],
+        NInst::BrCond { .. } => vec![m(AluSimple), m(Branch)],
+        NInst::Ret { .. } => vec![m(Branch)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::lower::lower;
+    use crate::verify::verify_program;
+
+    fn emit_fn(body: Vec<crate::dsl::Stmt>) -> NativeCode {
+        let mut mb = ModuleBuilder::new();
+        mb.func("f", vec![("n", DType::Int)], Some(DType::Int), body);
+        let p = mb.compile().unwrap();
+        verify_program(&p).unwrap();
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        emit(lower(&p, id).func, OptLevel::L1).code
+    }
+
+    #[test]
+    fn emits_nonempty_code() {
+        let code = emit_fn(vec![ret(var("n").add(iconst(1)))]);
+        assert!(code.code_bytes > 0);
+        assert_eq!(code.code_bytes % 4, 0);
+        assert_eq!(code.micros.len(), code.func.blocks.len());
+    }
+
+    #[test]
+    fn offsets_are_cumulative_and_within_bounds() {
+        let code = emit_fn(vec![
+            let_("a", new_arr(DType::Int, var("n"))),
+            for_(
+                "i",
+                iconst(0),
+                var("n"),
+                vec![set_index(var("a"), var("i"), var("i"))],
+            ),
+            ret(var("a").index(iconst(0))),
+        ]);
+        let mut prev_end = 0u32;
+        for (b, block) in code.offsets.iter().enumerate() {
+            for (i, &off) in block.iter().enumerate() {
+                assert_eq!(off, prev_end, "offset mismatch at {b}/{i}");
+                prev_end = off + code.micros[b][i].len() as u32;
+            }
+        }
+        assert_eq!(prev_end * 4, code.code_bytes);
+    }
+
+    #[test]
+    fn native_add_is_one_instruction() {
+        // The point of compilation: iadd is 1 micro vs ~10 interpreted
+        // events.
+        let micros = core_micros(&NInst::IBinOp {
+            op: crate::bytecode::IBin::Add,
+            d: VReg(0),
+            a: VReg(0),
+            b: VReg(0),
+        });
+        assert_eq!(micros.len(), 1);
+        assert_eq!(micros[0].class, InstrClass::AluSimple);
+    }
+
+    #[test]
+    fn heap_micros_marked() {
+        let micros = core_micros(&NInst::ALoadOp {
+            d: VReg(0),
+            arr: VReg(0),
+            idx: VReg(0),
+            ty: crate::value::Type::Int,
+        });
+        assert_eq!(
+            micros.iter().filter(|mi| mi.mem == MicroMem::Heap).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn spilled_registers_add_frame_traffic() {
+        // Build a function with enormous register pressure via many
+        // live locals.
+        let mut body = Vec::new();
+        for i in 0..30 {
+            body.push(let_(&format!("v{i}"), var("n").add(iconst(i))));
+        }
+        // Sum them all so they stay live.
+        let mut acc = var("v0");
+        for i in 1..30 {
+            acc = acc.add(var(&format!("v{i}")));
+        }
+        body.push(ret(acc));
+        let code = emit_fn(body);
+        let frame_micros: usize = code
+            .micros
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|mi| mi.mem == MicroMem::Frame)
+            .count();
+        assert!(
+            frame_micros > 0,
+            "expected spill traffic with 30 live values"
+        );
+    }
+
+    #[test]
+    fn level_metadata_preserved() {
+        let mut mb = ModuleBuilder::new();
+        mb.func("f", vec![], Some(DType::Int), vec![ret(iconst(1))]);
+        let p = mb.compile().unwrap();
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        for level in OptLevel::ALL {
+            let r = emit(lower(&p, id).func, level);
+            assert_eq!(r.code.level, level);
+            assert!(r.work_units > 0);
+        }
+        assert!(OptLevel::L1 < OptLevel::L2 && OptLevel::L2 < OptLevel::L3);
+        assert_eq!(OptLevel::L3.name(), "Local3");
+    }
+}

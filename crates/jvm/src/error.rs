@@ -1,0 +1,112 @@
+//! Runtime and verification error types.
+
+use crate::value::Type;
+use std::fmt;
+
+/// Errors raised while executing MJVM code (interpreted or compiled).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// Operand had the wrong runtime type.
+    TypeMismatch {
+        /// What the operation required.
+        expected: Type,
+        /// What it found.
+        got: Type,
+    },
+    /// Dereferenced `null`.
+    NullDeref,
+    /// Heap handle out of range.
+    BadHandle(u32),
+    /// Array index out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The array length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// Array operation on a non-array.
+    NotAnArray,
+    /// Field operation on a non-object.
+    NotAnObject,
+    /// Field slot out of range.
+    BadField(usize),
+    /// Operand stack underflow (unverified code only).
+    StackUnderflow,
+    /// Local slot out of range (unverified code only).
+    BadLocal(u16),
+    /// Call target does not exist.
+    BadMethod(u32),
+    /// Virtual dispatch slot out of range for the receiver's class.
+    BadVSlot(u16),
+    /// Wrong number of arguments passed to an entry invocation.
+    ArityMismatch {
+        /// Declared arity.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// Execution exceeded the configured step budget (runaway guard).
+    StepBudgetExceeded,
+    /// Host call-stack depth limit reached (deep recursion guard).
+    CallDepthExceeded,
+    /// Fell off the end of a method's code.
+    FellOffEnd,
+    /// Negative array length requested.
+    NegativeArrayLength(i32),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            VmError::NullDeref => write!(f, "null dereference"),
+            VmError::BadHandle(h) => write!(f, "invalid heap handle {h}"),
+            VmError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            VmError::DivByZero => write!(f, "integer division by zero"),
+            VmError::NotAnArray => write!(f, "array operation on non-array"),
+            VmError::NotAnObject => write!(f, "field operation on non-object"),
+            VmError::BadField(i) => write!(f, "invalid field slot {i}"),
+            VmError::StackUnderflow => write!(f, "operand stack underflow"),
+            VmError::BadLocal(i) => write!(f, "invalid local slot {i}"),
+            VmError::BadMethod(i) => write!(f, "invalid method id {i}"),
+            VmError::BadVSlot(i) => write!(f, "invalid vtable slot {i}"),
+            VmError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} args, got {got}")
+            }
+            VmError::StepBudgetExceeded => write!(f, "step budget exceeded"),
+            VmError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            VmError::FellOffEnd => write!(f, "fell off end of method code"),
+            VmError::NegativeArrayLength(n) => write!(f, "negative array length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Errors detected by the class-file verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Method that failed verification.
+    pub method: String,
+    /// Code index of the offending instruction (if localized).
+    pub at: Option<usize>,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(pc) => write!(f, "verify {} @{}: {}", self.method, pc, self.reason),
+            None => write!(f, "verify {}: {}", self.method, self.reason),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

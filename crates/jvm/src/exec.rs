@@ -1,0 +1,536 @@
+//! The native-code executor.
+//!
+//! Runs a [`NativeCode`] object: NIR semantics over a virtual register
+//! file, with every emitted micro-instruction issued to the simulated
+//! [`Machine`](jem_energy::Machine) — instruction fetches walk the
+//! method's code region (so big, heavily inlined Local3 bodies exert
+//! real I-cache pressure), heap accesses touch their true simulated
+//! addresses, and spilled registers generate frame traffic.
+//!
+//! Results are bit-identical to the interpreter's: both engines share
+//! [`crate::arith`] and the same heap.
+
+use crate::arith;
+use crate::bytecode::ClassId;
+use crate::costs::{self, NATIVE_INSTR_BYTES};
+use crate::emit::{MicroMem, NativeCode};
+use crate::nir::{BlockId, NInst};
+use crate::value::{Type, Value};
+use crate::vm::Vm;
+use crate::VmError;
+use jem_energy::MemOp;
+
+/// Execute `code` (installed at simulated address `base`) with `args`.
+///
+/// # Errors
+/// Any [`VmError`] raised by the executed code.
+pub fn run(
+    vm: &mut Vm<'_>,
+    code: &NativeCode,
+    base: u64,
+    args: Vec<Value>,
+) -> Result<Option<Value>, VmError> {
+    let func = &code.func;
+    let mut regs: Vec<Value> = vec![Value::Int(0); func.nregs as usize];
+    regs[..args.len()].copy_from_slice(&args);
+    vm.machine.charge_mix(&costs::arg_copy_mix(args.len()));
+
+    let frame_base = costs::FRAME_BASE + u64::from(vm.depth()) * 8192;
+
+    let mut block = 0usize;
+    let mut ii = 0usize;
+
+    macro_rules! geti {
+        ($r:expr) => {
+            regs[$r.0 as usize].as_int()?
+        };
+    }
+    macro_rules! getf {
+        ($r:expr) => {
+            regs[$r.0 as usize].as_float()?
+        };
+    }
+    macro_rules! getref {
+        ($r:expr) => {
+            regs[$r.0 as usize].as_ref()?
+        };
+    }
+    macro_rules! set {
+        ($r:expr, $v:expr) => {
+            regs[$r.0 as usize] = $v
+        };
+    }
+
+    loop {
+        let inst = &func.blocks[block].insts[ii];
+
+        // Heap address for the (at most one) heap micro, computed
+        // before charging so the D-cache sees the true location.
+        let heap_addr: Option<u64> = match inst {
+            NInst::ALoadOp { arr, idx, .. } | NInst::AStoreOp { arr, idx, .. } => {
+                match (regs[arr.0 as usize], regs[idx.0 as usize]) {
+                    (Value::Ref(h), Value::Int(i)) if i >= 0 => {
+                        Some(vm.heap.element_address(h, i as usize))
+                    }
+                    _ => None,
+                }
+            }
+            NInst::ArrLenOp { arr, .. } => match regs[arr.0 as usize] {
+                Value::Ref(h) => Some(vm.heap.address_of(h)),
+                _ => None,
+            },
+            NInst::GetFieldOp { obj, slot, .. } => match regs[obj.0 as usize] {
+                Value::Ref(h) => Some(vm.heap.field_address(h, *slot as usize)),
+                _ => None,
+            },
+            NInst::PutFieldOp { obj, slot, .. } => match regs[obj.0 as usize] {
+                Value::Ref(h) => Some(vm.heap.field_address(h, *slot as usize)),
+                _ => None,
+            },
+            NInst::CallVirtOp { recv, .. } => match regs[recv.0 as usize] {
+                Value::Ref(h) => Some(vm.heap.address_of(h)),
+                _ => None,
+            },
+            _ => None,
+        };
+
+        // Charge the emitted micro sequence.
+        let seq = &code.micros[block][ii];
+        let mut pc = base + u64::from(code.offsets[block][ii]) * NATIVE_INSTR_BYTES;
+        let mut spill_cursor = 0u64;
+        for micro in seq {
+            let mem = match micro.mem {
+                MicroMem::None => MemOp::None,
+                MicroMem::Frame => {
+                    // Distinct spill slots per access in sequence
+                    // (addresses don't need to be exact, only local).
+                    spill_cursor += 1;
+                    let addr = frame_base + spill_cursor * 8;
+                    if micro.class == jem_energy::InstrClass::Store {
+                        MemOp::Write(addr)
+                    } else {
+                        MemOp::Read(addr)
+                    }
+                }
+                MicroMem::Heap => match heap_addr {
+                    Some(a) => {
+                        if micro.class == jem_energy::InstrClass::Store {
+                            MemOp::Write(a)
+                        } else {
+                            MemOp::Read(a)
+                        }
+                    }
+                    None => MemOp::None,
+                },
+            };
+            vm.machine.step(pc, micro.class, mem);
+            pc += NATIVE_INSTR_BYTES;
+        }
+        vm.bump_steps(seq.len().max(1) as u64)?;
+
+        // Execute semantics.
+        let mut next: Option<BlockId> = None;
+        match inst {
+            NInst::IConst { d, v } => set!(d, Value::Int(*v)),
+            NInst::FConst { d, v } => set!(d, Value::Float(*v)),
+            NInst::NullConst { d } => set!(d, Value::Null),
+            NInst::Mov { d, s } => set!(d, regs[s.0 as usize]),
+            NInst::IBinOp { op, d, a, b } => {
+                let r = arith::ibin(*op, geti!(a), geti!(b))?;
+                set!(d, Value::Int(r));
+            }
+            NInst::IShlImm { d, a, k } => {
+                let r = geti!(a).wrapping_shl(u32::from(*k));
+                set!(d, Value::Int(r));
+            }
+            NInst::INegOp { d, a } => {
+                let r = geti!(a).wrapping_neg();
+                set!(d, Value::Int(r));
+            }
+            NInst::ICmpOp { d, a, b } => {
+                let r = arith::icmp(geti!(a), geti!(b));
+                set!(d, Value::Int(r));
+            }
+            NInst::FBinOp { op, d, a, b } => {
+                let r = arith::fbin(*op, getf!(a), getf!(b));
+                set!(d, Value::Float(r));
+            }
+            NInst::FNegOp { d, a } => {
+                let r = -getf!(a);
+                set!(d, Value::Float(r));
+            }
+            NInst::FCmpOp { d, a, b } => {
+                let r = arith::fcmp(getf!(a), getf!(b));
+                set!(d, Value::Int(r));
+            }
+            NInst::I2FOp { d, a } => {
+                let r = f64::from(geti!(a));
+                set!(d, Value::Float(r));
+            }
+            NInst::F2IOp { d, a } => {
+                let r = arith::f2i(getf!(a));
+                set!(d, Value::Int(r));
+            }
+            NInst::NewArr { d, ty, len } => {
+                let n = geti!(len);
+                if n < 0 {
+                    return Err(VmError::NegativeArrayLength(n));
+                }
+                let bytes = match ty {
+                    Type::Float => 8,
+                    _ => 4,
+                } * n as u64;
+                vm.machine.charge_mix(&costs::alloc_zero_mix(bytes));
+                let h = vm.heap.alloc_array(*ty, n as usize);
+                set!(d, Value::Ref(h));
+            }
+            NInst::NewObj { d, class } => {
+                let c = vm.program.class(*class);
+                vm.machine
+                    .charge_mix(&costs::alloc_zero_mix(8 * c.field_types.len() as u64));
+                let h = vm.heap.alloc_object(class.0, &c.field_types);
+                set!(d, Value::Ref(h));
+            }
+            NInst::ALoadOp { d, arr, idx, .. } => {
+                let h = getref!(arr);
+                let i = geti!(idx);
+                if i < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        index: usize::MAX,
+                        len: vm.heap.array_len(h)?,
+                    });
+                }
+                let v = vm.heap.array_get(h, i as usize)?;
+                set!(d, v);
+            }
+            NInst::AStoreOp { arr, idx, val, .. } => {
+                let h = getref!(arr);
+                let i = geti!(idx);
+                if i < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        index: usize::MAX,
+                        len: vm.heap.array_len(h)?,
+                    });
+                }
+                vm.heap.array_set(h, i as usize, regs[val.0 as usize])?;
+            }
+            NInst::ArrLenOp { d, arr } => {
+                let h = getref!(arr);
+                let n = vm.heap.array_len(h)?;
+                set!(d, Value::Int(n as i32));
+            }
+            NInst::GetFieldOp { d, obj, slot, .. } => {
+                let h = getref!(obj);
+                let v = vm.heap.field_get(h, *slot as usize)?;
+                set!(d, v);
+            }
+            NInst::PutFieldOp { obj, slot, val } => {
+                let h = getref!(obj);
+                vm.heap.field_set(h, *slot as usize, regs[val.0 as usize])?;
+            }
+            NInst::CallOp { d, target, args } => {
+                let argv: Vec<Value> = args.iter().map(|r| regs[r.0 as usize]).collect();
+                let ret = vm.invoke(*target, argv)?;
+                if let (Some(d), Some(v)) = (d, ret) {
+                    set!(d, v);
+                }
+            }
+            NInst::CallVirtOp { d, slot, recv, args } => {
+                let h = getref!(recv);
+                let class = ClassId(vm.heap.class_of(h)?);
+                let vtable = &vm.program.class(class).vtable;
+                let target = *vtable
+                    .get(*slot as usize)
+                    .ok_or(VmError::BadVSlot(*slot))?;
+                let mut argv: Vec<Value> = Vec::with_capacity(args.len() + 1);
+                argv.push(Value::Ref(h));
+                argv.extend(args.iter().map(|r| regs[r.0 as usize]));
+                let ret = vm.invoke(target, argv)?;
+                if let (Some(d), Some(v)) = (d, ret) {
+                    set!(d, v);
+                }
+            }
+            NInst::Jmp { target } => next = Some(*target),
+            NInst::BrCond {
+                cond,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                next = Some(if cond.eval(geti!(a), geti!(b)) {
+                    *then_
+                } else {
+                    *else_
+                });
+            }
+            NInst::Ret { val } => {
+                return Ok(val.map(|v| regs[v.0 as usize]));
+            }
+        }
+
+        match next {
+            Some(b) => {
+                block = b.0 as usize;
+                ii = 0;
+            }
+            None => ii += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::jit;
+    use crate::verify::verify_program;
+    use crate::vm::Vm;
+    use std::rc::Rc;
+
+    /// Compile + install `f` at the given level, run, and return
+    /// (result, energy_nj, cycles).
+    fn run_compiled(
+        mb: ModuleBuilder,
+        name: &str,
+        level: crate::emit::OptLevel,
+        args: Vec<Value>,
+    ) -> (Option<Value>, f64, u64) {
+        let p = mb.compile().unwrap();
+        verify_program(&p).unwrap();
+        let id = p.find_method(MODULE_CLASS, name).unwrap();
+        let mut vm = Vm::client(&p);
+        let compiled = jit::compile(&p, id, level);
+        vm.install_native(id, Rc::new(compiled.code));
+        let out = vm.invoke(id, args).unwrap();
+        (out, vm.machine.energy().nanojoules(), vm.machine.cycles())
+    }
+
+    fn sum_module() -> ModuleBuilder {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "sum",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        m
+    }
+
+    #[test]
+    fn compiled_sum_matches_interpreter() {
+        for level in crate::emit::OptLevel::ALL {
+            let (out, _, _) = run_compiled(sum_module(), "sum", level, vec![Value::Int(50)]);
+            assert_eq!(out, Some(Value::Int(1225)), "{level}");
+        }
+    }
+
+    #[test]
+    fn compiled_code_uses_less_energy_than_interpreter() {
+        let p = sum_module().compile().unwrap();
+        let id = p.find_method(MODULE_CLASS, "sum").unwrap();
+
+        let mut interp_vm = Vm::client(&p);
+        interp_vm.invoke(id, vec![Value::Int(500)]).unwrap();
+        let interp_energy = interp_vm.machine.energy();
+
+        let mut native_vm = Vm::client(&p);
+        let compiled = jit::compile(&p, id, crate::emit::OptLevel::L1);
+        native_vm.install_native(id, Rc::new(compiled.code));
+        native_vm.invoke(id, vec![Value::Int(500)]).unwrap();
+        let native_energy = native_vm.machine.energy();
+
+        let ratio = interp_energy.ratio(native_energy);
+        assert!(
+            ratio > 2.5 && ratio < 15.0,
+            "interpreter/native energy ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn optimized_code_is_cheaper_to_run() {
+        let (out1, e1, c1) = run_compiled(
+            sum_module(),
+            "sum",
+            crate::emit::OptLevel::L1,
+            vec![Value::Int(2000)],
+        );
+        let (out2, e2, c2) = run_compiled(
+            sum_module(),
+            "sum",
+            crate::emit::OptLevel::L2,
+            vec![Value::Int(2000)],
+        );
+        assert_eq!(out1, out2);
+        assert!(e2 < e1, "L2 ({e2}) should beat L1 ({e1})");
+        assert!(c2 < c1, "L2 cycles ({c2}) should beat L1 ({c1})");
+    }
+
+    #[test]
+    fn mixed_mode_calls_work_both_ways() {
+        // callee compiled, caller interpreted — and vice versa.
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "double",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").mul(iconst(2)))],
+        );
+        m.func(
+            "main",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(call("double", vec![var("x")]).add(iconst(1)))],
+        );
+        let p = m.compile().unwrap();
+        let dbl = p.find_method(MODULE_CLASS, "double").unwrap();
+        let main = p.find_method(MODULE_CLASS, "main").unwrap();
+
+        // Case 1: only callee compiled.
+        let mut vm = Vm::client(&p);
+        let c = jit::compile(&p, dbl, crate::emit::OptLevel::L1);
+        vm.install_native(dbl, Rc::new(c.code));
+        assert_eq!(
+            vm.invoke(main, vec![Value::Int(21)]).unwrap(),
+            Some(Value::Int(43))
+        );
+
+        // Case 2: only caller compiled.
+        let mut vm = Vm::client(&p);
+        let c = jit::compile(&p, main, crate::emit::OptLevel::L1);
+        vm.install_native(main, Rc::new(c.code));
+        assert_eq!(
+            vm.invoke(main, vec![Value::Int(21)]).unwrap(),
+            Some(Value::Int(43))
+        );
+    }
+
+    #[test]
+    fn runtime_errors_surface_from_native_code() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "div",
+            vec![("a", DType::Int), ("b", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("a").div(var("b")))],
+        );
+        let p = m.compile().unwrap();
+        let id = p.find_method(MODULE_CLASS, "div").unwrap();
+        let mut vm = Vm::client(&p);
+        let c = jit::compile(&p, id, crate::emit::OptLevel::L2);
+        vm.install_native(id, Rc::new(c.code));
+        assert_eq!(
+            vm.invoke(id, vec![Value::Int(1), Value::Int(0)]),
+            Err(VmError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn arrays_virtuals_and_floats_in_native_code() {
+        let mut m = ModuleBuilder::new();
+        m.class("Acc", None, &[("total", DType::Float)]);
+        m.virtual_method(
+            "Acc",
+            "add",
+            vec![("x", DType::Float)],
+            None,
+            vec![set_field(
+                var("this"),
+                "total",
+                var("this").field("total").add(var("x")),
+            )],
+        );
+        m.func(
+            "main",
+            vec![("n", DType::Int)],
+            Some(DType::Float),
+            vec![
+                let_("a", new_arr(DType::Float, var("n"))),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![set_index(
+                        var("a"),
+                        var("i"),
+                        var("i").to_f().mul(fconst(0.5)),
+                    )],
+                ),
+                let_("acc", new_obj("Acc")),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![expr_stmt(
+                        var("acc").vcall("add", vec![var("a").index(var("i"))]),
+                    )],
+                ),
+                ret(var("acc").field("total")),
+            ],
+        );
+        for level in crate::emit::OptLevel::ALL {
+            let (out, _, _) = run_compiled(
+                {
+                    // rebuild the module each time (ModuleBuilder is
+                    // consumed by compile)
+                    let mut m2 = ModuleBuilder::new();
+                    m2.class("Acc", None, &[("total", DType::Float)]);
+                    m2.virtual_method(
+                        "Acc",
+                        "add",
+                        vec![("x", DType::Float)],
+                        None,
+                        vec![set_field(
+                            var("this"),
+                            "total",
+                            var("this").field("total").add(var("x")),
+                        )],
+                    );
+                    m2.func(
+                        "main",
+                        vec![("n", DType::Int)],
+                        Some(DType::Float),
+                        vec![
+                            let_("a", new_arr(DType::Float, var("n"))),
+                            for_(
+                                "i",
+                                iconst(0),
+                                var("n"),
+                                vec![set_index(
+                                    var("a"),
+                                    var("i"),
+                                    var("i").to_f().mul(fconst(0.5)),
+                                )],
+                            ),
+                            let_("acc", new_obj("Acc")),
+                            for_(
+                                "i",
+                                iconst(0),
+                                var("n"),
+                                vec![expr_stmt(
+                                    var("acc").vcall("add", vec![var("a").index(var("i"))]),
+                                )],
+                            ),
+                            ret(var("acc").field("total")),
+                        ],
+                    );
+                    m2
+                },
+                "main",
+                level,
+                vec![Value::Int(10)],
+            );
+            // 0.5 * (0 + 1 + ... + 9) = 22.5
+            assert_eq!(out, Some(Value::Float(22.5)), "{level}");
+        }
+    }
+}

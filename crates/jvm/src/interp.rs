@@ -1,0 +1,517 @@
+//! The bytecode interpreter.
+//!
+//! A classic threaded interpreter: each executed bytecode pays
+//!
+//! 1. an I-cache access for its handler (the handler region is laid
+//!    out by [`crate::costs::handler_address`] and stays cache-resident
+//!    for hot loops, as in real interpreters),
+//! 2. the dispatch mix (opcode fetch, decode, pc bump),
+//! 3. its operand-stack / locals traffic ([`crate::costs::op_work_mix`]),
+//! 4. real D-cache traffic for heap reads and writes, using the
+//!    simulated addresses of the touched elements.
+//!
+//! This is the execution engine behind the paper's **Interpreter (I)**
+//! strategy, and the fallback for methods that have not (yet) been
+//! JIT-compiled under the adaptive strategies.
+
+use crate::arith;
+use crate::bytecode::{MethodId, Op};
+use crate::costs;
+use crate::value::{Type, Value};
+use crate::vm::Vm;
+use crate::VmError;
+use jem_energy::{InstrClass, MemOp};
+
+/// Execute `method` by interpretation with the given arguments.
+///
+/// # Errors
+/// Any [`VmError`] raised by the executed code.
+pub fn run(vm: &mut Vm<'_>, method: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+    let m = vm.program.method(method);
+    let code: &[Op] = &m.code;
+    let ret_is_some = m.sig.ret.is_some();
+
+    let mut locals = vec![Value::Int(0); m.nlocals as usize];
+    locals[..args.len()].copy_from_slice(&args);
+    // Frame setup cost: copying arguments into the callee frame.
+    vm.machine.charge_mix(&costs::arg_copy_mix(args.len()));
+
+    let mut stack: Vec<Value> = Vec::with_capacity(16);
+    let mut pc: usize = 0;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(VmError::StackUnderflow)?
+        };
+    }
+
+    loop {
+        let op = code.get(pc).ok_or(VmError::FellOffEnd)?;
+        // Dispatch: the indirect jump through the handler table (an
+        // I-cache access at the handler's address) plus the fixed
+        // decode mix and the op's own operand traffic.
+        vm.machine
+            .step(costs::handler_address(op), InstrClass::Branch, MemOp::None);
+        vm.machine.charge_mix(&costs::dispatch_mix());
+        vm.machine.charge_mix(&costs::op_work_mix(op));
+        vm.bump_steps(1)?;
+
+        pc += 1;
+        match *op {
+            Op::IConst(v) => stack.push(Value::Int(v)),
+            Op::FConst(v) => stack.push(Value::Float(v)),
+            Op::NullConst => stack.push(Value::Null),
+            Op::Load(n) => {
+                let v = *locals
+                    .get(n as usize)
+                    .ok_or(VmError::BadLocal(n))?;
+                stack.push(v);
+            }
+            Op::Store(n) => {
+                let v = pop!();
+                let slot = locals
+                    .get_mut(n as usize)
+                    .ok_or(VmError::BadLocal(n))?;
+                *slot = v;
+            }
+            Op::Pop => {
+                let _ = pop!();
+            }
+            Op::Dup => {
+                let v = *stack.last().ok_or(VmError::StackUnderflow)?;
+                stack.push(v);
+            }
+            Op::Swap => {
+                let a = pop!();
+                let b = pop!();
+                stack.push(a);
+                stack.push(b);
+            }
+            Op::IArith(opk) => {
+                let b = pop!().as_int()?;
+                let a = pop!().as_int()?;
+                stack.push(Value::Int(arith::ibin(opk, a, b)?));
+            }
+            Op::INeg => {
+                let a = pop!().as_int()?;
+                stack.push(Value::Int(a.wrapping_neg()));
+            }
+            Op::ICmp => {
+                let b = pop!().as_int()?;
+                let a = pop!().as_int()?;
+                stack.push(Value::Int(arith::icmp(a, b)));
+            }
+            Op::FArith(opk) => {
+                let b = pop!().as_float()?;
+                let a = pop!().as_float()?;
+                stack.push(Value::Float(arith::fbin(opk, a, b)));
+            }
+            Op::FNeg => {
+                let a = pop!().as_float()?;
+                stack.push(Value::Float(-a));
+            }
+            Op::FCmp => {
+                let b = pop!().as_float()?;
+                let a = pop!().as_float()?;
+                stack.push(Value::Int(arith::fcmp(a, b)));
+            }
+            Op::I2F => {
+                let a = pop!().as_int()?;
+                stack.push(Value::Float(a as f64));
+            }
+            Op::F2I => {
+                let a = pop!().as_float()?;
+                stack.push(Value::Int(arith::f2i(a)));
+            }
+            Op::Goto(t) => pc = t as usize,
+            Op::ICmpBr(cond, t) => {
+                let b = pop!().as_int()?;
+                let a = pop!().as_int()?;
+                if cond.eval(a, b) {
+                    pc = t as usize;
+                }
+            }
+            Op::BrZ(cond, t) => {
+                let a = pop!().as_int()?;
+                if cond.eval(a, 0) {
+                    pc = t as usize;
+                }
+            }
+            Op::NewArr(ty) => {
+                let len = pop!().as_int()?;
+                if len < 0 {
+                    return Err(VmError::NegativeArrayLength(len));
+                }
+                let bytes = match ty {
+                    Type::Float => 8,
+                    _ => 4,
+                } * len as u64;
+                vm.machine.charge_mix(&costs::alloc_zero_mix(bytes));
+                let h = vm.heap.alloc_array(ty, len as usize);
+                stack.push(Value::Ref(h));
+            }
+            Op::ALoad(_ty) => {
+                let idx = pop!().as_int()?;
+                let arr = pop!().as_ref()?;
+                if idx < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        index: usize::MAX,
+                        len: vm.heap.array_len(arr)?,
+                    });
+                }
+                let v = vm.heap.array_get(arr, idx as usize)?;
+                let addr = vm.heap.element_address(arr, idx as usize);
+                vm.machine.step(
+                    costs::handler_address(op) + 4,
+                    InstrClass::Load,
+                    MemOp::Read(addr),
+                );
+                stack.push(v);
+            }
+            Op::AStore(_ty) => {
+                let val = pop!();
+                let idx = pop!().as_int()?;
+                let arr = pop!().as_ref()?;
+                if idx < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        index: usize::MAX,
+                        len: vm.heap.array_len(arr)?,
+                    });
+                }
+                vm.heap.array_set(arr, idx as usize, val)?;
+                let addr = vm.heap.element_address(arr, idx as usize);
+                vm.machine.step(
+                    costs::handler_address(op) + 4,
+                    InstrClass::Store,
+                    MemOp::Write(addr),
+                );
+            }
+            Op::ArrLen => {
+                let arr = pop!().as_ref()?;
+                let len = vm.heap.array_len(arr)?;
+                let addr = vm.heap.address_of(arr);
+                vm.machine.step(
+                    costs::handler_address(op) + 4,
+                    InstrClass::Load,
+                    MemOp::Read(addr),
+                );
+                stack.push(Value::Int(len as i32));
+            }
+            Op::New(cid) => {
+                let class = vm.program.class(cid);
+                vm.machine
+                    .charge_mix(&costs::alloc_zero_mix(8 * class.field_types.len() as u64));
+                let h = vm.heap.alloc_object(cid.0, &class.field_types);
+                stack.push(Value::Ref(h));
+            }
+            Op::GetField(slot, _ty) => {
+                let obj = pop!().as_ref()?;
+                let v = vm.heap.field_get(obj, slot as usize)?;
+                let addr = vm.heap.field_address(obj, slot as usize);
+                vm.machine.step(
+                    costs::handler_address(op) + 4,
+                    InstrClass::Load,
+                    MemOp::Read(addr),
+                );
+                stack.push(v);
+            }
+            Op::PutField(slot) => {
+                let val = pop!();
+                let obj = pop!().as_ref()?;
+                vm.heap.field_set(obj, slot as usize, val)?;
+                let addr = vm.heap.field_address(obj, slot as usize);
+                vm.machine.step(
+                    costs::handler_address(op) + 4,
+                    InstrClass::Store,
+                    MemOp::Write(addr),
+                );
+            }
+            Op::Call(mid) => {
+                let callee = vm.program.method(mid);
+                let nargs = callee.sig.arity();
+                if stack.len() < nargs {
+                    return Err(VmError::StackUnderflow);
+                }
+                let args: Vec<Value> = stack.split_off(stack.len() - nargs);
+                let ret = vm.invoke(mid, args)?;
+                if let Some(v) = ret {
+                    stack.push(v);
+                }
+            }
+            Op::CallVirt { slot, argc } => {
+                let nargs = argc as usize;
+                if stack.len() < nargs + 1 {
+                    return Err(VmError::StackUnderflow);
+                }
+                let mut args: Vec<Value> = stack.split_off(stack.len() - nargs - 1);
+                let recv = args[0].as_ref()?;
+                let class = vm.heap.class_of(recv)?;
+                let class = crate::bytecode::ClassId(class);
+                let vtable = &vm.program.class(class).vtable;
+                let target = *vtable
+                    .get(slot as usize)
+                    .ok_or(VmError::BadVSlot(slot))?;
+                // The receiver stays in args[0] for the callee.
+                let _ = &mut args;
+                let ret = vm.invoke(target, args)?;
+                if let Some(v) = ret {
+                    stack.push(v);
+                }
+            }
+            Op::Ret => return Ok(None),
+            Op::RetVal => {
+                let v = pop!();
+                debug_assert!(ret_is_some);
+                return Ok(Some(v));
+            }
+            Op::Nop => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::verify::verify_program;
+
+    fn run_main(m: ModuleBuilder, name: &str, args: Vec<Value>) -> (Option<Value>, f64) {
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+        let mut vm = Vm::client(&p);
+        let id = p.find_method(MODULE_CLASS, name).unwrap();
+        let out = vm.invoke(id, args).unwrap();
+        (out, vm.machine.energy().nanojoules())
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").mul(var("x")).add(iconst(1)))],
+        );
+        let (out, energy) = run_main(m, "f", vec![Value::Int(7)]);
+        assert_eq!(out, Some(Value::Int(50)));
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn loops_compute_sums() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "sum",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        let (out, _) = run_main(m, "sum", vec![Value::Int(100)]);
+        assert_eq!(out, Some(Value::Int(4950)));
+    }
+
+    #[test]
+    fn arrays_and_calls() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "idx_sum",
+            vec![("a", DType::int_arr())],
+            Some(DType::Int),
+            vec![
+                let_("s", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("a").len(),
+                    vec![assign("s", var("s").add(var("a").index(var("i"))))],
+                ),
+                ret(var("s")),
+            ],
+        );
+        m.func(
+            "main",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("a", new_arr(DType::Int, var("n"))),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![set_index(var("a"), var("i"), var("i").mul(iconst(3)))],
+                ),
+                ret(call("idx_sum", vec![var("a")])),
+            ],
+        );
+        let (out, _) = run_main(m, "main", vec![Value::Int(10)]);
+        assert_eq!(out, Some(Value::Int(135)));
+    }
+
+    #[test]
+    fn virtual_dispatch_picks_override() {
+        let mut m = ModuleBuilder::new();
+        m.class("A", None, &[]);
+        m.virtual_method("A", "id", vec![], Some(DType::Int), vec![ret(iconst(1))]);
+        m.class("B", Some("A"), &[]);
+        m.virtual_method("B", "id", vec![], Some(DType::Int), vec![ret(iconst(2))]);
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("a", new_obj("A")),
+                let_("b", new_obj("B")),
+                ret(var("a")
+                    .vcall("id", vec![])
+                    .mul(iconst(10))
+                    .add(var("b").vcall("id", vec![]))),
+            ],
+        );
+        let (out, _) = run_main(m, "main", vec![]);
+        assert_eq!(out, Some(Value::Int(12)));
+    }
+
+    #[test]
+    fn float_computation() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "poly",
+            vec![("x", DType::Float)],
+            Some(DType::Float),
+            vec![ret(var("x")
+                .mul(var("x"))
+                .add(var("x").mul(fconst(2.0)))
+                .add(fconst(1.0)))],
+        );
+        let (out, _) = run_main(m, "poly", vec![Value::Float(3.0)]);
+        assert_eq!(out, Some(Value::Float(16.0)));
+    }
+
+    #[test]
+    fn division_by_zero_surfaces() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(iconst(1).div(var("x")))],
+        );
+        let p = m.compile().unwrap();
+        let mut vm = Vm::client(&p);
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        assert_eq!(vm.invoke(id, vec![Value::Int(0)]), Err(VmError::DivByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_surfaces() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("a", new_arr(DType::Int, iconst(2))),
+                ret(var("a").index(iconst(5))),
+            ],
+        );
+        let p = m.compile().unwrap();
+        let mut vm = Vm::client(&p);
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        assert!(matches!(
+            vm.invoke(id, vec![]),
+            Err(VmError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn step_budget_stops_infinite_loops() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "spin",
+            vec![],
+            None,
+            vec![while_(iconst(1), vec![]), ret_void()],
+        );
+        let p = m.compile().unwrap();
+        let mut vm = Vm::client(&p);
+        vm.options.step_budget = 10_000;
+        let id = p.find_method(MODULE_CLASS, "spin").unwrap();
+        assert_eq!(vm.invoke(id, vec![]), Err(VmError::StepBudgetExceeded));
+    }
+
+    #[test]
+    fn recursion_depth_guard() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "inf",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(call("inf", vec![var("x")]))],
+        );
+        let p = m.compile().unwrap();
+        let mut vm = Vm::client(&p);
+        let id = p.find_method(MODULE_CLASS, "inf").unwrap();
+        assert_eq!(
+            vm.invoke(id, vec![Value::Int(0)]),
+            Err(VmError::CallDepthExceeded)
+        );
+    }
+
+    #[test]
+    fn arity_checked_at_entry() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x"))],
+        );
+        let p = m.compile().unwrap();
+        let mut vm = Vm::client(&p);
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        assert!(matches!(
+            vm.invoke(id, vec![]),
+            Err(VmError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn interpretation_energy_scales_with_work() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "sum",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+        let id = p.find_method(MODULE_CLASS, "sum").unwrap();
+
+        let mut small = Vm::client(&p);
+        small.invoke(id, vec![Value::Int(100)]).unwrap();
+        let mut large = Vm::client(&p);
+        large.invoke(id, vec![Value::Int(1000)]).unwrap();
+        let ratio = large.machine.energy().ratio(small.machine.energy());
+        assert!(ratio > 8.0 && ratio < 12.0, "expected ~10x, got {ratio}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The JIT compiler driver.
+//!
+//! Assembles the pass pipelines for the paper's three compilation
+//! levels and reports the work expended, which the caller converts to
+//! compilation energy (charged to the client for local compilation, or
+//! to nobody for server-side remote compilation — the client then pays
+//! radio energy to download the code instead).
+
+use crate::bytecode::MethodId;
+use crate::class::Program;
+use crate::emit::{emit, NativeCode, OptLevel};
+use crate::lower;
+use crate::opt::{copyprop, cse, dce, inline, licm, strength};
+
+/// Per-pass work accounting for one compilation.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Method compiled.
+    pub method: MethodId,
+    /// Level compiled at.
+    pub level: OptLevel,
+    /// Total work units across all passes.
+    pub work_units: u64,
+    /// Per-pass breakdown `(pass name, work units)`.
+    pub per_pass: Vec<(&'static str, u64)>,
+    /// NIR instructions after optimization.
+    pub nir_insts: usize,
+    /// Emitted code bytes.
+    pub code_bytes: u32,
+    /// Number of spilled registers.
+    pub spills: usize,
+}
+
+/// One compiled method: the code object plus its compile report.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Executable code.
+    pub code: NativeCode,
+    /// Work accounting.
+    pub report: CompileReport,
+}
+
+/// Compile `method` at `level`.
+pub fn compile(program: &Program, method: MethodId, level: OptLevel) -> Compiled {
+    let mut per_pass: Vec<(&'static str, u64)> = Vec::new();
+
+    let lowered = lower::lower(program, method);
+    per_pass.push(("lower", lowered.work_units));
+    let mut func = lowered.func;
+
+    if level >= OptLevel::L3 {
+        let r = inline::run(&mut func, program, &inline::InlineConfig::default());
+        per_pass.push(("inline", r.work_units));
+    }
+    if level >= OptLevel::L2 {
+        let r = copyprop::run(&mut func);
+        per_pass.push(("copyprop", r.work_units));
+        let r = strength::run(&mut func);
+        per_pass.push(("strength", r.work_units));
+        let r = cse::run(&mut func);
+        per_pass.push(("cse", r.work_units));
+        let r = licm::run(&mut func);
+        per_pass.push(("licm", r.work_units));
+        // A second local round cleans up copies LICM introduced.
+        let r = copyprop::run(&mut func);
+        per_pass.push(("copyprop2", r.work_units));
+        let r = strength::run(&mut func);
+        per_pass.push(("strength2", r.work_units));
+        let r = cse::run(&mut func);
+        per_pass.push(("cse2", r.work_units));
+        let r = dce::run(&mut func);
+        per_pass.push(("dce", r.work_units));
+    }
+
+    let emitted = emit(func, level);
+    per_pass.push(("regalloc+emit", emitted.work_units));
+
+    let work_units = per_pass.iter().map(|(_, w)| w).sum();
+    let report = CompileReport {
+        method,
+        level,
+        work_units,
+        per_pass,
+        nir_insts: emitted.code.func.len(),
+        code_bytes: emitted.code.code_bytes,
+        spills: emitted.code.spill_slots.len(),
+    };
+    Compiled {
+        code: emitted.code,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::verify::verify_program;
+
+    fn benchy_module() -> Program {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "inner",
+            vec![("x", DType::Int), ("c", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").mul(var("c")).add(iconst(3)))],
+        );
+        m.func(
+            "kernel",
+            vec![("n", DType::Int), ("c", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![
+                        // invariant: c * 8 (strength-reducible, LICM-able)
+                        let_("k", var("c").mul(iconst(8))),
+                        assign(
+                            "acc",
+                            var("acc").add(call("inner", vec![var("i"), var("k")])),
+                        ),
+                    ],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn compile_work_increases_with_level() {
+        let p = benchy_module();
+        let id = p.find_method(MODULE_CLASS, "kernel").unwrap();
+        let w1 = compile(&p, id, OptLevel::L1).report.work_units;
+        let w2 = compile(&p, id, OptLevel::L2).report.work_units;
+        let w3 = compile(&p, id, OptLevel::L3).report.work_units;
+        assert!(w1 < w2, "L1 {w1} !< L2 {w2}");
+        assert!(w2 < w3, "L2 {w2} !< L3 {w3}");
+        // Paper Fig 8 ballpark: L2 within ~1.4–3.5x of L1, L3 above L2.
+        let r21 = w2 as f64 / w1 as f64;
+        assert!(r21 > 1.2 && r21 < 6.0, "L2/L1 ratio {r21}");
+    }
+
+    #[test]
+    fn inlining_changes_code_size() {
+        let p = benchy_module();
+        let id = p.find_method(MODULE_CLASS, "kernel").unwrap();
+        let c1 = compile(&p, id, OptLevel::L1);
+        let c3 = compile(&p, id, OptLevel::L3);
+        assert_ne!(c1.report.code_bytes, c3.report.code_bytes);
+        // The L3 body inlined `inner`, so no calls remain.
+        let calls = c3
+            .code
+            .func
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, crate::nir::NInst::CallOp { .. }))
+            .count();
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn optimization_reduces_instruction_count() {
+        let p = benchy_module();
+        let id = p.find_method(MODULE_CLASS, "kernel").unwrap();
+        let c1 = compile(&p, id, OptLevel::L1);
+        let c2 = compile(&p, id, OptLevel::L2);
+        assert!(
+            c2.report.nir_insts < c1.report.nir_insts,
+            "L2 {} !< L1 {}",
+            c2.report.nir_insts,
+            c1.report.nir_insts
+        );
+    }
+
+    #[test]
+    fn report_pass_list_matches_level() {
+        let p = benchy_module();
+        let id = p.find_method(MODULE_CLASS, "kernel").unwrap();
+        let c1 = compile(&p, id, OptLevel::L1);
+        assert_eq!(c1.report.per_pass.len(), 2); // lower + emit
+        let c2 = compile(&p, id, OptLevel::L2);
+        assert!(c2.report.per_pass.iter().any(|(n, _)| *n == "licm"));
+        assert!(!c2.report.per_pass.iter().any(|(n, _)| *n == "inline"));
+        let c3 = compile(&p, id, OptLevel::L3);
+        assert!(c3.report.per_pass.iter().any(|(n, _)| *n == "inline"));
+    }
+
+    #[test]
+    fn compiled_code_validates() {
+        let p = benchy_module();
+        for m in 0..p.methods.len() {
+            let id = MethodId(m as u32);
+            if p.method(id).code.is_empty() {
+                continue;
+            }
+            for level in OptLevel::ALL {
+                let c = compile(&p, id, level);
+                c.code.func.validate().unwrap_or_else(|e| {
+                    panic!("{} at {level}: {e}", p.qualified_name(id))
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # jem-jvm — the MJVM: a miniature Java-like virtual machine
+//!
+//! A from-scratch stack-bytecode VM standing in for the paper's LaTTe
+//! JVM. It provides everything the energy-aware execution framework
+//! (`jem-core`) needs:
+//!
+//! * a Java-shaped [`dsl`] whose compiler plays `javac`,
+//! * a class/program model ([`class`]) with the paper's class-file
+//!   annotations (potential methods, size parameters),
+//! * a dataflow [`verify`]er (bytecode only — downloaded native code
+//!   cannot be verified, as the paper notes),
+//! * an instrumented [`interp`]reter whose energy per bytecode follows
+//!   the threaded-dispatch cost model in [`costs`],
+//! * object [`serial`]ization for offloading (paper Fig 4),
+//! * a real optimizing JIT: [`lower`]ing to a register IR ([`nir`]),
+//!   the Local2 passes (CSE, LICM, strength reduction, redundancy
+//!   elimination) and Local3 inlining in [`opt`], linear-scan
+//!   [`regalloc`], and [`emit`]ssion to costed native code run by
+//!   [`exec`],
+//! * a mixed-mode runtime ([`vm`]) dispatching per-method between the
+//!   two engines.
+//!
+//! Interpreted and compiled execution produce bit-identical results;
+//! they differ only in the instruction events they feed the simulated
+//! machine — which is the entire subject of the paper.
+
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod bytecode;
+pub mod class;
+pub mod costs;
+pub mod dsl;
+pub mod emit;
+pub mod error;
+pub mod exec;
+pub mod heap;
+pub mod interp;
+pub mod jit;
+pub mod lower;
+pub mod nir;
+pub mod opt;
+pub mod regalloc;
+pub mod serial;
+pub mod value;
+pub mod verify;
+pub mod vm;
+
+pub use bytecode::{ClassId, Cond, FBin, IBin, MethodId, Op};
+pub use class::{Method, MethodAttrs, MethodSig, Program, ProgramBuilder};
+pub use emit::{NativeCode, OptLevel};
+pub use error::{VerifyError, VmError};
+pub use heap::Heap;
+pub use jit::{compile, Compiled, CompileReport};
+pub use value::{Handle, Type, Value};
+pub use vm::{MethodCode, Vm, VmOptions};

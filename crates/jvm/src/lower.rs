@@ -1,0 +1,564 @@
+//! Bytecode → NIR lowering (the JIT front end).
+//!
+//! This is the "no special optimizations, just translate the bytecode
+//! to native form" step that by itself constitutes the paper's
+//! **Local1** compilation level. Stack slots become positional virtual
+//! registers (`nlocals + depth`), locals keep their slot numbers, and
+//! each bytecode maps to at most a few NIR instructions.
+//!
+//! The returned work-unit count is what the energy model charges for
+//! running this pass (see [`crate::costs::compile_work_mix`]).
+
+use crate::bytecode::{MethodId, Op};
+use crate::class::Program;
+use crate::nir::{Block, BlockId, NFunc, NInst, VReg};
+
+/// Result of lowering: the NIR function plus the work units expended.
+#[derive(Debug, Clone)]
+pub struct LowerResult {
+    /// The lowered function.
+    pub func: NFunc,
+    /// Work units consumed by the pass.
+    pub work_units: u64,
+}
+
+/// Lower `method` to NIR.
+///
+/// # Panics
+/// On malformed bytecode; run the verifier first. (The JIT only ever
+/// compiles verified methods, as in a real JVM.)
+#[allow(clippy::needless_range_loop)] // block ids double as indices throughout
+pub fn lower(program: &Program, id: MethodId) -> LowerResult {
+    let method = program.method(id);
+    let code = &method.code;
+    assert!(!code.is_empty(), "lowering empty method");
+
+    // 1. Identify leaders.
+    let mut is_leader = vec![false; code.len()];
+    is_leader[0] = true;
+    for (pc, op) in code.iter().enumerate() {
+        if let Some(t) = op.branch_target() {
+            is_leader[t as usize] = true;
+            if pc + 1 < code.len() {
+                is_leader[pc + 1] = true;
+            }
+        } else if op.is_terminator() && pc + 1 < code.len() {
+            is_leader[pc + 1] = true;
+        }
+    }
+
+    // 2. pc → block id. Block 0 is a synthetic entry (a single jump)
+    // so optimization passes can always create loop preheaders without
+    // disturbing the function entry; real blocks start at 1.
+    let mut block_of = vec![0u32; code.len()];
+    let mut nblocks = 1u32;
+    for (pc, leader) in is_leader.iter().enumerate() {
+        if *leader {
+            nblocks += 1;
+        }
+        block_of[pc] = nblocks - 1;
+    }
+    // block_start[b - 1] = first pc of real block b.
+    let block_start: Vec<usize> = (0..code.len()).filter(|&pc| is_leader[pc]).collect();
+    let start_of = |b: u32| block_start[b as usize - 1];
+    let end_of = |b: u32| {
+        block_start
+            .get(b as usize)
+            .copied()
+            .unwrap_or(code.len())
+    };
+
+    // 3. Entry stack depth per block (dataflow over verified code).
+    let mut entry_depth: Vec<Option<usize>> = vec![None; nblocks as usize];
+    entry_depth[1] = Some(0);
+    let mut work = vec![1u32];
+    while let Some(b) = work.pop() {
+        let mut depth = entry_depth[b as usize].expect("worklist entries have depth");
+        let start = start_of(b);
+        let end = end_of(b);
+        let mut targets: Vec<u32> = Vec::new();
+        for op in &code[start..end] {
+            let (pops, pushes) = stack_effect(program, op);
+            depth = depth
+                .checked_sub(pops)
+                .expect("verified code cannot underflow");
+            depth += pushes;
+            if let Some(t) = op.branch_target() {
+                targets.push(block_of[t as usize]);
+            }
+        }
+        let last = &code[end - 1];
+        if !last.is_terminator() {
+            targets.push(block_of.get(end).copied().unwrap_or(b));
+        }
+        for t in targets {
+            match entry_depth[t as usize] {
+                None => {
+                    // Depth at a branch *target* excludes operands the
+                    // branch itself consumed — already accounted above.
+                    entry_depth[t as usize] = Some(depth);
+                    work.push(t);
+                }
+                Some(d) => debug_assert_eq!(d, depth, "inconsistent stack depth"),
+            }
+        }
+    }
+
+    // 4. Lower.
+    let nlocals = method.nlocals as u32;
+    let mut max_depth = 0usize;
+    for d in entry_depth.iter().flatten() {
+        max_depth = max_depth.max(*d);
+    }
+    // Worst-case additional depth inside a block: scan once more while
+    // lowering; start with a generous bound and tighten at the end.
+    let mut func = NFunc {
+        method: id,
+        blocks: vec![Block::default(); nblocks as usize],
+        nregs: nlocals, // grows as stack registers are touched
+        nlocals,
+    };
+    let mut work_units: u64 = 0;
+
+    let sreg = |depth: usize| VReg(nlocals + depth as u32);
+
+    // Synthetic entry.
+    func.blocks[0].insts.push(NInst::Jmp {
+        target: BlockId(1),
+    });
+
+    for b in 1..nblocks as usize {
+        let Some(mut depth) = entry_depth[b] else {
+            // Unreachable block (e.g. code after an unconditional
+            // branch with no inbound edges): emit a trap-free stub.
+            func.blocks[b].insts.push(NInst::Ret { val: None });
+            continue;
+        };
+        let start = start_of(b as u32);
+        let end = end_of(b as u32);
+        let insts = &mut func.blocks[b].insts;
+
+        for op in &code[start..end] {
+            work_units += 2; // decode + translate
+            match *op {
+                Op::IConst(v) => {
+                    insts.push(NInst::IConst { d: sreg(depth), v });
+                    depth += 1;
+                }
+                Op::FConst(v) => {
+                    insts.push(NInst::FConst { d: sreg(depth), v });
+                    depth += 1;
+                }
+                Op::NullConst => {
+                    insts.push(NInst::NullConst { d: sreg(depth) });
+                    depth += 1;
+                }
+                Op::Load(n) => {
+                    insts.push(NInst::Mov {
+                        d: sreg(depth),
+                        s: VReg(n as u32),
+                    });
+                    depth += 1;
+                }
+                Op::Store(n) => {
+                    depth -= 1;
+                    insts.push(NInst::Mov {
+                        d: VReg(n as u32),
+                        s: sreg(depth),
+                    });
+                }
+                Op::Pop => depth -= 1,
+                Op::Dup => {
+                    insts.push(NInst::Mov {
+                        d: sreg(depth),
+                        s: sreg(depth - 1),
+                    });
+                    depth += 1;
+                }
+                Op::Swap => {
+                    // Three-mov swap through a depth+1 scratch slot.
+                    insts.push(NInst::Mov {
+                        d: sreg(depth),
+                        s: sreg(depth - 1),
+                    });
+                    insts.push(NInst::Mov {
+                        d: sreg(depth - 1),
+                        s: sreg(depth - 2),
+                    });
+                    insts.push(NInst::Mov {
+                        d: sreg(depth - 2),
+                        s: sreg(depth),
+                    });
+                }
+                Op::IArith(opk) => {
+                    depth -= 1;
+                    insts.push(NInst::IBinOp {
+                        op: opk,
+                        d: sreg(depth - 1),
+                        a: sreg(depth - 1),
+                        b: sreg(depth),
+                    });
+                }
+                Op::INeg => insts.push(NInst::INegOp {
+                    d: sreg(depth - 1),
+                    a: sreg(depth - 1),
+                }),
+                Op::ICmp => {
+                    depth -= 1;
+                    insts.push(NInst::ICmpOp {
+                        d: sreg(depth - 1),
+                        a: sreg(depth - 1),
+                        b: sreg(depth),
+                    });
+                }
+                Op::FArith(opk) => {
+                    depth -= 1;
+                    insts.push(NInst::FBinOp {
+                        op: opk,
+                        d: sreg(depth - 1),
+                        a: sreg(depth - 1),
+                        b: sreg(depth),
+                    });
+                }
+                Op::FNeg => insts.push(NInst::FNegOp {
+                    d: sreg(depth - 1),
+                    a: sreg(depth - 1),
+                }),
+                Op::FCmp => {
+                    depth -= 1;
+                    insts.push(NInst::FCmpOp {
+                        d: sreg(depth - 1),
+                        a: sreg(depth - 1),
+                        b: sreg(depth),
+                    });
+                }
+                Op::I2F => insts.push(NInst::I2FOp {
+                    d: sreg(depth - 1),
+                    a: sreg(depth - 1),
+                }),
+                Op::F2I => insts.push(NInst::F2IOp {
+                    d: sreg(depth - 1),
+                    a: sreg(depth - 1),
+                }),
+                Op::Goto(t) => insts.push(NInst::Jmp {
+                    target: BlockId(block_of[t as usize]),
+                }),
+                Op::ICmpBr(c, t) => {
+                    depth -= 2;
+                    let next = BlockId(block_of[end.min(code.len() - 1)]);
+                    insts.push(NInst::BrCond {
+                        cond: c,
+                        a: sreg(depth),
+                        b: sreg(depth + 1),
+                        then_: BlockId(block_of[t as usize]),
+                        else_: next,
+                    });
+                }
+                Op::BrZ(c, t) => {
+                    depth -= 1;
+                    let zero = sreg(depth + 1);
+                    insts.push(NInst::IConst { d: zero, v: 0 });
+                    let next = BlockId(block_of[end.min(code.len() - 1)]);
+                    insts.push(NInst::BrCond {
+                        cond: c,
+                        a: sreg(depth),
+                        b: zero,
+                        then_: BlockId(block_of[t as usize]),
+                        else_: next,
+                    });
+                }
+                Op::NewArr(ty) => insts.push(NInst::NewArr {
+                    d: sreg(depth - 1),
+                    ty,
+                    len: sreg(depth - 1),
+                }),
+                Op::ALoad(ty) => {
+                    depth -= 1;
+                    insts.push(NInst::ALoadOp {
+                        d: sreg(depth - 1),
+                        arr: sreg(depth - 1),
+                        idx: sreg(depth),
+                        ty,
+                    });
+                }
+                Op::AStore(ty) => {
+                    depth -= 3;
+                    insts.push(NInst::AStoreOp {
+                        arr: sreg(depth),
+                        idx: sreg(depth + 1),
+                        val: sreg(depth + 2),
+                        ty,
+                    });
+                }
+                Op::ArrLen => insts.push(NInst::ArrLenOp {
+                    d: sreg(depth - 1),
+                    arr: sreg(depth - 1),
+                }),
+                Op::New(cid) => {
+                    insts.push(NInst::NewObj {
+                        d: sreg(depth),
+                        class: cid,
+                    });
+                    depth += 1;
+                }
+                Op::GetField(slot, ty) => insts.push(NInst::GetFieldOp {
+                    d: sreg(depth - 1),
+                    obj: sreg(depth - 1),
+                    slot,
+                    ty,
+                }),
+                Op::PutField(slot) => {
+                    depth -= 2;
+                    insts.push(NInst::PutFieldOp {
+                        obj: sreg(depth),
+                        slot,
+                        val: sreg(depth + 1),
+                    });
+                }
+                Op::Call(mid) => {
+                    let callee = program.method(mid);
+                    let nargs = callee.sig.arity();
+                    depth -= nargs;
+                    let args: Vec<VReg> = (0..nargs).map(|i| sreg(depth + i)).collect();
+                    let d = callee.sig.ret.map(|_| sreg(depth));
+                    if d.is_some() {
+                        depth += 1;
+                    }
+                    insts.push(NInst::CallOp {
+                        d,
+                        target: mid,
+                        args,
+                    });
+                }
+                Op::CallVirt { slot, argc } => {
+                    let nargs = argc as usize;
+                    depth -= nargs + 1;
+                    let recv = sreg(depth);
+                    let args: Vec<VReg> = (0..nargs).map(|i| sreg(depth + 1 + i)).collect();
+                    // Return type from any implementor (verifier
+                    // guarantees consistency).
+                    let ret = program
+                        .classes
+                        .iter()
+                        .find_map(|c| c.vtable.get(slot as usize))
+                        .map(|&m| program.method(m).sig.ret)
+                        .unwrap_or(None);
+                    let d = ret.map(|_| sreg(depth));
+                    if d.is_some() {
+                        depth += 1;
+                    }
+                    insts.push(NInst::CallVirtOp {
+                        d,
+                        slot,
+                        recv,
+                        args,
+                    });
+                }
+                Op::Ret => insts.push(NInst::Ret { val: None }),
+                Op::RetVal => {
+                    depth -= 1;
+                    insts.push(NInst::Ret {
+                        val: Some(sreg(depth)),
+                    });
+                }
+                Op::Nop => {}
+            }
+            max_depth = max_depth.max(depth + 2); // +2 scratch headroom
+        }
+
+        // Fall-through blocks get an explicit jump.
+        let needs_jump = match insts.last() {
+            Some(t) => !t.is_terminator(),
+            None => true,
+        };
+        if needs_jump {
+            let next = BlockId((b as u32 + 1).min(nblocks - 1));
+            insts.push(NInst::Jmp { target: next });
+        }
+        work_units += insts.len() as u64;
+    }
+
+    func.nregs = nlocals + max_depth as u32 + 2;
+    debug_assert_eq!(func.validate(), Ok(()));
+    LowerResult { func, work_units }
+}
+
+/// (pops, pushes) of one op.
+fn stack_effect(program: &Program, op: &Op) -> (usize, usize) {
+    match *op {
+        Op::IConst(_) | Op::FConst(_) | Op::NullConst | Op::New(_) => (0, 1),
+        Op::Load(_) => (0, 1),
+        Op::Store(_) | Op::Pop => (1, 0),
+        Op::Dup => (1, 2),
+        Op::Swap => (2, 2),
+        Op::IArith(_) | Op::FArith(_) | Op::ICmp | Op::FCmp => (2, 1),
+        Op::INeg | Op::FNeg | Op::I2F | Op::F2I | Op::NewArr(_) | Op::ArrLen => (1, 1),
+        Op::Goto(_) | Op::Nop | Op::Ret => (0, 0),
+        Op::ICmpBr(..) => (2, 0),
+        Op::BrZ(..) => (1, 0),
+        Op::ALoad(_) => (2, 1),
+        Op::AStore(_) => (3, 0),
+        Op::GetField(..) => (1, 1),
+        Op::PutField(_) => (2, 0),
+        Op::Call(mid) => {
+            let callee = program.method(mid);
+            (callee.sig.arity(), usize::from(callee.sig.ret.is_some()))
+        }
+        Op::CallVirt { slot, argc } => {
+            let ret = program
+                .classes
+                .iter()
+                .find_map(|c| c.vtable.get(slot as usize))
+                .map(|&m| program.method(m).sig.ret)
+                .unwrap_or(None);
+            (argc as usize + 1, usize::from(ret.is_some()))
+        }
+        Op::RetVal => (1, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::verify::verify_program;
+
+    fn compile(src: ModuleBuilder) -> Program {
+        let p = src.compile().unwrap();
+        verify_program(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn lowers_straightline_code() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "f",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").add(iconst(1)))],
+        );
+        let p = compile(m);
+        let id = p.find_method(MODULE_CLASS, "f").unwrap();
+        let r = lower(&p, id);
+        r.func.validate().unwrap();
+        assert!(r.work_units > 0);
+        // Synthetic entry + one real block.
+        assert_eq!(r.func.blocks.len(), 2);
+        assert!(matches!(
+            r.func.blocks[0].terminator(),
+            NInst::Jmp { .. }
+        ));
+        assert!(matches!(
+            r.func.blocks[1].terminator(),
+            NInst::Ret { val: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn lowers_loops_with_back_edges() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "sum",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![assign("acc", var("acc").add(var("i")))],
+                ),
+                ret(var("acc")),
+            ],
+        );
+        let p = compile(m);
+        let id = p.find_method(MODULE_CLASS, "sum").unwrap();
+        let f = lower(&p, id).func;
+        f.validate().unwrap();
+        // Loop structure: some block jumps backwards.
+        let has_back_edge = f.blocks.iter().enumerate().any(|(i, b)| {
+            b.terminator()
+                .successors()
+                .iter()
+                .any(|s| (s.0 as usize) <= i)
+        });
+        assert!(has_back_edge, "no back edge found:\n{f}");
+    }
+
+    #[test]
+    fn lowers_calls_and_arrays() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "helper",
+            vec![("a", DType::int_arr()), ("i", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("a").index(var("i")))],
+        );
+        m.func(
+            "main",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("a", new_arr(DType::Int, var("n"))),
+                set_index(var("a"), iconst(0), iconst(9)),
+                ret(call("helper", vec![var("a"), iconst(0)])),
+            ],
+        );
+        let p = compile(m);
+        let id = p.find_method(MODULE_CLASS, "main").unwrap();
+        let f = lower(&p, id).func;
+        f.validate().unwrap();
+        let all: Vec<_> = f.blocks.iter().flat_map(|b| &b.insts).collect();
+        assert!(all.iter().any(|i| matches!(i, NInst::NewArr { .. })));
+        assert!(all.iter().any(|i| matches!(i, NInst::AStoreOp { .. })));
+        assert!(all.iter().any(|i| matches!(i, NInst::CallOp { .. })));
+    }
+
+    #[test]
+    fn lowers_virtual_calls() {
+        let mut m = ModuleBuilder::new();
+        m.class("C", None, &[("v", DType::Int)]);
+        m.virtual_method("C", "get", vec![], Some(DType::Int), vec![ret(var("this").field("v"))]);
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("c", new_obj("C")),
+                ret(var("c").vcall("get", vec![])),
+            ],
+        );
+        let p = compile(m);
+        let id = p.find_method(MODULE_CLASS, "main").unwrap();
+        let f = lower(&p, id).func;
+        f.validate().unwrap();
+        let all: Vec<_> = f.blocks.iter().flat_map(|b| &b.insts).collect();
+        assert!(all.iter().any(|i| matches!(i, NInst::CallVirtOp { .. })));
+    }
+
+    #[test]
+    fn branch_lowering_produces_two_way_terminators() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "max",
+            vec![("a", DType::Int), ("b", DType::Int)],
+            Some(DType::Int),
+            vec![if_else(
+                var("a").gt(var("b")),
+                vec![ret(var("a"))],
+                vec![ret(var("b"))],
+            )],
+        );
+        let p = compile(m);
+        let id = p.find_method(MODULE_CLASS, "max").unwrap();
+        let f = lower(&p, id).func;
+        f.validate().unwrap();
+        let has_brcond = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator(), NInst::BrCond { .. }));
+        assert!(has_brcond);
+    }
+}

@@ -1,0 +1,179 @@
+//! Local copy propagation.
+//!
+//! Part of the paper's Local2 "redundancy elimination". Naive stack
+//! lowering produces long chains of register copies (every bytecode
+//! `load`/`store` becomes a `mov`); this pass rewrites uses through
+//! those copies so the copies themselves become dead and fall to DCE.
+//! Operates per basic block (the positional-register discipline makes
+//! cross-block copy tracking unnecessary for the common patterns).
+
+use crate::nir::{NFunc, NInst, VReg};
+use crate::opt::PassReport;
+use std::collections::HashMap;
+
+/// Run the pass.
+pub fn run(func: &mut NFunc) -> PassReport {
+    let mut work_units = 0u64;
+    let mut changed = false;
+
+    for block in &mut func.blocks {
+        // copy_of[r] = s: r currently holds the same value as s.
+        // Uses are rewritten to the chain root; the def of each
+        // instruction is left untouched (map_regs visits it too, so it
+        // is explicitly excluded).
+        let mut copy_of: HashMap<VReg, VReg> = HashMap::new();
+        for inst in &mut block.insts {
+            work_units += 1;
+            let before = inst.clone();
+            inst.map_uses(&mut |r| resolve(&copy_of, r));
+            if *inst != before {
+                changed = true;
+            }
+            if let Some(d) = inst.def() {
+                copy_of.remove(&d);
+                copy_of.retain(|_, v| *v != d);
+            }
+            if let NInst::Mov { d, s } = *inst {
+                if d != s {
+                    copy_of.insert(d, s);
+                }
+            }
+        }
+    }
+
+    PassReport {
+        work_units,
+        changed,
+    }
+}
+
+/// Follow the copy chain from `r` to its root.
+fn resolve(copy_of: &HashMap<VReg, VReg>, r: VReg) -> VReg {
+    let mut cur = r;
+    let mut fuel = 64; // cycle guard (cycles cannot form, but be safe)
+    while let Some(&next) = copy_of.get(&cur) {
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{IBin, MethodId};
+    use crate::nir::Block;
+
+    fn func_with(insts: Vec<NInst>) -> NFunc {
+        NFunc {
+            method: MethodId(0),
+            blocks: vec![Block { insts }],
+            nregs: 16,
+            nlocals: 4,
+        }
+    }
+
+    #[test]
+    fn propagates_through_stack_movs() {
+        // The canonical lowered `acc += i` shape.
+        let mut f = func_with(vec![
+            NInst::Mov { d: VReg(4), s: VReg(1) }, // push acc
+            NInst::Mov { d: VReg(5), s: VReg(2) }, // push i
+            NInst::IBinOp {
+                op: IBin::Add,
+                d: VReg(4),
+                a: VReg(4),
+                b: VReg(5),
+            },
+            NInst::Mov { d: VReg(1), s: VReg(4) }, // store acc
+            NInst::Ret { val: Some(VReg(1)) },
+        ]);
+        let r = run(&mut f);
+        assert!(r.changed);
+        // The add now reads the locals directly.
+        assert_eq!(
+            f.blocks[0].insts[2],
+            NInst::IBinOp {
+                op: IBin::Add,
+                d: VReg(4),
+                a: VReg(1),
+                b: VReg(2),
+            }
+        );
+    }
+
+    #[test]
+    fn copies_die_on_source_redefinition() {
+        let mut f = func_with(vec![
+            NInst::Mov { d: VReg(4), s: VReg(1) },
+            NInst::IConst { d: VReg(1), v: 99 }, // r1 changes!
+            // r4 must NOT be rewritten to r1 here.
+            NInst::IBinOp {
+                op: IBin::Add,
+                d: VReg(5),
+                a: VReg(4),
+                b: VReg(4),
+            },
+            NInst::Ret { val: Some(VReg(5)) },
+        ]);
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[2],
+            NInst::IBinOp {
+                op: IBin::Add,
+                d: VReg(5),
+                a: VReg(4),
+                b: VReg(4),
+            }
+        );
+    }
+
+    #[test]
+    fn chains_resolve_to_root() {
+        let mut f = func_with(vec![
+            NInst::Mov { d: VReg(4), s: VReg(1) },
+            NInst::Mov { d: VReg(5), s: VReg(4) },
+            NInst::Mov { d: VReg(6), s: VReg(5) },
+            NInst::Ret { val: Some(VReg(6)) },
+        ]);
+        run(&mut f);
+        assert_eq!(
+            *f.blocks[0].insts.last().unwrap(),
+            NInst::Ret { val: Some(VReg(1)) }
+        );
+    }
+
+    #[test]
+    fn defs_are_not_rewritten() {
+        let mut f = func_with(vec![
+            NInst::Mov { d: VReg(4), s: VReg(1) },
+            // Redefines r4; the def must stay r4.
+            NInst::IConst { d: VReg(4), v: 3 },
+            NInst::Ret { val: Some(VReg(4)) },
+        ]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], NInst::IConst { d: VReg(4), v: 3 });
+    }
+
+    #[test]
+    fn with_dce_removes_stack_traffic() {
+        let mut f = func_with(vec![
+            NInst::Mov { d: VReg(4), s: VReg(1) },
+            NInst::Mov { d: VReg(5), s: VReg(2) },
+            NInst::IBinOp {
+                op: IBin::Add,
+                d: VReg(6),
+                a: VReg(4),
+                b: VReg(5),
+            },
+            NInst::Ret { val: Some(VReg(6)) },
+        ]);
+        run(&mut f);
+        crate::opt::dce::run(&mut f);
+        // Only the add and the ret survive.
+        assert_eq!(f.blocks[0].insts.len(), 2, "{f}");
+    }
+}

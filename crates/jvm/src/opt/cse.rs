@@ -1,0 +1,306 @@
+//! Common sub-expression elimination (local value numbering).
+//!
+//! One of the paper's Local2 optimizations. Within each basic block,
+//! available pure expressions and heap reads are tracked; a
+//! recomputation is replaced by a register copy. Heap reads are
+//! invalidated by stores and calls; every availability entry is
+//! invalidated when one of its operand registers (or its holding
+//! register) is redefined — mandatory, because NIR registers are
+//! positional and reused heavily.
+
+use crate::bytecode::{FBin, IBin};
+use crate::nir::{NFunc, NInst, VReg};
+use crate::opt::PassReport;
+use crate::value::Type;
+use std::collections::HashMap;
+
+/// Canonical expression key. Commutative int ops are normalized by
+/// operand order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    IBin(IBin, VReg, VReg),
+    IShl(VReg, u8),
+    INeg(VReg),
+    ICmp(VReg, VReg),
+    FBin(FBin, VReg, VReg),
+    FNeg(VReg),
+    FCmp(VReg, VReg),
+    I2F(VReg),
+    F2I(VReg),
+    IConstK(i32),
+    FConstK(u64),
+    ALoad(VReg, VReg, Type),
+    GetField(VReg, u16),
+    ArrLen(VReg),
+}
+
+impl Key {
+    fn of(inst: &NInst) -> Option<Key> {
+        Some(match *inst {
+            NInst::IBinOp { op, a, b, .. } => {
+                let (a, b) = if commutes(op) && b < a { (b, a) } else { (a, b) };
+                Key::IBin(op, a, b)
+            }
+            NInst::IShlImm { a, k, .. } => Key::IShl(a, k),
+            NInst::INegOp { a, .. } => Key::INeg(a),
+            NInst::ICmpOp { a, b, .. } => Key::ICmp(a, b),
+            NInst::FBinOp { op, a, b, .. } => {
+                // Float add/mul are not strictly associative but ARE
+                // commutative bit-for-bit in IEEE-754.
+                let (a, b) = if matches!(op, FBin::Add | FBin::Mul) && b < a {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
+                Key::FBin(op, a, b)
+            }
+            NInst::FNegOp { a, .. } => Key::FNeg(a),
+            NInst::FCmpOp { a, b, .. } => Key::FCmp(a, b),
+            NInst::I2FOp { a, .. } => Key::I2F(a),
+            NInst::F2IOp { a, .. } => Key::F2I(a),
+            NInst::IConst { v, .. } => Key::IConstK(v),
+            NInst::FConst { v, .. } => Key::FConstK(v.to_bits()),
+            NInst::ALoadOp { arr, idx, ty, .. } => Key::ALoad(arr, idx, ty),
+            NInst::GetFieldOp { obj, slot, .. } => Key::GetField(obj, slot),
+            NInst::ArrLenOp { arr, .. } => Key::ArrLen(arr),
+            _ => return None,
+        })
+    }
+
+    fn operands(&self) -> [Option<VReg>; 2] {
+        match *self {
+            Key::IBin(_, a, b)
+            | Key::ICmp(a, b)
+            | Key::FBin(_, a, b)
+            | Key::FCmp(a, b)
+            | Key::ALoad(a, b, _) => [Some(a), Some(b)],
+            Key::IShl(a, _)
+            | Key::INeg(a)
+            | Key::FNeg(a)
+            | Key::I2F(a)
+            | Key::F2I(a)
+            | Key::GetField(a, _)
+            | Key::ArrLen(a) => [Some(a), None],
+            Key::IConstK(_) | Key::FConstK(_) => [None, None],
+        }
+    }
+
+    fn is_heap_read(&self) -> bool {
+        matches!(self, Key::ALoad(..) | Key::GetField(..) | Key::ArrLen(..))
+    }
+}
+
+fn commutes(op: IBin) -> bool {
+    matches!(
+        op,
+        IBin::Add | IBin::Mul | IBin::And | IBin::Or | IBin::Xor
+    )
+}
+
+/// Run the pass.
+pub fn run(func: &mut NFunc) -> PassReport {
+    let mut work_units = 0u64;
+    let mut changed = false;
+
+    for block in &mut func.blocks {
+        let mut avail: HashMap<Key, VReg> = HashMap::new();
+        for inst in &mut block.insts {
+            work_units += 1;
+            let key = Key::of(inst);
+
+            // Try to reuse an available value.
+            if let (Some(key), Some(d)) = (key, inst.def()) {
+                if let Some(&src) = avail.get(&key) {
+                    if src != d {
+                        *inst = NInst::Mov { d, s: src };
+                        changed = true;
+                    } else {
+                        // Recomputing into the same register the value
+                        // already lives in: keep as-is (DCE may drop a
+                        // self-mov later, but a recompute is simply
+                        // redundant).
+                        *inst = NInst::Mov { d, s: src };
+                        changed = true;
+                    }
+                }
+            }
+
+            // Invalidate on heap clobber.
+            if inst.clobbers_heap() {
+                avail.retain(|k, _| !k.is_heap_read());
+            }
+
+            // Invalidate entries whose operands or holder die.
+            if let Some(d) = inst.def() {
+                avail.retain(|k, &mut v| {
+                    v != d && !k.operands().contains(&Some(d))
+                });
+            }
+
+            // Record this computation (recompute the key: the inst may
+            // have become a Mov, which is not a keyed expression).
+            if let Some(key) = Key::of(inst) {
+                if let Some(d) = inst.def() {
+                    avail.insert(key, d);
+                }
+            }
+        }
+    }
+
+    PassReport {
+        work_units,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::MethodId;
+    use crate::nir::Block;
+
+    fn func_with(insts: Vec<NInst>) -> NFunc {
+        let mut insts = insts;
+        insts.push(NInst::Ret { val: Some(VReg(0)) });
+        NFunc {
+            method: MethodId(0),
+            blocks: vec![Block { insts }],
+            nregs: 16,
+            nlocals: 4,
+        }
+    }
+
+    fn add(d: u32, a: u32, b: u32) -> NInst {
+        NInst::IBinOp {
+            op: IBin::Add,
+            d: VReg(d),
+            a: VReg(a),
+            b: VReg(b),
+        }
+    }
+
+    #[test]
+    fn eliminates_repeated_add() {
+        let mut f = func_with(vec![add(4, 1, 2), add(5, 1, 2)]);
+        let r = run(&mut f);
+        assert!(r.changed);
+        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+    }
+
+    #[test]
+    fn commutative_operands_normalize() {
+        let mut f = func_with(vec![add(4, 1, 2), add(5, 2, 1)]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+    }
+
+    #[test]
+    fn subtraction_does_not_commute() {
+        let sub = |d: u32, a: u32, b: u32| NInst::IBinOp {
+            op: IBin::Sub,
+            d: VReg(d),
+            a: VReg(a),
+            b: VReg(b),
+        };
+        let mut f = func_with(vec![sub(4, 1, 2), sub(5, 2, 1)]);
+        let r = run(&mut f);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn invalidated_by_operand_redefinition() {
+        let mut f = func_with(vec![
+            add(4, 1, 2),
+            NInst::IConst { d: VReg(1), v: 9 }, // kills r1
+            add(5, 1, 2),                        // must recompute
+        ]);
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], NInst::IBinOp { .. }));
+    }
+
+    #[test]
+    fn invalidated_by_holder_redefinition() {
+        let mut f = func_with(vec![
+            add(4, 1, 2),
+            NInst::IConst { d: VReg(4), v: 0 }, // kills the holder r4
+            add(5, 1, 2),                        // must recompute
+        ]);
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], NInst::IBinOp { .. }));
+    }
+
+    #[test]
+    fn heap_reads_cse_until_clobbered() {
+        let aload = |d: u32| NInst::ALoadOp {
+            d: VReg(d),
+            arr: VReg(1),
+            idx: VReg(2),
+            ty: Type::Int,
+        };
+        let mut f = func_with(vec![
+            aload(4),
+            aload(5), // same location, no clobber: CSE
+            NInst::AStoreOp {
+                arr: VReg(1),
+                idx: VReg(3),
+                val: VReg(4),
+                ty: Type::Int,
+            },
+            aload(6), // after a store: must reload
+        ]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+        assert!(matches!(f.blocks[0].insts[3], NInst::ALoadOp { .. }));
+    }
+
+    #[test]
+    fn calls_clobber_heap_reads() {
+        let aload = |d: u32| NInst::ALoadOp {
+            d: VReg(d),
+            arr: VReg(1),
+            idx: VReg(2),
+            ty: Type::Int,
+        };
+        let mut f = func_with(vec![
+            aload(4),
+            NInst::CallOp {
+                d: None,
+                target: MethodId(0),
+                args: vec![],
+            },
+            aload(5),
+        ]);
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], NInst::ALoadOp { .. }));
+    }
+
+    #[test]
+    fn constants_are_reused() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(4), v: 42 },
+            NInst::IConst { d: VReg(5), v: 42 },
+        ]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+    }
+
+    #[test]
+    fn no_cse_across_blocks() {
+        let mut f = NFunc {
+            method: MethodId(0),
+            blocks: vec![
+                Block {
+                    insts: vec![add(4, 1, 2), NInst::Jmp { target: crate::nir::BlockId(1) }],
+                },
+                Block {
+                    insts: vec![add(5, 1, 2), NInst::Ret { val: Some(VReg(5)) }],
+                },
+            ],
+            nregs: 8,
+            nlocals: 4,
+        };
+        let r = run(&mut f);
+        // Local value numbering must not reuse across the block edge.
+        assert!(!r.changed);
+    }
+}

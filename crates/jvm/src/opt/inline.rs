@@ -1,0 +1,379 @@
+//! Method inlining — the paper's Local3 optimization.
+//!
+//! "Local3 performs virtual method inlining in addition to the
+//! optimizations performed by Local2." Virtual call sites are
+//! devirtualized by class-hierarchy analysis (if every class providing
+//! the vtable slot resolves to the same implementation, the dispatch
+//! is unambiguous) and then inlined; small static calls are inlined
+//! too. Inlining grows the emitted code — which is why Local3 code is
+//! bigger and sometimes *cheaper to download pre-compiled at a lower
+//! level* (the code-size/performance tradeoff the paper discusses for
+//! remote compilation).
+
+use crate::bytecode::MethodId;
+use crate::class::Program;
+use crate::lower;
+use crate::nir::{Block, BlockId, NFunc, NInst, VReg};
+use crate::opt::PassReport;
+
+/// Inlining policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineConfig {
+    /// Maximum callee size (NIR instructions) to inline.
+    pub max_callee_insts: usize,
+    /// Stop once the function has grown past this multiple of its
+    /// original size.
+    pub max_growth: f64,
+    /// Maximum number of call sites to inline.
+    pub max_sites: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig {
+            max_callee_insts: 32,
+            max_growth: 1.8,
+            max_sites: 16,
+        }
+    }
+}
+
+/// Run the pass.
+pub fn run(func: &mut NFunc, program: &Program, config: &InlineConfig) -> PassReport {
+    let mut work_units = 0u64;
+    let mut changed = false;
+    let original_len = func.len().max(1);
+    let mut sites_done = 0usize;
+
+    // Repeatedly find the first inlinable site and splice it. One at a
+    // time keeps block bookkeeping simple; budgets bound the loop.
+    loop {
+        if sites_done >= config.max_sites
+            || func.len() as f64 > original_len as f64 * config.max_growth
+        {
+            break;
+        }
+        let Some((bi, ii, target, dest, arg_regs)) =
+            find_site(func, program, config, &mut work_units)
+        else {
+            break;
+        };
+        splice(func, program, bi, ii, target, dest, arg_regs, &mut work_units);
+        sites_done += 1;
+        changed = true;
+    }
+
+    debug_assert_eq!(func.validate(), Ok(()));
+    PassReport {
+        work_units,
+        changed,
+    }
+}
+
+/// An inlinable call site: (block, index, callee, dest, args
+/// including the receiver for virtual calls).
+type Site = (usize, usize, MethodId, Option<VReg>, Vec<VReg>);
+
+/// Locate the next inlinable call site.
+fn find_site(
+    func: &NFunc,
+    program: &Program,
+    config: &InlineConfig,
+    work_units: &mut u64,
+) -> Option<Site> {
+    for (bi, block) in func.blocks.iter().enumerate() {
+        for (ii, inst) in block.insts.iter().enumerate() {
+            *work_units += 1;
+            match inst {
+                NInst::CallOp { d, target, args } => {
+                    if *target == func.method {
+                        continue; // no self-inlining
+                    }
+                    if callee_size_ok(program, *target, config) {
+                        return Some((bi, ii, *target, *d, args.clone()));
+                    }
+                }
+                NInst::CallVirtOp {
+                    d,
+                    slot,
+                    recv,
+                    args,
+                } => {
+                    // CHA devirtualization: unique implementation
+                    // across every class that has this slot.
+                    let mut unique: Option<MethodId> = None;
+                    let mut ambiguous = false;
+                    for class in &program.classes {
+                        if let Some(&m) = class.vtable.get(*slot as usize) {
+                            match unique {
+                                None => unique = Some(m),
+                                Some(u) if u == m => {}
+                                Some(_) => {
+                                    ambiguous = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    *work_units += program.classes.len() as u64;
+                    if ambiguous {
+                        continue;
+                    }
+                    let Some(target) = unique else { continue };
+                    if target == func.method {
+                        continue;
+                    }
+                    if callee_size_ok(program, target, config) {
+                        let mut full_args = vec![*recv];
+                        full_args.extend(args.iter().copied());
+                        return Some((bi, ii, target, *d, full_args));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn callee_size_ok(program: &Program, target: MethodId, config: &InlineConfig) -> bool {
+    // Estimate from bytecode length (cheap); exact NIR size is checked
+    // at splice time implicitly via growth budget.
+    program.method(target).code.len() <= config.max_callee_insts
+}
+
+/// Splice `target`'s lowered body in place of the call at
+/// `func.blocks[bi].insts[ii]`.
+#[allow(clippy::too_many_arguments)]
+fn splice(
+    func: &mut NFunc,
+    program: &Program,
+    bi: usize,
+    ii: usize,
+    target: MethodId,
+    dest: Option<VReg>,
+    arg_regs: Vec<VReg>,
+    work_units: &mut u64,
+) {
+    let callee = lower::lower(program, target);
+    *work_units += callee.work_units + 3 * callee.func.len() as u64;
+    let mut cf = callee.func;
+
+    let reg_offset = func.nregs;
+    let block_offset = func.blocks.len() as u32 + 1; // +1: continuation block
+    func.nregs += cf.nregs;
+
+    // Split the caller block: [0, ii) stays; call is replaced by arg
+    // moves + jump into the callee; [ii+1, ..) becomes the
+    // continuation block.
+    let tail: Vec<NInst> = func.blocks[bi].insts.split_off(ii + 1);
+    let call = func.blocks[bi]
+        .insts
+        .pop()
+        .expect("call instruction present");
+    debug_assert!(matches!(
+        call,
+        NInst::CallOp { .. } | NInst::CallVirtOp { .. }
+    ));
+
+    // Argument copies into the callee's (offset) parameter registers.
+    for (i, &a) in arg_regs.iter().enumerate() {
+        func.blocks[bi].insts.push(NInst::Mov {
+            d: VReg(reg_offset + i as u32),
+            s: a,
+        });
+    }
+    func.blocks[bi].insts.push(NInst::Jmp {
+        target: BlockId(block_offset),
+    });
+
+    // Continuation block gets the tail.
+    let continuation = BlockId(func.blocks.len() as u32);
+    func.blocks.push(Block { insts: tail });
+
+    // Append remapped callee blocks; returns become mov+jump to the
+    // continuation.
+    for block in &mut cf.blocks {
+        for inst in &mut block.insts {
+            inst.map_regs(&mut |r| VReg(r.0 + reg_offset));
+            inst.map_blocks(&mut |b| BlockId(b.0 + block_offset));
+        }
+        let mut insts = std::mem::take(&mut block.insts);
+        if let Some(NInst::Ret { val }) = insts.last().cloned() {
+            insts.pop();
+            if let (Some(d), Some(v)) = (dest, val) {
+                insts.push(NInst::Mov { d, s: v });
+            }
+            insts.push(NInst::Jmp {
+                target: continuation,
+            });
+        }
+        func.blocks.push(Block { insts });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+    use crate::verify::verify_program;
+
+    fn lower_main(m: ModuleBuilder, name: &str) -> (crate::class::Program, NFunc) {
+        let p = m.compile().unwrap();
+        verify_program(&p).unwrap();
+        let id = p.find_method(MODULE_CLASS, name).unwrap();
+        let f = lower::lower(&p, id).func;
+        (p, f)
+    }
+
+    fn count_calls(f: &NFunc) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, NInst::CallOp { .. } | NInst::CallVirtOp { .. }))
+            .count()
+    }
+
+    #[test]
+    fn inlines_small_static_call() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "inc",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").add(iconst(1)))],
+        );
+        m.func(
+            "main",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(call("inc", vec![var("x")]))],
+        );
+        let (p, mut f) = lower_main(m, "main");
+        assert_eq!(count_calls(&f), 1);
+        let r = run(&mut f, &p, &InlineConfig::default());
+        assert!(r.changed);
+        assert_eq!(count_calls(&f), 0, "{f}");
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn devirtualizes_monomorphic_call() {
+        let mut m = ModuleBuilder::new();
+        m.class("C", None, &[("v", DType::Int)]);
+        m.virtual_method(
+            "C",
+            "get",
+            vec![],
+            Some(DType::Int),
+            vec![ret(var("this").field("v"))],
+        );
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("c", new_obj("C")),
+                ret(var("c").vcall("get", vec![])),
+            ],
+        );
+        let (p, mut f) = lower_main(m, "main");
+        let r = run(&mut f, &p, &InlineConfig::default());
+        assert!(r.changed);
+        assert_eq!(count_calls(&f), 0, "{f}");
+    }
+
+    #[test]
+    fn keeps_polymorphic_virtual_calls() {
+        let mut m = ModuleBuilder::new();
+        m.class("A", None, &[]);
+        m.virtual_method("A", "id", vec![], Some(DType::Int), vec![ret(iconst(1))]);
+        m.class("B", Some("A"), &[]);
+        m.virtual_method("B", "id", vec![], Some(DType::Int), vec![ret(iconst(2))]);
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![
+                let_("a", new_obj("A")),
+                ret(var("a").vcall("id", vec![])),
+            ],
+        );
+        let (p, mut f) = lower_main(m, "main");
+        let before = count_calls(&f);
+        let r = run(&mut f, &p, &InlineConfig::default());
+        assert!(!r.changed);
+        assert_eq!(count_calls(&f), before);
+    }
+
+    #[test]
+    fn skips_big_callees() {
+        let mut m = ModuleBuilder::new();
+        // A function with a long body (40+ statements).
+        let mut body = vec![let_("s", iconst(0))];
+        for i in 0..40 {
+            body.push(assign("s", var("s").add(iconst(i))));
+        }
+        body.push(ret(var("s")));
+        m.func("big", vec![("x", DType::Int)], Some(DType::Int), body);
+        m.func(
+            "main",
+            vec![],
+            Some(DType::Int),
+            vec![ret(call("big", vec![iconst(1)]))],
+        );
+        let (p, mut f) = lower_main(m, "main");
+        let r = run(
+            &mut f,
+            &p,
+            &InlineConfig {
+                max_callee_insts: 10,
+                ..Default::default()
+            },
+        );
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn no_self_inlining() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "rec",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![if_else(
+                var("x").le(iconst(0)),
+                vec![ret(iconst(0))],
+                vec![ret(call("rec", vec![var("x").sub(iconst(1))]))],
+            )],
+        );
+        let p = m.compile().unwrap();
+        let id = p.find_method(MODULE_CLASS, "rec").unwrap();
+        let mut f = lower::lower(&p, id).func;
+        let r = run(&mut f, &p, &InlineConfig::default());
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn inlining_grows_code() {
+        let mut m = ModuleBuilder::new();
+        m.func(
+            "helper",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(var("x").mul(var("x")).add(var("x")))],
+        );
+        m.func(
+            "main",
+            vec![("x", DType::Int)],
+            Some(DType::Int),
+            vec![ret(call("helper", vec![var("x")])
+                .add(call("helper", vec![var("x").add(iconst(1))])))],
+        );
+        let (p, mut f) = lower_main(m, "main");
+        let before = f.len();
+        run(&mut f, &p, &InlineConfig::default());
+        assert!(f.len() > before, "inlining should grow the function");
+        f.validate().unwrap();
+    }
+}

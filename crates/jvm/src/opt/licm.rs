@@ -1,0 +1,366 @@
+//! Loop-invariant code motion.
+//!
+//! One of the paper's Local2 optimizations. Natural loops are found
+//! via back edges (`b → h` where `h` dominates `b`); pure instructions
+//! whose operands are not defined anywhere in the loop are hoisted
+//! into a freshly created preheader, computing into a fresh temporary
+//! register, with a `mov` left behind to preserve the positional
+//! register contract.
+//!
+//! Only side-effect-free, non-trapping instructions move
+//! ([`NInst::is_pure`]), so hoisting is safe even when the loop body
+//! would not have executed.
+
+use crate::nir::{Block, BlockId, NFunc, NInst, VReg};
+use crate::opt::{dominators, PassReport};
+use std::collections::BTreeSet;
+
+/// Run the pass.
+pub fn run(func: &mut NFunc) -> PassReport {
+    let mut work_units = 0u64;
+    let mut changed = false;
+
+    let n = func.blocks.len();
+    let dom = dominators(func);
+    work_units += (n * n) as u64 / 4 + n as u64; // dominator analysis
+
+    // Collect loops: header → body blocks. Loops sharing a header are
+    // merged.
+    let preds = func.predecessors();
+    let mut loops: Vec<(usize, BTreeSet<usize>)> = Vec::new();
+    for (b, block) in func.blocks.iter().enumerate() {
+        let Some(term) = block.insts.last() else {
+            continue;
+        };
+        for succ in term.successors() {
+            let h = succ.0 as usize;
+            if dom[b][h] {
+                // back edge b → h: natural loop = h + all nodes
+                // reaching b without passing through h.
+                let mut body: BTreeSet<usize> = BTreeSet::new();
+                body.insert(h);
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if body.insert(x) {
+                        for p in &preds[x] {
+                            stack.push(p.0 as usize);
+                        }
+                    }
+                    work_units += 1;
+                }
+                if let Some(existing) = loops.iter_mut().find(|(hh, _)| *hh == h) {
+                    existing.1.extend(body);
+                } else {
+                    loops.push((h, body));
+                }
+            }
+        }
+    }
+
+    // Hoist from innermost-like order (more blocks = outer; process
+    // smaller loops first so inner-loop invariants land in inner
+    // preheaders).
+    loops.sort_by_key(|(_, body)| body.len());
+
+    for (header, body) in loops {
+        // Registers defined anywhere in the loop.
+        let mut defined: BTreeSet<VReg> = BTreeSet::new();
+        for &b in &body {
+            for inst in &func.blocks[b].insts {
+                work_units += 1;
+                if let Some(d) = inst.def() {
+                    defined.insert(d);
+                }
+            }
+        }
+
+        // Register-pressure guard: every hoisted value lives in a
+        // fresh register across the whole loop; hoisting more values
+        // than the register file can hold trades recomputation for
+        // spill traffic, which is a net loss. Cap per loop.
+        const MAX_HOISTS_PER_LOOP: usize = 6;
+        let mut hoisted: Vec<NInst> = Vec::new();
+        let mut next_reg = func.nregs;
+        // Fixpoint: hoisting can expose more invariants (an operand
+        // fed by a hoisted mov stays "defined in loop", so this mostly
+        // converges in one or two rounds).
+        loop {
+            let mut moved_this_round = false;
+            for &b in &body {
+                let block = &mut func.blocks[b];
+                for inst in &mut block.insts {
+                    work_units += 1;
+                    if hoisted.len() >= MAX_HOISTS_PER_LOOP {
+                        break;
+                    }
+                    if !inst.is_pure() || inst.is_terminator() {
+                        continue;
+                    }
+                    if matches!(inst, NInst::Mov { .. }) {
+                        continue; // hoisting movs is pointless churn
+                    }
+                    let Some(d) = inst.def() else { continue };
+                    if inst.uses().iter().any(|u| defined.contains(u)) {
+                        continue;
+                    }
+                    // Hoist: t = <expr>  (preheader) ; mov d, t (here).
+                    let t = VReg(next_reg);
+                    next_reg += 1;
+                    let mut moved = inst.clone();
+                    if let Some(dd) = moved.def() {
+                        moved.map_regs(&mut |r| if r == dd { t } else { r });
+                    }
+                    hoisted.push(moved);
+                    *inst = NInst::Mov { d, s: t };
+                    moved_this_round = true;
+                    changed = true;
+                }
+            }
+            if !moved_this_round {
+                break;
+            }
+        }
+        func.nregs = next_reg;
+
+        if hoisted.is_empty() {
+            continue;
+        }
+
+        // Create the preheader and retarget outside edges.
+        let pre = func.blocks.len();
+        let mut insts = hoisted;
+        insts.push(NInst::Jmp {
+            target: BlockId(header as u32),
+        });
+        func.blocks.push(Block { insts });
+        for (b, block) in func.blocks.iter_mut().enumerate() {
+            if b == pre || body.contains(&b) {
+                continue;
+            }
+            if let Some(term) = block.insts.last_mut() {
+                term.map_blocks(&mut |t| {
+                    if t.0 as usize == header {
+                        BlockId(pre as u32)
+                    } else {
+                        t
+                    }
+                });
+            }
+        }
+    }
+
+    debug_assert_eq!(func.validate(), Ok(()));
+    PassReport {
+        work_units,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Cond, IBin, MethodId};
+
+    /// while (r1 < r0) { r2 = r3 * r4; r1 = r1 + r2 }
+    /// r3*r4 is invariant.
+    fn loop_func() -> NFunc {
+        NFunc {
+            method: MethodId(0),
+            blocks: vec![
+                // b0: entry
+                Block {
+                    insts: vec![NInst::Jmp { target: BlockId(1) }],
+                },
+                // b1: header: if r1 >= r0 goto b3 else b2
+                Block {
+                    insts: vec![NInst::BrCond {
+                        cond: Cond::Ge,
+                        a: VReg(1),
+                        b: VReg(0),
+                        then_: BlockId(3),
+                        else_: BlockId(2),
+                    }],
+                },
+                // b2: body
+                Block {
+                    insts: vec![
+                        NInst::IBinOp {
+                            op: IBin::Mul,
+                            d: VReg(2),
+                            a: VReg(3),
+                            b: VReg(4),
+                        },
+                        NInst::IBinOp {
+                            op: IBin::Add,
+                            d: VReg(1),
+                            a: VReg(1),
+                            b: VReg(2),
+                        },
+                        NInst::Jmp { target: BlockId(1) },
+                    ],
+                },
+                // b3: exit
+                Block {
+                    insts: vec![NInst::Ret { val: Some(VReg(1)) }],
+                },
+            ],
+            nregs: 5,
+            nlocals: 5,
+        }
+    }
+
+    #[test]
+    fn hoists_invariant_multiply() {
+        let mut f = loop_func();
+        let r = run(&mut f);
+        assert!(r.changed);
+        f.validate().unwrap();
+        // A preheader was appended holding the multiply.
+        let pre = f.blocks.last().unwrap();
+        assert!(
+            pre.insts
+                .iter()
+                .any(|i| matches!(i, NInst::IBinOp { op: IBin::Mul, .. })),
+            "preheader missing hoisted op: {f}"
+        );
+        // The body now movs instead of multiplying.
+        assert!(matches!(f.blocks[2].insts[0], NInst::Mov { .. }));
+        // Entry was retargeted to the preheader.
+        assert_eq!(
+            f.blocks[0].insts[0],
+            NInst::Jmp {
+                target: BlockId(4)
+            }
+        );
+        // Back edge still goes to the header directly.
+        assert_eq!(
+            *f.blocks[2].insts.last().unwrap(),
+            NInst::Jmp {
+                target: BlockId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn does_not_hoist_variant_code() {
+        let mut f = loop_func();
+        // Make the multiply depend on the induction variable r1.
+        f.blocks[2].insts[0] = NInst::IBinOp {
+            op: IBin::Mul,
+            d: VReg(2),
+            a: VReg(1),
+            b: VReg(4),
+        };
+        let r = run(&mut f);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn does_not_hoist_heap_or_calls() {
+        let mut f = loop_func();
+        f.blocks[2].insts[0] = NInst::ALoadOp {
+            d: VReg(2),
+            arr: VReg(3),
+            idx: VReg(4),
+            ty: crate::value::Type::Int,
+        };
+        let r = run(&mut f);
+        assert!(!r.changed, "heap loads must not be hoisted: {f}");
+    }
+
+    #[test]
+    fn does_not_hoist_trapping_division() {
+        let mut f = loop_func();
+        f.blocks[2].insts[0] = NInst::IBinOp {
+            op: IBin::Div,
+            d: VReg(2),
+            a: VReg(3),
+            b: VReg(4),
+        };
+        let r = run(&mut f);
+        assert!(!r.changed, "div can trap and must stay put");
+    }
+
+    #[test]
+    fn straightline_code_untouched() {
+        let mut f = NFunc {
+            method: MethodId(0),
+            blocks: vec![
+                Block {
+                    insts: vec![NInst::Jmp { target: BlockId(1) }],
+                },
+                Block {
+                    insts: vec![
+                        NInst::IBinOp {
+                            op: IBin::Add,
+                            d: VReg(0),
+                            a: VReg(1),
+                            b: VReg(2),
+                        },
+                        NInst::Ret { val: Some(VReg(0)) },
+                    ],
+                },
+            ],
+            nregs: 3,
+            nlocals: 3,
+        };
+        let r = run(&mut f);
+        assert!(!r.changed);
+    }
+
+    #[test]
+    fn execution_semantics_preserved() {
+        // Run the loop function through the (tested) executor semantics
+        // indirectly: compare the sum computed by interpreting NIR by
+        // hand before and after LICM.
+        fn simulate(f: &NFunc, n: i32) -> i32 {
+            // Tiny NIR evaluator sufficient for this test.
+            let mut regs = vec![0i32; f.nregs as usize];
+            regs[0] = n; // bound
+            regs[1] = 0; // acc
+            regs[3] = 3;
+            regs[4] = 7;
+            let mut b = 0usize;
+            let mut fuel = 10_000;
+            loop {
+                fuel -= 1;
+                assert!(fuel > 0, "runaway");
+                let block = &f.blocks[b];
+                for inst in &block.insts {
+                    match *inst {
+                        NInst::IBinOp { op, d, a, b } => {
+                            regs[d.0 as usize] =
+                                crate::arith::ibin(op, regs[a.0 as usize], regs[b.0 as usize])
+                                    .unwrap()
+                        }
+                        NInst::Mov { d, s } => regs[d.0 as usize] = regs[s.0 as usize],
+                        NInst::Jmp { target } => {
+                            b = target.0 as usize;
+                        }
+                        NInst::BrCond {
+                            cond,
+                            a,
+                            b: rb,
+                            then_,
+                            else_,
+                        } => {
+                            b = if cond.eval(regs[a.0 as usize], regs[rb.0 as usize]) {
+                                then_.0 as usize
+                            } else {
+                                else_.0 as usize
+                            };
+                        }
+                        NInst::Ret { val } => return regs[val.unwrap().0 as usize],
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        let base = loop_func();
+        let mut opt = loop_func();
+        run(&mut opt);
+        for n in [0, 1, 21, 100] {
+            assert_eq!(simulate(&base, n), simulate(&opt, n), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! JIT optimization passes.
+//!
+//! The paper's three compilation levels map to pass pipelines:
+//!
+//! * **Local1** — plain translation ([`crate::lower`]), no passes.
+//! * **Local2** — "common sub-expression elimination, loop invariant
+//!   code motion, strength reduction, and redundancy elimination":
+//!   [`strength`], [`cse`], [`licm`], [`dce`].
+//! * **Local3** — Local2 plus "virtual method inlining": [`inline`]
+//!   first, then the Local2 pipeline over the enlarged body.
+//!
+//! Every pass returns the *work units* it expended (IR nodes visited),
+//! which the energy model converts into compilation energy — this is
+//! how "the energy expended in local compilation increases with the
+//! degree of optimization" (paper Fig 8) emerges from the system
+//! rather than being hard-coded.
+
+pub mod copyprop;
+pub mod cse;
+pub mod dce;
+pub mod inline;
+pub mod licm;
+pub mod strength;
+
+/// Outcome of one pass application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassReport {
+    /// Work units expended (charged as compile energy).
+    pub work_units: u64,
+    /// Whether the pass changed the function.
+    pub changed: bool,
+}
+
+impl PassReport {
+    /// Merge two sequential reports.
+    #[must_use]
+    pub fn merge(self, other: PassReport) -> PassReport {
+        PassReport {
+            work_units: self.work_units + other.work_units,
+            changed: self.changed || other.changed,
+        }
+    }
+}
+
+/// Dominator computation shared by loop-based passes.
+///
+/// Returns `dom[b]` = set of blocks dominating `b` (as a bitset in a
+/// `Vec<u64>` word-chunked representation would be overkill here;
+/// block counts are small, so we use a boolean matrix).
+pub(crate) fn dominators(func: &crate::nir::NFunc) -> Vec<Vec<bool>> {
+    let n = func.blocks.len();
+    let preds = func.predecessors();
+    // dom[entry] = {entry}; dom[b] = {b} ∪ ⋂ dom[preds]
+    let mut dom = vec![vec![true; n]; n];
+    dom[0] = vec![false; n];
+    dom[0][0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            let mut new: Vec<bool> = match preds[b].split_first() {
+                None => {
+                    // Unreachable: dominated by everything (vacuous).
+                    vec![true; n]
+                }
+                Some((first, rest)) => {
+                    let mut acc = dom[first.0 as usize].clone();
+                    for p in rest {
+                        for (a, d) in acc.iter_mut().zip(&dom[p.0 as usize]) {
+                            *a = *a && *d;
+                        }
+                    }
+                    acc
+                }
+            };
+            new[b] = true;
+            if new != dom[b] {
+                dom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Cond, MethodId};
+    use crate::nir::{Block, BlockId, NFunc, NInst, VReg};
+
+    /// entry(0) → 1 → {2, 3}; 2 → 4; 3 → 4; 4 → ret
+    fn diamond() -> NFunc {
+        NFunc {
+            method: MethodId(0),
+            blocks: vec![
+                Block {
+                    insts: vec![NInst::Jmp { target: BlockId(1) }],
+                },
+                Block {
+                    insts: vec![NInst::BrCond {
+                        cond: Cond::Eq,
+                        a: VReg(0),
+                        b: VReg(0),
+                        then_: BlockId(2),
+                        else_: BlockId(3),
+                    }],
+                },
+                Block {
+                    insts: vec![NInst::Jmp { target: BlockId(4) }],
+                },
+                Block {
+                    insts: vec![NInst::Jmp { target: BlockId(4) }],
+                },
+                Block {
+                    insts: vec![NInst::Ret { val: None }],
+                },
+            ],
+            nregs: 1,
+            nlocals: 1,
+        }
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        let f = diamond();
+        let dom = dominators(&f);
+        // 1 dominates 2, 3, 4; neither 2 nor 3 dominates 4.
+        assert!(dom[2][1] && dom[3][1] && dom[4][1]);
+        assert!(!dom[4][2] && !dom[4][3]);
+        // Everything dominated by entry.
+        for d in &dom {
+            assert!(d[0]);
+        }
+        // Self-domination.
+        for (b, d) in dom.iter().enumerate() {
+            assert!(d[b]);
+        }
+    }
+}

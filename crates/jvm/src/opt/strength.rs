@@ -1,0 +1,303 @@
+//! Constant folding, algebraic simplification, and strength reduction.
+//!
+//! One of the paper's Local2 optimizations. Tracks constants locally
+//! (per basic block) and rewrites:
+//!
+//! * `c1 op c2` → the folded constant (except trapping div/rem by 0),
+//! * `x * 2^k` → `x << k` (strength reduction proper),
+//! * `x * 1`, `x + 0`, `x - 0` → `mov`,
+//! * `x * 0` → `0`.
+
+use crate::arith;
+use crate::bytecode::IBin;
+use crate::nir::{NFunc, NInst, VReg};
+use crate::opt::PassReport;
+use std::collections::HashMap;
+
+/// Run the pass.
+pub fn run(func: &mut NFunc) -> PassReport {
+    let mut work_units = 0u64;
+    let mut changed = false;
+
+    for block in &mut func.blocks {
+        let mut consts: HashMap<VReg, i32> = HashMap::new();
+        let mut fconsts: HashMap<VReg, f64> = HashMap::new();
+        for inst in &mut block.insts {
+            work_units += 1;
+            let replacement: Option<NInst> = match inst {
+                NInst::IBinOp { op, d, a, b } => {
+                    let ca = consts.get(a).copied();
+                    let cb = consts.get(b).copied();
+                    match (ca, cb) {
+                        (Some(x), Some(y)) => {
+                            // Fold fully-constant expressions; leave
+                            // trapping cases to runtime.
+                            arith::ibin(*op, x, y)
+                                .ok()
+                                .map(|v| NInst::IConst { d: *d, v })
+                        }
+                        _ => simplify_ibin(*op, *d, *a, *b, ca, cb),
+                    }
+                }
+                NInst::INegOp { d, a } => consts
+                    .get(a)
+                    .map(|&x| NInst::IConst { d: *d, v: x.wrapping_neg() }),
+                NInst::ICmpOp { d, a, b } => match (consts.get(a), consts.get(b)) {
+                    (Some(&x), Some(&y)) => Some(NInst::IConst {
+                        d: *d,
+                        v: arith::icmp(x, y),
+                    }),
+                    _ => None,
+                },
+                NInst::I2FOp { d, a } => consts.get(a).map(|&x| NInst::FConst {
+                    d: *d,
+                    v: f64::from(x),
+                }),
+                NInst::F2IOp { d, a } => fconsts.get(a).map(|&x| NInst::IConst {
+                    d: *d,
+                    v: arith::f2i(x),
+                }),
+                NInst::FBinOp { op, d, a, b } => match (fconsts.get(a), fconsts.get(b)) {
+                    (Some(&x), Some(&y)) => Some(NInst::FConst {
+                        d: *d,
+                        v: arith::fbin(*op, x, y),
+                    }),
+                    _ => None,
+                },
+                NInst::FNegOp { d, a } => {
+                    fconsts.get(a).map(|&x| NInst::FConst { d: *d, v: -x })
+                }
+                _ => None,
+            };
+
+            if let Some(new) = replacement {
+                if *inst != new {
+                    *inst = new;
+                    changed = true;
+                }
+            }
+
+            // Update the constant environment with this def.
+            if let Some(d) = inst.def() {
+                consts.remove(&d);
+                fconsts.remove(&d);
+                match inst {
+                    NInst::IConst { d, v } => {
+                        consts.insert(*d, *v);
+                    }
+                    NInst::FConst { d, v } => {
+                        fconsts.insert(*d, *v);
+                    }
+                    NInst::Mov { d, s } => {
+                        if let Some(&v) = consts.get(s) {
+                            consts.insert(*d, v);
+                        } else if let Some(&v) = fconsts.get(s) {
+                            fconsts.insert(*d, v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    PassReport {
+        work_units,
+        changed,
+    }
+}
+
+/// Simplifications where exactly one operand is a known constant.
+fn simplify_ibin(
+    op: IBin,
+    d: VReg,
+    a: VReg,
+    b: VReg,
+    ca: Option<i32>,
+    cb: Option<i32>,
+) -> Option<NInst> {
+    match (op, ca, cb) {
+        // x * 2^k and 2^k * x → shift.
+        (IBin::Mul, _, Some(c)) if c > 0 && c.count_ones() == 1 && c > 1 => Some(NInst::IShlImm {
+            d,
+            a,
+            k: c.trailing_zeros() as u8,
+        }),
+        (IBin::Mul, Some(c), _) if c > 0 && c.count_ones() == 1 && c > 1 => Some(NInst::IShlImm {
+            d,
+            a: b,
+            k: c.trailing_zeros() as u8,
+        }),
+        // Identity and absorbing elements.
+        (IBin::Mul, _, Some(1)) => Some(NInst::Mov { d, s: a }),
+        (IBin::Mul, Some(1), _) => Some(NInst::Mov { d, s: b }),
+        (IBin::Mul, _, Some(0)) | (IBin::Mul, Some(0), _) => Some(NInst::IConst { d, v: 0 }),
+        (IBin::Add, _, Some(0)) => Some(NInst::Mov { d, s: a }),
+        (IBin::Add, Some(0), _) => Some(NInst::Mov { d, s: b }),
+        (IBin::Sub, _, Some(0)) => Some(NInst::Mov { d, s: a }),
+        (IBin::Shl, _, Some(k)) if (0..31).contains(&k) => Some(NInst::IShlImm {
+            d,
+            a,
+            k: k as u8,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::MethodId;
+    use crate::nir::{Block, VReg};
+
+    fn func_with(insts: Vec<NInst>) -> NFunc {
+        let mut insts = insts;
+        insts.push(NInst::Ret { val: Some(VReg(0)) });
+        NFunc {
+            method: MethodId(0),
+            blocks: vec![Block { insts }],
+            nregs: 8,
+            nlocals: 2,
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 6 },
+            NInst::IConst { d: VReg(2), v: 7 },
+            NInst::IBinOp {
+                op: IBin::Mul,
+                d: VReg(0),
+                a: VReg(1),
+                b: VReg(2),
+            },
+        ]);
+        let r = run(&mut f);
+        assert!(r.changed);
+        assert_eq!(f.blocks[0].insts[2], NInst::IConst { d: VReg(0), v: 42 });
+    }
+
+    #[test]
+    fn reduces_mul_by_pow2_to_shift() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 8 },
+            NInst::IBinOp {
+                op: IBin::Mul,
+                d: VReg(0),
+                a: VReg(2),
+                b: VReg(1),
+            },
+        ]);
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::IShlImm {
+                d: VReg(0),
+                a: VReg(2),
+                k: 3
+            }
+        );
+    }
+
+    #[test]
+    fn mul_by_one_becomes_mov() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 1 },
+            NInst::IBinOp {
+                op: IBin::Mul,
+                d: VReg(0),
+                a: VReg(2),
+                b: VReg(1),
+            },
+        ]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(0), s: VReg(2) });
+    }
+
+    #[test]
+    fn does_not_fold_trapping_division() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 5 },
+            NInst::IConst { d: VReg(2), v: 0 },
+            NInst::IBinOp {
+                op: IBin::Div,
+                d: VReg(0),
+                a: VReg(1),
+                b: VReg(2),
+            },
+        ]);
+        run(&mut f);
+        // Division by constant zero must stay and trap at runtime.
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            NInst::IBinOp { op: IBin::Div, .. }
+        ));
+    }
+
+    #[test]
+    fn constant_env_invalidated_on_redefine() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 4 },
+            NInst::IBinOp {
+                // Redefines r1 with a non-constant.
+                op: IBin::Add,
+                d: VReg(1),
+                a: VReg(2),
+                b: VReg(3),
+            },
+            NInst::IBinOp {
+                // r1 is no longer the constant 4: must NOT become a shift.
+                op: IBin::Mul,
+                d: VReg(0),
+                a: VReg(2),
+                b: VReg(1),
+            },
+        ]);
+        run(&mut f);
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            NInst::IBinOp { op: IBin::Mul, .. }
+        ));
+    }
+
+    #[test]
+    fn folds_float_constants() {
+        let mut f = func_with(vec![
+            NInst::FConst { d: VReg(1), v: 2.0 },
+            NInst::FConst { d: VReg(2), v: 3.0 },
+            NInst::FBinOp {
+                op: crate::bytecode::FBin::Mul,
+                d: VReg(3),
+                a: VReg(1),
+                b: VReg(2),
+            },
+            NInst::F2IOp { d: VReg(0), a: VReg(3) },
+        ]);
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[3], NInst::IConst { d: VReg(0), v: 6 });
+    }
+
+    #[test]
+    fn consts_propagate_through_movs() {
+        let mut f = func_with(vec![
+            NInst::IConst { d: VReg(1), v: 16 },
+            NInst::Mov { d: VReg(2), s: VReg(1) },
+            NInst::IBinOp {
+                op: IBin::Mul,
+                d: VReg(0),
+                a: VReg(3),
+                b: VReg(2),
+            },
+        ]);
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[2],
+            NInst::IShlImm {
+                d: VReg(0),
+                a: VReg(3),
+                k: 4
+            }
+        );
+    }
+}

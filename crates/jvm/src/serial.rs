@@ -1,0 +1,460 @@
+//! MJVM object serialization.
+//!
+//! The paper's remote-execution framework is built on Java object
+//! serialization: "we define a partition API that uses Java object
+//! serialization for transferring the method ID and its parameters to
+//! the server. Object serialization is also used to return the results
+//! from the server." (Fig 4.)
+//!
+//! Our format is a compact tagged byte stream that preserves sharing
+//! and cycles in the object graph (like Java's, via back-references).
+//! The byte counts it produces drive the radio energy model, and the
+//! serialization work itself is charged to whichever machine performs
+//! it via [`crate::costs::serialize_mix`].
+
+use crate::heap::{ArrayData, Heap, HeapObj};
+use crate::value::{Handle, Value};
+use bytes::{Buf, BufMut};
+use std::collections::HashMap;
+use std::fmt;
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BACKREF: u8 = 3;
+const TAG_INT_ARR: u8 = 4;
+const TAG_FLOAT_ARR: u8 = 5;
+const TAG_REF_ARR: u8 = 6;
+const TAG_OBJECT: u8 = 7;
+/// Compact form for int arrays whose every element fits in `0..=255`
+/// (image data): one byte per element, like serializing a Java
+/// `byte[]`.
+const TAG_INT_ARR_U8: u8 = 8;
+
+/// Errors raised while decoding a serialized stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Stream ended prematurely.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Back-reference to an object not yet defined.
+    BadBackref(u32),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::Truncated => write!(f, "serialized stream truncated"),
+            SerialError::BadTag(t) => write!(f, "unknown serialization tag {t}"),
+            SerialError::BadBackref(i) => write!(f, "dangling back-reference {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Serialize a value (and, transitively, the object graph it roots)
+/// to bytes. Sharing and cycles are preserved via back-references.
+///
+/// # Errors
+/// [`crate::VmError::BadHandle`] if the value references a handle not
+/// present in `heap`.
+pub fn serialize(heap: &Heap, root: Value) -> Result<Vec<u8>, crate::VmError> {
+    let mut out = Vec::with_capacity(64);
+    let mut seen: HashMap<Handle, u32> = HashMap::new();
+    write_value(heap, root, &mut out, &mut seen)?;
+    Ok(out)
+}
+
+/// Serialize a whole argument list (e.g. the parameters of an
+/// offloaded invocation) as one stream.
+///
+/// # Errors
+/// See [`serialize`].
+pub fn serialize_args(heap: &Heap, args: &[Value]) -> Result<Vec<u8>, crate::VmError> {
+    let mut out = Vec::with_capacity(16 + 16 * args.len());
+    out.put_u32_le(args.len() as u32);
+    let mut seen: HashMap<Handle, u32> = HashMap::new();
+    for &a in args {
+        write_value(heap, a, &mut out, &mut seen)?;
+    }
+    Ok(out)
+}
+
+fn write_value(
+    heap: &Heap,
+    v: Value,
+    out: &mut Vec<u8>,
+    seen: &mut HashMap<Handle, u32>,
+) -> Result<(), crate::VmError> {
+    match v {
+        Value::Null => out.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            out.put_u8(TAG_INT);
+            out.put_i32_le(i);
+        }
+        Value::Float(f) => {
+            out.put_u8(TAG_FLOAT);
+            out.put_f64_le(f);
+        }
+        Value::Ref(h) => {
+            if let Some(&id) = seen.get(&h) {
+                out.put_u8(TAG_BACKREF);
+                out.put_u32_le(id);
+                return Ok(());
+            }
+            let id = seen.len() as u32;
+            seen.insert(h, id);
+            match heap.get(h)? {
+                HeapObj::Array(ArrayData::Int(vals)) => {
+                    if vals.iter().all(|&x| (0..=255).contains(&x)) {
+                        out.put_u8(TAG_INT_ARR_U8);
+                        out.put_u32_le(vals.len() as u32);
+                        for &x in vals {
+                            out.put_u8(x as u8);
+                        }
+                    } else {
+                        out.put_u8(TAG_INT_ARR);
+                        out.put_u32_le(vals.len() as u32);
+                        for &x in vals {
+                            out.put_i32_le(x);
+                        }
+                    }
+                }
+                HeapObj::Array(ArrayData::Float(vals)) => {
+                    out.put_u8(TAG_FLOAT_ARR);
+                    out.put_u32_le(vals.len() as u32);
+                    for &x in vals {
+                        out.put_f64_le(x);
+                    }
+                }
+                HeapObj::Array(ArrayData::Ref(vals)) => {
+                    out.put_u8(TAG_REF_ARR);
+                    out.put_u32_le(vals.len() as u32);
+                    let elems = vals.clone();
+                    for x in elems {
+                        write_value(heap, x, out, seen)?;
+                    }
+                }
+                HeapObj::Object { class, fields } => {
+                    out.put_u8(TAG_OBJECT);
+                    out.put_u32_le(*class);
+                    out.put_u32_le(fields.len() as u32);
+                    let fields = fields.clone();
+                    for x in fields {
+                        write_value(heap, x, out, seen)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode one value (allocating graph objects into `heap`).
+///
+/// # Errors
+/// [`SerialError`] on malformed input.
+pub fn deserialize(heap: &mut Heap, bytes: &[u8]) -> Result<Value, SerialError> {
+    let mut buf = bytes;
+    let mut table: Vec<Handle> = Vec::new();
+    let v = read_value(heap, &mut buf, &mut table)?;
+    Ok(v)
+}
+
+/// Decode an argument list produced by [`serialize_args`].
+///
+/// # Errors
+/// [`SerialError`] on malformed input.
+pub fn deserialize_args(heap: &mut Heap, bytes: &[u8]) -> Result<Vec<Value>, SerialError> {
+    let mut buf = bytes;
+    if buf.remaining() < 4 {
+        return Err(SerialError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut table: Vec<Handle> = Vec::new();
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push(read_value(heap, &mut buf, &mut table)?);
+    }
+    Ok(args)
+}
+
+fn read_value(
+    heap: &mut Heap,
+    buf: &mut &[u8],
+    table: &mut Vec<Handle>,
+) -> Result<Value, SerialError> {
+    if buf.remaining() < 1 {
+        return Err(SerialError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            Ok(Value::Int(buf.get_i32_le()))
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(SerialError::Truncated);
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_BACKREF => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            let id = buf.get_u32_le();
+            table
+                .get(id as usize)
+                .map(|&h| Value::Ref(h))
+                .ok_or(SerialError::BadBackref(id))
+        }
+        TAG_INT_ARR => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * len {
+                return Err(SerialError::Truncated);
+            }
+            let h = heap.alloc_int_array(len);
+            table.push(h);
+            for i in 0..len {
+                let x = buf.get_i32_le();
+                heap.array_set(h, i, Value::Int(x)).expect("fresh array");
+            }
+            Ok(Value::Ref(h))
+        }
+        TAG_INT_ARR_U8 => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(SerialError::Truncated);
+            }
+            let h = heap.alloc_int_array(len);
+            table.push(h);
+            for i in 0..len {
+                let x = i32::from(buf.get_u8());
+                heap.array_set(h, i, Value::Int(x)).expect("fresh array");
+            }
+            Ok(Value::Ref(h))
+        }
+        TAG_FLOAT_ARR => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < 8 * len {
+                return Err(SerialError::Truncated);
+            }
+            let h = heap.alloc_float_array(len);
+            table.push(h);
+            for i in 0..len {
+                let x = buf.get_f64_le();
+                heap.array_set(h, i, Value::Float(x)).expect("fresh array");
+            }
+            Ok(Value::Ref(h))
+        }
+        TAG_REF_ARR => {
+            if buf.remaining() < 4 {
+                return Err(SerialError::Truncated);
+            }
+            let len = buf.get_u32_le() as usize;
+            let h = heap.alloc_ref_array(len);
+            table.push(h);
+            for i in 0..len {
+                let x = read_value(heap, buf, table)?;
+                heap.array_set(h, i, x).expect("fresh array");
+            }
+            Ok(Value::Ref(h))
+        }
+        TAG_OBJECT => {
+            if buf.remaining() < 8 {
+                return Err(SerialError::Truncated);
+            }
+            let class = buf.get_u32_le();
+            let nfields = buf.get_u32_le() as usize;
+            // Allocate with placeholder nulls, register for cycles,
+            // then fill.
+            let h = heap.alloc_object(class, &vec![crate::value::Type::Ref; nfields]);
+            table.push(h);
+            for i in 0..nfields {
+                let x = read_value(heap, buf, table)?;
+                heap.field_set(h, i, x).expect("fresh object");
+            }
+            Ok(Value::Ref(h))
+        }
+        other => Err(SerialError::BadTag(other)),
+    }
+}
+
+/// Number of bytes [`serialize`] would produce, without materializing
+/// them (used by cost estimators).
+pub fn serialized_size(heap: &Heap, root: Value) -> Result<u64, crate::VmError> {
+    // Sizes are cheap enough to compute by serializing into a counting
+    // sink; object graphs in the benchmarks are modest.
+    Ok(serialize(heap, root)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Type;
+
+    #[test]
+    fn scalar_round_trips() {
+        let heap = Heap::new();
+        let mut h2 = Heap::new();
+        for v in [Value::Null, Value::Int(-42), Value::Float(2.5)] {
+            let bytes = serialize(&heap, v).unwrap();
+            assert_eq!(deserialize(&mut h2, &bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn int_array_round_trips() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_int_array(3);
+        for (i, x) in [10, -20, 30].iter().enumerate() {
+            heap.array_set(a, i, Value::Int(*x)).unwrap();
+        }
+        let bytes = serialize(&heap, Value::Ref(a)).unwrap();
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap();
+        let b = v.as_ref().unwrap();
+        assert_eq!(h2.array_len(b).unwrap(), 3);
+        assert_eq!(h2.array_get(b, 1).unwrap(), Value::Int(-20));
+    }
+
+    #[test]
+    fn nested_graph_round_trips() {
+        let mut heap = Heap::new();
+        let inner = heap.alloc_float_array(2);
+        heap.array_set(inner, 0, Value::Float(1.5)).unwrap();
+        heap.array_set(inner, 1, Value::Float(-0.5)).unwrap();
+        let outer = heap.alloc_ref_array(2);
+        heap.array_set(outer, 0, Value::Ref(inner)).unwrap();
+        heap.array_set(outer, 1, Value::Null).unwrap();
+        let bytes = serialize(&heap, Value::Ref(outer)).unwrap();
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap().as_ref().unwrap();
+        let i0 = h2.array_get(v, 0).unwrap().as_ref().unwrap();
+        assert_eq!(h2.array_get(i0, 0).unwrap(), Value::Float(1.5));
+        assert_eq!(h2.array_get(v, 1).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn sharing_is_preserved() {
+        let mut heap = Heap::new();
+        let shared = heap.alloc_int_array(1);
+        heap.array_set(shared, 0, Value::Int(7)).unwrap();
+        let outer = heap.alloc_ref_array(2);
+        heap.array_set(outer, 0, Value::Ref(shared)).unwrap();
+        heap.array_set(outer, 1, Value::Ref(shared)).unwrap();
+        let bytes = serialize(&heap, Value::Ref(outer)).unwrap();
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap().as_ref().unwrap();
+        let a = h2.array_get(v, 0).unwrap().as_ref().unwrap();
+        let b = h2.array_get(v, 1).unwrap().as_ref().unwrap();
+        assert_eq!(a, b, "sharing lost");
+        // And the back-reference kept the stream small: one array body.
+        assert!(bytes.len() < 30, "stream too large: {}", bytes.len());
+    }
+
+    #[test]
+    fn cycles_round_trip() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_ref_array(1);
+        heap.array_set(a, 0, Value::Ref(a)).unwrap(); // self-cycle
+        let bytes = serialize(&heap, Value::Ref(a)).unwrap();
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap().as_ref().unwrap();
+        assert_eq!(h2.array_get(v, 0).unwrap(), Value::Ref(v));
+    }
+
+    #[test]
+    fn objects_round_trip_with_class() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_object(9, &[Type::Int, Type::Float, Type::Ref]);
+        heap.field_set(o, 0, Value::Int(1)).unwrap();
+        heap.field_set(o, 1, Value::Float(2.0)).unwrap();
+        let bytes = serialize(&heap, Value::Ref(o)).unwrap();
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap().as_ref().unwrap();
+        assert_eq!(h2.class_of(v).unwrap(), 9);
+        assert_eq!(h2.field_get(v, 0).unwrap(), Value::Int(1));
+        assert_eq!(h2.field_get(v, 1).unwrap(), Value::Float(2.0));
+        assert_eq!(h2.field_get(v, 2).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn args_round_trip() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_int_array(2);
+        heap.array_set(a, 0, Value::Int(5)).unwrap();
+        let bytes =
+            serialize_args(&heap, &[Value::Int(3), Value::Ref(a), Value::Null]).unwrap();
+        let mut h2 = Heap::new();
+        let args = deserialize_args(&mut h2, &bytes).unwrap();
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0], Value::Int(3));
+        assert_eq!(args[2], Value::Null);
+        let b = args[1].as_ref().unwrap();
+        assert_eq!(h2.array_get(b, 0).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn byte_range_arrays_use_compact_encoding() {
+        let mut heap = Heap::new();
+        let img = heap.alloc_int_array(100);
+        for i in 0..100 {
+            heap.array_set(img, i, Value::Int((i % 256) as i32)).unwrap();
+        }
+        let bytes = serialize(&heap, Value::Ref(img)).unwrap();
+        // tag + len + 100 bytes.
+        assert_eq!(bytes.len(), 1 + 4 + 100);
+        let mut h2 = Heap::new();
+        let v = deserialize(&mut h2, &bytes).unwrap().as_ref().unwrap();
+        for i in 0..100 {
+            assert_eq!(h2.array_get(v, i).unwrap(), Value::Int((i % 256) as i32));
+        }
+        // One out-of-range element forces the wide encoding.
+        heap.array_set(img, 0, Value::Int(-1)).unwrap();
+        let wide = serialize(&heap, Value::Ref(img)).unwrap();
+        assert_eq!(wide.len(), 1 + 4 + 400);
+        let mut h3 = Heap::new();
+        let v = deserialize(&mut h3, &wide).unwrap().as_ref().unwrap();
+        assert_eq!(h3.array_get(v, 0).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn size_scales_with_payload() {
+        let mut heap = Heap::new();
+        let small = heap.alloc_int_array(10);
+        let large = heap.alloc_int_array(1000);
+        let s = serialized_size(&heap, Value::Ref(small)).unwrap();
+        let l = serialized_size(&heap, Value::Ref(large)).unwrap();
+        assert!(l > 90 * s / 10, "expected ~100x: {s} vs {l}");
+        // Fresh arrays are all-zero, hence compactly encodable.
+        assert_eq!(s, 1 + 4 + 10);
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        let mut h = Heap::new();
+        assert_eq!(deserialize(&mut h, &[]), Err(SerialError::Truncated));
+        assert_eq!(deserialize(&mut h, &[TAG_INT, 1]), Err(SerialError::Truncated));
+        assert_eq!(deserialize(&mut h, &[99]), Err(SerialError::BadTag(99)));
+        assert_eq!(
+            deserialize(&mut h, &[TAG_BACKREF, 0, 0, 0, 0]),
+            Err(SerialError::BadBackref(0))
+        );
+    }
+}

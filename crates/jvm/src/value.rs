@@ -1,0 +1,177 @@
+//! Runtime values and static types of the MJVM.
+//!
+//! The MJVM is a compact Java-like VM: 32-bit integers, 64-bit floats
+//! (the paper's microSPARC-IIep has no FPU, so float arithmetic is
+//! priced as complex-ALU work), and references into a garbage-free
+//! arena heap. `null` is a distinct value, as in the JVM.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a heap object. Handles are dense indices into the
+/// [`crate::heap::Heap`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Handle(pub u32);
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 32-bit signed integer (also carries booleans: 0/1).
+    Int(i32),
+    /// 64-bit float.
+    Float(f64),
+    /// Reference to a heap object.
+    Ref(Handle),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// Extract an integer.
+    ///
+    /// # Errors
+    /// [`TypeMismatch`](crate::VmError::TypeMismatch) if not an `Int`.
+    pub fn as_int(self) -> Result<i32, crate::VmError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            other => Err(crate::VmError::TypeMismatch {
+                expected: Type::Int,
+                got: other.runtime_type(),
+            }),
+        }
+    }
+
+    /// Extract a float.
+    ///
+    /// # Errors
+    /// [`TypeMismatch`](crate::VmError::TypeMismatch) if not a `Float`.
+    pub fn as_float(self) -> Result<f64, crate::VmError> {
+        match self {
+            Value::Float(v) => Ok(v),
+            other => Err(crate::VmError::TypeMismatch {
+                expected: Type::Float,
+                got: other.runtime_type(),
+            }),
+        }
+    }
+
+    /// Extract a (non-null) reference.
+    ///
+    /// # Errors
+    /// [`NullDeref`](crate::VmError::NullDeref) on `Null`,
+    /// [`TypeMismatch`](crate::VmError::TypeMismatch) otherwise.
+    pub fn as_ref(self) -> Result<Handle, crate::VmError> {
+        match self {
+            Value::Ref(h) => Ok(h),
+            Value::Null => Err(crate::VmError::NullDeref),
+            other => Err(crate::VmError::TypeMismatch {
+                expected: Type::Ref,
+                got: other.runtime_type(),
+            }),
+        }
+    }
+
+    /// The static type this value inhabits.
+    pub fn runtime_type(self) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Float(_) => Type::Float,
+            Value::Ref(_) | Value::Null => Type::Ref,
+        }
+    }
+
+    /// Default (zero) value of a type — field/array initialization.
+    pub fn zero_of(ty: Type) -> Value {
+        match ty {
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Ref => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ref(h) => write!(f, "@{}", h.0),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// Static value categories tracked by the verifier and the DSL
+/// type-checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 32-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Reference (array or object) — may be null.
+    Ref,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Ref => write!(f, "ref"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VmError;
+
+    #[test]
+    fn accessors_accept_matching() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert_eq!(Value::Ref(Handle(3)).as_ref().unwrap(), Handle(3));
+    }
+
+    #[test]
+    fn accessors_reject_mismatched() {
+        assert!(matches!(
+            Value::Float(1.0).as_int(),
+            Err(VmError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            Value::Int(1).as_float(),
+            Err(VmError::TypeMismatch { .. })
+        ));
+        assert!(matches!(Value::Null.as_ref(), Err(VmError::NullDeref)));
+        assert!(matches!(
+            Value::Int(0).as_ref(),
+            Err(VmError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(Type::Int), Value::Int(0));
+        assert_eq!(Value::zero_of(Type::Float), Value::Float(0.0));
+        assert_eq!(Value::zero_of(Type::Ref), Value::Null);
+    }
+
+    #[test]
+    fn runtime_types() {
+        assert_eq!(Value::Int(1).runtime_type(), Type::Int);
+        assert_eq!(Value::Float(1.0).runtime_type(), Type::Float);
+        assert_eq!(Value::Ref(Handle(0)).runtime_type(), Type::Ref);
+        assert_eq!(Value::Null.runtime_type(), Type::Ref);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Ref(Handle(9)).to_string(), "@9");
+        assert_eq!(Type::Float.to_string(), "float");
+    }
+}

@@ -1,0 +1,652 @@
+//! The MJVM bytecode verifier.
+//!
+//! "When a class is loaded, Java Virtual Machine verifies the class
+//! file to guarantee that the class file is well formed and that the
+//! program does not violate any security policies." Our verifier is a
+//! dataflow analysis over each method's bytecode, in the spirit of the
+//! JVM specification's type-checking verifier:
+//!
+//! * every branch target is a valid code index,
+//! * the operand stack never underflows and has a consistent depth and
+//!   type shape at every join point,
+//! * locals are read only after a write of a consistent type (method
+//!   parameters are pre-initialized),
+//! * calls exist and are applied at the right arity and types,
+//! * returns match the method signature,
+//! * control cannot fall off the end of the code.
+//!
+//! Downloaded *native* code cannot be verified ("this verification
+//! mechanism does not work for native code"), which is why the remote
+//! compilation path in `jem-core` requires a trusted server; the
+//! verifier applies only to bytecode.
+
+use crate::bytecode::{MethodId, Op};
+use crate::class::Program;
+use crate::error::VerifyError;
+use crate::value::Type;
+
+/// Upper bound on the operand stack depth we accept.
+pub const MAX_STACK: usize = 512;
+
+/// Lattice for local-variable types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalTy {
+    /// Never written on some path.
+    Unknown,
+    /// Holds a value of this type.
+    Known(Type),
+    /// Written with conflicting types on different paths.
+    Conflict,
+}
+
+impl LocalTy {
+    fn join(self, other: LocalTy) -> LocalTy {
+        match (self, other) {
+            (LocalTy::Unknown, _) | (_, LocalTy::Unknown) => LocalTy::Unknown,
+            (LocalTy::Known(a), LocalTy::Known(b)) if a == b => LocalTy::Known(a),
+            _ => LocalTy::Conflict,
+        }
+    }
+}
+
+/// Abstract machine state at one code index.
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    stack: Vec<Type>,
+    locals: Vec<LocalTy>,
+}
+
+impl AbsState {
+    fn join(&self, other: &AbsState) -> Option<AbsState> {
+        if self.stack != other.stack {
+            return None;
+        }
+        let locals = self
+            .locals
+            .iter()
+            .zip(&other.locals)
+            .map(|(&a, &b)| a.join(b))
+            .collect();
+        Some(AbsState {
+            stack: self.stack.clone(),
+            locals,
+        })
+    }
+}
+
+/// Verify every method of a program.
+///
+/// # Errors
+/// The first [`VerifyError`] found.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    for (i, _) in program.methods.iter().enumerate() {
+        verify_method(program, MethodId(i as u32))?;
+    }
+    Ok(())
+}
+
+/// Verify a single method.
+///
+/// # Errors
+/// A [`VerifyError`] describing the first violation.
+pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError> {
+    let method = program.method(id);
+    let name = program.qualified_name(id);
+    let fail = |at: Option<usize>, reason: String| VerifyError {
+        method: name.clone(),
+        at,
+        reason,
+    };
+
+    if method.code.is_empty() {
+        return Err(fail(None, "empty code".into()));
+    }
+    if (method.nlocals as usize) < method.invoke_arity() {
+        return Err(fail(None, "locals do not cover parameters".into()));
+    }
+
+    // Structural well-formedness first: every branch target must be in
+    // range even in unreachable code (as in the JVM spec), because the
+    // JIT front end builds its CFG from all of the code.
+    for (pc, op) in method.code.iter().enumerate() {
+        if let Some(t) = op.branch_target() {
+            if t as usize >= method.code.len() {
+                return Err(fail(Some(pc), format!("branch target {t} out of range")));
+            }
+        }
+    }
+
+    // Entry state: receiver + params pre-initialized.
+    let mut locals = vec![LocalTy::Unknown; method.nlocals as usize];
+    let mut slot = 0;
+    if method.is_virtual {
+        locals[0] = LocalTy::Known(Type::Ref);
+        slot = 1;
+    }
+    for &p in &method.sig.params {
+        locals[slot] = LocalTy::Known(p);
+        slot += 1;
+    }
+    let entry = AbsState {
+        stack: Vec::new(),
+        locals,
+    };
+
+    let code = &method.code;
+    let mut states: Vec<Option<AbsState>> = vec![None; code.len()];
+    states[0] = Some(entry);
+    let mut worklist = vec![0usize];
+
+    while let Some(pc) = worklist.pop() {
+        let state = states[pc].clone().expect("worklist entries have states");
+        let op = code[pc];
+        let mut st = state;
+
+        // Helper closures for stack discipline.
+        macro_rules! pop {
+            () => {
+                st.stack
+                    .pop()
+                    .ok_or_else(|| fail(Some(pc), "stack underflow".into()))?
+            };
+        }
+        macro_rules! pop_ty {
+            ($ty:expr) => {{
+                let got = pop!();
+                if got != $ty {
+                    return Err(fail(
+                        Some(pc),
+                        format!("expected {} on stack, got {}", $ty, got),
+                    ));
+                }
+            }};
+        }
+        macro_rules! push {
+            ($ty:expr) => {{
+                st.stack.push($ty);
+                if st.stack.len() > MAX_STACK {
+                    return Err(fail(Some(pc), "stack depth limit exceeded".into()));
+                }
+            }};
+        }
+
+        let mut successors: Vec<usize> = Vec::with_capacity(2);
+        let mut falls_through = true;
+
+        match op {
+            Op::IConst(_) => push!(Type::Int),
+            Op::FConst(_) => push!(Type::Float),
+            Op::NullConst => push!(Type::Ref),
+            Op::Load(n) => {
+                let n = n as usize;
+                if n >= st.locals.len() {
+                    return Err(fail(Some(pc), format!("local {n} out of range")));
+                }
+                match st.locals[n] {
+                    LocalTy::Known(t) => push!(t),
+                    LocalTy::Unknown => {
+                        return Err(fail(Some(pc), format!("local {n} read before write")))
+                    }
+                    LocalTy::Conflict => {
+                        return Err(fail(
+                            Some(pc),
+                            format!("local {n} has conflicting types at merge"),
+                        ))
+                    }
+                }
+            }
+            Op::Store(n) => {
+                let n = n as usize;
+                if n >= st.locals.len() {
+                    return Err(fail(Some(pc), format!("local {n} out of range")));
+                }
+                let t = pop!();
+                st.locals[n] = LocalTy::Known(t);
+            }
+            Op::Pop => {
+                let _ = pop!();
+            }
+            Op::Dup => {
+                let t = *st
+                    .stack
+                    .last()
+                    .ok_or_else(|| fail(Some(pc), "stack underflow".into()))?;
+                push!(t);
+            }
+            Op::Swap => {
+                let a = pop!();
+                let b = pop!();
+                push!(a);
+                push!(b);
+            }
+            Op::IArith(_) => {
+                pop_ty!(Type::Int);
+                pop_ty!(Type::Int);
+                push!(Type::Int);
+            }
+            Op::INeg => {
+                pop_ty!(Type::Int);
+                push!(Type::Int);
+            }
+            Op::ICmp => {
+                pop_ty!(Type::Int);
+                pop_ty!(Type::Int);
+                push!(Type::Int);
+            }
+            Op::FArith(_) => {
+                pop_ty!(Type::Float);
+                pop_ty!(Type::Float);
+                push!(Type::Float);
+            }
+            Op::FNeg => {
+                pop_ty!(Type::Float);
+                push!(Type::Float);
+            }
+            Op::FCmp => {
+                pop_ty!(Type::Float);
+                pop_ty!(Type::Float);
+                push!(Type::Int);
+            }
+            Op::I2F => {
+                pop_ty!(Type::Int);
+                push!(Type::Float);
+            }
+            Op::F2I => {
+                pop_ty!(Type::Float);
+                push!(Type::Int);
+            }
+            Op::Goto(t) => {
+                successors.push(t as usize);
+                falls_through = false;
+            }
+            Op::ICmpBr(_, t) => {
+                pop_ty!(Type::Int);
+                pop_ty!(Type::Int);
+                successors.push(t as usize);
+            }
+            Op::BrZ(_, t) => {
+                pop_ty!(Type::Int);
+                successors.push(t as usize);
+            }
+            Op::NewArr(_) => {
+                pop_ty!(Type::Int);
+                push!(Type::Ref);
+            }
+            Op::ALoad(ty) => {
+                pop_ty!(Type::Int);
+                pop_ty!(Type::Ref);
+                // The element type is statically declared on the op
+                // (like the JVM's iaload/faload/aaload); whether the
+                // array actually has that element type is checked at
+                // runtime, exactly as the JVM does for aastore-style
+                // hazards.
+                push!(ty);
+            }
+            Op::AStore(ty) => {
+                pop_ty!(ty);
+                pop_ty!(Type::Int);
+                pop_ty!(Type::Ref);
+            }
+            Op::ArrLen => {
+                pop_ty!(Type::Ref);
+                push!(Type::Int);
+            }
+            Op::New(cid) => {
+                if cid.0 as usize >= program.classes.len() {
+                    return Err(fail(Some(pc), format!("unknown class {}", cid.0)));
+                }
+                push!(Type::Ref);
+            }
+            Op::GetField(_, ty) => {
+                pop_ty!(Type::Ref);
+                push!(ty);
+            }
+            Op::PutField(_) => {
+                let _value = pop!();
+                pop_ty!(Type::Ref);
+            }
+            Op::Call(mid) => {
+                if mid.0 as usize >= program.methods.len() {
+                    return Err(fail(Some(pc), format!("unknown method {}", mid.0)));
+                }
+                let callee = program.method(mid);
+                if callee.is_virtual {
+                    return Err(fail(
+                        Some(pc),
+                        format!("static call to virtual method {}", callee.name),
+                    ));
+                }
+                for &p in callee.sig.params.iter().rev() {
+                    let got = pop!();
+                    if got != p {
+                        return Err(fail(
+                            Some(pc),
+                            format!("argument type mismatch: expected {p}, got {got}"),
+                        ));
+                    }
+                }
+                if let Some(r) = callee.sig.ret {
+                    push!(r);
+                }
+            }
+            Op::CallVirt { slot, argc } => {
+                let max_slot = program
+                    .classes
+                    .iter()
+                    .map(|c| c.vtable.len())
+                    .max()
+                    .unwrap_or(0);
+                if slot as usize >= max_slot {
+                    return Err(fail(Some(pc), format!("vtable slot {slot} out of range")));
+                }
+                for _ in 0..argc {
+                    let _ = pop!();
+                }
+                pop_ty!(Type::Ref); // receiver
+                // Virtual return types must agree across all
+                // implementations in any class providing the slot.
+                let mut ret: Option<Option<Type>> = None;
+                for class in &program.classes {
+                    if let Some(&mid) = class.vtable.get(slot as usize) {
+                        let r = program.method(mid).sig.ret;
+                        match ret {
+                            None => ret = Some(r),
+                            Some(prev) if prev == r => {}
+                            Some(_) => {
+                                return Err(fail(
+                                    Some(pc),
+                                    format!("inconsistent return types at vtable slot {slot}"),
+                                ))
+                            }
+                        }
+                    }
+                }
+                if let Some(Some(r)) = ret {
+                    push!(r);
+                }
+            }
+            Op::Ret => {
+                if method.sig.ret.is_some() {
+                    return Err(fail(Some(pc), "void return from non-void method".into()));
+                }
+                falls_through = false;
+            }
+            Op::RetVal => {
+                match method.sig.ret {
+                    None => {
+                        return Err(fail(Some(pc), "value return from void method".into()))
+                    }
+                    Some(r) => {
+                        let got = pop!();
+                        if got != r {
+                            return Err(fail(
+                                Some(pc),
+                                format!("return type mismatch: expected {r}, got {got}"),
+                            ));
+                        }
+                    }
+                }
+                falls_through = false;
+            }
+            Op::Nop => {}
+        }
+
+        if falls_through {
+            let next = pc + 1;
+            if next >= code.len() {
+                return Err(fail(Some(pc), "control falls off end of code".into()));
+            }
+            successors.push(next);
+        }
+
+        for succ in successors {
+            if succ >= code.len() {
+                return Err(fail(Some(pc), format!("branch target {succ} out of range")));
+            }
+            match &states[succ] {
+                None => {
+                    states[succ] = Some(st.clone());
+                    worklist.push(succ);
+                }
+                Some(existing) => match existing.join(&st) {
+                    None => {
+                        return Err(fail(
+                            Some(succ),
+                            "inconsistent stack shapes at join point".into(),
+                        ))
+                    }
+                    Some(joined) => {
+                        if &joined != existing {
+                            states[succ] = Some(joined);
+                            worklist.push(succ);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{Cond, IBin};
+    use crate::class::{MethodAttrs, MethodSig, ProgramBuilder};
+
+    fn one_method(sig: MethodSig, nlocals: u16, code: Vec<Op>) -> (Program, MethodId) {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None, &[]);
+        let m = b.add_static_method(c, "f", sig, nlocals, code, MethodAttrs::default());
+        (b.finish(), m)
+    }
+
+    #[test]
+    fn accepts_simple_arithmetic() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![Type::Int, Type::Int], Some(Type::Int)),
+            2,
+            vec![Op::Load(0), Op::Load(1), Op::IArith(IBin::Add), Op::RetVal],
+        );
+        verify_method(&p, m).unwrap();
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let (p, m) = one_method(MethodSig::new(vec![], None), 0, vec![Op::Pop, Op::Ret]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("underflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let (p, m) = one_method(MethodSig::new(vec![], None), 0, vec![Op::Goto(99)]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let (p, m) = one_method(MethodSig::new(vec![], None), 0, vec![Op::Nop]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("falls off end"), "{err}");
+    }
+
+    #[test]
+    fn rejects_read_before_write() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![], Some(Type::Int)),
+            1,
+            vec![Op::Load(0), Op::RetVal],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("read before write"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_confusion_in_arith() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![Type::Float], Some(Type::Int)),
+            1,
+            vec![
+                Op::IConst(1),
+                Op::Load(0),
+                Op::IArith(IBin::Add),
+                Op::RetVal,
+            ],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("expected int"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_return_type() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![], Some(Type::Float)),
+            0,
+            vec![Op::IConst(0), Op::RetVal],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("return type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_value_return_from_void() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::IConst(0), Op::RetVal],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("void"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_join() {
+        // One path pushes an extra value before the join.
+        let (p, m) = one_method(
+            MethodSig::new(vec![Type::Int], None),
+            1,
+            vec![
+                Op::Load(0),                 // 0
+                Op::BrZ(Cond::Eq, 3),        // 1: if zero jump to 3 with empty stack
+                Op::IConst(7),               // 2: fall through pushes
+                Op::Ret,                     // 3: join: empty vs [Int]
+            ],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("join"), "{err}");
+    }
+
+    #[test]
+    fn accepts_consistent_loop() {
+        // for (i = 0; i < n; i++) {}
+        let (p, m) = one_method(
+            MethodSig::new(vec![Type::Int], None),
+            2,
+            vec![
+                Op::IConst(0),          // 0
+                Op::Store(1),           // 1: i = 0
+                Op::Load(1),            // 2
+                Op::Load(0),            // 3
+                Op::ICmpBr(Cond::Ge, 9), // 4: if i >= n exit
+                Op::Load(1),            // 5
+                Op::IConst(1),          // 6
+                Op::IArith(IBin::Add),  // 7
+                Op::Store(1),           // 8 (falls to 2? no: next is 9) — fix below
+                Op::Ret,                // 9
+            ],
+        );
+        // The loop above actually falls through to Ret, which is still
+        // verifiable; a realistic back edge follows:
+        verify_method(&p, m).unwrap();
+
+        let (p2, m2) = one_method(
+            MethodSig::new(vec![Type::Int], None),
+            2,
+            vec![
+                Op::IConst(0),           // 0
+                Op::Store(1),            // 1
+                Op::Load(1),             // 2
+                Op::Load(0),             // 3
+                Op::ICmpBr(Cond::Ge, 10), // 4
+                Op::Load(1),             // 5
+                Op::IConst(1),           // 6
+                Op::IArith(IBin::Add),   // 7
+                Op::Store(1),            // 8
+                Op::Goto(2),             // 9: back edge
+                Op::Ret,                 // 10
+            ],
+        );
+        verify_method(&p2, m2).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let (p, m) = one_method(
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Call(MethodId(42)), Op::Ret],
+        );
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("unknown method"), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_arg_type_mismatch() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None, &[]);
+        let callee = b.add_static_method(
+            c,
+            "g",
+            MethodSig::new(vec![Type::Float], None),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
+        let caller = b.add_static_method(
+            c,
+            "f",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::IConst(1), Op::Call(callee), Op::Ret],
+            MethodAttrs::default(),
+        );
+        let p = b.finish();
+        let err = verify_method(&p, caller).unwrap_err();
+        assert!(err.reason.contains("argument type"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        let (p, m) = one_method(MethodSig::new(vec![], None), 0, vec![]);
+        let err = verify_method(&p, m).unwrap_err();
+        assert!(err.reason.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn verify_program_checks_all_methods() {
+        let mut b = ProgramBuilder::new();
+        let c = b.add_class("T", None, &[]);
+        b.add_static_method(
+            c,
+            "ok",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
+        b.add_static_method(
+            c,
+            "bad",
+            MethodSig::new(vec![], None),
+            0,
+            vec![Op::Pop, Op::Ret],
+            MethodAttrs::default(),
+        );
+        let p = b.finish();
+        let err = verify_program(&p).unwrap_err();
+        assert!(err.method.contains("bad"), "{err}");
+    }
+}

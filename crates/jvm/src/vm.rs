@@ -1,0 +1,180 @@
+//! The MJVM runtime: mixed-mode method dispatch.
+//!
+//! A [`Vm`] ties a [`Program`] to a simulated [`Machine`] and a
+//! [`Heap`]. Each method is currently either in bytecode form
+//! (executed by [`crate::interp`]) or native form (a JIT-compiled
+//! [`NativeCode`] object executed by [`crate::exec`]); calls cross
+//! freely between the two, as in a real mixed-mode JVM. Installing
+//! native code assigns it a simulated address range so the I-cache
+//! model sees realistic code footprints — including the larger
+//! footprints of aggressively inlined (Local3) code.
+
+use crate::bytecode::MethodId;
+use crate::class::Program;
+use crate::costs::NATIVE_CODE_BASE;
+use crate::emit::NativeCode;
+use crate::heap::Heap;
+use crate::value::Value;
+use crate::VmError;
+use jem_energy::{Machine, MachineConfig};
+use std::rc::Rc;
+
+/// Execution limits (runaway guards for property tests and experiment
+/// sweeps).
+#[derive(Debug, Clone, Copy)]
+pub struct VmOptions {
+    /// Maximum number of charged bytecode/native instructions.
+    pub step_budget: u64,
+    /// Maximum host call depth.
+    pub max_call_depth: u32,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            step_budget: u64::MAX,
+            max_call_depth: 128,
+        }
+    }
+}
+
+/// Current executable form of one method.
+#[derive(Debug, Clone)]
+pub enum MethodCode {
+    /// Interpret the class-file bytecode.
+    Bytecode,
+    /// Run installed native code.
+    Native {
+        /// The code object.
+        code: Rc<NativeCode>,
+        /// Simulated base address of the emitted instructions.
+        base: u64,
+    },
+}
+
+/// The runtime.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    /// The deployed program.
+    pub program: &'p Program,
+    /// The object heap.
+    pub heap: Heap,
+    /// The machine executing this VM (energy + time accounting).
+    pub machine: Machine,
+    /// Execution limits.
+    pub options: VmOptions,
+    code: Vec<MethodCode>,
+    next_code_addr: u64,
+    /// Charged instruction events so far (for the step budget).
+    pub steps: u64,
+    pub(crate) depth: u32,
+}
+
+impl<'p> Vm<'p> {
+    /// A VM for `program` on `machine`.
+    pub fn new(program: &'p Program, machine: Machine) -> Self {
+        Vm {
+            program,
+            heap: Heap::new(),
+            machine,
+            options: VmOptions::default(),
+            code: vec![MethodCode::Bytecode; program.methods.len()],
+            next_code_addr: NATIVE_CODE_BASE,
+            steps: 0,
+            depth: 0,
+        }
+    }
+
+    /// Convenience: a VM on the paper's mobile-client machine.
+    pub fn client(program: &'p Program) -> Self {
+        Vm::new(program, Machine::new(MachineConfig::mobile_client()))
+    }
+
+    /// Convenience: a VM on the paper's 750 MHz server machine.
+    pub fn server(program: &'p Program) -> Self {
+        Vm::new(program, Machine::new(MachineConfig::sparc_server()))
+    }
+
+    /// The current code form of `m`.
+    pub fn code_of(&self, m: MethodId) -> &MethodCode {
+        &self.code[m.0 as usize]
+    }
+
+    /// True when `m` has native code installed.
+    pub fn is_native(&self, m: MethodId) -> bool {
+        matches!(self.code[m.0 as usize], MethodCode::Native { .. })
+    }
+
+    /// Install native code for `m`, laying it out in the simulated
+    /// code region. Replaces any previous code (recompilation).
+    pub fn install_native(&mut self, m: MethodId, code: Rc<NativeCode>) {
+        let base = self.next_code_addr;
+        self.next_code_addr += code.code_bytes as u64;
+        // Keep code regions line-aligned.
+        self.next_code_addr = (self.next_code_addr + 31) & !31;
+        self.code[m.0 as usize] = MethodCode::Native { code, base };
+    }
+
+    /// Revert `m` to interpreted execution.
+    pub fn deinstall(&mut self, m: MethodId) {
+        self.code[m.0 as usize] = MethodCode::Bytecode;
+    }
+
+    /// Invoke a method with the given argument values. For virtual
+    /// methods the receiver is `args[0]`.
+    ///
+    /// # Errors
+    /// Any [`VmError`] raised during execution, including arity
+    /// mismatches of this entry invocation.
+    pub fn invoke(&mut self, m: MethodId, args: Vec<Value>) -> Result<Option<Value>, VmError> {
+        let method = self.program.method(m);
+        if args.len() != method.invoke_arity() {
+            return Err(VmError::ArityMismatch {
+                expected: method.invoke_arity(),
+                got: args.len(),
+            });
+        }
+        if self.depth >= self.options.max_call_depth {
+            return Err(VmError::CallDepthExceeded);
+        }
+        self.depth += 1;
+        let result = match &self.code[m.0 as usize] {
+            MethodCode::Bytecode => crate::interp::run(self, m, args),
+            MethodCode::Native { code, base } => {
+                let code = Rc::clone(code);
+                let base = *base;
+                crate::exec::run(self, &code, base, args)
+            }
+        };
+        self.depth -= 1;
+        result
+    }
+
+    /// Current host call depth (used for frame addressing).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Charge `n` instruction events against the step budget.
+    ///
+    /// # Errors
+    /// [`VmError::StepBudgetExceeded`] once the budget is exhausted.
+    #[inline]
+    pub(crate) fn bump_steps(&mut self, n: u64) -> Result<(), VmError> {
+        self.steps += n;
+        if self.steps > self.options.step_budget {
+            Err(VmError::StepBudgetExceeded)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reset heap and accounting for a fresh run (installed native
+    /// code is kept, as a warm JVM would).
+    pub fn reset_run(&mut self) {
+        self.heap.clear();
+        self.machine.reset();
+        self.steps = 0;
+        self.depth = 0;
+    }
+}

@@ -1,0 +1,186 @@
+//! Property test: for randomly generated DSL programs, JIT-compiled
+//! code at every optimization level computes exactly what the
+//! interpreter computes — including the error (division by zero) when
+//! there is one. This is the central correctness obligation of the
+//! whole JIT: "compilation must never change observable results".
+
+use jem_jvm::dsl::*;
+use jem_jvm::verify::verify_program;
+use jem_jvm::{compile, MethodId, OptLevel, Value, Vm};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// A tiny AST we generate and then translate into the DSL. Locals
+/// v0..v2 are int parameters; `arr` is a 16-element scratch array.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    // arr[e & 15]
+    Load(Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(u8, E),
+    Store(E, E), // arr[e1 & 15] = e2
+    If(E, E, Vec<S>, Vec<S>),
+    Loop(u8, Vec<S>), // bounded 0..k loop over a fresh counter
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-64i32..64).prop_map(E::Const),
+        (0u8..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Load(Box::new(a))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let base = prop_oneof![
+        ((0u8..3), expr_strategy()).prop_map(|(v, e)| S::Assign(v, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, v)| S::Store(i, v)),
+    ];
+    base.prop_recursive(2, 16, 4, |inner| {
+        let stmts = prop::collection::vec(inner, 1..4);
+        prop_oneof![
+            (expr_strategy(), expr_strategy(), stmts.clone(), stmts.clone())
+                .prop_map(|(a, b, t, e)| S::If(a, b, t, e)),
+            ((1u8..4), stmts).prop_map(|(k, b)| S::Loop(k, b)),
+        ]
+    })
+}
+
+fn to_expr(e: &E) -> Expr {
+    match e {
+        E::Const(c) => iconst(*c),
+        E::Var(v) => var(&format!("v{v}")),
+        E::Add(a, b) => to_expr(a).add(to_expr(b)),
+        E::Sub(a, b) => to_expr(a).sub(to_expr(b)),
+        E::Mul(a, b) => to_expr(a).mul(to_expr(b)),
+        E::Div(a, b) => to_expr(a).div(to_expr(b)),
+        E::Rem(a, b) => to_expr(a).rem(to_expr(b)),
+        E::Shl(a, b) => to_expr(a).shl(to_expr(b)),
+        E::Xor(a, b) => to_expr(a).bitxor(to_expr(b)),
+        E::Load(i) => var("arr").index(to_expr(i).bitand(iconst(15))),
+    }
+}
+
+fn to_stmts(stmts: &[S], fresh: &mut u32) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            S::Assign(v, e) => assign(&format!("v{v}"), to_expr(e)),
+            S::Store(i, v) => set_index(
+                var("arr"),
+                to_expr(i).bitand(iconst(15)),
+                to_expr(v),
+            ),
+            S::If(a, b, t, e) => {
+                let mut f1 = *fresh;
+                let body_t = to_stmts(t, &mut f1);
+                let body_e = to_stmts(e, &mut f1);
+                *fresh = f1;
+                if_else(to_expr(a).lt(to_expr(b)), body_t, body_e)
+            }
+            S::Loop(k, b) => {
+                let name = format!("i{fresh}");
+                *fresh += 1;
+                let body = to_stmts(b, fresh);
+                for_(&name, iconst(0), iconst(i32::from(*k)), body)
+            }
+        })
+        .collect()
+}
+
+fn build(stmts: &[S]) -> (jem_jvm::Program, MethodId) {
+    let mut m = ModuleBuilder::new();
+    let mut fresh = 0;
+    let mut body = vec![let_("arr", new_arr(DType::Int, iconst(16)))];
+    // Seed the array deterministically from the parameters.
+    body.push(for_(
+        "s",
+        iconst(0),
+        iconst(16),
+        vec![set_index(
+            var("arr"),
+            var("s"),
+            var("v0").add(var("s").mul(iconst(7))),
+        )],
+    ));
+    body.extend(to_stmts(stmts, &mut fresh));
+    // Fold the state into one observable value.
+    let mut acc = var("v0").bitxor(var("v1")).bitxor(var("v2"));
+    for i in 0..16 {
+        let prev = acc.clone();
+        acc = acc
+            .mul(iconst(31))
+            .add(var("arr").index(iconst(i)))
+            .bitxor(prev.shr(iconst(7)));
+    }
+    body.push(ret(acc));
+    m.func(
+        "f",
+        vec![("v0", DType::Int), ("v1", DType::Int), ("v2", DType::Int)],
+        Some(DType::Int),
+        body,
+    );
+    let p = m.compile().expect("generated programs compile");
+    let id = p.find_method(MODULE_CLASS, "f").expect("f exists");
+    (p, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn jit_levels_match_interpreter(
+        stmts in prop::collection::vec(stmt_strategy(), 1..5),
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+        c in -1000i32..1000,
+    ) {
+        let (program, id) = build(&stmts);
+        verify_program(&program).expect("generated programs verify");
+
+        let args = vec![Value::Int(a), Value::Int(b), Value::Int(c)];
+
+        let mut interp = Vm::client(&program);
+        interp.options.step_budget = 50_000_000;
+        let expected = interp.invoke(id, args.clone());
+
+        for level in OptLevel::ALL {
+            let mut vm = Vm::client(&program);
+            vm.options.step_budget = 50_000_000;
+            let compiled = compile(&program, id, level);
+            compiled.code.func.validate().expect("valid NIR");
+            vm.install_native(id, Rc::new(compiled.code));
+            let got = vm.invoke(id, args.clone());
+            prop_assert_eq!(
+                &got, &expected,
+                "level {} diverged from interpreter (stmts: {:?})", level, stmts
+            );
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Wireless channel classes, distributions, and time-varying channel
+//! processes.
+//!
+//! The paper's transmitter supports "four different power control
+//! settings ... from a Class 1 setting for poor channel condition
+//! (power = 5.88 W) to a Class 4 setting for the best (optimal)
+//! channel condition (power = 0.37 W)". The evaluation drives the
+//! channel with "user supplied distributions" over these classes and
+//! builds three scenario families: predominantly good, predominantly
+//! poor, and uniform.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four channel conditions / transmit power-control settings.
+///
+/// Class 1 = worst channel, highest transmit power;
+/// Class 4 = best channel, lowest transmit power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ChannelClass {
+    /// Poor channel (PA at 5.88 W).
+    C1,
+    /// Fair channel (PA at 1.5 W).
+    C2,
+    /// Good channel (PA at 0.74 W).
+    C3,
+    /// Optimal channel (PA at 0.37 W).
+    C4,
+}
+
+impl ChannelClass {
+    /// All classes from worst to best.
+    pub const ALL: [ChannelClass; 4] = [
+        ChannelClass::C1,
+        ChannelClass::C2,
+        ChannelClass::C3,
+        ChannelClass::C4,
+    ];
+
+    /// Zero-based index: C1 → 0 … C4 → 3.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ChannelClass::C1 => 0,
+            ChannelClass::C2 => 1,
+            ChannelClass::C3 => 2,
+            ChannelClass::C4 => 3,
+        }
+    }
+
+    /// Build from a zero-based index.
+    ///
+    /// # Panics
+    /// If `i >= 4`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// A quality score in `[0, 1]`: 0 = worst (C1), 1 = best (C4).
+    /// Used as the SNR proxy by the pilot estimator.
+    pub fn quality(self) -> f64 {
+        self.index() as f64 / 3.0
+    }
+
+    /// Map a quality score back to the nearest class.
+    pub fn from_quality(q: f64) -> Self {
+        let idx = (q.clamp(0.0, 1.0) * 3.0).round() as usize;
+        Self::from_index(idx)
+    }
+}
+
+impl fmt::Display for ChannelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Class {}", self.index() + 1)
+    }
+}
+
+/// A probability distribution over the four channel classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDist {
+    /// Non-negative weights for C1..C4; normalized on sampling.
+    pub weights: [f64; 4],
+}
+
+impl ChannelDist {
+    /// Distribution placing all mass on one class.
+    pub fn fixed(class: ChannelClass) -> Self {
+        let mut weights = [0.0; 4];
+        weights[class.index()] = 1.0;
+        ChannelDist { weights }
+    }
+
+    /// Uniform over all four classes (the paper's situation iii).
+    pub fn uniform() -> Self {
+        ChannelDist {
+            weights: [0.25; 4],
+        }
+    }
+
+    /// "Predominantly good": mass concentrated on C4/C3
+    /// (the paper's situation i).
+    pub fn predominantly_good() -> Self {
+        ChannelDist {
+            weights: [0.05, 0.10, 0.25, 0.60],
+        }
+    }
+
+    /// "Predominantly poor": mass concentrated on C1/C2
+    /// (the paper's situation ii).
+    pub fn predominantly_poor() -> Self {
+        ChannelDist {
+            weights: [0.60, 0.25, 0.10, 0.05],
+        }
+    }
+
+    /// Construct from explicit weights.
+    ///
+    /// # Panics
+    /// If any weight is negative or all are zero.
+    pub fn from_weights(weights: [f64; 4]) -> Self {
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        assert!(weights.iter().sum::<f64>() > 0.0, "all-zero weights");
+        ChannelDist { weights }
+    }
+
+    /// Sample a class.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ChannelClass {
+        let total: f64 = self.weights.iter().sum();
+        let mut x = rng.gen::<f64>() * total;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                return ChannelClass::from_index(i);
+            }
+            x -= w;
+        }
+        ChannelClass::C4
+    }
+
+    /// Expected quality under this distribution.
+    pub fn mean_quality(&self) -> f64 {
+        let total: f64 = self.weights.iter().sum();
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w * ChannelClass::from_index(i).quality())
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl Distribution<ChannelClass> for ChannelDist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ChannelClass {
+        ChannelDist::sample(self, rng)
+    }
+}
+
+/// A time-varying channel: successive calls to
+/// [`ChannelProcess::advance`] yield the true channel class at
+/// successive decision points.
+///
+/// "mobile wireless channels exhibit variations that change with time
+/// and the spatial location of a mobile node ... we model such tracking
+/// by varying the channel state using user supplied distributions."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ChannelProcess {
+    /// The channel never changes.
+    Fixed(ChannelClass),
+    /// Independent draws from a distribution at every step.
+    Iid(ChannelDist),
+    /// A sticky (first-order Markov) channel: with probability
+    /// `persistence` the previous class is kept, otherwise a fresh
+    /// class is drawn from the distribution. Models the temporal
+    /// correlation of fading channels.
+    Sticky {
+        /// Stationary class distribution.
+        dist: ChannelDist,
+        /// Probability of repeating the previous class.
+        persistence: f64,
+        /// Most recent class (updated by [`ChannelProcess::advance`]).
+        current: ChannelClass,
+    },
+    /// Replay a recorded trace, cycling at the end.
+    Trace {
+        /// The recorded class sequence (non-empty).
+        classes: Vec<ChannelClass>,
+        /// Next index to replay.
+        cursor: usize,
+    },
+}
+
+impl ChannelProcess {
+    /// A sticky process starting from the distribution's likeliest
+    /// class.
+    pub fn sticky(dist: ChannelDist, persistence: f64) -> Self {
+        assert!((0.0..=1.0).contains(&persistence), "persistence out of range");
+        let start = dist
+            .weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+            .map(|(i, _)| ChannelClass::from_index(i))
+            .unwrap_or(ChannelClass::C4);
+        ChannelProcess::Sticky {
+            dist,
+            persistence,
+            current: start,
+        }
+    }
+
+    /// A trace-replay process.
+    ///
+    /// # Panics
+    /// If `classes` is empty.
+    pub fn trace(classes: Vec<ChannelClass>) -> Self {
+        assert!(!classes.is_empty(), "empty channel trace");
+        ChannelProcess::Trace { classes, cursor: 0 }
+    }
+
+    /// The true channel class at the next decision point.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> ChannelClass {
+        match self {
+            ChannelProcess::Fixed(c) => *c,
+            ChannelProcess::Iid(dist) => dist.sample(rng),
+            ChannelProcess::Sticky {
+                dist,
+                persistence,
+                current,
+            } => {
+                if rng.gen::<f64>() >= *persistence {
+                    *current = dist.sample(rng);
+                }
+                *current
+            }
+            ChannelProcess::Trace { classes, cursor } => {
+                let c = classes[*cursor];
+                *cursor = (*cursor + 1) % classes.len();
+                c
+            }
+        }
+    }
+
+    /// The current class without advancing (for Fixed/Sticky/Trace;
+    /// for Iid this is the distribution's most likely class).
+    pub fn peek(&self) -> ChannelClass {
+        match self {
+            ChannelProcess::Fixed(c) => *c,
+            ChannelProcess::Iid(dist) => {
+                let i = dist
+                    .weights
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(3);
+                ChannelClass::from_index(i)
+            }
+            ChannelProcess::Sticky { current, .. } => *current,
+            ChannelProcess::Trace { classes, cursor } => classes[*cursor],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_quality_ordering() {
+        assert!(ChannelClass::C1.quality() < ChannelClass::C2.quality());
+        assert!(ChannelClass::C2.quality() < ChannelClass::C3.quality());
+        assert!(ChannelClass::C3.quality() < ChannelClass::C4.quality());
+        assert_eq!(ChannelClass::C1.quality(), 0.0);
+        assert_eq!(ChannelClass::C4.quality(), 1.0);
+    }
+
+    #[test]
+    fn quality_round_trips() {
+        for c in ChannelClass::ALL {
+            assert_eq!(ChannelClass::from_quality(c.quality()), c);
+        }
+    }
+
+    #[test]
+    fn fixed_dist_always_samples_its_class() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let d = ChannelDist::fixed(ChannelClass::C2);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), ChannelClass::C2);
+        }
+    }
+
+    #[test]
+    fn good_dist_mostly_good_poor_dist_mostly_poor() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let good = ChannelDist::predominantly_good();
+        let poor = ChannelDist::predominantly_poor();
+        let n = 10_000;
+        let good_hits = (0..n)
+            .filter(|_| {
+                matches!(
+                    good.sample(&mut rng),
+                    ChannelClass::C3 | ChannelClass::C4
+                )
+            })
+            .count();
+        let poor_hits = (0..n)
+            .filter(|_| {
+                matches!(
+                    poor.sample(&mut rng),
+                    ChannelClass::C1 | ChannelClass::C2
+                )
+            })
+            .count();
+        assert!(good_hits as f64 / n as f64 > 0.75, "good: {good_hits}");
+        assert!(poor_hits as f64 / n as f64 > 0.75, "poor: {poor_hits}");
+    }
+
+    #[test]
+    fn uniform_dist_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = ChannelDist::uniform();
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[d.sample(&mut rng).index()] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "{frac}");
+        }
+    }
+
+    #[test]
+    fn mean_quality_reflects_skew() {
+        assert!(ChannelDist::predominantly_good().mean_quality() > 0.7);
+        assert!(ChannelDist::predominantly_poor().mean_quality() < 0.3);
+        assert!((ChannelDist::uniform().mean_quality() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sticky_process_repeats() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut p = ChannelProcess::sticky(ChannelDist::uniform(), 0.95);
+        let mut repeats = 0usize;
+        let mut prev = p.advance(&mut rng);
+        for _ in 0..2_000 {
+            let c = p.advance(&mut rng);
+            if c == prev {
+                repeats += 1;
+            }
+            prev = c;
+        }
+        // With persistence 0.95 + 25 % accidental repetition, the
+        // repeat rate must be far above the iid baseline of 0.25.
+        assert!(repeats as f64 / 2000.0 > 0.8, "{repeats}");
+    }
+
+    #[test]
+    fn trace_process_replays_and_cycles() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut p = ChannelProcess::trace(vec![
+            ChannelClass::C1,
+            ChannelClass::C4,
+            ChannelClass::C2,
+        ]);
+        let got: Vec<_> = (0..6).map(|_| p.advance(&mut rng)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ChannelClass::C1,
+                ChannelClass::C4,
+                ChannelClass::C2,
+                ChannelClass::C1,
+                ChannelClass::C4,
+                ChannelClass::C2,
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty channel trace")]
+    fn empty_trace_rejected() {
+        let _ = ChannelProcess::trace(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn negative_weight_rejected() {
+        let _ = ChannelDist::from_weights([0.5, -0.1, 0.3, 0.3]);
+    }
+
+    #[test]
+    fn peek_does_not_advance_trace() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut p = ChannelProcess::trace(vec![ChannelClass::C3, ChannelClass::C1]);
+        assert_eq!(p.peek(), ChannelClass::C3);
+        assert_eq!(p.peek(), ChannelClass::C3);
+        assert_eq!(p.advance(&mut rng), ChannelClass::C3);
+        assert_eq!(p.peek(), ChannelClass::C1);
+    }
+}

@@ -1,0 +1,225 @@
+//! The WCDMA chip-set power table — the paper's **Fig 2**.
+//!
+//! "The power consumptions of the individual components obtained from
+//! data sheets are shown in Fig 2." Receive chain: mixer, demodulator,
+//! ADC; transmit chain: DAC, power amplifier (four classes), driver
+//! amplifier, modulator; the VCO is shared by both directions.
+
+use crate::channel::ChannelClass;
+use jem_energy::Power;
+use serde::{Deserialize, Serialize};
+
+/// One component of the WCDMA chip set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioComponent {
+    /// Mixer (receive path).
+    Mixer,
+    /// Demodulator (receive path).
+    Demodulator,
+    /// Analog-to-digital converter (receive path).
+    Adc,
+    /// Digital-to-analog converter (transmit path).
+    Dac,
+    /// Transmit power amplifier (power depends on the channel class).
+    PowerAmplifier,
+    /// Driver amplifier (transmit path).
+    DriverAmplifier,
+    /// Modulator (transmit path).
+    Modulator,
+    /// Voltage-controlled oscillator (shared by RX and TX).
+    Vco,
+}
+
+impl RadioComponent {
+    /// All components in Fig 2 order.
+    pub const ALL: [RadioComponent; 8] = [
+        RadioComponent::Mixer,
+        RadioComponent::Demodulator,
+        RadioComponent::Adc,
+        RadioComponent::Dac,
+        RadioComponent::PowerAmplifier,
+        RadioComponent::DriverAmplifier,
+        RadioComponent::Modulator,
+        RadioComponent::Vco,
+    ];
+
+    /// Display name matching the paper's table.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RadioComponent::Mixer => "Mixer (Rx)",
+            RadioComponent::Demodulator => "Demodulator (Rx)",
+            RadioComponent::Adc => "ADC (Rx)",
+            RadioComponent::Dac => "DAC (Tx)",
+            RadioComponent::PowerAmplifier => "Power Amplifier (Tx)",
+            RadioComponent::DriverAmplifier => "Driver Amplifier (Tx)",
+            RadioComponent::Modulator => "Modulator (Tx)",
+            RadioComponent::Vco => "VCO (Rx/Tx)",
+        }
+    }
+
+    /// True for components active while receiving.
+    pub const fn is_rx(self) -> bool {
+        matches!(
+            self,
+            RadioComponent::Mixer
+                | RadioComponent::Demodulator
+                | RadioComponent::Adc
+                | RadioComponent::Vco
+        )
+    }
+
+    /// True for components active while transmitting.
+    pub const fn is_tx(self) -> bool {
+        matches!(
+            self,
+            RadioComponent::Dac
+                | RadioComponent::PowerAmplifier
+                | RadioComponent::DriverAmplifier
+                | RadioComponent::Modulator
+                | RadioComponent::Vco
+        )
+    }
+}
+
+/// Power table for the chip set (Fig 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadioPowerTable {
+    /// Mixer power.
+    pub mixer: Power,
+    /// Demodulator power.
+    pub demodulator: Power,
+    /// ADC power.
+    pub adc: Power,
+    /// DAC power.
+    pub dac: Power,
+    /// Power amplifier power per channel class (index = class index).
+    pub power_amplifier: [Power; 4],
+    /// Driver amplifier power.
+    pub driver_amplifier: Power,
+    /// Modulator power.
+    pub modulator: Power,
+    /// VCO power.
+    pub vco: Power,
+}
+
+impl RadioPowerTable {
+    /// The paper's exact Fig 2 values.
+    pub fn wcdma() -> Self {
+        RadioPowerTable {
+            mixer: Power::from_milliwatts(33.75),
+            demodulator: Power::from_milliwatts(37.8),
+            adc: Power::from_milliwatts(710.0),
+            dac: Power::from_milliwatts(185.0),
+            power_amplifier: [
+                Power::from_watts(5.88), // Class 1, poor channel
+                Power::from_watts(1.5),  // Class 2
+                Power::from_watts(0.74), // Class 3
+                Power::from_watts(0.37), // Class 4, optimal channel
+            ],
+            driver_amplifier: Power::from_milliwatts(102.6),
+            modulator: Power::from_milliwatts(108.0),
+            vco: Power::from_milliwatts(90.0),
+        }
+    }
+
+    /// Power of `component`, with the PA priced at `class`.
+    pub fn power(&self, component: RadioComponent, class: ChannelClass) -> Power {
+        match component {
+            RadioComponent::Mixer => self.mixer,
+            RadioComponent::Demodulator => self.demodulator,
+            RadioComponent::Adc => self.adc,
+            RadioComponent::Dac => self.dac,
+            RadioComponent::PowerAmplifier => self.power_amplifier[class.index()],
+            RadioComponent::DriverAmplifier => self.driver_amplifier,
+            RadioComponent::Modulator => self.modulator,
+            RadioComponent::Vco => self.vco,
+        }
+    }
+
+    /// Total power drawn while transmitting at `class`
+    /// (DAC + PA + driver amp + modulator + VCO).
+    pub fn tx_power(&self, class: ChannelClass) -> Power {
+        RadioComponent::ALL
+            .iter()
+            .filter(|c| c.is_tx())
+            .map(|&c| self.power(c, class))
+            .sum()
+    }
+
+    /// Total power drawn while receiving
+    /// (mixer + demodulator + ADC + VCO). Independent of the class.
+    pub fn rx_power(&self) -> Power {
+        RadioComponent::ALL
+            .iter()
+            .filter(|c| c.is_rx())
+            .map(|&c| self.power(c, ChannelClass::C4))
+            .sum()
+    }
+}
+
+impl Default for RadioPowerTable {
+    fn default() -> Self {
+        RadioPowerTable::wcdma()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_values_are_exact() {
+        let t = RadioPowerTable::wcdma();
+        assert_eq!(t.mixer.milliwatts(), 33.75);
+        assert_eq!(t.demodulator.milliwatts(), 37.8);
+        assert_eq!(t.adc.milliwatts(), 710.0);
+        assert_eq!(t.dac.milliwatts(), 185.0);
+        assert_eq!(t.power_amplifier[0].watts(), 5.88);
+        assert_eq!(t.power_amplifier[1].watts(), 1.5);
+        assert_eq!(t.power_amplifier[2].watts(), 0.74);
+        assert_eq!(t.power_amplifier[3].watts(), 0.37);
+        assert_eq!(t.driver_amplifier.milliwatts(), 102.6);
+        assert_eq!(t.modulator.milliwatts(), 108.0);
+        assert_eq!(t.vco.milliwatts(), 90.0);
+    }
+
+    #[test]
+    fn pa_power_decreases_with_better_channel() {
+        let t = RadioPowerTable::wcdma();
+        for w in ChannelClass::ALL.windows(2) {
+            assert!(
+                t.power(RadioComponent::PowerAmplifier, w[0])
+                    > t.power(RadioComponent::PowerAmplifier, w[1])
+            );
+        }
+    }
+
+    #[test]
+    fn tx_power_totals() {
+        let t = RadioPowerTable::wcdma();
+        // C4: 185 + 370 + 102.6 + 108 + 90 = 855.6 mW.
+        assert!((t.tx_power(ChannelClass::C4).milliwatts() - 855.6).abs() < 1e-9);
+        // C1: 185 + 5880 + 102.6 + 108 + 90 = 6365.6 mW.
+        assert!((t.tx_power(ChannelClass::C1).milliwatts() - 6365.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rx_power_total() {
+        let t = RadioPowerTable::wcdma();
+        // 33.75 + 37.8 + 710 + 90 = 871.55 mW.
+        assert!((t.rx_power().milliwatts() - 871.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vco_is_shared() {
+        assert!(RadioComponent::Vco.is_rx());
+        assert!(RadioComponent::Vco.is_tx());
+    }
+
+    #[test]
+    fn rx_tx_partition_covers_all_components() {
+        for c in RadioComponent::ALL {
+            assert!(c.is_rx() || c.is_tx(), "{} in neither chain", c.name());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # jem-radio — component-level WCDMA radio model
+//!
+//! Reproduces the communication-energy model of Chen et al. (IPPS
+//! 2003). The paper evaluates communication energy "by modeling the
+//! individual components of the WCDMA chip set" with power values
+//! taken from RFMD / Analog Devices data sheets (their Fig 2), an
+//! effective data rate of **2.3 Mbps**, and a transmitter power
+//! amplifier with **four power-control settings**: Class 1 for poor
+//! channel conditions (5.88 W) down to Class 4 for the best channel
+//! (0.37 W). Energy = bits × active-component power / rate.
+//!
+//! Channel conditions vary over time; the client tracks them with a
+//! pilot-channel estimator (as in IS-95 CDMA) and picks its transmit
+//! power class accordingly. In the simulation, the true channel is
+//! produced by a [`channel::ChannelProcess`] driven by user-supplied
+//! distributions — exactly how the paper models pilot tracking.
+//!
+//! * [`components`] — the Fig 2 power table,
+//! * [`channel`] — channel classes, distributions, processes,
+//! * [`pilot`] — the pilot-signal channel estimator,
+//! * [`link`] — byte-counted transfer energy/latency accounting.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod components;
+pub mod link;
+pub mod pilot;
+
+pub use channel::{ChannelClass, ChannelDist, ChannelProcess};
+pub use components::{RadioComponent, RadioPowerTable};
+pub use link::{Link, LinkConfig, TransferDirection, TransferReport};
+pub use pilot::PilotEstimator;

@@ -1,0 +1,249 @@
+//! Byte-counted link transfer model.
+//!
+//! "The energy cost of communication is evaluated by using the number
+//! of bits transmitted/received, the power values of the corresponding
+//! components used, and the data rate." The effective data rate is
+//! 2.3 Mbps. We add a small per-message protocol overhead (framing,
+//! serialization headers) so that tiny payloads still cost something,
+//! as they do in any real protocol stack.
+
+use crate::channel::ChannelClass;
+use crate::components::RadioPowerTable;
+use jem_energy::{Energy, Power, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Direction of a transfer, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDirection {
+    /// Client → server (client transmits).
+    Send,
+    /// Server → client (client receives).
+    Receive,
+}
+
+/// Link configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Effective data rate in bits per second (paper: 2.3 Mbps).
+    pub data_rate_bps: f64,
+    /// Fixed per-message overhead in bytes (framing + headers).
+    pub overhead_bytes: u32,
+    /// Component power table.
+    pub powers: RadioPowerTable,
+}
+
+impl LinkConfig {
+    /// The paper's link: 2.3 Mbps WCDMA with a modest 32-byte
+    /// per-message overhead.
+    pub fn wcdma_2_3mbps() -> Self {
+        LinkConfig {
+            data_rate_bps: 2.3e6,
+            overhead_bytes: 32,
+            powers: RadioPowerTable::wcdma(),
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::wcdma_2_3mbps()
+    }
+}
+
+/// Outcome of one transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferReport {
+    /// Time the radio was on the air.
+    pub airtime: SimTime,
+    /// Energy burned by the transmit chain (zero for receives).
+    pub tx_energy: Energy,
+    /// Energy burned by the receive chain (zero for sends).
+    pub rx_energy: Energy,
+    /// Payload bytes (excluding protocol overhead).
+    pub payload_bytes: u64,
+    /// Bytes on the wire (payload + overhead).
+    pub wire_bytes: u64,
+    /// Channel class the transfer used.
+    pub class: ChannelClass,
+}
+
+impl TransferReport {
+    /// Total radio energy of the transfer.
+    pub fn energy(&self) -> Energy {
+        self.tx_energy + self.rx_energy
+    }
+}
+
+/// The client's wireless link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    config: LinkConfig,
+    /// Cumulative bytes sent (payload + overhead).
+    pub bytes_sent: u64,
+    /// Cumulative bytes received (payload + overhead).
+    pub bytes_received: u64,
+}
+
+impl Link {
+    /// Build a link.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Time on the air for `wire_bytes` bytes.
+    fn airtime(&self, wire_bytes: u64) -> SimTime {
+        SimTime::from_secs(wire_bytes as f64 * 8.0 / self.config.data_rate_bps)
+    }
+
+    /// Power drawn during a transfer in `direction` at `class`.
+    pub fn active_power(&self, direction: TransferDirection, class: ChannelClass) -> Power {
+        match direction {
+            TransferDirection::Send => self.config.powers.tx_power(class),
+            TransferDirection::Receive => self.config.powers.rx_power(),
+        }
+    }
+
+    /// Perform one transfer of `payload_bytes` in `direction` while the
+    /// channel is at `class`, returning its time/energy accounting.
+    pub fn transfer(
+        &mut self,
+        payload_bytes: u64,
+        direction: TransferDirection,
+        class: ChannelClass,
+    ) -> TransferReport {
+        let wire_bytes = payload_bytes + self.config.overhead_bytes as u64;
+        let airtime = self.airtime(wire_bytes);
+        let power = self.active_power(direction, class);
+        let energy = power.over(airtime);
+        let (tx_energy, rx_energy) = match direction {
+            TransferDirection::Send => {
+                self.bytes_sent += wire_bytes;
+                (energy, Energy::ZERO)
+            }
+            TransferDirection::Receive => {
+                self.bytes_received += wire_bytes;
+                (Energy::ZERO, energy)
+            }
+        };
+        TransferReport {
+            airtime,
+            tx_energy,
+            rx_energy,
+            payload_bytes,
+            wire_bytes,
+            class,
+        }
+    }
+
+    /// Predict the energy of a transfer without performing it — the
+    /// quantity helper methods need when comparing local and remote
+    /// execution costs.
+    pub fn estimate_energy(
+        &self,
+        payload_bytes: u64,
+        direction: TransferDirection,
+        class: ChannelClass,
+    ) -> Energy {
+        let wire_bytes = payload_bytes + self.config.overhead_bytes as u64;
+        self.active_power(direction, class).over(self.airtime(wire_bytes))
+    }
+
+    /// Predict the airtime of a transfer without performing it.
+    pub fn estimate_airtime(&self, payload_bytes: u64) -> SimTime {
+        self.airtime(payload_bytes + self.config.overhead_bytes as u64)
+    }
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::new(LinkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::default()
+    }
+
+    #[test]
+    fn airtime_matches_rate() {
+        let mut l = link();
+        // 2875 payload + 32 overhead = 2907 bytes = 23256 bits at
+        // 2.3 Mbps ≈ 10.11 ms.
+        let r = l.transfer(2875, TransferDirection::Send, ChannelClass::C4);
+        assert!((r.airtime.millis() - 23256.0 / 2.3e6 * 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_energy_scales_with_pa_class() {
+        let mut l = link();
+        let c4 = l.transfer(1000, TransferDirection::Send, ChannelClass::C4);
+        let c1 = l.transfer(1000, TransferDirection::Send, ChannelClass::C1);
+        // TX power ratio C1/C4 = 6365.6 / 855.6 ≈ 7.44.
+        let ratio = c1.energy().ratio(c4.energy());
+        assert!((ratio - 6365.6 / 855.6).abs() < 1e-6, "{ratio}");
+    }
+
+    #[test]
+    fn receive_energy_is_class_independent() {
+        let mut l = link();
+        let a = l.transfer(1000, TransferDirection::Receive, ChannelClass::C1);
+        let b = l.transfer(1000, TransferDirection::Receive, ChannelClass::C4);
+        assert_eq!(a.energy(), b.energy());
+        assert_eq!(a.tx_energy, Energy::ZERO);
+        assert!(a.rx_energy > Energy::ZERO);
+    }
+
+    #[test]
+    fn estimate_matches_actual() {
+        let mut l = link();
+        for &bytes in &[0u64, 1, 100, 65536] {
+            for dir in [TransferDirection::Send, TransferDirection::Receive] {
+                for class in ChannelClass::ALL {
+                    let est = l.estimate_energy(bytes, dir, class);
+                    let act = l.transfer(bytes, dir, class).energy();
+                    assert!((est.nanojoules() - act.nanojoules()).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_payload_still_costs_overhead() {
+        let mut l = link();
+        let r = l.transfer(0, TransferDirection::Send, ChannelClass::C4);
+        assert_eq!(r.wire_bytes, 32);
+        assert!(r.energy() > Energy::ZERO);
+    }
+
+    #[test]
+    fn byte_counters_accumulate() {
+        let mut l = link();
+        l.transfer(100, TransferDirection::Send, ChannelClass::C4);
+        l.transfer(200, TransferDirection::Receive, ChannelClass::C4);
+        l.transfer(300, TransferDirection::Send, ChannelClass::C2);
+        assert_eq!(l.bytes_sent, 100 + 32 + 300 + 32);
+        assert_eq!(l.bytes_received, 200 + 32);
+    }
+
+    #[test]
+    fn energy_is_linear_in_payload() {
+        let l = link();
+        let e1 = l.estimate_energy(1_000, TransferDirection::Send, ChannelClass::C3);
+        let e2 = l.estimate_energy(2_032, TransferDirection::Send, ChannelClass::C3);
+        // (2032+32) = 2 * (1000+32), so energy doubles exactly.
+        assert!((e2.nanojoules() - 2.0 * e1.nanojoules()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Pilot-channel based channel estimation.
+//!
+//! "One such mechanism that is employed by wireless standards such as
+//! the IS-95 CDMA system is the usage of a pilot channel. Here, pilot
+//! CDMA signals are periodically transmitted by a base station to
+//! provide a reference for all mobile nodes. A mobile station processes
+//! the pilot signal and chooses the strongest signal among the multiple
+//! copies of the transmitted signal to arrive at an accurate estimation
+//! of its time delay, phase, and magnitude. These parameters are
+//! tracked over time to help the mobile client decide on the
+//! power-setting for its transmitter."
+//!
+//! We model this as follows: every pilot period the true channel class
+//! yields a noisy quality observation (several multipath "fingers" —
+//! the estimator takes the strongest, as a rake receiver does), which
+//! the estimator folds into an exponentially-weighted tracker. The
+//! tracked quality maps to the transmit power class the client will
+//! use for its next transfer.
+
+use crate::channel::ChannelClass;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponentially-weighted pilot-signal tracker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PilotEstimator {
+    /// Smoothing weight on history in `[0, 1)`; 0 = trust only the
+    /// newest observation.
+    alpha: f64,
+    /// Std-dev of the per-finger observation noise (quality units).
+    noise_sigma: f64,
+    /// Number of multipath fingers per pilot observation.
+    fingers: u32,
+    /// Current tracked quality, `None` until the first observation.
+    tracked: Option<f64>,
+    /// Count of observations folded in.
+    observations: u64,
+}
+
+impl PilotEstimator {
+    /// A tracker with the given smoothing weight and observation noise.
+    ///
+    /// # Panics
+    /// If `alpha` is outside `[0, 1)`, `noise_sigma` is negative, or
+    /// `fingers` is zero.
+    pub fn new(alpha: f64, noise_sigma: f64, fingers: u32) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha out of [0,1)");
+        assert!(noise_sigma >= 0.0, "negative noise");
+        assert!(fingers > 0, "need at least one rake finger");
+        PilotEstimator {
+            alpha,
+            noise_sigma,
+            fingers,
+            tracked: None,
+            observations: 0,
+        }
+    }
+
+    /// A reasonable default: moderate smoothing, light noise, 3-finger
+    /// rake receiver.
+    pub fn rake_default() -> Self {
+        PilotEstimator::new(0.5, 0.08, 3)
+    }
+
+    /// Process one pilot broadcast while the true channel is
+    /// `true_class`. Returns the updated tracked quality.
+    pub fn observe<R: Rng + ?Sized>(&mut self, true_class: ChannelClass, rng: &mut R) -> f64 {
+        let q = true_class.quality();
+        // Strongest of `fingers` noisy copies: rake combining. Noise is
+        // symmetric per finger, taking the max biases slightly upward,
+        // which we counter by subtracting the expected max-bias of the
+        // strongest of n standard normals (~sigma * E[max of n]).
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..self.fingers {
+            let noise = gaussian(rng) * self.noise_sigma;
+            best = best.max(q + noise);
+        }
+        let bias = self.noise_sigma * expected_max_std_normal(self.fingers);
+        let obs = (best - bias).clamp(0.0, 1.0);
+        let updated = match self.tracked {
+            None => obs,
+            Some(prev) => self.alpha * prev + (1.0 - self.alpha) * obs,
+        };
+        self.tracked = Some(updated);
+        self.observations += 1;
+        updated
+    }
+
+    /// The transmit power class implied by the current estimate;
+    /// conservative (C1 = max power) before any observation.
+    pub fn recommended_class(&self) -> ChannelClass {
+        match self.tracked {
+            None => ChannelClass::C1,
+            Some(q) => ChannelClass::from_quality(q),
+        }
+    }
+
+    /// Tracked quality, if any observation has arrived.
+    pub fn tracked_quality(&self) -> Option<f64> {
+        self.tracked
+    }
+
+    /// Number of pilot observations processed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for PilotEstimator {
+    fn default() -> Self {
+        PilotEstimator::rake_default()
+    }
+}
+
+/// Standard normal via Box–Muller (we avoid depending on
+/// `rand_distr`; two uniforms suffice).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// E[max of n iid standard normals] for small n (exact for n ≤ 4,
+/// which covers realistic rake receivers; clamps beyond).
+fn expected_max_std_normal(n: u32) -> f64 {
+    match n {
+        1 => 0.0,
+        2 => 0.5642,
+        3 => 0.8463,
+        4 => 1.0294,
+        _ => 1.0294 + 0.15 * ((n as f64).ln() - 4f64.ln()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn starts_conservative() {
+        let e = PilotEstimator::rake_default();
+        assert_eq!(e.recommended_class(), ChannelClass::C1);
+        assert_eq!(e.tracked_quality(), None);
+    }
+
+    #[test]
+    fn converges_to_true_class_on_stationary_channel() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for true_class in ChannelClass::ALL {
+            let mut e = PilotEstimator::rake_default();
+            for _ in 0..200 {
+                e.observe(true_class, &mut rng);
+            }
+            assert_eq!(
+                e.recommended_class(),
+                true_class,
+                "failed to converge to {true_class}"
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_single_finger_is_exact() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut e = PilotEstimator::new(0.0, 0.0, 1);
+        let q = e.observe(ChannelClass::C3, &mut rng);
+        assert!((q - ChannelClass::C3.quality()).abs() < 1e-12);
+        assert_eq!(e.recommended_class(), ChannelClass::C3);
+    }
+
+    #[test]
+    fn tracks_channel_transitions() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut e = PilotEstimator::rake_default();
+        for _ in 0..100 {
+            e.observe(ChannelClass::C4, &mut rng);
+        }
+        assert_eq!(e.recommended_class(), ChannelClass::C4);
+        for _ in 0..100 {
+            e.observe(ChannelClass::C1, &mut rng);
+        }
+        assert_eq!(e.recommended_class(), ChannelClass::C1);
+    }
+
+    #[test]
+    fn smoothing_damps_single_outliers() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut e = PilotEstimator::new(0.9, 0.0, 1);
+        for _ in 0..50 {
+            e.observe(ChannelClass::C4, &mut rng);
+        }
+        // One bad observation should not flip the recommendation with
+        // alpha = 0.9.
+        e.observe(ChannelClass::C1, &mut rng);
+        assert_eq!(e.recommended_class(), ChannelClass::C4);
+    }
+
+    #[test]
+    fn tracked_quality_stays_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut e = PilotEstimator::new(0.3, 0.5, 4);
+        for i in 0..500 {
+            let class = ChannelClass::from_index(i % 4);
+            let q = e.observe(class, &mut rng);
+            assert!((0.0..=1.0).contains(&q), "{q}");
+        }
+    }
+
+    #[test]
+    fn observation_counter() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut e = PilotEstimator::rake_default();
+        for _ in 0..7 {
+            e.observe(ChannelClass::C2, &mut rng);
+        }
+        assert_eq!(e.observations(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of")]
+    fn rejects_bad_alpha() {
+        let _ = PilotEstimator::new(1.0, 0.1, 3);
+    }
+}

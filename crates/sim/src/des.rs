@@ -1,0 +1,176 @@
+//! A deterministic discrete-event queue over virtual time.
+//!
+//! Events carry an arbitrary payload and fire in timestamp order;
+//! ties break in insertion (FIFO) order so simulations are exactly
+//! reproducible. Used by the offload protocol to model server request
+//! queues, the mobile status table, and client wake-up timers.
+
+use jem_energy::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry (internal).
+struct Entry<T> {
+    at_ns: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ns == other.at_ns && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with
+        // FIFO (lowest sequence number) tie-breaking.
+        other
+            .at_ns
+            .partial_cmp(&self.at_ns)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A virtual-time event queue.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// If `at` is in the past (before [`EventQueue::now`]).
+    pub fn schedule_at(&mut self, at: SimTime, payload: T) {
+        assert!(
+            at.nanos() >= self.now.nanos(),
+            "scheduling into the past: {} < {}",
+            at,
+            self.now
+        );
+        self.heap.push(Entry {
+            at_ns: at.nanos(),
+            seq: self.seq,
+            payload,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `payload` after a delay from now.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: T) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing virtual time to it.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|e| {
+            self.now = SimTime::from_nanos(e.at_ns);
+            (self.now, e.payload)
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| SimTime::from_nanos(e.at_ns))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30.0), "c");
+        q.schedule_at(SimTime::from_nanos(10.0), "a");
+        q.schedule_at(SimTime::from_nanos(20.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5.0);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimTime::from_millis(1.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(1.0));
+        assert_eq!(q.now(), t);
+        // schedule_in is relative to the new now.
+        q.schedule_in(SimTime::from_millis(2.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(5.0), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(1.0), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(SimTime::from_nanos(1.0), 1);
+        q.schedule_in(SimTime::from_nanos(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Input-size distributions.
+//!
+//! The paper varies each benchmark's *size parameter* per invocation:
+//! scenarios (i) and (ii) have "one input size dominates", scenario
+//! (iii) draws sizes uniformly. A [`SizeDist`] produces the size
+//! parameter for each of the 300 invocations of a run.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over integer size parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Always the same size.
+    Fixed(u32),
+    /// One size dominates with probability `p_main`; otherwise a
+    /// uniform draw from `others`.
+    Dominant {
+        /// The dominating size.
+        main: u32,
+        /// Probability of the dominating size.
+        p_main: f64,
+        /// The minority sizes (uniform among them).
+        others: Vec<u32>,
+    },
+    /// Uniform over an inclusive set of choices.
+    Choice(Vec<u32>),
+    /// Uniform over `[lo, hi]` in steps of `step`.
+    Range {
+        /// Smallest size.
+        lo: u32,
+        /// Largest size (inclusive).
+        hi: u32,
+        /// Step between sizes.
+        step: u32,
+    },
+}
+
+impl SizeDist {
+    /// Draw one size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            SizeDist::Fixed(s) => *s,
+            SizeDist::Dominant {
+                main,
+                p_main,
+                others,
+            } => {
+                if others.is_empty() || rng.gen::<f64>() < *p_main {
+                    *main
+                } else {
+                    others[rng.gen_range(0..others.len())]
+                }
+            }
+            SizeDist::Choice(choices) => {
+                assert!(!choices.is_empty(), "empty choice distribution");
+                choices[rng.gen_range(0..choices.len())]
+            }
+            SizeDist::Range { lo, hi, step } => {
+                assert!(lo <= hi && *step > 0, "bad range");
+                let n = (hi - lo) / step + 1;
+                lo + step * rng.gen_range(0..n)
+            }
+        }
+    }
+
+    /// The set of sizes this distribution can produce (used by
+    /// profiling-based estimators to pick calibration points).
+    pub fn support(&self) -> Vec<u32> {
+        match self {
+            SizeDist::Fixed(s) => vec![*s],
+            SizeDist::Dominant { main, others, .. } => {
+                let mut v = vec![*main];
+                v.extend(others);
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            SizeDist::Choice(choices) => {
+                let mut v = choices.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            SizeDist::Range { lo, hi, step } => (*lo..=*hi).step_by(*step as usize).collect(),
+        }
+    }
+
+    /// Smallest and largest producible sizes.
+    pub fn bounds(&self) -> (u32, u32) {
+        let support = self.support();
+        (
+            *support.first().expect("non-empty support"),
+            *support.last().expect("non-empty support"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_always_same() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = SizeDist::Fixed(64);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 64));
+        assert_eq!(d.support(), vec![64]);
+    }
+
+    #[test]
+    fn dominant_mostly_main() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = SizeDist::Dominant {
+            main: 128,
+            p_main: 0.8,
+            others: vec![16, 32, 64],
+        };
+        let n = 10_000;
+        let mains = (0..n).filter(|_| d.sample(&mut rng) == 128).count();
+        let frac = mains as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.03, "{frac}");
+        assert_eq!(d.support(), vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn choice_hits_all_choices() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = SizeDist::Choice(vec![8, 16, 24]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(d.sample(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![8, 16, 24]);
+    }
+
+    #[test]
+    fn range_respects_step_and_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = SizeDist::Range {
+            lo: 10,
+            hi: 50,
+            step: 10,
+        };
+        for _ in 0..500 {
+            let s = d.sample(&mut rng);
+            assert!((10..=50).contains(&s));
+            assert_eq!(s % 10, 0);
+        }
+        assert_eq!(d.support(), vec![10, 20, 30, 40, 50]);
+        assert_eq!(d.bounds(), (10, 50));
+    }
+
+    #[test]
+    fn dominant_with_empty_others_is_fixed() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let d = SizeDist::Dominant {
+            main: 7,
+            p_main: 0.1,
+            others: vec![],
+        };
+        assert!((0..100).all(|_| d.sample(&mut rng) == 7));
+    }
+}

@@ -1,0 +1,28 @@
+//! # jem-sim — simulation core and experiment drivers
+//!
+//! Infrastructure shared by every experiment in the reproduction:
+//!
+//! * [`des`] — a deterministic discrete-event queue (virtual time),
+//!   used by the client/server offload protocol in `jem-core`,
+//! * [`dist`] — input-size distributions ("one input size dominates",
+//!   uniform, …) matching the paper's scenario construction,
+//! * [`scenario`] — the paper's three situations (predominantly-good
+//!   channel + dominant size; predominantly-poor + dominant size;
+//!   both uniform), each executed as a 300-invocation run,
+//! * [`stats`] — summary statistics and normalization helpers for the
+//!   figure/table harnesses,
+//! * [`parallel`] — a crossbeam-based ordered parallel sweep for
+//!   embarrassingly parallel experiment grids.
+
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod dist;
+pub mod parallel;
+pub mod scenario;
+pub mod stats;
+
+pub use des::EventQueue;
+pub use dist::SizeDist;
+pub use scenario::{Scenario, Situation};
+pub use stats::Summary;

@@ -1,0 +1,120 @@
+//! Ordered parallel sweeps over experiment grids.
+//!
+//! Experiment grids (benchmark × situation × strategy × run) are
+//! embarrassingly parallel: every cell builds its own VM, heap and
+//! machine. [`sweep`] fans the cells out over crossbeam scoped threads
+//! and returns results in input order, so figure rows stay
+//! deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` in parallel, preserving order.
+///
+/// `f` must be `Sync` (it is shared across workers); items are taken
+/// by reference. Uses up to `threads` workers (clamped to the number
+/// of items; 0 means "number of CPUs").
+pub fn sweep<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result slot lock") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+fn effective_threads(requested: usize, items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let t = if requested == 0 { hw } else { requested };
+    t.min(items).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = sweep(&items, 8, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        let out = sweep(&items, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u8> = vec![];
+        let out: Vec<u8> = sweep(&items, 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let items: Vec<u32> = (0..32).collect();
+        let out = sweep(&items, 0, |&x| x.wrapping_mul(3));
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[5], 15);
+    }
+
+    #[test]
+    fn heavy_closure_runs_concurrently_and_correctly() {
+        // Not a timing test — just exercises contention on the index.
+        let items: Vec<u64> = (0..200).collect();
+        let out = sweep(&items, 16, |&x| {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(x * i);
+            }
+            acc
+        });
+        for (i, &x) in items.iter().enumerate() {
+            let mut acc = 0u64;
+            for k in 0..1000 {
+                acc = acc.wrapping_add(x * k);
+            }
+            assert_eq!(out[i], acc);
+        }
+    }
+}

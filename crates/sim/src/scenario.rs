@@ -1,0 +1,197 @@
+//! The paper's experiment scenarios.
+//!
+//! §3.2: "Each benchmark is executed by choosing three different
+//! situations having different channel condition and input
+//! distribution. The distributions have been carefully selected to
+//! mimic these three situations: (i) the channel condition is
+//! predominantly good and one input size dominates; (ii) the channel
+//! condition is predominantly poor and one input size dominates; and
+//! (iii) both channel condition and size parameters are uniformly
+//! distributed. … For each scenario, an application is executed 300
+//! times with inputs and channel conditions selected to meet the
+//! required distribution."
+
+use crate::dist::SizeDist;
+use jem_radio::{ChannelDist, ChannelProcess};
+use serde::{Deserialize, Serialize};
+
+/// The number of invocations per scenario run in the paper.
+pub const PAPER_RUNS: usize = 300;
+
+/// The paper's three situations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Situation {
+    /// (i) predominantly good channel, one input size dominates.
+    GoodDominant,
+    /// (ii) predominantly poor channel, one input size dominates.
+    PoorDominant,
+    /// (iii) both channel and size uniformly distributed.
+    Uniform,
+}
+
+impl Situation {
+    /// All situations in paper order.
+    pub const ALL: [Situation; 3] = [
+        Situation::GoodDominant,
+        Situation::PoorDominant,
+        Situation::Uniform,
+    ];
+
+    /// Paper-style label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Situation::GoodDominant => "i: good channel, dominant size",
+            Situation::PoorDominant => "ii: poor channel, dominant size",
+            Situation::Uniform => "iii: uniform channel and size",
+        }
+    }
+
+    /// Short key for table columns.
+    pub const fn key(self) -> &'static str {
+        match self {
+            Situation::GoodDominant => "i",
+            Situation::PoorDominant => "ii",
+            Situation::Uniform => "iii",
+        }
+    }
+
+    /// The channel process for this situation. Channels are sticky
+    /// (temporally correlated) in the dominant-condition situations
+    /// and i.i.d. uniform in situation iii.
+    pub fn channel(self) -> ChannelProcess {
+        match self {
+            Situation::GoodDominant => {
+                ChannelProcess::sticky(ChannelDist::predominantly_good(), 0.7)
+            }
+            Situation::PoorDominant => {
+                ChannelProcess::sticky(ChannelDist::predominantly_poor(), 0.7)
+            }
+            Situation::Uniform => ChannelProcess::Iid(ChannelDist::uniform()),
+        }
+    }
+
+    /// A size distribution for this situation, given the sizes the
+    /// benchmark supports (`sizes` ascending; the dominant situations
+    /// pick a mid-range size as the dominant one).
+    pub fn sizes(self, sizes: &[u32]) -> SizeDist {
+        assert!(!sizes.is_empty(), "benchmark must offer sizes");
+        match self {
+            Situation::GoodDominant | Situation::PoorDominant => {
+                // The dominant size sits in the upper range: the
+                // paper's scenarios make the hot method worth
+                // compiling quickly (its Fig 7 statics all include
+                // their compile cost without drowning in it).
+                let main = sizes[(3 * (sizes.len() - 1)).div_ceil(4)];
+                let others: Vec<u32> = sizes.iter().copied().filter(|&s| s != main).collect();
+                SizeDist::Dominant {
+                    main,
+                    p_main: 0.8,
+                    others,
+                }
+            }
+            Situation::Uniform => SizeDist::Choice(sizes.to_vec()),
+        }
+    }
+}
+
+/// A fully specified scenario: what to run and how many times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Situation this scenario instantiates.
+    pub situation: Situation,
+    /// Channel process.
+    pub channel: ChannelProcess,
+    /// Size distribution.
+    pub sizes: SizeDist,
+    /// Number of invocations.
+    pub runs: usize,
+    /// RNG seed (scenarios are deterministic given their seed).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Build the paper's scenario for `situation` over the given
+    /// benchmark sizes.
+    pub fn paper(situation: Situation, sizes: &[u32], seed: u64) -> Self {
+        Scenario {
+            situation,
+            channel: situation.channel(),
+            sizes: situation.sizes(sizes),
+            runs: PAPER_RUNS,
+            seed,
+        }
+    }
+
+    /// Same scenario with a different run count (for quick tests).
+    #[must_use]
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jem_radio::ChannelClass;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn situation_channels_have_expected_bias() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut good = Situation::GoodDominant.channel();
+        let mut poor = Situation::PoorDominant.channel();
+        let n = 3000;
+        let good_frac = (0..n)
+            .filter(|_| {
+                matches!(
+                    good.advance(&mut rng),
+                    ChannelClass::C3 | ChannelClass::C4
+                )
+            })
+            .count() as f64
+            / n as f64;
+        let poor_frac = (0..n)
+            .filter(|_| {
+                matches!(
+                    poor.advance(&mut rng),
+                    ChannelClass::C1 | ChannelClass::C2
+                )
+            })
+            .count() as f64
+            / n as f64;
+        assert!(good_frac > 0.7, "{good_frac}");
+        assert!(poor_frac > 0.7, "{poor_frac}");
+    }
+
+    #[test]
+    fn dominant_situations_have_dominant_sizes() {
+        let sizes = vec![16, 32, 64, 128];
+        let d = Situation::GoodDominant.sizes(&sizes);
+        match d {
+            SizeDist::Dominant { main, p_main, .. } => {
+                // 75th-percentile dominant size.
+                assert_eq!(main, 128);
+                assert!(p_main >= 0.7);
+            }
+            other => panic!("expected dominant dist, got {other:?}"),
+        }
+        let u = Situation::Uniform.sizes(&sizes);
+        assert_eq!(u, SizeDist::Choice(sizes));
+    }
+
+    #[test]
+    fn paper_scenario_has_300_runs() {
+        let s = Scenario::paper(Situation::Uniform, &[8, 16], 42);
+        assert_eq!(s.runs, PAPER_RUNS);
+        assert_eq!(s.with_runs(10).runs, 10);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<_> =
+            Situation::ALL.iter().map(|s| s.key()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! Summary statistics and normalization for experiment output.
+//!
+//! Every figure in the paper reports energies *normalized with respect
+//! to L1*; [`normalize`] and [`Summary`] provide that plumbing, plus
+//! simple accumulators for the run loops.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/min/max/variance accumulator (Welford).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for empty summaries).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Sample standard deviation (0 with fewer than 2 observations).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Build a summary from a slice.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+}
+
+/// Normalize `values` so that `values[baseline_idx]` becomes 100.0
+/// (the paper's "normalized with respect to L1" convention).
+///
+/// # Panics
+/// If the baseline is zero or the index is out of range.
+pub fn normalize(values: &[f64], baseline_idx: usize) -> Vec<f64> {
+    let base = values[baseline_idx];
+    assert!(base != 0.0, "zero baseline");
+    values.iter().map(|v| v / base * 100.0).collect()
+}
+
+/// Geometric mean (for averaging normalized ratios across benchmarks).
+///
+/// # Panics
+/// If any value is non-positive or the slice is empty.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "empty geomean");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "non-positive value in geomean: {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.sum() - 10.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        // stddev of 1..4 = sqrt(5/3)
+        assert!((s.stddev() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn normalization_sets_baseline_to_100() {
+        let n = normalize(&[50.0, 100.0, 25.0], 1);
+        assert_eq!(n, vec![50.0, 100.0, 25.0]);
+        let n = normalize(&[2.0, 4.0], 0);
+        assert_eq!(n, vec![100.0, 200.0]);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_input() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0).collect();
+        let s = Summary::of(&xs);
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - naive_mean).abs() < 1e-9);
+    }
+}

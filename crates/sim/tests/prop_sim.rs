@@ -1,0 +1,94 @@
+//! Property tests for the simulation core.
+
+use jem_energy::SimTime;
+use jem_sim::dist::SizeDist;
+use jem_sim::stats::{geomean, normalize, Summary};
+use jem_sim::EventQueue;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Events always pop in nondecreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_orders(times in prop::collection::vec(0.0f64..1e9, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_exact = f64::NAN;
+        let mut popped = 0;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t.nanos() >= last_t);
+            if t.nanos() == last_exact {
+                // FIFO among ties: insertion ids increase.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < id));
+                seen_at_time.push(id);
+            } else {
+                seen_at_time = vec![id];
+                last_exact = t.nanos();
+            }
+            last_t = t.nanos();
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Size distributions only produce values from their support.
+    #[test]
+    fn size_dists_respect_support(seed in any::<u64>(), lo in 1u32..100, span in 1u32..100, step in 1u32..10) {
+        let hi = lo + span * step;
+        let d = SizeDist::Range { lo, hi, step };
+        let support = d.support();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            prop_assert!(support.contains(&s), "{s} not in support");
+        }
+    }
+
+    /// Dominant distributions produce the main size with roughly the
+    /// requested probability.
+    #[test]
+    fn dominant_frequency(seed in any::<u64>(), p_main in 0.5f64..0.95) {
+        let d = SizeDist::Dominant { main: 64, p_main, others: vec![16, 32, 128] };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 4000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) == 64).count();
+        let frac = hits as f64 / n as f64;
+        prop_assert!((frac - p_main).abs() < 0.06, "{frac} vs {p_main}");
+    }
+
+    /// Welford summary matches naive computation.
+    #[test]
+    fn summary_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6_f64.max(mean.abs() * 1e-9));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Normalization maps the baseline to exactly 100 and preserves
+    /// ratios.
+    #[test]
+    fn normalize_preserves_ratios(xs in prop::collection::vec(0.1f64..1e9, 2..20), idx in 0usize..20) {
+        let idx = idx % xs.len();
+        let n = normalize(&xs, idx);
+        prop_assert!((n[idx] - 100.0).abs() < 1e-9);
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert!((n[i] / n[idx] - x / xs[idx]).abs() < 1e-9);
+        }
+    }
+
+    /// Geomean lies between min and max.
+    #[test]
+    fn geomean_bounds(xs in prop::collection::vec(0.1f64..1e6, 1..50)) {
+        let g = geomean(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo * 0.999999 && g <= hi * 1.000001);
+    }
+}

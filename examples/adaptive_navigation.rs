@@ -1,0 +1,70 @@
+//! A hand-held navigation device (the paper's Path-Finder scenario):
+//! the user repeatedly asks for shortest-path trees while walking
+//! through changing radio conditions — the signal degrades as they
+//! enter a building and recovers outside.
+//!
+//! Shows the adaptive strategy switching execution sites as the
+//! channel changes, and compares its total energy against the static
+//! strategies on the same trace.
+//!
+//! Run with: `cargo run --release --example adaptive_navigation`
+
+use jem::core::{run_scenario, Profile, Strategy};
+use jem::radio::{ChannelClass, ChannelProcess};
+use jem::sim::{Scenario, SizeDist, Situation};
+use jem_apps::workload_by_name;
+
+fn main() {
+    let pf = workload_by_name("pf").expect("pf");
+    println!("profiling path-finder...");
+    let profile = Profile::build(pf.as_ref(), 42);
+
+    // A walk: outdoors (C4) → entering a mall (C3/C2) → parking
+    // garage (C1) → back out. One shortest-path query per step.
+    let mut trace = Vec::new();
+    trace.extend(std::iter::repeat_n(ChannelClass::C4, 12));
+    trace.extend(std::iter::repeat_n(ChannelClass::C3, 6));
+    trace.extend(std::iter::repeat_n(ChannelClass::C2, 6));
+    trace.extend(std::iter::repeat_n(ChannelClass::C1, 12));
+    trace.extend(std::iter::repeat_n(ChannelClass::C2, 4));
+    trace.extend(std::iter::repeat_n(ChannelClass::C4, 10));
+    let steps = trace.len();
+
+    let scenario = Scenario {
+        situation: Situation::Uniform,
+        channel: ChannelProcess::trace(trace),
+        sizes: SizeDist::Choice(vec![64, 128]),
+        runs: steps,
+        seed: 99,
+    };
+
+    // The adaptive run, with the mode timeline.
+    let adaptive = run_scenario(pf.as_ref(), &profile, &scenario, Strategy::AdaptiveAdaptive);
+    println!("\nstep  channel  mode          energy");
+    for (i, r) in adaptive.reports.iter().enumerate() {
+        println!(
+            "{i:>4}  {}  {:<12} {}",
+            r.true_class,
+            r.mode.to_string(),
+            r.energy
+        );
+    }
+
+    // The comparison table.
+    println!("\nstrategy totals over the same walk:");
+    for strategy in Strategy::ALL {
+        let r = if strategy == Strategy::AdaptiveAdaptive {
+            adaptive.clone()
+        } else {
+            run_scenario(pf.as_ref(), &profile, &scenario, strategy)
+        };
+        println!(
+            "  {:<3} {:>12}   (remote {} / interpreted {} / native {:?})",
+            strategy.key(),
+            r.total_energy.to_string(),
+            r.stats.remote,
+            r.stats.interpreted,
+            r.stats.local,
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: the whole framework in one page.
+//!
+//! Builds a benchmark application (the function evaluator), profiles
+//! it (compile energies + curve-fitted execution/remote cost models),
+//! and runs it under the adaptive strategy while the wireless channel
+//! changes — printing where each invocation executed and what it cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use jem::core::{EnergyAwareVm, Profile, Strategy};
+use jem::radio::ChannelClass;
+use jem_apps::workload_by_name;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A workload: an MJVM program with one annotated "potential
+    //    method" (fe.integrate) plus its input generator.
+    let workload = workload_by_name("fe").expect("fe is built in");
+    println!("workload: {} — {}", workload.name(), workload.description());
+
+    // 2. Profile it: compile the plan at Local1/2/3, fit energy curves
+    //    over the calibration sizes, measure serialized sizes and
+    //    server times. This is what the paper embeds in the class file.
+    let profile = Profile::build(workload.as_ref(), 42);
+    println!(
+        "profile: compile energies L1/L2/L3 = {} / {} / {} (+ one-time compiler load {})",
+        profile.compile_energy[0],
+        profile.compile_energy[1],
+        profile.compile_energy[2],
+        profile.compiler_init_energy,
+    );
+
+    // 3. An energy-aware VM: mobile client + 750 MHz server + WCDMA
+    //    link + pilot channel estimator + per-method adaptive state.
+    let mut vm = EnergyAwareVm::new(workload.as_ref(), &profile);
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // 4. Invoke the potential method under the AA strategy while the
+    //    channel sweeps from great to terrible and back.
+    let channel_trace = [
+        ChannelClass::C4,
+        ChannelClass::C4,
+        ChannelClass::C4,
+        ChannelClass::C3,
+        ChannelClass::C2,
+        ChannelClass::C1,
+        ChannelClass::C1,
+        ChannelClass::C2,
+        ChannelClass::C3,
+        ChannelClass::C4,
+    ];
+    println!("\ninv  size  channel  executed as     energy");
+    for (i, &true_class) in channel_trace.iter().enumerate() {
+        let size = 2048;
+        let report = vm
+            .invoke_once(Strategy::AdaptiveAdaptive, size, true_class, &mut rng)
+            .expect("benchmark runs cleanly");
+        println!(
+            "{i:>3}  {size:>4}  {true_class}  {:<14} {}",
+            report.mode.to_string(),
+            report.energy
+        );
+        vm.end_invocation();
+    }
+
+    println!(
+        "\ntotals: {} over {}  (decisions: {:?})",
+        vm.total_energy(),
+        vm.total_time(),
+        vm.stats
+    );
+}

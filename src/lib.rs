@@ -1,0 +1,33 @@
+//! # jem — energy-aware compilation and execution for Java-like mobile VMs
+//!
+//! Facade crate re-exporting the whole workspace. This reproduces the
+//! system of Chen et al., *Energy-Aware Compilation and Execution in
+//! Java-Enabled Mobile Devices* (IPPS 2003): a miniature Java-like VM
+//! (MJVM) running on a simulated 100 MHz wireless PDA that dynamically
+//! decides, per method invocation, whether to
+//!
+//! * interpret bytecode locally,
+//! * JIT-compile locally at one of three optimization levels and run
+//!   natively,
+//! * download pre-compiled native code from a server (remote
+//!   compilation), or
+//! * ship the invocation to a 750 MHz server entirely (remote
+//!   execution), powering the client down while it waits —
+//!
+//! whichever minimizes the client's battery energy under the current
+//! wireless channel conditions and input sizes.
+//!
+//! See the sub-crates:
+//! * [`energy`] — instruction-level energy simulation (paper Fig 1),
+//! * [`radio`] — WCDMA component/channel model (paper Fig 2),
+//! * [`jvm`] — the MJVM: bytecode, interpreter, serializer, JIT,
+//! * [`sim`] — discrete-event core and scenario drivers,
+//! * [`core`] — the adaptive strategies (R/I/L1/L2/L3/AL/AA),
+//! * [`apps`] — the eight benchmarks (paper Fig 3).
+
+pub use jem_apps as apps;
+pub use jem_core as core;
+pub use jem_energy as energy;
+pub use jem_jvm as jvm;
+pub use jem_radio as radio;
+pub use jem_sim as sim;

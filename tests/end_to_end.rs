@@ -1,0 +1,119 @@
+//! End-to-end integration: profile a workload, run scenarios under
+//! every strategy, and check the paper's qualitative claims on a
+//! reduced grid.
+
+use jem::core::{run_scenario, Profile, Strategy};
+use jem::sim::{Scenario, Situation};
+use jem_apps::workload_by_name;
+
+#[test]
+fn fe_strategies_have_sane_relative_energies() {
+    let w = workload_by_name("fe").unwrap();
+    let profile = Profile::build(w.as_ref(), 42);
+
+    let scenario = Scenario::paper(Situation::GoodDominant, &w.sizes(), 1).with_runs(30);
+    let mut energies = Vec::new();
+    for strategy in Strategy::ALL {
+        let r = run_scenario(w.as_ref(), &profile, &scenario, strategy);
+        assert_eq!(r.invocations, 30);
+        assert!(r.total_energy.nanojoules() > 0.0, "{strategy}");
+        energies.push((strategy, r.total_energy));
+        println!(
+            "fe/{strategy}: total {} | per-inv {}",
+            r.total_energy,
+            r.mean_energy()
+        );
+    }
+
+    let get = |s: Strategy| {
+        energies
+            .iter()
+            .find(|(st, _)| *st == s)
+            .map(|(_, e)| *e)
+            .unwrap()
+    };
+
+    // Compiled beats interpreted for 30 invocations of a hot method.
+    assert!(
+        get(Strategy::Local1) < get(Strategy::Interpreter),
+        "L1 {} !< I {}",
+        get(Strategy::Local1),
+        get(Strategy::Interpreter)
+    );
+
+    // The adaptive strategy never loses badly to the best static one
+    // (paper: it *wins*; we allow a small tolerance on tiny grids).
+    let best_static = Strategy::STATIC
+        .iter()
+        .map(|&s| get(s))
+        .fold(get(Strategy::Remote), |a, b| if b < a { b } else { a });
+    let al = get(Strategy::AdaptiveLocal);
+    assert!(
+        al.nanojoules() <= best_static.nanojoules() * 1.10,
+        "AL {al} should be within 10% of best static {best_static}"
+    );
+}
+
+#[test]
+fn adaptive_results_match_static_results() {
+    // Whatever path executes the method, the computed values must be
+    // identical (differential correctness of the whole framework).
+    let w = workload_by_name("sort").unwrap();
+    let profile = Profile::build(w.as_ref(), 7);
+    let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 3).with_runs(8);
+
+    for strategy in Strategy::ALL {
+        let r = run_scenario(w.as_ref(), &profile, &scenario, strategy);
+        // run_scenario panics internally on VmError; reaching here with
+        // the right count is the check.
+        assert_eq!(r.reports.len(), 8, "{strategy}");
+    }
+}
+
+#[test]
+fn remote_wins_in_good_channel_for_compute_dense_small_io() {
+    // fe ships two floats + an int and gets one float back, but burns
+    // hundreds of thousands of interpreted instructions: the classic
+    // offloading win. In a Class 4 channel, Remote must beat
+    // Interpreter.
+    let w = workload_by_name("fe").unwrap();
+    let profile = Profile::build(w.as_ref(), 42);
+    let scenario = Scenario {
+        situation: Situation::GoodDominant,
+        channel: jem::radio::ChannelProcess::Fixed(jem::radio::ChannelClass::C4),
+        sizes: jem::sim::SizeDist::Fixed(4096),
+        runs: 10,
+        seed: 5,
+    };
+    let remote = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Remote);
+    let interp = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Interpreter);
+    assert!(
+        remote.total_energy < interp.total_energy,
+        "remote {} !< interp {}",
+        remote.total_energy,
+        interp.total_energy
+    );
+}
+
+#[test]
+fn remote_loses_in_poor_channel_with_heavy_io() {
+    // mf ships a whole image both ways; in a Class 1 channel the PA at
+    // 5.88 W makes that a terrible trade against local native code.
+    let w = workload_by_name("mf").unwrap();
+    let profile = Profile::build(w.as_ref(), 42);
+    let scenario = Scenario {
+        situation: Situation::PoorDominant,
+        channel: jem::radio::ChannelProcess::Fixed(jem::radio::ChannelClass::C1),
+        sizes: jem::sim::SizeDist::Fixed(32),
+        runs: 10,
+        seed: 5,
+    };
+    let remote = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Remote);
+    let l2 = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Local2);
+    assert!(
+        l2.total_energy < remote.total_energy,
+        "L2 {} !< remote {}",
+        l2.total_energy,
+        remote.total_energy
+    );
+}

@@ -1,0 +1,131 @@
+//! Reduced-scale assertions of the paper's figure shapes (the full
+//! grids live in `jem-bench`; these run in the ordinary test suite).
+
+use jem::core::{run_scenario, Profile, Strategy};
+use jem::jvm::OptLevel;
+use jem::radio::{ChannelClass, ChannelProcess};
+use jem::sim::{Scenario, SizeDist, Situation};
+use jem_apps::workload_by_name;
+
+fn fixed_scenario(size: u32, class: ChannelClass, runs: usize) -> Scenario {
+    Scenario {
+        situation: Situation::Uniform,
+        channel: ChannelProcess::Fixed(class),
+        sizes: SizeDist::Fixed(size),
+        runs,
+        seed: 7,
+    }
+}
+
+/// Fig 6, small input: one cold invocation — remote in a good channel
+/// and plain interpretation both beat every compile-first strategy.
+#[test]
+fn fig6_small_input_ordering() {
+    let w = workload_by_name("hpf").unwrap();
+    let p = Profile::build(w.as_ref(), 42);
+    let energy = |s: Strategy, c: ChannelClass| {
+        run_scenario(w.as_ref(), &p, &fixed_scenario(8, c, 1), s).total_energy
+    };
+    let r4 = energy(Strategy::Remote, ChannelClass::C4);
+    let i = energy(Strategy::Interpreter, ChannelClass::C4);
+    let l1 = energy(Strategy::Local1, ChannelClass::C4);
+    let l2 = energy(Strategy::Local2, ChannelClass::C4);
+    assert!(r4 < i, "R(C4) {r4} !< I {i}");
+    assert!(i < l1, "I {i} !< L1 {l1}");
+    assert!(i < l2, "I {i} !< L2 {l2}");
+    // Remote cost rises monotonically as the channel degrades.
+    let r3 = energy(Strategy::Remote, ChannelClass::C3);
+    let r2 = energy(Strategy::Remote, ChannelClass::C2);
+    let r1 = energy(Strategy::Remote, ChannelClass::C1);
+    assert!(r4 < r3 && r3 < r2 && r2 < r1);
+}
+
+/// Fig 6, large input: L2 beats both L1 and remote execution at C4
+/// (the paper's 512x512 column), and interpretation is the worst
+/// local choice.
+#[test]
+fn fig6_large_input_ordering() {
+    let w = workload_by_name("hpf").unwrap();
+    let p = Profile::build(w.as_ref(), 42);
+    let energy = |s: Strategy| {
+        run_scenario(
+            w.as_ref(),
+            &p,
+            &fixed_scenario(128, ChannelClass::C4, 1),
+            s,
+        )
+        .total_energy
+    };
+    let r = energy(Strategy::Remote);
+    let i = energy(Strategy::Interpreter);
+    let l1 = energy(Strategy::Local1);
+    let l2 = energy(Strategy::Local2);
+    assert!(l2 < l1, "L2 {l2} !< L1 {l1}");
+    assert!(l2 < r, "L2 {l2} !< R {r}");
+    assert!(l1 < i, "L1 {l1} !< I {i}");
+}
+
+/// Fig 8 shapes: local compile energy grows strictly with the level;
+/// remote compilation gets cheaper as the channel improves; and for a
+/// compile-heavy app, downloading beats local compilation in a good
+/// channel (the paper's db observation).
+#[test]
+fn fig8_compilation_shapes() {
+    let w = workload_by_name("db").unwrap();
+    let p = Profile::build(w.as_ref(), 42);
+    let local = |l: OptLevel| p.e_compile_local(l, false);
+    assert!(local(OptLevel::L1) < local(OptLevel::L2));
+    assert!(local(OptLevel::L2) < local(OptLevel::L3));
+    let remote = |c: ChannelClass| p.e_remote_compile(OptLevel::L2, c);
+    assert!(remote(ChannelClass::C4) < remote(ChannelClass::C3));
+    assert!(remote(ChannelClass::C3) < remote(ChannelClass::C2));
+    assert!(remote(ChannelClass::C2) < remote(ChannelClass::C1));
+    assert!(
+        remote(ChannelClass::C4) < local(OptLevel::L2),
+        "db: download at C4 should beat compiling locally"
+    );
+}
+
+/// Fig 7 mechanism, distilled: for a compute-dense method with tiny
+/// I/O (fe), the adaptive strategies exploit remote execution and
+/// beat the best static local strategy over a run.
+#[test]
+fn fig7_adaptive_wins_on_offloadable_workload() {
+    let w = workload_by_name("fe").unwrap();
+    let p = Profile::build(w.as_ref(), 42);
+    let scenario = Scenario::paper(Situation::GoodDominant, &w.sizes(), 3).with_runs(60);
+    let e = |s: Strategy| run_scenario(w.as_ref(), &p, &scenario, s).total_energy;
+    let best_static = [
+        e(Strategy::Remote),
+        e(Strategy::Interpreter),
+        e(Strategy::Local1),
+        e(Strategy::Local2),
+        e(Strategy::Local3),
+    ]
+    .into_iter()
+    .reduce(|a, b| if b < a { b } else { a })
+    .unwrap();
+    let aa = e(Strategy::AdaptiveAdaptive);
+    assert!(
+        aa.nanojoules() <= best_static.nanojoules() * 1.05,
+        "AA {aa} should be within 5% of (or beat) best static {best_static}"
+    );
+}
+
+/// The AA refinement never loses to AL (it has a superset of choices
+/// and the same decision rule).
+#[test]
+fn aa_no_worse_than_al() {
+    for name in ["fe", "db"] {
+        let w = workload_by_name(name).unwrap();
+        let p = Profile::build(w.as_ref(), 42);
+        let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 5).with_runs(50);
+        let al = run_scenario(w.as_ref(), &p, &scenario, Strategy::AdaptiveLocal).total_energy;
+        let aa =
+            run_scenario(w.as_ref(), &p, &scenario, Strategy::AdaptiveAdaptive).total_energy;
+        assert!(
+            aa.nanojoules() <= al.nanojoules() * 1.01,
+            "{name}: AA {aa} worse than AL {al}"
+        );
+    }
+}
