@@ -44,9 +44,7 @@ pub fn build_program() -> Program {
                     while_(
                         var("moving").bitand(var("j").ge(iconst(0))),
                         vec![if_else(
-                            var("c")
-                                .index(var("ids").index(var("j")))
-                                .gt(var("key")),
+                            var("c").index(var("ids").index(var("j"))).gt(var("key")),
                             vec![
                                 set_index(
                                     var("ids"),

@@ -75,15 +75,101 @@ pub fn build_program() -> Program {
                     vec![
                         let_("acc", iconst(0)),
                         // Unrolled kernel taps keep the DSL readable.
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x").sub(iconst(1))]))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x")]).mul(iconst(2)))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x").add(iconst(1))]))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x").sub(iconst(1))]).mul(iconst(2)))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x")]).mul(iconst(4)))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y"), var("x").add(iconst(1))]).mul(iconst(2)))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x").sub(iconst(1))]))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x")]).mul(iconst(2)))),
-                        assign("acc", var("acc").add(call("px", vec![var("s"), var("img"), var("y").add(iconst(1)), var("x").add(iconst(1))]))),
+                        assign(
+                            "acc",
+                            var("acc").add(call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("img"),
+                                    var("y").sub(iconst(1)),
+                                    var("x").sub(iconst(1)),
+                                ],
+                            )),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(
+                                call(
+                                    "px",
+                                    vec![var("s"), var("img"), var("y").sub(iconst(1)), var("x")],
+                                )
+                                .mul(iconst(2)),
+                            ),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("img"),
+                                    var("y").sub(iconst(1)),
+                                    var("x").add(iconst(1)),
+                                ],
+                            )),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(
+                                call(
+                                    "px",
+                                    vec![var("s"), var("img"), var("y"), var("x").sub(iconst(1))],
+                                )
+                                .mul(iconst(2)),
+                            ),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(
+                                call("px", vec![var("s"), var("img"), var("y"), var("x")])
+                                    .mul(iconst(4)),
+                            ),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(
+                                call(
+                                    "px",
+                                    vec![var("s"), var("img"), var("y"), var("x").add(iconst(1))],
+                                )
+                                .mul(iconst(2)),
+                            ),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("img"),
+                                    var("y").add(iconst(1)),
+                                    var("x").sub(iconst(1)),
+                                ],
+                            )),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(
+                                call(
+                                    "px",
+                                    vec![var("s"), var("img"), var("y").add(iconst(1)), var("x")],
+                                )
+                                .mul(iconst(2)),
+                            ),
+                        ),
+                        assign(
+                            "acc",
+                            var("acc").add(call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("img"),
+                                    var("y").add(iconst(1)),
+                                    var("x").add(iconst(1)),
+                                ],
+                            )),
+                        ),
                         set_index(
                             var("out"),
                             var("y").mul(var("s")).add(var("x")),
@@ -116,14 +202,82 @@ pub fn build_program() -> Program {
                     iconst(0),
                     var("s"),
                     vec![
-                        let_("p00", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x").sub(iconst(1))])),
-                        let_("p01", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x")])),
-                        let_("p02", call("px", vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x").add(iconst(1))])),
-                        let_("p10", call("px", vec![var("s"), var("sm"), var("y"), var("x").sub(iconst(1))])),
-                        let_("p12", call("px", vec![var("s"), var("sm"), var("y"), var("x").add(iconst(1))])),
-                        let_("p20", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x").sub(iconst(1))])),
-                        let_("p21", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x")])),
-                        let_("p22", call("px", vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x").add(iconst(1))])),
+                        let_(
+                            "p00",
+                            call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("sm"),
+                                    var("y").sub(iconst(1)),
+                                    var("x").sub(iconst(1)),
+                                ],
+                            ),
+                        ),
+                        let_(
+                            "p01",
+                            call(
+                                "px",
+                                vec![var("s"), var("sm"), var("y").sub(iconst(1)), var("x")],
+                            ),
+                        ),
+                        let_(
+                            "p02",
+                            call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("sm"),
+                                    var("y").sub(iconst(1)),
+                                    var("x").add(iconst(1)),
+                                ],
+                            ),
+                        ),
+                        let_(
+                            "p10",
+                            call(
+                                "px",
+                                vec![var("s"), var("sm"), var("y"), var("x").sub(iconst(1))],
+                            ),
+                        ),
+                        let_(
+                            "p12",
+                            call(
+                                "px",
+                                vec![var("s"), var("sm"), var("y"), var("x").add(iconst(1))],
+                            ),
+                        ),
+                        let_(
+                            "p20",
+                            call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("sm"),
+                                    var("y").add(iconst(1)),
+                                    var("x").sub(iconst(1)),
+                                ],
+                            ),
+                        ),
+                        let_(
+                            "p21",
+                            call(
+                                "px",
+                                vec![var("s"), var("sm"), var("y").add(iconst(1)), var("x")],
+                            ),
+                        ),
+                        let_(
+                            "p22",
+                            call(
+                                "px",
+                                vec![
+                                    var("s"),
+                                    var("sm"),
+                                    var("y").add(iconst(1)),
+                                    var("x").add(iconst(1)),
+                                ],
+                            ),
+                        ),
                         // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
                         let_(
                             "gx",
@@ -181,11 +335,32 @@ pub fn build_program() -> Program {
                         let_("d", var("dir").index(var("idx"))),
                         let_("dy", iconst(0)),
                         let_("dx", iconst(1)),
-                        if_(var("d").eq(iconst(1)), vec![assign("dy", iconst(1)), assign("dx", iconst(1))]),
-                        if_(var("d").eq(iconst(2)), vec![assign("dy", iconst(1)), assign("dx", iconst(0))]),
-                        if_(var("d").eq(iconst(3)), vec![assign("dy", iconst(1)), assign("dx", iconst(-1))]),
-                        let_("n1", var("y").add(var("dy")).mul(var("s")).add(var("x").add(var("dx")))),
-                        let_("n2", var("y").sub(var("dy")).mul(var("s")).add(var("x").sub(var("dx")))),
+                        if_(
+                            var("d").eq(iconst(1)),
+                            vec![assign("dy", iconst(1)), assign("dx", iconst(1))],
+                        ),
+                        if_(
+                            var("d").eq(iconst(2)),
+                            vec![assign("dy", iconst(1)), assign("dx", iconst(0))],
+                        ),
+                        if_(
+                            var("d").eq(iconst(3)),
+                            vec![assign("dy", iconst(1)), assign("dx", iconst(-1))],
+                        ),
+                        let_(
+                            "n1",
+                            var("y")
+                                .add(var("dy"))
+                                .mul(var("s"))
+                                .add(var("x").add(var("dx"))),
+                        ),
+                        let_(
+                            "n2",
+                            var("y")
+                                .sub(var("dy"))
+                                .mul(var("s"))
+                                .add(var("x").sub(var("dx"))),
+                        ),
                         if_else(
                             var("mv")
                                 .ge(var("mag").index(var("n1")))
@@ -240,14 +415,9 @@ pub fn build_program() -> Program {
                                     vec![
                                         let_("ni", var("ny").mul(var("s")).add(var("nx"))),
                                         if_(
-                                            var("out")
-                                                .index(var("ni"))
-                                                .eq(iconst(0))
-                                                .bitand(
-                                                    var("nms")
-                                                        .index(var("ni"))
-                                                        .ge(iconst(LO_THRESH)),
-                                                ),
+                                            var("out").index(var("ni")).eq(iconst(0)).bitand(
+                                                var("nms").index(var("ni")).ge(iconst(LO_THRESH)),
+                                            ),
                                             vec![
                                                 set_index(var("out"), var("ni"), iconst(255)),
                                                 set_index(var("stack"), var("sp"), var("ni")),
@@ -429,10 +599,7 @@ impl Workload for Ed {
             _ => return Some(false),
         };
         let out = read_ints(heap, h);
-        Some(
-            out.len() == (size * size) as usize
-                && out.iter().all(|&p| p == 0 || p == 255),
-        )
+        Some(out.len() == (size * size) as usize && out.iter().all(|&p| p == 0 || p == 255))
     }
 }
 
@@ -470,7 +637,10 @@ mod tests {
         let mut vm = Vm::client(w.program());
         let h = alloc_ints(&mut vm.heap, &img);
         let out = vm
-            .invoke(w.potential_method(), vec![Value::Int(s as i32), Value::Ref(h)])
+            .invoke(
+                w.potential_method(),
+                vec![Value::Int(s as i32), Value::Ref(h)],
+            )
             .unwrap();
         let res = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
         let edges = res.iter().filter(|&&p| p == 255).count();
@@ -490,7 +660,10 @@ mod tests {
         let mut vm = Vm::client(w.program());
         let h = alloc_ints(&mut vm.heap, &img);
         let out = vm
-            .invoke(w.potential_method(), vec![Value::Int(s as i32), Value::Ref(h)])
+            .invoke(
+                w.potential_method(),
+                vec![Value::Int(s as i32), Value::Ref(h)],
+            )
             .unwrap();
         let res = read_ints(&vm.heap, out.unwrap().as_ref().unwrap());
         assert!(res.iter().all(|&p| p == 0));

@@ -33,10 +33,7 @@ pub fn build_program() -> Program {
         ],
         Some(DType::Float),
         vec![
-            let_(
-                "h",
-                var("hi").sub(var("lo")).div(var("steps").to_f()),
-            ),
+            let_("h", var("hi").sub(var("lo")).div(var("steps").to_f())),
             let_("acc", fconst(0.0)),
             for_(
                 "i",
@@ -45,12 +42,7 @@ pub fn build_program() -> Program {
                 vec![
                     let_(
                         "x",
-                        var("lo").add(
-                            var("i")
-                                .to_f()
-                                .add(fconst(0.5))
-                                .mul(var("h")),
-                        ),
+                        var("lo").add(var("i").to_f().add(fconst(0.5)).mul(var("h"))),
                     ),
                     assign("acc", var("acc").add(call("f", vec![var("x")]))),
                 ],
@@ -88,7 +80,9 @@ impl Fe {
     /// Build the workload.
     pub fn new() -> Fe {
         let program = build_program();
-        let method = program.find_method(MODULE_CLASS, "integrate").expect("method");
+        let method = program
+            .find_method(MODULE_CLASS, "integrate")
+            .expect("method");
         Fe { program, method }
     }
 }
@@ -175,7 +169,12 @@ mod tests {
         let fe = Fe::new();
         let m = fe.potential_method();
         let mut expect = None;
-        for level in [None, Some(jem_jvm::OptLevel::L1), Some(jem_jvm::OptLevel::L2), Some(jem_jvm::OptLevel::L3)] {
+        for level in [
+            None,
+            Some(jem_jvm::OptLevel::L1),
+            Some(jem_jvm::OptLevel::L2),
+            Some(jem_jvm::OptLevel::L3),
+        ] {
             let mut vm = Vm::client(fe.program());
             if let Some(level) = level {
                 for mm in [fe.program().find_method(MODULE_CLASS, "f").unwrap(), m] {

@@ -95,14 +95,11 @@ pub fn build_program() -> Program {
                             vec![assign(
                                 "acc",
                                 var("acc").add(
-                                    var("b")
-                                        .index(var("r").mul(iconst(8)).add(var("nn")))
-                                        .mul(var("cosv").index(
-                                            var("nn")
-                                                .mul(iconst(2))
-                                                .add(iconst(1))
-                                                .mul(var("u")),
-                                        )),
+                                    var("b").index(var("r").mul(iconst(8)).add(var("nn"))).mul(
+                                        var("cosv").index(
+                                            var("nn").mul(iconst(2)).add(iconst(1)).mul(var("u")),
+                                        ),
+                                    ),
                                 ),
                             )],
                         ),
@@ -141,14 +138,11 @@ pub fn build_program() -> Program {
                             vec![assign(
                                 "acc",
                                 var("acc").add(
-                                    var("b")
-                                        .index(var("nn").mul(iconst(8)).add(var("c")))
-                                        .mul(var("cosv").index(
-                                            var("nn")
-                                                .mul(iconst(2))
-                                                .add(iconst(1))
-                                                .mul(var("u")),
-                                        )),
+                                    var("b").index(var("nn").mul(iconst(8)).add(var("c"))).mul(
+                                        var("cosv").index(
+                                            var("nn").mul(iconst(2)).add(iconst(1)).mul(var("u")),
+                                        ),
+                                    ),
                                 ),
                             )],
                         ),
@@ -180,10 +174,7 @@ pub fn build_program() -> Program {
                     iconst(0),
                     iconst(8),
                     vec![
-                        let_(
-                            "acc",
-                            var("b").index(var("c")).div(fconst(2.0)),
-                        ),
+                        let_("acc", var("b").index(var("c")).div(fconst(2.0))),
                         for_(
                             "u",
                             iconst(1),
@@ -191,14 +182,11 @@ pub fn build_program() -> Program {
                             vec![assign(
                                 "acc",
                                 var("acc").add(
-                                    var("b")
-                                        .index(var("u").mul(iconst(8)).add(var("c")))
-                                        .mul(var("cosv").index(
-                                            var("nn")
-                                                .mul(iconst(2))
-                                                .add(iconst(1))
-                                                .mul(var("u")),
-                                        )),
+                                    var("b").index(var("u").mul(iconst(8)).add(var("c"))).mul(
+                                        var("cosv").index(
+                                            var("nn").mul(iconst(2)).add(iconst(1)).mul(var("u")),
+                                        ),
+                                    ),
                                 ),
                             )],
                         ),
@@ -244,14 +232,11 @@ pub fn build_program() -> Program {
                             vec![assign(
                                 "acc",
                                 var("acc").add(
-                                    var("b")
-                                        .index(var("r").mul(iconst(8)).add(var("u")))
-                                        .mul(var("cosv").index(
-                                            var("nn")
-                                                .mul(iconst(2))
-                                                .add(iconst(1))
-                                                .mul(var("u")),
-                                        )),
+                                    var("b").index(var("r").mul(iconst(8)).add(var("u"))).mul(
+                                        var("cosv").index(
+                                            var("nn").mul(iconst(2)).add(iconst(1)).mul(var("u")),
+                                        ),
+                                    ),
                                 ),
                             )],
                         ),
@@ -318,7 +303,10 @@ pub fn build_program() -> Program {
                         ),
                         // Forward 2-D DCT.
                         expr_stmt(call("dct8_rows", vec![var("blk"), var("tmp"), var("cosv")])),
-                        expr_stmt(call("dct8_cols", vec![var("tmp"), var("coef"), var("cosv")])),
+                        expr_stmt(call(
+                            "dct8_cols",
+                            vec![var("tmp"), var("coef"), var("cosv")],
+                        )),
                         // Zero low-frequency coefficients (u + v < thresh).
                         for_(
                             "u",
@@ -339,8 +327,14 @@ pub fn build_program() -> Program {
                             )],
                         ),
                         // Inverse 2-D DCT.
-                        expr_stmt(call("idct8_cols", vec![var("coef"), var("tmp"), var("cosv")])),
-                        expr_stmt(call("idct8_rows", vec![var("tmp"), var("blk"), var("cosv")])),
+                        expr_stmt(call(
+                            "idct8_cols",
+                            vec![var("coef"), var("tmp"), var("cosv")],
+                        )),
+                        expr_stmt(call(
+                            "idct8_rows",
+                            vec![var("tmp"), var("blk"), var("cosv")],
+                        )),
                         // Store block, re-centered on mid-gray.
                         for_(
                             "y",

@@ -54,16 +54,10 @@ pub fn build_program() -> Program {
                                     .index(var("a1").index(var("r")))
                                     .gt(iconst(0))
                                     .bitand(
-                                        var("facts")
-                                            .index(var("a2").index(var("r")))
-                                            .gt(iconst(0)),
+                                        var("facts").index(var("a2").index(var("r"))).gt(iconst(0)),
                                     ),
                                 vec![
-                                    set_index(
-                                        var("facts"),
-                                        var("cons").index(var("r")),
-                                        iconst(1),
-                                    ),
+                                    set_index(var("facts"), var("cons").index(var("r")), iconst(1)),
                                     set_index(var("fired"), var("r"), iconst(1)),
                                     assign("changed", iconst(1)),
                                     assign("count", var("count").add(iconst(1))),

@@ -70,10 +70,9 @@ mod tests {
     #[test]
     fn every_workload_builds_verifies_and_partitions() {
         for w in all_workloads() {
-            verify_program(w.program())
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
-            let part = Partition::analyze(w.program())
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            verify_program(w.program()).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+            let part =
+                Partition::analyze(w.program()).unwrap_or_else(|e| panic!("{}: {e}", w.name()));
             assert!(
                 part.is_potential(w.potential_method()),
                 "{}: potential method not annotated",

@@ -115,8 +115,7 @@ pub fn build_program() -> Program {
                                     set_index(
                                         var("win"),
                                         var("k"),
-                                        var("img")
-                                            .index(var("yy").mul(var("s")).add(var("xx"))),
+                                        var("img").index(var("yy").mul(var("s")).add(var("xx"))),
                                     ),
                                     assign("k", var("k").add(iconst(1))),
                                 ],

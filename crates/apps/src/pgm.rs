@@ -206,10 +206,7 @@ mod tests {
         assert_eq!(Pgm::parse(b"JPEG"), Err(PgmError::BadMagic));
         assert_eq!(Pgm::parse(b"P5\n3 2\n255\nab"), Err(PgmError::Truncated));
         assert_eq!(Pgm::parse(b"P2\nx y\n255\n"), Err(PgmError::BadHeader));
-        assert_eq!(
-            Pgm::parse(b"P2\n1 1\n100\n200\n"),
-            Err(PgmError::BadPixel)
-        );
+        assert_eq!(Pgm::parse(b"P2\n1 1\n100\n200\n"), Err(PgmError::BadPixel));
         assert_eq!(Pgm::parse(b"P2\n0 1\n255\n"), Err(PgmError::BadHeader));
     }
 

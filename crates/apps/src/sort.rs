@@ -23,7 +23,11 @@ pub fn build_program() -> Program {
     // Insertion sort of a[lo..hi).
     m.func(
         "isort",
-        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        vec![
+            ("a", DType::int_arr()),
+            ("lo", DType::Int),
+            ("hi", DType::Int),
+        ],
         None,
         vec![
             for_(
@@ -61,7 +65,11 @@ pub fn build_program() -> Program {
     // Median-of-three pivot *value* for a[lo..hi).
     m.func(
         "pivot",
-        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        vec![
+            ("a", DType::int_arr()),
+            ("lo", DType::Int),
+            ("hi", DType::Int),
+        ],
         Some(DType::Int),
         vec![
             let_("x", var("a").index(var("lo"))),
@@ -85,10 +93,7 @@ pub fn build_program() -> Program {
                 vec![
                     assign("y", var("z")),
                     // y is now min(y,z); re-establish x<=y
-                    if_(
-                        var("x").gt(var("y")),
-                        vec![assign("y", var("x"))],
-                    ),
+                    if_(var("x").gt(var("y")), vec![assign("y", var("x"))]),
                 ],
             ),
             ret(var("y")),
@@ -134,7 +139,11 @@ pub fn build_program() -> Program {
     // Quicksort with smaller-side recursion.
     m.func(
         "qsort",
-        vec![("a", DType::int_arr()), ("lo", DType::Int), ("hi", DType::Int)],
+        vec![
+            ("a", DType::int_arr()),
+            ("lo", DType::Int),
+            ("hi", DType::Int),
+        ],
         None,
         vec![
             let_("l", var("lo")),
@@ -142,16 +151,10 @@ pub fn build_program() -> Program {
             while_(
                 var("h").sub(var("l")).gt(iconst(CUTOFF)),
                 vec![
-                    let_(
-                        "p",
-                        call("pivot", vec![var("a"), var("l"), var("h")]),
-                    ),
+                    let_("p", call("pivot", vec![var("a"), var("l"), var("h")])),
                     let_(
                         "mid",
-                        call(
-                            "partition",
-                            vec![var("a"), var("l"), var("h"), var("p")],
-                        ),
+                        call("partition", vec![var("a"), var("l"), var("h"), var("p")]),
                     ),
                     if_else(
                         var("mid").sub(var("l")).lt(var("h").sub(var("mid"))),
@@ -282,8 +285,8 @@ mod tests {
             vec![],
             vec![1],
             vec![2, 1],
-            vec![5; 100],                        // all equal
-            (0..200).collect::<Vec<i32>>(),      // sorted
+            vec![5; 100],                         // all equal
+            (0..200).collect::<Vec<i32>>(),       // sorted
             (0..200).rev().collect::<Vec<i32>>(), // reversed
         ] {
             let mut vm = Vm::client(w.program());

@@ -36,9 +36,7 @@ fn bench_interpreter(c: &mut Criterion) {
 fn bench_native(c: &mut Criterion) {
     let w = workload_by_name("sort").expect("sort");
     let compiled: Vec<_> = (0..w.program().methods.len())
-        .map(|i| {
-            Rc::new(compile(w.program(), jem_jvm::MethodId(i as u32), OptLevel::L2).code)
-        })
+        .map(|i| Rc::new(compile(w.program(), jem_jvm::MethodId(i as u32), OptLevel::L2).code))
         .collect();
     c.bench_function("native-l2/sort-256", |b| {
         b.iter_batched(
@@ -109,8 +107,7 @@ fn bench_scenario(c: &mut Criterion) {
     let profile = Profile::build(w.as_ref(), 42);
     c.bench_function("scenario/fe-al-10-invocations", |b| {
         let scenario =
-            jem_sim::Scenario::paper(jem_sim::Situation::GoodDominant, &w.sizes(), 5)
-                .with_runs(10);
+            jem_sim::Scenario::paper(jem_sim::Situation::GoodDominant, &w.sizes(), 5).with_runs(10);
         b.iter(|| {
             black_box(jem_core::run_scenario(
                 w.as_ref(),

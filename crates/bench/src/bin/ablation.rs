@@ -96,7 +96,10 @@ fn main() {
         "Ablation 2: power-down during remote execution",
         &["variant", "total energy"],
         &[
-            vec!["power-down (10% leakage)".into(), format!("{:.2} mJ", on * 1e-6)],
+            vec![
+                "power-down (10% leakage)".into(),
+                format!("{:.2} mJ", on * 1e-6),
+            ],
             vec!["active idle".into(), format!("{:.2} mJ", off * 1e-6)],
         ],
     );
@@ -115,8 +118,14 @@ fn main() {
         "Ablation 3: pilot-based TX power control vs fixed Class 1 power",
         &["variant", "total energy"],
         &[
-            vec!["pilot-tracked class".into(), format!("{:.2} mJ", tracked * 1e-6)],
-            vec!["always Class 1 (5.88 W)".into(), format!("{:.2} mJ", fixed * 1e-6)],
+            vec![
+                "pilot-tracked class".into(),
+                format!("{:.2} mJ", tracked * 1e-6),
+            ],
+            vec![
+                "always Class 1 (5.88 W)".into(),
+                format!("{:.2} mJ", fixed * 1e-6),
+            ],
         ],
     );
 

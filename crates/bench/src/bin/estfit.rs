@@ -34,14 +34,16 @@ fn main() {
             // Held-out size: snap a uniform draw to the workload's
             // granularity by picking any supported size plus random
             // in-range values for workloads with dense size spaces.
-            let size = if w.name() == "fe" || w.name() == "sort" || w.name() == "jess" || w.name() == "db" {
-                rng.gen_range(lo..=hi)
-            } else {
-                // image sizes must stay multiples of 8
-                let step = 8;
-                let k = rng.gen_range(lo / step..=hi / step);
-                k * step
-            };
+            let size =
+                if w.name() == "fe" || w.name() == "sort" || w.name() == "jess" || w.name() == "db"
+                {
+                    rng.gen_range(lo..=hi)
+                } else {
+                    // image sizes must stay multiples of 8
+                    let step = 8;
+                    let k = rng.gen_range(lo / step..=hi / step);
+                    k * step
+                };
             let mut run_rng = SmallRng::seed_from_u64(0x5EED + i);
 
             // Actual interpreted energy.

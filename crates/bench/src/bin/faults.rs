@@ -1,0 +1,110 @@
+//! faults — resilience sweep: energy vs. burst-loss severity.
+//!
+//! Runs the paper's situation (i) scenario over a degraded network
+//! (Gilbert–Elliott bursty response loss + a flaky server + rare
+//! payload corruption, [`jem_sim::FaultSpec::degraded`]) and sweeps
+//! the bad-state loss severity, comparing
+//!
+//! * **AA** under the default resilience policy (energy-budgeted
+//!   retries + circuit breaker: remote execution is blacklisted after
+//!   consecutive failures and AA degrades to AL until a half-open
+//!   probe succeeds),
+//! * **AA naive** — the paper-implied policy (time out once, fall back
+//!   to local interpretation, try remote again next invocation), and
+//! * **AL** (never offloads; the loss-immune baseline).
+//!
+//! Everything derives from one seed, so the table is reproducible
+//! bit-for-bit; rerun with `--seed N` to vary it.
+//!
+//! Usage: `faults [--runs N] [--seed N]` (default 300 runs, seed 7).
+
+use jem_apps::workload_by_name;
+use jem_bench::{arg_usize, print_table};
+use jem_core::{run_scenario_with, Profile, ResilienceConfig, ScenarioResult, Strategy};
+use jem_sim::{Scenario, Situation};
+
+const LOSS_SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs = arg_usize(&args, "--runs", 300);
+    let seed = arg_usize(&args, "--seed", 7) as u64;
+
+    // fe (numerical integration) is the offload-friendly benchmark:
+    // heavy computation, tiny payloads, so AA keeps choosing remote
+    // execution and actually meets the injected faults.
+    let w = workload_by_name("fe").expect("known workload");
+    let profile = Profile::build(w.as_ref(), 42);
+    let resilient = ResilienceConfig::default();
+    let naive = ResilienceConfig::naive();
+
+    println!("Resilience sweep: situation (i), {runs} invocations, seed {seed}");
+    println!("(energy in mJ; GE bad-state loss on the left, ~25% of requests in bursts)");
+
+    let mut rows = Vec::new();
+    for loss_bad in LOSS_SEVERITIES {
+        let scenario =
+            Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), seed, loss_bad)
+                .with_runs(runs);
+        let aa = run_scenario_with(
+            w.as_ref(),
+            &profile,
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &resilient,
+        );
+        let aa_naive = run_scenario_with(
+            w.as_ref(),
+            &profile,
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &naive,
+        );
+        let al = run_scenario_with(
+            w.as_ref(),
+            &profile,
+            &scenario,
+            Strategy::AdaptiveLocal,
+            &resilient,
+        );
+        let mj = |r: &ScenarioResult| format!("{:.1}", r.total_energy.millijoules());
+        rows.push(vec![
+            format!("{loss_bad:.2}"),
+            mj(&aa),
+            mj(&aa_naive),
+            mj(&al),
+            format!("{:.1}", aa.stats.wasted_energy.millijoules()),
+            format!("{:.1}", aa_naive.stats.wasted_energy.millijoules()),
+            format!("{}", aa.stats.retries),
+            format!("{}/{}", aa.stats.breaker_trips, aa.stats.breaker_recoveries),
+            format!("{}", aa.stats.degraded),
+            format!("{}/{}", aa.stats.fallbacks, aa_naive.stats.fallbacks),
+        ]);
+    }
+    print_table(
+        "fe, AA resilient vs AA naive vs AL",
+        &[
+            "loss_bad",
+            "AA",
+            "AA naive",
+            "AL",
+            "AA waste",
+            "naive waste",
+            "retries",
+            "trips/recov",
+            "degraded",
+            "fallbacks",
+        ],
+        &rows,
+    );
+    println!(
+        "\nAt the default 300 invocations the AA column is strictly below the\n\
+         AA-naive column at every severity (short runs can flip single\n\
+         cells — one unlucky breaker cooldown dominates); the gap opens with\n\
+         burst severity as the breaker converts repeated timeouts into\n\
+         AL-style local execution, then probes its way back after bursts.\n\
+         (AA equals AL exactly for fe: remote *compilation* is never the\n\
+         argmin for this workload, so the two adaptive strategies make\n\
+         identical choices under the same resilience policy.)"
+    );
+}

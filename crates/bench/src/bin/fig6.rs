@@ -21,7 +21,7 @@ use jem_apps::workload_by_name;
 use jem_bench::{arg_flag, fmt_norm, print_table};
 use jem_core::{run_scenario, Profile, Strategy};
 use jem_radio::{ChannelClass, ChannelProcess};
-use jem_sim::{Scenario, SizeDist, Situation};
+use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -57,6 +57,7 @@ fn main() {
                     sizes: SizeDist::Fixed(size),
                     runs: 1,
                     seed: 11,
+                    faults: jem_sim::FaultSpec::NONE,
                 };
                 run_scenario(w.as_ref(), &profile, &scenario, strategy)
                     .total_energy

@@ -112,7 +112,9 @@ fn main() {
         .chain(Strategy::ALL.iter().map(|s| s.key()))
         .collect();
     print_table(
-        &format!("Fig 7: average normalized energy over 8 benchmarks ({runs} runs/scenario, L1 = 100)"),
+        &format!(
+            "Fig 7: average normalized energy over 8 benchmarks ({runs} runs/scenario, L1 = 100)"
+        ),
         &headers,
         &rows,
     );

@@ -56,7 +56,16 @@ fn main() {
     }
     print_table(
         "Fig 8: local and remote compilation energies (local Level1 = 100)",
-        &["app", "level", "local", "C1", "C2", "C3", "C4", "code bytes"],
+        &[
+            "app",
+            "level",
+            "local",
+            "C1",
+            "C2",
+            "C3",
+            "C4",
+            "code bytes",
+        ],
         &rows,
     );
 

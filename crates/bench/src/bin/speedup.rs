@@ -18,7 +18,7 @@ use jem_apps::all_workloads;
 use jem_bench::{build_profiles, print_table};
 use jem_core::{run_scenario, Strategy};
 use jem_radio::{ChannelClass, ChannelProcess};
-use jem_sim::{Scenario, SizeDist, Situation};
+use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let workloads = all_workloads();
@@ -35,6 +35,7 @@ fn main() {
                 sizes: SizeDist::Fixed(size),
                 runs: 6,
                 seed: 77,
+                faults: jem_sim::FaultSpec::NONE,
             };
             let interp = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Interpreter);
             let local = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Local2);
@@ -77,7 +78,10 @@ fn main() {
     );
 
     if !chosen_speedups.is_empty() {
-        let lo = chosen_speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let lo = chosen_speedups
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let hi = chosen_speedups
             .iter()
             .copied()

@@ -12,6 +12,7 @@
 //! | `speedup` | §3.2 — remote-execution speedup (2.5–10×) |
 //! | `estfit` | §3.2 — curve-fit estimator accuracy (≤ 2%) |
 //! | `ablation` | design-choice ablations (EWMA weight, power-down, …) |
+//! | `faults` | resilience sweep — AA vs naive AA vs AL under bursty loss |
 //!
 //! This library holds the shared plumbing: table rendering and
 //! parallel profile construction.

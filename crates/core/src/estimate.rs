@@ -171,16 +171,13 @@ impl Profile {
                 server
                     .machine
                     .charge_mix(&serialize_mix(payload.len() as u64));
-                let server_args = serial::deserialize_args(&mut server.heap, &payload)
-                    .expect("round trip");
+                let server_args =
+                    serial::deserialize_args(&mut server.heap, &payload).expect("round trip");
                 let result = server
                     .invoke(method, server_args)
                     .expect("server calibration run failed");
-                let result_payload = serial::serialize(
-                    &server.heap,
-                    result.unwrap_or(Value::Null),
-                )
-                .expect("serializable result");
+                let result_payload = serial::serialize(&server.heap, result.unwrap_or(Value::Null))
+                    .expect("serializable result");
                 server
                     .machine
                     .charge_mix(&serialize_mix(result_payload.len() as u64));
@@ -190,7 +187,8 @@ impl Profile {
             }
         }
 
-        let fit = |pts: &Vec<(f64, f64)>| CurveFit::fit_adaptive(pts, FIT_MAX_DEGREE, FIT_TOLERANCE);
+        let fit =
+            |pts: &Vec<(f64, f64)>| CurveFit::fit_adaptive(pts, FIT_MAX_DEGREE, FIT_TOLERANCE);
         Profile {
             method,
             plan,
@@ -310,8 +308,8 @@ impl Profile {
         let bi = self.est_input_bytes(s);
         let bo = self.est_output_bytes(s);
 
-        let e_ser = table.energy_of_mix(&serialize_mix(bi))
-            + table.energy_of_mix(&serialize_mix(bo));
+        let e_ser =
+            table.energy_of_mix(&serialize_mix(bi)) + table.energy_of_mix(&serialize_mix(bo));
         let up = self.airtime(bi);
         let e_tx = (self.tx_fixed_power() + pa_power).over(up);
         let down = self.airtime(bo);
@@ -327,10 +325,7 @@ impl Profile {
         let table = &MachineConfig::mobile_client().table;
         let name_bytes = 64u64; // fully-qualified name + request header
         let code = u64::from(self.code_bytes[level.index()]);
-        let e_tx = self
-            .radio
-            .tx_power(class)
-            .over(self.airtime(name_bytes));
+        let e_tx = self.radio.tx_power(class).over(self.airtime(name_bytes));
         let e_rx = self.radio.rx_power().over(self.airtime(code));
         // Linking the downloaded code: one pass over it.
         let e_link = table.energy_of_mix(&serialize_mix(code));

@@ -6,6 +6,8 @@
 //! client's total energy, time, and decision statistics.
 
 use crate::estimate::Profile;
+use crate::fault::FaultInjector;
+use crate::resilience::ResilienceConfig;
 use crate::runtime::{EnergyAwareVm, InvocationReport, RunStats};
 use crate::strategy::Strategy;
 use crate::workload::Workload;
@@ -44,16 +46,41 @@ impl ScenarioResult {
     }
 }
 
-/// Run `scenario` under `strategy`.
+/// Run `scenario` under `strategy` with the default resilience
+/// policy (energy-budgeted retries + circuit breaker).
 pub fn run_scenario(
     workload: &dyn Workload,
     profile: &Profile,
     scenario: &Scenario,
     strategy: Strategy,
 ) -> ScenarioResult {
+    run_scenario_with(
+        workload,
+        profile,
+        scenario,
+        strategy,
+        &ResilienceConfig::default(),
+    )
+}
+
+/// Run `scenario` under `strategy` and an explicit resilience policy
+/// ([`ResilienceConfig::naive`] reproduces the pre-resilience
+/// timeout-and-fallback behaviour). The scenario's fault spec is
+/// instantiated into live fault processes seeded — like everything
+/// else — by the scenario seed, so identical seeds give identical
+/// energy totals even with fault injection enabled.
+pub fn run_scenario_with(
+    workload: &dyn Workload,
+    profile: &Profile,
+    scenario: &Scenario,
+    strategy: Strategy,
+    resilience: &ResilienceConfig,
+) -> ScenarioResult {
     let mut rng = SmallRng::seed_from_u64(scenario.seed);
     let mut channel = scenario.channel.clone();
-    let mut vm = EnergyAwareVm::new(workload, profile);
+    let mut vm = EnergyAwareVm::new(workload, profile)
+        .with_faults(FaultInjector::from_spec(&scenario.faults))
+        .with_resilience(*resilience);
     let mut reports = Vec::with_capacity(scenario.runs);
 
     for _ in 0..scenario.runs {

@@ -1,0 +1,322 @@
+//! Runtime fault models for the remote-execution path.
+//!
+//! [`FaultInjector`] turns a scenario's pure-data
+//! [`jem_sim::FaultSpec`] into live stochastic processes driven by the
+//! scenario RNG: a Gilbert–Elliott channel-loss chain, server
+//! availability and slowdown chains, and a response-payload corrupter.
+//! Everything is deterministic given the scenario seed.
+//!
+//! **RNG-stream parity.** The pre-fault-injection simulator consumed
+//! exactly one `f64` draw per remote call (the flat loss check), even
+//! at zero loss probability. The models here preserve that: an
+//! inactive chain (zero entry probability) performs *no* state draw,
+//! and the single loss draw always happens in
+//! [`crate::remote::remote_invoke`]. Consequently
+//! [`FaultInjector::none`] reproduces historical fault-free runs
+//! bit-for-bit, and a frozen chain ([`GilbertElliottSpec::flat`])
+//! reproduces the legacy flat-loss model bit-for-bit.
+
+use jem_sim::{FaultSpec, GilbertElliottSpec};
+use rand::Rng;
+
+/// The two states of the Gilbert–Elliott channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelState {
+    /// Low-loss state.
+    Good,
+    /// Bursty high-loss state.
+    Bad,
+}
+
+/// A live Gilbert–Elliott loss chain.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    spec: GilbertElliottSpec,
+    state: ChannelState,
+}
+
+impl GilbertElliott {
+    /// Start a chain in the `Good` state.
+    pub fn new(spec: GilbertElliottSpec) -> Self {
+        GilbertElliott {
+            spec,
+            state: ChannelState::Good,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Advance the chain one request and return the loss probability
+    /// that applies to this request. Draws from `rng` only when the
+    /// chain can actually move (see module docs on stream parity).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if !self.spec.is_static() {
+            let p_flip = match self.state {
+                ChannelState::Good => self.spec.p_good_to_bad,
+                ChannelState::Bad => self.spec.p_bad_to_good,
+            };
+            if rng.gen::<f64>() < p_flip {
+                self.state = match self.state {
+                    ChannelState::Good => ChannelState::Bad,
+                    ChannelState::Bad => ChannelState::Good,
+                };
+            }
+        }
+        match self.state {
+            ChannelState::Good => self.spec.loss_good,
+            ChannelState::Bad => self.spec.loss_bad,
+        }
+    }
+}
+
+/// A generic two-state fault chain (`ok`/`faulted`), inactive — and
+/// drawing nothing — when its entry probability is zero.
+#[derive(Debug, Clone)]
+pub struct TwoState {
+    p_enter: f64,
+    p_exit: f64,
+    faulted: bool,
+}
+
+impl TwoState {
+    /// A chain that enters the faulted state with `p_enter` per step
+    /// and leaves it with `p_exit` per step.
+    pub fn new(p_enter: f64, p_exit: f64) -> Self {
+        TwoState {
+            p_enter,
+            p_exit,
+            faulted: false,
+        }
+    }
+
+    /// Whether the chain is currently in the faulted state.
+    pub fn faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Advance one step; returns whether the chain is now faulted.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.p_enter > 0.0 {
+            let p = if self.faulted {
+                self.p_exit
+            } else {
+                self.p_enter
+            };
+            if rng.gen::<f64>() < p {
+                self.faulted = !self.faulted;
+            }
+        }
+        self.faulted
+    }
+}
+
+/// What the injector decided for one remote request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestFaults {
+    /// Loss probability the single per-request loss draw compares
+    /// against (legacy flat loss already folded in).
+    pub loss_probability: f64,
+    /// The server is down: the request gets no response.
+    pub server_down: bool,
+    /// Multiplier on server handling time (1.0 = full speed).
+    pub slowdown: f64,
+}
+
+/// Live fault processes for one client/server pair.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    channel: GilbertElliott,
+    outage: TwoState,
+    slowdown: TwoState,
+    slowdown_factor: f64,
+    corruption: f64,
+}
+
+impl FaultInjector {
+    /// Instantiate the processes described by `spec`.
+    pub fn from_spec(spec: &FaultSpec) -> Self {
+        FaultInjector {
+            channel: GilbertElliott::new(spec.channel),
+            outage: TwoState::new(spec.server.p_outage, spec.server.p_recovery),
+            slowdown: TwoState::new(spec.server.p_slowdown, spec.server.p_speedup),
+            slowdown_factor: spec.server.slowdown_factor,
+            corruption: spec.corruption,
+        }
+    }
+
+    /// No faults — and no RNG draws beyond the legacy per-request
+    /// loss check.
+    pub fn none() -> Self {
+        FaultInjector::from_spec(&FaultSpec::NONE)
+    }
+
+    /// The channel chain's current state (for diagnostics).
+    pub fn channel_state(&self) -> ChannelState {
+        self.channel.state()
+    }
+
+    /// Advance every process one request and report what applies to
+    /// it. `legacy_loss` is the flat per-call loss probability from
+    /// [`crate::remote::RemoteConfig`]; the effective loss combines
+    /// both sources, reducing exactly to whichever one is active when
+    /// the other is zero (bit-for-bit with the single-source models).
+    pub fn begin_request<R: Rng + ?Sized>(
+        &mut self,
+        legacy_loss: f64,
+        rng: &mut R,
+    ) -> RequestFaults {
+        let chain_loss = self.channel.step(rng);
+        let loss_probability = if legacy_loss <= 0.0 {
+            chain_loss
+        } else if chain_loss <= 0.0 {
+            legacy_loss
+        } else {
+            // Independent loss sources: lost unless both deliver.
+            1.0 - (1.0 - legacy_loss) * (1.0 - chain_loss)
+        };
+        let server_down = self.outage.step(rng);
+        let slowdown = if self.slowdown.step(rng) {
+            self.slowdown_factor.max(1.0)
+        } else {
+            1.0
+        };
+        RequestFaults {
+            loss_probability,
+            server_down,
+            slowdown,
+        }
+    }
+
+    /// Whether this delivered response is corrupted. Draws from `rng`
+    /// only when the corruption model is active.
+    pub fn corrupts<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.corruption > 0.0 && rng.gen::<f64>() < self.corruption
+    }
+
+    /// Possibly corrupt a delivered response payload in place
+    /// (truncation — the client's deserializer will reject it).
+    /// Returns whether corruption was injected. Draws from `rng` only
+    /// when the corruption model is active.
+    pub fn corrupt_response<R: Rng + ?Sized>(
+        &mut self,
+        payload: &mut Vec<u8>,
+        rng: &mut R,
+    ) -> bool {
+        if self.corrupts(rng) {
+            let cut = rng.gen_range(0..payload.len().max(1));
+            payload.truncate(cut);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_injector_draws_nothing_extra() {
+        // With no fault models active, begin_request must leave the
+        // RNG untouched (parity with the pre-fault simulator).
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut reference = rng.clone();
+        let mut inj = FaultInjector::none();
+        let faults = inj.begin_request(0.25, &mut rng);
+        assert_eq!(faults.loss_probability, 0.25);
+        assert!(!faults.server_down);
+        assert_eq!(faults.slowdown, 1.0);
+        assert_eq!(rng.gen::<u64>(), reference.gen::<u64>());
+    }
+
+    #[test]
+    fn frozen_chain_is_flat_loss() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut reference = rng.clone();
+        let mut inj = FaultInjector::from_spec(&FaultSpec::flat_loss(0.4));
+        let faults = inj.begin_request(0.0, &mut rng);
+        assert_eq!(faults.loss_probability, 0.4);
+        // Still no draws: the frozen chain never samples a transition.
+        assert_eq!(rng.gen::<u64>(), reference.gen::<u64>());
+    }
+
+    #[test]
+    fn bursty_chain_visits_both_states() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut inj = FaultInjector::from_spec(&FaultSpec {
+            channel: GilbertElliottSpec::bursty(0.8),
+            server: jem_sim::ServerFaultSpec::NONE,
+            corruption: 0.0,
+        });
+        let mut saw = [false, false];
+        for _ in 0..500 {
+            let f = inj.begin_request(0.0, &mut rng);
+            saw[usize::from(f.loss_probability > 0.5)] = true;
+        }
+        assert_eq!(saw, [true, true], "chain never moved");
+    }
+
+    #[test]
+    fn burst_lengths_are_sticky() {
+        // With p_bad_to_good = 0.3, bad bursts should average ~1/0.3
+        // requests; measure that the chain is temporally correlated
+        // rather than i.i.d.
+        let spec = GilbertElliottSpec::bursty(1.0);
+        let mut chain = GilbertElliott::new(spec);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut bursts = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..20_000 {
+            if chain.step(&mut rng) > 0.5 {
+                current += 1;
+            } else if current > 0 {
+                bursts.push(current);
+                current = 0;
+            }
+        }
+        let mean = bursts.iter().map(|&b| f64::from(b)).sum::<f64>() / bursts.len() as f64;
+        assert!(
+            (2.0..6.0).contains(&mean),
+            "mean burst length {mean} inconsistent with p_bad_to_good=0.3"
+        );
+    }
+
+    #[test]
+    fn outage_chain_recovers() {
+        let mut inj = FaultInjector::from_spec(&FaultSpec {
+            channel: GilbertElliottSpec::NONE,
+            server: jem_sim::ServerFaultSpec::flaky(0.3),
+            corruption: 0.0,
+        });
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut down = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if inj.begin_request(0.0, &mut rng).server_down {
+                down += 1;
+            }
+        }
+        // Stationary fraction ≈ p_outage/(p_outage+p_recovery) = 0.6.
+        let frac = f64::from(down) / f64::from(n);
+        assert!((0.4..0.8).contains(&frac), "down fraction {frac}");
+    }
+
+    #[test]
+    fn corruption_truncates() {
+        let mut inj = FaultInjector::from_spec(&FaultSpec {
+            channel: GilbertElliottSpec::NONE,
+            server: jem_sim::ServerFaultSpec::NONE,
+            corruption: 1.0,
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut payload = vec![1u8; 64];
+        assert!(inj.corrupt_response(&mut payload, &mut rng));
+        assert!(payload.len() < 64);
+    }
+}

@@ -212,7 +212,11 @@ mod tests {
             })
             .collect();
         let f = CurveFit::fit(&pts, 2);
-        assert!(f.max_relative_error(&pts) < 1e-6, "{}", f.max_relative_error(&pts));
+        assert!(
+            f.max_relative_error(&pts) < 1e-6,
+            "{}",
+            f.max_relative_error(&pts)
+        );
     }
 
     #[test]

@@ -27,26 +27,39 @@
 //! | pre-compiled native code download | [`rcomp`] |
 //! | the assembled runtime | [`runtime`] |
 //! | 300-invocation scenario runs | [`experiment`] |
+//!
+//! Beyond the paper, the robustness layer:
+//!
+//! | concern | module |
+//! |---|---|
+//! | Gilbert–Elliott loss, outages, slowdowns, corruption | [`fault`] |
+//! | retries, energy budgets, circuit breaker | [`resilience`] |
 
 #![warn(missing_docs)]
 
 pub mod estimate;
 pub mod experiment;
+pub mod fault;
 pub mod fit;
 pub mod partition;
 pub mod predict;
 pub mod rcomp;
 pub mod remote;
+pub mod resilience;
 pub mod runtime;
 pub mod strategy;
 pub mod workload;
 
 pub use estimate::Profile;
-pub use experiment::{run_scenario, run_strategies, ScenarioResult};
+pub use experiment::{run_scenario, run_scenario_with, run_strategies, ScenarioResult};
+pub use fault::{FaultInjector, RequestFaults};
 pub use fit::CurveFit;
 pub use partition::Partition;
 pub use predict::{Ewma, MethodState};
 pub use remote::{RemoteConfig, RemoteFailure, ServerNode};
+pub use resilience::{
+    BreakerPolicy, BreakerState, CircuitBreaker, ExecError, ResilienceConfig, RetryPolicy,
+};
 pub use runtime::{EnergyAwareVm, InvocationReport, RunStats};
 pub use strategy::{DecisionEstimates, Mode, Strategy};
 pub use workload::Workload;

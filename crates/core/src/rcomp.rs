@@ -17,10 +17,13 @@
 //! downloaded bytes.
 
 use crate::estimate::Profile;
+use crate::fault::FaultInjector;
+use crate::remote::{RemoteConfig, RemoteFailure};
 use jem_energy::Energy;
 use jem_jvm::costs::serialize_mix;
 use jem_jvm::{OptLevel, Vm};
 use jem_radio::{ChannelClass, Link, TransferDirection};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Bytes of the fully-qualified-name request (name + header).
@@ -52,32 +55,88 @@ pub fn download_and_install(
     link: &mut Link,
     class: ChannelClass,
 ) -> DownloadReport {
+    // A none-injector makes no RNG draws, so the throwaway rng never
+    // advances and the download cannot fail.
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0);
+    try_download_and_install(
+        client,
+        profile,
+        level,
+        link,
+        class,
+        &RemoteConfig::default(),
+        &mut FaultInjector::none(),
+        &mut rng,
+    )
+    .expect("fault-free download cannot fail")
+}
+
+/// [`download_and_install`] over a faulty network: the name request or
+/// the code transfer can be lost (client waits out the response
+/// timeout awake), the server can be down, and the received code can
+/// arrive corrupt — detected during the linking pass, after the whole
+/// download was paid for.
+///
+/// All failures are transient ([`RemoteFailure`]); the caller degrades
+/// to local JIT compilation exactly like a failed remote execution
+/// degrades to local execution.
+///
+/// # Errors
+/// The [`RemoteFailure`] that aborted the download.
+#[allow(clippy::too_many_arguments)]
+pub fn try_download_and_install<R: Rng + ?Sized>(
+    client: &mut Vm<'_>,
+    profile: &Profile,
+    level: OptLevel,
+    link: &mut Link,
+    class: ChannelClass,
+    cfg: &RemoteConfig,
+    faults: &mut FaultInjector,
+    rng: &mut R,
+) -> Result<DownloadReport, RemoteFailure> {
     let code_bytes = u64::from(profile.code_bytes[level.index()]);
 
     // Request: transmit the fully qualified method name.
     let up = link.transfer(NAME_REQUEST_BYTES, TransferDirection::Send, class);
-    client
-        .machine
-        .charge_radio(up.tx_energy, Energy::ZERO);
+    client.machine.charge_radio(up.tx_energy, Energy::ZERO);
     client.machine.power_down(up.airtime);
+
+    // Advance the fault processes. Unlike remote execution there is
+    // no scheduled power-down window for a download, so on a lost
+    // response the client waits out the whole timeout awake. The loss
+    // draw is conditional (the fault-free path historically made no
+    // draws here — stream parity with pre-fault-injection runs).
+    let request_faults = faults.begin_request(cfg.loss_probability, rng);
+    let lost =
+        request_faults.loss_probability > 0.0 && rng.gen::<f64>() < request_faults.loss_probability;
+    if lost || request_faults.server_down {
+        client.machine.active_idle(cfg.response_timeout);
+        return Err(if lost {
+            RemoteFailure::ConnectionLost
+        } else {
+            RemoteFailure::ServerUnavailable
+        });
+    }
 
     // Response: receive the pre-compiled, linkable code.
     let down = link.transfer(code_bytes, TransferDirection::Receive, class);
-    client
-        .machine
-        .charge_radio(Energy::ZERO, down.rx_energy);
+    client.machine.charge_radio(Energy::ZERO, down.rx_energy);
     client.machine.power_down(down.airtime);
 
-    // Link it (one pass over the bytes, CPU active).
+    // Link it (one pass over the bytes, CPU active). Corrupt code is
+    // caught here, after the download and the pass were both paid.
     client.machine.charge_mix(&serialize_mix(code_bytes));
+    if faults.corrupts(rng) {
+        return Err(RemoteFailure::CorruptResponse);
+    }
 
     profile.install(client, level);
 
-    DownloadReport {
+    Ok(DownloadReport {
         level,
         code_bytes,
         radio_energy: up.tx_energy + down.rx_energy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -106,17 +165,12 @@ mod tests {
                         "i",
                         iconst(0),
                         var("n"),
-                        vec![
-                            for_(
-                                "j",
-                                iconst(0),
-                                var("n"),
-                                vec![assign(
-                                    "acc",
-                                    var("acc").add(var("i").mul(var("j"))),
-                                )],
-                            ),
-                        ],
+                        vec![for_(
+                            "j",
+                            iconst(0),
+                            var("n"),
+                            vec![assign("acc", var("acc").add(var("i").mul(var("j"))))],
+                        )],
                     ),
                     ret(var("acc")),
                 ],
@@ -154,6 +208,33 @@ mod tests {
         fn make_args(&self, _heap: &mut Heap, size: u32, _rng: &mut SmallRng) -> Vec<Value> {
             vec![Value::Int(size as i32)]
         }
+    }
+
+    #[test]
+    fn failed_download_leaves_client_uninstalled() {
+        use rand::SeedableRng;
+        let w = Quad::new();
+        let profile = Profile::build(&w, 7);
+        let mut client = Vm::client(w.program());
+        let mut link = Link::default();
+        let mut faults = FaultInjector::from_spec(&jem_sim::FaultSpec::flat_loss(1.0));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = try_download_and_install(
+            &mut client,
+            &profile,
+            OptLevel::L2,
+            &mut link,
+            ChannelClass::C4,
+            &RemoteConfig::default(),
+            &mut faults,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, RemoteFailure::ConnectionLost);
+        assert!(!client.is_native(w.method));
+        // The aborted attempt still cost real energy (the name
+        // request plus the awake timeout).
+        assert!(client.machine.energy() > Energy::ZERO);
     }
 
     #[test]

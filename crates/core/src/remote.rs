@@ -18,6 +18,7 @@
 //! lost and execution begins locally" — modeled by a per-call loss
 //! probability; the caller performs the local fallback.
 
+use crate::fault::FaultInjector;
 use jem_energy::SimTime;
 use jem_jvm::costs::serialize_mix;
 use jem_jvm::{serial, MethodId, Value, Vm, VmError};
@@ -90,6 +91,23 @@ impl<'p> ServerNode<'p> {
         method: MethodId,
         payload: &[u8],
     ) -> Result<(SimTime, Vec<u8>), VmError> {
+        self.handle_with_slowdown(arrival, method, payload, 1.0)
+    }
+
+    /// [`ServerNode::handle`] under load: the server takes
+    /// `slowdown` times as long to produce the result (fault
+    /// injection's `Slow` state). Energy accounting is unchanged —
+    /// only the completion time stretches.
+    ///
+    /// # Errors
+    /// See [`ServerNode::handle`].
+    pub fn handle_with_slowdown(
+        &mut self,
+        arrival: SimTime,
+        method: MethodId,
+        payload: &[u8],
+        slowdown: f64,
+    ) -> Result<(SimTime, Vec<u8>), VmError> {
         let start = self.busy_until.max(arrival);
         let cp = self.vm.machine.checkpoint();
         self.vm
@@ -100,21 +118,27 @@ impl<'p> ServerNode<'p> {
         let result = self.vm.invoke(method, args)?;
         let out = serial::serialize(&self.vm.heap, result.unwrap_or(Value::Null))
             .expect("server results serialize");
-        self.vm
-            .machine
-            .charge_mix(&serialize_mix(out.len() as u64));
+        self.vm.machine.charge_mix(&serialize_mix(out.len() as u64));
         let (_, handling) = self.vm.machine.since(&cp);
-        let done = start + handling;
+        let done = start + handling * slowdown.max(1.0);
         self.busy_until = done;
         Ok((done, out))
     }
 }
 
-/// Why a remote invocation failed without a VM error.
+/// Why a remote invocation failed without a VM error. All variants
+/// are transient: a later attempt can succeed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RemoteFailure {
     /// The response did not arrive within the timeout.
     ConnectionLost,
+    /// The server was down; the request got no response. From the
+    /// client's clock this is indistinguishable from a lost response
+    /// (same timeout, same energy), but the distinction feeds the
+    /// fault statistics.
+    ServerUnavailable,
+    /// A response arrived but its payload failed deserialization.
+    CorruptResponse,
 }
 
 /// Accounting for one remote invocation.
@@ -142,7 +166,9 @@ pub struct RemoteOutcome {
 /// estimator selected; `true_class` is the actual channel condition —
 /// transmitting with less power than the channel requires costs one
 /// retransmission. `est_server_time` sets the client's power-down
-/// duration.
+/// duration. `faults` drives the injected channel/server faults; pass
+/// [`FaultInjector::none`] for a clean network (bit-for-bit identical
+/// to the pre-fault-injection protocol).
 ///
 /// # Errors
 /// VM errors raised by the server-side execution.
@@ -157,6 +183,7 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     args: &[Value],
     est_server_time: SimTime,
     cfg: &RemoteConfig,
+    faults: &mut FaultInjector,
     rng: &mut R,
 ) -> Result<RemoteOutcome, VmError> {
     // 1. Serialize the request on the client (active CPU).
@@ -170,7 +197,9 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     // a better channel than the truth) must be repeated at the true
     // channel's power.
     let up = link.transfer(payload.len() as u64, TransferDirection::Send, chosen_class);
-    client.machine.charge_radio(up.tx_energy, jem_energy::Energy::ZERO);
+    client
+        .machine
+        .charge_radio(up.tx_energy, jem_energy::Energy::ZERO);
     client.machine.power_down(up.airtime);
     let retransmitted = chosen_class.quality() > true_class.quality();
     let mut uplink_time = up.airtime;
@@ -188,20 +217,31 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     // its window in the server's mobile status table.
     let t_wake = arrival + est_server_time;
 
-    // 4. Loss?
-    if rng.gen::<f64>() < cfg.loss_probability {
-        // Sleep through the scheduled window, then wait awake for the
-        // timeout before giving up.
-        client.machine.power_down(est_server_time);
-        client.machine.active_idle(cfg.response_timeout);
+    // 4. Advance the fault processes; a lost response and a dead
+    // server look identical from the client's clock: it sleeps
+    // through its scheduled window while the response-timeout clock
+    // runs, then waits awake only for whatever remains of the timeout
+    // before giving up. (The timeout overlaps the power-down window —
+    // the overlap costs power-down energy, not awake energy.)
+    let request_faults = faults.begin_request(cfg.loss_probability, rng);
+    let lost = rng.gen::<f64>() < request_faults.loss_probability;
+    if lost || request_faults.server_down {
+        let nap = est_server_time.min(cfg.response_timeout);
+        client.machine.power_down(nap);
+        client.machine.active_idle(cfg.response_timeout - nap);
         server.status_table.push(StatusEntry {
             request_at: t0,
             powered_down_until: t_wake,
             result_ready_at: SimTime::from_nanos(f64::INFINITY),
             queued: false,
         });
+        let failure = if lost {
+            RemoteFailure::ConnectionLost
+        } else {
+            RemoteFailure::ServerUnavailable
+        };
         return Ok(RemoteOutcome {
-            result: Err(RemoteFailure::ConnectionLost),
+            result: Err(failure),
             early_wake: true,
             queued: false,
             bytes_up: up.wire_bytes,
@@ -210,8 +250,9 @@ pub fn remote_invoke<R: Rng + ?Sized>(
         });
     }
 
-    // 5. Server handles the request.
-    let (done, out_payload) = server.handle(arrival, method, &payload)?;
+    // 5. Server handles the request (possibly in its Slow state).
+    let (done, mut out_payload) =
+        server.handle_with_slowdown(arrival, method, &payload, request_faults.slowdown)?;
 
     // 6. The server consults the status table: queue the result if the
     // client is still asleep; otherwise (server late) the client woke
@@ -243,8 +284,25 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     client
         .machine
         .charge_mix(&serialize_mix(out_payload.len() as u64));
-    let value = serial::deserialize(&mut client.heap, &out_payload)
-        .map_err(|_| VmError::StackUnderflow)?;
+    // Fault injection may have garbled the payload in flight; the
+    // transfer above was still paid in full. Exercise the
+    // deserializer on the truncated bytes (it almost always reports a
+    // serial error; a prefix that happens to parse is still rejected
+    // by the payload checksum) and surface a transient failure the
+    // caller can retry.
+    if faults.corrupt_response(&mut out_payload, rng) {
+        let _ = serial::deserialize(&mut client.heap, &out_payload);
+        return Ok(RemoteOutcome {
+            result: Err(RemoteFailure::CorruptResponse),
+            early_wake,
+            queued,
+            bytes_up: up.wire_bytes,
+            bytes_down: down.wire_bytes,
+            retransmitted,
+        });
+    }
+    let value =
+        serial::deserialize(&mut client.heap, &out_payload).map_err(|_| VmError::StackUnderflow)?;
     let result = match value {
         Value::Null => None,
         v => Some(v),
@@ -321,6 +379,7 @@ mod tests {
             &[Value::Int(100)],
             SimTime::from_millis(1.0),
             &RemoteConfig::default(),
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();
@@ -343,6 +402,7 @@ mod tests {
             &[Value::Int(5000)],
             SimTime::from_millis(5.0),
             &RemoteConfig::default(),
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();
@@ -354,8 +414,7 @@ mod tests {
         let mut local = Vm::client(&p);
         local.invoke(m, vec![Value::Int(5000)]).unwrap();
         assert!(
-            b[jem_energy::Component::Core]
-                < local.machine.breakdown()[jem_energy::Component::Core]
+            b[jem_energy::Component::Core] < local.machine.breakdown()[jem_energy::Component::Core]
         );
     }
 
@@ -376,6 +435,7 @@ mod tests {
                 &[Value::Int(100)],
                 SimTime::from_millis(1.0),
                 &RemoteConfig::default(),
+                &mut FaultInjector::none(),
                 &mut rng,
             )
             .unwrap();
@@ -400,6 +460,7 @@ mod tests {
             &[Value::Int(10)],
             SimTime::from_secs(1.0),
             &RemoteConfig::default(),
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();
@@ -421,9 +482,10 @@ mod tests {
             ChannelClass::C4,
             ChannelClass::C4,
             m,
-            &[Value::Int(200_000)], // long server run
+            &[Value::Int(200_000)],    // long server run
             SimTime::from_nanos(10.0), // absurdly small estimate
             &RemoteConfig::default(),
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();
@@ -450,12 +512,128 @@ mod tests {
             &[Value::Int(10)],
             SimTime::from_millis(1.0),
             &cfg,
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();
         assert_eq!(out.result, Err(RemoteFailure::ConnectionLost));
         // The client burned the timeout awake.
         assert!(client.machine.elapsed() > cfg.response_timeout);
+    }
+
+    #[test]
+    fn lost_response_sleeps_through_powerdown_overlap() {
+        // The response timeout overlaps the scheduled power-down
+        // window: a client that scheduled a long nap spends most of
+        // the timeout powered down and must burn less energy than one
+        // that wakes almost immediately and idles awake.
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let cfg = RemoteConfig {
+            loss_probability: 1.0,
+            ..Default::default()
+        };
+        let mut energies = Vec::new();
+        for est in [cfg.response_timeout, SimTime::from_nanos(10.0)] {
+            let (mut client, mut server, mut link, mut rng) = setup(&p);
+            remote_invoke(
+                &mut client,
+                &mut server,
+                &mut link,
+                ChannelClass::C4,
+                ChannelClass::C4,
+                m,
+                &[Value::Int(10)],
+                est,
+                &cfg,
+                &mut FaultInjector::none(),
+                &mut rng,
+            )
+            .unwrap();
+            energies.push(client.machine.energy());
+        }
+        assert!(
+            energies[0] < energies[1],
+            "sleeping through the timeout must be cheaper: {energies:?}"
+        );
+    }
+
+    #[test]
+    fn server_outage_reported() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        let mut faults = FaultInjector::from_spec(&jem_sim::FaultSpec {
+            channel: jem_sim::GilbertElliottSpec::NONE,
+            server: jem_sim::ServerFaultSpec {
+                p_outage: 1.0,
+                p_recovery: 0.0,
+                p_slowdown: 0.0,
+                p_speedup: 0.0,
+                slowdown_factor: 1.0,
+            },
+            corruption: 0.0,
+        });
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(10)],
+            SimTime::from_millis(1.0),
+            &RemoteConfig::default(),
+            &mut faults,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.result, Err(RemoteFailure::ServerUnavailable));
+        assert_eq!(out.bytes_down, 0);
+    }
+
+    #[test]
+    fn corrupt_payload_reported() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let (mut client, mut server, mut link, mut rng) = setup(&p);
+        let mut faults = FaultInjector::from_spec(&jem_sim::FaultSpec {
+            channel: jem_sim::GilbertElliottSpec::NONE,
+            server: jem_sim::ServerFaultSpec::NONE,
+            corruption: 1.0,
+        });
+        let out = remote_invoke(
+            &mut client,
+            &mut server,
+            &mut link,
+            ChannelClass::C4,
+            ChannelClass::C4,
+            m,
+            &[Value::Int(10)],
+            SimTime::from_millis(1.0),
+            &RemoteConfig::default(),
+            &mut faults,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.result, Err(RemoteFailure::CorruptResponse));
+        // The response bytes were received (and paid for) in full.
+        assert!(out.bytes_down > 0);
+    }
+
+    #[test]
+    fn slow_server_delays_completion() {
+        let p = program();
+        let m = p.find_method(MODULE_CLASS, "work").unwrap();
+        let mut server = ServerNode::new(Vm::server(&p));
+        let heap = jem_jvm::Heap::new();
+        let payload = serial::serialize_args(&heap, &[Value::Int(1000)]).unwrap();
+        let (fast, _) = server.handle(SimTime::ZERO, m, &payload).unwrap();
+        let mut slow_server = ServerNode::new(Vm::server(&p));
+        let (slow, _) = slow_server
+            .handle_with_slowdown(SimTime::ZERO, m, &payload, 4.0)
+            .unwrap();
+        assert!(slow.nanos() >= fast.nanos() * 3.9);
     }
 
     #[test]
@@ -473,6 +651,7 @@ mod tests {
             &[Value::Int(10)],
             SimTime::from_millis(1.0),
             &RemoteConfig::default(),
+            &mut FaultInjector::none(),
             &mut rng,
         )
         .unwrap();

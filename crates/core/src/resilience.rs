@@ -1,0 +1,380 @@
+//! Resilience policy for the remote-execution path: a transient/
+//! permanent error taxonomy, energy-budgeted retries with exponential
+//! backoff, and a per-method circuit breaker.
+//!
+//! The naive policy the paper implies — time out once, fall back to
+//! local interpretation — wastes a full awake `response_timeout` on
+//! every loss. Under bursty loss that waste dominates: the adaptive
+//! strategies keep choosing remote execution (their estimates are
+//! loss-unaware) and keep burning timeouts. The breaker converts the
+//! *sequence* of failures into a mode switch: after
+//! `failure_threshold` consecutive remote failures it opens and the
+//! runtime degrades AA → AL (remote candidates are excluded from the
+//! argmin), then probes the server again after a cooldown.
+//!
+//! All policy decisions draw from the scenario RNG, so runs stay
+//! reproducible: identical seeds give identical retry/backoff/breaker
+//! sequences and identical energy totals.
+
+use crate::remote::RemoteFailure;
+use jem_energy::{Energy, SimTime};
+use jem_jvm::VmError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Unified error taxonomy for one execution attempt.
+///
+/// Transient errors (lost responses, server outages, corrupt payloads)
+/// may be retried or degraded around; permanent errors (VM errors from
+/// the method itself) reproduce locally and must be propagated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A fault of the remote path; retrying can succeed.
+    Transient(RemoteFailure),
+    /// An error of the program itself; retrying cannot help.
+    Permanent(VmError),
+}
+
+impl ExecError {
+    /// Whether a retry can possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::Transient(_))
+    }
+}
+
+impl From<RemoteFailure> for ExecError {
+    fn from(f: RemoteFailure) -> Self {
+        ExecError::Transient(f)
+    }
+}
+
+impl From<VmError> for ExecError {
+    fn from(e: VmError) -> Self {
+        ExecError::Permanent(e)
+    }
+}
+
+/// Retry policy: exponential backoff with jitter, bounded both by an
+/// attempt count and by an *energy budget* — every failed attempt
+/// costs real transmit and awake-wait energy, and a retry is only
+/// worth it while the energy already wasted on this invocation stays
+/// under the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt (0 = naive fallback).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimTime,
+    /// Multiplier applied per further retry.
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction (±) applied to each backoff.
+    pub jitter: f64,
+    /// Give up (fall back locally) once the energy wasted on failed
+    /// attempts of this invocation exceeds this budget.
+    pub energy_budget: Energy,
+}
+
+impl RetryPolicy {
+    /// The paper-implied policy: no retries, first failure falls
+    /// straight back to local execution.
+    pub fn naive() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: SimTime::ZERO,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+            energy_budget: Energy::ZERO,
+        }
+    }
+
+    /// The backoff nap before retry number `retry` (1-based), jittered
+    /// from `rng`. The client powers down for this duration, so the
+    /// nap costs power-down (not awake) energy.
+    pub fn backoff<R: Rng + ?Sized>(&self, retry: u32, rng: &mut R) -> SimTime {
+        let exp = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        let jitter = if self.jitter > 0.0 {
+            1.0 + self.jitter * (2.0 * rng.gen::<f64>() - 1.0)
+        } else {
+            1.0
+        };
+        self.base_backoff * (exp * jitter)
+    }
+
+    /// Whether another retry is allowed after `retries_done` retries
+    /// with `wasted` energy already burned on failed attempts.
+    pub fn allows_retry(&self, retries_done: u32, wasted: Energy) -> bool {
+        retries_done < self.max_retries && wasted < self.energy_budget
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: SimTime::from_millis(50.0),
+            backoff_factor: 2.0,
+            jitter: 0.1,
+            // Roughly two timeout-and-retransmit cycles on the
+            // reference client before falling back.
+            energy_budget: Energy::from_millijoules(120.0),
+        }
+    }
+}
+
+/// Circuit-breaker knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Disabled breakers never open (the naive policy).
+    pub enabled: bool,
+    /// Consecutive remote failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Invocations the breaker stays open before a half-open probe.
+    /// Counted in invocations, not wall time, so runs are
+    /// deterministic regardless of how long each invocation takes.
+    pub cooldown_invocations: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            enabled: true,
+            failure_threshold: 3,
+            cooldown_invocations: 8,
+        }
+    }
+}
+
+/// Breaker state machine: `Closed` (remote allowed) → `Open` (remote
+/// blacklisted, AA degrades to AL) → `HalfOpen` (one probe allowed)
+/// → `Closed` on probe success / back to `Open` on probe failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Remote execution allowed.
+    Closed,
+    /// Remote execution blacklisted until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; the next remote attempt is a probe.
+    HalfOpen,
+}
+
+/// Per-method circuit breaker over the remote-execution path.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    /// Times the breaker opened.
+    pub trips: u64,
+    /// Times a half-open probe closed the breaker again.
+    pub recoveries: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the breaker is open (remote blacklisted).
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Tick the cooldown clock: call once per top-level invocation.
+    pub fn on_invocation(&mut self) {
+        if self.state == BreakerState::Open {
+            self.cooldown_left = self.cooldown_left.saturating_sub(1);
+            if self.cooldown_left == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Whether a remote attempt is currently allowed. Disabled
+    /// breakers always allow.
+    pub fn allows_remote(&self) -> bool {
+        !self.policy.enabled || self.state != BreakerState::Open
+    }
+
+    /// Record a successful remote interaction. Returns whether this
+    /// closed a half-open breaker (a recovery).
+    pub fn record_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+            self.recoveries += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a failed remote interaction. Returns whether this
+    /// opened the breaker (a trip).
+    pub fn record_failure(&mut self) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        self.consecutive_failures += 1;
+        let opens = match self.state {
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.policy.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if opens {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.policy.cooldown_invocations.max(1);
+            self.trips += 1;
+        }
+        opens
+    }
+}
+
+/// The complete resilience configuration of a runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Retry/backoff policy for remote attempts.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy.
+    pub breaker: BreakerPolicy,
+}
+
+impl ResilienceConfig {
+    /// The paper-implied behaviour: one attempt, timeout, local
+    /// fallback; no breaker. Reproduces the pre-resilience runtime.
+    pub fn naive() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::naive(),
+            breaker: BreakerPolicy {
+                enabled: false,
+                ..BreakerPolicy::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn taxonomy_classifies() {
+        assert!(ExecError::from(RemoteFailure::ConnectionLost).is_transient());
+        assert!(!ExecError::from(VmError::StackUnderflow).is_transient());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b1 = p.backoff(1, &mut rng);
+        let b2 = p.backoff(2, &mut rng);
+        let b3 = p.backoff(3, &mut rng);
+        assert_eq!(b1, p.base_backoff);
+        assert!((b2.nanos() / b1.nanos() - 2.0).abs() < 1e-12);
+        assert!((b3.nanos() / b1.nanos() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_stays_bounded() {
+        let p = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for retry in 1..=3 {
+            let nominal = p.base_backoff.nanos() * p.backoff_factor.powi(retry - 1);
+            for _ in 0..100 {
+                let b = p.backoff(retry as u32, &mut rng).nanos();
+                assert!(b >= nominal * (1.0 - p.jitter) - 1e-9);
+                assert!(b <= nominal * (1.0 + p.jitter) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_budget_gates_retries() {
+        let p = RetryPolicy::default();
+        assert!(p.allows_retry(0, Energy::ZERO));
+        assert!(!p.allows_retry(p.max_retries, Energy::ZERO));
+        assert!(!p.allows_retry(0, p.energy_budget));
+        assert!(!RetryPolicy::naive().allows_retry(0, Energy::ZERO));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::default());
+        assert!(b.allows_remote());
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure()); // third consecutive failure trips
+        assert!(b.is_open());
+        assert!(!b.allows_remote());
+        assert_eq!(b.trips, 1);
+        // Cooldown: stays open for cooldown_invocations ticks.
+        for _ in 0..7 {
+            b.on_invocation();
+            assert!(b.is_open());
+        }
+        b.on_invocation();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows_remote());
+        // Successful probe closes it.
+        assert!(b.record_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.recoveries, 1);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown_invocations: 1,
+            enabled: true,
+        });
+        assert!(b.record_failure());
+        b.on_invocation();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_failure());
+        assert!(b.is_open());
+        assert_eq!(b.trips, 2);
+        assert_eq!(b.recoveries, 0);
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let mut b = CircuitBreaker::new(ResilienceConfig::naive().breaker);
+        for _ in 0..100 {
+            b.record_failure();
+            assert!(b.allows_remote());
+        }
+        assert_eq!(b.trips, 0);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(BreakerPolicy::default());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure());
+    }
+}

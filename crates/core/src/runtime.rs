@@ -10,8 +10,10 @@
 //! reports the client energy/time the invocation cost.
 
 use crate::estimate::Profile;
+use crate::fault::FaultInjector;
 use crate::predict::MethodState;
 use crate::remote::{remote_invoke, RemoteConfig, RemoteFailure, ServerNode};
+use crate::resilience::{CircuitBreaker, ExecError, ResilienceConfig};
 use crate::strategy::{compile_source, evaluate, Mode, Strategy};
 use crate::{rcomp, workload::Workload};
 use jem_energy::{Energy, InstrClass, InstrMix, SimTime};
@@ -54,6 +56,14 @@ pub struct InvocationReport {
     /// Whether a remote execution lost the connection and fell back
     /// to local execution.
     pub fell_back: bool,
+    /// Remote retries performed within this invocation.
+    pub retries: u32,
+    /// Energy burned on failed remote attempts of this invocation
+    /// (transmit + waits that produced no result).
+    pub wasted_energy: Energy,
+    /// Whether the circuit breaker forced this invocation away from a
+    /// remote decision (AA degraded to AL / static R ran locally).
+    pub degraded: bool,
 }
 
 /// Aggregate statistics over a run.
@@ -73,6 +83,26 @@ pub struct RunStats {
     pub fallbacks: u64,
     /// Early wakes (server finished after the power-down window).
     pub early_wakes: u64,
+    /// Remote retries performed.
+    pub retries: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_trips: u64,
+    /// Times a half-open probe closed the breaker again.
+    pub breaker_recoveries: u64,
+    /// Invocations the breaker forced away from a remote decision.
+    pub degraded: u64,
+    /// Client wall time spent in breaker-degraded invocations.
+    pub degraded_time: SimTime,
+    /// Energy burned on remote attempts that produced no result.
+    pub wasted_energy: Energy,
+    /// Responses lost in the channel.
+    pub losses: u64,
+    /// Requests that hit a server outage.
+    pub outages: u64,
+    /// Responses delivered corrupt.
+    pub corrupt_responses: u64,
+    /// Code downloads that failed and degraded to local compilation.
+    pub rcomp_fallbacks: u64,
 }
 
 /// The paper's framework instantiated for one workload.
@@ -98,6 +128,12 @@ pub struct EnergyAwareVm<'a> {
     /// Whether the client has already loaded its compiler classes
     /// (the one-time init cost is charged on the first local compile).
     pub compiler_loaded: bool,
+    /// Fault injection for the remote path (none by default).
+    pub faults: FaultInjector,
+    /// Retry/backoff/breaker policy for the remote path.
+    pub resilience: ResilienceConfig,
+    /// The per-method circuit breaker.
+    pub breaker: CircuitBreaker,
     /// Run statistics.
     pub stats: RunStats,
 }
@@ -122,6 +158,9 @@ impl<'a> EnergyAwareVm<'a> {
             state: MethodState::new(),
             installed: None,
             compiler_loaded: false,
+            faults: FaultInjector::none(),
+            resilience: ResilienceConfig::default(),
+            breaker: CircuitBreaker::new(ResilienceConfig::default().breaker),
             stats: RunStats::default(),
         }
     }
@@ -131,6 +170,40 @@ impl<'a> EnergyAwareVm<'a> {
     pub fn with_state(mut self, state: MethodState) -> Self {
         self.state = state;
         self
+    }
+
+    /// Replace the fault injector (usually built from the scenario's
+    /// [`jem_sim::FaultSpec`]).
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replace the resilience policy (resets the circuit breaker).
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self.breaker = CircuitBreaker::new(resilience.breaker);
+        self
+    }
+
+    /// Fold one remote-path failure into the statistics and the
+    /// breaker.
+    fn note_remote_failure(&mut self, failure: RemoteFailure) {
+        match failure {
+            RemoteFailure::ConnectionLost => self.stats.losses += 1,
+            RemoteFailure::ServerUnavailable => self.stats.outages += 1,
+            RemoteFailure::CorruptResponse => self.stats.corrupt_responses += 1,
+        }
+        if self.breaker.record_failure() {
+            self.stats.breaker_trips += 1;
+        }
+    }
+
+    /// Fold one remote-path success into the breaker.
+    fn note_remote_success(&mut self) {
+        if self.breaker.record_success() {
+            self.stats.breaker_recoveries += 1;
+        }
     }
 
     /// Execute one top-level invocation of the potential method under
@@ -147,6 +220,11 @@ impl<'a> EnergyAwareVm<'a> {
         true_class: ChannelClass,
         rng: &mut SmallRng,
     ) -> Result<InvocationReport, VmError> {
+        // Tick the breaker's cooldown clock once per invocation; an
+        // open breaker blacklists every remote interaction below.
+        self.breaker.on_invocation();
+        let allow_remote = self.breaker.allows_remote();
+
         // Pilot tracking happens continuously; one observation per
         // invocation keeps the estimator fresh.
         self.pilot.observe(true_class, rng);
@@ -154,16 +232,27 @@ impl<'a> EnergyAwareVm<'a> {
 
         let method = self.workload.potential_method();
         let cp = self.client.machine.checkpoint();
-        let args = self
-            .workload
-            .make_args(&mut self.client.heap, size, rng);
+        let args = self.workload.make_args(&mut self.client.heap, size, rng);
 
         let mut compiled_locally = None;
         let mut compiled_remotely = None;
         let mut fell_back = false;
+        let mut degraded = false;
+        let mut retries: u32 = 0;
+        let mut wasted = Energy::ZERO;
 
         let mode = match strategy {
-            Strategy::Remote => Mode::Remote,
+            Strategy::Remote => {
+                if allow_remote {
+                    Mode::Remote
+                } else {
+                    // Even the static-remote strategy must complete
+                    // every invocation: with the breaker open it
+                    // interprets locally until the cooldown elapses.
+                    degraded = true;
+                    Mode::Interpret
+                }
+            }
             Strategy::Interpreter => Mode::Interpret,
             Strategy::Local1 | Strategy::Local2 | Strategy::Local3 => {
                 Mode::Local(strategy.static_level().expect("static level"))
@@ -172,8 +261,7 @@ impl<'a> EnergyAwareVm<'a> {
                 // Helper method: update predictors, evaluate, choose.
                 self.client.machine.charge_mix(&decision_mix());
                 let pa = self.profile.radio.power_amplifier[chosen_class.index()];
-                let (k, s_bar, pa_bar) =
-                    self.state.observe(f64::from(size), pa.watts());
+                let (k, s_bar, pa_bar) = self.state.observe(f64::from(size), pa.watts());
                 let est = evaluate(
                     self.profile,
                     k,
@@ -182,7 +270,12 @@ impl<'a> EnergyAwareVm<'a> {
                     self.installed,
                     self.compiler_loaded,
                 );
-                let mut mode = est.argmin();
+                // An open breaker excludes the remote candidate: AA
+                // decides exactly like AL until the server recovers.
+                let mut mode = est.argmin_with(allow_remote);
+                if !allow_remote && est.argmin() == Mode::Remote {
+                    degraded = true;
+                }
                 // Once code is installed, "interpret" can't be cheaper
                 // than running the installed native code; normalize.
                 if mode == Mode::Interpret {
@@ -201,19 +294,43 @@ impl<'a> EnergyAwareVm<'a> {
             }
             Mode::Local(level) => {
                 if self.installed != Some(level) {
+                    // Remote compilation is a remote interaction too:
+                    // an open breaker forces local compilation.
                     let remote_comp = strategy == Strategy::AdaptiveAdaptive
-                        && compile_source(self.profile, level, chosen_class, self.compiler_loaded).0;
+                        && allow_remote
+                        && compile_source(self.profile, level, chosen_class, self.compiler_loaded)
+                            .0;
+                    let mut downloaded = false;
                     if remote_comp {
-                        rcomp::download_and_install(
+                        let attempt_cp = self.client.machine.checkpoint();
+                        match rcomp::try_download_and_install(
                             &mut self.client,
                             self.profile,
                             level,
                             &mut self.link,
                             chosen_class,
-                        );
-                        self.stats.remote_compiles += 1;
-                        compiled_remotely = Some(level);
-                    } else {
+                            &self.remote_cfg,
+                            &mut self.faults,
+                            rng,
+                        ) {
+                            Ok(_) => {
+                                self.note_remote_success();
+                                self.stats.remote_compiles += 1;
+                                compiled_remotely = Some(level);
+                                downloaded = true;
+                            }
+                            Err(failure) => {
+                                // Degrade to local JIT, exactly like a
+                                // failed remote execution degrades to
+                                // local execution.
+                                self.note_remote_failure(failure);
+                                let (e, _) = self.client.machine.since(&attempt_cp);
+                                wasted += e;
+                                self.stats.rcomp_fallbacks += 1;
+                            }
+                        }
+                    }
+                    if !downloaded {
                         if !self.compiler_loaded {
                             // First local compilation loads and
                             // initializes the compiler classes.
@@ -235,27 +352,56 @@ impl<'a> EnergyAwareVm<'a> {
             }
             Mode::Remote => {
                 let est = self.profile.est_server_time(f64::from(size));
-                let outcome = remote_invoke(
-                    &mut self.client,
-                    &mut self.server,
-                    &mut self.link,
-                    chosen_class,
-                    true_class,
-                    method,
-                    &args,
-                    est,
-                    &self.remote_cfg,
-                    rng,
-                )?;
-                if outcome.early_wake {
-                    self.stats.early_wakes += 1;
-                }
-                match outcome.result {
-                    Ok(v) => {
-                        self.stats.remote += 1;
-                        v
+                let mut remote_value: Option<Option<Value>> = None;
+                loop {
+                    let attempt_cp = self.client.machine.checkpoint();
+                    let outcome = remote_invoke(
+                        &mut self.client,
+                        &mut self.server,
+                        &mut self.link,
+                        chosen_class,
+                        true_class,
+                        method,
+                        &args,
+                        est,
+                        &self.remote_cfg,
+                        &mut self.faults,
+                        rng,
+                    )?;
+                    if outcome.early_wake {
+                        self.stats.early_wakes += 1;
                     }
-                    Err(RemoteFailure::ConnectionLost) => {
+                    match outcome.result {
+                        Ok(v) => {
+                            self.stats.remote += 1;
+                            self.note_remote_success();
+                            remote_value = Some(v);
+                            break;
+                        }
+                        Err(failure) => {
+                            self.note_remote_failure(failure);
+                            let (e, _) = self.client.machine.since(&attempt_cp);
+                            wasted += e;
+                            // Retry only transient failures, within
+                            // both the attempt and energy budgets, and
+                            // only while the breaker still allows it.
+                            let retry = ExecError::from(failure).is_transient()
+                                && self.breaker.allows_remote()
+                                && self.resilience.retry.allows_retry(retries, wasted);
+                            if !retry {
+                                break;
+                            }
+                            retries += 1;
+                            self.stats.retries += 1;
+                            // Back off with the CPU and radio down.
+                            let nap = self.resilience.retry.backoff(retries, rng);
+                            self.client.machine.power_down(nap);
+                        }
+                    }
+                }
+                match remote_value {
+                    Some(v) => v,
+                    None => {
                         // "execution begins locally."
                         fell_back = true;
                         self.stats.fallbacks += 1;
@@ -267,6 +413,11 @@ impl<'a> EnergyAwareVm<'a> {
         };
 
         let (energy, time) = self.client.machine.since(&cp);
+        if degraded {
+            self.stats.degraded += 1;
+            self.stats.degraded_time += time;
+        }
+        self.stats.wasted_energy += wasted;
         let _ = result;
         Ok(InvocationReport {
             size,
@@ -278,6 +429,9 @@ impl<'a> EnergyAwareVm<'a> {
             compiled_locally,
             compiled_remotely,
             fell_back,
+            retries,
+            wasted_energy: wasted,
+            degraded,
         })
     }
 
@@ -304,9 +458,7 @@ impl<'a> EnergyAwareVm<'a> {
         let mut scratch = Vm::client(self.workload.program());
         scratch.options.step_budget = u64::MAX;
         let mut rng2 = rng.clone();
-        let args = self
-            .workload
-            .make_args(&mut scratch.heap, size, &mut rng2);
+        let args = self.workload.make_args(&mut scratch.heap, size, &mut rng2);
         let value = scratch.invoke(self.workload.potential_method(), args)?;
         Ok((report, value))
     }

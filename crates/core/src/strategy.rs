@@ -159,8 +159,15 @@ pub struct DecisionEstimates {
 impl DecisionEstimates {
     /// The minimum-energy mode among the candidates.
     pub fn argmin(&self) -> Mode {
+        self.argmin_with(true)
+    }
+
+    /// The minimum-energy mode, optionally excluding the remote
+    /// candidate — the circuit breaker's degraded mode, where AA
+    /// decides exactly like AL until the server proves healthy again.
+    pub fn argmin_with(&self, allow_remote: bool) -> Mode {
         let mut best = (Mode::Interpret, self.interpret);
-        if self.remote < best.1 {
+        if allow_remote && self.remote < best.1 {
             best = (Mode::Remote, self.remote);
         }
         for level in OptLevel::ALL {
@@ -259,6 +266,19 @@ mod tests {
             local: [e(80.0), e(30.0), e(70.0)],
         };
         assert_eq!(d3.argmin(), Mode::Local(OptLevel::L2));
+    }
+
+    #[test]
+    fn argmin_without_remote_degrades_to_next_best() {
+        let e = |x: f64| Energy::from_nanojoules(x);
+        let d = DecisionEstimates {
+            interpret: e(100.0),
+            remote: e(50.0),
+            local: [e(80.0), e(60.0), e(70.0)],
+        };
+        assert_eq!(d.argmin(), Mode::Remote);
+        assert_eq!(d.argmin_with(false), Mode::Local(OptLevel::L2));
+        assert_eq!(d.argmin_with(true), Mode::Remote);
     }
 
     #[test]

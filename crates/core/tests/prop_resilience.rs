@@ -1,0 +1,271 @@
+//! Property tests for the fault-injection and resilience layer:
+//! energy conservation across retry chains, breaker liveness, and
+//! bit-for-bit equivalence of the frozen Gilbert–Elliott chain with
+//! the legacy flat-loss model.
+
+use std::sync::OnceLock;
+
+use jem_core::{
+    run_scenario_with, EnergyAwareVm, FaultInjector, Profile, RemoteConfig, ResilienceConfig,
+    RunStats, Strategy, Workload,
+};
+use jem_energy::Energy;
+use jem_jvm::dsl::*;
+use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use jem_sim::{FaultSpec, Scenario, Situation};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The synthetic quadratic kernel from `runtime_integration.rs`:
+/// enough cycles to make modes distinguishable, cheap to profile.
+struct Kernel {
+    program: Program,
+    method: MethodId,
+}
+
+impl Kernel {
+    fn new() -> Kernel {
+        let mut m = ModuleBuilder::new();
+        m.func_with_attrs(
+            "kernel",
+            vec![("n", DType::Int)],
+            Some(DType::Int),
+            vec![
+                let_("acc", iconst(0)),
+                for_(
+                    "i",
+                    iconst(0),
+                    var("n"),
+                    vec![for_(
+                        "j",
+                        iconst(0),
+                        var("n"),
+                        vec![assign(
+                            "acc",
+                            var("acc")
+                                .add(var("i").mul(var("j")))
+                                .bitxor(var("acc").shr(iconst(3))),
+                        )],
+                    )],
+                ),
+                ret(var("acc")),
+            ],
+            MethodAttrs {
+                potential: true,
+                size_param: Some(0),
+                ..Default::default()
+            },
+        );
+        let program = m.compile().unwrap();
+        let method = program.find_method(MODULE_CLASS, "kernel").unwrap();
+        Kernel { program, method }
+    }
+}
+
+impl Workload for Kernel {
+    fn name(&self) -> &str {
+        "kernel"
+    }
+    fn description(&self) -> &str {
+        "synthetic quadratic kernel"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn potential_method(&self) -> MethodId {
+        self.method
+    }
+    fn sizes(&self) -> Vec<u32> {
+        vec![16, 32, 64, 128]
+    }
+    fn size_meaning(&self) -> &str {
+        "loop bound"
+    }
+    fn make_args(&self, _heap: &mut Heap, size: u32, _rng: &mut SmallRng) -> Vec<Value> {
+        vec![Value::Int(size as i32)]
+    }
+}
+
+/// The profile is deterministic and expensive to build; share one
+/// across all property cases (the Kernel program is identical every
+/// time, so MethodIds line up).
+fn profile() -> &'static Profile {
+    static PROFILE: OnceLock<Profile> = OnceLock::new();
+    PROFILE.get_or_init(|| Profile::build(&Kernel::new(), 1))
+}
+
+/// Run `scenario` by hand so the test can also set the legacy
+/// flat-loss knob in [`RemoteConfig`] (mirrors `run_scenario_with`).
+fn run_manual(
+    scenario: &Scenario,
+    strategy: Strategy,
+    legacy_loss: f64,
+    resilience: &ResilienceConfig,
+) -> (Energy, RunStats) {
+    let w = Kernel::new();
+    let p = profile();
+    let mut rng = SmallRng::seed_from_u64(scenario.seed);
+    let mut channel = scenario.channel.clone();
+    let mut vm = EnergyAwareVm::new(&w, p)
+        .with_faults(FaultInjector::from_spec(&scenario.faults))
+        .with_resilience(*resilience);
+    vm.remote_cfg = RemoteConfig {
+        loss_probability: legacy_loss,
+        ..Default::default()
+    };
+    for _ in 0..scenario.runs {
+        let size = scenario.sizes.sample(&mut rng);
+        let true_class = channel.advance(&mut rng);
+        vm.invoke_once(strategy, size, true_class, &mut rng)
+            .expect("invocation failed");
+        vm.end_invocation();
+    }
+    (vm.total_energy(), vm.stats.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    /// (a) Energy is conserved across retry chains: the per-invocation
+    /// reports sum to the machine's total, and the wasted-energy
+    /// accounting never exceeds what was actually spent — however many
+    /// retries, fallbacks and breaker trips the fault schedule forces.
+    #[test]
+    fn energy_is_conserved_across_retry_chains(
+        seed in 0u64..1000,
+        loss_bad in 0.3f64..0.95,
+    ) {
+        let w = Kernel::new();
+        let scenario =
+            Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), seed, loss_bad)
+                .with_runs(25);
+        let r = run_scenario_with(
+            &w,
+            profile(),
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &ResilienceConfig::default(),
+        );
+        let sum: f64 = r.reports.iter().map(|x| x.energy.nanojoules()).sum();
+        let total = r.total_energy.nanojoules();
+        prop_assert!(
+            (sum - total).abs() < total * 1e-9 + 1.0,
+            "per-invocation sum {sum} != total {total}"
+        );
+        let wasted_sum: f64 = r.reports.iter().map(|x| x.wasted_energy.nanojoules()).sum();
+        prop_assert!(
+            (wasted_sum - r.stats.wasted_energy.nanojoules()).abs()
+                < r.stats.wasted_energy.nanojoules() * 1e-9 + 1.0,
+            "wasted-energy reports disagree with stats"
+        );
+        prop_assert!(
+            r.stats.wasted_energy.nanojoules() <= total,
+            "wasted {} exceeds total {total}",
+            r.stats.wasted_energy.nanojoules()
+        );
+    }
+
+    /// (b) The breaker never strands a method: even when every remote
+    /// interaction fails, every invocation completes (locally), under
+    /// every strategy.
+    #[test]
+    fn breaker_never_strands_a_method(seed in 0u64..1000) {
+        let w = Kernel::new();
+        let runs = 20;
+        for faults in [FaultSpec::flat_loss(1.0), FaultSpec::degraded(1.0)] {
+            for strategy in Strategy::ALL {
+                let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), seed)
+                    .with_runs(runs)
+                    .with_faults(faults);
+                let r = run_scenario_with(
+                    &w,
+                    profile(),
+                    &scenario,
+                    strategy,
+                    &ResilienceConfig::default(),
+                );
+                prop_assert_eq!(r.reports.len(), runs, "{} dropped invocations", strategy);
+                let executed =
+                    r.stats.remote + r.stats.interpreted + r.stats.local.iter().sum::<u64>();
+                prop_assert_eq!(
+                    executed,
+                    runs as u64,
+                    "{}: {:?}",
+                    strategy,
+                    r.stats
+                );
+            }
+        }
+        // Under total flat loss nothing ever executes remotely.
+        let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), seed)
+            .with_runs(runs)
+            .with_faults(FaultSpec::flat_loss(1.0));
+        let r = run_scenario_with(
+            &w,
+            profile(),
+            &scenario,
+            Strategy::Remote,
+            &ResilienceConfig::default(),
+        );
+        prop_assert_eq!(r.stats.remote, 0);
+        prop_assert!(r.stats.breaker_trips > 0, "total loss must trip the breaker");
+    }
+
+    /// (c) A Gilbert–Elliott chain frozen in `Good` (bad-state entry
+    /// probability 0) reproduces the legacy flat-loss model
+    /// bit-for-bit: same energy bits, same statistics.
+    #[test]
+    fn frozen_ge_chain_matches_legacy_flat_loss_bitwise(
+        p in 0.05f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        for strategy in [Strategy::Remote, Strategy::AdaptiveAdaptive] {
+            let base = Scenario::paper(Situation::GoodDominant, &[16, 32, 64, 128], seed)
+                .with_runs(20);
+            // New model: frozen GE chain at p, legacy knob off.
+            let ge = base.clone().with_faults(FaultSpec::flat_loss(p));
+            let (e_ge, s_ge) = run_manual(&ge, strategy, 0.0, &ResilienceConfig::default());
+            // Legacy model: flat RemoteConfig loss at p, injector inert.
+            let (e_legacy, s_legacy) =
+                run_manual(&base, strategy, p, &ResilienceConfig::default());
+            prop_assert_eq!(
+                e_ge.nanojoules().to_bits(),
+                e_legacy.nanojoules().to_bits(),
+                "{}: GE {} vs legacy {}",
+                strategy,
+                e_ge,
+                e_legacy
+            );
+            prop_assert_eq!(format!("{s_ge:?}"), format!("{s_legacy:?}"), "{}", strategy);
+        }
+    }
+
+    /// Identical seeds give identical energy totals with fault
+    /// injection enabled (reproducibility of degraded runs).
+    #[test]
+    fn identical_seeds_identical_energy_under_faults(
+        seed in 0u64..1000,
+        loss_bad in 0.2f64..0.9,
+    ) {
+        let w = Kernel::new();
+        let scenario =
+            Scenario::paper_degraded(Situation::Uniform, &w.sizes(), seed, loss_bad)
+                .with_runs(15);
+        let run = || {
+            run_scenario_with(
+                &w,
+                profile(),
+                &scenario,
+                Strategy::AdaptiveAdaptive,
+                &ResilienceConfig::default(),
+            )
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(
+            a.total_energy.nanojoules().to_bits(),
+            b.total_energy.nanojoules().to_bits()
+        );
+        prop_assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+    }
+}

@@ -9,7 +9,7 @@ use jem_energy::Power;
 use jem_jvm::dsl::*;
 use jem_jvm::{Heap, MethodAttrs, MethodId, OptLevel, Program, Value};
 use jem_radio::ChannelClass;
-use jem_sim::{Scenario, SizeDist, Situation};
+use jem_sim::{Scenario, Situation, SizeDist};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -134,7 +134,14 @@ fn evaluate_omits_compile_cost_for_installed_level() {
     let w = Kernel::new();
     let p = Profile::build(&w, 1);
     let with = evaluate(&p, 10, 64.0, Power::from_watts(0.37), None, true);
-    let installed = evaluate(&p, 10, 64.0, Power::from_watts(0.37), Some(OptLevel::L2), true);
+    let installed = evaluate(
+        &p,
+        10,
+        64.0,
+        Power::from_watts(0.37),
+        Some(OptLevel::L2),
+        true,
+    );
     assert!(installed.local[1] < with.local[1]);
     assert_eq!(installed.local[0], with.local[0]);
 }
@@ -149,6 +156,7 @@ fn adaptive_run_reaches_native_steady_state() {
         sizes: SizeDist::Fixed(128),
         runs: 40,
         seed: 2,
+        faults: jem_sim::FaultSpec::NONE,
     };
     let r = run_scenario(&w, &p, &scenario, Strategy::AdaptiveLocal);
     // In a terrible channel with a hot method, AL must end up running
@@ -187,9 +195,7 @@ fn run_stats_account_for_every_invocation() {
     for strategy in Strategy::ALL {
         let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 9).with_runs(25);
         let r = run_scenario(&w, &p, &scenario, strategy);
-        let executed = r.stats.remote
-            + r.stats.interpreted
-            + r.stats.local.iter().sum::<u64>();
+        let executed = r.stats.remote + r.stats.interpreted + r.stats.local.iter().sum::<u64>();
         assert_eq!(executed, 25, "{strategy}: {:?}", r.stats);
         assert!(r.total_energy.nanojoules() > 0.0);
         assert!(r.total_time.nanos() > 0.0);

@@ -90,9 +90,18 @@ impl CacheSim {
     /// If the configured sizes are not powers of two or the line is
     /// larger than the cache.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(config.line_bytes <= config.size_bytes, "line larger than cache");
+        assert!(
+            config.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.line_bytes <= config.size_bytes,
+            "line larger than cache"
+        );
         let lines = config.num_lines();
         CacheSim {
             config,

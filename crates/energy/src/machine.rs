@@ -217,8 +217,7 @@ impl Machine {
             );
         }
         self.mix += *mix;
-        self.cycles += mix.total()
-            + mix.mem_accesses * self.config.miss_penalty_cycles as u64;
+        self.cycles += mix.total() + mix.mem_accesses * self.config.miss_penalty_cycles as u64;
     }
 
     /// Enter the power-down state for `duration`: wall time advances,
@@ -226,7 +225,8 @@ impl Machine {
     pub fn power_down(&mut self, duration: SimTime) {
         self.state = PowerState::PowerDown;
         let leak = self.config.nominal_power * self.config.leak_fraction;
-        self.breakdown.charge(Component::Leakage, leak.over(duration));
+        self.breakdown
+            .charge(Component::Leakage, leak.over(duration));
         self.extra_time += duration;
         self.state = PowerState::Active;
     }
@@ -293,10 +293,8 @@ impl Machine {
     /// Energy and time consumed since `checkpoint`.
     pub fn since(&self, checkpoint: &MachineCheckpoint) -> (Energy, SimTime) {
         let energy = self.breakdown.total() - checkpoint.breakdown.total();
-        let time = SimTime::from_cycles(
-            self.cycles - checkpoint.cycles,
-            self.config.clock_hz,
-        ) + (self.extra_time - checkpoint.extra_time);
+        let time = SimTime::from_cycles(self.cycles - checkpoint.cycles, self.config.clock_hz)
+            + (self.extra_time - checkpoint.extra_time);
         (energy, time)
     }
 
@@ -449,10 +447,7 @@ mod tests {
     #[test]
     fn radio_charges_land_in_radio_components() {
         let mut m = client();
-        m.charge_radio(
-            Energy::from_microjoules(3.0),
-            Energy::from_microjoules(1.0),
-        );
+        m.charge_radio(Energy::from_microjoules(3.0), Energy::from_microjoules(1.0));
         assert!((m.breakdown().communication().microjoules() - 4.0).abs() < 1e-9);
         assert_eq!(m.breakdown().computation(), Energy::ZERO);
     }

@@ -458,9 +458,7 @@ mod tests {
 
     #[test]
     fn energy_sum_and_minmax() {
-        let total: Energy = (1..=4)
-            .map(|i| Energy::from_nanojoules(i as f64))
-            .sum();
+        let total: Energy = (1..=4).map(|i| Energy::from_nanojoules(i as f64)).sum();
         assert_eq!(total.nanojoules(), 10.0);
         let a = Energy::from_nanojoules(1.0);
         let b = Energy::from_nanojoules(2.0);

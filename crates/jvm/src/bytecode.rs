@@ -352,7 +352,12 @@ mod tests {
 
     #[test]
     fn code_size_sums() {
-        let code = [Op::IConst(1), Op::IConst(2), Op::IArith(IBin::Add), Op::RetVal];
+        let code = [
+            Op::IConst(1),
+            Op::IConst(2),
+            Op::IArith(IBin::Add),
+            Op::RetVal,
+        ];
         assert_eq!(code_size_bytes(&code), 1 + 1 + 1 + 1);
     }
 }

@@ -302,8 +302,12 @@ impl ProgramBuilder {
         self.field_names[class.0 as usize]
             .iter()
             .position(|n| n == field)
-            .unwrap_or_else(|| panic!("no field {field} in {}", self.classes[class.0 as usize].name))
-            as u16
+            .unwrap_or_else(|| {
+                panic!(
+                    "no field {field} in {}",
+                    self.classes[class.0 as usize].name
+                )
+            }) as u16
     }
 
     /// Add a static (non-virtual) method.
@@ -429,8 +433,14 @@ mod tests {
     fn vtable_override() {
         let mut b = ProgramBuilder::new();
         let base = b.add_class("Shape", None, &[]);
-        let (area_base, slot) =
-            b.add_virtual_method(base, "area", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        let (area_base, slot) = b.add_virtual_method(
+            base,
+            "area",
+            void_sig(),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
         let circle = b.add_class("Circle", Some(base), &[]);
         let (area_circle, slot2) = b.add_virtual_method(
             circle,
@@ -450,11 +460,24 @@ mod tests {
     fn overriding_classes_found_by_cha() {
         let mut b = ProgramBuilder::new();
         let base = b.add_class("B", None, &[]);
-        let (_, slot) =
-            b.add_virtual_method(base, "f", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        let (_, slot) = b.add_virtual_method(
+            base,
+            "f",
+            void_sig(),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
         let d1 = b.add_class("D1", Some(base), &[]);
         let _d2 = b.add_class("D2", Some(base), &[]); // inherits, no override
-        b.add_virtual_method(d1, "f", void_sig(), 1, vec![Op::Ret], MethodAttrs::default());
+        b.add_virtual_method(
+            d1,
+            "f",
+            void_sig(),
+            1,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
         let p = b.finish();
         assert_eq!(p.overriding_classes(base, slot), vec![d1]);
     }
@@ -475,7 +498,14 @@ mod tests {
                 ..Default::default()
             },
         );
-        let _m2 = b.add_static_method(c, "cold", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
+        let _m2 = b.add_static_method(
+            c,
+            "cold",
+            void_sig(),
+            0,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
         let p = b.finish();
         assert_eq!(p.potential_methods(), vec![m1]);
         assert_eq!(p.qualified_name(m1), "App.hot");
@@ -486,8 +516,22 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let a = b.add_class("A", None, &[]);
         let c = b.add_class("C", None, &[]);
-        let ma = b.add_static_method(a, "run", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
-        let mc = b.add_static_method(c, "run", void_sig(), 0, vec![Op::Ret], MethodAttrs::default());
+        let ma = b.add_static_method(
+            a,
+            "run",
+            void_sig(),
+            0,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
+        let mc = b.add_static_method(
+            c,
+            "run",
+            void_sig(),
+            0,
+            vec![Op::Ret],
+            MethodAttrs::default(),
+        );
         let p = b.finish();
         assert_eq!(p.find_method("A", "run"), Some(ma));
         assert_eq!(p.find_method("C", "run"), Some(mc));

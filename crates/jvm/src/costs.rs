@@ -125,12 +125,8 @@ pub fn op_work_mix(op: &Op) -> InstrMix {
             .with(InstrClass::Load, 2) // 8-byte operand fetch
             .with(InstrClass::Store, 2),
         // local read + push / pop + local write
-        Op::Load(_) => m
-            .with(InstrClass::Load, 2)
-            .with(InstrClass::Store, 1),
-        Op::Store(_) => m
-            .with(InstrClass::Load, 2)
-            .with(InstrClass::Store, 1),
+        Op::Load(_) => m.with(InstrClass::Load, 2).with(InstrClass::Store, 1),
+        Op::Store(_) => m.with(InstrClass::Load, 2).with(InstrClass::Store, 1),
         Op::Pop => m.with(InstrClass::AluSimple, 1),
         Op::Dup => m.with(InstrClass::Load, 1).with(InstrClass::Store, 1),
         Op::Swap => m.with(InstrClass::Load, 2).with(InstrClass::Store, 2),
@@ -141,7 +137,9 @@ pub fn op_work_mix(op: &Op) -> InstrMix {
             } else {
                 InstrClass::AluSimple
             };
-            m.with(InstrClass::Load, 2).with(alu, 1).with(InstrClass::Store, 1)
+            m.with(InstrClass::Load, 2)
+                .with(alu, 1)
+                .with(InstrClass::Store, 1)
         }
         Op::INeg => m
             .with(InstrClass::Load, 1)
@@ -199,16 +197,12 @@ pub fn op_work_mix(op: &Op) -> InstrMix {
             .with(InstrClass::Load, 3)
             .with(InstrClass::AluSimple, 2)
             .with(InstrClass::Branch, 1),
-        Op::ArrLen => m
-            .with(InstrClass::Load, 2)
-            .with(InstrClass::Store, 1),
+        Op::ArrLen => m.with(InstrClass::Load, 2).with(InstrClass::Store, 1),
         Op::GetField(..) => m
             .with(InstrClass::Load, 2)
             .with(InstrClass::AluSimple, 1)
             .with(InstrClass::Store, 1),
-        Op::PutField(_) => m
-            .with(InstrClass::Load, 2)
-            .with(InstrClass::AluSimple, 1),
+        Op::PutField(_) => m.with(InstrClass::Load, 2).with(InstrClass::AluSimple, 1),
         // call/return: frame setup (locals copy priced per arg by the
         // interpreter), vtable lookup for virtual
         Op::Call(_) => m
@@ -339,8 +333,7 @@ mod tests {
         // iadd several times more expensive than the single simple-ALU
         // instruction native code uses.
         let table = EnergyTable::default();
-        let interp =
-            table.energy_of_mix(&(dispatch_mix() + op_work_mix(&Op::IArith(IBin::Add))));
+        let interp = table.energy_of_mix(&(dispatch_mix() + op_work_mix(&Op::IArith(IBin::Add))));
         let native = table.energy_of_mix(&InstrMix::new().with(InstrClass::AluSimple, 1));
         let ratio = interp.ratio(native);
         assert!(ratio > 4.0, "interpretation too cheap: {ratio}");

@@ -22,8 +22,8 @@
 //! ```
 
 use crate::bytecode::{ClassId, Cond, FBin, IBin, MethodId, Op};
-use crate::class::{MethodAttrs, MethodSig, ProgramBuilder};
 use crate::class::Program;
+use crate::class::{MethodAttrs, MethodSig, ProgramBuilder};
 use crate::value::Type;
 use std::collections::HashMap;
 use std::fmt;
@@ -775,16 +775,11 @@ impl<'a> FuncCtx<'a> {
                         self.emit(Op::IArith(ibin_of(*op)));
                         Ok(DType::Int)
                     }
-                    (
-                        DType::Float,
-                        ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Div,
-                    ) => {
+                    (DType::Float, ArithOp::Add | ArithOp::Sub | ArithOp::Mul | ArithOp::Div) => {
                         self.emit(Op::FArith(fbin_of(*op)));
                         Ok(DType::Float)
                     }
-                    (DType::Float, _) => {
-                        Err(self.err(format!("{op:?} is not defined on floats")))
-                    }
+                    (DType::Float, _) => Err(self.err(format!("{op:?} is not defined on floats"))),
                     _ => Err(self.err(format!("arithmetic on non-numeric type {ta}"))),
                 }
             }
@@ -1082,10 +1077,9 @@ impl<'a> FuncCtx<'a> {
                     // cannot fall through (it ended in return/goto) —
                     // emitting one would create an unreachable branch
                     // with a possibly out-of-range target.
-                    let then_falls_through =
-                        !self.code.last().is_some_and(|op| op.is_terminator());
-                    let skip_else = then_falls_through
-                        .then(|| self.emit_branch(Op::Goto(u32::MAX)));
+                    let then_falls_through = !self.code.last().is_some_and(|op| op.is_terminator());
+                    let skip_else =
+                        then_falls_through.then(|| self.emit_branch(Op::Goto(u32::MAX)));
                     let else_start = self.here();
                     self.patch(false_jump, else_start);
                     self.compile_block(els)?;
@@ -1137,26 +1131,22 @@ impl<'a> FuncCtx<'a> {
                 self.scopes.pop();
                 Ok(())
             }
-            Stmt::Return(value) => {
-                match (value, self.ret.clone()) {
-                    (None, None) => {
-                        self.emit(Op::Ret);
-                        Ok(())
-                    }
-                    (Some(e), Some(want)) => {
-                        let got = self.compile_expr(e)?;
-                        if got != want {
-                            return Err(
-                                self.err(format!("return type: expected {want}, got {got}"))
-                            );
-                        }
-                        self.emit(Op::RetVal);
-                        Ok(())
-                    }
-                    (None, Some(t)) => Err(self.err(format!("missing return value of type {t}"))),
-                    (Some(_), None) => Err(self.err("return value in void function".to_string())),
+            Stmt::Return(value) => match (value, self.ret.clone()) {
+                (None, None) => {
+                    self.emit(Op::Ret);
+                    Ok(())
                 }
-            }
+                (Some(e), Some(want)) => {
+                    let got = self.compile_expr(e)?;
+                    if got != want {
+                        return Err(self.err(format!("return type: expected {want}, got {got}")));
+                    }
+                    self.emit(Op::RetVal);
+                    Ok(())
+                }
+                (None, Some(t)) => Err(self.err(format!("missing return value of type {t}"))),
+                (Some(_), None) => Err(self.err("return value in void function".to_string())),
+            },
             Stmt::Expr(e) => {
                 // Calls may be void; anything else leaves a value to pop.
                 let leaves_value = match e {
@@ -1249,10 +1239,9 @@ impl<'a> FuncCtx<'a> {
             match self.code.last() {
                 Some(op) if op.is_terminator() => {}
                 _ => {
-                    return Err(self.err(format!(
-                        "non-void function {} may fall off the end",
-                        f.name
-                    )))
+                    return Err(
+                        self.err(format!("non-void function {} may fall off the end", f.name))
+                    )
                 }
             }
         }
@@ -1384,7 +1373,9 @@ mod tests {
             "area",
             vec![("r", DType::Float)],
             Some(DType::Float),
-            vec![ret(fconst(std::f64::consts::PI).mul(var("r")).mul(var("r")))],
+            vec![ret(fconst(std::f64::consts::PI)
+                .mul(var("r"))
+                .mul(var("r")))],
         );
         m.func(
             "round_up",

@@ -235,13 +235,16 @@ pub fn run(
                     set!(d, v);
                 }
             }
-            NInst::CallVirtOp { d, slot, recv, args } => {
+            NInst::CallVirtOp {
+                d,
+                slot,
+                recv,
+                args,
+            } => {
                 let h = getref!(recv);
                 let class = ClassId(vm.heap.class_of(h)?);
                 let vtable = &vm.program.class(class).vtable;
-                let target = *vtable
-                    .get(*slot as usize)
-                    .ok_or(VmError::BadVSlot(*slot))?;
+                let target = *vtable.get(*slot as usize).ok_or(VmError::BadVSlot(*slot))?;
                 let mut argv: Vec<Value> = Vec::with_capacity(args.len() + 1);
                 argv.push(Value::Ref(h));
                 argv.extend(args.iter().map(|r| regs[r.0 as usize]));

@@ -221,20 +221,22 @@ impl Heap {
     /// [`VmError::BadHandle`].
     pub fn array_get(&self, h: Handle, idx: usize) -> Result<Value, VmError> {
         match self.get(h)? {
-            HeapObj::Array(ArrayData::Int(v)) => v
-                .get(idx)
-                .map(|&x| Value::Int(x))
-                .ok_or(VmError::IndexOutOfBounds {
-                    index: idx,
-                    len: v.len(),
-                }),
-            HeapObj::Array(ArrayData::Float(v)) => v
-                .get(idx)
-                .map(|&x| Value::Float(x))
-                .ok_or(VmError::IndexOutOfBounds {
-                    index: idx,
-                    len: v.len(),
-                }),
+            HeapObj::Array(ArrayData::Int(v)) => {
+                v.get(idx)
+                    .map(|&x| Value::Int(x))
+                    .ok_or(VmError::IndexOutOfBounds {
+                        index: idx,
+                        len: v.len(),
+                    })
+            }
+            HeapObj::Array(ArrayData::Float(v)) => {
+                v.get(idx)
+                    .map(|&x| Value::Float(x))
+                    .ok_or(VmError::IndexOutOfBounds {
+                        index: idx,
+                        len: v.len(),
+                    })
+            }
             HeapObj::Array(ArrayData::Ref(v)) => {
                 v.get(idx).copied().ok_or(VmError::IndexOutOfBounds {
                     index: idx,

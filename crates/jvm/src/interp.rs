@@ -62,16 +62,12 @@ pub fn run(vm: &mut Vm<'_>, method: MethodId, args: Vec<Value>) -> Result<Option
             Op::FConst(v) => stack.push(Value::Float(v)),
             Op::NullConst => stack.push(Value::Null),
             Op::Load(n) => {
-                let v = *locals
-                    .get(n as usize)
-                    .ok_or(VmError::BadLocal(n))?;
+                let v = *locals.get(n as usize).ok_or(VmError::BadLocal(n))?;
                 stack.push(v);
             }
             Op::Store(n) => {
                 let v = pop!();
-                let slot = locals
-                    .get_mut(n as usize)
-                    .ok_or(VmError::BadLocal(n))?;
+                let slot = locals.get_mut(n as usize).ok_or(VmError::BadLocal(n))?;
                 *slot = v;
             }
             Op::Pop => {
@@ -248,9 +244,7 @@ pub fn run(vm: &mut Vm<'_>, method: MethodId, args: Vec<Value>) -> Result<Option
                 let class = vm.heap.class_of(recv)?;
                 let class = crate::bytecode::ClassId(class);
                 let vtable = &vm.program.class(class).vtable;
-                let target = *vtable
-                    .get(slot as usize)
-                    .ok_or(VmError::BadVSlot(slot))?;
+                let target = *vtable.get(slot as usize).ok_or(VmError::BadVSlot(slot))?;
                 // The receiver stays in args[0] for the callee.
                 let _ = &mut args;
                 let ret = vm.invoke(target, args)?;

@@ -202,9 +202,10 @@ mod tests {
             }
             for level in OptLevel::ALL {
                 let c = compile(&p, id, level);
-                c.code.func.validate().unwrap_or_else(|e| {
-                    panic!("{} at {level}: {e}", p.qualified_name(id))
-                });
+                c.code
+                    .func
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", p.qualified_name(id)));
             }
         }
     }

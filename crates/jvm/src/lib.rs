@@ -51,6 +51,6 @@ pub use class::{Method, MethodAttrs, MethodSig, Program, ProgramBuilder};
 pub use emit::{NativeCode, OptLevel};
 pub use error::{VerifyError, VmError};
 pub use heap::Heap;
-pub use jit::{compile, Compiled, CompileReport};
+pub use jit::{compile, CompileReport, Compiled};
 pub use value::{Handle, Type, Value};
 pub use vm::{MethodCode, Vm, VmOptions};

@@ -61,12 +61,7 @@ pub fn lower(program: &Program, id: MethodId) -> LowerResult {
     // block_start[b - 1] = first pc of real block b.
     let block_start: Vec<usize> = (0..code.len()).filter(|&pc| is_leader[pc]).collect();
     let start_of = |b: u32| block_start[b as usize - 1];
-    let end_of = |b: u32| {
-        block_start
-            .get(b as usize)
-            .copied()
-            .unwrap_or(code.len())
-    };
+    let end_of = |b: u32| block_start.get(b as usize).copied().unwrap_or(code.len());
 
     // 3. Entry stack depth per block (dataflow over verified code).
     let mut entry_depth: Vec<Option<usize>> = vec![None; nblocks as usize];
@@ -123,9 +118,7 @@ pub fn lower(program: &Program, id: MethodId) -> LowerResult {
     let sreg = |depth: usize| VReg(nlocals + depth as u32);
 
     // Synthetic entry.
-    func.blocks[0].insts.push(NInst::Jmp {
-        target: BlockId(1),
-    });
+    func.blocks[0].insts.push(NInst::Jmp { target: BlockId(1) });
 
     for b in 1..nblocks as usize {
         let Some(mut depth) = entry_depth[b] else {
@@ -445,10 +438,7 @@ mod tests {
         assert!(r.work_units > 0);
         // Synthetic entry + one real block.
         assert_eq!(r.func.blocks.len(), 2);
-        assert!(matches!(
-            r.func.blocks[0].terminator(),
-            NInst::Jmp { .. }
-        ));
+        assert!(matches!(r.func.blocks[0].terminator(), NInst::Jmp { .. }));
         assert!(matches!(
             r.func.blocks[1].terminator(),
             NInst::Ret { val: Some(_) }
@@ -520,15 +510,18 @@ mod tests {
     fn lowers_virtual_calls() {
         let mut m = ModuleBuilder::new();
         m.class("C", None, &[("v", DType::Int)]);
-        m.virtual_method("C", "get", vec![], Some(DType::Int), vec![ret(var("this").field("v"))]);
+        m.virtual_method(
+            "C",
+            "get",
+            vec![],
+            Some(DType::Int),
+            vec![ret(var("this").field("v"))],
+        );
         m.func(
             "main",
             vec![],
             Some(DType::Int),
-            vec![
-                let_("c", new_obj("C")),
-                ret(var("c").vcall("get", vec![])),
-            ],
+            vec![let_("c", new_obj("C")), ret(var("c").vcall("get", vec![]))],
         );
         let p = compile(m);
         let id = p.find_method(MODULE_CLASS, "main").unwrap();

@@ -248,7 +248,10 @@ pub enum NInst {
 impl NInst {
     /// True for block terminators.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, NInst::Jmp { .. } | NInst::BrCond { .. } | NInst::Ret { .. })
+        matches!(
+            self,
+            NInst::Jmp { .. } | NInst::BrCond { .. } | NInst::Ret { .. }
+        )
     }
 
     /// The register this instruction defines, if any.
@@ -694,7 +697,9 @@ mod tests {
     #[test]
     fn validate_rejects_out_of_range_reg() {
         let mut f = sample();
-        f.blocks[1].insts = vec![NInst::Ret { val: Some(VReg(99)) }];
+        f.blocks[1].insts = vec![NInst::Ret {
+            val: Some(VReg(99)),
+        }];
         assert!(f.validate().is_err());
     }
 

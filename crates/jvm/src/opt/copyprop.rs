@@ -80,15 +80,24 @@ mod tests {
     fn propagates_through_stack_movs() {
         // The canonical lowered `acc += i` shape.
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(4), s: VReg(1) }, // push acc
-            NInst::Mov { d: VReg(5), s: VReg(2) }, // push i
+            NInst::Mov {
+                d: VReg(4),
+                s: VReg(1),
+            }, // push acc
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(2),
+            }, // push i
             NInst::IBinOp {
                 op: IBin::Add,
                 d: VReg(4),
                 a: VReg(4),
                 b: VReg(5),
             },
-            NInst::Mov { d: VReg(1), s: VReg(4) }, // store acc
+            NInst::Mov {
+                d: VReg(1),
+                s: VReg(4),
+            }, // store acc
             NInst::Ret { val: Some(VReg(1)) },
         ]);
         let r = run(&mut f);
@@ -108,7 +117,10 @@ mod tests {
     #[test]
     fn copies_die_on_source_redefinition() {
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(4), s: VReg(1) },
+            NInst::Mov {
+                d: VReg(4),
+                s: VReg(1),
+            },
             NInst::IConst { d: VReg(1), v: 99 }, // r1 changes!
             // r4 must NOT be rewritten to r1 here.
             NInst::IBinOp {
@@ -134,9 +146,18 @@ mod tests {
     #[test]
     fn chains_resolve_to_root() {
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(4), s: VReg(1) },
-            NInst::Mov { d: VReg(5), s: VReg(4) },
-            NInst::Mov { d: VReg(6), s: VReg(5) },
+            NInst::Mov {
+                d: VReg(4),
+                s: VReg(1),
+            },
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(4),
+            },
+            NInst::Mov {
+                d: VReg(6),
+                s: VReg(5),
+            },
             NInst::Ret { val: Some(VReg(6)) },
         ]);
         run(&mut f);
@@ -149,7 +170,10 @@ mod tests {
     #[test]
     fn defs_are_not_rewritten() {
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(4), s: VReg(1) },
+            NInst::Mov {
+                d: VReg(4),
+                s: VReg(1),
+            },
             // Redefines r4; the def must stay r4.
             NInst::IConst { d: VReg(4), v: 3 },
             NInst::Ret { val: Some(VReg(4)) },
@@ -161,8 +185,14 @@ mod tests {
     #[test]
     fn with_dce_removes_stack_traffic() {
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(4), s: VReg(1) },
-            NInst::Mov { d: VReg(5), s: VReg(2) },
+            NInst::Mov {
+                d: VReg(4),
+                s: VReg(1),
+            },
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(2),
+            },
             NInst::IBinOp {
                 op: IBin::Add,
                 d: VReg(6),

@@ -38,7 +38,11 @@ impl Key {
     fn of(inst: &NInst) -> Option<Key> {
         Some(match *inst {
             NInst::IBinOp { op, a, b, .. } => {
-                let (a, b) = if commutes(op) && b < a { (b, a) } else { (a, b) };
+                let (a, b) = if commutes(op) && b < a {
+                    (b, a)
+                } else {
+                    (a, b)
+                };
                 Key::IBin(op, a, b)
             }
             NInst::IShlImm { a, k, .. } => Key::IShl(a, k),
@@ -91,10 +95,7 @@ impl Key {
 }
 
 fn commutes(op: IBin) -> bool {
-    matches!(
-        op,
-        IBin::Add | IBin::Mul | IBin::And | IBin::Or | IBin::Xor
-    )
+    matches!(op, IBin::Add | IBin::Mul | IBin::And | IBin::Or | IBin::Xor)
 }
 
 /// Run the pass.
@@ -132,9 +133,7 @@ pub fn run(func: &mut NFunc) -> PassReport {
 
             // Invalidate entries whose operands or holder die.
             if let Some(d) = inst.def() {
-                avail.retain(|k, &mut v| {
-                    v != d && !k.operands().contains(&Some(d))
-                });
+                avail.retain(|k, &mut v| v != d && !k.operands().contains(&Some(d)));
             }
 
             // Record this computation (recompute the key: the inst may
@@ -184,14 +183,26 @@ mod tests {
         let mut f = func_with(vec![add(4, 1, 2), add(5, 1, 2)]);
         let r = run(&mut f);
         assert!(r.changed);
-        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(4)
+            }
+        );
     }
 
     #[test]
     fn commutative_operands_normalize() {
         let mut f = func_with(vec![add(4, 1, 2), add(5, 2, 1)]);
         run(&mut f);
-        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(4)
+            }
+        );
     }
 
     #[test]
@@ -212,7 +223,7 @@ mod tests {
         let mut f = func_with(vec![
             add(4, 1, 2),
             NInst::IConst { d: VReg(1), v: 9 }, // kills r1
-            add(5, 1, 2),                        // must recompute
+            add(5, 1, 2),                       // must recompute
         ]);
         run(&mut f);
         assert!(matches!(f.blocks[0].insts[2], NInst::IBinOp { .. }));
@@ -223,7 +234,7 @@ mod tests {
         let mut f = func_with(vec![
             add(4, 1, 2),
             NInst::IConst { d: VReg(4), v: 0 }, // kills the holder r4
-            add(5, 1, 2),                        // must recompute
+            add(5, 1, 2),                       // must recompute
         ]);
         run(&mut f);
         assert!(matches!(f.blocks[0].insts[2], NInst::IBinOp { .. }));
@@ -249,7 +260,13 @@ mod tests {
             aload(6), // after a store: must reload
         ]);
         run(&mut f);
-        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(4)
+            }
+        );
         assert!(matches!(f.blocks[0].insts[3], NInst::ALoadOp { .. }));
     }
 
@@ -281,7 +298,13 @@ mod tests {
             NInst::IConst { d: VReg(5), v: 42 },
         ]);
         run(&mut f);
-        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(5), s: VReg(4) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::Mov {
+                d: VReg(5),
+                s: VReg(4)
+            }
+        );
     }
 
     #[test]
@@ -290,7 +313,12 @@ mod tests {
             method: MethodId(0),
             blocks: vec![
                 Block {
-                    insts: vec![add(4, 1, 2), NInst::Jmp { target: crate::nir::BlockId(1) }],
+                    insts: vec![
+                        add(4, 1, 2),
+                        NInst::Jmp {
+                            target: crate::nir::BlockId(1),
+                        },
+                    ],
                 },
                 Block {
                     insts: vec![add(5, 1, 2), NInst::Ret { val: Some(VReg(5)) }],

@@ -163,7 +163,10 @@ mod tests {
                 a: VReg(5),
                 b: VReg(5),
             },
-            NInst::Mov { d: VReg(7), s: VReg(6) },
+            NInst::Mov {
+                d: VReg(7),
+                s: VReg(6),
+            },
             NInst::Ret { val: Some(VReg(0)) },
         ]);
         run(&mut f);
@@ -173,7 +176,10 @@ mod tests {
     #[test]
     fn removes_self_moves() {
         let mut f = func_with(vec![
-            NInst::Mov { d: VReg(1), s: VReg(1) },
+            NInst::Mov {
+                d: VReg(1),
+                s: VReg(1),
+            },
             NInst::Ret { val: Some(VReg(1)) },
         ]);
         run(&mut f);

@@ -58,7 +58,16 @@ pub fn run(func: &mut NFunc, program: &Program, config: &InlineConfig) -> PassRe
         else {
             break;
         };
-        splice(func, program, bi, ii, target, dest, arg_regs, &mut work_units);
+        splice(
+            func,
+            program,
+            bi,
+            ii,
+            target,
+            dest,
+            arg_regs,
+            &mut work_units,
+        );
         sites_done += 1;
         changed = true;
     }
@@ -272,10 +281,7 @@ mod tests {
             "main",
             vec![],
             Some(DType::Int),
-            vec![
-                let_("c", new_obj("C")),
-                ret(var("c").vcall("get", vec![])),
-            ],
+            vec![let_("c", new_obj("C")), ret(var("c").vcall("get", vec![]))],
         );
         let (p, mut f) = lower_main(m, "main");
         let r = run(&mut f, &p, &InlineConfig::default());
@@ -294,10 +300,7 @@ mod tests {
             "main",
             vec![],
             Some(DType::Int),
-            vec![
-                let_("a", new_obj("A")),
-                ret(var("a").vcall("id", vec![])),
-            ],
+            vec![let_("a", new_obj("A")), ret(var("a").vcall("id", vec![]))],
         );
         let (p, mut f) = lower_main(m, "main");
         let before = count_calls(&f);
@@ -367,8 +370,9 @@ mod tests {
             "main",
             vec![("x", DType::Int)],
             Some(DType::Int),
-            vec![ret(call("helper", vec![var("x")])
-                .add(call("helper", vec![var("x").add(iconst(1))])))],
+            vec![ret(
+                call("helper", vec![var("x")]).add(call("helper", vec![var("x").add(iconst(1))]))
+            )],
         );
         let (p, mut f) = lower_main(m, "main");
         let before = f.len();

@@ -226,18 +226,11 @@ mod tests {
         // The body now movs instead of multiplying.
         assert!(matches!(f.blocks[2].insts[0], NInst::Mov { .. }));
         // Entry was retargeted to the preheader.
-        assert_eq!(
-            f.blocks[0].insts[0],
-            NInst::Jmp {
-                target: BlockId(4)
-            }
-        );
+        assert_eq!(f.blocks[0].insts[0], NInst::Jmp { target: BlockId(4) });
         // Back edge still goes to the header directly.
         assert_eq!(
             *f.blocks[2].insts.last().unwrap(),
-            NInst::Jmp {
-                target: BlockId(1)
-            }
+            NInst::Jmp { target: BlockId(1) }
         );
     }
 

@@ -39,9 +39,10 @@ pub fn run(func: &mut NFunc) -> PassReport {
                         _ => simplify_ibin(*op, *d, *a, *b, ca, cb),
                     }
                 }
-                NInst::INegOp { d, a } => consts
-                    .get(a)
-                    .map(|&x| NInst::IConst { d: *d, v: x.wrapping_neg() }),
+                NInst::INegOp { d, a } => consts.get(a).map(|&x| NInst::IConst {
+                    d: *d,
+                    v: x.wrapping_neg(),
+                }),
                 NInst::ICmpOp { d, a, b } => match (consts.get(a), consts.get(b)) {
                     (Some(&x), Some(&y)) => Some(NInst::IConst {
                         d: *d,
@@ -64,9 +65,7 @@ pub fn run(func: &mut NFunc) -> PassReport {
                     }),
                     _ => None,
                 },
-                NInst::FNegOp { d, a } => {
-                    fconsts.get(a).map(|&x| NInst::FConst { d: *d, v: -x })
-                }
+                NInst::FNegOp { d, a } => fconsts.get(a).map(|&x| NInst::FConst { d: *d, v: -x }),
                 _ => None,
             };
 
@@ -135,11 +134,9 @@ fn simplify_ibin(
         (IBin::Add, _, Some(0)) => Some(NInst::Mov { d, s: a }),
         (IBin::Add, Some(0), _) => Some(NInst::Mov { d, s: b }),
         (IBin::Sub, _, Some(0)) => Some(NInst::Mov { d, s: a }),
-        (IBin::Shl, _, Some(k)) if (0..31).contains(&k) => Some(NInst::IShlImm {
-            d,
-            a,
-            k: k as u8,
-        }),
+        (IBin::Shl, _, Some(k)) if (0..31).contains(&k) => {
+            Some(NInst::IShlImm { d, a, k: k as u8 })
+        }
         _ => None,
     }
 }
@@ -212,7 +209,13 @@ mod tests {
             },
         ]);
         run(&mut f);
-        assert_eq!(f.blocks[0].insts[1], NInst::Mov { d: VReg(0), s: VReg(2) });
+        assert_eq!(
+            f.blocks[0].insts[1],
+            NInst::Mov {
+                d: VReg(0),
+                s: VReg(2)
+            }
+        );
     }
 
     #[test]
@@ -272,7 +275,10 @@ mod tests {
                 a: VReg(1),
                 b: VReg(2),
             },
-            NInst::F2IOp { d: VReg(0), a: VReg(3) },
+            NInst::F2IOp {
+                d: VReg(0),
+                a: VReg(3),
+            },
         ]);
         run(&mut f);
         assert_eq!(f.blocks[0].insts[3], NInst::IConst { d: VReg(0), v: 6 });
@@ -282,7 +288,10 @@ mod tests {
     fn consts_propagate_through_movs() {
         let mut f = func_with(vec![
             NInst::IConst { d: VReg(1), v: 16 },
-            NInst::Mov { d: VReg(2), s: VReg(1) },
+            NInst::Mov {
+                d: VReg(2),
+                s: VReg(1),
+            },
             NInst::IBinOp {
                 op: IBin::Mul,
                 d: VReg(0),

@@ -88,10 +88,16 @@ pub fn allocate(func: &NFunc, k: usize) -> Allocation {
     // its defs/uses, plus whole blocks where it is live-through.
     let mut first: HashMap<VReg, u32> = HashMap::new();
     let mut last: HashMap<VReg, u32> = HashMap::new();
-    let touch = |r: VReg, at: u32, first: &mut HashMap<VReg, u32>, last: &mut HashMap<VReg, u32>| {
-        first.entry(r).and_modify(|f| *f = (*f).min(at)).or_insert(at);
-        last.entry(r).and_modify(|l| *l = (*l).max(at)).or_insert(at);
-    };
+    let touch =
+        |r: VReg, at: u32, first: &mut HashMap<VReg, u32>, last: &mut HashMap<VReg, u32>| {
+            first
+                .entry(r)
+                .and_modify(|f| *f = (*f).min(at))
+                .or_insert(at);
+            last.entry(r)
+                .and_modify(|l| *l = (*l).max(at))
+                .or_insert(at);
+        };
     // Arguments are live from position 0.
     for a in 0..func.nlocals.min(func.nregs) {
         touch(VReg(a), 0, &mut first, &mut last);

@@ -399,8 +399,7 @@ mod tests {
         let mut heap = Heap::new();
         let a = heap.alloc_int_array(2);
         heap.array_set(a, 0, Value::Int(5)).unwrap();
-        let bytes =
-            serialize_args(&heap, &[Value::Int(3), Value::Ref(a), Value::Null]).unwrap();
+        let bytes = serialize_args(&heap, &[Value::Int(3), Value::Ref(a), Value::Null]).unwrap();
         let mut h2 = Heap::new();
         let args = deserialize_args(&mut h2, &bytes).unwrap();
         assert_eq!(args.len(), 3);
@@ -415,7 +414,8 @@ mod tests {
         let mut heap = Heap::new();
         let img = heap.alloc_int_array(100);
         for i in 0..100 {
-            heap.array_set(img, i, Value::Int((i % 256) as i32)).unwrap();
+            heap.array_set(img, i, Value::Int((i % 256) as i32))
+                .unwrap();
         }
         let bytes = serialize(&heap, Value::Ref(img)).unwrap();
         // tag + len + 100 bytes.
@@ -450,7 +450,10 @@ mod tests {
     fn truncated_and_garbage_rejected() {
         let mut h = Heap::new();
         assert_eq!(deserialize(&mut h, &[]), Err(SerialError::Truncated));
-        assert_eq!(deserialize(&mut h, &[TAG_INT, 1]), Err(SerialError::Truncated));
+        assert_eq!(
+            deserialize(&mut h, &[TAG_INT, 1]),
+            Err(SerialError::Truncated)
+        );
         assert_eq!(deserialize(&mut h, &[99]), Err(SerialError::BadTag(99)));
         assert_eq!(
             deserialize(&mut h, &[TAG_BACKREF, 0, 0, 0, 0]),

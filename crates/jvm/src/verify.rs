@@ -343,8 +343,8 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
                     let _ = pop!();
                 }
                 pop_ty!(Type::Ref); // receiver
-                // Virtual return types must agree across all
-                // implementations in any class providing the slot.
+                                    // Virtual return types must agree across all
+                                    // implementations in any class providing the slot.
                 let mut ret: Option<Option<Type>> = None;
                 for class in &program.classes {
                     if let Some(&mid) = class.vtable.get(slot as usize) {
@@ -373,9 +373,7 @@ pub fn verify_method(program: &Program, id: MethodId) -> Result<(), VerifyError>
             }
             Op::RetVal => {
                 match method.sig.ret {
-                    None => {
-                        return Err(fail(Some(pc), "value return from void method".into()))
-                    }
+                    None => return Err(fail(Some(pc), "value return from void method".into())),
                     Some(r) => {
                         let got = pop!();
                         if got != r {
@@ -529,10 +527,10 @@ mod tests {
             MethodSig::new(vec![Type::Int], None),
             1,
             vec![
-                Op::Load(0),                 // 0
-                Op::BrZ(Cond::Eq, 3),        // 1: if zero jump to 3 with empty stack
-                Op::IConst(7),               // 2: fall through pushes
-                Op::Ret,                     // 3: join: empty vs [Int]
+                Op::Load(0),          // 0
+                Op::BrZ(Cond::Eq, 3), // 1: if zero jump to 3 with empty stack
+                Op::IConst(7),        // 2: fall through pushes
+                Op::Ret,              // 3: join: empty vs [Int]
             ],
         );
         let err = verify_method(&p, m).unwrap_err();
@@ -546,16 +544,16 @@ mod tests {
             MethodSig::new(vec![Type::Int], None),
             2,
             vec![
-                Op::IConst(0),          // 0
-                Op::Store(1),           // 1: i = 0
-                Op::Load(1),            // 2
-                Op::Load(0),            // 3
+                Op::IConst(0),           // 0
+                Op::Store(1),            // 1: i = 0
+                Op::Load(1),             // 2
+                Op::Load(0),             // 3
                 Op::ICmpBr(Cond::Ge, 9), // 4: if i >= n exit
-                Op::Load(1),            // 5
-                Op::IConst(1),          // 6
-                Op::IArith(IBin::Add),  // 7
-                Op::Store(1),           // 8 (falls to 2? no: next is 9) — fix below
-                Op::Ret,                // 9
+                Op::Load(1),             // 5
+                Op::IConst(1),           // 6
+                Op::IArith(IBin::Add),   // 7
+                Op::Store(1),            // 8 (falls to 2? no: next is 9) — fix below
+                Op::Ret,                 // 9
             ],
         );
         // The loop above actually falls through to Ret, which is still
@@ -566,17 +564,17 @@ mod tests {
             MethodSig::new(vec![Type::Int], None),
             2,
             vec![
-                Op::IConst(0),           // 0
-                Op::Store(1),            // 1
-                Op::Load(1),             // 2
-                Op::Load(0),             // 3
+                Op::IConst(0),            // 0
+                Op::Store(1),             // 1
+                Op::Load(1),              // 2
+                Op::Load(0),              // 3
                 Op::ICmpBr(Cond::Ge, 10), // 4
-                Op::Load(1),             // 5
-                Op::IConst(1),           // 6
-                Op::IArith(IBin::Add),   // 7
-                Op::Store(1),            // 8
-                Op::Goto(2),             // 9: back edge
-                Op::Ret,                 // 10
+                Op::Load(1),              // 5
+                Op::IConst(1),            // 6
+                Op::IArith(IBin::Add),    // 7
+                Op::Store(1),             // 8
+                Op::Goto(2),              // 9: back edge
+                Op::Ret,                  // 10
             ],
         );
         verify_method(&p2, m2).unwrap();

@@ -36,10 +36,7 @@ enum S {
 }
 
 fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-64i32..64).prop_map(E::Const),
-        (0u8..3).prop_map(E::Var),
-    ];
+    let leaf = prop_oneof![(-64i32..64).prop_map(E::Const), (0u8..3).prop_map(E::Var),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
@@ -62,7 +59,12 @@ fn stmt_strategy() -> impl Strategy<Value = S> {
     base.prop_recursive(2, 16, 4, |inner| {
         let stmts = prop::collection::vec(inner, 1..4);
         prop_oneof![
-            (expr_strategy(), expr_strategy(), stmts.clone(), stmts.clone())
+            (
+                expr_strategy(),
+                expr_strategy(),
+                stmts.clone(),
+                stmts.clone()
+            )
                 .prop_map(|(a, b, t, e)| S::If(a, b, t, e)),
             ((1u8..4), stmts).prop_map(|(k, b)| S::Loop(k, b)),
         ]
@@ -89,11 +91,7 @@ fn to_stmts(stmts: &[S], fresh: &mut u32) -> Vec<Stmt> {
         .iter()
         .map(|s| match s {
             S::Assign(v, e) => assign(&format!("v{v}"), to_expr(e)),
-            S::Store(i, v) => set_index(
-                var("arr"),
-                to_expr(i).bitand(iconst(15)),
-                to_expr(v),
-            ),
+            S::Store(i, v) => set_index(var("arr"), to_expr(i).bitand(iconst(15)), to_expr(v)),
             S::If(a, b, t, e) => {
                 let mut f1 = *fresh;
                 let body_t = to_stmts(t, &mut f1);
@@ -149,10 +147,7 @@ fn build(stmts: &[S]) -> (jem_jvm::Program, MethodId) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 10,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 10 })]
 
     #[test]
     fn jit_levels_match_interpreter(

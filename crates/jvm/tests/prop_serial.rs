@@ -2,7 +2,7 @@
 //! graphs (the offload protocol's correctness precondition).
 
 use jem_jvm::heap::{ArrayData, Heap, HeapObj};
-use jem_jvm::serial::{deserialize, serialize, serialize_args, deserialize_args};
+use jem_jvm::serial::{deserialize, deserialize_args, serialize, serialize_args};
 use jem_jvm::value::{Handle, Value};
 use proptest::prelude::*;
 
@@ -14,7 +14,10 @@ enum Node {
     Ints(Vec<i32>),
     Floats(Vec<f64>),
     Refs(Vec<usize>), // targets mod node count; usize::MAX % n == some index, fine
-    Object { class: u32, fields: Vec<Option<usize>> },
+    Object {
+        class: u32,
+        fields: Vec<Option<usize>>,
+    },
 }
 
 fn node_strategy() -> impl Strategy<Value = Node> {
@@ -39,10 +42,9 @@ fn build(heap: &mut Heap, nodes: &[Node]) -> Vec<Handle> {
             Node::Ints(v) => heap.alloc_int_array(v.len()),
             Node::Floats(v) => heap.alloc_float_array(v.len()),
             Node::Refs(v) => heap.alloc_ref_array(v.len()),
-            Node::Object { class, fields } => heap.alloc_object(
-                *class,
-                &vec![jem_jvm::Type::Ref; fields.len()],
-            ),
+            Node::Object { class, fields } => {
+                heap.alloc_object(*class, &vec![jem_jvm::Type::Ref; fields.len()])
+            }
         })
         .collect();
     // Second pass: fill, wiring references (cycles welcome).
@@ -61,7 +63,8 @@ fn build(heap: &mut Heap, nodes: &[Node]) -> Vec<Handle> {
             }
             Node::Refs(v) => {
                 for (j, &t) in v.iter().enumerate() {
-                    heap.array_set(handles[i], j, Value::Ref(handles[t % n])).unwrap();
+                    heap.array_set(handles[i], j, Value::Ref(handles[t % n]))
+                        .unwrap();
                 }
             }
             Node::Object { fields, .. } => {
@@ -79,13 +82,7 @@ fn build(heap: &mut Heap, nodes: &[Node]) -> Vec<Handle> {
 }
 
 /// Structural equality of two values across two heaps, cycle-safe.
-fn equivalent(
-    ha: &Heap,
-    a: Value,
-    hb: &Heap,
-    b: Value,
-    seen: &mut Vec<(u32, u32)>,
-) -> bool {
+fn equivalent(ha: &Heap, a: Value, hb: &Heap, b: Value, seen: &mut Vec<(u32, u32)>) -> bool {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x == y,
         (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
@@ -98,8 +95,7 @@ fn equivalent(
             match (ha.get(x).unwrap(), hb.get(y).unwrap()) {
                 (HeapObj::Array(ArrayData::Int(u)), HeapObj::Array(ArrayData::Int(v))) => u == v,
                 (HeapObj::Array(ArrayData::Float(u)), HeapObj::Array(ArrayData::Float(v))) => {
-                    u.len() == v.len()
-                        && u.iter().zip(v).all(|(p, q)| p.to_bits() == q.to_bits())
+                    u.len() == v.len() && u.iter().zip(v).all(|(p, q)| p.to_bits() == q.to_bits())
                 }
                 (HeapObj::Array(ArrayData::Ref(u)), HeapObj::Array(ArrayData::Ref(v))) => {
                     u.len() == v.len()
@@ -109,8 +105,14 @@ fn equivalent(
                             .all(|(p, q)| equivalent(ha, p, hb, q, seen))
                 }
                 (
-                    HeapObj::Object { class: ca, fields: fa },
-                    HeapObj::Object { class: cb, fields: fb },
+                    HeapObj::Object {
+                        class: ca,
+                        fields: fa,
+                    },
+                    HeapObj::Object {
+                        class: cb,
+                        fields: fb,
+                    },
                 ) => {
                     ca == cb
                         && fa.len() == fb.len()

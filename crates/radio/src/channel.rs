@@ -94,9 +94,7 @@ impl ChannelDist {
 
     /// Uniform over all four classes (the paper's situation iii).
     pub fn uniform() -> Self {
-        ChannelDist {
-            weights: [0.25; 4],
-        }
+        ChannelDist { weights: [0.25; 4] }
     }
 
     /// "Predominantly good": mass concentrated on C4/C3
@@ -194,7 +192,10 @@ impl ChannelProcess {
     /// A sticky process starting from the distribution's likeliest
     /// class.
     pub fn sticky(dist: ChannelDist, persistence: f64) -> Self {
-        assert!((0.0..=1.0).contains(&persistence), "persistence out of range");
+        assert!(
+            (0.0..=1.0).contains(&persistence),
+            "persistence out of range"
+        );
         let start = dist
             .weights
             .iter()
@@ -300,20 +301,10 @@ mod tests {
         let poor = ChannelDist::predominantly_poor();
         let n = 10_000;
         let good_hits = (0..n)
-            .filter(|_| {
-                matches!(
-                    good.sample(&mut rng),
-                    ChannelClass::C3 | ChannelClass::C4
-                )
-            })
+            .filter(|_| matches!(good.sample(&mut rng), ChannelClass::C3 | ChannelClass::C4))
             .count();
         let poor_hits = (0..n)
-            .filter(|_| {
-                matches!(
-                    poor.sample(&mut rng),
-                    ChannelClass::C1 | ChannelClass::C2
-                )
-            })
+            .filter(|_| matches!(poor.sample(&mut rng), ChannelClass::C1 | ChannelClass::C2))
             .count();
         assert!(good_hits as f64 / n as f64 > 0.75, "good: {good_hits}");
         assert!(poor_hits as f64 / n as f64 > 0.75, "poor: {poor_hits}");
@@ -361,11 +352,8 @@ mod tests {
     #[test]
     fn trace_process_replays_and_cycles() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut p = ChannelProcess::trace(vec![
-            ChannelClass::C1,
-            ChannelClass::C4,
-            ChannelClass::C2,
-        ]);
+        let mut p =
+            ChannelProcess::trace(vec![ChannelClass::C1, ChannelClass::C4, ChannelClass::C2]);
         let got: Vec<_> = (0..6).map(|_| p.advance(&mut rng)).collect();
         assert_eq!(
             got,

@@ -154,7 +154,8 @@ impl Link {
         class: ChannelClass,
     ) -> Energy {
         let wire_bytes = payload_bytes + self.config.overhead_bytes as u64;
-        self.active_power(direction, class).over(self.airtime(wire_bytes))
+        self.active_power(direction, class)
+            .over(self.airtime(wire_bytes))
     }
 
     /// Predict the airtime of a transfer without performing it.

@@ -1,0 +1,183 @@
+//! Fault-injection specifications for the remote-execution path.
+//!
+//! This module holds only the *description* of the faults a scenario
+//! injects — pure data, serializable, deterministic given the scenario
+//! seed. The runtime models that consume these specs (the
+//! Gilbert–Elliott channel chain, the server availability chain, the
+//! payload corrupter) live in `jem-core`, which depends on this crate.
+//!
+//! All probabilities are per remote interaction (one request/response
+//! round trip). A spec of all zeros injects nothing and — by
+//! construction of the runtime models — consumes exactly the same RNG
+//! stream as the pre-fault-injection simulator, so fault-free results
+//! are reproducible bit-for-bit against historical runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-state Gilbert–Elliott channel loss: a `Good` and a `Bad` state
+/// with independent loss rates, flipping with the given per-request
+/// transition probabilities. `p_good_to_bad = 0` freezes the chain in
+/// `Good`, reducing the model to flat per-request loss at `loss_good`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliottSpec {
+    /// Response-loss probability while the channel is in `Good`.
+    pub loss_good: f64,
+    /// Response-loss probability while the channel is in `Bad`.
+    pub loss_bad: f64,
+    /// Per-request probability of `Good → Bad`.
+    pub p_good_to_bad: f64,
+    /// Per-request probability of `Bad → Good`.
+    pub p_bad_to_good: f64,
+}
+
+impl GilbertElliottSpec {
+    /// No loss in either state, no transitions.
+    pub const NONE: GilbertElliottSpec = GilbertElliottSpec {
+        loss_good: 0.0,
+        loss_bad: 0.0,
+        p_good_to_bad: 0.0,
+        p_bad_to_good: 0.0,
+    };
+
+    /// Flat (state-independent) loss: the legacy `loss_probability`
+    /// model expressed as a frozen chain.
+    pub const fn flat(loss: f64) -> Self {
+        GilbertElliottSpec {
+            loss_good: loss,
+            loss_bad: 0.0,
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 0.0,
+        }
+    }
+
+    /// A bursty channel: near-clean `Good` state, lossy `Bad` state
+    /// with sticky bursts (mean burst length 1/`p_bad_to_good` ≈ 4
+    /// requests, ~25% of time spent in bursts).
+    pub const fn bursty(loss_bad: f64) -> Self {
+        GilbertElliottSpec {
+            loss_good: 0.01,
+            loss_bad,
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.3,
+        }
+    }
+
+    /// Whether the chain can ever leave the `Good` state.
+    pub fn is_static(&self) -> bool {
+        self.p_good_to_bad <= 0.0
+    }
+}
+
+/// Server-side faults: an `Up`/`Down` availability chain (a request to
+/// a `Down` server gets no response, exactly like a lost packet) and a
+/// `Normal`/`Slow` load chain that stretches server handling time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerFaultSpec {
+    /// Per-request probability of `Up → Down` (an outage begins).
+    pub p_outage: f64,
+    /// Per-request probability of `Down → Up` (the outage ends).
+    pub p_recovery: f64,
+    /// Per-request probability of `Normal → Slow`.
+    pub p_slowdown: f64,
+    /// Per-request probability of `Slow → Normal`.
+    pub p_speedup: f64,
+    /// Multiplier on server handling time while `Slow` (≥ 1).
+    pub slowdown_factor: f64,
+}
+
+impl ServerFaultSpec {
+    /// Always up, always at full speed.
+    pub const NONE: ServerFaultSpec = ServerFaultSpec {
+        p_outage: 0.0,
+        p_recovery: 0.0,
+        p_slowdown: 0.0,
+        p_speedup: 0.0,
+        slowdown_factor: 1.0,
+    };
+
+    /// Occasional outages lasting ~5 requests, no slowdown.
+    pub const fn flaky(p_outage: f64) -> Self {
+        ServerFaultSpec {
+            p_outage,
+            p_recovery: 0.2,
+            p_slowdown: 0.0,
+            p_speedup: 0.0,
+            slowdown_factor: 1.0,
+        }
+    }
+}
+
+/// Everything a scenario injects into the remote-execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Bursty channel loss.
+    pub channel: GilbertElliottSpec,
+    /// Server outages and slowdowns.
+    pub server: ServerFaultSpec,
+    /// Probability that a *delivered* response payload arrives
+    /// truncated/corrupt (fails deserialization on the client).
+    pub corruption: f64,
+}
+
+impl FaultSpec {
+    /// Inject nothing (the fault-free simulator, same RNG stream).
+    pub const NONE: FaultSpec = FaultSpec {
+        channel: GilbertElliottSpec::NONE,
+        server: ServerFaultSpec::NONE,
+        corruption: 0.0,
+    };
+
+    /// Inject nothing.
+    pub const fn none() -> Self {
+        FaultSpec::NONE
+    }
+
+    /// Flat channel loss only — the legacy `loss_probability` model.
+    pub const fn flat_loss(loss: f64) -> Self {
+        FaultSpec {
+            channel: GilbertElliottSpec::flat(loss),
+            server: ServerFaultSpec::NONE,
+            corruption: 0.0,
+        }
+    }
+
+    /// The standard degraded-network preset: bursty loss at the given
+    /// bad-state severity, a flaky server, and rare corruption.
+    pub const fn degraded(loss_bad: f64) -> Self {
+        FaultSpec {
+            channel: GilbertElliottSpec::bursty(loss_bad),
+            server: ServerFaultSpec::flaky(0.02),
+            corruption: 0.01,
+        }
+    }
+
+    /// True when no fault model is active (no RNG draws happen).
+    pub fn is_none(&self) -> bool {
+        *self == FaultSpec::NONE
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultSpec::none().is_none());
+        assert!(!FaultSpec::degraded(0.5).is_none());
+        assert!(!FaultSpec::flat_loss(0.1).is_none());
+    }
+
+    #[test]
+    fn flat_loss_is_static() {
+        assert!(GilbertElliottSpec::flat(0.3).is_static());
+        assert!(GilbertElliottSpec::NONE.is_static());
+        assert!(!GilbertElliottSpec::bursty(0.5).is_static());
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`scenario`] — the paper's three situations (predominantly-good
 //!   channel + dominant size; predominantly-poor + dominant size;
 //!   both uniform), each executed as a 300-invocation run,
+//! * [`faults`] — fault-injection specifications (bursty channel loss,
+//!   server outages/slowdowns, payload corruption) that scenarios can
+//!   layer onto the remote-execution path,
 //! * [`stats`] — summary statistics and normalization helpers for the
 //!   figure/table harnesses,
 //! * [`parallel`] — a crossbeam-based ordered parallel sweep for
@@ -18,11 +21,13 @@
 
 pub mod des;
 pub mod dist;
+pub mod faults;
 pub mod parallel;
 pub mod scenario;
 pub mod stats;
 
 pub use des::EventQueue;
 pub use dist::SizeDist;
+pub use faults::{FaultSpec, GilbertElliottSpec, ServerFaultSpec};
 pub use scenario::{Scenario, Situation};
 pub use stats::Summary;

@@ -29,8 +29,7 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {

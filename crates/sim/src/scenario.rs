@@ -12,6 +12,7 @@
 //! required distribution."
 
 use crate::dist::SizeDist;
+use crate::faults::FaultSpec;
 use jem_radio::{ChannelDist, ChannelProcess};
 use serde::{Deserialize, Serialize};
 
@@ -107,6 +108,9 @@ pub struct Scenario {
     pub runs: usize,
     /// RNG seed (scenarios are deterministic given their seed).
     pub seed: u64,
+    /// Faults injected into the remote-execution path. The paper's
+    /// scenarios are fault-free ([`FaultSpec::NONE`]).
+    pub faults: FaultSpec,
 }
 
 impl Scenario {
@@ -119,13 +123,29 @@ impl Scenario {
             sizes: situation.sizes(sizes),
             runs: PAPER_RUNS,
             seed,
+            faults: FaultSpec::NONE,
         }
+    }
+
+    /// The paper's scenario run over a degraded network: bursty
+    /// response loss (Gilbert–Elliott with the given bad-state
+    /// severity), a flaky server and rare payload corruption. This is
+    /// the standard nonzero-loss preset for resilience experiments.
+    pub fn paper_degraded(situation: Situation, sizes: &[u32], seed: u64, loss_bad: f64) -> Self {
+        Scenario::paper(situation, sizes, seed).with_faults(FaultSpec::degraded(loss_bad))
     }
 
     /// Same scenario with a different run count (for quick tests).
     #[must_use]
     pub fn with_runs(mut self, runs: usize) -> Self {
         self.runs = runs;
+        self
+    }
+
+    /// Same scenario with the given fault injection.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -144,21 +164,11 @@ mod tests {
         let mut poor = Situation::PoorDominant.channel();
         let n = 3000;
         let good_frac = (0..n)
-            .filter(|_| {
-                matches!(
-                    good.advance(&mut rng),
-                    ChannelClass::C3 | ChannelClass::C4
-                )
-            })
+            .filter(|_| matches!(good.advance(&mut rng), ChannelClass::C3 | ChannelClass::C4))
             .count() as f64
             / n as f64;
         let poor_frac = (0..n)
-            .filter(|_| {
-                matches!(
-                    poor.advance(&mut rng),
-                    ChannelClass::C1 | ChannelClass::C2
-                )
-            })
+            .filter(|_| matches!(poor.advance(&mut rng), ChannelClass::C1 | ChannelClass::C2))
             .count() as f64
             / n as f64;
         assert!(good_frac > 0.7, "{good_frac}");
@@ -186,6 +196,19 @@ mod tests {
         let s = Scenario::paper(Situation::Uniform, &[8, 16], 42);
         assert_eq!(s.runs, PAPER_RUNS);
         assert_eq!(s.with_runs(10).runs, 10);
+    }
+
+    #[test]
+    fn paper_scenarios_are_fault_free_and_presets_are_not() {
+        let clean = Scenario::paper(Situation::GoodDominant, &[8, 16], 1);
+        assert!(clean.faults.is_none());
+        let degraded = Scenario::paper_degraded(Situation::GoodDominant, &[8, 16], 1, 0.5);
+        assert!(!degraded.faults.is_none());
+        assert_eq!(degraded.faults.channel.loss_bad, 0.5);
+        assert!(
+            degraded.faults.channel.loss_good > 0.0,
+            "nonzero-loss preset"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use jem::core::{run_scenario, Profile, Strategy};
 use jem::radio::{ChannelClass, ChannelProcess};
-use jem::sim::{Scenario, SizeDist, Situation};
+use jem::sim::{Scenario, Situation, SizeDist};
 use jem_apps::workload_by_name;
 
 fn main() {
@@ -36,6 +36,7 @@ fn main() {
         sizes: SizeDist::Choice(vec![64, 128]),
         runs: steps,
         seed: 99,
+        faults: jem_sim::FaultSpec::NONE,
     };
 
     // The adaptive run, with the mode timeline.

@@ -51,7 +51,10 @@ fn main() {
             vec![Value::Int(edge as i32), Value::Ref(h)],
         )
         .expect("median filter runs");
-    let denoised = read_ints(&vm.client.heap, out.expect("returns image").as_ref().unwrap());
+    let denoised = read_ints(
+        &vm.client.heap,
+        out.expect("returns image").as_ref().unwrap(),
+    );
     println!(
         "stage 1 (median filter, local interpreted): {}",
         vm.client.machine.energy() - before
@@ -94,7 +97,10 @@ fn main() {
             vec![Value::Int(edge as i32), Value::Ref(h)],
         )
         .expect("edge detector runs");
-    let edges = read_ints(&vm.client.heap, out.expect("returns image").as_ref().unwrap());
+    let edges = read_ints(
+        &vm.client.heap,
+        out.expect("returns image").as_ref().unwrap(),
+    );
     std::fs::write("edges.pgm", Pgm::square(edge, edges).to_p5()).expect("writable cwd");
 
     println!(

@@ -34,7 +34,11 @@ fn main() {
             local.to_string(),
             dl_c1.to_string(),
             dl_c4.to_string(),
-            if remote_best { "download" } else { "compile locally" },
+            if remote_best {
+                "download"
+            } else {
+                "compile locally"
+            },
         );
     }
 

@@ -84,6 +84,7 @@ fn remote_wins_in_good_channel_for_compute_dense_small_io() {
         sizes: jem::sim::SizeDist::Fixed(4096),
         runs: 10,
         seed: 5,
+        faults: jem::sim::FaultSpec::NONE,
     };
     let remote = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Remote);
     let interp = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Interpreter);
@@ -107,6 +108,7 @@ fn remote_loses_in_poor_channel_with_heavy_io() {
         sizes: jem::sim::SizeDist::Fixed(32),
         runs: 10,
         seed: 5,
+        faults: jem::sim::FaultSpec::NONE,
     };
     let remote = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Remote);
     let l2 = run_scenario(w.as_ref(), &profile, &scenario, Strategy::Local2);

@@ -4,7 +4,7 @@
 use jem::core::{run_scenario, Profile, Strategy};
 use jem::jvm::OptLevel;
 use jem::radio::{ChannelClass, ChannelProcess};
-use jem::sim::{Scenario, SizeDist, Situation};
+use jem::sim::{Scenario, Situation, SizeDist};
 use jem_apps::workload_by_name;
 
 fn fixed_scenario(size: u32, class: ChannelClass, runs: usize) -> Scenario {
@@ -14,6 +14,7 @@ fn fixed_scenario(size: u32, class: ChannelClass, runs: usize) -> Scenario {
         sizes: SizeDist::Fixed(size),
         runs,
         seed: 7,
+        faults: jem::sim::FaultSpec::NONE,
     }
 }
 
@@ -48,13 +49,7 @@ fn fig6_large_input_ordering() {
     let w = workload_by_name("hpf").unwrap();
     let p = Profile::build(w.as_ref(), 42);
     let energy = |s: Strategy| {
-        run_scenario(
-            w.as_ref(),
-            &p,
-            &fixed_scenario(128, ChannelClass::C4, 1),
-            s,
-        )
-        .total_energy
+        run_scenario(w.as_ref(), &p, &fixed_scenario(128, ChannelClass::C4, 1), s).total_energy
     };
     let r = energy(Strategy::Remote);
     let i = energy(Strategy::Interpreter);
@@ -121,8 +116,7 @@ fn aa_no_worse_than_al() {
         let p = Profile::build(w.as_ref(), 42);
         let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 5).with_runs(50);
         let al = run_scenario(w.as_ref(), &p, &scenario, Strategy::AdaptiveLocal).total_energy;
-        let aa =
-            run_scenario(w.as_ref(), &p, &scenario, Strategy::AdaptiveAdaptive).total_energy;
+        let aa = run_scenario(w.as_ref(), &p, &scenario, Strategy::AdaptiveAdaptive).total_energy;
         assert!(
             aa.nanojoules() <= al.nanojoules() * 1.01,
             "{name}: AA {aa} worse than AL {al}"

@@ -1,0 +1,90 @@
+//! End-to-end resilience acceptance: under bursty response loss, AA
+//! with the default retry/breaker policy must strictly beat naive AA
+//! (timeout once, fall back, try again next invocation), and degraded
+//! runs must stay reproducible bit-for-bit.
+
+use std::sync::OnceLock;
+
+use jem::core::{run_scenario_with, Profile, ResilienceConfig, Strategy};
+use jem::sim::{Scenario, Situation};
+use jem_apps::workload_by_name;
+
+/// fe is the offload-friendly workload (heavy compute, tiny payloads):
+/// AA keeps choosing remote execution, so it actually meets the
+/// injected faults. The profile is expensive; share it across tests.
+fn fe_profile() -> &'static Profile {
+    static PROFILE: OnceLock<Profile> = OnceLock::new();
+    PROFILE.get_or_init(|| {
+        let w = workload_by_name("fe").unwrap();
+        Profile::build(w.as_ref(), 42)
+    })
+}
+
+#[test]
+fn aa_with_breaker_beats_naive_aa_under_bursty_loss() {
+    let w = workload_by_name("fe").unwrap();
+    let profile = fe_profile();
+    for loss_bad in [0.5, 0.75] {
+        let scenario = Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), 7, loss_bad)
+            .with_runs(300);
+        let resilient = run_scenario_with(
+            w.as_ref(),
+            profile,
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &ResilienceConfig::default(),
+        );
+        let naive = run_scenario_with(
+            w.as_ref(),
+            profile,
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &ResilienceConfig::naive(),
+        );
+        assert!(
+            resilient.total_energy < naive.total_energy,
+            "loss_bad {loss_bad}: resilient {} !< naive {}",
+            resilient.total_energy,
+            naive.total_energy
+        );
+        // The win comes from the breaker actually engaging …
+        assert!(
+            resilient.stats.breaker_trips > 0,
+            "loss_bad {loss_bad}: breaker never tripped"
+        );
+        // … and from burning less energy on doomed remote attempts.
+        assert!(
+            resilient.stats.wasted_energy < naive.stats.wasted_energy,
+            "loss_bad {loss_bad}: resilient waste {} !< naive waste {}",
+            resilient.stats.wasted_energy,
+            naive.stats.wasted_energy
+        );
+    }
+}
+
+#[test]
+fn degraded_runs_are_reproducible_bit_for_bit() {
+    let w = workload_by_name("fe").unwrap();
+    let profile = fe_profile();
+    let scenario =
+        Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), 7, 0.5).with_runs(300);
+    let run = |resilience: &ResilienceConfig| {
+        run_scenario_with(
+            w.as_ref(),
+            profile,
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            resilience,
+        )
+    };
+    for cfg in [ResilienceConfig::default(), ResilienceConfig::naive()] {
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(
+            a.total_energy.nanojoules().to_bits(),
+            b.total_energy.nanojoules().to_bits(),
+            "identical seeds must give identical energy totals"
+        );
+        assert_eq!(format!("{:?}", a.stats), format!("{:?}", b.stats));
+    }
+}

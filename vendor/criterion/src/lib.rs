@@ -1,0 +1,229 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the bench-definition surface the workspace uses
+//! ([`Criterion::bench_function`], benchmark groups,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros) with a simple
+//! measurement loop: a short warm-up, then `sample_size` timed
+//! samples whose median per-iteration time is printed. No statistics
+//! engine, baselines, or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Controls how `iter_batched` amortizes setup cost. The stub times
+/// every iteration individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Parameterized benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// (median per-iteration nanoseconds, iterations timed)
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let start = Instant::now();
+            let out = routine();
+            let dt = start.elapsed();
+            drop(out);
+            dt
+        });
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let dt = start.elapsed();
+            drop(out);
+            dt
+        });
+    }
+
+    fn run(&mut self, mut one: impl FnMut() -> Duration) {
+        let warm_up_end = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_end {
+            one();
+        }
+        let deadline = Instant::now() + self.config.measurement_time;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            samples.push(one().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, samples.len() as u64));
+    }
+}
+
+/// Collection of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_id: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full_id = format!("{}/{}", self.group_id, id.id);
+        let mut b = Bencher {
+            config: self.criterion,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&full_id, b.result);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full_id = format!("{}/{}", self.group_id, id.into());
+        let mut b = Bencher {
+            config: self.criterion,
+            result: None,
+        };
+        f(&mut b);
+        report(&full_id, b.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, result: Option<(f64, u64)>) {
+    match result {
+        Some((median_ns, n)) => {
+            println!("{id:<40} median {:>12.1} ns  ({n} samples)", median_ns);
+        }
+        None => println!("{id:<40} (no measurement)"),
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut b = Bencher {
+            config: self,
+            result: None,
+        };
+        f(&mut b);
+        report(id, b.result);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_id: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_id: group_id.into(),
+            criterion: self,
+        }
+    }
+
+    /// Called by [`criterion_main!`]; nothing to flush in the stub.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declare a group of benchmark functions with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate: scoped threads built on
+//! `std::thread::scope`, with crossbeam's `Result`-returning signature
+//! (a panicking worker yields `Err` instead of unwinding the caller).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A scope handle; closures passed to [`Scope::spawn`] receive one.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker that may borrow from the enclosing scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowing threads can be spawned; all
+/// workers are joined before this returns. Returns `Err` with the
+/// panic payload if any worker (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn workers_share_borrows() {
+        let counter = AtomicU32::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_an_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Case execution support for the [`crate::proptest!`] macro.
+
+use rand::SeedableRng;
+
+/// The generator property cases are sampled from.
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    /// 64 cases — enough to exercise the samplers while keeping the
+    /// simulation-heavy suite quick.
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; try another case.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// A deterministic per-test generator: same test name, same stream,
+/// every run (upstream persists failing seeds; we sidestep the need).
+pub fn new_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}

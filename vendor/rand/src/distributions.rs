@@ -1,0 +1,190 @@
+//! Distributions over values, and uniform range sampling.
+//!
+//! The sampling algorithms reproduce rand 0.8.5's bit-exactly (same
+//! source draws, same widening-multiply rejection) so that seeds from
+//! runs against the real crate keep producing the same streams.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution from which values of `T` can be sampled.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: full-range uniform for
+/// integers, uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+// Types up to 32 bits draw from next_u32, wider ones from next_u64,
+// matching upstream's per-width source selection.
+macro_rules! standard_int32 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_int32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_int64 {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int64!(u64, i64, usize, isize);
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare against the most significant bit: low bits of some
+        // generators have linear artifacts.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// A range that knows how to sample a uniform value from itself
+/// (stand-in for rand's `SampleRange`).
+pub trait UniformSampler<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can draw — blanket-implemented for ranges so type
+/// inference unifies the range's element type with the output type the
+/// way upstream rand's `SampleRange<T>` does.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> UniformSampler<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> UniformSampler<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in gen_range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+// $t: sampled type, $unsigned: its unsigned twin, $u_large: the width
+// values are drawn at (u32 for small types, as upstream), $wide: the
+// double width used for the multiply, $lemire: generated helper name.
+macro_rules! uniform_int {
+    ($($t:ty, $unsigned:ty, $u_large:ty, $wide:ty, $lemire:ident;)*) => {$(
+        /// Lemire-style rejection: widening multiply, accept when the
+        /// low half clears the zone (rand 0.8.5's `sample_single`).
+        fn $lemire<R: RngCore + ?Sized>(lo: $t, range: $u_large, rng: &mut R) -> $t {
+            let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                // Small types: compute the exact acceptance zone.
+                let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                <$u_large>::MAX - ints_to_reject
+            } else {
+                // Conservative zone, avoiding the division.
+                (range << range.leading_zeros()).wrapping_sub(1)
+            };
+            loop {
+                let v: $u_large = Standard.sample(rng);
+                let m = (v as $wide).wrapping_mul(range as $wide);
+                let hi_part = (m >> <$u_large>::BITS) as $u_large;
+                let lo_part = m as $u_large;
+                if lo_part <= zone {
+                    return lo.wrapping_add(hi_part as $t);
+                }
+            }
+        }
+
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let range = hi.wrapping_sub(lo) as $unsigned as $u_large;
+                $lemire(lo, range, rng)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let range = hi.wrapping_sub(lo).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // The range covers the whole type.
+                    return Standard.sample(rng);
+                }
+                $lemire(lo, range, rng)
+            }
+        }
+    )*};
+}
+uniform_int! {
+    i8, u8, u32, u64, lemire_i8;
+    u8, u8, u32, u64, lemire_u8;
+    i16, u16, u32, u64, lemire_i16;
+    u16, u16, u32, u64, lemire_u16;
+    i32, u32, u32, u64, lemire_i32;
+    u32, u32, u32, u64, lemire_u32;
+    i64, u64, u64, u128, lemire_i64;
+    u64, u64, u64, u128, lemire_u64;
+    isize, usize, usize, u128, lemire_isize;
+    usize, usize, usize, u128, lemire_usize;
+}
+
+// Floats follow upstream's UniformFloat: draw a mantissa, build a
+// value in [1, 2), then affine-map — rejecting the rare rounding case
+// that lands on the excluded bound.
+macro_rules! uniform_float {
+    ($($t:ty, $bits:ty, $mant:expr, $exp_one:expr, $next:ident;)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let scale = hi - lo;
+                loop {
+                    let mant = rng.$next() >> (<$bits>::BITS - $mant);
+                    let value1_2 = <$t>::from_bits($exp_one | mant);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + lo;
+                    if res < hi {
+                        return res;
+                    }
+                }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                let scale = hi - lo;
+                let mant = rng.$next() >> (<$bits>::BITS - $mant);
+                let value1_2 = <$t>::from_bits($exp_one | mant);
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + lo;
+                if res > hi {
+                    hi
+                } else {
+                    res
+                }
+            }
+        }
+    )*};
+}
+uniform_float! {
+    f64, u64, 52, 1023u64 << 52, next_u64;
+    f32, u32, 23, 127u32 << 23, next_u32;
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the subset of `rand` 0.8's API that the workspace
+//! actually uses: the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits,
+//! [`rngs::SmallRng`] (xoshiro256++ seeded via SplitMix64), uniform
+//! `gen`/`gen_range` sampling, and the
+//! [`distributions::Distribution`] trait.
+//!
+//! Streams are deterministic for a given seed, which is all the
+//! simulator requires; no compatibility with upstream `rand` output is
+//! promised.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::{Distribution, Standard, UniformSampler};
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// High-level sampling helpers, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: UniformSampler<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` convenience seed.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as upstream rand does.
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5u32..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_support() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

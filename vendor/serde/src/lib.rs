@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of wire-friendliness; nothing serializes through
+//! serde at runtime. This facade re-exports the no-op derives from the
+//! sibling `serde_derive` stub.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes through serde at runtime — the
+//! derives exist so types document their wire-friendliness and stay
+//! source-compatible with the real crate. Both derives therefore
+//! expand to nothing (and accept `#[serde(...)]` helper attributes).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
