@@ -9,13 +9,17 @@
 //! 4. **Helper-method overhead** — the decision cost the adaptive
 //!    strategies carry per invocation.
 //!
-//! Usage: `ablation [--runs N]` (default 120).
+//! Usage: `ablation [--runs N] [--trace out.json]
+//! [--json-out BENCH_ablation.json]` (default 120 runs). `--trace`
+//! records every variant's runs in order.
 
 use jem_apps::workload_by_name;
+use jem_bench::obs::ObsArgs;
 use jem_bench::{arg_usize, print_table};
 use jem_core::runtime::decision_mix;
 use jem_core::{EnergyAwareVm, MethodState, Profile, Strategy};
 use jem_energy::MachineConfig;
+use jem_obs::{Json, NullSink, TraceSink, Tracer};
 use jem_radio::ChannelClass;
 use jem_sim::{Scenario, Situation};
 use rand::rngs::SmallRng;
@@ -28,10 +32,13 @@ fn run_al(
     state: MethodState,
     power_down: bool,
     force_class: Option<ChannelClass>,
+    sink: &mut dyn TraceSink,
 ) -> f64 {
     let mut rng = SmallRng::seed_from_u64(scenario.seed);
     let mut channel = scenario.channel.clone();
-    let mut vm = EnergyAwareVm::new(w, p).with_state(state);
+    let mut vm = EnergyAwareVm::new(w, p)
+        .with_state(state)
+        .with_tracer(Tracer::attached(sink));
     let mut total = 0.0;
     for _ in 0..scenario.runs {
         let size = scenario.sizes.sample(&mut rng);
@@ -61,9 +68,22 @@ fn run_al(
     total
 }
 
+fn target<'a>(
+    sink: &'a mut Option<jem_obs::RingSink>,
+    null: &'a mut NullSink,
+) -> &'a mut dyn TraceSink {
+    match sink.as_mut() {
+        Some(ring) => ring,
+        None => null,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 120);
+    let obs = ObsArgs::parse(&args);
+    let mut sink = obs.trace_sink();
+    let mut null = NullSink;
 
     let w = workload_by_name("fe").expect("fe");
     eprintln!("building profile...");
@@ -72,6 +92,7 @@ fn main() {
 
     // 1. EWMA weight sweep.
     let mut rows = Vec::new();
+    let mut json_ewma = Vec::new();
     for u in [0.0, 0.5, 0.7, 0.9, 1.0] {
         let e = run_al(
             w.as_ref(),
@@ -80,7 +101,9 @@ fn main() {
             MethodState::with_weights(u, u),
             true,
             None,
+            target(&mut sink, &mut null),
         );
+        json_ewma.push(Json::object().with("u", u).with("total_nj", e));
         rows.push(vec![format!("{u:.1}"), format!("{:.2} mJ", e * 1e-6)]);
     }
     print_table(
@@ -90,8 +113,24 @@ fn main() {
     );
 
     // 2. Power-down vs active idle.
-    let on = run_al(w.as_ref(), &p, &scenario, MethodState::new(), true, None);
-    let off = run_al(w.as_ref(), &p, &scenario, MethodState::new(), false, None);
+    let on = run_al(
+        w.as_ref(),
+        &p,
+        &scenario,
+        MethodState::new(),
+        true,
+        None,
+        target(&mut sink, &mut null),
+    );
+    let off = run_al(
+        w.as_ref(),
+        &p,
+        &scenario,
+        MethodState::new(),
+        false,
+        None,
+        target(&mut sink, &mut null),
+    );
     print_table(
         "Ablation 2: power-down during remote execution",
         &["variant", "total energy"],
@@ -105,7 +144,15 @@ fn main() {
     );
 
     // 3. Pilot tracking vs fixed worst-case power.
-    let tracked = run_al(w.as_ref(), &p, &scenario, MethodState::new(), true, None);
+    let tracked = run_al(
+        w.as_ref(),
+        &p,
+        &scenario,
+        MethodState::new(),
+        true,
+        None,
+        target(&mut sink, &mut null),
+    );
     let fixed = run_al(
         w.as_ref(),
         &p,
@@ -113,6 +160,7 @@ fn main() {
         MethodState::new(),
         true,
         Some(ChannelClass::C1),
+        target(&mut sink, &mut null),
     );
     print_table(
         "Ablation 3: pilot-based TX power control vs fixed Class 1 power",
@@ -137,4 +185,25 @@ fn main() {
         overhead,
         overhead.nanojoules() / p.e_interp(1024.0).nanojoules() * 100.0
     );
+
+    obs.write_json(
+        &Json::object()
+            .with("figure", "ablation")
+            .with("runs", runs)
+            .with("ewma", Json::Arr(json_ewma))
+            .with(
+                "power_down",
+                Json::object().with("on_nj", on).with("off_nj", off),
+            )
+            .with(
+                "pilot",
+                Json::object()
+                    .with("tracked_nj", tracked)
+                    .with("fixed_c1_nj", fixed),
+            )
+            .with("helper_overhead_nj", overhead.nanojoules()),
+    );
+    if let Some(ring) = sink {
+        obs.write_trace(&ring.into_events());
+    }
 }

@@ -16,11 +16,19 @@
 //! Everything derives from one seed, so the table is reproducible
 //! bit-for-bit; rerun with `--seed N` to vary it.
 //!
-//! Usage: `faults [--runs N] [--seed N]` (default 300 runs, seed 7).
+//! Usage: `faults [--runs N] [--seed N] [--trace out.json]
+//! [--metrics-out out.prom] [--json-out BENCH_faults.json]`
+//! (default 300 runs, seed 7). `--trace` records the resilient-AA runs
+//! across the whole severity sweep.
 
 use jem_apps::workload_by_name;
+use jem_bench::obs::{accumulate_accuracy, print_regret_table, ObsArgs};
 use jem_bench::{arg_usize, print_table};
-use jem_core::{run_scenario_with, Profile, ResilienceConfig, ScenarioResult, Strategy};
+use jem_core::{
+    fill_run_metrics, run_scenario_traced, run_scenario_with, scenario_result_to_json, Profile,
+    ResilienceConfig, ScenarioResult, Strategy,
+};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry, NullSink, TraceSink};
 use jem_sim::{Scenario, Situation};
 
 const LOSS_SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
@@ -29,6 +37,12 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 300);
     let seed = arg_usize(&args, "--seed", 7) as u64;
+    let obs = ObsArgs::parse(&args);
+    let mut sink = obs.trace_sink();
+    let mut null = NullSink;
+    let mut registry = MetricsRegistry::new();
+    let mut tracker = AccuracyTracker::new();
+    let mut json_points = Vec::new();
 
     // fe (numerical integration) is the offload-friendly benchmark:
     // heavy computation, tiny payloads, so AA keeps choosing remote
@@ -46,26 +60,43 @@ fn main() {
         let scenario =
             Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), seed, loss_bad)
                 .with_runs(runs);
-        let aa = run_scenario_with(
+        let trace_target: &mut dyn TraceSink = match sink.as_mut() {
+            Some(ring) => ring,
+            None => &mut null,
+        };
+        let aa = run_scenario_traced(
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveAdaptive,
             &resilient,
-        );
+            trace_target,
+        )
+        .expect("scenario run failed");
         let aa_naive = run_scenario_with(
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveAdaptive,
             &naive,
-        );
+        )
+        .expect("scenario run failed");
         let al = run_scenario_with(
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveLocal,
             &resilient,
+        )
+        .expect("scenario run failed");
+        fill_run_metrics(&mut registry, &aa);
+        accumulate_accuracy(&mut tracker, &profile, &aa);
+        json_points.push(
+            Json::object()
+                .with("loss_bad", loss_bad)
+                .with("aa", scenario_result_to_json(&aa, false))
+                .with("aa_naive", scenario_result_to_json(&aa_naive, false))
+                .with("al", scenario_result_to_json(&al, false)),
         );
         let mj = |r: &ScenarioResult| format!("{:.1}", r.total_energy.millijoules());
         rows.push(vec![
@@ -107,4 +138,20 @@ fn main() {
          argmin for this workload, so the two adaptive strategies make\n\
          identical choices under the same resilience policy.)"
     );
+
+    print_regret_table("AA (resilient) predictor accuracy / regret", &tracker);
+    tracker.fill_metrics(&mut registry);
+
+    obs.write_json(
+        &Json::object()
+            .with("figure", "faults")
+            .with("runs", runs)
+            .with("seed", seed)
+            .with("points", Json::Arr(json_points))
+            .with("accuracy_aa", tracker.to_json()),
+    );
+    obs.write_metrics(&registry);
+    if let Some(ring) = sink {
+        obs.write_trace(&ring.into_events());
+    }
 }

@@ -14,18 +14,29 @@
 //! pays nothing up front, and remote execution is shown per channel
 //! class.
 //!
-//! Usage: `fig6 [--full]` — `--full` uses larger "large" sizes
-//! (slower, closer to the paper's 512×512).
+//! Usage: `fig6 [--full] [--trace out.json] [--metrics-out out.prom]
+//! [--json-out BENCH_fig6.json]`.
 
 use jem_apps::workload_by_name;
+use jem_bench::obs::{accumulate_accuracy, print_regret_table, ObsArgs};
 use jem_bench::{arg_flag, fmt_norm, print_table};
-use jem_core::{run_scenario, Profile, Strategy};
+use jem_core::{
+    fill_run_metrics, run_scenario_traced, scenario_result_to_json, Profile, ResilienceConfig,
+    ScenarioResult, Strategy,
+};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry, NullSink, TraceSink};
 use jem_radio::{ChannelClass, ChannelProcess};
 use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = arg_flag(&args, "--full");
+    let obs = ObsArgs::parse(&args);
+    let mut sink = obs.trace_sink();
+    let mut null = NullSink;
+    let mut registry = MetricsRegistry::new();
+    let mut tracker = AccuracyTracker::new();
+    let mut json_benches = Vec::new();
 
     // The paper shows hpf explicitly plus two more benchmarks; we use
     // the image trio (hpf, mf, ed), whose communication and
@@ -48,9 +59,10 @@ fn main() {
         let profile = Profile::build(w.as_ref(), 42);
 
         let mut rows = Vec::new();
+        let mut json_sizes = Vec::new();
         for size in [small, large] {
             // One cold invocation per strategy.
-            let energy_of = |strategy: Strategy, class: ChannelClass| -> f64 {
+            let mut run = |strategy: Strategy, class: ChannelClass| -> ScenarioResult {
                 let scenario = Scenario {
                     situation: Situation::Uniform,
                     channel: ChannelProcess::Fixed(class),
@@ -59,9 +71,34 @@ fn main() {
                     seed: 11,
                     faults: jem_sim::FaultSpec::NONE,
                 };
-                run_scenario(w.as_ref(), &profile, &scenario, strategy)
-                    .total_energy
-                    .nanojoules()
+                let s: &mut dyn TraceSink = match sink.as_mut() {
+                    Some(ring) => ring,
+                    None => &mut null,
+                };
+                let result = run_scenario_traced(
+                    w.as_ref(),
+                    &profile,
+                    &scenario,
+                    strategy,
+                    &ResilienceConfig::default(),
+                    s,
+                )
+                .expect("scenario run failed");
+                fill_run_metrics(&mut registry, &result);
+                accumulate_accuracy(&mut tracker, &profile, &result);
+                result
+            };
+            let mut cells = Vec::new();
+            let mut energy_of = |strategy: Strategy, class: ChannelClass| -> f64 {
+                let result = run(strategy, class);
+                let nj = result.total_energy.nanojoules();
+                cells.push(
+                    Json::object()
+                        .with("strategy", strategy.key())
+                        .with("class", format!("{class:?}").as_str())
+                        .with("result", scenario_result_to_json(&result, false)),
+                );
+                nj
             };
 
             let l1 = energy_of(Strategy::Local1, ChannelClass::C4);
@@ -77,6 +114,12 @@ fn main() {
                 norm(energy_of(Strategy::Local2, ChannelClass::C4)),
                 norm(energy_of(Strategy::Local3, ChannelClass::C4)),
             ]);
+            json_sizes.push(
+                Json::object()
+                    .with("size", size)
+                    .with("l1_nj", l1)
+                    .with("cells", Json::Arr(cells)),
+            );
         }
         print_table(
             &format!("{name} ({})", w.size_meaning()),
@@ -85,5 +128,25 @@ fn main() {
             ],
             &rows,
         );
+        json_benches.push(
+            Json::object()
+                .with("bench", name)
+                .with("sizes", Json::Arr(json_sizes)),
+        );
+    }
+
+    print_regret_table("Fig 6 regret vs post-hoc oracle", &tracker);
+    tracker.fill_metrics(&mut registry);
+
+    obs.write_json(
+        &Json::object()
+            .with("figure", "fig6")
+            .with("full", full)
+            .with("benches", Json::Arr(json_benches))
+            .with("accuracy", tracker.to_json()),
+    );
+    obs.write_metrics(&registry);
+    if let Some(ring) = sink {
+        obs.write_trace(&ring.into_events());
     }
 }

@@ -15,16 +15,23 @@
 //! static strategy in all three situations (the paper reports 25%,
 //! 10% and 22% savings vs the best static), and AA saves more than AL.
 //!
-//! Usage: `fig7 [--runs N]` (default 300, the paper's count).
+//! Usage: `fig7 [--runs N] [--trace out.json] [--metrics-out out.prom]
+//! [--json-out BENCH_fig7.json]` (default 300 runs, the paper's
+//! count). `--trace` records one representative cell (first workload,
+//! situation (iii), strategy AA) — tracing the whole parallel grid
+//! would interleave shards nondeterministically.
 
 use jem_apps::all_workloads;
+use jem_bench::obs::{print_regret_table, ObsArgs};
 use jem_bench::{arg_usize, build_profiles, fmt_norm, print_table};
-use jem_core::{run_scenario, Strategy};
+use jem_core::{accuracy_of, run_scenario, run_scenario_traced, ResilienceConfig, Strategy};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry};
 use jem_sim::{parallel::sweep, Scenario, Situation};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 300);
+    let obs = ObsArgs::parse(&args);
 
     let workloads = all_workloads();
     eprintln!("building profiles for {} workloads...", workloads.len());
@@ -47,16 +54,31 @@ fn main() {
     let results = sweep(&cells, 0, |&(wi, sit)| {
         let w = workloads[wi].as_ref();
         let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
-        let energies: Vec<f64> = Strategy::ALL
-            .iter()
-            .map(|&s| {
-                run_scenario(w, &profiles[wi], &scenario, s)
-                    .total_energy
-                    .nanojoules()
-            })
-            .collect();
-        (wi, sit, energies)
+        let mut energies = Vec::with_capacity(Strategy::ALL.len());
+        let mut trackers: Vec<(Strategy, AccuracyTracker)> = Vec::new();
+        for &s in &Strategy::ALL {
+            let result = run_scenario(w, &profiles[wi], &scenario, s);
+            energies.push(result.total_energy.nanojoules());
+            if s.is_adaptive() {
+                trackers.push((s, accuracy_of(&profiles[wi], &result)));
+            }
+        }
+        (wi, sit, energies, trackers)
     });
+
+    // Per-strategy predictor accuracy, merged across the whole grid
+    // (merge of per-cell trackers equals tracking the concatenation).
+    let mut al_tracker = AccuracyTracker::new();
+    let mut aa_tracker = AccuracyTracker::new();
+    for (_, _, _, trackers) in &results {
+        for (s, t) in trackers {
+            match s {
+                Strategy::AdaptiveLocal => al_tracker.merge(t),
+                Strategy::AdaptiveAdaptive => aa_tracker.merge(t),
+                _ => {}
+            }
+        }
+    }
 
     // Normalize each cell to its L1 (index 2 in Strategy::ALL), then
     // average across benchmarks per situation.
@@ -68,7 +90,7 @@ fn main() {
     for sit in Situation::ALL {
         let mut sums = vec![0.0; Strategy::ALL.len()];
         let mut count = 0usize;
-        for (_, s, energies) in results.iter().filter(|(_, s, _)| *s == sit) {
+        for (_, s, energies, _) in results.iter().filter(|(_, s, _, _)| *s == sit) {
             let _ = s;
             let l1 = energies[l1_idx];
             for (i, e) in energies.iter().enumerate() {
@@ -118,4 +140,55 @@ fn main() {
         &headers,
         &rows,
     );
+
+    print_regret_table("AL predictor accuracy / regret (all cells)", &al_tracker);
+    print_regret_table("AA predictor accuracy / regret (all cells)", &aa_tracker);
+
+    let mut registry = MetricsRegistry::new();
+    al_tracker.fill_metrics(&mut registry);
+    obs.write_metrics(&registry);
+
+    let mut json_cells = Vec::new();
+    for (wi, sit, energies, _) in &results {
+        json_cells.push(
+            Json::object()
+                .with("bench", workloads[*wi].name())
+                .with("situation", sit.key())
+                .with(
+                    "energies_nj",
+                    Json::Arr(
+                        Strategy::ALL
+                            .iter()
+                            .zip(energies)
+                            .map(|(s, &e)| Json::object().with("strategy", s.key()).with("nj", e))
+                            .collect(),
+                    ),
+                ),
+        );
+    }
+    obs.write_json(
+        &Json::object()
+            .with("figure", "fig7")
+            .with("runs", runs)
+            .with("cells", Json::Arr(json_cells))
+            .with("accuracy_al", al_tracker.to_json())
+            .with("accuracy_aa", aa_tracker.to_json()),
+    );
+
+    if let Some(mut ring) = obs.trace_sink() {
+        // One representative traced cell, re-run single-threaded so the
+        // exported trace is deterministic.
+        let w = workloads[0].as_ref();
+        let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 1000).with_runs(runs);
+        run_scenario_traced(
+            w,
+            &profiles[0],
+            &scenario,
+            Strategy::AdaptiveAdaptive,
+            &ResilienceConfig::default(),
+            &mut ring,
+        )
+        .expect("scenario run failed");
+        obs.write_trace(&ring.into_events());
+    }
 }

@@ -15,14 +15,20 @@
 //! * occasionally a more aggressive level yields *smaller* code and
 //!   hence cheaper download (the paper's sort L2→L3 case) — whether
 //!   that occurs here is reported from the measured code sizes.
+//!
+//! Usage: `fig8 [--json-out BENCH_fig8.json]`.
 
 use jem_apps::all_workloads;
+use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, fmt_norm, print_table};
 use jem_core::Strategy;
 use jem_jvm::OptLevel;
+use jem_obs::Json;
 use jem_radio::ChannelClass;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&args);
     // The paper's Fig 8 lists seven applications (jess is absent).
     let workloads: Vec<_> = all_workloads()
         .into_iter()
@@ -33,6 +39,7 @@ fn main() {
     let _ = Strategy::ALL; // (imported for doc parity)
 
     let mut rows = Vec::new();
+    let mut json_points = Vec::new();
     for (w, p) in workloads.iter().zip(&profiles) {
         // The paper's Fig 8 compares per-application compilation work;
         // the one-time compiler-class load (identical across apps and
@@ -46,11 +53,17 @@ fn main() {
                 level.name().to_string(),
                 fmt_norm(local / base * 100.0),
             ];
+            let mut point = Json::object()
+                .with("app", w.name())
+                .with("level", level.name())
+                .with("local_nj", local);
             for class in ChannelClass::ALL {
                 let remote = p.e_remote_compile(level, class).nanojoules();
                 row.push(fmt_norm(remote / base * 100.0));
+                point = point.with(format!("remote_{class:?}_nj").as_str(), remote);
             }
             row.push(format!("{}", p.code_bytes[level.index()]));
+            json_points.push(point.with("code_bytes", p.code_bytes[level.index()]));
             rows.push(row);
         }
     }
@@ -102,4 +115,14 @@ fn main() {
             );
         }
     }
+
+    obs.write_json(
+        &Json::object()
+            .with("figure", "fig8")
+            .with(
+                "compiler_init_nj",
+                profiles[0].compiler_init_energy.nanojoules(),
+            )
+            .with("points", Json::Arr(json_points)),
+    );
 }

@@ -15,17 +15,22 @@
 //! (energy-wise).
 
 use jem_apps::all_workloads;
+use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, print_table};
 use jem_core::{run_scenario, Strategy};
+use jem_obs::Json;
 use jem_radio::{ChannelClass, ChannelProcess};
 use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&args);
     let workloads = all_workloads();
     eprintln!("building profiles...");
     let profiles = build_profiles(&workloads, 42);
 
     let mut rows = Vec::new();
+    let mut json_points = Vec::new();
     let mut chosen_speedups: Vec<f64> = Vec::new();
     for (w, p) in workloads.iter().zip(&profiles) {
         for size in w.sizes() {
@@ -50,6 +55,17 @@ fn main() {
             if preferred && speedup_i > 1.0 {
                 chosen_speedups.push(speedup_i);
             }
+            json_points.push(
+                Json::object()
+                    .with("bench", w.name())
+                    .with("size", size)
+                    .with("t_interp_ns", t_interp)
+                    .with("t_local_ns", t_local)
+                    .with("t_remote_ns", t_remote)
+                    .with("speedup_vs_interp", speedup_i)
+                    .with("speedup_vs_l2", speedup_n)
+                    .with("remote_preferred", preferred),
+            );
             rows.push(vec![
                 w.name().to_string(),
                 size.to_string(),
@@ -95,4 +111,10 @@ fn main() {
              is a slowdown."
         );
     }
+
+    obs.write_json(
+        &Json::object()
+            .with("figure", "speedup")
+            .with("points", Json::Arr(json_points)),
+    );
 }

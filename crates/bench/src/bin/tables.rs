@@ -1,12 +1,16 @@
 //! The paper's constant tables: Fig 1 (instruction energies), Fig 2
 //! (radio component powers), Fig 3 (benchmarks), Fig 5 (strategies).
 //!
-//! Usage: `tables [fig1|fig2|fig3|fig5]` — no argument prints all.
+//! Usage: `tables [fig1|fig2|fig3|fig5] [--json-out BENCH_tables.json]`
+//! — no figure argument prints all; `--json-out` always writes all
+//! four tables machine-readably.
 
 use jem_apps::all_workloads;
+use jem_bench::obs::ObsArgs;
 use jem_bench::print_table;
 use jem_core::Strategy;
 use jem_energy::{EnergyTable, InstrClass};
+use jem_obs::Json;
 use jem_radio::{ChannelClass, RadioComponent, RadioPowerTable};
 
 fn fig1() {
@@ -94,8 +98,79 @@ fn fig5() {
     );
 }
 
+fn tables_json() -> Json {
+    let t = EnergyTable::microsparc_iiep();
+    let mut fig1 = Vec::new();
+    for &c in InstrClass::ALL.iter() {
+        fig1.push(
+            Json::object()
+                .with("instr", c.name())
+                .with("nj", t.energy(c).nanojoules()),
+        );
+    }
+    fig1.push(
+        Json::object()
+            .with("instr", "Main Memory")
+            .with("nj", t.main_memory.nanojoules()),
+    );
+
+    let r = RadioPowerTable::wcdma();
+    let mut fig2 = Vec::new();
+    for c in RadioComponent::ALL {
+        if c == RadioComponent::PowerAmplifier {
+            for class in ChannelClass::ALL {
+                fig2.push(
+                    Json::object()
+                        .with("component", c.name())
+                        .with("class", format!("{class:?}").as_str())
+                        .with("watts", r.power(c, class).watts()),
+                );
+            }
+        } else {
+            fig2.push(
+                Json::object()
+                    .with("component", c.name())
+                    .with("watts", r.power(c, ChannelClass::C4).watts()),
+            );
+        }
+    }
+
+    let fig3: Vec<Json> = all_workloads()
+        .iter()
+        .map(|w| {
+            Json::object()
+                .with("app", w.name())
+                .with("description", w.description())
+                .with("size_meaning", w.size_meaning())
+                .with(
+                    "sizes",
+                    Json::Arr(w.sizes().iter().map(|&s| Json::from(s)).collect()),
+                )
+        })
+        .collect();
+
+    let fig5: Vec<Json> = Strategy::ALL
+        .iter()
+        .map(|s| {
+            Json::object()
+                .with("strategy", s.key())
+                .with("kind", if s.is_adaptive() { "dynamic" } else { "static" })
+                .with("compilation", s.compilation_desc())
+                .with("execution", s.execution_desc())
+        })
+        .collect();
+
+    Json::object()
+        .with("figure", "tables")
+        .with("fig1", Json::Arr(fig1))
+        .with("fig2", Json::Arr(fig2))
+        .with("fig3", Json::Arr(fig3))
+        .with("fig5", Json::Arr(fig5))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let obs = ObsArgs::parse(&args);
     match args.get(1).map(String::as_str) {
         Some("fig1") => fig1(),
         Some("fig2") => fig2(),
@@ -108,4 +183,5 @@ fn main() {
             fig5();
         }
     }
+    obs.write_json(&tables_json());
 }

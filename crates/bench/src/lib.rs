@@ -14,12 +14,16 @@
 //! | `ablation` | design-choice ablations (EWMA weight, power-down, …) |
 //! | `faults` | resilience sweep — AA vs naive AA vs AL under bursty loss |
 //!
-//! This library holds the shared plumbing: table rendering and
-//! parallel profile construction.
+//! This library holds the shared plumbing: table rendering, parallel
+//! profile construction, and the observability output options every
+//! bin accepts (`--trace out.json`, `--metrics-out out.prom`,
+//! `--json-out BENCH_x.json`) — see [`obs`].
 
 #![warn(missing_docs)]
 
 use jem_core::{Profile, Workload};
+
+pub mod obs;
 
 /// Render a fixed-width text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -69,6 +73,14 @@ pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
 /// True when `--full` was passed (run paper-scale workloads).
 pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parse a `--flag value` string option from argv.
+pub fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 #[cfg(test)]

@@ -1,0 +1,98 @@
+//! Shared observability plumbing for the bench bins.
+//!
+//! Every bin accepts three optional output flags:
+//!
+//! * `--trace out.json` — export a Chrome `trace_event` JSON trace of
+//!   the scenario runs (open in Perfetto / `chrome://tracing`);
+//! * `--metrics-out out.prom` — write the run's metrics registry in
+//!   Prometheus text format;
+//! * `--json-out BENCH_x.json` — write machine-readable results.
+//!
+//! Outputs are deterministic: identically-seeded runs write
+//! byte-identical files (sim-time timestamps only, sorted label sets,
+//! insertion-ordered JSON objects), which CI exploits by diffing two
+//! traced runs.
+
+use crate::print_table;
+use jem_core::{accuracy_of, Profile, ScenarioResult};
+use jem_obs::{chrome_trace, AccuracyTracker, Json, MetricsRegistry, RingSink, TraceEvent};
+
+/// Where a bin should write its optional observability outputs.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// `--trace` path (Chrome trace JSON).
+    pub trace: Option<String>,
+    /// `--metrics-out` path (Prometheus text format).
+    pub metrics_out: Option<String>,
+    /// `--json-out` path (machine-readable results).
+    pub json_out: Option<String>,
+}
+
+impl ObsArgs {
+    /// Parse the three output flags from argv.
+    pub fn parse(args: &[String]) -> ObsArgs {
+        ObsArgs {
+            trace: crate::arg_str(args, "--trace"),
+            metrics_out: crate::arg_str(args, "--metrics-out"),
+            json_out: crate::arg_str(args, "--json-out"),
+        }
+    }
+
+    /// A ring sink for trace collection, if `--trace` was given.
+    /// Bounded at one million events — far above any bench run, while
+    /// still a hard cap against runaway memory.
+    pub fn trace_sink(&self) -> Option<RingSink> {
+        self.trace.as_ref().map(|_| RingSink::new(1_000_000))
+    }
+
+    /// Write the collected trace events (no-op without `--trace`).
+    pub fn write_trace(&self, events: &[TraceEvent]) {
+        if let Some(path) = &self.trace {
+            write_file(path, &format!("{}\n", chrome_trace(events).render()));
+        }
+    }
+
+    /// Write the metrics registry (no-op without `--metrics-out`).
+    pub fn write_metrics(&self, registry: &MetricsRegistry) {
+        if let Some(path) = &self.metrics_out {
+            write_file(path, &registry.render_prometheus());
+        }
+    }
+
+    /// Write the results document (no-op without `--json-out`).
+    pub fn write_json(&self, doc: &Json) {
+        if let Some(path) = &self.json_out {
+            write_file(path, &format!("{}\n", doc.render_pretty()));
+        }
+    }
+}
+
+fn write_file(path: &str, content: &str) {
+    match std::fs::write(path, content) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => {
+            eprintln!("error: cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Fold one run's predictor accuracy into `tracker` and return the
+/// run's contribution (convenience over [`jem_core::accuracy_of`]).
+pub fn accumulate_accuracy(
+    tracker: &mut AccuracyTracker,
+    profile: &Profile,
+    result: &ScenarioResult,
+) {
+    tracker.merge(&accuracy_of(profile, result));
+}
+
+/// Print the `fig_regret`-style predictor-accuracy table.
+pub fn print_regret_table(title: &str, tracker: &AccuracyTracker) {
+    if tracker.invocations() == 0 {
+        return;
+    }
+    let header_owned = AccuracyTracker::table_header();
+    let headers: Vec<&str> = header_owned.iter().map(String::as_str).collect();
+    print_table(title, &headers, &tracker.table_rows());
+}

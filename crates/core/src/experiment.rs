@@ -7,11 +7,12 @@
 
 use crate::estimate::Profile;
 use crate::fault::FaultInjector;
-use crate::resilience::ResilienceConfig;
+use crate::resilience::{ExecError, ResilienceConfig};
 use crate::runtime::{EnergyAwareVm, InvocationReport, RunStats};
 use crate::strategy::Strategy;
 use crate::workload::Workload;
 use jem_energy::{Energy, EnergyBreakdown, SimTime};
+use jem_obs::{TraceSink, Tracer};
 use jem_sim::Scenario;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -44,23 +45,41 @@ impl ScenarioResult {
             self.total_energy / self.invocations as f64
         }
     }
+
+    /// Merge the aggregate statistics of per-shard results (e.g. from
+    /// [`jem_sim::parallel::sweep`]) into one [`RunStats`]: the merge
+    /// of per-run stats equals the stats of the concatenated runs.
+    pub fn merge_stats<'r>(results: impl IntoIterator<Item = &'r ScenarioResult>) -> RunStats {
+        let mut total = RunStats::default();
+        for r in results {
+            total.merge(&r.stats);
+        }
+        total
+    }
 }
 
 /// Run `scenario` under `strategy` with the default resilience
 /// policy (energy-budgeted retries + circuit breaker).
+///
+/// All benchmark workloads are VM-error-free, so this convenience
+/// wrapper keeps the historical infallible signature; a surfaced
+/// [`ExecError`] is a framework bug, not expected behaviour.
 pub fn run_scenario(
     workload: &dyn Workload,
     profile: &Profile,
     scenario: &Scenario,
     strategy: Strategy,
 ) -> ScenarioResult {
-    run_scenario_with(
+    match run_scenario_with(
         workload,
         profile,
         scenario,
         strategy,
         &ResilienceConfig::default(),
-    )
+    ) {
+        Ok(result) => result,
+        Err(err) => panic!("benchmark invocation failed: {err:?}"),
+    }
 }
 
 /// Run `scenario` under `strategy` and an explicit resilience policy
@@ -69,31 +88,73 @@ pub fn run_scenario(
 /// instantiated into live fault processes seeded — like everything
 /// else — by the scenario seed, so identical seeds give identical
 /// energy totals even with fault injection enabled.
+///
+/// # Errors
+/// The first [`ExecError`] any invocation surfaces (permanent VM
+/// errors from the workload itself; the remote path's transient
+/// failures are already absorbed by retry/fallback below this level).
 pub fn run_scenario_with(
     workload: &dyn Workload,
     profile: &Profile,
     scenario: &Scenario,
     strategy: Strategy,
     resilience: &ResilienceConfig,
-) -> ScenarioResult {
+) -> Result<ScenarioResult, ExecError> {
+    run_scenario_inner(workload, profile, scenario, strategy, resilience, None)
+}
+
+/// [`run_scenario_with`] with a trace sink attached for the whole
+/// run. Tracing reads machine state only — it draws nothing from the
+/// RNG and charges no energy, so a traced run's energy totals are
+/// bit-identical to the untraced run at the same seed.
+///
+/// # Errors
+/// See [`run_scenario_with`].
+pub fn run_scenario_traced(
+    workload: &dyn Workload,
+    profile: &Profile,
+    scenario: &Scenario,
+    strategy: Strategy,
+    resilience: &ResilienceConfig,
+    sink: &mut dyn TraceSink,
+) -> Result<ScenarioResult, ExecError> {
+    run_scenario_inner(
+        workload,
+        profile,
+        scenario,
+        strategy,
+        resilience,
+        Some(sink),
+    )
+}
+
+fn run_scenario_inner(
+    workload: &dyn Workload,
+    profile: &Profile,
+    scenario: &Scenario,
+    strategy: Strategy,
+    resilience: &ResilienceConfig,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ScenarioResult, ExecError> {
     let mut rng = SmallRng::seed_from_u64(scenario.seed);
     let mut channel = scenario.channel.clone();
     let mut vm = EnergyAwareVm::new(workload, profile)
         .with_faults(FaultInjector::from_spec(&scenario.faults))
         .with_resilience(*resilience);
+    if let Some(sink) = sink {
+        vm = vm.with_tracer(Tracer::attached(sink));
+    }
     let mut reports = Vec::with_capacity(scenario.runs);
 
     for _ in 0..scenario.runs {
         let size = scenario.sizes.sample(&mut rng);
         let true_class = channel.advance(&mut rng);
-        let report = vm
-            .invoke_once(strategy, size, true_class, &mut rng)
-            .expect("benchmark invocation failed");
+        let report = vm.invoke_once(strategy, size, true_class, &mut rng)?;
         reports.push(report);
         vm.end_invocation();
     }
 
-    ScenarioResult {
+    Ok(ScenarioResult {
         strategy,
         total_energy: vm.total_energy(),
         breakdown: vm.client.machine.breakdown(),
@@ -101,7 +162,7 @@ pub fn run_scenario_with(
         invocations: scenario.runs,
         stats: vm.stats.clone(),
         reports,
-    }
+    })
 }
 
 /// Run a scenario under every strategy in `strategies`, returning the

@@ -34,6 +34,7 @@
 //! |---|---|
 //! | Gilbert–Elliott loss, outages, slowdowns, corruption | [`fault`] |
 //! | retries, energy budgets, circuit breaker | [`resilience`] |
+//! | sim-time tracing, metrics, predictor accuracy | [`observe`] (on [`jem_obs`]) |
 
 #![warn(missing_docs)]
 
@@ -41,6 +42,7 @@ pub mod estimate;
 pub mod experiment;
 pub mod fault;
 pub mod fit;
+pub mod observe;
 pub mod partition;
 pub mod predict;
 pub mod rcomp;
@@ -51,9 +53,12 @@ pub mod strategy;
 pub mod workload;
 
 pub use estimate::Profile;
-pub use experiment::{run_scenario, run_scenario_with, run_strategies, ScenarioResult};
+pub use experiment::{
+    run_scenario, run_scenario_traced, run_scenario_with, run_strategies, ScenarioResult,
+};
 pub use fault::{FaultInjector, RequestFaults};
 pub use fit::CurveFit;
+pub use observe::{accuracy_of, fill_run_metrics, oracle_choice, scenario_result_to_json};
 pub use partition::Partition;
 pub use predict::{Ewma, MethodState};
 pub use remote::{RemoteConfig, RemoteFailure, ServerNode};

@@ -22,6 +22,7 @@ use crate::remote::{RemoteConfig, RemoteFailure};
 use jem_energy::Energy;
 use jem_jvm::costs::serialize_mix;
 use jem_jvm::{OptLevel, Vm};
+use jem_obs::{TraceEventKind, Tracer};
 use jem_radio::{ChannelClass, Link, TransferDirection};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -94,12 +95,55 @@ pub fn try_download_and_install<R: Rng + ?Sized>(
     faults: &mut FaultInjector,
     rng: &mut R,
 ) -> Result<DownloadReport, RemoteFailure> {
+    try_download_and_install_traced(
+        client,
+        profile,
+        level,
+        link,
+        class,
+        cfg,
+        faults,
+        rng,
+        &mut Tracer::off(),
+    )
+}
+
+/// [`try_download_and_install`] with trace emission: the name-request
+/// and code-transfer radio windows are recorded into `tracer` with
+/// their energy deltas. With a disabled tracer this is exactly
+/// `try_download_and_install`.
+///
+/// # Errors
+/// See [`try_download_and_install`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_download_and_install_traced<R: Rng + ?Sized>(
+    client: &mut Vm<'_>,
+    profile: &Profile,
+    level: OptLevel,
+    link: &mut Link,
+    class: ChannelClass,
+    cfg: &RemoteConfig,
+    faults: &mut FaultInjector,
+    rng: &mut R,
+    tracer: &mut Tracer<'_>,
+) -> Result<DownloadReport, RemoteFailure> {
     let code_bytes = u64::from(profile.code_bytes[level.index()]);
 
     // Request: transmit the fully qualified method name.
     let up = link.transfer(NAME_REQUEST_BYTES, TransferDirection::Send, class);
     client.machine.charge_radio(up.tx_energy, Energy::ZERO);
     client.machine.power_down(up.airtime);
+    if tracer.enabled() {
+        tracer.emit(
+            client.machine.elapsed(),
+            client.machine.breakdown(),
+            TraceEventKind::TxWindow {
+                bytes: up.wire_bytes,
+                airtime: up.airtime,
+                retransmit: false,
+            },
+        );
+    }
 
     // Advance the fault processes. Unlike remote execution there is
     // no scheduled power-down window for a download, so on a lost
@@ -111,6 +155,15 @@ pub fn try_download_and_install<R: Rng + ?Sized>(
         request_faults.loss_probability > 0.0 && rng.gen::<f64>() < request_faults.loss_probability;
     if lost || request_faults.server_down {
         client.machine.active_idle(cfg.response_timeout);
+        if tracer.enabled() {
+            tracer.emit(
+                client.machine.elapsed(),
+                client.machine.breakdown(),
+                TraceEventKind::EarlyWake {
+                    wait: cfg.response_timeout,
+                },
+            );
+        }
         return Err(if lost {
             RemoteFailure::ConnectionLost
         } else {
@@ -122,6 +175,16 @@ pub fn try_download_and_install<R: Rng + ?Sized>(
     let down = link.transfer(code_bytes, TransferDirection::Receive, class);
     client.machine.charge_radio(Energy::ZERO, down.rx_energy);
     client.machine.power_down(down.airtime);
+    if tracer.enabled() {
+        tracer.emit(
+            client.machine.elapsed(),
+            client.machine.breakdown(),
+            TraceEventKind::RxWindow {
+                bytes: down.wire_bytes,
+                airtime: down.airtime,
+            },
+        );
+    }
 
     // Link it (one pass over the bytes, CPU active). Corrupt code is
     // caught here, after the download and the pass were both paid.

@@ -22,6 +22,7 @@ use crate::fault::FaultInjector;
 use jem_energy::SimTime;
 use jem_jvm::costs::serialize_mix;
 use jem_jvm::{serial, MethodId, Value, Vm, VmError};
+use jem_obs::{TraceEventKind, Tracer};
 use jem_radio::{ChannelClass, Link, TransferDirection};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -141,6 +142,17 @@ pub enum RemoteFailure {
     CorruptResponse,
 }
 
+impl RemoteFailure {
+    /// Stable label for traces and metrics.
+    pub const fn key(self) -> &'static str {
+        match self {
+            RemoteFailure::ConnectionLost => "connection-lost",
+            RemoteFailure::ServerUnavailable => "server-unavailable",
+            RemoteFailure::CorruptResponse => "corrupt-response",
+        }
+    }
+}
+
 /// Accounting for one remote invocation.
 #[derive(Debug, Clone)]
 pub struct RemoteOutcome {
@@ -186,6 +198,44 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     faults: &mut FaultInjector,
     rng: &mut R,
 ) -> Result<RemoteOutcome, VmError> {
+    remote_invoke_traced(
+        client,
+        server,
+        link,
+        chosen_class,
+        true_class,
+        method,
+        args,
+        est_server_time,
+        cfg,
+        faults,
+        rng,
+        &mut Tracer::off(),
+    )
+}
+
+/// [`remote_invoke`] with trace emission: tx/rx windows, power-down
+/// and early-wake spans are recorded into `tracer` with their energy
+/// deltas. With a disabled tracer this is exactly `remote_invoke` —
+/// no extra RNG draws, no extra energy.
+///
+/// # Errors
+/// VM errors raised by the server-side execution.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_invoke_traced<R: Rng + ?Sized>(
+    client: &mut Vm<'_>,
+    server: &mut ServerNode<'_>,
+    link: &mut Link,
+    chosen_class: ChannelClass,
+    true_class: ChannelClass,
+    method: MethodId,
+    args: &[Value],
+    est_server_time: SimTime,
+    cfg: &RemoteConfig,
+    faults: &mut FaultInjector,
+    rng: &mut R,
+    tracer: &mut Tracer<'_>,
+) -> Result<RemoteOutcome, VmError> {
     // 1. Serialize the request on the client (active CPU).
     let payload = serial::serialize_args(&client.heap, args)?;
     client
@@ -201,6 +251,17 @@ pub fn remote_invoke<R: Rng + ?Sized>(
         .machine
         .charge_radio(up.tx_energy, jem_energy::Energy::ZERO);
     client.machine.power_down(up.airtime);
+    if tracer.enabled() {
+        tracer.emit(
+            client.machine.elapsed(),
+            client.machine.breakdown(),
+            TraceEventKind::TxWindow {
+                bytes: up.wire_bytes,
+                airtime: up.airtime,
+                retransmit: false,
+            },
+        );
+    }
     let retransmitted = chosen_class.quality() > true_class.quality();
     let mut uplink_time = up.airtime;
     if retransmitted {
@@ -209,6 +270,17 @@ pub fn remote_invoke<R: Rng + ?Sized>(
             .machine
             .charge_radio(again.tx_energy, jem_energy::Energy::ZERO);
         client.machine.power_down(again.airtime);
+        if tracer.enabled() {
+            tracer.emit(
+                client.machine.elapsed(),
+                client.machine.breakdown(),
+                TraceEventKind::TxWindow {
+                    bytes: again.wire_bytes,
+                    airtime: again.airtime,
+                    retransmit: true,
+                },
+            );
+        }
         uplink_time += again.airtime;
     }
     let arrival = t0 + uplink_time;
@@ -228,7 +300,26 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     if lost || request_faults.server_down {
         let nap = est_server_time.min(cfg.response_timeout);
         client.machine.power_down(nap);
+        if tracer.enabled() {
+            tracer.emit(
+                client.machine.elapsed(),
+                client.machine.breakdown(),
+                TraceEventKind::PowerDown {
+                    duration: nap,
+                    reason: "timeout-overlap".to_string(),
+                },
+            );
+        }
         client.machine.active_idle(cfg.response_timeout - nap);
+        if tracer.enabled() {
+            tracer.emit(
+                client.machine.elapsed(),
+                client.machine.breakdown(),
+                TraceEventKind::EarlyWake {
+                    wait: cfg.response_timeout - nap,
+                },
+            );
+        }
         server.status_table.push(StatusEntry {
             request_at: t0,
             powered_down_until: t_wake,
@@ -267,8 +358,27 @@ pub fn remote_invoke<R: Rng + ?Sized>(
     });
 
     client.machine.power_down(est_server_time);
+    if tracer.enabled() {
+        tracer.emit(
+            client.machine.elapsed(),
+            client.machine.breakdown(),
+            TraceEventKind::PowerDown {
+                duration: est_server_time,
+                reason: "server-wait".to_string(),
+            },
+        );
+    }
     if early_wake {
         client.machine.active_idle(done - t_wake);
+        if tracer.enabled() {
+            tracer.emit(
+                client.machine.elapsed(),
+                client.machine.breakdown(),
+                TraceEventKind::EarlyWake {
+                    wait: done - t_wake,
+                },
+            );
+        }
     }
 
     // 7. Receive (CPU still down, receiver on) and deserialize.
@@ -281,6 +391,16 @@ pub fn remote_invoke<R: Rng + ?Sized>(
         .machine
         .charge_radio(jem_energy::Energy::ZERO, down.rx_energy);
     client.machine.power_down(down.airtime);
+    if tracer.enabled() {
+        tracer.emit(
+            client.machine.elapsed(),
+            client.machine.breakdown(),
+            TraceEventKind::RxWindow {
+                bytes: down.wire_bytes,
+                airtime: down.airtime,
+            },
+        );
+    }
     client
         .machine
         .charge_mix(&serialize_mix(out_payload.len() as u64));

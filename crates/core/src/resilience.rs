@@ -157,6 +157,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable label for traces and metrics.
+    pub const fn key(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
 /// Per-method circuit breaker over the remote-execution path.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {

@@ -12,15 +12,17 @@
 use crate::estimate::Profile;
 use crate::fault::FaultInjector;
 use crate::predict::MethodState;
-use crate::remote::{remote_invoke, RemoteConfig, RemoteFailure, ServerNode};
+use crate::remote::{remote_invoke_traced, RemoteConfig, RemoteFailure, ServerNode};
 use crate::resilience::{CircuitBreaker, ExecError, ResilienceConfig};
 use crate::strategy::{compile_source, evaluate, Mode, Strategy};
 use crate::{rcomp, workload::Workload};
 use jem_energy::{Energy, InstrClass, InstrMix, SimTime};
 use jem_jvm::{OptLevel, Value, Vm, VmError};
+use jem_obs::{TraceEventKind, Tracer};
 use jem_radio::{ChannelClass, Link, PilotEstimator};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
 
 /// Fixed instruction footprint of one helper-method evaluation (the
 /// EWMA updates and the five-candidate comparison are "simple
@@ -64,6 +66,10 @@ pub struct InvocationReport {
     /// Whether the circuit breaker forced this invocation away from a
     /// remote decision (AA degraded to AL / static R ran locally).
     pub degraded: bool,
+    /// The chosen candidate's estimated per-invocation energy at
+    /// decision time (adaptive strategies only; static strategies make
+    /// no prediction).
+    pub predicted_energy: Option<Energy>,
 }
 
 /// Aggregate statistics over a run.
@@ -105,6 +111,44 @@ pub struct RunStats {
     pub rcomp_fallbacks: u64,
 }
 
+impl AddAssign<&RunStats> for RunStats {
+    fn add_assign(&mut self, rhs: &RunStats) {
+        self.remote += rhs.remote;
+        self.interpreted += rhs.interpreted;
+        for (slot, v) in self.local.iter_mut().zip(rhs.local) {
+            *slot += v;
+        }
+        self.local_compiles += rhs.local_compiles;
+        self.remote_compiles += rhs.remote_compiles;
+        self.fallbacks += rhs.fallbacks;
+        self.early_wakes += rhs.early_wakes;
+        self.retries += rhs.retries;
+        self.breaker_trips += rhs.breaker_trips;
+        self.breaker_recoveries += rhs.breaker_recoveries;
+        self.degraded += rhs.degraded;
+        self.degraded_time += rhs.degraded_time;
+        self.wasted_energy += rhs.wasted_energy;
+        self.losses += rhs.losses;
+        self.outages += rhs.outages;
+        self.corrupt_responses += rhs.corrupt_responses;
+        self.rcomp_fallbacks += rhs.rcomp_fallbacks;
+    }
+}
+
+impl AddAssign for RunStats {
+    fn add_assign(&mut self, rhs: RunStats) {
+        *self += &rhs;
+    }
+}
+
+impl RunStats {
+    /// Fold `other` into `self` field-by-field: merging per-run stats
+    /// yields the stats of the concatenated runs.
+    pub fn merge(&mut self, other: &RunStats) {
+        *self += other;
+    }
+}
+
 /// The paper's framework instantiated for one workload.
 pub struct EnergyAwareVm<'a> {
     /// The workload under execution.
@@ -136,6 +180,9 @@ pub struct EnergyAwareVm<'a> {
     pub breaker: CircuitBreaker,
     /// Run statistics.
     pub stats: RunStats,
+    /// Event tracer (disabled by default; attaching a sink records the
+    /// full invocation timeline without touching the RNG streams).
+    pub tracer: Tracer<'a>,
 }
 
 impl<'a> EnergyAwareVm<'a> {
@@ -162,7 +209,14 @@ impl<'a> EnergyAwareVm<'a> {
             resilience: ResilienceConfig::default(),
             breaker: CircuitBreaker::new(ResilienceConfig::default().breaker),
             stats: RunStats::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attach a trace sink for the rest of the run.
+    pub fn with_tracer(mut self, tracer: Tracer<'a>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Replace the adaptive state (for ablations over the EWMA
@@ -186,6 +240,18 @@ impl<'a> EnergyAwareVm<'a> {
         self
     }
 
+    /// Emit one trace event at the client's current machine state.
+    /// With no sink attached this is a single branch.
+    fn trace(&mut self, kind: TraceEventKind) {
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                self.client.machine.elapsed(),
+                self.client.machine.breakdown(),
+                kind,
+            );
+        }
+    }
+
     /// Fold one remote-path failure into the statistics and the
     /// breaker.
     fn note_remote_failure(&mut self, failure: RemoteFailure) {
@@ -194,15 +260,31 @@ impl<'a> EnergyAwareVm<'a> {
             RemoteFailure::ServerUnavailable => self.stats.outages += 1,
             RemoteFailure::CorruptResponse => self.stats.corrupt_responses += 1,
         }
+        let before = self.breaker.state();
         if self.breaker.record_failure() {
             self.stats.breaker_trips += 1;
+        }
+        let after = self.breaker.state();
+        if after != before {
+            self.trace(TraceEventKind::BreakerTransition {
+                from: before.key().to_string(),
+                to: after.key().to_string(),
+            });
         }
     }
 
     /// Fold one remote-path success into the breaker.
     fn note_remote_success(&mut self) {
+        let before = self.breaker.state();
         if self.breaker.record_success() {
             self.stats.breaker_recoveries += 1;
+        }
+        let after = self.breaker.state();
+        if after != before {
+            self.trace(TraceEventKind::BreakerTransition {
+                from: before.key().to_string(),
+                to: after.key().to_string(),
+            });
         }
     }
 
@@ -220,15 +302,33 @@ impl<'a> EnergyAwareVm<'a> {
         true_class: ChannelClass,
         rng: &mut SmallRng,
     ) -> Result<InvocationReport, VmError> {
+        self.tracer.next_invocation();
         // Tick the breaker's cooldown clock once per invocation; an
         // open breaker blacklists every remote interaction below.
+        let tick_before = self.breaker.state();
         self.breaker.on_invocation();
+        let tick_after = self.breaker.state();
+        if tick_after != tick_before && self.tracer.enabled() {
+            self.trace(TraceEventKind::BreakerTransition {
+                from: tick_before.key().to_string(),
+                to: tick_after.key().to_string(),
+            });
+        }
         let allow_remote = self.breaker.allows_remote();
 
         // Pilot tracking happens continuously; one observation per
         // invocation keeps the estimator fresh.
         self.pilot.observe(true_class, rng);
         let chosen_class = self.pilot.recommended_class();
+
+        if self.tracer.enabled() {
+            self.trace(TraceEventKind::InvocationStart {
+                strategy: strategy.key().to_string(),
+                size,
+                true_class: format!("{true_class:?}"),
+                chosen_class: format!("{chosen_class:?}"),
+            });
+        }
 
         let method = self.workload.potential_method();
         let cp = self.client.machine.checkpoint();
@@ -240,6 +340,7 @@ impl<'a> EnergyAwareVm<'a> {
         let mut degraded = false;
         let mut retries: u32 = 0;
         let mut wasted = Energy::ZERO;
+        let mut predicted = None;
 
         let mode = match strategy {
             Strategy::Remote => {
@@ -283,9 +384,40 @@ impl<'a> EnergyAwareVm<'a> {
                         mode = Mode::Local(lvl);
                     }
                 }
+                if self.tracer.enabled() {
+                    self.trace(TraceEventKind::DecisionEvaluated {
+                        k,
+                        s_bar,
+                        pa_bar_w: pa_bar,
+                        interpret_nj: est.interpret.nanojoules(),
+                        remote_nj: est.remote.nanojoules(),
+                        local_nj: [
+                            est.local[0].nanojoules(),
+                            est.local[1].nanojoules(),
+                            est.local[2].nanojoules(),
+                        ],
+                        chosen: mode.to_string(),
+                        remote_allowed: allow_remote,
+                    });
+                }
+                // The decision's per-invocation prediction: the chosen
+                // candidate's k-invocation estimate averaged back down.
+                let chosen_estimate = match mode {
+                    Mode::Interpret => est.interpret,
+                    Mode::Remote => est.remote,
+                    Mode::Local(l) => est.local[l.index()],
+                };
+                predicted = Some(Energy::from_nanojoules(
+                    chosen_estimate.nanojoules() / k.max(1) as f64,
+                ));
                 mode
             }
         };
+        if degraded && self.tracer.enabled() {
+            self.trace(TraceEventKind::Degraded {
+                what: "remote-exec".to_string(),
+            });
+        }
 
         let result = match mode {
             Mode::Interpret => {
@@ -302,8 +434,14 @@ impl<'a> EnergyAwareVm<'a> {
                             .0;
                     let mut downloaded = false;
                     if remote_comp {
+                        if self.tracer.enabled() {
+                            self.trace(TraceEventKind::CompileStart {
+                                level: level.name().to_string(),
+                                source: "download".to_string(),
+                            });
+                        }
                         let attempt_cp = self.client.machine.checkpoint();
-                        match rcomp::try_download_and_install(
+                        match rcomp::try_download_and_install_traced(
                             &mut self.client,
                             self.profile,
                             level,
@@ -312,12 +450,20 @@ impl<'a> EnergyAwareVm<'a> {
                             &self.remote_cfg,
                             &mut self.faults,
                             rng,
+                            &mut self.tracer,
                         ) {
                             Ok(_) => {
                                 self.note_remote_success();
                                 self.stats.remote_compiles += 1;
                                 compiled_remotely = Some(level);
                                 downloaded = true;
+                                if self.tracer.enabled() {
+                                    self.trace(TraceEventKind::CompileEnd {
+                                        level: level.name().to_string(),
+                                        source: "download".to_string(),
+                                        ok: true,
+                                    });
+                                }
                             }
                             Err(failure) => {
                                 // Degrade to local JIT, exactly like a
@@ -327,10 +473,26 @@ impl<'a> EnergyAwareVm<'a> {
                                 let (e, _) = self.client.machine.since(&attempt_cp);
                                 wasted += e;
                                 self.stats.rcomp_fallbacks += 1;
+                                if self.tracer.enabled() {
+                                    self.trace(TraceEventKind::CompileEnd {
+                                        level: level.name().to_string(),
+                                        source: "download".to_string(),
+                                        ok: false,
+                                    });
+                                    self.trace(TraceEventKind::Fallback {
+                                        reason: format!("rcomp-{}", failure.key()),
+                                    });
+                                }
                             }
                         }
                     }
                     if !downloaded {
+                        if self.tracer.enabled() {
+                            self.trace(TraceEventKind::CompileStart {
+                                level: level.name().to_string(),
+                                source: "local".to_string(),
+                            });
+                        }
                         if !self.compiler_loaded {
                             // First local compilation loads and
                             // initializes the compiler classes.
@@ -344,6 +506,13 @@ impl<'a> EnergyAwareVm<'a> {
                         self.profile.install(&mut self.client, level);
                         self.stats.local_compiles += 1;
                         compiled_locally = Some(level);
+                        if self.tracer.enabled() {
+                            self.trace(TraceEventKind::CompileEnd {
+                                level: level.name().to_string(),
+                                source: "local".to_string(),
+                                ok: true,
+                            });
+                        }
                     }
                     self.installed = Some(level);
                 }
@@ -353,9 +522,10 @@ impl<'a> EnergyAwareVm<'a> {
             Mode::Remote => {
                 let est = self.profile.est_server_time(f64::from(size));
                 let mut remote_value: Option<Option<Value>> = None;
+                let mut last_failure: Option<RemoteFailure> = None;
                 loop {
                     let attempt_cp = self.client.machine.checkpoint();
-                    let outcome = remote_invoke(
+                    let outcome = remote_invoke_traced(
                         &mut self.client,
                         &mut self.server,
                         &mut self.link,
@@ -367,6 +537,7 @@ impl<'a> EnergyAwareVm<'a> {
                         &self.remote_cfg,
                         &mut self.faults,
                         rng,
+                        &mut self.tracer,
                     )?;
                     if outcome.early_wake {
                         self.stats.early_wakes += 1;
@@ -380,6 +551,7 @@ impl<'a> EnergyAwareVm<'a> {
                         }
                         Err(failure) => {
                             self.note_remote_failure(failure);
+                            last_failure = Some(failure);
                             let (e, _) = self.client.machine.since(&attempt_cp);
                             wasted += e;
                             // Retry only transient failures, within
@@ -396,6 +568,12 @@ impl<'a> EnergyAwareVm<'a> {
                             // Back off with the CPU and radio down.
                             let nap = self.resilience.retry.backoff(retries, rng);
                             self.client.machine.power_down(nap);
+                            if self.tracer.enabled() {
+                                self.trace(TraceEventKind::RetryAttempt {
+                                    attempt: retries,
+                                    backoff: nap,
+                                });
+                            }
                         }
                     }
                 }
@@ -406,6 +584,13 @@ impl<'a> EnergyAwareVm<'a> {
                         fell_back = true;
                         self.stats.fallbacks += 1;
                         self.stats.interpreted += 1;
+                        if self.tracer.enabled() {
+                            self.trace(TraceEventKind::Fallback {
+                                reason: last_failure
+                                    .map_or("unknown", RemoteFailure::key)
+                                    .to_string(),
+                            });
+                        }
                         self.client.invoke(method, args)?
                     }
                 }
@@ -419,6 +604,13 @@ impl<'a> EnergyAwareVm<'a> {
         }
         self.stats.wasted_energy += wasted;
         let _ = result;
+        if self.tracer.enabled() {
+            self.trace(TraceEventKind::InvocationEnd {
+                mode: mode.to_string(),
+                energy,
+                time,
+            });
+        }
         Ok(InvocationReport {
             size,
             true_class,
@@ -432,6 +624,7 @@ impl<'a> EnergyAwareVm<'a> {
             retries,
             wasted_energy: wasted,
             degraded,
+            predicted_energy: predicted,
         })
     }
 

@@ -146,7 +146,8 @@ proptest! {
             &scenario,
             Strategy::AdaptiveAdaptive,
             &ResilienceConfig::default(),
-        );
+        )
+        .expect("scenario run failed");
         let sum: f64 = r.reports.iter().map(|x| x.energy.nanojoules()).sum();
         let total = r.total_energy.nanojoules();
         prop_assert!(
@@ -184,7 +185,8 @@ proptest! {
                     &scenario,
                     strategy,
                     &ResilienceConfig::default(),
-                );
+                )
+                .expect("scenario run failed");
                 prop_assert_eq!(r.reports.len(), runs, "{} dropped invocations", strategy);
                 let executed =
                     r.stats.remote + r.stats.interpreted + r.stats.local.iter().sum::<u64>();
@@ -207,7 +209,8 @@ proptest! {
             &scenario,
             Strategy::Remote,
             &ResilienceConfig::default(),
-        );
+        )
+        .expect("scenario run failed");
         prop_assert_eq!(r.stats.remote, 0);
         prop_assert!(r.stats.breaker_trips > 0, "total loss must trip the breaker");
     }
@@ -260,6 +263,7 @@ proptest! {
                 Strategy::AdaptiveAdaptive,
                 &ResilienceConfig::default(),
             )
+            .expect("scenario run failed")
         };
         let (a, b) = (run(), run());
         prop_assert_eq!(

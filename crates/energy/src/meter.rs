@@ -9,7 +9,7 @@
 use crate::units::Energy;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::ops::{Add, AddAssign, Index, IndexMut};
+use std::ops::{Add, AddAssign, Index, IndexMut, Sub, SubAssign};
 
 /// The energy-consuming components of the mobile client.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -134,6 +134,23 @@ impl AddAssign for EnergyBreakdown {
     }
 }
 
+impl Sub for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn sub(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        let mut out = self;
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign for EnergyBreakdown {
+    fn sub_assign(&mut self, rhs: EnergyBreakdown) {
+        for i in 0..self.slots.len() {
+            self.slots[i] -= rhs.slots[i];
+        }
+    }
+}
+
 impl fmt::Display for EnergyBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "total {}", self.total())?;
@@ -170,6 +187,19 @@ mod tests {
         assert_eq!(c[Component::Core].nanojoules(), 3.0);
         assert_eq!(c[Component::Leakage].nanojoules(), 3.0);
         assert_eq!(c.total().nanojoules(), 6.0);
+    }
+
+    #[test]
+    fn sub_inverts_add() {
+        let mut a = EnergyBreakdown::new();
+        a.charge(Component::Core, Energy::from_nanojoules(5.0));
+        a.charge(Component::RadioRx, Energy::from_nanojoules(2.5));
+        let mut b = EnergyBreakdown::new();
+        b.charge(Component::Core, Energy::from_nanojoules(1.0));
+        let d = a - b;
+        assert_eq!(d[Component::Core].nanojoules(), 4.0);
+        assert_eq!(d[Component::RadioRx].nanojoules(), 2.5);
+        assert_eq!((b + d), a);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Validate an exported trace file.
+//!
+//! ```text
+//! tracecheck <trace.json> [--schema schemas/trace.schema.json]
+//! ```
+//!
+//! Checks, in order:
+//! 1. the file parses as JSON;
+//! 2. (with `--schema`) it validates against the given JSON Schema;
+//! 3. its events decode back into `TraceEvent` records;
+//! 4. the energy-conservation ledger holds: the per-event
+//!    `EnergyBreakdown` deltas sum to the total embedded in
+//!    `otherData.total_energy`.
+//!
+//! Exits non-zero with a diagnostic on the first failure; prints a
+//! one-line summary on success. CI runs this against every trace the
+//! smoke job produces.
+
+use jem_energy::EnergyBreakdown;
+use jem_obs::json::Json;
+use jem_obs::schema::validate;
+use jem_obs::trace::events_from_chrome_trace;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut schema_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--schema" => {
+                if i + 1 >= args.len() {
+                    eprintln!("tracecheck: --schema needs a path");
+                    return ExitCode::from(2);
+                }
+                schema_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: tracecheck <trace.json> [--schema <schema.json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if trace_path.is_some() {
+                    eprintln!("tracecheck: unexpected argument '{other}'");
+                    return ExitCode::from(2);
+                }
+                trace_path = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("usage: tracecheck <trace.json> [--schema <schema.json>]");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("tracecheck: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(schema_path) = schema_path {
+        let schema_text = match std::fs::read_to_string(&schema_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tracecheck: cannot read schema {schema_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let schema = match Json::parse(&schema_text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tracecheck: schema {schema_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let errors = validate(&doc, &schema);
+        if !errors.is_empty() {
+            eprintln!("tracecheck: {trace_path} fails schema validation:");
+            for e in errors.iter().take(20) {
+                eprintln!("  {e}");
+            }
+            if errors.len() > 20 {
+                eprintln!("  … and {} more", errors.len() - 20);
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let events = match events_from_chrome_trace(&doc) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("tracecheck: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sum = EnergyBreakdown::new();
+    for ev in &events {
+        sum += ev.delta;
+    }
+    let declared = doc
+        .get("otherData")
+        .and_then(|o| o.get("total_energy"))
+        .and_then(|t| t.get("total"))
+        .and_then(Json::as_f64);
+    let Some(declared) = declared else {
+        eprintln!("tracecheck: {trace_path}: missing otherData.total_energy.total");
+        return ExitCode::FAILURE;
+    };
+    let total = sum.total().nanojoules();
+    let tolerance = 1e-6 * declared.abs().max(1.0);
+    if (total - declared).abs() > tolerance {
+        eprintln!(
+            "tracecheck: {trace_path}: energy conservation violated: \
+             sum of deltas {total} nJ != declared total {declared} nJ"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "tracecheck: {trace_path}: OK ({} events, {:.1} nJ conserved)",
+        events.len(),
+        total
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,40 @@
+//! # jem-obs — sim-time tracing, metrics, and predictor observability
+//!
+//! The simulator's experiments answer *what* a strategy spent; this
+//! crate answers *why*. It provides three layers, all deterministic
+//! and all driven purely by simulated time (no wall clock ever appears
+//! in an exported artifact):
+//!
+//! * [`trace`] — structured per-event tracing with [`SimTime`]
+//!   timestamps and per-event [`EnergyBreakdown`] deltas, a no-op
+//!   default sink (zero overhead, zero RNG impact when disabled), a
+//!   bounded ring sink, and a Chrome `trace_event` / Perfetto
+//!   compatible exporter,
+//! * [`metrics`] — counters, gauges and log-bucketed histograms with
+//!   Prometheus text-format and JSON exposition,
+//! * [`accuracy`] — predicted-vs-actual energy per chosen mode and
+//!   cumulative regret against the post-hoc oracle.
+//!
+//! Because the workspace's vendored `serde` is a no-op stub, the
+//! [`json`] module supplies the deterministic JSON reader/writer that
+//! every artifact here flows through; [`schema`] adds the small
+//! JSON-Schema validator CI uses to gate exported traces.
+//!
+//! [`SimTime`]: jem_energy::SimTime
+//! [`EnergyBreakdown`]: jem_energy::EnergyBreakdown
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+pub mod trace;
+
+pub use accuracy::AccuracyTracker;
+pub use json::{Json, JsonError};
+pub use metrics::{Buckets, Histogram, MetricsRegistry};
+pub use trace::{
+    chrome_trace, events_from_chrome_trace, NullSink, RingSink, TraceEvent, TraceEventKind,
+    TraceSink, Tracer,
+};

@@ -1,0 +1,508 @@
+//! A small metrics registry: counters, gauges, and log-bucketed
+//! histograms with Prometheus text-format and JSON exposition.
+//!
+//! Families are stored in `BTreeMap`s and label sets are rendered
+//! canonically, so exposition output is deterministic: two
+//! identically-seeded runs produce byte-identical `.prom` and JSON
+//! files. All values come from the simulator (sim-time, nanojoules);
+//! no wall clock is ever sampled.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Histogram bucket boundaries (upper bounds, strictly increasing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets(Vec<f64>);
+
+impl Buckets {
+    /// Geometric (log-spaced) boundaries: `start, start·growth,
+    /// start·growth², …` — `count` of them. The right choice for
+    /// quantities spanning decades, like invocation energies.
+    pub fn log(start: f64, growth: f64, count: usize) -> Buckets {
+        assert!(
+            start > 0.0 && growth > 1.0,
+            "log buckets need start>0, growth>1"
+        );
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= growth;
+        }
+        Buckets(bounds)
+    }
+
+    /// Explicit boundaries (must be strictly increasing).
+    pub fn explicit(bounds: Vec<f64>) -> Buckets {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Buckets(bounds)
+    }
+
+    /// The upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// A fixed-bucket histogram with sum/count/min/max.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a final overflow (+Inf) slot.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given buckets.
+    pub fn new(buckets: &Buckets) -> Histogram {
+        Histogram {
+            bounds: buckets.0.clone(),
+            counts: vec![0; buckets.0.len() + 1],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs, ending with `+Inf`.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+
+    /// Merge another histogram's observations into this one. Both must
+    /// share the same bucket boundaries.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bucket mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .cumulative()
+            .into_iter()
+            .map(|(le, c)| {
+                Json::object()
+                    .with(
+                        "le",
+                        if le.is_finite() {
+                            Json::from(le)
+                        } else {
+                            Json::Str("+Inf".into())
+                        },
+                    )
+                    .with("count", c)
+            })
+            .collect();
+        let mut obj = Json::object()
+            .with("buckets", Json::Arr(buckets))
+            .with("sum", self.sum)
+            .with("count", self.count);
+        if self.count > 0 {
+            obj = obj.with("min", self.min).with("max", self.max);
+        }
+        obj
+    }
+}
+
+/// Canonical label rendering: `key="value",…` sorted by key.
+fn render_labels(labels: &[(&str, String)]) -> String {
+    let mut sorted: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+    sorted.sort();
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{k}=\"{}\"",
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out
+}
+
+/// A registry of metric families. Series within a family are keyed by
+/// their canonical label string ("" for unlabelled series).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, BTreeMap<String, u64>>,
+    gauges: BTreeMap<String, BTreeMap<String, f64>>,
+    histograms: BTreeMap<String, BTreeMap<String, Histogram>>,
+    help: BTreeMap<String, String>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Attach HELP text to a family (shown in Prometheus exposition).
+    pub fn set_help(&mut self, family: &str, help: &str) {
+        self.help.insert(family.to_string(), help.to_string());
+    }
+
+    /// Add `delta` to a counter series.
+    pub fn add(&mut self, family: &str, labels: &[(&str, String)], delta: u64) {
+        *self
+            .counters
+            .entry(family.to_string())
+            .or_default()
+            .entry(render_labels(labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Increment an unlabelled counter.
+    pub fn inc(&mut self, family: &str) {
+        self.add(family, &[], 1);
+    }
+
+    /// Set a gauge series to `value`.
+    pub fn set_gauge(&mut self, family: &str, labels: &[(&str, String)], value: f64) {
+        self.gauges
+            .entry(family.to_string())
+            .or_default()
+            .insert(render_labels(labels), value);
+    }
+
+    /// Record an observation into a histogram series, creating it with
+    /// `buckets` on first use (later calls reuse the existing buckets).
+    pub fn observe(&mut self, family: &str, labels: &[(&str, String)], buckets: &Buckets, v: f64) {
+        self.histograms
+            .entry(family.to_string())
+            .or_default()
+            .entry(render_labels(labels))
+            .or_insert_with(|| Histogram::new(buckets))
+            .observe(v);
+    }
+
+    /// The current value of a counter series (0 if absent).
+    pub fn counter_value(&self, family: &str, labels: &[(&str, String)]) -> u64 {
+        self.counters
+            .get(family)
+            .and_then(|m| m.get(&render_labels(labels)))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A histogram series, if it has recorded anything.
+    pub fn histogram(&self, family: &str, labels: &[(&str, String)]) -> Option<&Histogram> {
+        self.histograms
+            .get(family)
+            .and_then(|m| m.get(&render_labels(labels)))
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let fmt = |v: f64| Json::from(v).render();
+        for (family, series) in &self.counters {
+            self.write_header(&mut out, family, "counter");
+            for (labels, v) in series {
+                let _ = writeln!(out, "{}{} {}", family, braced(labels), v);
+            }
+        }
+        for (family, series) in &self.gauges {
+            self.write_header(&mut out, family, "gauge");
+            for (labels, v) in series {
+                let _ = writeln!(out, "{}{} {}", family, braced(labels), fmt(*v));
+            }
+        }
+        for (family, series) in &self.histograms {
+            self.write_header(&mut out, family, "histogram");
+            for (labels, h) in series {
+                for (le, c) in h.cumulative() {
+                    let le_s = if le.is_finite() {
+                        fmt(le)
+                    } else {
+                        "+Inf".to_string()
+                    };
+                    let joined = if labels.is_empty() {
+                        format!("le=\"{le_s}\"")
+                    } else {
+                        format!("{labels},le=\"{le_s}\"")
+                    };
+                    let _ = writeln!(out, "{family}_bucket{{{joined}}} {c}");
+                }
+                let _ = writeln!(out, "{}_sum{} {}", family, braced(labels), fmt(h.sum()));
+                let _ = writeln!(out, "{}_count{} {}", family, braced(labels), h.count());
+            }
+        }
+        out
+    }
+
+    fn write_header(&self, out: &mut String, family: &str, kind: &str) {
+        if let Some(help) = self.help.get(family) {
+            let _ = writeln!(out, "# HELP {family} {help}");
+        }
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+    }
+
+    /// JSON exposition: every series with its family, labels and value.
+    pub fn to_json(&self) -> Json {
+        let labels_json = |labels: &str| -> Json {
+            let mut obj = Json::object();
+            if !labels.is_empty() {
+                for pair in split_labels(labels) {
+                    obj = obj.with(&pair.0, pair.1.as_str());
+                }
+            }
+            obj
+        };
+        let mut counters = Vec::new();
+        for (family, series) in &self.counters {
+            for (labels, v) in series {
+                counters.push(
+                    Json::object()
+                        .with("name", family.as_str())
+                        .with("labels", labels_json(labels))
+                        .with("value", *v),
+                );
+            }
+        }
+        let mut gauges = Vec::new();
+        for (family, series) in &self.gauges {
+            for (labels, v) in series {
+                gauges.push(
+                    Json::object()
+                        .with("name", family.as_str())
+                        .with("labels", labels_json(labels))
+                        .with("value", *v),
+                );
+            }
+        }
+        let mut histograms = Vec::new();
+        for (family, series) in &self.histograms {
+            for (labels, h) in series {
+                histograms.push(
+                    Json::object()
+                        .with("name", family.as_str())
+                        .with("labels", labels_json(labels))
+                        .with("histogram", h.to_json()),
+                );
+            }
+        }
+        Json::object()
+            .with("counters", Json::Arr(counters))
+            .with("gauges", Json::Arr(gauges))
+            .with("histograms", Json::Arr(histograms))
+    }
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// Split a canonical label string back into pairs (inverse of
+/// [`render_labels`] for values without embedded quotes/commas, which
+/// is all the simulator produces).
+fn split_labels(labels: &str) -> Vec<(String, String)> {
+    labels
+        .split(',')
+        .filter_map(|part| {
+            let (k, v) = part.split_once('=')?;
+            Some((k.to_string(), v.trim_matches('"').to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mode(m: &str) -> Vec<(&'static str, String)> {
+        vec![("mode", m.to_string())]
+    }
+
+    #[test]
+    fn log_buckets_are_geometric() {
+        let b = Buckets::log(1.0, 10.0, 4);
+        assert_eq!(b.bounds(), &[1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new(&Buckets::log(1.0, 10.0, 3));
+        for v in [0.5, 5.0, 50.0, 5000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5055.5);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 5000.0);
+        let cum = h.cumulative();
+        assert_eq!(cum[0], (1.0, 1));
+        assert_eq!(cum[1], (10.0, 2));
+        assert_eq!(cum[2], (100.0, 3));
+        assert_eq!(cum[3].1, 4);
+        assert!(cum[3].0.is_infinite());
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let buckets = Buckets::log(1.0, 2.0, 8);
+        let mut a = Histogram::new(&buckets);
+        let mut b = Histogram::new(&buckets);
+        let mut whole = Histogram::new(&buckets);
+        for (i, v) in [0.3, 1.5, 2.0, 9.0, 77.0, 300.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v)
+            } else {
+                b.observe(*v)
+            }
+            whole.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut r = MetricsRegistry::new();
+        r.set_help("invocations_total", "Completed invocations.");
+        r.add("invocations_total", &mode("remote"), 3);
+        r.inc("fallbacks_total");
+        r.set_gauge("regret_nj", &[], 125.5);
+        r.observe(
+            "invocation_energy_nj",
+            &[],
+            &Buckets::log(1.0, 10.0, 2),
+            5.0,
+        );
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP invocations_total Completed invocations."));
+        assert!(text.contains("# TYPE invocations_total counter"));
+        assert!(text.contains("invocations_total{mode=\"remote\"} 3"));
+        assert!(text.contains("fallbacks_total 1"));
+        assert!(text.contains("regret_nj 125.5"));
+        assert!(text.contains("invocation_energy_nj_bucket{le=\"10\"} 1"));
+        assert!(text.contains("invocation_energy_nj_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("invocation_energy_nj_sum 5"));
+        assert!(text.contains("invocation_energy_nj_count 1"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            // Insertion order differs run to run in callers; BTreeMaps
+            // must canonicalize it.
+            r.add("z_total", &[], 1);
+            r.add("a_total", &mode("local/L2"), 2);
+            r.add("a_total", &mode("interpret"), 7);
+            r.observe("h", &[], &Buckets::log(1.0, 2.0, 4), 3.0);
+            r
+        };
+        let mut r1 = build();
+        let r2 = {
+            let mut r = MetricsRegistry::new();
+            r.observe("h", &[], &Buckets::log(1.0, 2.0, 4), 3.0);
+            r.add("a_total", &mode("interpret"), 7);
+            r.add("a_total", &mode("local/L2"), 2);
+            r.add("z_total", &[], 1);
+            r
+        };
+        assert_eq!(r1.render_prometheus(), r2.render_prometheus());
+        assert_eq!(r1.to_json().render(), r2.to_json().render());
+        r1.inc("a_total");
+        assert_eq!(r1.counter_value("a_total", &[]), 1);
+    }
+
+    #[test]
+    fn json_exposition_round_trips_text() {
+        let mut r = MetricsRegistry::new();
+        r.add("x_total", &mode("remote"), 9);
+        r.observe("e_nj", &[], &Buckets::log(1.0, 10.0, 2), 42.0);
+        let doc = r.to_json();
+        let text = doc.render_pretty();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.render(), doc.render());
+        let counters = back.get("counters").and_then(Json::as_array).unwrap();
+        assert_eq!(counters.len(), 1);
+        assert_eq!(
+            counters[0]
+                .get("labels")
+                .and_then(|l| l.get("mode"))
+                .and_then(Json::as_str),
+            Some("remote")
+        );
+    }
+}

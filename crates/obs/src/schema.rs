@@ -1,0 +1,172 @@
+//! A deliberately small JSON-Schema validator.
+//!
+//! CI validates exported traces against `schemas/trace.schema.json`
+//! without any network or external tooling, so this module implements
+//! just the keyword subset that schema uses: `type` (string or array;
+//! `integer` means a number with an integral value), `properties`,
+//! `required`, `items` (single schema), `enum`, `minItems`,
+//! `maxItems`, and boolean `additionalProperties`. Unknown keywords
+//! are ignored, like real validators do.
+
+use crate::json::Json;
+
+/// Validate `doc` against `schema`, collecting every violation as a
+/// `path: message` string (empty vector ⇒ valid).
+pub fn validate(doc: &Json, schema: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(doc, schema, "$", &mut errors);
+    errors
+}
+
+fn check(doc: &Json, schema: &Json, path: &str, errors: &mut Vec<String>) {
+    if let Some(types) = schema.get("type") {
+        let names: Vec<&str> = match types {
+            Json::Str(s) => vec![s.as_str()],
+            Json::Arr(a) => a.iter().filter_map(Json::as_str).collect(),
+            _ => vec![],
+        };
+        if !names.is_empty() && !names.iter().any(|t| type_matches(doc, t)) {
+            errors.push(format!(
+                "{path}: expected type {}, got {}",
+                names.join("|"),
+                doc.type_name()
+            ));
+            return; // Structural keywords below would only cascade.
+        }
+    }
+    if let Some(Json::Arr(allowed)) = schema.get("enum") {
+        let rendered = doc.render();
+        if !allowed.iter().any(|v| v.render() == rendered) {
+            errors.push(format!("{path}: value {rendered} not in enum"));
+        }
+    }
+    if let Some(Json::Arr(required)) = schema.get("required") {
+        for key in required.iter().filter_map(Json::as_str) {
+            if doc.get(key).is_none() {
+                errors.push(format!("{path}: missing required property '{key}'"));
+            }
+        }
+    }
+    if let Some(props) = schema.get("properties").and_then(Json::as_object) {
+        if let Some(members) = doc.as_object() {
+            for (key, sub) in props {
+                if let Some(value) = members.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+                    check(value, sub, &format!("{path}.{key}"), errors);
+                }
+            }
+            if schema.get("additionalProperties").and_then(Json::as_bool) == Some(false) {
+                for (key, _) in members {
+                    if !props.iter().any(|(k, _)| k == key) {
+                        errors.push(format!("{path}: unexpected property '{key}'"));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(items) = doc.as_array() {
+        if let Some(min) = schema.get("minItems").and_then(Json::as_u64) {
+            if (items.len() as u64) < min {
+                errors.push(format!("{path}: fewer than {min} items"));
+            }
+        }
+        if let Some(max) = schema.get("maxItems").and_then(Json::as_u64) {
+            if (items.len() as u64) > max {
+                errors.push(format!("{path}: more than {max} items"));
+            }
+        }
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                check(item, item_schema, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn type_matches(doc: &Json, name: &str) -> bool {
+    match name {
+        "null" => matches!(doc, Json::Null),
+        "boolean" => matches!(doc, Json::Bool(_)),
+        "number" => matches!(doc, Json::Num(_)),
+        "integer" => matches!(doc, Json::Num(n) if n.fract() == 0.0 && n.is_finite()),
+        "string" => matches!(doc, Json::Str(_)),
+        "array" => matches!(doc, Json::Arr(_)),
+        "object" => matches!(doc, Json::Obj(_)),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn accepts_matching_document() {
+        let schema = parse(
+            r#"{
+              "type": "object",
+              "required": ["name", "events"],
+              "properties": {
+                "name": {"type": "string"},
+                "events": {
+                  "type": "array",
+                  "minItems": 1,
+                  "items": {
+                    "type": "object",
+                    "required": ["seq", "kind"],
+                    "properties": {
+                      "seq": {"type": "integer"},
+                      "kind": {"enum": ["tx-window", "rx-window"]}
+                    }
+                  }
+                }
+              }
+            }"#,
+        );
+        let doc = parse(r#"{"name":"t","events":[{"seq":0,"kind":"tx-window"}]}"#);
+        assert!(validate(&doc, &schema).is_empty());
+    }
+
+    #[test]
+    fn reports_type_required_and_enum_violations() {
+        let schema = parse(
+            r#"{
+              "type": "object",
+              "required": ["seq", "kind"],
+              "properties": {
+                "seq": {"type": "integer"},
+                "kind": {"type": "string", "enum": ["a", "b"]}
+              }
+            }"#,
+        );
+        let doc = parse(r#"{"seq": 1.5, "kind": "c"}"#);
+        let errors = validate(&doc, &schema);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("$.seq"));
+        assert!(errors[1].contains("not in enum"));
+        let missing = validate(&parse("{}"), &schema);
+        assert_eq!(missing.len(), 2);
+        assert!(missing[0].contains("missing required property 'seq'"));
+    }
+
+    #[test]
+    fn additional_properties_false_rejects_unknowns() {
+        let schema = parse(
+            r#"{"type":"object","properties":{"a":{"type":"number"}},"additionalProperties":false}"#,
+        );
+        let errors = validate(&parse(r#"{"a":1,"b":2}"#), &schema);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("unexpected property 'b'"));
+    }
+
+    #[test]
+    fn type_array_allows_alternatives() {
+        let schema = parse(r#"{"type":["string","null"]}"#);
+        assert!(validate(&parse("null"), &schema).is_empty());
+        assert!(validate(&parse("\"x\""), &schema).is_empty());
+        assert_eq!(validate(&parse("3"), &schema).len(), 1);
+    }
+}

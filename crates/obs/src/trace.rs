@@ -1,0 +1,860 @@
+//! Structured sim-time event tracing.
+//!
+//! The runtime emits one [`TraceEvent`] per interesting step of an
+//! invocation — decision evaluations, compilations, radio windows,
+//! power-downs, retries, breaker transitions, fallbacks. Every event
+//! is timestamped with [`SimTime`] (never wall clock: exported traces
+//! from identically-seeded runs must be byte-identical) and carries
+//! the [`EnergyBreakdown`] *delta* charged since the previous event,
+//! so a trace doubles as an energy-conservation ledger: the per-event
+//! deltas sum to the run's total breakdown.
+//!
+//! Sinks implement [`TraceSink`]; the default is no sink at all
+//! ([`Tracer::off`]), which costs one branch per would-be event and
+//! draws nothing from the RNG, so tracing cannot perturb seeded runs.
+//! [`RingSink`] keeps a bounded in-memory window; [`chrome_trace`]
+//! exports events in the Chrome `trace_event` JSON format that
+//! Perfetto and `chrome://tracing` load directly.
+
+use crate::json::Json;
+use jem_energy::{Component, Energy, EnergyBreakdown, SimTime};
+use std::collections::VecDeque;
+
+/// What happened. String fields are stable labels (strategy keys,
+/// mode names, channel classes) rather than foreign types, so this
+/// crate stays below the simulator in the dependency order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A top-level invocation began.
+    InvocationStart {
+        /// Strategy key ("AA", "AL", "R", …).
+        strategy: String,
+        /// Input size parameter.
+        size: u32,
+        /// True channel class label.
+        true_class: String,
+        /// Class the pilot estimator chose.
+        chosen_class: String,
+    },
+    /// The helper method evaluated the five candidate energies.
+    DecisionEvaluated {
+        /// Invocation counter `k` used in the estimates.
+        k: u64,
+        /// Predicted size parameter `s̄`.
+        s_bar: f64,
+        /// Predicted PA power `p̄` (watts).
+        pa_bar_w: f64,
+        /// `EI` candidate (nJ).
+        interpret_nj: f64,
+        /// `ER` candidate (nJ).
+        remote_nj: f64,
+        /// `EL1..EL3` candidates (nJ).
+        local_nj: [f64; 3],
+        /// The winning mode label.
+        chosen: String,
+        /// Whether the remote candidate was admissible (breaker).
+        remote_allowed: bool,
+    },
+    /// A compilation began (`source` is "local" or "download").
+    CompileStart {
+        /// Optimization level label ("L1".."L3").
+        level: String,
+        /// "local" (client JIT) or "download" (remote compilation).
+        source: String,
+    },
+    /// The matching compilation finished (or failed, for downloads).
+    CompileEnd {
+        /// Optimization level label.
+        level: String,
+        /// "local" or "download".
+        source: String,
+        /// Whether the compiled code was installed.
+        ok: bool,
+    },
+    /// A radio transmit window.
+    TxWindow {
+        /// Wire bytes sent.
+        bytes: u64,
+        /// Airtime of the window.
+        airtime: SimTime,
+        /// Whether this was a retransmission at higher power.
+        retransmit: bool,
+    },
+    /// A radio receive window.
+    RxWindow {
+        /// Wire bytes received.
+        bytes: u64,
+        /// Airtime of the window.
+        airtime: SimTime,
+    },
+    /// The client powered down (leakage only) for `duration`.
+    PowerDown {
+        /// Length of the power-down window.
+        duration: SimTime,
+        /// Why ("server-wait", "backoff", "airtime", "timeout-overlap").
+        reason: String,
+    },
+    /// The client woke before the server's result was ready and idled
+    /// awake for `wait`.
+    EarlyWake {
+        /// Awake idle time burned at nominal power.
+        wait: SimTime,
+    },
+    /// A remote retry is about to run.
+    RetryAttempt {
+        /// 1-based retry number within the invocation.
+        attempt: u32,
+        /// The jittered backoff nap preceding it.
+        backoff: SimTime,
+    },
+    /// The circuit breaker changed state.
+    BreakerTransition {
+        /// State label before ("closed", "open", "half-open").
+        from: String,
+        /// State label after.
+        to: String,
+    },
+    /// Remote execution failed for good; execution fell back locally.
+    Fallback {
+        /// Failure label ("connection-lost", "server-unavailable",
+        /// "corrupt-response").
+        reason: String,
+    },
+    /// The breaker forced this invocation away from a remote decision.
+    Degraded {
+        /// What degraded ("remote-exec" or "remote-compile").
+        what: String,
+    },
+    /// The invocation completed.
+    InvocationEnd {
+        /// Mode the invocation executed in.
+        mode: String,
+        /// Client energy of the whole invocation.
+        energy: Energy,
+        /// Client wall time of the whole invocation.
+        time: SimTime,
+    },
+}
+
+impl TraceEventKind {
+    /// Stable kebab-case name of this event kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::InvocationStart { .. } => "invocation-start",
+            TraceEventKind::DecisionEvaluated { .. } => "decision-evaluated",
+            TraceEventKind::CompileStart { .. } => "compile-start",
+            TraceEventKind::CompileEnd { .. } => "compile-end",
+            TraceEventKind::TxWindow { .. } => "tx-window",
+            TraceEventKind::RxWindow { .. } => "rx-window",
+            TraceEventKind::PowerDown { .. } => "power-down",
+            TraceEventKind::EarlyWake { .. } => "early-wake",
+            TraceEventKind::RetryAttempt { .. } => "retry-attempt",
+            TraceEventKind::BreakerTransition { .. } => "breaker-transition",
+            TraceEventKind::Fallback { .. } => "fallback",
+            TraceEventKind::Degraded { .. } => "degraded",
+            TraceEventKind::InvocationEnd { .. } => "invocation-end",
+        }
+    }
+
+    /// The duration of windowed kinds (drives Chrome `X` events).
+    pub fn duration(&self) -> Option<SimTime> {
+        match self {
+            TraceEventKind::TxWindow { airtime, .. } | TraceEventKind::RxWindow { airtime, .. } => {
+                Some(*airtime)
+            }
+            TraceEventKind::PowerDown { duration, .. } => Some(*duration),
+            TraceEventKind::EarlyWake { wait } => Some(*wait),
+            _ => None,
+        }
+    }
+
+    fn args_json(&self) -> Json {
+        match self {
+            TraceEventKind::InvocationStart {
+                strategy,
+                size,
+                true_class,
+                chosen_class,
+            } => Json::object()
+                .with("strategy", strategy.as_str())
+                .with("size", *size)
+                .with("true_class", true_class.as_str())
+                .with("chosen_class", chosen_class.as_str()),
+            TraceEventKind::DecisionEvaluated {
+                k,
+                s_bar,
+                pa_bar_w,
+                interpret_nj,
+                remote_nj,
+                local_nj,
+                chosen,
+                remote_allowed,
+            } => Json::object()
+                .with("k", *k)
+                .with("s_bar", *s_bar)
+                .with("pa_bar_w", *pa_bar_w)
+                .with("interpret_nj", *interpret_nj)
+                .with("remote_nj", *remote_nj)
+                .with("local_nj", local_nj.to_vec())
+                .with("chosen", chosen.as_str())
+                .with("remote_allowed", *remote_allowed),
+            TraceEventKind::CompileStart { level, source } => Json::object()
+                .with("level", level.as_str())
+                .with("source", source.as_str()),
+            TraceEventKind::CompileEnd { level, source, ok } => Json::object()
+                .with("level", level.as_str())
+                .with("source", source.as_str())
+                .with("ok", *ok),
+            TraceEventKind::TxWindow {
+                bytes,
+                airtime,
+                retransmit,
+            } => Json::object()
+                .with("bytes", *bytes)
+                .with("airtime_ns", airtime.nanos())
+                .with("retransmit", *retransmit),
+            TraceEventKind::RxWindow { bytes, airtime } => Json::object()
+                .with("bytes", *bytes)
+                .with("airtime_ns", airtime.nanos()),
+            TraceEventKind::PowerDown { duration, reason } => Json::object()
+                .with("duration_ns", duration.nanos())
+                .with("reason", reason.as_str()),
+            TraceEventKind::EarlyWake { wait } => Json::object().with("wait_ns", wait.nanos()),
+            TraceEventKind::RetryAttempt { attempt, backoff } => Json::object()
+                .with("attempt", *attempt)
+                .with("backoff_ns", backoff.nanos()),
+            TraceEventKind::BreakerTransition { from, to } => Json::object()
+                .with("from", from.as_str())
+                .with("to", to.as_str()),
+            TraceEventKind::Fallback { reason } => Json::object().with("reason", reason.as_str()),
+            TraceEventKind::Degraded { what } => Json::object().with("what", what.as_str()),
+            TraceEventKind::InvocationEnd { mode, energy, time } => Json::object()
+                .with("mode", mode.as_str())
+                .with("energy_nj", energy.nanojoules())
+                .with("time_ns", time.nanos()),
+        }
+    }
+
+    fn from_args(name: &str, args: &Json) -> Result<TraceEventKind, String> {
+        let s = |key: &str| -> Result<String, String> {
+            args.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name}: missing string '{key}'"))
+        };
+        let n = |key: &str| -> Result<f64, String> {
+            args.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{name}: missing number '{key}'"))
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            args.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing integer '{key}'"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            args.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("{name}: missing bool '{key}'"))
+        };
+        Ok(match name {
+            "invocation-start" => TraceEventKind::InvocationStart {
+                strategy: s("strategy")?,
+                size: u("size")? as u32,
+                true_class: s("true_class")?,
+                chosen_class: s("chosen_class")?,
+            },
+            "decision-evaluated" => {
+                let locals = args
+                    .get("local_nj")
+                    .and_then(Json::as_array)
+                    .ok_or("decision-evaluated: missing 'local_nj'")?;
+                if locals.len() != 3 {
+                    return Err("decision-evaluated: local_nj must have 3 entries".into());
+                }
+                let mut local_nj = [0.0; 3];
+                for (i, v) in locals.iter().enumerate() {
+                    local_nj[i] = v.as_f64().ok_or("decision-evaluated: bad local_nj")?;
+                }
+                TraceEventKind::DecisionEvaluated {
+                    k: u("k")?,
+                    s_bar: n("s_bar")?,
+                    pa_bar_w: n("pa_bar_w")?,
+                    interpret_nj: n("interpret_nj")?,
+                    remote_nj: n("remote_nj")?,
+                    local_nj,
+                    chosen: s("chosen")?,
+                    remote_allowed: b("remote_allowed")?,
+                }
+            }
+            "compile-start" => TraceEventKind::CompileStart {
+                level: s("level")?,
+                source: s("source")?,
+            },
+            "compile-end" => TraceEventKind::CompileEnd {
+                level: s("level")?,
+                source: s("source")?,
+                ok: b("ok")?,
+            },
+            "tx-window" => TraceEventKind::TxWindow {
+                bytes: u("bytes")?,
+                airtime: SimTime::from_nanos(n("airtime_ns")?),
+                retransmit: b("retransmit")?,
+            },
+            "rx-window" => TraceEventKind::RxWindow {
+                bytes: u("bytes")?,
+                airtime: SimTime::from_nanos(n("airtime_ns")?),
+            },
+            "power-down" => TraceEventKind::PowerDown {
+                duration: SimTime::from_nanos(n("duration_ns")?),
+                reason: s("reason")?,
+            },
+            "early-wake" => TraceEventKind::EarlyWake {
+                wait: SimTime::from_nanos(n("wait_ns")?),
+            },
+            "retry-attempt" => TraceEventKind::RetryAttempt {
+                attempt: u("attempt")? as u32,
+                backoff: SimTime::from_nanos(n("backoff_ns")?),
+            },
+            "breaker-transition" => TraceEventKind::BreakerTransition {
+                from: s("from")?,
+                to: s("to")?,
+            },
+            "fallback" => TraceEventKind::Fallback {
+                reason: s("reason")?,
+            },
+            "degraded" => TraceEventKind::Degraded { what: s("what")? },
+            "invocation-end" => TraceEventKind::InvocationEnd {
+                mode: s("mode")?,
+                energy: Energy::from_nanojoules(n("energy_nj")?),
+                time: SimTime::from_nanos(n("time_ns")?),
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        })
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number within the run.
+    pub seq: u64,
+    /// 1-based index of the enclosing top-level invocation.
+    pub invocation: u64,
+    /// Client sim-time when the event was recorded (end of the window
+    /// for windowed kinds).
+    pub at: SimTime,
+    /// Energy charged to the client since the previous event — the
+    /// conservation ledger: these deltas sum to the run's breakdown.
+    pub delta: EnergyBreakdown,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// Serialize a breakdown as a `{component: nJ}` object plus a total.
+pub fn breakdown_json(b: &EnergyBreakdown) -> Json {
+    let mut obj = Json::object();
+    for (c, e) in b.iter() {
+        obj = obj.with(c.name(), e.nanojoules());
+    }
+    obj.with("total", b.total().nanojoules())
+}
+
+/// Parse a breakdown written by [`breakdown_json`] (the `total` member
+/// is ignored; it is derived).
+///
+/// # Errors
+/// A message naming the missing or mistyped component.
+pub fn breakdown_from_json(v: &Json) -> Result<EnergyBreakdown, String> {
+    let mut b = EnergyBreakdown::new();
+    for c in Component::ALL {
+        let nj = v
+            .get(c.name())
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("breakdown: missing component '{}'", c.name()))?;
+        b.charge(c, Energy::from_nanojoules(nj));
+    }
+    Ok(b)
+}
+
+impl TraceEvent {
+    /// The exported record format (one JSON object per event).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("seq", self.seq)
+            .with("invocation", self.invocation)
+            .with("t_ns", self.at.nanos())
+            .with("kind", self.kind.name())
+            .with("delta_nj", breakdown_json(&self.delta))
+            .with("args", self.kind.args_json())
+    }
+
+    /// Parse a record written by [`TraceEvent::to_json`].
+    ///
+    /// # Errors
+    /// A message describing the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let kind_name = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event: missing 'kind'")?;
+        let args = v.get("args").ok_or("event: missing 'args'")?;
+        Ok(TraceEvent {
+            seq: v
+                .get("seq")
+                .and_then(Json::as_u64)
+                .ok_or("event: missing 'seq'")?,
+            invocation: v
+                .get("invocation")
+                .and_then(Json::as_u64)
+                .ok_or("event: missing 'invocation'")?,
+            at: SimTime::from_nanos(
+                v.get("t_ns")
+                    .and_then(Json::as_f64)
+                    .ok_or("event: missing 't_ns'")?,
+            ),
+            delta: breakdown_from_json(v.get("delta_nj").ok_or("event: missing 'delta_nj'")?)?,
+            kind: TraceEventKind::from_args(kind_name, args)?,
+        })
+    }
+}
+
+/// Destination for trace events.
+pub trait TraceSink {
+    /// Whether events should be produced at all. Emission sites skip
+    /// every snapshot and allocation when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+    /// Record one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory ring of trace events. When full, the oldest
+/// event is dropped (and counted), so long runs keep the most recent
+/// window instead of growing without bound.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Consume the sink, returning the retained events oldest-first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events.into()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+        self.recorded += 1;
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+/// The runtime's handle: an optional sink plus the delta bookkeeping.
+///
+/// With no sink attached every emission site reduces to one branch —
+/// no snapshots, no allocation, no RNG draws — so traced and untraced
+/// runs of the same seed produce bit-identical energy totals.
+pub struct Tracer<'s> {
+    sink: Option<&'s mut dyn TraceSink>,
+    last: EnergyBreakdown,
+    seq: u64,
+    invocation: u64,
+}
+
+impl Default for Tracer<'_> {
+    fn default() -> Self {
+        Tracer::off()
+    }
+}
+
+impl<'s> Tracer<'s> {
+    /// A tracer with no sink: all emissions are no-ops.
+    pub fn off() -> Tracer<'s> {
+        Tracer {
+            sink: None,
+            last: EnergyBreakdown::new(),
+            seq: 0,
+            invocation: 0,
+        }
+    }
+
+    /// A tracer feeding `sink`. A sink whose `enabled()` is false is
+    /// treated exactly like no sink.
+    pub fn attached(sink: &'s mut dyn TraceSink) -> Tracer<'s> {
+        if sink.enabled() {
+            Tracer {
+                sink: Some(sink),
+                last: EnergyBreakdown::new(),
+                seq: 0,
+                invocation: 0,
+            }
+        } else {
+            Tracer::off()
+        }
+    }
+
+    /// Whether events are being recorded. Callers may skip building
+    /// event arguments when false (emission itself also checks).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Mark the start of the next top-level invocation; subsequent
+    /// events carry its 1-based index.
+    #[inline]
+    pub fn next_invocation(&mut self) {
+        if self.sink.is_some() {
+            self.invocation += 1;
+        }
+    }
+
+    /// Emit one event. `breakdown` is the machine's *cumulative*
+    /// ledger at this instant; the tracer derives the per-event delta.
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, breakdown: EnergyBreakdown, kind: TraceEventKind) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            let delta = breakdown - self.last;
+            self.last = breakdown;
+            let event = TraceEvent {
+                seq: self.seq,
+                invocation: self.invocation,
+                at,
+                delta,
+                kind,
+            };
+            self.seq += 1;
+            sink.record(event);
+        }
+    }
+}
+
+/// Render events as a Chrome `trace_event` JSON document — the format
+/// Perfetto and `chrome://tracing` open directly. Point events become
+/// instants (`ph:"i"`), windowed events become complete spans
+/// (`ph:"X"`, with `ts` backdated by the window duration). Timestamps
+/// are sim-time microseconds; every event's `args` carries the full
+/// exported record, so the file remains a lossless conservation
+/// ledger.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    let mut out = Vec::with_capacity(events.len() + 1);
+    // Process-name metadata event, so trace viewers label the track.
+    out.push(
+        Json::object()
+            .with("name", "process_name")
+            .with("ph", "M")
+            .with("pid", 1u64)
+            .with("tid", 1u64)
+            .with("args", Json::object().with("name", "jem client (sim time)")),
+    );
+    let mut total = EnergyBreakdown::new();
+    for ev in events {
+        total += ev.delta;
+        let us = ev.at.nanos() * 1e-3;
+        let mut obj = Json::object().with("name", ev.kind.name());
+        obj = match ev.kind.duration() {
+            Some(dur) => {
+                let dur_us = dur.nanos() * 1e-3;
+                obj.with("ph", "X")
+                    .with("ts", us - dur_us)
+                    .with("dur", dur_us)
+            }
+            None => obj.with("ph", "i").with("ts", us).with("s", "t"),
+        };
+        out.push(
+            obj.with("pid", 1u64)
+                .with("tid", 1u64)
+                .with("args", ev.to_json()),
+        );
+    }
+    Json::object()
+        .with("traceEvents", Json::Arr(out))
+        .with("displayTimeUnit", "ns")
+        .with(
+            "otherData",
+            Json::object()
+                .with("events", events.len())
+                .with("total_energy", breakdown_json(&total)),
+        )
+}
+
+/// Extract the exported records back out of a Chrome trace document
+/// (skipping metadata events). Inverse of [`chrome_trace`].
+///
+/// # Errors
+/// A message describing the first malformed event.
+pub fn events_from_chrome_trace(doc: &Json) -> Result<Vec<TraceEvent>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("trace: missing 'traceEvents' array")?;
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) == Some("M") {
+            continue;
+        }
+        let args = ev.get("args").ok_or("trace: event missing 'args'")?;
+        out.push(TraceEvent::from_json(args)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let mut tracer_events = Vec::new();
+        let mut b = EnergyBreakdown::new();
+        b.charge(Component::Core, Energy::from_nanojoules(10.0));
+        tracer_events.push(TraceEvent {
+            seq: 0,
+            invocation: 1,
+            at: SimTime::from_nanos(100.0),
+            delta: b,
+            kind: TraceEventKind::DecisionEvaluated {
+                k: 3,
+                s_bar: 64.0,
+                pa_bar_w: 0.37,
+                interpret_nj: 5000.0,
+                remote_nj: 1200.0,
+                local_nj: [4000.0, 3500.0, 3600.0],
+                chosen: "remote".to_string(),
+                remote_allowed: true,
+            },
+        });
+        let mut d = EnergyBreakdown::new();
+        d.charge(Component::RadioTx, Energy::from_nanojoules(700.5));
+        tracer_events.push(TraceEvent {
+            seq: 1,
+            invocation: 1,
+            at: SimTime::from_nanos(2100.0),
+            delta: d,
+            kind: TraceEventKind::TxWindow {
+                bytes: 128,
+                airtime: SimTime::from_nanos(2000.0),
+                retransmit: false,
+            },
+        });
+        tracer_events
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        for ev in sample_events() {
+            let text = ev.to_json().render();
+            let back = TraceEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let kinds = vec![
+            TraceEventKind::InvocationStart {
+                strategy: "AA".into(),
+                size: 64,
+                true_class: "C3".into(),
+                chosen_class: "C4".into(),
+            },
+            TraceEventKind::CompileStart {
+                level: "L2".into(),
+                source: "download".into(),
+            },
+            TraceEventKind::CompileEnd {
+                level: "L2".into(),
+                source: "download".into(),
+                ok: false,
+            },
+            TraceEventKind::RxWindow {
+                bytes: 4096,
+                airtime: SimTime::from_micros(12.0),
+            },
+            TraceEventKind::PowerDown {
+                duration: SimTime::from_millis(1.5),
+                reason: "server-wait".into(),
+            },
+            TraceEventKind::EarlyWake {
+                wait: SimTime::from_micros(3.0),
+            },
+            TraceEventKind::RetryAttempt {
+                attempt: 2,
+                backoff: SimTime::from_millis(100.0),
+            },
+            TraceEventKind::BreakerTransition {
+                from: "closed".into(),
+                to: "open".into(),
+            },
+            TraceEventKind::Fallback {
+                reason: "connection-lost".into(),
+            },
+            TraceEventKind::Degraded {
+                what: "remote-exec".into(),
+            },
+            TraceEventKind::InvocationEnd {
+                mode: "local/L3".into(),
+                energy: Energy::from_microjoules(7.0),
+                time: SimTime::from_millis(2.0),
+            },
+        ];
+        for kind in kinds {
+            let ev = TraceEvent {
+                seq: 9,
+                invocation: 4,
+                at: SimTime::from_micros(55.0),
+                delta: EnergyBreakdown::new(),
+                kind,
+            };
+            let back = TraceEvent::from_json(&ev.to_json()).unwrap();
+            assert_eq!(ev, back);
+        }
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_counts() {
+        let mut ring = RingSink::new(2);
+        for ev in sample_events() {
+            ring.record(ev.clone());
+            ring.record(ev);
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.recorded(), 4);
+        assert_eq!(ring.dropped(), 2);
+        // Oldest-first: the survivors are the last two recorded.
+        assert_eq!(ring.events().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn null_sink_disables_tracer() {
+        let mut null = NullSink;
+        let tracer = Tracer::attached(&mut null);
+        assert!(!tracer.enabled());
+        let off = Tracer::off();
+        assert!(!off.enabled());
+    }
+
+    #[test]
+    fn tracer_computes_telescoping_deltas() {
+        let mut ring = RingSink::new(16);
+        {
+            let mut t = Tracer::attached(&mut ring);
+            t.next_invocation();
+            let mut b = EnergyBreakdown::new();
+            b.charge(Component::Core, Energy::from_nanojoules(5.0));
+            t.emit(
+                SimTime::from_nanos(1.0),
+                b,
+                TraceEventKind::Degraded {
+                    what: "remote-exec".into(),
+                },
+            );
+            b.charge(Component::RadioTx, Energy::from_nanojoules(3.0));
+            t.emit(
+                SimTime::from_nanos(2.0),
+                b,
+                TraceEventKind::Fallback {
+                    reason: "connection-lost".into(),
+                },
+            );
+        }
+        let events = ring.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].delta.total().nanojoules(), 5.0);
+        assert_eq!(events[1].delta.total().nanojoules(), 3.0);
+        assert_eq!(events[0].invocation, 1);
+        assert_eq!(events[1].seq, 1);
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_inverse() {
+        let events = sample_events();
+        let doc = chrome_trace(&events);
+        let arr = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        // Metadata + two events.
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(arr[1].get("ph").and_then(Json::as_str), Some("i"));
+        // The tx window is a complete span backdated by its airtime.
+        assert_eq!(arr[2].get("ph").and_then(Json::as_str), Some("X"));
+        let ts = arr[2].get("ts").and_then(Json::as_f64).unwrap();
+        let dur = arr[2].get("dur").and_then(Json::as_f64).unwrap();
+        assert!((ts + dur - 2.1).abs() < 1e-12);
+        // Round-trip through the document text.
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        let back = events_from_chrome_trace(&parsed).unwrap();
+        assert_eq!(back, events);
+        // The embedded total matches the deltas.
+        let total = doc
+            .get("otherData")
+            .and_then(|o| o.get("total_energy"))
+            .and_then(|t| t.get("total"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((total - 710.5).abs() < 1e-9);
+    }
+}

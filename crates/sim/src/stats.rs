@@ -84,6 +84,27 @@ impl Summary {
         }
         s
     }
+
+    /// Fold another summary into this one (Chan's parallel Welford
+    /// update): merging per-shard summaries from
+    /// [`crate::parallel::sweep`] equals summarizing the concatenated
+    /// observations.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Normalize `values` so that `values[baseline_idx]` becomes 100.0
@@ -158,6 +179,27 @@ mod tests {
     fn geomean_of_equal_values() {
         assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_summaries_equal_concatenated_observations() {
+        let xs: Vec<f64> = (0..97).map(|i| (i as f64 * 0.7).cos() * 42.0).collect();
+        let whole = Summary::of(&xs);
+        let (left, right) = xs.split_at(31);
+        let mut merged = Summary::of(left);
+        merged.merge(&Summary::of(right));
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        assert!((merged.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        // Merging into/with an empty summary is the identity.
+        let mut empty = Summary::new();
+        empty.merge(&whole);
+        assert!((empty.mean() - whole.mean()).abs() < 1e-12);
+        let mut w2 = whole;
+        w2.merge(&Summary::new());
+        assert_eq!(w2.count(), whole.count());
     }
 
     #[test]

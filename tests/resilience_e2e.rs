@@ -33,14 +33,16 @@ fn aa_with_breaker_beats_naive_aa_under_bursty_loss() {
             &scenario,
             Strategy::AdaptiveAdaptive,
             &ResilienceConfig::default(),
-        );
+        )
+        .expect("scenario run failed");
         let naive = run_scenario_with(
             w.as_ref(),
             profile,
             &scenario,
             Strategy::AdaptiveAdaptive,
             &ResilienceConfig::naive(),
-        );
+        )
+        .expect("scenario run failed");
         assert!(
             resilient.total_energy < naive.total_energy,
             "loss_bad {loss_bad}: resilient {} !< naive {}",
@@ -76,6 +78,7 @@ fn degraded_runs_are_reproducible_bit_for_bit() {
             Strategy::AdaptiveAdaptive,
             resilience,
         )
+        .expect("scenario run failed")
     };
     for cfg in [ResilienceConfig::default(), ResilienceConfig::naive()] {
         let a = run(&cfg);
