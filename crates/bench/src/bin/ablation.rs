@@ -33,7 +33,7 @@ fn run_al(
     power_down: bool,
     force_class: Option<ChannelClass>,
     sink: &mut dyn TraceSink,
-) -> f64 {
+) -> (f64, u64) {
     let mut rng = SmallRng::seed_from_u64(scenario.seed);
     let mut channel = scenario.channel.clone();
     let mut vm = EnergyAwareVm::new(w, p)
@@ -65,7 +65,7 @@ fn run_al(
         }
         vm.end_invocation();
     }
-    total
+    (total, vm.client.machine.mix().total())
 }
 
 fn target<'a>(
@@ -93,8 +93,9 @@ fn main() {
     // 1. EWMA weight sweep.
     let mut rows = Vec::new();
     let mut json_ewma = Vec::new();
+    let mut total_instructions = 0u64;
     for u in [0.0, 0.5, 0.7, 0.9, 1.0] {
-        let e = run_al(
+        let (e, instr) = run_al(
             w.as_ref(),
             &p,
             &scenario,
@@ -103,6 +104,7 @@ fn main() {
             None,
             target(&mut sink, &mut null),
         );
+        total_instructions += instr;
         json_ewma.push(Json::object().with("u", u).with("total_nj", e));
         rows.push(vec![format!("{u:.1}"), format!("{:.2} mJ", e * 1e-6)]);
     }
@@ -113,7 +115,7 @@ fn main() {
     );
 
     // 2. Power-down vs active idle.
-    let on = run_al(
+    let (on, on_instr) = run_al(
         w.as_ref(),
         &p,
         &scenario,
@@ -122,7 +124,7 @@ fn main() {
         None,
         target(&mut sink, &mut null),
     );
-    let off = run_al(
+    let (off, off_instr) = run_al(
         w.as_ref(),
         &p,
         &scenario,
@@ -131,6 +133,7 @@ fn main() {
         None,
         target(&mut sink, &mut null),
     );
+    total_instructions += on_instr + off_instr;
     print_table(
         "Ablation 2: power-down during remote execution",
         &["variant", "total energy"],
@@ -144,7 +147,7 @@ fn main() {
     );
 
     // 3. Pilot tracking vs fixed worst-case power.
-    let tracked = run_al(
+    let (tracked, tracked_instr) = run_al(
         w.as_ref(),
         &p,
         &scenario,
@@ -153,7 +156,7 @@ fn main() {
         None,
         target(&mut sink, &mut null),
     );
-    let fixed = run_al(
+    let (fixed, fixed_instr) = run_al(
         w.as_ref(),
         &p,
         &scenario,
@@ -162,6 +165,7 @@ fn main() {
         Some(ChannelClass::C1),
         target(&mut sink, &mut null),
     );
+    total_instructions += tracked_instr + fixed_instr;
     print_table(
         "Ablation 3: pilot-based TX power control vs fixed Class 1 power",
         &["variant", "total energy"],
@@ -190,6 +194,7 @@ fn main() {
         &Json::object()
             .with("figure", "ablation")
             .with("runs", runs)
+            .with("total_sim_instructions", total_instructions)
             .with("ewma", Json::Arr(json_ewma))
             .with(
                 "power_down",

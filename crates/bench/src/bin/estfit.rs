@@ -14,6 +14,11 @@
 //!
 //! Usage: `estfit [--metrics-out out.prom]
 //! [--json-out BENCH_estfit.json]`.
+//!
+//! Fit and held-out evaluation are seeded and profile-driven — no
+//! scenario runs, so the `--json-out` document is fully deterministic
+//! and its `bench-history` baseline carries no
+//! `total_sim_instructions` throughput denominator.
 
 use jem_apps::all_workloads;
 use jem_bench::obs::ObsArgs;

@@ -56,6 +56,7 @@ fn main() {
     println!("(energy in mJ; GE bad-state loss on the left, ~25% of requests in bursts)");
 
     let mut rows = Vec::new();
+    let mut total_instructions = 0u64;
     for loss_bad in LOSS_SEVERITIES {
         let scenario =
             Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), seed, loss_bad)
@@ -91,6 +92,7 @@ fn main() {
         .expect("scenario run failed");
         fill_run_metrics(&mut registry, &aa);
         accumulate_accuracy(&mut tracker, &profile, &aa);
+        total_instructions += aa.instructions + aa_naive.instructions + al.instructions;
         json_points.push(
             Json::object()
                 .with("loss_bad", loss_bad)
@@ -147,6 +149,7 @@ fn main() {
             .with("figure", "faults")
             .with("runs", runs)
             .with("seed", seed)
+            .with("total_sim_instructions", total_instructions)
             .with("points", Json::Arr(json_points))
             .with("accuracy_aa", tracker.to_json()),
     );

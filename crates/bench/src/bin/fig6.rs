@@ -37,6 +37,7 @@ fn main() {
     let mut registry = MetricsRegistry::new();
     let mut tracker = AccuracyTracker::new();
     let mut json_benches = Vec::new();
+    let mut total_instructions = 0u64;
 
     // The paper shows hpf explicitly plus two more benchmarks; we use
     // the image trio (hpf, mf, ed), whose communication and
@@ -86,6 +87,7 @@ fn main() {
                 .expect("scenario run failed");
                 fill_run_metrics(&mut registry, &result);
                 accumulate_accuracy(&mut tracker, &profile, &result);
+                total_instructions += result.instructions;
                 result
             };
             let mut cells = Vec::new();
@@ -142,6 +144,7 @@ fn main() {
         &Json::object()
             .with("figure", "fig6")
             .with("full", full)
+            .with("total_sim_instructions", total_instructions)
             .with("benches", Json::Arr(json_benches))
             .with("accuracy", tracker.to_json()),
     );

@@ -17,21 +17,24 @@
 //!
 //! Usage: `fig7 [--runs N] [--trace out.json] [--metrics-out out.prom]
 //! [--json-out BENCH_fig7.json]` (default 300 runs, the paper's
-//! count). `--trace` records one representative cell (first workload,
-//! situation (iii), strategy AA) — tracing the whole parallel grid
-//! would interleave shards nondeterministically.
+//! count). `--trace` records the AA strategy of *every* grid cell:
+//! each parallel cell collects into its own `RingSink` shard, and the
+//! shards are merged in deterministic cell order into one multi-track
+//! Chrome trace (`chrome_trace_sharded`), so the traced sweep is
+//! byte-identical run-to-run even with the grid running on all cores.
 
 use jem_apps::all_workloads;
 use jem_bench::obs::{print_regret_table, ObsArgs};
 use jem_bench::{arg_usize, build_profiles, fmt_norm, print_table};
 use jem_core::{accuracy_of, run_scenario, run_scenario_traced, ResilienceConfig, Strategy};
-use jem_obs::{AccuracyTracker, Json, MetricsRegistry};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry, RingSink, TraceShard};
 use jem_sim::{parallel::sweep, Scenario, Situation};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 300);
     let obs = ObsArgs::parse(&args);
+    let tracing = obs.trace.is_some();
 
     let workloads = all_workloads();
     eprintln!("building profiles for {} workloads...", workloads.len());
@@ -56,21 +59,45 @@ fn main() {
         let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
         let mut energies = Vec::with_capacity(Strategy::ALL.len());
         let mut trackers: Vec<(Strategy, AccuracyTracker)> = Vec::new();
+        let mut instructions = 0u64;
+        let mut shard = None;
         for &s in &Strategy::ALL {
-            let result = run_scenario(w, &profiles[wi], &scenario, s);
+            // Tracing draws nothing from the RNG, so the traced AA run
+            // is bit-identical to the untraced one; each cell's events
+            // land in the cell's own shard, merged in cell order below.
+            let result = if tracing && s == Strategy::AdaptiveAdaptive {
+                let mut ring = RingSink::new(1_000_000);
+                let result = run_scenario_traced(
+                    w,
+                    &profiles[wi],
+                    &scenario,
+                    s,
+                    &ResilienceConfig::default(),
+                    &mut ring,
+                )
+                .expect("scenario run failed");
+                shard = Some(TraceShard::new(
+                    format!("{}/{}", w.name(), sit.key()),
+                    ring.into_events(),
+                ));
+                result
+            } else {
+                run_scenario(w, &profiles[wi], &scenario, s)
+            };
             energies.push(result.total_energy.nanojoules());
+            instructions += result.instructions;
             if s.is_adaptive() {
                 trackers.push((s, accuracy_of(&profiles[wi], &result)));
             }
         }
-        (wi, sit, energies, trackers)
+        (wi, sit, energies, trackers, instructions, shard)
     });
 
     // Per-strategy predictor accuracy, merged across the whole grid
     // (merge of per-cell trackers equals tracking the concatenation).
     let mut al_tracker = AccuracyTracker::new();
     let mut aa_tracker = AccuracyTracker::new();
-    for (_, _, _, trackers) in &results {
+    for (_, _, _, trackers, _, _) in &results {
         for (s, t) in trackers {
             match s {
                 Strategy::AdaptiveLocal => al_tracker.merge(t),
@@ -90,7 +117,7 @@ fn main() {
     for sit in Situation::ALL {
         let mut sums = vec![0.0; Strategy::ALL.len()];
         let mut count = 0usize;
-        for (_, s, energies, _) in results.iter().filter(|(_, s, _, _)| *s == sit) {
+        for (_, s, energies, _, _, _) in results.iter().filter(|(_, s, _, _, _, _)| *s == sit) {
             let _ = s;
             let l1 = energies[l1_idx];
             for (i, e) in energies.iter().enumerate() {
@@ -149,7 +176,7 @@ fn main() {
     obs.write_metrics(&registry);
 
     let mut json_cells = Vec::new();
-    for (wi, sit, energies, _) in &results {
+    for (wi, sit, energies, _, _, _) in &results {
         json_cells.push(
             Json::object()
                 .with("bench", workloads[*wi].name())
@@ -166,29 +193,25 @@ fn main() {
                 ),
         );
     }
+    let total_instructions: u64 = results.iter().map(|(_, _, _, _, n, _)| n).sum();
     obs.write_json(
         &Json::object()
             .with("figure", "fig7")
             .with("runs", runs)
+            .with("total_sim_instructions", total_instructions)
             .with("cells", Json::Arr(json_cells))
             .with("accuracy_al", al_tracker.to_json())
             .with("accuracy_aa", aa_tracker.to_json()),
     );
 
-    if let Some(mut ring) = obs.trace_sink() {
-        // One representative traced cell, re-run single-threaded so the
-        // exported trace is deterministic.
-        let w = workloads[0].as_ref();
-        let scenario = Scenario::paper(Situation::Uniform, &w.sizes(), 1000).with_runs(runs);
-        run_scenario_traced(
-            w,
-            &profiles[0],
-            &scenario,
-            Strategy::AdaptiveAdaptive,
-            &ResilienceConfig::default(),
-            &mut ring,
-        )
-        .expect("scenario run failed");
-        obs.write_trace(&ring.into_events());
+    if tracing {
+        // `sweep` preserves input order, so the shard sequence — and
+        // therefore the merged document — is deterministic regardless
+        // of thread scheduling.
+        let shards: Vec<TraceShard> = results
+            .into_iter()
+            .filter_map(|(_, _, _, _, _, shard)| shard)
+            .collect();
+        obs.write_trace_sharded(&shards);
     }
 }

@@ -17,6 +17,11 @@
 //!   that occurs here is reported from the measured code sizes.
 //!
 //! Usage: `fig8 [--json-out BENCH_fig8.json]`.
+//!
+//! The figures here are derived purely from calibrated profiles — no
+//! scenario runs, so the `--json-out` document is fully deterministic
+//! and its `bench-history` baseline carries no
+//! `total_sim_instructions` throughput denominator.
 
 use jem_apps::all_workloads;
 use jem_bench::obs::ObsArgs;

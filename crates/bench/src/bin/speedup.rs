@@ -32,6 +32,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_points = Vec::new();
     let mut chosen_speedups: Vec<f64> = Vec::new();
+    let mut total_instructions = 0u64;
     for (w, p) in workloads.iter().zip(&profiles) {
         for size in w.sizes() {
             let scenario = |_s| Scenario {
@@ -45,6 +46,7 @@ fn main() {
             let interp = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Interpreter);
             let local = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Local2);
             let remote = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Remote);
+            total_instructions += interp.instructions + local.instructions + remote.instructions;
             // Skip the first (cold, compiling) invocation on each side.
             let t_interp: f64 = interp.reports[1..].iter().map(|r| r.time.nanos()).sum();
             let t_local: f64 = local.reports[1..].iter().map(|r| r.time.nanos()).sum();
@@ -115,6 +117,7 @@ fn main() {
     obs.write_json(
         &Json::object()
             .with("figure", "speedup")
+            .with("total_sim_instructions", total_instructions)
             .with("points", Json::Arr(json_points)),
     );
 }

@@ -4,6 +4,11 @@
 //! Usage: `tables [fig1|fig2|fig3|fig5] [--json-out BENCH_tables.json]`
 //! — no figure argument prints all; `--json-out` always writes all
 //! four tables machine-readably.
+//!
+//! The tables are constants from the paper — no scenario runs, so the
+//! `--json-out` document is fully deterministic and its
+//! `bench-history` baseline carries no `total_sim_instructions`
+//! throughput denominator.
 
 use jem_apps::all_workloads;
 use jem_bench::obs::ObsArgs;

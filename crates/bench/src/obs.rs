@@ -15,7 +15,10 @@
 
 use crate::print_table;
 use jem_core::{accuracy_of, Profile, ScenarioResult};
-use jem_obs::{chrome_trace, AccuracyTracker, Json, MetricsRegistry, RingSink, TraceEvent};
+use jem_obs::{
+    chrome_trace, chrome_trace_sharded, AccuracyTracker, Json, MetricsRegistry, RingSink,
+    TraceEvent, TraceShard,
+};
 
 /// Where a bin should write its optional observability outputs.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +52,18 @@ impl ObsArgs {
     pub fn write_trace(&self, events: &[TraceEvent]) {
         if let Some(path) = &self.trace {
             write_file(path, &format!("{}\n", chrome_trace(events).render()));
+        }
+    }
+
+    /// Write a multi-shard trace — one thread track per shard, merged
+    /// in input order so parallel sweeps stay deterministic (no-op
+    /// without `--trace`).
+    pub fn write_trace_sharded(&self, shards: &[TraceShard]) {
+        if let Some(path) = &self.trace {
+            write_file(
+                path,
+                &format!("{}\n", chrome_trace_sharded(shards).render()),
+            );
         }
     }
 

@@ -30,6 +30,10 @@ pub struct ScenarioResult {
     pub total_time: SimTime,
     /// Number of invocations executed.
     pub invocations: usize,
+    /// Simulated client instructions retired over the whole run — the
+    /// denominator for simulator-throughput (instructions/sec of wall
+    /// clock) in the continuous-bench harness.
+    pub instructions: u64,
     /// Decision statistics.
     pub stats: RunStats,
     /// Per-invocation reports (energy, mode, …).
@@ -160,6 +164,7 @@ fn run_scenario_inner(
         breakdown: vm.client.machine.breakdown(),
         total_time: vm.total_time(),
         invocations: scenario.runs,
+        instructions: vm.client.machine.mix().total(),
         stats: vm.stats.clone(),
         reports,
     })

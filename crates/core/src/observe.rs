@@ -348,6 +348,7 @@ pub fn scenario_result_to_json(result: &ScenarioResult, include_reports: bool) -
         .with("total_time_ns", result.total_time.nanos())
         .with("mean_energy_nj", result.mean_energy().nanojoules())
         .with("invocations", result.invocations)
+        .with("sim_instructions", result.instructions)
         .with("breakdown_nj", breakdown)
         .with("stats", stats_to_json(&result.stats));
     if include_reports {

@@ -322,8 +322,14 @@ impl<'a> EnergyAwareVm<'a> {
         let chosen_class = self.pilot.recommended_class();
 
         if self.tracer.enabled() {
+            let m = self.workload.potential_method();
             self.trace(TraceEventKind::InvocationStart {
                 strategy: strategy.key().to_string(),
+                method: format!(
+                    "{}::{}",
+                    self.workload.name(),
+                    self.workload.program().qualified_name(m)
+                ),
                 size,
                 true_class: format!("{true_class:?}"),
                 chosen_class: format!("{chosen_class:?}"),

@@ -1,0 +1,159 @@
+//! Compare two runs' exported artifacts.
+//!
+//! ```text
+//! jem-diff <a.json> <b.json> [options]
+//!   --rel-tol <x>        relative tolerance for strict numbers (default 0)
+//!   --noisy-rel-tol <x>  tolerance for noisy keys before failing (default 0.5)
+//!   --noisy <marker>     extra key substring treated as noisy (repeatable)
+//!   --ignore <marker>    key substring skipped entirely (repeatable)
+//!   --json-out <path>    write the machine-readable diff report
+//! ```
+//!
+//! Both inputs must be JSON artifacts from this workspace: trace
+//! documents (detected by their `traceEvents` member, compared
+//! semantically — per-method × per-mode energy deltas, adaptive
+//! decision flips with the recorded candidate energies, event-kind
+//! count deltas) or any other document (`--json-out` results, metrics,
+//! profiles — compared structurally).
+//!
+//! Exit status: 0 when no failing difference was found (notes inside
+//! the noisy tolerance are fine), 1 when the runs differ, 2 on usage
+//! errors. Diffing an artifact against itself is empty by
+//! construction; CI leans on that for the determinism gate.
+
+use jem_obs::diff::{diff_json, diff_traces, DiffPolicy, DiffReport};
+use jem_obs::json::Json;
+use jem_obs::trace::events_from_chrome_trace;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jem-diff <a.json> <b.json> [--rel-tol <x>] [--noisy-rel-tol <x>] \
+                     [--noisy <marker>]... [--ignore <marker>]... [--json-out <path>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut policy = DiffPolicy::default();
+    let mut json_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
+        match args[i].as_str() {
+            "--rel-tol" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-diff: --rel-tol needs a number");
+                    return ExitCode::from(2);
+                };
+                policy.rel_tol = v;
+                policy.abs_tol = 1e-9;
+                i += 2;
+            }
+            "--noisy-rel-tol" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-diff: --noisy-rel-tol needs a number");
+                    return ExitCode::from(2);
+                };
+                policy.noisy_rel_tol = v;
+                i += 2;
+            }
+            "--noisy" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-diff: --noisy needs a key marker");
+                    return ExitCode::from(2);
+                };
+                policy.noisy_markers.push(v);
+                i += 2;
+            }
+            "--ignore" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-diff: --ignore needs a key marker");
+                    return ExitCode::from(2);
+                };
+                policy.ignore_markers.push(v);
+                i += 2;
+            }
+            "--json-out" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-diff: --json-out needs a path");
+                    return ExitCode::from(2);
+                };
+                json_out = Some(v);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if other.starts_with("--") {
+                    eprintln!("jem-diff: unknown option '{other}'");
+                    return ExitCode::from(2);
+                }
+                paths.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut docs = Vec::with_capacity(2);
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("jem-diff: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("jem-diff: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (a, b) = (&docs[0], &docs[1]);
+
+    let is_trace = |d: &Json| d.get("traceEvents").is_some();
+    let report = if is_trace(a) && is_trace(b) {
+        let ea = match events_from_chrome_trace(a) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("jem-diff: {}: {e}", paths[0]);
+                return ExitCode::FAILURE;
+            }
+        };
+        let eb = match events_from_chrome_trace(b) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("jem-diff: {}: {e}", paths[1]);
+                return ExitCode::FAILURE;
+            }
+        };
+        diff_traces(&ea, &eb, &policy)
+    } else {
+        let mut r = DiffReport::default();
+        diff_json(a, b, &policy, &mut r);
+        r
+    };
+
+    print!("{}", report.render_text());
+    if let Some(path) = json_out {
+        let doc = report
+            .to_json()
+            .with("a", paths[0].as_str())
+            .with("b", paths[1].as_str());
+        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+            eprintln!("jem-diff: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if report.has_changes() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,16 +1,21 @@
 //! Validate an exported trace file.
 //!
 //! ```text
-//! tracecheck <trace.json> [--schema schemas/trace.schema.json]
+//! tracecheck <trace.json | -> [--schema schemas/trace.schema.json] [--summary]
 //! ```
 //!
-//! Checks, in order:
-//! 1. the file parses as JSON;
+//! `-` reads the trace document from stdin (for piping straight out
+//! of a bench bin). Checks, in order:
+//! 1. the input parses as JSON;
 //! 2. (with `--schema`) it validates against the given JSON Schema;
 //! 3. its events decode back into `TraceEvent` records;
 //! 4. the energy-conservation ledger holds: the per-event
 //!    `EnergyBreakdown` deltas sum to the total embedded in
 //!    `otherData.total_energy`.
+//!
+//! With `--summary`, prints per-event-kind counts and the per-component
+//! delta totals after the checks, so CI logs show *what* was validated,
+//! not just that something was.
 //!
 //! Exits non-zero with a diagnostic on the first failure; prints a
 //! one-line summary on success. CI runs this against every trace the
@@ -20,12 +25,17 @@ use jem_energy::EnergyBreakdown;
 use jem_obs::json::Json;
 use jem_obs::schema::validate;
 use jem_obs::trace::events_from_chrome_trace;
+use std::collections::BTreeMap;
+use std::io::Read;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: tracecheck <trace.json | -> [--schema <schema.json>] [--summary]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path = None;
     let mut schema_path = None;
+    let mut summary = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,8 +47,12 @@ fn main() -> ExitCode {
                 schema_path = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--summary" => {
+                summary = true;
+                i += 1;
+            }
             "--help" | "-h" => {
-                eprintln!("usage: tracecheck <trace.json> [--schema <schema.json>]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -52,11 +66,11 @@ fn main() -> ExitCode {
         }
     }
     let Some(trace_path) = trace_path else {
-        eprintln!("usage: tracecheck <trace.json> [--schema <schema.json>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
-    let text = match std::fs::read_to_string(&trace_path) {
+    let text = match read_input(&trace_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("tracecheck: cannot read {trace_path}: {e}");
@@ -135,5 +149,31 @@ fn main() -> ExitCode {
         events.len(),
         total
     );
+    if summary {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &events {
+            *counts.entry(ev.kind.name()).or_insert(0) += 1;
+        }
+        println!("  event kinds:");
+        for (kind, n) in counts {
+            println!("    {kind:<20} {n}");
+        }
+        println!("  delta totals:");
+        for (c, e) in sum.iter() {
+            println!("    {:<20} {:.1} nJ", c.name(), e.nanojoules());
+        }
+        println!("    {:<20} {:.1} nJ", "total", sum.total().nanojoules());
+    }
     ExitCode::SUCCESS
+}
+
+/// Read the trace document from a file, or stdin when the path is `-`.
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
 }

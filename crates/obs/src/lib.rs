@@ -13,7 +13,14 @@
 //! * [`metrics`] — counters, gauges and log-bucketed histograms with
 //!   Prometheus text-format and JSON exposition,
 //! * [`accuracy`] — predicted-vs-actual energy per chosen mode and
-//!   cumulative regret against the post-hoc oracle.
+//!   cumulative regret against the post-hoc oracle,
+//! * [`profile`] — folds a trace stream into per-method ×
+//!   per-execution-mode × per-component energy/sim-time profiles with
+//!   flamegraph (collapsed-stack) export, reconciling exactly with the
+//!   run's breakdown,
+//! * [`diff`] — noise-aware differential comparison of two runs'
+//!   traces / metrics / results (decision flips, per-method energy
+//!   deltas); a run diffed against itself is provably empty.
 //!
 //! Because the workspace's vendored `serde` is a no-op stub, the
 //! [`json`] module supplies the deterministic JSON reader/writer that
@@ -26,15 +33,19 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod schema;
 pub mod trace;
 
 pub use accuracy::AccuracyTracker;
+pub use diff::{DiffEntry, DiffKind, DiffPolicy, DiffReport};
 pub use json::{Json, JsonError};
 pub use metrics::{Buckets, Histogram, MetricsRegistry};
+pub use profile::{CellStats, CollapseWeight, TraceProfile};
 pub use trace::{
-    chrome_trace, events_from_chrome_trace, NullSink, RingSink, TraceEvent, TraceEventKind,
-    TraceSink, Tracer,
+    chrome_trace, chrome_trace_sharded, events_from_chrome_trace, split_shards, NullSink, RingSink,
+    TraceEvent, TraceEventKind, TraceShard, TraceSink, Tracer,
 };

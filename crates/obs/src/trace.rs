@@ -29,6 +29,9 @@ pub enum TraceEventKind {
     InvocationStart {
         /// Strategy key ("AA", "AL", "R", …).
         strategy: String,
+        /// Qualified potential-method label ("fe::Main.integrate") —
+        /// the call-structure root the profiler attributes energy to.
+        method: String,
         /// Input size parameter.
         size: u32,
         /// True channel class label.
@@ -172,11 +175,13 @@ impl TraceEventKind {
         match self {
             TraceEventKind::InvocationStart {
                 strategy,
+                method,
                 size,
                 true_class,
                 chosen_class,
             } => Json::object()
                 .with("strategy", strategy.as_str())
+                .with("method", method.as_str())
                 .with("size", *size)
                 .with("true_class", true_class.as_str())
                 .with("chosen_class", chosen_class.as_str()),
@@ -260,6 +265,7 @@ impl TraceEventKind {
         Ok(match name {
             "invocation-start" => TraceEventKind::InvocationStart {
                 strategy: s("strategy")?,
+                method: s("method")?,
                 size: u("size")? as u32,
                 true_class: s("true_class")?,
                 chosen_class: s("chosen_class")?,
@@ -594,6 +600,29 @@ impl<'s> Tracer<'s> {
     }
 }
 
+/// One independently traced event stream destined for its own thread
+/// track in the exported document — e.g. one `fig7` grid cell. Shards
+/// keep their own `seq` and sim-time origins; merging is deterministic
+/// because shards are emitted in input order and events within a shard
+/// in `seq` order.
+#[derive(Debug, Clone)]
+pub struct TraceShard {
+    /// Track label shown by trace viewers ("fe/iii", …).
+    pub name: String,
+    /// The shard's events, `seq`-ordered from 0.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceShard {
+    /// A named shard over `events`.
+    pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> TraceShard {
+        TraceShard {
+            name: name.into(),
+            events,
+        }
+    }
+}
+
 /// Render events as a Chrome `trace_event` JSON document — the format
 /// Perfetto and `chrome://tracing` open directly. Point events become
 /// instants (`ph:"i"`), windowed events become complete spans
@@ -602,7 +631,19 @@ impl<'s> Tracer<'s> {
 /// exported record, so the file remains a lossless conservation
 /// ledger.
 pub fn chrome_trace(events: &[TraceEvent]) -> Json {
-    let mut out = Vec::with_capacity(events.len() + 1);
+    chrome_trace_sharded(std::slice::from_ref(&TraceShard::new(
+        "client",
+        events.to_vec(),
+    )))
+}
+
+/// Multi-shard [`chrome_trace`]: each shard becomes its own Chrome
+/// thread track (tid = shard index + 1, labelled by a `thread_name`
+/// metadata event), and `otherData.total_energy` telescopes over every
+/// shard — the merged document stays one conservation ledger.
+pub fn chrome_trace_sharded(shards: &[TraceShard]) -> Json {
+    let n_events: usize = shards.iter().map(|s| s.events.len()).sum();
+    let mut out = Vec::with_capacity(n_events + shards.len() + 1);
     // Process-name metadata event, so trace viewers label the track.
     out.push(
         Json::object()
@@ -613,24 +654,37 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
             .with("args", Json::object().with("name", "jem client (sim time)")),
     );
     let mut total = EnergyBreakdown::new();
-    for ev in events {
-        total += ev.delta;
-        let us = ev.at.nanos() * 1e-3;
-        let mut obj = Json::object().with("name", ev.kind.name());
-        obj = match ev.kind.duration() {
-            Some(dur) => {
-                let dur_us = dur.nanos() * 1e-3;
-                obj.with("ph", "X")
-                    .with("ts", us - dur_us)
-                    .with("dur", dur_us)
-            }
-            None => obj.with("ph", "i").with("ts", us).with("s", "t"),
-        };
+    let mut shard_names = Vec::with_capacity(shards.len());
+    for (si, shard) in shards.iter().enumerate() {
+        let tid = si as u64 + 1;
+        shard_names.push(Json::Str(shard.name.clone()));
         out.push(
-            obj.with("pid", 1u64)
-                .with("tid", 1u64)
-                .with("args", ev.to_json()),
+            Json::object()
+                .with("name", "thread_name")
+                .with("ph", "M")
+                .with("pid", 1u64)
+                .with("tid", tid)
+                .with("args", Json::object().with("name", shard.name.as_str())),
         );
+        for ev in &shard.events {
+            total += ev.delta;
+            let us = ev.at.nanos() * 1e-3;
+            let mut obj = Json::object().with("name", ev.kind.name());
+            obj = match ev.kind.duration() {
+                Some(dur) => {
+                    let dur_us = dur.nanos() * 1e-3;
+                    obj.with("ph", "X")
+                        .with("ts", us - dur_us)
+                        .with("dur", dur_us)
+                }
+                None => obj.with("ph", "i").with("ts", us).with("s", "t"),
+            };
+            out.push(
+                obj.with("pid", 1u64)
+                    .with("tid", tid)
+                    .with("args", ev.to_json()),
+            );
+        }
     }
     Json::object()
         .with("traceEvents", Json::Arr(out))
@@ -638,9 +692,30 @@ pub fn chrome_trace(events: &[TraceEvent]) -> Json {
         .with(
             "otherData",
             Json::object()
-                .with("events", events.len())
+                .with("events", n_events)
+                .with("shards", Json::Arr(shard_names))
                 .with("total_energy", breakdown_json(&total)),
         )
+}
+
+/// Split a flattened event stream (e.g. re-imported via
+/// [`events_from_chrome_trace`]) back into its shards: a new shard
+/// starts wherever the monotonic `seq` counter restarts. A
+/// single-shard stream comes back as one slice; an empty stream as
+/// none.
+pub fn split_shards(events: &[TraceEvent]) -> Vec<&[TraceEvent]> {
+    let mut shards = Vec::new();
+    let mut start = 0usize;
+    for i in 1..events.len() {
+        if events[i].seq <= events[i - 1].seq {
+            shards.push(&events[start..i]);
+            start = i;
+        }
+    }
+    if start < events.len() {
+        shards.push(&events[start..]);
+    }
+    shards
 }
 
 /// Extract the exported records back out of a Chrome trace document
@@ -718,6 +793,7 @@ mod tests {
         let kinds = vec![
             TraceEventKind::InvocationStart {
                 strategy: "AA".into(),
+                method: "fe::Main.integrate".into(),
                 size: 64,
                 true_class: "C3".into(),
                 chosen_class: "C4".into(),
@@ -835,14 +911,15 @@ mod tests {
         let events = sample_events();
         let doc = chrome_trace(&events);
         let arr = doc.get("traceEvents").and_then(Json::as_array).unwrap();
-        // Metadata + two events.
-        assert_eq!(arr.len(), 3);
+        // Process + thread metadata + two events.
+        assert_eq!(arr.len(), 4);
         assert_eq!(arr[0].get("ph").and_then(Json::as_str), Some("M"));
-        assert_eq!(arr[1].get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(arr[1].get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(arr[2].get("ph").and_then(Json::as_str), Some("i"));
         // The tx window is a complete span backdated by its airtime.
-        assert_eq!(arr[2].get("ph").and_then(Json::as_str), Some("X"));
-        let ts = arr[2].get("ts").and_then(Json::as_f64).unwrap();
-        let dur = arr[2].get("dur").and_then(Json::as_f64).unwrap();
+        assert_eq!(arr[3].get("ph").and_then(Json::as_str), Some("X"));
+        let ts = arr[3].get("ts").and_then(Json::as_f64).unwrap();
+        let dur = arr[3].get("dur").and_then(Json::as_f64).unwrap();
         assert!((ts + dur - 2.1).abs() < 1e-12);
         // Round-trip through the document text.
         let parsed = Json::parse(&doc.render_pretty()).unwrap();
@@ -856,5 +933,39 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((total - 710.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_trace_merges_and_splits_back() {
+        let shard_a = TraceShard::new("a", sample_events());
+        let shard_b = TraceShard::new("b", sample_events());
+        let doc = chrome_trace_sharded(&[shard_a.clone(), shard_b.clone()]);
+        // Shard names land in otherData, every shard gets a
+        // thread_name metadata event, and the total telescopes over
+        // both shards.
+        let names = doc
+            .get("otherData")
+            .and_then(|o| o.get("shards"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(names.len(), 2);
+        assert_eq!(names[0].as_str(), Some("a"));
+        let total = doc
+            .get("otherData")
+            .and_then(|o| o.get("total_energy"))
+            .and_then(|t| t.get("total"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((total - 2.0 * 710.5).abs() < 1e-9);
+        // Flattened re-import splits back at the seq restart.
+        let back = events_from_chrome_trace(&doc).unwrap();
+        assert_eq!(back.len(), 4);
+        let shards = split_shards(&back);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0], &shard_a.events[..]);
+        assert_eq!(shards[1], &shard_b.events[..]);
+        // Degenerate cases.
+        assert!(split_shards(&[]).is_empty());
+        assert_eq!(split_shards(&back[..2]).len(), 1);
     }
 }
