@@ -69,11 +69,11 @@ fn run_al(
 }
 
 fn target<'a>(
-    sink: &'a mut Option<jem_obs::RingSink>,
+    sink: &'a mut Option<jem_bench::obs::BenchSink>,
     null: &'a mut NullSink,
 ) -> &'a mut dyn TraceSink {
     match sink.as_mut() {
-        Some(ring) => ring,
+        Some(s) => s,
         None => null,
     }
 }
@@ -208,7 +208,5 @@ fn main() {
             )
             .with("helper_overhead_nj", overhead.nanojoules()),
     );
-    if let Some(ring) = sink {
-        obs.write_trace(&ring.into_events());
-    }
+    obs.finish_trace(sink);
 }

@@ -154,7 +154,5 @@ fn main() {
             .with("accuracy_aa", tracker.to_json()),
     );
     obs.write_metrics(&registry);
-    if let Some(ring) = sink {
-        obs.write_trace(&ring.into_events());
-    }
+    obs.finish_trace(sink);
 }

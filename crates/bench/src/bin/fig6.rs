@@ -149,7 +149,5 @@ fn main() {
             .with("accuracy", tracker.to_json()),
     );
     obs.write_metrics(&registry);
-    if let Some(ring) = sink {
-        obs.write_trace(&ring.into_events());
-    }
+    obs.finish_trace(sink);
 }

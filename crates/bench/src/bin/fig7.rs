@@ -34,7 +34,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 300);
     let obs = ObsArgs::parse(&args);
-    let tracing = obs.trace.is_some();
+    let tracing = obs.wants_events();
 
     let workloads = all_workloads();
     eprintln!("building profiles for {} workloads...", workloads.len());

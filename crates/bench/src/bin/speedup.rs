@@ -17,14 +17,16 @@
 use jem_apps::all_workloads;
 use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, print_table};
-use jem_core::{run_scenario, Strategy};
-use jem_obs::Json;
+use jem_core::{run_scenario, run_scenario_traced, ResilienceConfig, Strategy};
+use jem_obs::{Json, NullSink, TraceSink};
 use jem_radio::{ChannelClass, ChannelProcess};
 use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&args);
+    let mut sink = obs.trace_sink();
+    let mut null = NullSink;
     let workloads = all_workloads();
     eprintln!("building profiles...");
     let profiles = build_profiles(&workloads, 42);
@@ -45,7 +47,21 @@ fn main() {
             };
             let interp = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Interpreter);
             let local = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Local2);
-            let remote = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Remote);
+            // Tracing draws nothing from the RNG, so the traced remote
+            // run is bit-identical to the untraced one.
+            let s: &mut dyn TraceSink = match sink.as_mut() {
+                Some(s) => s,
+                None => &mut null,
+            };
+            let remote = run_scenario_traced(
+                w.as_ref(),
+                p,
+                &scenario(size),
+                Strategy::Remote,
+                &ResilienceConfig::default(),
+                s,
+            )
+            .expect("scenario run failed");
             total_instructions += interp.instructions + local.instructions + remote.instructions;
             // Skip the first (cold, compiling) invocation on each side.
             let t_interp: f64 = interp.reports[1..].iter().map(|r| r.time.nanos()).sum();
@@ -120,4 +136,5 @@ fn main() {
             .with("total_sim_instructions", total_instructions)
             .with("points", Json::Arr(json_points)),
     );
+    obs.finish_trace(sink);
 }

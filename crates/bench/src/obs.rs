@@ -1,9 +1,15 @@
 //! Shared observability plumbing for the bench bins.
 //!
-//! Every bin accepts three optional output flags:
+//! Every bin accepts these optional flags:
 //!
-//! * `--trace out.json` — export a Chrome `trace_event` JSON trace of
-//!   the scenario runs (open in Perfetto / `chrome://tracing`);
+//! * `--trace out.jtb|out.json` — export a trace of the scenario runs;
+//!   a `.jtb` extension selects the compact binary format, streamed to
+//!   disk in bounded memory, anything else the Chrome `trace_event`
+//!   JSON document (open in Perfetto / `chrome://tracing`);
+//! * `--monitor` — run the online invariant monitors over the event
+//!   stream and print the health report;
+//! * `--health-out out.json` — write the health report as JSON
+//!   (implies `--monitor`);
 //! * `--metrics-out out.prom` — write the run's metrics registry in
 //!   Prometheus text format;
 //! * `--json-out BENCH_x.json` — write machine-readable results.
@@ -11,59 +17,216 @@
 //! Outputs are deterministic: identically-seeded runs write
 //! byte-identical files (sim-time timestamps only, sorted label sets,
 //! insertion-ordered JSON objects), which CI exploits by diffing two
-//! traced runs.
+//! traced runs. Monitoring never perturbs the simulation — alerts are
+//! injected into the exported trace, not the run.
 
 use crate::print_table;
 use jem_core::{accuracy_of, Profile, ScenarioResult};
+use jem_obs::wire::{jtb_bytes, FileSink};
 use jem_obs::{
-    chrome_trace, chrome_trace_sharded, AccuracyTracker, Json, MetricsRegistry, RingSink,
-    TraceEvent, TraceShard,
+    chrome_trace_sharded, chrome_trace_truncated, AccuracyTracker, HealthReport, Json,
+    MetricsRegistry, MonitorConfig, MonitorTee, NullSink, RingSink, TraceEvent, TraceShard,
+    TraceSink,
 };
 
 /// Where a bin should write its optional observability outputs.
 #[derive(Debug, Clone, Default)]
 pub struct ObsArgs {
-    /// `--trace` path (Chrome trace JSON).
+    /// `--trace` path (`.jtb` binary or Chrome trace JSON).
     pub trace: Option<String>,
+    /// `--monitor`: run the online invariant monitors.
+    pub monitor: bool,
+    /// `--health-out` path (health report JSON; implies `--monitor`).
+    pub health_out: Option<String>,
     /// `--metrics-out` path (Prometheus text format).
     pub metrics_out: Option<String>,
     /// `--json-out` path (machine-readable results).
     pub json_out: Option<String>,
 }
 
+/// Where collected events go before export.
+enum SinkKind {
+    /// Bounded in-memory ring, exported as Chrome JSON at the end.
+    Ring(RingSink),
+    /// Streaming `.jtb` file writer (bounded memory regardless of
+    /// trace length).
+    File(Box<FileSink>),
+    /// No trace output — events exist only for the monitors.
+    Null(NullSink),
+}
+
+/// The sink handed to traced bench runs: a destination plus an
+/// optional monitor tee in front of it.
+pub struct BenchSink {
+    inner: SinkKind,
+    tee: Option<MonitorTee>,
+}
+
+impl BenchSink {
+    fn inner_sink(&mut self) -> &mut dyn TraceSink {
+        match &mut self.inner {
+            SinkKind::Ring(r) => r,
+            SinkKind::File(f) => f.as_mut(),
+            SinkKind::Null(n) => n,
+        }
+    }
+}
+
+impl TraceSink for BenchSink {
+    fn enabled(&self) -> bool {
+        // Monitoring needs the event stream even when nothing is
+        // persisted.
+        self.tee.is_some() || !matches!(self.inner, SinkKind::Null(_))
+    }
+    fn record(&mut self, event: TraceEvent) {
+        match &mut self.tee {
+            Some(tee) => {
+                let inner: &mut dyn TraceSink = match &mut self.inner {
+                    SinkKind::Ring(r) => r,
+                    SinkKind::File(f) => f.as_mut(),
+                    SinkKind::Null(n) => n,
+                };
+                tee.process(event, inner);
+            }
+            None => self.inner_sink().record(event),
+        }
+    }
+}
+
 impl ObsArgs {
-    /// Parse the three output flags from argv.
+    /// Parse the output flags from argv.
     pub fn parse(args: &[String]) -> ObsArgs {
         ObsArgs {
             trace: crate::arg_str(args, "--trace"),
+            monitor: crate::arg_flag(args, "--monitor"),
+            health_out: crate::arg_str(args, "--health-out"),
             metrics_out: crate::arg_str(args, "--metrics-out"),
             json_out: crate::arg_str(args, "--json-out"),
         }
     }
 
-    /// A ring sink for trace collection, if `--trace` was given.
-    /// Bounded at one million events — far above any bench run, while
-    /// still a hard cap against runaway memory.
-    pub fn trace_sink(&self) -> Option<RingSink> {
-        self.trace.as_ref().map(|_| RingSink::new(1_000_000))
+    /// Whether the invariant monitors should run.
+    pub fn monitoring(&self) -> bool {
+        self.monitor || self.health_out.is_some()
     }
 
-    /// Write the collected trace events (no-op without `--trace`).
-    pub fn write_trace(&self, events: &[TraceEvent]) {
-        if let Some(path) = &self.trace {
-            write_file(path, &format!("{}\n", chrome_trace(events).render()));
+    /// Whether traced runs are wanted at all (`--trace`, or monitors
+    /// that need the event stream).
+    pub fn wants_events(&self) -> bool {
+        self.trace.is_some() || self.monitoring()
+    }
+
+    /// Whether `--trace` selects the binary format.
+    fn wants_jtb(&self) -> bool {
+        self.trace.as_ref().is_some_and(|p| p.ends_with(".jtb"))
+    }
+
+    /// The sink for trace collection, if `--trace` / `--monitor` /
+    /// `--health-out` was given. `.jtb` destinations stream to disk;
+    /// JSON destinations collect into a ring bounded at one million
+    /// events — far above any bench run, while still a hard cap
+    /// against runaway memory.
+    pub fn trace_sink(&self) -> Option<BenchSink> {
+        let inner = match &self.trace {
+            Some(path) if self.wants_jtb() => match FileSink::create(path) {
+                Ok(f) => SinkKind::File(Box::new(f)),
+                Err(err) => {
+                    eprintln!("error: cannot create {path}: {err}");
+                    std::process::exit(1);
+                }
+            },
+            Some(_) => SinkKind::Ring(RingSink::new(1_000_000)),
+            None if self.monitoring() => SinkKind::Null(NullSink),
+            None => return None,
+        };
+        Some(BenchSink {
+            inner,
+            tee: self
+                .monitoring()
+                .then(|| MonitorTee::new(MonitorConfig::default())),
+        })
+    }
+
+    /// Export whatever the sink collected: the trace file (either
+    /// format, with any ring truncation declared) and the health
+    /// report (printed, and written when `--health-out` was given).
+    pub fn finish_trace(&self, sink: Option<BenchSink>) {
+        let Some(sink) = sink else { return };
+        if let Some(tee) = sink.tee {
+            self.emit_health(&tee.finish());
+        }
+        match sink.inner {
+            SinkKind::Ring(ring) => {
+                if let Some(path) = &self.trace {
+                    let dropped = ring.dropped();
+                    let doc = chrome_trace_truncated(&ring.into_events(), dropped);
+                    write_file(path, &format!("{}\n", doc.render()));
+                }
+            }
+            SinkKind::File(f) => {
+                let path = f.path().to_string();
+                match f.finish() {
+                    Ok(()) => eprintln!("wrote {path}"),
+                    Err(err) => {
+                        eprintln!("error: cannot write {path}: {err}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            SinkKind::Null(_) => {}
         }
     }
 
-    /// Write a multi-shard trace — one thread track per shard, merged
-    /// in input order so parallel sweeps stay deterministic (no-op
-    /// without `--trace`).
+    /// Write a multi-shard trace — one track per shard, merged in
+    /// input order so parallel sweeps stay deterministic. Runs the
+    /// monitors over the merged stream when requested (each shard is
+    /// an independent run, so the tee resets per shard and alerts land
+    /// in their shard's track).
     pub fn write_trace_sharded(&self, shards: &[TraceShard]) {
+        let monitored;
+        let shards = if self.monitoring() {
+            let mut tee = MonitorTee::new(MonitorConfig::default());
+            let mut out = Vec::with_capacity(shards.len());
+            for shard in shards {
+                tee.begin_shard();
+                let mut ring = RingSink::new(shard.events.len() + 64);
+                for ev in &shard.events {
+                    tee.process(ev.clone(), &mut ring);
+                }
+                out.push(
+                    TraceShard::new(shard.name.clone(), ring.into_events())
+                        .with_dropped(shard.dropped),
+                );
+            }
+            self.emit_health(&tee.finish());
+            monitored = out;
+            &monitored[..]
+        } else {
+            shards
+        };
         if let Some(path) = &self.trace {
-            write_file(
-                path,
-                &format!("{}\n", chrome_trace_sharded(shards).render()),
-            );
+            if self.wants_jtb() {
+                match std::fs::write(path, jtb_bytes(shards)) {
+                    Ok(()) => eprintln!("wrote {path}"),
+                    Err(err) => {
+                        eprintln!("error: cannot write {path}: {err}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                write_file(
+                    path,
+                    &format!("{}\n", chrome_trace_sharded(shards).render()),
+                );
+            }
+        }
+    }
+
+    fn emit_health(&self, report: &HealthReport) {
+        println!();
+        println!("{}", report.render_text());
+        if let Some(path) = &self.health_out {
+            write_file(path, &format!("{}\n", report.to_json().render_pretty()));
         }
     }
 

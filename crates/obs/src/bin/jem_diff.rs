@@ -9,12 +9,13 @@
 //!   --json-out <path>    write the machine-readable diff report
 //! ```
 //!
-//! Both inputs must be JSON artifacts from this workspace: trace
-//! documents (detected by their `traceEvents` member, compared
-//! semantically — per-method × per-mode energy deltas, adaptive
+//! Both inputs must be artifacts from this workspace: trace files —
+//! binary `.jtb` (sniffed by magic) or Chrome-trace JSON (detected by
+//! its `traceEvents` member), compared semantically in either format
+//! and across formats (per-method × per-mode energy deltas, adaptive
 //! decision flips with the recorded candidate energies, event-kind
-//! count deltas) or any other document (`--json-out` results, metrics,
-//! profiles — compared structurally).
+//! count deltas) — or any other JSON document (`--json-out` results,
+//! metrics, profiles — compared structurally).
 //!
 //! Exit status: 0 when no failing difference was found (notes inside
 //! the noisy tolerance are fine), 1 when the runs differ, 2 on usage
@@ -23,8 +24,16 @@
 
 use jem_obs::diff::{diff_json, diff_traces, DiffPolicy, DiffReport};
 use jem_obs::json::Json;
-use jem_obs::trace::events_from_chrome_trace;
+use jem_obs::trace::{events_from_chrome_trace, TraceEvent};
+use jem_obs::wire::{is_jtb, load_jtb_bytes};
 use std::process::ExitCode;
+
+/// One parsed input: a trace (either format, reduced to events) or an
+/// arbitrary JSON artifact.
+enum Input {
+    Trace(Vec<TraceEvent>),
+    Doc(Json),
+}
 
 const USAGE: &str = "usage: jem-diff <a.json> <b.json> [--rel-tol <x>] [--noisy-rel-tol <x>] \
                      [--noisy <marker>]... [--ignore <marker>]... [--json-out <path>]";
@@ -98,46 +107,69 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut docs = Vec::with_capacity(2);
+    let mut inputs = Vec::with_capacity(2);
     for path in &paths {
-        let text = match std::fs::read_to_string(path) {
+        let bytes = match std::fs::read(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("jem-diff: cannot read {path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        match Json::parse(&text) {
-            Ok(d) => docs.push(d),
+        if is_jtb(&bytes) {
+            match load_jtb_bytes(&bytes) {
+                Ok(l) => inputs.push(Input::Trace(l.events())),
+                Err(e) => {
+                    eprintln!("jem-diff: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("jem-diff: {path}: input is neither .jtb (bad magic) nor UTF-8 JSON");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("jem-diff: {path}: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        if doc.get("traceEvents").is_some() {
+            match events_from_chrome_trace(&doc) {
+                Ok(ev) => inputs.push(Input::Trace(ev)),
+                Err(e) => {
+                    eprintln!("jem-diff: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            inputs.push(Input::Doc(doc));
         }
     }
-    let (a, b) = (&docs[0], &docs[1]);
+    let b_input = inputs.pop().expect("two inputs");
+    let a_input = inputs.pop().expect("two inputs");
 
-    let is_trace = |d: &Json| d.get("traceEvents").is_some();
-    let report = if is_trace(a) && is_trace(b) {
-        let ea = match events_from_chrome_trace(a) {
-            Ok(ev) => ev,
-            Err(e) => {
-                eprintln!("jem-diff: {}: {e}", paths[0]);
-                return ExitCode::FAILURE;
-            }
-        };
-        let eb = match events_from_chrome_trace(b) {
-            Ok(ev) => ev,
-            Err(e) => {
-                eprintln!("jem-diff: {}: {e}", paths[1]);
-                return ExitCode::FAILURE;
-            }
-        };
-        diff_traces(&ea, &eb, &policy)
-    } else {
-        let mut r = DiffReport::default();
-        diff_json(a, b, &policy, &mut r);
-        r
+    let report = match (&a_input, &b_input) {
+        (Input::Trace(ea), Input::Trace(eb)) => diff_traces(ea, eb, &policy),
+        (Input::Doc(a), Input::Doc(b)) => {
+            let mut r = DiffReport::default();
+            diff_json(a, b, &policy, &mut r);
+            r
+        }
+        _ => {
+            eprintln!(
+                "jem-diff: cannot compare a trace against a non-trace document \
+                 ({} vs {})",
+                paths[0], paths[1]
+            );
+            return ExitCode::from(2);
+        }
     };
 
     print!("{}", report.render_text());

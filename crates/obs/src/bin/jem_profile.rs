@@ -1,7 +1,7 @@
 //! Fold an exported trace into an energy/time profile.
 //!
 //! ```text
-//! jem-profile <trace.json | -> [options]
+//! jem-profile <trace.jtb | trace.json | -> [options]
 //!   --collapsed <out.folded>    write energy-weighted collapsed stacks
 //!   --collapsed-time <out>      write time-weighted collapsed stacks
 //!   --json-out <out.json>       write the machine-readable profile
@@ -9,25 +9,29 @@
 //!   --no-reconcile              skip the conservation check
 //! ```
 //!
-//! The input is the Chrome-trace document the bench bins emit with
-//! `--trace` (`-` reads stdin). The profiler attributes every event's
-//! energy delta to a `[method, mode, phase…]` stack; by construction
-//! the profile's column sums telescope to the document's declared
-//! `otherData.total_energy`, and the run fails (exit 1) if they do
-//! not — a profile that cannot reconcile is a bug, not a report.
+//! The input is either the compact binary `.jtb` trace (sniffed by
+//! magic, regardless of extension) or the Chrome-trace document the
+//! bench bins emit with `--trace` (`-` reads stdin). The profiler
+//! attributes every event's energy delta to a `[method, mode, phase…]`
+//! stack; by construction the profile's column sums telescope to the
+//! trace's declared total energy (`otherData.total_energy` for JSON,
+//! the block-index partial sums for `.jtb`), and the run fails
+//! (exit 1) if they do not — a profile that cannot reconcile is a bug,
+//! not a report. A truncated trace (dropped events) can never
+//! reconcile, so it fails the same way unless `--no-reconcile` opts
+//! into a partial profile.
 //!
 //! The collapsed-stack outputs are one `frame;frame;… weight` line per
 //! stack — the format `inferno-flamegraph`, speedscope and
 //! `flamegraph.pl` consume directly; weights are integer nanojoules
 //! (or nanoseconds for `--collapsed-time`).
 
-use jem_obs::json::Json;
 use jem_obs::profile::{CollapseWeight, TraceProfile};
-use jem_obs::trace::{breakdown_from_json, events_from_chrome_trace};
+use jem_obs::wire::{is_jtb, load_trace_bytes, JtbIndex};
 use std::io::Read;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: jem-profile <trace.json | -> [--collapsed <out>] \
+const USAGE: &str = "usage: jem-profile <trace.jtb | trace.json | -> [--collapsed <out>] \
                      [--collapsed-time <out>] [--json-out <out>] [--top <n>] [--no-reconcile]";
 
 fn main() -> ExitCode {
@@ -98,47 +102,51 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let text = match read_input(&trace_path) {
+    let bytes = match read_input(&trace_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("jem-profile: cannot read {trace_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
+    let loaded = match load_trace_bytes(&bytes) {
+        Ok(l) => l,
         Err(e) => {
             eprintln!("jem-profile: {trace_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let events = match events_from_chrome_trace(&doc) {
-        Ok(ev) => ev,
-        Err(e) => {
-            eprintln!("jem-profile: {trace_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
+    let events = loaded.events();
     let profile = TraceProfile::fold(&events);
 
     // The profile must account for exactly the energy the trace
     // declares — the ledger property that makes the tables trustable.
     if reconcile {
-        let declared = doc
-            .get("otherData")
-            .and_then(|o| o.get("total_energy"))
-            .map(breakdown_from_json);
-        match declared {
-            Some(Ok(expected)) => {
-                if let Err(e) = profile.reconcile(&expected, 1e-6) {
+        if loaded.dropped > 0 {
+            eprintln!(
+                "jem-profile: {trace_path}: trace truncated ({} events dropped) — \
+                 the profile cannot reconcile; use --no-reconcile for a partial profile",
+                loaded.dropped
+            );
+            return ExitCode::FAILURE;
+        }
+        let declared = if is_jtb(&bytes) {
+            match JtbIndex::read(&bytes) {
+                Ok(ix) => Some(ix.total_energy()),
+                Err(e) => {
                     eprintln!("jem-profile: {trace_path}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
-            Some(Err(e)) => {
-                eprintln!("jem-profile: {trace_path}: bad otherData.total_energy: {e}");
-                return ExitCode::FAILURE;
+        } else {
+            loaded.declared_total
+        };
+        match declared {
+            Some(expected) => {
+                if let Err(e) = profile.reconcile(&expected, 1e-6) {
+                    eprintln!("jem-profile: {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             None => {
                 eprintln!(
@@ -189,13 +197,13 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Read the trace document from a file, or stdin when the path is `-`.
-fn read_input(path: &str) -> std::io::Result<String> {
+/// Read the trace bytes from a file, or stdin when the path is `-`.
+fn read_input(path: &str) -> std::io::Result<Vec<u8>> {
     if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf)?;
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf)?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path)
+        std::fs::read(path)
     }
 }

@@ -1,0 +1,272 @@
+//! Query a trace without materializing the run.
+//!
+//! ```text
+//! jem-query <trace.jtb | trace.json | -> [options]
+//!   --kind <name>         keep only this event kind (repeatable)
+//!   --method <substr>     keep invocations whose method contains this
+//!   --mode <substr>       keep invocations whose resolved mode contains this
+//!   --shard <substr>      keep shards whose name contains this
+//!   --since <ns>          keep events at sim-time >= ns (inclusive)
+//!   --until <ns>          keep events at sim-time <= ns (inclusive)
+//!   --group-by <k,k,…>    group by kind|method|mode|shard (comma list)
+//!   --hist                per-group histogram of per-event energy deltas
+//!   --top <n>             hot-frame mode: print the n hottest profile
+//!                         frames instead (predicates are ignored)
+//!   --json                machine-readable output (jem-query/v1)
+//! ```
+//!
+//! Accepts both trace formats — the compact binary `.jtb` (sniffed by
+//! magic and processed block-by-block in O(block) memory) and the
+//! Chrome-trace JSON document (`-` reads stdin). Method and mode
+//! predicates apply to the *resolved* invocation context: a `tx-window`
+//! event matches `--mode remote` because its enclosing invocation
+//! executed remotely, exactly as the profiler attributes it. With
+//! `--group-by method,mode` and no predicates, the aggregates reconcile
+//! bit-exactly with `jem-profile`'s table — same fold, same order.
+//!
+//! Truncated inputs (dropped events) are processed but loudly flagged;
+//! exit status is 0 on success, 1 on errors, 2 on usage errors.
+
+use jem_obs::profile::ProfileFolder;
+use jem_obs::query::{GroupKey, Query, QueryEngine};
+use jem_obs::wire::{is_jtb, load_trace_bytes, JtbStream};
+use std::io::{BufReader, Read};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jem-query <trace.jtb | trace.json | -> [--kind <name>]... \
+                     [--method <s>] [--mode <s>] [--shard <s>] [--since <ns>] [--until <ns>] \
+                     [--group-by <k,k,…>] [--hist] [--top <n>] [--json]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut query = Query::default();
+    let mut top: Option<usize> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
+        match args[i].as_str() {
+            "--kind" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --kind needs an event-kind name");
+                    return ExitCode::from(2);
+                };
+                query.kinds.push(v);
+                i += 2;
+            }
+            "--method" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --method needs a substring");
+                    return ExitCode::from(2);
+                };
+                query.method = Some(v);
+                i += 2;
+            }
+            "--mode" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --mode needs a substring");
+                    return ExitCode::from(2);
+                };
+                query.mode = Some(v);
+                i += 2;
+            }
+            "--shard" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --shard needs a substring");
+                    return ExitCode::from(2);
+                };
+                query.shard = Some(v);
+                i += 2;
+            }
+            "--since" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-query: --since needs a number (ns)");
+                    return ExitCode::from(2);
+                };
+                query.since_ns = Some(v);
+                i += 2;
+            }
+            "--until" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-query: --until needs a number (ns)");
+                    return ExitCode::from(2);
+                };
+                query.until_ns = Some(v);
+                i += 2;
+            }
+            "--group-by" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --group-by needs a comma list of keys");
+                    return ExitCode::from(2);
+                };
+                for part in v.split(',').filter(|p| !p.is_empty()) {
+                    match GroupKey::parse(part) {
+                        Ok(k) => query.group_by.push(k),
+                        Err(e) => {
+                            eprintln!("jem-query: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                i += 2;
+            }
+            "--hist" => {
+                query.histogram = true;
+                i += 1;
+            }
+            "--top" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-query: --top needs an integer");
+                    return ExitCode::from(2);
+                };
+                top = Some(v);
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if other.starts_with("--") {
+                    eprintln!("jem-query: unknown option '{other}'");
+                    return ExitCode::from(2);
+                }
+                if trace_path.is_some() {
+                    eprintln!("jem-query: unexpected argument '{other}'");
+                    return ExitCode::from(2);
+                }
+                trace_path = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    if let Some(top) = top {
+        return hot_frames(&trace_path, top);
+    }
+
+    let mut engine = QueryEngine::new(query);
+
+    // A .jtb *file* streams block-by-block in O(block) memory; stdin
+    // and JSON inputs are read whole (JSON has no streaming decode).
+    if trace_path != "-" && sniff_file_is_jtb(&trace_path) {
+        let file = match std::fs::File::open(&trace_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("jem-query: cannot read {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut stream = match JtbStream::new(BufReader::new(file)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("jem-query: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        loop {
+            match stream.next_event() {
+                Ok(Some((shard_idx, ev))) => {
+                    if let Some(name) = stream.shard_names().get(shard_idx) {
+                        let name = name.clone();
+                        engine.name_shard(shard_idx, &name);
+                    }
+                    engine.push(ev);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("jem-query: {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        engine.note_dropped(stream.dropped());
+    } else {
+        let loaded = match read_input(&trace_path).and_then(|b| load_trace_bytes(&b)) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("jem-query: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (idx, shard) in loaded.shards.iter().enumerate() {
+            engine.name_shard(idx, &shard.name);
+        }
+        engine.note_dropped(loaded.dropped);
+        for shard in loaded.shards {
+            for ev in shard.events {
+                engine.push(ev);
+            }
+        }
+    }
+
+    let result = engine.finish();
+    if json {
+        println!("{}", result.to_json().render_pretty());
+    } else {
+        println!("{}", result.render_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--top` mode: fold the whole trace into a profile and print the
+/// hottest frames (self/total energy), like `jem-profile` but without
+/// the reconcile gate.
+fn hot_frames(trace_path: &str, top: usize) -> ExitCode {
+    let loaded = match read_input(trace_path).and_then(|b| load_trace_bytes(&b)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("jem-query: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dropped = loaded.dropped;
+    let mut folder = ProfileFolder::new();
+    for shard in loaded.shards {
+        for ev in shard.events {
+            folder.push(ev);
+        }
+    }
+    let profile = folder.finish();
+    println!("Hot frames (self/total):");
+    println!("{}", profile.render_hot_frames(top));
+    if dropped > 0 {
+        println!("WARNING: trace truncated ({dropped} events dropped)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Whether the file starts with the `.jtb` magic (without reading the
+/// rest — the streaming path re-opens it).
+fn sniff_file_is_jtb(path: &str) -> bool {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut head = [0u8; 4];
+    if f.read_exact(&mut head).is_err() {
+        return false;
+    }
+    is_jtb(&head)
+}
+
+/// Read the trace bytes from a file, or stdin when the path is `-`.
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
+    if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read(path).map_err(|e| e.to_string())
+    }
+}

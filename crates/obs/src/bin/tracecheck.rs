@@ -1,21 +1,35 @@
 //! Validate an exported trace file.
 //!
 //! ```text
-//! tracecheck <trace.json | -> [--schema schemas/trace.schema.json] [--summary]
+//! tracecheck <trace.jtb | trace.json | -> [--schema schemas/trace.schema.json] [--summary]
 //! ```
 //!
-//! `-` reads the trace document from stdin (for piping straight out
-//! of a bench bin). Checks, in order:
-//! 1. the input parses as JSON;
-//! 2. (with `--schema`) it validates against the given JSON Schema;
+//! Accepts both trace formats: the compact binary `.jtb` (sniffed by
+//! magic, regardless of extension) and the Chrome `trace_event` JSON
+//! document. `-` reads from stdin (for piping straight out of a bench
+//! bin). Checks, in order:
+//! 1. the input decodes — JSON parse for Chrome traces; header, block,
+//!    footer and trailer integrity for `.jtb`;
+//! 2. (with `--schema`, JSON inputs only) it validates against the
+//!    given JSON Schema;
 //! 3. its events decode back into `TraceEvent` records;
 //! 4. the energy-conservation ledger holds: the per-event
-//!    `EnergyBreakdown` deltas sum to the total embedded in
-//!    `otherData.total_energy`.
+//!    `EnergyBreakdown` deltas sum to the declared total
+//!    (`otherData.total_energy` for JSON, the block-index partial sums
+//!    for `.jtb`). A truncated trace (dropped events) cannot balance,
+//!    so the check is skipped there and the truncation reported
+//!    instead.
 //!
-//! With `--summary`, prints per-event-kind counts and the per-component
-//! delta totals after the checks, so CI logs show *what* was validated,
-//! not just that something was.
+//! With `--summary`, prints recorded/dropped event counts, per-kind
+//! counts and the per-component delta totals after the checks, so CI
+//! logs show *what* was validated, not just that something was.
+//!
+//! With `--reencode <out>`, re-exports the validated trace in the
+//! format the output extension selects (`.jtb` binary, anything else
+//! Chrome JSON). Both loaders normalize into the same shard structure,
+//! so re-encoding a `.jtb` and the equivalent JSON export of the same
+//! run yields byte-identical files — CI uses this as the
+//! JSON↔binary round-trip equivalence check.
 //!
 //! Exits non-zero with a diagnostic on the first failure; prints a
 //! one-line summary on success. CI runs this against every trace the
@@ -24,17 +38,20 @@
 use jem_energy::EnergyBreakdown;
 use jem_obs::json::Json;
 use jem_obs::schema::validate;
-use jem_obs::trace::events_from_chrome_trace;
+use jem_obs::wire::{is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, JtbIndex};
+use jem_obs::{chrome_trace_sharded, TraceShard};
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: tracecheck <trace.json | -> [--schema <schema.json>] [--summary]";
+const USAGE: &str = "usage: tracecheck <trace.jtb | trace.json | -> \
+     [--schema <schema.json>] [--summary] [--reencode <out.jtb|out.json>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path = None;
     let mut schema_path = None;
+    let mut reencode_path = None;
     let mut summary = false;
     let mut i = 0;
     while i < args.len() {
@@ -45,6 +62,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 schema_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--reencode" => {
+                if i + 1 >= args.len() {
+                    eprintln!("tracecheck: --reencode needs a path");
+                    return ExitCode::from(2);
+                }
+                reencode_path = Some(args[i + 1].clone());
                 i += 2;
             }
             "--summary" => {
@@ -70,89 +95,134 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let text = match read_input(&trace_path) {
+    let bytes = match read_input(&trace_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("tracecheck: cannot read {trace_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("tracecheck: {trace_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
 
-    if let Some(schema_path) = schema_path {
-        let schema_text = match std::fs::read_to_string(&schema_path) {
+    let (loaded, declared, format) = if is_jtb(&bytes) {
+        if schema_path.is_some() {
+            // The JSON Schema describes the Chrome-trace document; the
+            // binary format carries its own integrity checks instead.
+            println!("tracecheck: {trace_path}: binary .jtb input, schema check skipped");
+        }
+        let loaded = match load_jtb_bytes(&bytes) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let index = match JtbIndex::read(&bytes) {
+            Ok(ix) => ix,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (loaded, Some(index.total_energy()), "jtb")
+    } else {
+        let text = match std::str::from_utf8(&bytes) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("tracecheck: cannot read schema {schema_path}: {e}");
+            Err(_) => {
+                eprintln!(
+                    "tracecheck: {trace_path}: input is neither .jtb (bad magic) nor UTF-8 JSON"
+                );
                 return ExitCode::FAILURE;
             }
         };
-        let schema = match Json::parse(&schema_text) {
-            Ok(s) => s,
+        let doc = match Json::parse(text) {
+            Ok(d) => d,
             Err(e) => {
-                eprintln!("tracecheck: schema {schema_path}: {e}");
+                eprintln!("tracecheck: {trace_path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let errors = validate(&doc, &schema);
-        if !errors.is_empty() {
-            eprintln!("tracecheck: {trace_path} fails schema validation:");
-            for e in errors.iter().take(20) {
-                eprintln!("  {e}");
+        if let Some(schema_path) = &schema_path {
+            let schema_text = match std::fs::read_to_string(schema_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tracecheck: cannot read schema {schema_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let schema = match Json::parse(&schema_text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tracecheck: schema {schema_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let errors = validate(&doc, &schema);
+            if !errors.is_empty() {
+                eprintln!("tracecheck: {trace_path} fails schema validation:");
+                for e in errors.iter().take(20) {
+                    eprintln!("  {e}");
+                }
+                if errors.len() > 20 {
+                    eprintln!("  … and {} more", errors.len() - 20);
+                }
+                return ExitCode::FAILURE;
             }
-            if errors.len() > 20 {
-                eprintln!("  … and {} more", errors.len() - 20);
+        }
+        let mut loaded = match load_chrome_doc(&doc) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                return ExitCode::FAILURE;
             }
-            return ExitCode::FAILURE;
-        }
-    }
-
-    let events = match events_from_chrome_trace(&doc) {
-        Ok(ev) => ev,
-        Err(e) => {
-            eprintln!("tracecheck: {trace_path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        };
+        let declared = loaded.declared_total.take();
+        (loaded, declared, "json")
     };
 
     let mut sum = EnergyBreakdown::new();
-    for ev in &events {
-        sum += ev.delta;
+    let mut recorded = 0u64;
+    for shard in &loaded.shards {
+        for ev in &shard.events {
+            sum += ev.delta;
+            recorded += 1;
+        }
     }
-    let declared = doc
-        .get("otherData")
-        .and_then(|o| o.get("total_energy"))
-        .and_then(|t| t.get("total"))
-        .and_then(Json::as_f64);
-    let Some(declared) = declared else {
-        eprintln!("tracecheck: {trace_path}: missing otherData.total_energy.total");
-        return ExitCode::FAILURE;
-    };
     let total = sum.total().nanojoules();
-    let tolerance = 1e-6 * declared.abs().max(1.0);
-    if (total - declared).abs() > tolerance {
-        eprintln!(
-            "tracecheck: {trace_path}: energy conservation violated: \
-             sum of deltas {total} nJ != declared total {declared} nJ"
+    if loaded.dropped > 0 {
+        // Evicted events take their deltas with them — the ledger
+        // cannot balance, and pretending otherwise would hide the gap.
+        println!(
+            "tracecheck: {trace_path}: OK ({format}, {recorded} events, \
+             conservation skipped: trace truncated, {} events dropped)",
+            loaded.dropped
         );
-        return ExitCode::FAILURE;
+    } else {
+        let Some(declared) = declared else {
+            eprintln!("tracecheck: {trace_path}: missing declared total energy");
+            return ExitCode::FAILURE;
+        };
+        let declared = declared.total().nanojoules();
+        let tolerance = 1e-6 * declared.abs().max(1.0);
+        if (total - declared).abs() > tolerance {
+            eprintln!(
+                "tracecheck: {trace_path}: energy conservation violated: \
+                 sum of deltas {total} nJ != declared total {declared} nJ"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "tracecheck: {trace_path}: OK ({format}, {recorded} events, {total:.1} nJ conserved)"
+        );
     }
-
-    println!(
-        "tracecheck: {trace_path}: OK ({} events, {:.1} nJ conserved)",
-        events.len(),
-        total
-    );
     if summary {
+        println!("  recorded events:      {recorded}");
+        println!("  dropped events:       {}", loaded.dropped);
+        println!("  shards:               {}", loaded.shards.len());
         let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for ev in &events {
-            *counts.entry(ev.kind.name()).or_insert(0) += 1;
+        for shard in &loaded.shards {
+            for ev in &shard.events {
+                *counts.entry(ev.kind.name()).or_insert(0) += 1;
+            }
         }
         println!("  event kinds:");
         for (kind, n) in counts {
@@ -164,16 +234,34 @@ fn main() -> ExitCode {
         }
         println!("    {:<20} {:.1} nJ", "total", sum.total().nanojoules());
     }
+    if let Some(out) = reencode_path {
+        // Re-attach the stream-level truncation count so the re-export
+        // declares it (both exporters sum per-shard counts).
+        let mut shards: Vec<TraceShard> = loaded.shards.clone();
+        if let Some(first) = shards.first_mut() {
+            first.dropped = loaded.dropped;
+        }
+        let bytes = if out.ends_with(".jtb") {
+            jtb_bytes(&shards)
+        } else {
+            format!("{}\n", chrome_trace_sharded(&shards).render()).into_bytes()
+        };
+        if let Err(e) = std::fs::write(&out, bytes) {
+            eprintln!("tracecheck: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("tracecheck: re-encoded {trace_path} -> {out}");
+    }
     ExitCode::SUCCESS
 }
 
-/// Read the trace document from a file, or stdin when the path is `-`.
-fn read_input(path: &str) -> std::io::Result<String> {
+/// Read the trace bytes from a file, or stdin when the path is `-`.
+fn read_input(path: &str) -> std::io::Result<Vec<u8>> {
     if path == "-" {
-        let mut buf = String::new();
-        std::io::stdin().read_to_string(&mut buf)?;
+        let mut buf = Vec::new();
+        std::io::stdin().read_to_end(&mut buf)?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path)
+        std::fs::read(path)
     }
 }

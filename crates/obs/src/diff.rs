@@ -536,6 +536,7 @@ mod tests {
         TraceEvent {
             seq,
             invocation,
+            ordinal: 0,
             at: SimTime::from_nanos(seq as f64 * 10.0),
             delta: d,
             kind: TraceEventKind::DecisionEvaluated {

@@ -20,7 +20,17 @@
 //!   run's breakdown,
 //! * [`diff`] — noise-aware differential comparison of two runs'
 //!   traces / metrics / results (decision flips, per-method energy
-//!   deltas); a run diffed against itself is provably empty.
+//!   deltas); a run diffed against itself is provably empty,
+//! * [`wire`] — the compact `.jtb` binary trace format: streaming
+//!   bounded-memory writer sinks, a block index footer for cheap
+//!   skipping, lossless round-trip to/from [`trace::TraceEvent`], and
+//!   a format-sniffing loader shared by every CLI,
+//! * [`query`] — a streaming filter / project / aggregate engine over
+//!   traces (`jem-query`), reconciling bit-exactly with [`profile`],
+//! * [`monitor`] — online invariant monitors (energy conservation,
+//!   negative deltas, retry storms, breaker flap, predictor regret)
+//!   that tee any sink, inject structured alert events, and emit an
+//!   end-of-run health report.
 //!
 //! Because the workspace's vendored `serde` is a no-op stub, the
 //! [`json`] module supplies the deterministic JSON reader/writer that
@@ -36,16 +46,28 @@ pub mod accuracy;
 pub mod diff;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod profile;
+pub mod query;
 pub mod schema;
 pub mod trace;
+pub mod wire;
 
 pub use accuracy::AccuracyTracker;
 pub use diff::{DiffEntry, DiffKind, DiffPolicy, DiffReport};
 pub use json::{Json, JsonError};
 pub use metrics::{Buckets, Histogram, MetricsRegistry};
-pub use profile::{CellStats, CollapseWeight, TraceProfile};
+pub use monitor::{AlertRecord, HealthReport, Monitor, MonitorConfig, MonitorSink, MonitorTee};
+pub use profile::{
+    CellStats, CollapseWeight, InvocationResolver, ProfileFolder, ResolvedEvent, TraceProfile,
+};
+pub use query::{GroupKey, Query, QueryEngine, QueryResult, QueryRow};
 pub use trace::{
-    chrome_trace, chrome_trace_sharded, events_from_chrome_trace, split_shards, NullSink, RingSink,
-    TraceEvent, TraceEventKind, TraceShard, TraceSink, Tracer,
+    chrome_trace, chrome_trace_sharded, chrome_trace_truncated, dropped_from_chrome_trace,
+    events_from_chrome_trace, split_shards, NullSink, RingSink, TraceEvent, TraceEventKind,
+    TraceShard, TraceSink, Tracer,
+};
+pub use wire::{
+    is_jtb, jtb_bytes, load_trace_bytes, load_trace_path, FileSink, JtbIndex, JtbStream, JtbWriter,
+    LoadedTrace, WriterSink,
 };

@@ -30,9 +30,9 @@
 //! stack, `frame;frame;frame weight`, energy- or time-weighted.
 
 use crate::json::Json;
-use crate::trace::{breakdown_json, split_shards, TraceEvent, TraceEventKind};
+use crate::trace::{breakdown_json, TraceEvent, TraceEventKind};
 use jem_energy::{Component, EnergyBreakdown, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Method label used when a shard never saw an `invocation-start`
 /// (e.g. a ring sink that dropped the head of the stream).
@@ -102,92 +102,31 @@ pub struct MethodModeRow {
 impl TraceProfile {
     /// Fold a (possibly multi-shard) event stream into a profile.
     /// Shard boundaries are detected wherever the `seq` counter
-    /// restarts (see [`split_shards`]); each shard carries its own
-    /// sim-time origin.
+    /// restarts; each shard carries its own sim-time origin. This is
+    /// the batch face of [`ProfileFolder`], which streams.
     pub fn fold(events: &[TraceEvent]) -> TraceProfile {
-        let mut p = TraceProfile::default();
-        for shard in split_shards(events) {
-            p.fold_shard(shard);
-            p.shards += 1;
-        }
-        p
-    }
-
-    fn fold_shard(&mut self, events: &[TraceEvent]) {
-        let mut prev_at = SimTime::ZERO;
-        // Events of the invocation currently being buffered, with the
-        // phase-frame suffix each delta belongs to. The full stack
-        // needs the invocation's mode, which only its invocation-end
-        // reveals, so attribution is two-pass per invocation.
-        let mut pending: Vec<(Vec<String>, EnergyBreakdown, SimTime)> = Vec::new();
-        let mut method: Option<String> = None;
-        let mut open: Vec<String> = Vec::new();
+        let mut folder = ProfileFolder::new();
         for ev in events {
-            let dt = ev.at - prev_at;
-            prev_at = ev.at;
-            self.total += ev.delta;
-            self.total_time += dt;
-            self.events += 1;
-            let mut finished_mode: Option<String> = None;
-            let suffix: Vec<String> = match &ev.kind {
-                TraceEventKind::InvocationStart { method: m, .. } => {
-                    method = Some(m.clone());
-                    self.invocations += 1;
-                    vec!["start".to_string()]
-                }
-                TraceEventKind::DecisionEvaluated { .. } => frames(&open, "decision"),
-                TraceEventKind::CompileStart { level, source } => {
-                    // The pre-compile residue is tiny; charging it to
-                    // the compile frame keeps "one event, one stack".
-                    let frame = compile_frame(level, source);
-                    let s = frames(&open, &frame);
-                    open.push(frame);
-                    s
-                }
-                TraceEventKind::CompileEnd { .. } => {
-                    let s = open.clone();
-                    open.pop();
-                    if s.is_empty() {
-                        // Unmatched end (truncated head): own frame.
-                        vec!["compile-end".to_string()]
-                    } else {
-                        s
-                    }
-                }
-                TraceEventKind::InvocationEnd { mode, .. } => {
-                    finished_mode = Some(mode.clone());
-                    vec!["execute".to_string()]
-                }
-                // Windowed and point events are leaves named by kind,
-                // nested under any open compile frame (a download's
-                // radio windows belong to the compile).
-                other => frames(&open, other.name()),
-            };
-            pending.push((suffix, ev.delta, dt));
-            if let Some(mode) = finished_mode {
-                self.flush(&mut pending, method.as_deref(), &mode);
-                open.clear();
-            }
+            folder.push(ev.clone());
         }
-        if !pending.is_empty() {
-            self.flush(&mut pending, method.as_deref(), UNKNOWN_MODE);
-        }
+        folder.finish()
     }
 
-    fn flush(
-        &mut self,
-        pending: &mut Vec<(Vec<String>, EnergyBreakdown, SimTime)>,
-        method: Option<&str>,
-        mode: &str,
-    ) {
-        let method = method.unwrap_or(UNKNOWN_METHOD);
-        for (suffix, delta, dt) in pending.drain(..) {
-            let mut stack = Vec::with_capacity(suffix.len() + 2);
-            stack.push(method.to_string());
-            stack.push(mode.to_string());
-            stack.extend(suffix);
-            self.cells.entry(stack).or_default().absorb(delta, dt);
+    fn absorb_resolved(&mut self, r: &ResolvedEvent) {
+        self.total += r.event.delta;
+        self.total_time += r.dt;
+        self.events += 1;
+        if matches!(r.event.kind, TraceEventKind::InvocationStart { .. }) {
+            self.invocations += 1;
         }
+        let mut stack = Vec::with_capacity(r.frames.len() + 2);
+        stack.push(r.method.clone());
+        stack.push(r.mode.clone());
+        stack.extend(r.frames.iter().cloned());
+        self.cells
+            .entry(stack)
+            .or_default()
+            .absorb(r.event.delta, r.dt);
     }
 
     /// Leaf cells: `(stack, stats)` in deterministic (lexicographic)
@@ -449,6 +388,197 @@ fn compile_frame(level: &str, source: &str) -> String {
     format!("compile-{level}-{source}")
 }
 
+/// An event with the invocation-level context that is only knowable
+/// once the whole invocation has been seen: the enclosing method, the
+/// retroactively resolved execution mode, the phase-frame suffix, the
+/// per-shard time delta, and the shard ordinal.
+#[derive(Debug, Clone)]
+pub struct ResolvedEvent {
+    /// The raw trace event.
+    pub event: TraceEvent,
+    /// 0-based shard ordinal in the stream.
+    pub shard: usize,
+    /// Qualified method of the enclosing invocation
+    /// ([`UNKNOWN_METHOD`] if the stream head was dropped).
+    pub method: String,
+    /// Execution mode from the invocation's `invocation-end`
+    /// ([`UNKNOWN_MODE`] if the stream was truncated mid-invocation).
+    pub mode: String,
+    /// Sim-time elapsed since the previous event of the same shard.
+    pub dt: SimTime,
+    /// Phase-frame suffix — the profile stack below `[method, mode]`.
+    pub frames: Vec<String>,
+}
+
+impl ResolvedEvent {
+    /// The full profile stack `[method, mode, frames…]`.
+    pub fn stack(&self) -> Vec<String> {
+        let mut s = Vec::with_capacity(self.frames.len() + 2);
+        s.push(self.method.clone());
+        s.push(self.mode.clone());
+        s.extend(self.frames.iter().cloned());
+        s
+    }
+}
+
+/// The streaming core shared by the profiler and `jem-query`: buffers
+/// one invocation at a time (the mode is only revealed by its
+/// `invocation-end`), detects shard restarts on the `seq` counter, and
+/// yields [`ResolvedEvent`]s in input order. Memory is O(one
+/// invocation), never O(run).
+#[derive(Debug, Default)]
+pub struct InvocationResolver {
+    started: bool,
+    shard: usize,
+    prev_seq: u64,
+    prev_at: SimTime,
+    pending: Vec<(TraceEvent, Vec<String>, SimTime)>,
+    method: Option<String>,
+    open: Vec<String>,
+    out: VecDeque<ResolvedEvent>,
+}
+
+impl InvocationResolver {
+    /// A fresh resolver.
+    pub fn new() -> InvocationResolver {
+        InvocationResolver::default()
+    }
+
+    /// Feed the next event of the stream. Resolved events become
+    /// available from [`InvocationResolver::next_resolved`] as soon as
+    /// their invocation completes.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.started && ev.seq <= self.prev_seq {
+            // seq restarted: a new shard begins. Anything pending
+            // belongs to an invocation the old shard never finished.
+            self.flush(UNKNOWN_MODE);
+            self.shard += 1;
+            self.prev_at = SimTime::ZERO;
+            self.method = None;
+            self.open.clear();
+        }
+        self.started = true;
+        self.prev_seq = ev.seq;
+        let dt = ev.at - self.prev_at;
+        self.prev_at = ev.at;
+        let mut finished_mode: Option<String> = None;
+        let suffix: Vec<String> = match &ev.kind {
+            TraceEventKind::InvocationStart { method: m, .. } => {
+                self.method = Some(m.clone());
+                vec!["start".to_string()]
+            }
+            TraceEventKind::DecisionEvaluated { .. } => frames(&self.open, "decision"),
+            TraceEventKind::CompileStart { level, source } => {
+                // The pre-compile residue is tiny; charging it to
+                // the compile frame keeps "one event, one stack".
+                let frame = compile_frame(level, source);
+                let s = frames(&self.open, &frame);
+                self.open.push(frame);
+                s
+            }
+            TraceEventKind::CompileEnd { .. } => {
+                let s = self.open.clone();
+                self.open.pop();
+                if s.is_empty() {
+                    // Unmatched end (truncated head): own frame.
+                    vec!["compile-end".to_string()]
+                } else {
+                    s
+                }
+            }
+            TraceEventKind::InvocationEnd { mode, .. } => {
+                finished_mode = Some(mode.clone());
+                vec!["execute".to_string()]
+            }
+            // Windowed and point events are leaves named by kind,
+            // nested under any open compile frame (a download's
+            // radio windows belong to the compile).
+            other => frames(&self.open, other.name()),
+        };
+        self.pending.push((ev, suffix, dt));
+        if let Some(mode) = finished_mode {
+            self.flush(&mode);
+            self.open.clear();
+        }
+    }
+
+    fn flush(&mut self, mode: &str) {
+        let method = self.method.as_deref().unwrap_or(UNKNOWN_METHOD);
+        for (event, frames, dt) in self.pending.drain(..) {
+            self.out.push_back(ResolvedEvent {
+                event,
+                shard: self.shard,
+                method: method.to_string(),
+                mode: mode.to_string(),
+                dt,
+                frames,
+            });
+        }
+    }
+
+    /// Declare the stream over: any buffered tail (an invocation whose
+    /// end was never seen) resolves under [`UNKNOWN_MODE`].
+    pub fn finish(&mut self) {
+        if !self.pending.is_empty() {
+            self.flush(UNKNOWN_MODE);
+        }
+    }
+
+    /// The next resolved event, if one is ready.
+    pub fn next_resolved(&mut self) -> Option<ResolvedEvent> {
+        self.out.pop_front()
+    }
+
+    /// Shards seen so far (0 before the first event).
+    pub fn shards_seen(&self) -> usize {
+        if self.started {
+            self.shard + 1
+        } else {
+            0
+        }
+    }
+}
+
+/// Streaming profile construction: push events as they arrive (from a
+/// [`crate::wire::JtbStream`], a live sink, …), then [`finish`] into a
+/// [`TraceProfile`]. Equivalent to [`TraceProfile::fold`] by
+/// construction — both run on [`InvocationResolver`] — but in O(one
+/// invocation + cells) memory instead of O(run).
+///
+/// [`finish`]: ProfileFolder::finish
+#[derive(Debug, Default)]
+pub struct ProfileFolder {
+    resolver: InvocationResolver,
+    profile: TraceProfile,
+}
+
+impl ProfileFolder {
+    /// A fresh folder.
+    pub fn new() -> ProfileFolder {
+        ProfileFolder::default()
+    }
+
+    /// Feed the next event of the stream.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.resolver.push(ev);
+        self.absorb();
+    }
+
+    fn absorb(&mut self) {
+        while let Some(r) = self.resolver.next_resolved() {
+            self.profile.absorb_resolved(&r);
+        }
+    }
+
+    /// Complete the profile (flushes any truncated tail invocation).
+    pub fn finish(mut self) -> TraceProfile {
+        self.resolver.finish();
+        self.absorb();
+        self.profile.shards = self.resolver.shards_seen();
+        self.profile
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,6 +594,7 @@ mod tests {
         TraceEvent {
             seq,
             invocation: 1,
+            ordinal: seq,
             at: SimTime::from_nanos(at_ns),
             delta: d,
             kind,

@@ -128,6 +128,19 @@ pub enum TraceEventKind {
         /// What degraded ("remote-exec" or "remote-compile").
         what: String,
     },
+    /// An online monitor fired (injected by
+    /// [`crate::monitor::MonitorSink`], never by the runtime itself).
+    /// Alerts carry a zero energy delta, so a monitored trace remains
+    /// a valid conservation ledger.
+    Alert {
+        /// Which invariant fired ("conservation", "negative-delta",
+        /// "retry-storm", "breaker-flap", "predictor-regret").
+        monitor: String,
+        /// Severity label ("warn" or "critical").
+        severity: String,
+        /// Human-readable diagnostic.
+        message: String,
+    },
     /// The invocation completed.
     InvocationEnd {
         /// Mode the invocation executed in.
@@ -155,6 +168,7 @@ impl TraceEventKind {
             TraceEventKind::BreakerTransition { .. } => "breaker-transition",
             TraceEventKind::Fallback { .. } => "fallback",
             TraceEventKind::Degraded { .. } => "degraded",
+            TraceEventKind::Alert { .. } => "alert",
             TraceEventKind::InvocationEnd { .. } => "invocation-end",
         }
     }
@@ -233,6 +247,14 @@ impl TraceEventKind {
                 .with("to", to.as_str()),
             TraceEventKind::Fallback { reason } => Json::object().with("reason", reason.as_str()),
             TraceEventKind::Degraded { what } => Json::object().with("what", what.as_str()),
+            TraceEventKind::Alert {
+                monitor,
+                severity,
+                message,
+            } => Json::object()
+                .with("monitor", monitor.as_str())
+                .with("severity", severity.as_str())
+                .with("message", message.as_str()),
             TraceEventKind::InvocationEnd { mode, energy, time } => Json::object()
                 .with("mode", mode.as_str())
                 .with("energy_nj", energy.nanojoules())
@@ -330,6 +352,11 @@ impl TraceEventKind {
                 reason: s("reason")?,
             },
             "degraded" => TraceEventKind::Degraded { what: s("what")? },
+            "alert" => TraceEventKind::Alert {
+                monitor: s("monitor")?,
+                severity: s("severity")?,
+                message: s("message")?,
+            },
             "invocation-end" => TraceEventKind::InvocationEnd {
                 mode: s("mode")?,
                 energy: Energy::from_nanojoules(n("energy_nj")?),
@@ -347,6 +374,11 @@ pub struct TraceEvent {
     pub seq: u64,
     /// 1-based index of the enclosing top-level invocation.
     pub invocation: u64,
+    /// Invocation-scoped sequence number: resets to 0 at every
+    /// [`Tracer::next_invocation`]. Lets block-oriented consumers (the
+    /// `.jtb` wire format, monitors) align block boundaries on
+    /// invocation starts without scanning for kind.
+    pub ordinal: u64,
     /// Client sim-time when the event was recorded (end of the window
     /// for windowed kinds).
     pub at: SimTime,
@@ -389,6 +421,7 @@ impl TraceEvent {
         Json::object()
             .with("seq", self.seq)
             .with("invocation", self.invocation)
+            .with("ordinal", self.ordinal)
             .with("t_ns", self.at.nanos())
             .with("kind", self.kind.name())
             .with("delta_nj", breakdown_json(&self.delta))
@@ -414,6 +447,8 @@ impl TraceEvent {
                 .get("invocation")
                 .and_then(Json::as_u64)
                 .ok_or("event: missing 'invocation'")?,
+            // Absent in pre-PR5 traces; 0 keeps those loadable.
+            ordinal: v.get("ordinal").and_then(Json::as_u64).unwrap_or(0),
             at: SimTime::from_nanos(
                 v.get("t_ns")
                     .and_then(Json::as_f64)
@@ -530,6 +565,7 @@ pub struct Tracer<'s> {
     last: EnergyBreakdown,
     seq: u64,
     invocation: u64,
+    ordinal: u64,
 }
 
 impl Default for Tracer<'_> {
@@ -546,6 +582,7 @@ impl<'s> Tracer<'s> {
             last: EnergyBreakdown::new(),
             seq: 0,
             invocation: 0,
+            ordinal: 0,
         }
     }
 
@@ -558,6 +595,7 @@ impl<'s> Tracer<'s> {
                 last: EnergyBreakdown::new(),
                 seq: 0,
                 invocation: 0,
+                ordinal: 0,
             }
         } else {
             Tracer::off()
@@ -577,6 +615,7 @@ impl<'s> Tracer<'s> {
     pub fn next_invocation(&mut self) {
         if self.sink.is_some() {
             self.invocation += 1;
+            self.ordinal = 0;
         }
     }
 
@@ -590,11 +629,13 @@ impl<'s> Tracer<'s> {
             let event = TraceEvent {
                 seq: self.seq,
                 invocation: self.invocation,
+                ordinal: self.ordinal,
                 at,
                 delta,
                 kind,
             };
             self.seq += 1;
+            self.ordinal += 1;
             sink.record(event);
         }
     }
@@ -611,15 +652,26 @@ pub struct TraceShard {
     pub name: String,
     /// The shard's events, `seq`-ordered from 0.
     pub events: Vec<TraceEvent>,
+    /// Events the producing sink evicted before export (ring
+    /// overflow). Non-zero means `events` is a *suffix* of the run —
+    /// exports must carry this forward so truncation is never silent.
+    pub dropped: u64,
 }
 
 impl TraceShard {
-    /// A named shard over `events`.
+    /// A named shard over `events` (nothing dropped).
     pub fn new(name: impl Into<String>, events: Vec<TraceEvent>) -> TraceShard {
         TraceShard {
             name: name.into(),
             events,
+            dropped: 0,
         }
+    }
+
+    /// Record that `dropped` earlier events were evicted by the sink.
+    pub fn with_dropped(mut self, dropped: u64) -> TraceShard {
+        self.dropped = dropped;
+        self
     }
 }
 
@@ -631,10 +683,16 @@ impl TraceShard {
 /// exported record, so the file remains a lossless conservation
 /// ledger.
 pub fn chrome_trace(events: &[TraceEvent]) -> Json {
-    chrome_trace_sharded(std::slice::from_ref(&TraceShard::new(
-        "client",
-        events.to_vec(),
-    )))
+    chrome_trace_truncated(events, 0)
+}
+
+/// [`chrome_trace`] for a stream whose sink evicted `dropped` events:
+/// the count lands in `otherData.dropped_events` so downstream tools
+/// can refuse to reconcile a partial ledger.
+pub fn chrome_trace_truncated(events: &[TraceEvent], dropped: u64) -> Json {
+    chrome_trace_sharded(std::slice::from_ref(
+        &TraceShard::new("client", events.to_vec()).with_dropped(dropped),
+    ))
 }
 
 /// Multi-shard [`chrome_trace`]: each shard becomes its own Chrome
@@ -686,6 +744,7 @@ pub fn chrome_trace_sharded(shards: &[TraceShard]) -> Json {
             );
         }
     }
+    let dropped: u64 = shards.iter().map(|s| s.dropped).sum();
     Json::object()
         .with("traceEvents", Json::Arr(out))
         .with("displayTimeUnit", "ns")
@@ -693,9 +752,19 @@ pub fn chrome_trace_sharded(shards: &[TraceShard]) -> Json {
             "otherData",
             Json::object()
                 .with("events", n_events)
+                .with("dropped_events", dropped)
                 .with("shards", Json::Arr(shard_names))
                 .with("total_energy", breakdown_json(&total)),
         )
+}
+
+/// The `otherData.dropped_events` count of a Chrome trace document
+/// (0 for pre-PR5 documents that never recorded it).
+pub fn dropped_from_chrome_trace(doc: &Json) -> u64 {
+    doc.get("otherData")
+        .and_then(|o| o.get("dropped_events"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
 }
 
 /// Split a flattened event stream (e.g. re-imported via
@@ -750,6 +819,7 @@ mod tests {
         tracer_events.push(TraceEvent {
             seq: 0,
             invocation: 1,
+            ordinal: 0,
             at: SimTime::from_nanos(100.0),
             delta: b,
             kind: TraceEventKind::DecisionEvaluated {
@@ -768,6 +838,7 @@ mod tests {
         tracer_events.push(TraceEvent {
             seq: 1,
             invocation: 1,
+            ordinal: 1,
             at: SimTime::from_nanos(2100.0),
             delta: d,
             kind: TraceEventKind::TxWindow {
@@ -832,6 +903,11 @@ mod tests {
             TraceEventKind::Degraded {
                 what: "remote-exec".into(),
             },
+            TraceEventKind::Alert {
+                monitor: "retry-storm".into(),
+                severity: "warn".into(),
+                message: "6 retries in 20 invocations".into(),
+            },
             TraceEventKind::InvocationEnd {
                 mode: "local/L3".into(),
                 energy: Energy::from_microjoules(7.0),
@@ -842,6 +918,7 @@ mod tests {
             let ev = TraceEvent {
                 seq: 9,
                 invocation: 4,
+                ordinal: 2,
                 at: SimTime::from_micros(55.0),
                 delta: EnergyBreakdown::new(),
                 kind,
@@ -904,6 +981,9 @@ mod tests {
         assert_eq!(events[1].delta.total().nanojoules(), 3.0);
         assert_eq!(events[0].invocation, 1);
         assert_eq!(events[1].seq, 1);
+        // Ordinals count within the invocation, from 0.
+        assert_eq!(events[0].ordinal, 0);
+        assert_eq!(events[1].ordinal, 1);
     }
 
     #[test]

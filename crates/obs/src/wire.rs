@@ -1,0 +1,1617 @@
+//! The `.jtb` compact binary trace format ("Jem Trace Binary").
+//!
+//! The JSON Chrome export ([`crate::chrome_trace`]) is great for
+//! viewers but costs hundreds of bytes per event and forces the whole
+//! run into memory before writing. `.jtb` is the scalable counterpart:
+//! a streaming, block-oriented wire format that [`WriterSink`] /
+//! [`FileSink`] produce in O(block) memory while the run executes, and
+//! that [`JtbStream`] decodes back **losslessly** — every
+//! [`TraceEvent`] field survives the round-trip bit-for-bit (enforced
+//! by property test against the JSON path).
+//!
+//! # Layout
+//!
+//! ```text
+//! file    := header record* footer trailer
+//! header  := "JTB1"  version:varint (=1)
+//! record  := 0x01 shard-name:str          -- start a new shard
+//!          | 0x02 bytes:str               -- define next interned string
+//!          | 0x03 len:varint payload      -- one event block
+//!          | 0x04 dropped:varint          -- sink evicted events (truncated!)
+//! footer  := 0x05 block-index             -- per-block counts + energy sums
+//! trailer := footer-offset:u64le  "JTBE"
+//! str     := len:varint utf8-bytes
+//! ```
+//!
+//! A block payload carries the first event's absolute `seq` /
+//! `invocation` / `t` and then per-event deltas: zigzag-varint
+//! sequence and invocation deltas, the invocation-scoped `ordinal` as
+//! a plain varint, and sim-time / energy values in the *maybe-scaled*
+//! codec below. Strings (method names, mode labels, reasons) are
+//! interned once per file — definition records precede the first block
+//! that references them, so a reader that skips block payloads (using
+//! the footer index) still resolves every id.
+//!
+//! # The maybe-scaled f64 codec
+//!
+//! Energy deltas and durations are usually "nice" decimals (whole
+//! picojoules / fractions of a nanosecond from rational power ×
+//! time products). Each value `v` is encoded as:
+//!
+//! * `varint(zigzag(v*1000) << 1 | 1)` when `v*1000` is exactly
+//!   representable as an integer **and** dividing back returns the
+//!   identical f64 — typically 1–3 bytes; or
+//! * a single `0x00` byte followed by the 8 raw little-endian IEEE
+//!   bytes otherwise.
+//!
+//! The scaled path is opportunistic compression; the raw fallback
+//! guarantees losslessness unconditionally.
+//!
+//! # Truncation is never silent
+//!
+//! If the producing sink evicted events (ring overflow), the writer
+//! emits an explicit `0x04` record and the footer repeats the count.
+//! Loaders surface it as [`LoadedTrace::dropped`]; `jem-profile`
+//! refuses to reconcile such a ledger.
+
+use crate::json::Json;
+use crate::trace::{
+    breakdown_from_json, dropped_from_chrome_trace, events_from_chrome_trace, split_shards,
+    TraceEvent, TraceEventKind, TraceShard, TraceSink,
+};
+use jem_energy::{Component, Energy, EnergyBreakdown, SimTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+
+/// Leading file magic.
+pub const JTB_MAGIC: &[u8; 4] = b"JTB1";
+/// Trailing file magic.
+pub const JTB_END_MAGIC: &[u8; 4] = b"JTBE";
+const JTB_VERSION: u64 = 1;
+
+const R_SHARD: u8 = 0x01;
+const R_STRDEF: u8 = 0x02;
+const R_BLOCK: u8 = 0x03;
+const R_TRUNC: u8 = 0x04;
+const R_FOOTER: u8 = 0x05;
+
+/// Preferred events per block: flushed at the next invocation start
+/// once this many are buffered.
+const BLOCK_EVENTS: usize = 1024;
+/// Hard flush threshold — bounds writer memory even if one invocation
+/// emits absurdly many events.
+const BLOCK_EVENTS_MAX: usize = 4 * BLOCK_EVENTS;
+
+/// Whether `bytes` begin with the `.jtb` magic (the format sniff the
+/// CLIs use before falling back to JSON).
+pub fn is_jtb(bytes: &[u8]) -> bool {
+    bytes.starts_with(JTB_MAGIC)
+}
+
+// ---------------------------------------------------------------
+// Primitive codecs
+// ---------------------------------------------------------------
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encode `v` in the maybe-scaled codec (see module docs).
+fn put_msf(out: &mut Vec<u8>, v: f64) {
+    let s = v * 1000.0;
+    if s.is_finite() && s.fract() == 0.0 && s.abs() < 9.0e15 {
+        let i = s as i64;
+        if (i as f64) == s && (i as f64) / 1000.0 == v {
+            let z = zigzag(i);
+            if z < (1u64 << 63) {
+                put_varint(out, (z << 1) | 1);
+                return;
+            }
+        }
+    }
+    out.push(0x00);
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// A byte cursor with decode-error context.
+struct Cur<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(data: &'a [u8]) -> Cur<'a> {
+        Cur { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or("jtb: unexpected end of data")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err("jtb: unexpected end of data".into());
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err("jtb: varint overflow".into());
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(f64::from_bits(u64::from_le_bytes(a)))
+    }
+
+    fn msf(&mut self) -> Result<f64, String> {
+        let tag = self.varint()?;
+        if tag & 1 == 1 {
+            return Ok(unzigzag(tag >> 1) as f64 / 1000.0);
+        }
+        if tag != 0 {
+            return Err("jtb: reserved msf tag".into());
+        }
+        self.f64()
+    }
+}
+
+// ---------------------------------------------------------------
+// Event payload codec
+// ---------------------------------------------------------------
+
+/// Numeric tags for [`TraceEventKind`], stable wire contract.
+fn kind_tag(kind: &TraceEventKind) -> u8 {
+    match kind {
+        TraceEventKind::InvocationStart { .. } => 0,
+        TraceEventKind::DecisionEvaluated { .. } => 1,
+        TraceEventKind::CompileStart { .. } => 2,
+        TraceEventKind::CompileEnd { .. } => 3,
+        TraceEventKind::TxWindow { .. } => 4,
+        TraceEventKind::RxWindow { .. } => 5,
+        TraceEventKind::PowerDown { .. } => 6,
+        TraceEventKind::EarlyWake { .. } => 7,
+        TraceEventKind::RetryAttempt { .. } => 8,
+        TraceEventKind::BreakerTransition { .. } => 9,
+        TraceEventKind::Fallback { .. } => 10,
+        TraceEventKind::Degraded { .. } => 11,
+        TraceEventKind::Alert { .. } => 12,
+        TraceEventKind::InvocationEnd { .. } => 13,
+    }
+}
+
+struct Interner {
+    ids: HashMap<String, u64>,
+    /// Definition records accumulated since the last flush, written to
+    /// the stream before the block that references them.
+    pending_defs: Vec<u8>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        Interner {
+            ids: HashMap::new(),
+            pending_defs: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.ids.len() as u64;
+        self.ids.insert(s.to_string(), id);
+        self.pending_defs.push(R_STRDEF);
+        put_varint(&mut self.pending_defs, s.len() as u64);
+        self.pending_defs.extend_from_slice(s.as_bytes());
+        id
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, strings: &mut Interner, s: &str) {
+    let id = strings.intern(s);
+    put_varint(out, id);
+}
+
+fn encode_kind(out: &mut Vec<u8>, strings: &mut Interner, kind: &TraceEventKind) {
+    out.push(kind_tag(kind));
+    match kind {
+        TraceEventKind::InvocationStart {
+            strategy,
+            method,
+            size,
+            true_class,
+            chosen_class,
+        } => {
+            put_str(out, strings, strategy);
+            put_str(out, strings, method);
+            put_varint(out, u64::from(*size));
+            put_str(out, strings, true_class);
+            put_str(out, strings, chosen_class);
+        }
+        TraceEventKind::DecisionEvaluated {
+            k,
+            s_bar,
+            pa_bar_w,
+            interpret_nj,
+            remote_nj,
+            local_nj,
+            chosen,
+            remote_allowed,
+        } => {
+            put_varint(out, *k);
+            put_msf(out, *s_bar);
+            put_msf(out, *pa_bar_w);
+            put_msf(out, *interpret_nj);
+            put_msf(out, *remote_nj);
+            for v in local_nj {
+                put_msf(out, *v);
+            }
+            put_str(out, strings, chosen);
+            out.push(u8::from(*remote_allowed));
+        }
+        TraceEventKind::CompileStart { level, source } => {
+            put_str(out, strings, level);
+            put_str(out, strings, source);
+        }
+        TraceEventKind::CompileEnd { level, source, ok } => {
+            put_str(out, strings, level);
+            put_str(out, strings, source);
+            out.push(u8::from(*ok));
+        }
+        TraceEventKind::TxWindow {
+            bytes,
+            airtime,
+            retransmit,
+        } => {
+            put_varint(out, *bytes);
+            put_msf(out, airtime.nanos());
+            out.push(u8::from(*retransmit));
+        }
+        TraceEventKind::RxWindow { bytes, airtime } => {
+            put_varint(out, *bytes);
+            put_msf(out, airtime.nanos());
+        }
+        TraceEventKind::PowerDown { duration, reason } => {
+            put_msf(out, duration.nanos());
+            put_str(out, strings, reason);
+        }
+        TraceEventKind::EarlyWake { wait } => {
+            put_msf(out, wait.nanos());
+        }
+        TraceEventKind::RetryAttempt { attempt, backoff } => {
+            put_varint(out, u64::from(*attempt));
+            put_msf(out, backoff.nanos());
+        }
+        TraceEventKind::BreakerTransition { from, to } => {
+            put_str(out, strings, from);
+            put_str(out, strings, to);
+        }
+        TraceEventKind::Fallback { reason } => {
+            put_str(out, strings, reason);
+        }
+        TraceEventKind::Degraded { what } => {
+            put_str(out, strings, what);
+        }
+        TraceEventKind::Alert {
+            monitor,
+            severity,
+            message,
+        } => {
+            put_str(out, strings, monitor);
+            put_str(out, strings, severity);
+            put_str(out, strings, message);
+        }
+        TraceEventKind::InvocationEnd { mode, energy, time } => {
+            put_str(out, strings, mode);
+            put_msf(out, energy.nanojoules());
+            put_msf(out, time.nanos());
+        }
+    }
+}
+
+fn decode_kind(cur: &mut Cur<'_>, strings: &[String]) -> Result<TraceEventKind, String> {
+    let get = |cur: &mut Cur<'_>| -> Result<String, String> {
+        let id = cur.varint()? as usize;
+        strings
+            .get(id)
+            .cloned()
+            .ok_or_else(|| format!("jtb: string id {id} not defined"))
+    };
+    let tag = cur.u8()?;
+    Ok(match tag {
+        0 => TraceEventKind::InvocationStart {
+            strategy: get(cur)?,
+            method: get(cur)?,
+            size: cur.varint()? as u32,
+            true_class: get(cur)?,
+            chosen_class: get(cur)?,
+        },
+        1 => {
+            let k = cur.varint()?;
+            let s_bar = cur.msf()?;
+            let pa_bar_w = cur.msf()?;
+            let interpret_nj = cur.msf()?;
+            let remote_nj = cur.msf()?;
+            let mut local_nj = [0.0; 3];
+            for v in &mut local_nj {
+                *v = cur.msf()?;
+            }
+            TraceEventKind::DecisionEvaluated {
+                k,
+                s_bar,
+                pa_bar_w,
+                interpret_nj,
+                remote_nj,
+                local_nj,
+                chosen: get(cur)?,
+                remote_allowed: cur.u8()? != 0,
+            }
+        }
+        2 => TraceEventKind::CompileStart {
+            level: get(cur)?,
+            source: get(cur)?,
+        },
+        3 => TraceEventKind::CompileEnd {
+            level: get(cur)?,
+            source: get(cur)?,
+            ok: cur.u8()? != 0,
+        },
+        4 => TraceEventKind::TxWindow {
+            bytes: cur.varint()?,
+            airtime: SimTime::from_nanos(cur.msf()?),
+            retransmit: cur.u8()? != 0,
+        },
+        5 => TraceEventKind::RxWindow {
+            bytes: cur.varint()?,
+            airtime: SimTime::from_nanos(cur.msf()?),
+        },
+        6 => TraceEventKind::PowerDown {
+            duration: SimTime::from_nanos(cur.msf()?),
+            reason: get(cur)?,
+        },
+        7 => TraceEventKind::EarlyWake {
+            wait: SimTime::from_nanos(cur.msf()?),
+        },
+        8 => TraceEventKind::RetryAttempt {
+            attempt: cur.varint()? as u32,
+            backoff: SimTime::from_nanos(cur.msf()?),
+        },
+        9 => TraceEventKind::BreakerTransition {
+            from: get(cur)?,
+            to: get(cur)?,
+        },
+        10 => TraceEventKind::Fallback { reason: get(cur)? },
+        11 => TraceEventKind::Degraded { what: get(cur)? },
+        12 => TraceEventKind::Alert {
+            monitor: get(cur)?,
+            severity: get(cur)?,
+            message: get(cur)?,
+        },
+        13 => TraceEventKind::InvocationEnd {
+            mode: get(cur)?,
+            energy: Energy::from_nanojoules(cur.msf()?),
+            time: SimTime::from_nanos(cur.msf()?),
+        },
+        other => return Err(format!("jtb: unknown event kind tag {other}")),
+    })
+}
+
+fn encode_block(events: &[TraceEvent], strings: &mut Interner) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 16);
+    let first = &events[0];
+    put_varint(&mut out, events.len() as u64);
+    put_varint(&mut out, first.seq);
+    put_varint(&mut out, first.invocation);
+    out.extend_from_slice(&first.at.nanos().to_bits().to_le_bytes());
+    let mut prev_seq = first.seq;
+    let mut prev_inv = first.invocation;
+    let mut prev_at = first.at.nanos();
+    for ev in events {
+        put_varint(&mut out, zigzag(ev.seq as i64 - prev_seq as i64));
+        put_varint(&mut out, zigzag(ev.invocation as i64 - prev_inv as i64));
+        put_varint(&mut out, ev.ordinal);
+        put_msf(&mut out, ev.at.nanos() - prev_at);
+        prev_seq = ev.seq;
+        prev_inv = ev.invocation;
+        prev_at = ev.at.nanos();
+        let mut mask = 0u8;
+        for (i, (_, e)) in ev.delta.iter().enumerate() {
+            if e.nanojoules() != 0.0 {
+                mask |= 1 << i;
+            }
+        }
+        out.push(mask);
+        for (i, (_, e)) in ev.delta.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                put_msf(&mut out, e.nanojoules());
+            }
+        }
+        encode_kind(&mut out, strings, &ev.kind);
+    }
+    out
+}
+
+fn decode_block(payload: &[u8], strings: &[String]) -> Result<Vec<TraceEvent>, String> {
+    let mut cur = Cur::new(payload);
+    let count = cur.varint()? as usize;
+    let mut prev_seq = cur.varint()?;
+    let mut prev_inv = cur.varint()?;
+    let mut prev_at = cur.f64()?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let seq = (prev_seq as i64 + unzigzag(cur.varint()?)) as u64;
+        let invocation = (prev_inv as i64 + unzigzag(cur.varint()?)) as u64;
+        let ordinal = cur.varint()?;
+        let at = prev_at + cur.msf()?;
+        prev_seq = seq;
+        prev_inv = invocation;
+        prev_at = at;
+        let mask = cur.u8()?;
+        let mut delta = EnergyBreakdown::new();
+        for (i, c) in Component::ALL.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                delta.charge(*c, Energy::from_nanojoules(cur.msf()?));
+            }
+        }
+        let kind = decode_kind(&mut cur, strings)?;
+        out.push(TraceEvent {
+            seq,
+            invocation,
+            ordinal,
+            at: SimTime::from_nanos(at),
+            delta,
+            kind,
+        });
+    }
+    if cur.remaining() != 0 {
+        return Err("jtb: trailing bytes in block payload".into());
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------
+// Block index (footer)
+// ---------------------------------------------------------------
+
+/// Per-block metadata recorded in the footer: enough to answer coarse
+/// queries (event counts, per-component energy partial sums, sim-time
+/// range) without decoding the block, and to seek straight to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMeta {
+    /// Byte offset of the block's `R_BLOCK` record in the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Events in the block.
+    pub events: u64,
+    /// Index of the shard the block belongs to.
+    pub shard: u64,
+    /// First event's run-level sequence number.
+    pub first_seq: u64,
+    /// First event's invocation index.
+    pub first_invocation: u64,
+    /// Sim-time of the first event (ns).
+    pub t_first: f64,
+    /// Sim-time of the last event (ns).
+    pub t_last: f64,
+    /// Per-component energy-delta partial sums over the block (nJ),
+    /// in [`Component::ALL`] order.
+    pub energy_nj: [f64; 5],
+}
+
+/// The footer index: one [`BlockMeta`] per block plus file totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JtbIndex {
+    /// Per-block metadata, file order.
+    pub blocks: Vec<BlockMeta>,
+    /// Number of shards in the file.
+    pub shards: u64,
+    /// Total events across all blocks.
+    pub events: u64,
+    /// Events the producing sink evicted (0 = complete ledger).
+    pub dropped: u64,
+}
+
+impl JtbIndex {
+    /// Total energy breakdown telescoped from the per-block partial
+    /// sums — the footer-only answer to "what did this run cost".
+    pub fn total_energy(&self) -> EnergyBreakdown {
+        let mut b = EnergyBreakdown::new();
+        for blk in &self.blocks {
+            for (i, c) in Component::ALL.iter().enumerate() {
+                b.charge(*c, Energy::from_nanojoules(blk.energy_nj[i]));
+            }
+        }
+        b
+    }
+
+    /// Parse just the footer of a complete `.jtb` file — O(index), no
+    /// block decoding.
+    ///
+    /// # Errors
+    /// A message describing the corruption (bad magic, out-of-range
+    /// footer offset, malformed index).
+    pub fn read(data: &[u8]) -> Result<JtbIndex, String> {
+        if !is_jtb(data) {
+            return Err("jtb: bad leading magic (not a .jtb file)".into());
+        }
+        if data.len() < JTB_MAGIC.len() + 12 {
+            return Err("jtb: file too short for trailer".into());
+        }
+        let tail = &data[data.len() - 12..];
+        if &tail[8..] != JTB_END_MAGIC {
+            return Err("jtb: bad trailing magic (truncated file?)".into());
+        }
+        let mut off = [0u8; 8];
+        off.copy_from_slice(&tail[..8]);
+        let footer_offset = u64::from_le_bytes(off) as usize;
+        if footer_offset >= data.len() - 12 {
+            return Err("jtb: footer offset out of range".into());
+        }
+        let mut cur = Cur::new(&data[footer_offset..data.len() - 12]);
+        if cur.u8()? != R_FOOTER {
+            return Err("jtb: footer offset does not point at a footer record".into());
+        }
+        parse_footer(&mut cur)
+    }
+}
+
+fn parse_footer(cur: &mut Cur<'_>) -> Result<JtbIndex, String> {
+    let n_blocks = cur.varint()? as usize;
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let offset = cur.varint()?;
+        let len = cur.varint()?;
+        let events = cur.varint()?;
+        let shard = cur.varint()?;
+        let first_seq = cur.varint()?;
+        let first_invocation = cur.varint()?;
+        let t_first = cur.f64()?;
+        let t_last = cur.f64()?;
+        let mut energy_nj = [0.0; 5];
+        for e in &mut energy_nj {
+            *e = cur.f64()?;
+        }
+        blocks.push(BlockMeta {
+            offset,
+            len,
+            events,
+            shard,
+            first_seq,
+            first_invocation,
+            t_first,
+            t_last,
+            energy_nj,
+        });
+    }
+    let shards = cur.varint()?;
+    let events = cur.varint()?;
+    let dropped = cur.varint()?;
+    Ok(JtbIndex {
+        blocks,
+        shards,
+        events,
+        dropped,
+    })
+}
+
+fn render_footer(index: &JtbIndex) -> Vec<u8> {
+    let mut out = vec![R_FOOTER];
+    put_varint(&mut out, index.blocks.len() as u64);
+    for blk in &index.blocks {
+        put_varint(&mut out, blk.offset);
+        put_varint(&mut out, blk.len);
+        put_varint(&mut out, blk.events);
+        put_varint(&mut out, blk.shard);
+        put_varint(&mut out, blk.first_seq);
+        put_varint(&mut out, blk.first_invocation);
+        out.extend_from_slice(&blk.t_first.to_bits().to_le_bytes());
+        out.extend_from_slice(&blk.t_last.to_bits().to_le_bytes());
+        for e in &blk.energy_nj {
+            out.extend_from_slice(&e.to_bits().to_le_bytes());
+        }
+    }
+    put_varint(&mut out, index.shards);
+    put_varint(&mut out, index.events);
+    put_varint(&mut out, index.dropped);
+    out
+}
+
+// ---------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------
+
+/// Streaming `.jtb` encoder over any [`Write`]. Buffers at most one
+/// block of events (a few thousand), so memory stays O(block) no
+/// matter how long the run is. Call [`JtbWriter::finish`] to write the
+/// footer — a file without its trailer is detectably truncated.
+pub struct JtbWriter<W: Write> {
+    out: W,
+    offset: u64,
+    buf: Vec<TraceEvent>,
+    strings: Interner,
+    index: JtbIndex,
+    /// Shard count so far; 0 means no shard started (the first pushed
+    /// event auto-starts "client").
+    shards: u64,
+    finished: bool,
+}
+
+impl<W: Write> JtbWriter<W> {
+    /// Start a `.jtb` stream on `out` (writes the header immediately).
+    ///
+    /// # Errors
+    /// Propagates the underlying write error.
+    pub fn new(out: W) -> std::io::Result<JtbWriter<W>> {
+        let mut w = JtbWriter {
+            out,
+            offset: 0,
+            buf: Vec::new(),
+            strings: Interner::new(),
+            index: JtbIndex::default(),
+            shards: 0,
+            finished: false,
+        };
+        let mut header = JTB_MAGIC.to_vec();
+        put_varint(&mut header, JTB_VERSION);
+        w.write_all(&header)?;
+        Ok(w)
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.out.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Begin a new shard (flushes the pending block first).
+    ///
+    /// # Errors
+    /// Propagates the underlying write error.
+    pub fn begin_shard(&mut self, name: &str) -> std::io::Result<()> {
+        self.flush_block()?;
+        let mut rec = vec![R_SHARD];
+        put_varint(&mut rec, name.len() as u64);
+        rec.extend_from_slice(name.as_bytes());
+        self.write_all(&rec)?;
+        self.shards += 1;
+        self.index.shards = self.shards;
+        Ok(())
+    }
+
+    /// Append one event. Blocks are cut at invocation starts once
+    /// [`BLOCK_EVENTS`] are buffered (hard cap [`BLOCK_EVENTS_MAX`]).
+    ///
+    /// # Errors
+    /// Propagates the underlying write error.
+    pub fn push(&mut self, event: TraceEvent) -> std::io::Result<()> {
+        if self.shards == 0 {
+            self.begin_shard("client")?;
+        }
+        let aligned = event.ordinal == 0 && self.buf.len() >= BLOCK_EVENTS;
+        if aligned || self.buf.len() >= BLOCK_EVENTS_MAX {
+            self.flush_block()?;
+        }
+        self.buf.push(event);
+        Ok(())
+    }
+
+    /// Record that the producing sink evicted `n` events before they
+    /// reached this writer.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.index.dropped += n;
+    }
+
+    fn flush_block(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let payload = encode_block(&self.buf, &mut self.strings);
+        // String definitions referenced by this block must precede it.
+        let defs = std::mem::take(&mut self.strings.pending_defs);
+        self.write_all(&defs)?;
+        let block_offset = self.offset;
+        let mut header = vec![R_BLOCK];
+        put_varint(&mut header, payload.len() as u64);
+        self.write_all(&header)?;
+        self.write_all(&payload)?;
+        let first = &self.buf[0];
+        let mut energy_nj = [0.0; 5];
+        for ev in &self.buf {
+            for (i, (_, e)) in ev.delta.iter().enumerate() {
+                energy_nj[i] += e.nanojoules();
+            }
+        }
+        self.index.blocks.push(BlockMeta {
+            offset: block_offset,
+            len: payload.len() as u64,
+            events: self.buf.len() as u64,
+            shard: self.shards - 1,
+            first_seq: first.seq,
+            first_invocation: first.invocation,
+            t_first: first.at.nanos(),
+            t_last: self.buf[self.buf.len() - 1].at.nanos(),
+            energy_nj,
+        });
+        self.index.events += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush, write the truncation record (if any drops were noted),
+    /// the footer and the trailer, and return the underlying writer.
+    ///
+    /// # Errors
+    /// Propagates the underlying write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.flush_block()?;
+        if self.index.dropped > 0 {
+            let mut rec = vec![R_TRUNC];
+            put_varint(&mut rec, self.index.dropped);
+            self.write_all(&rec)?;
+        }
+        let footer_offset = self.offset;
+        let footer = render_footer(&self.index);
+        self.write_all(&footer)?;
+        let mut trailer = footer_offset.to_le_bytes().to_vec();
+        trailer.extend_from_slice(JTB_END_MAGIC);
+        self.write_all(&trailer)?;
+        self.out.flush()?;
+        self.finished = true;
+        Ok(self.out)
+    }
+
+    /// Events written (excluding the still-buffered block).
+    pub fn events_written(&self) -> u64 {
+        self.index.events
+    }
+}
+
+/// A [`TraceSink`] streaming straight into a `.jtb` writer. Since
+/// `record` cannot return errors, the first I/O failure is latched and
+/// reported by [`WriterSink::finish`].
+pub struct WriterSink<W: Write> {
+    writer: Option<JtbWriter<W>>,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> WriterSink<W> {
+    /// Wrap `out` in a streaming `.jtb` sink.
+    ///
+    /// # Errors
+    /// Propagates the header write error.
+    pub fn new(out: W) -> std::io::Result<WriterSink<W>> {
+        Ok(WriterSink {
+            writer: Some(JtbWriter::new(out)?),
+            error: None,
+        })
+    }
+
+    /// Begin a new shard in the underlying writer.
+    pub fn begin_shard(&mut self, name: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.begin_shard(name) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Record sink-side drops (forwarded to the truncation record).
+    pub fn note_dropped(&mut self, n: u64) {
+        if let Some(w) = self.writer.as_mut() {
+            w.note_dropped(n);
+        }
+    }
+
+    /// Write footer + trailer, surfacing any latched record error.
+    ///
+    /// # Errors
+    /// The first error hit by `record`, or the footer write error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let writer = self.writer.take().expect("WriterSink::finish called twice");
+        writer.finish()
+    }
+}
+
+impl<W: Write> TraceSink for WriterSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.push(event) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// A [`WriterSink`] over a buffered file — the `--trace out.jtb`
+/// backend: the full fig6/fig7 grids stream through it in O(block)
+/// memory.
+pub struct FileSink {
+    path: String,
+    inner: WriterSink<std::io::BufWriter<std::fs::File>>,
+}
+
+impl FileSink {
+    /// Create (truncate) `path` and start a `.jtb` stream on it.
+    ///
+    /// # Errors
+    /// Propagates file-creation and header write errors.
+    pub fn create(path: &str) -> std::io::Result<FileSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(FileSink {
+            path: path.to_string(),
+            inner: WriterSink::new(std::io::BufWriter::new(file))?,
+        })
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Begin a new shard.
+    pub fn begin_shard(&mut self, name: &str) {
+        self.inner.begin_shard(name);
+    }
+
+    /// Record sink-side drops.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.inner.note_dropped(n);
+    }
+
+    /// Finish the stream and flush the file.
+    ///
+    /// # Errors
+    /// Any latched record error or the footer write error.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.inner.finish()?.flush()
+    }
+}
+
+impl TraceSink for FileSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.inner.record(event);
+    }
+}
+
+/// Encode shards to `.jtb` bytes in one call (the batch counterpart of
+/// [`FileSink`], for already-collected event vectors).
+pub fn jtb_bytes(shards: &[TraceShard]) -> Vec<u8> {
+    let mut w = JtbWriter::new(Vec::new()).expect("vec write cannot fail");
+    for shard in shards {
+        w.begin_shard(&shard.name).expect("vec write cannot fail");
+        w.note_dropped(shard.dropped);
+        for ev in &shard.events {
+            w.push(ev.clone()).expect("vec write cannot fail");
+        }
+    }
+    w.finish().expect("vec write cannot fail")
+}
+
+// ---------------------------------------------------------------
+// Streaming reader
+// ---------------------------------------------------------------
+
+/// Streaming `.jtb` decoder: yields events one at a time, holding one
+/// decoded block in memory. The footer is validated when the stream
+/// ends (block/event counts must match what was actually read).
+pub struct JtbStream<R: Read> {
+    r: R,
+    pos: u64,
+    strings: Vec<String>,
+    shard_names: Vec<String>,
+    pending: VecDeque<TraceEvent>,
+    pending_shard: usize,
+    dropped: u64,
+    blocks_read: u64,
+    events_read: u64,
+    footer: Option<JtbIndex>,
+    done: bool,
+}
+
+impl<R: Read> JtbStream<R> {
+    /// Open a stream, checking the header magic and version.
+    ///
+    /// # Errors
+    /// "bad leading magic" / unsupported version / short read.
+    pub fn new(mut r: R) -> Result<JtbStream<R>, String> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)
+            .map_err(|e| format!("jtb: cannot read header: {e}"))?;
+        if &magic != JTB_MAGIC {
+            return Err("jtb: bad leading magic (not a .jtb file)".into());
+        }
+        let mut s = JtbStream {
+            r,
+            pos: 4,
+            strings: Vec::new(),
+            shard_names: Vec::new(),
+            pending: VecDeque::new(),
+            pending_shard: 0,
+            dropped: 0,
+            blocks_read: 0,
+            events_read: 0,
+            footer: None,
+            done: false,
+        };
+        let version = s.read_varint()?;
+        if version != JTB_VERSION {
+            return Err(format!("jtb: unsupported version {version}"));
+        }
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8, String> {
+        let mut b = [0u8; 1];
+        self.r
+            .read_exact(&mut b)
+            .map_err(|_| "jtb: unexpected end of stream".to_string())?;
+        self.pos += 1;
+        Ok(b[0])
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), String> {
+        self.r
+            .read_exact(buf)
+            .map_err(|_| "jtb: unexpected end of stream".to_string())?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+
+    fn read_varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.read_u8()?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err("jtb: varint overflow".into());
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn read_string(&mut self) -> Result<String, String> {
+        let len = self.read_varint()? as usize;
+        let mut bytes = vec![0u8; len];
+        self.read_exact(&mut bytes)?;
+        String::from_utf8(bytes).map_err(|_| "jtb: invalid utf-8 string".into())
+    }
+
+    /// The next event with its shard index, or `None` at a validated
+    /// end of stream.
+    ///
+    /// # Errors
+    /// Any decode error, including a missing or inconsistent footer.
+    pub fn next_event(&mut self) -> Result<Option<(usize, TraceEvent)>, String> {
+        loop {
+            if let Some(ev) = self.pending.pop_front() {
+                return Ok(Some((self.pending_shard, ev)));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            let record_offset = self.pos;
+            let tag = self.read_u8()?;
+            match tag {
+                R_SHARD => {
+                    let name = self.read_string()?;
+                    self.shard_names.push(name);
+                }
+                R_STRDEF => {
+                    let s = self.read_string()?;
+                    self.strings.push(s);
+                }
+                R_BLOCK => {
+                    let len = self.read_varint()? as usize;
+                    let mut payload = vec![0u8; len];
+                    self.read_exact(&mut payload)?;
+                    let events = decode_block(&payload, &self.strings)?;
+                    self.blocks_read += 1;
+                    self.events_read += events.len() as u64;
+                    self.pending_shard = self.shard_names.len().saturating_sub(1);
+                    self.pending = events.into();
+                }
+                R_TRUNC => {
+                    self.dropped = self.read_varint()?;
+                }
+                R_FOOTER => {
+                    let footer = self.read_footer()?;
+                    if footer.blocks.len() as u64 != self.blocks_read
+                        || footer.events != self.events_read
+                    {
+                        return Err(format!(
+                            "jtb: footer disagrees with stream ({} blocks / {} events vs {} / {})",
+                            footer.blocks.len(),
+                            footer.events,
+                            self.blocks_read,
+                            self.events_read
+                        ));
+                    }
+                    self.dropped = self.dropped.max(footer.dropped);
+                    // The trailer must point back at this footer.
+                    let mut trailer = [0u8; 12];
+                    self.read_exact(&mut trailer)?;
+                    let mut off = [0u8; 8];
+                    off.copy_from_slice(&trailer[..8]);
+                    if u64::from_le_bytes(off) != record_offset || &trailer[8..] != JTB_END_MAGIC {
+                        return Err("jtb: bad trailer (truncated or corrupt file)".into());
+                    }
+                    self.footer = Some(footer);
+                    self.done = true;
+                }
+                other => return Err(format!("jtb: unknown record tag 0x{other:02x}")),
+            }
+        }
+    }
+
+    /// Shard names seen so far (all of them once the stream ends).
+    pub fn shard_names(&self) -> &[String] {
+        &self.shard_names
+    }
+
+    /// Declared dropped-event count (final once the stream ends).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The validated footer index (available once the stream ends).
+    pub fn index(&self) -> Option<&JtbIndex> {
+        self.footer.as_ref()
+    }
+
+    fn read_footer(&mut self) -> Result<JtbIndex, String> {
+        // Footer records are small; slurp the fixed-layout fields via
+        // a byte cursor to share the parse with JtbIndex::read.
+        let n_blocks = self.read_varint()? as usize;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let offset = self.read_varint()?;
+            let len = self.read_varint()?;
+            let events = self.read_varint()?;
+            let shard = self.read_varint()?;
+            let first_seq = self.read_varint()?;
+            let first_invocation = self.read_varint()?;
+            let mut f = [0u8; 8];
+            self.read_exact(&mut f)?;
+            let t_first = f64::from_bits(u64::from_le_bytes(f));
+            self.read_exact(&mut f)?;
+            let t_last = f64::from_bits(u64::from_le_bytes(f));
+            let mut energy_nj = [0.0; 5];
+            for e in &mut energy_nj {
+                self.read_exact(&mut f)?;
+                *e = f64::from_bits(u64::from_le_bytes(f));
+            }
+            blocks.push(BlockMeta {
+                offset,
+                len,
+                events,
+                shard,
+                first_seq,
+                first_invocation,
+                t_first,
+                t_last,
+                energy_nj,
+            });
+        }
+        let shards = self.read_varint()?;
+        let events = self.read_varint()?;
+        let dropped = self.read_varint()?;
+        Ok(JtbIndex {
+            blocks,
+            shards,
+            events,
+            dropped,
+        })
+    }
+}
+
+// ---------------------------------------------------------------
+// Unified loader (format sniffing)
+// ---------------------------------------------------------------
+
+/// A trace materialized from either format, with its truncation state
+/// and (for JSON inputs) the document's declared total.
+#[derive(Debug, Clone)]
+pub struct LoadedTrace {
+    /// The shards, input order, with per-shard events `seq`-ordered.
+    pub shards: Vec<TraceShard>,
+    /// Events evicted by the producing sink (0 = complete ledger).
+    pub dropped: u64,
+    /// `otherData.total_energy` for Chrome-trace inputs; `None` for
+    /// `.jtb` (whose footer partial sums are exact by construction).
+    pub declared_total: Option<EnergyBreakdown>,
+}
+
+impl LoadedTrace {
+    /// All events flattened in shard order (shard boundaries remain
+    /// recoverable via [`split_shards`], since `seq` restarts at 0).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.shards.iter().map(|s| s.events.len()).sum());
+        for s in &self.shards {
+            out.extend(s.events.iter().cloned());
+        }
+        out
+    }
+
+    /// Total event count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Load a trace from raw bytes: `.jtb` if the magic matches, otherwise
+/// Chrome-trace JSON. This is the sniffing entry point every CLI uses.
+///
+/// # Errors
+/// The format-specific decode error.
+pub fn load_trace_bytes(bytes: &[u8]) -> Result<LoadedTrace, String> {
+    if is_jtb(bytes) {
+        return load_jtb_bytes(bytes);
+    }
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| "trace: input is neither .jtb (bad magic) nor UTF-8 JSON".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("trace: JSON parse error: {e}"))?;
+    load_chrome_doc(&doc)
+}
+
+/// Load a `.jtb` byte buffer completely (streaming under the hood).
+///
+/// # Errors
+/// Any decode error, including footer/trailer validation.
+pub fn load_jtb_bytes(bytes: &[u8]) -> Result<LoadedTrace, String> {
+    let mut stream = JtbStream::new(bytes)?;
+    let mut events = Vec::new();
+    while let Some((_, ev)) = stream.next_event()? {
+        events.push(ev);
+    }
+    let names = stream.shard_names().to_vec();
+    Ok(LoadedTrace {
+        dropped: stream.dropped(),
+        shards: name_shards(events, names),
+        declared_total: None,
+    })
+}
+
+/// Split a flattened event stream on `seq` restarts and attach the
+/// declared track names. Both loaders funnel through this, so a trace
+/// loads into the same shard structure whichever format carried it —
+/// in particular, several runs streamed into one declared track (the
+/// single-sink bench bins) split back into per-run shards. Names only
+/// line up when the declared list matches the split count; otherwise
+/// positional labels avoid misattributing.
+fn name_shards(events: Vec<TraceEvent>, names: Vec<String>) -> Vec<TraceShard> {
+    let splits: Vec<Vec<TraceEvent>> = split_shards(&events)
+        .into_iter()
+        .map(|s| s.to_vec())
+        .collect();
+    let named = names.len() == splits.len();
+    splits
+        .into_iter()
+        .enumerate()
+        .map(|(i, events)| {
+            let name = if named {
+                names[i].clone()
+            } else {
+                format!("shard-{i}")
+            };
+            TraceShard::new(name, events)
+        })
+        .collect()
+}
+
+/// Load a parsed Chrome-trace document into the unified shape.
+///
+/// # Errors
+/// The first malformed event, or a missing `traceEvents` array.
+pub fn load_chrome_doc(doc: &Json) -> Result<LoadedTrace, String> {
+    let events = events_from_chrome_trace(doc)?;
+    let names: Vec<String> = doc
+        .get("otherData")
+        .and_then(|o| o.get("shards"))
+        .and_then(Json::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let declared_total = doc
+        .get("otherData")
+        .and_then(|o| o.get("total_energy"))
+        .and_then(|t| breakdown_from_json(t).ok());
+    Ok(LoadedTrace {
+        shards: name_shards(events, names),
+        dropped: dropped_from_chrome_trace(doc),
+        declared_total,
+    })
+}
+
+/// Read `path` (`-` = stdin) and load it with format sniffing.
+///
+/// # Errors
+/// I/O errors (as text) or the format-specific decode error.
+pub fn load_trace_path(path: &str) -> Result<LoadedTrace, String> {
+    let bytes = if path == "-" {
+        let mut buf = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    load_trace_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(c: Component, nj: f64) -> EnergyBreakdown {
+        let mut b = EnergyBreakdown::new();
+        b.charge(c, Energy::from_nanojoules(nj));
+        b
+    }
+
+    /// One event of every kind, with awkward float values mixed in.
+    fn all_kinds() -> Vec<TraceEvent> {
+        let kinds = vec![
+            TraceEventKind::InvocationStart {
+                strategy: "AA".into(),
+                method: "fe::Main.integrate".into(),
+                size: 64,
+                true_class: "C3".into(),
+                chosen_class: "C4".into(),
+            },
+            TraceEventKind::DecisionEvaluated {
+                k: 3,
+                s_bar: 64.0,
+                pa_bar_w: 0.37,
+                interpret_nj: 5000.0,
+                remote_nj: 1.0 / 3.0, // not milli-representable: raw path
+                local_nj: [4000.0, 3500.5, f64::MAX],
+                chosen: "remote".into(),
+                remote_allowed: true,
+            },
+            TraceEventKind::CompileStart {
+                level: "L2".into(),
+                source: "download".into(),
+            },
+            TraceEventKind::CompileEnd {
+                level: "L2".into(),
+                source: "download".into(),
+                ok: false,
+            },
+            TraceEventKind::TxWindow {
+                bytes: 128,
+                airtime: SimTime::from_nanos(2000.0),
+                retransmit: false,
+            },
+            TraceEventKind::RxWindow {
+                bytes: 4096,
+                airtime: SimTime::from_micros(12.0),
+            },
+            TraceEventKind::PowerDown {
+                duration: SimTime::from_millis(1.5),
+                reason: "server-wait".into(),
+            },
+            TraceEventKind::EarlyWake {
+                wait: SimTime::from_micros(3.0),
+            },
+            TraceEventKind::RetryAttempt {
+                attempt: 2,
+                backoff: SimTime::from_millis(100.0),
+            },
+            TraceEventKind::BreakerTransition {
+                from: "closed".into(),
+                to: "open".into(),
+            },
+            TraceEventKind::Fallback {
+                reason: "connection-lost".into(),
+            },
+            TraceEventKind::Degraded {
+                what: "remote-exec".into(),
+            },
+            TraceEventKind::Alert {
+                monitor: "retry-storm".into(),
+                severity: "warn".into(),
+                message: "6 retries in 20 invocations".into(),
+            },
+            TraceEventKind::InvocationEnd {
+                mode: "local/L3".into(),
+                energy: Energy::from_microjoules(7.0),
+                time: SimTime::from_millis(2.0),
+            },
+        ];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                seq: i as u64,
+                invocation: 1 + i as u64 / 5,
+                ordinal: (i as u64) % 5,
+                at: SimTime::from_nanos(100.0 * i as f64 + 0.125),
+                delta: delta(Component::ALL[i % 5], 0.1 * i as f64 + 1.0 / 7.0),
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u64::MAX, 1 << 62] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(Cur::new(&buf).varint().unwrap(), v);
+        }
+        for i in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn msf_is_lossless_for_nice_and_nasty_values() {
+        for v in [
+            0.0,
+            1.0,
+            -1.0,
+            0.001,
+            -0.125,
+            1.0 / 3.0,
+            6.02e23,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1234.567,
+        ] {
+            let mut buf = Vec::new();
+            put_msf(&mut buf, v);
+            let back = Cur::new(&buf).msf().unwrap();
+            assert_eq!(back, v, "msf round-trip of {v}");
+        }
+        // Nice values take the 1–3 byte path.
+        let mut buf = Vec::new();
+        put_msf(&mut buf, 0.0);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn single_shard_round_trip_is_exact() {
+        let events = all_kinds();
+        let bytes = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        let loaded = load_trace_bytes(&bytes).unwrap();
+        assert_eq!(loaded.shards.len(), 1);
+        assert_eq!(loaded.shards[0].name, "client");
+        assert_eq!(loaded.shards[0].events, events);
+        assert_eq!(loaded.dropped, 0);
+    }
+
+    #[test]
+    fn multi_shard_round_trip_preserves_names_and_order() {
+        let a = TraceShard::new("fe/iii", all_kinds());
+        let b = TraceShard::new("kernel/i", all_kinds());
+        let bytes = jtb_bytes(&[a.clone(), b.clone()]);
+        let loaded = load_jtb_bytes(&bytes).unwrap();
+        assert_eq!(loaded.shards.len(), 2);
+        assert_eq!(loaded.shards[0].name, "fe/iii");
+        assert_eq!(loaded.shards[1].name, "kernel/i");
+        assert_eq!(loaded.shards[0].events, a.events);
+        assert_eq!(loaded.shards[1].events, b.events);
+    }
+
+    #[test]
+    fn truncation_marker_survives_round_trip() {
+        let bytes = jtb_bytes(&[TraceShard::new("client", all_kinds()).with_dropped(42)]);
+        let loaded = load_jtb_bytes(&bytes).unwrap();
+        assert_eq!(loaded.dropped, 42);
+        // And the footer-only read agrees.
+        assert_eq!(JtbIndex::read(&bytes).unwrap().dropped, 42);
+    }
+
+    #[test]
+    fn footer_index_partial_sums_telescope() {
+        let events = all_kinds();
+        let bytes = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        let index = JtbIndex::read(&bytes).unwrap();
+        assert_eq!(index.events, events.len() as u64);
+        assert_eq!(index.shards, 1);
+        assert!(!index.blocks.is_empty());
+        let mut want = EnergyBreakdown::new();
+        for ev in &events {
+            want += ev.delta;
+        }
+        let got = index.total_energy();
+        for (c, e) in want.iter() {
+            assert!(
+                (got[c].nanojoules() - e.nanojoules()).abs() <= 1e-12 * e.nanojoules().abs(),
+                "component {}",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_split_on_invocation_boundaries() {
+        // 3 invocations × 600 events: the second block must start at
+        // an ordinal-0 event even though 1024 is mid-invocation.
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for inv in 1..=3u64 {
+            for ord in 0..600u64 {
+                events.push(TraceEvent {
+                    seq,
+                    invocation: inv,
+                    ordinal: ord,
+                    at: SimTime::from_nanos(seq as f64),
+                    delta: delta(Component::Core, 1.0),
+                    kind: TraceEventKind::EarlyWake {
+                        wait: SimTime::from_nanos(1.0),
+                    },
+                });
+                seq += 1;
+            }
+        }
+        let bytes = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        let index = JtbIndex::read(&bytes).unwrap();
+        assert!(index.blocks.len() >= 2);
+        for blk in &index.blocks[1..] {
+            let first = &events[blk.first_seq as usize];
+            assert_eq!(first.ordinal, 0, "block must start at an invocation start");
+        }
+        assert_eq!(load_jtb_bytes(&bytes).unwrap().shards[0].events, events);
+    }
+
+    #[test]
+    fn corrupted_header_is_rejected() {
+        let mut bytes = jtb_bytes(&[TraceShard::new("client", all_kinds())]);
+        bytes[0] = b'X';
+        assert!(load_trace_bytes(&bytes)
+            .unwrap_err()
+            .contains("neither .jtb"));
+        assert!(JtbIndex::read(&bytes).unwrap_err().contains("magic"));
+        // A corrupt version is caught too.
+        let mut bytes2 = jtb_bytes(&[TraceShard::new("client", all_kinds())]);
+        bytes2[4] = 9;
+        assert!(load_trace_bytes(&bytes2)
+            .unwrap_err()
+            .contains("unsupported version"));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let bytes = jtb_bytes(&[TraceShard::new("client", all_kinds())]);
+        // Chop the trailer: the stream must fail, not silently succeed.
+        for cut in [bytes.len() - 1, bytes.len() - 13, bytes.len() / 2, 5] {
+            let err = load_jtb_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                err.contains("end of stream") || err.contains("trailer") || err.contains("jtb"),
+                "cut at {cut}: {err}"
+            );
+        }
+        assert!(JtbIndex::read(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn corrupted_footer_count_is_rejected() {
+        let events = all_kinds();
+        let mut w = JtbWriter::new(Vec::new()).unwrap();
+        w.begin_shard("client").unwrap();
+        for ev in &events {
+            w.push(ev.clone()).unwrap();
+        }
+        // Forge the index before finish: claim one extra event.
+        w.index.events += 1;
+        let bytes = w.finish().unwrap();
+        assert!(load_jtb_bytes(&bytes)
+            .unwrap_err()
+            .contains("footer disagrees"));
+    }
+
+    #[test]
+    fn writer_sink_streams_like_a_ring() {
+        let mut sink = WriterSink::new(Vec::new()).unwrap();
+        for ev in all_kinds() {
+            sink.record(ev);
+        }
+        let bytes = sink.finish().unwrap();
+        assert_eq!(
+            load_jtb_bytes(&bytes).unwrap().shards[0].events,
+            all_kinds()
+        );
+    }
+
+    #[test]
+    fn jtb_is_much_smaller_than_chrome_json() {
+        // Repeat the kind mix to amortize the string table, as a real
+        // run does; the acceptance bar (≥5×) is checked end-to-end in
+        // integration tests, this is the unit-level sanity version.
+        let mut events = Vec::new();
+        for rep in 0..50u64 {
+            for mut ev in all_kinds() {
+                ev.seq += rep * 14;
+                ev.invocation = rep + 1;
+                ev.at = SimTime::from_nanos(ev.at.nanos() + 1e5 * rep as f64);
+                events.push(ev);
+            }
+        }
+        let jtb = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        let json = format!("{}\n", crate::trace::chrome_trace(&events).render());
+        assert!(
+            jtb.len() * 5 <= json.len(),
+            ".jtb {} bytes vs JSON {} bytes",
+            jtb.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn chrome_json_round_trips_through_loader() {
+        let events = all_kinds();
+        let doc = crate::trace::chrome_trace_truncated(&events, 3);
+        let loaded = load_trace_bytes(doc.render().as_bytes()).unwrap();
+        assert_eq!(loaded.events(), events);
+        assert_eq!(loaded.dropped, 3);
+        assert!(loaded.declared_total.is_some());
+    }
+}
