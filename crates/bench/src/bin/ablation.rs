@@ -10,10 +10,14 @@
 //!    strategies carry per invocation.
 //!
 //! Usage: `ablation [--runs N] [--trace out.json]
-//! [--json-out BENCH_ablation.json]` (default 120 runs). `--trace`
-//! records every variant's runs in order.
+//! [--json-out BENCH_ablation.json] [--ckpt out.jck] [--resume
+//! out.jck]` (default 120 runs). `--trace` records every variant's
+//! runs in order. Checkpointing is variant-level (the ablation loops
+//! bypass the resumable scenario runner), so `--ckpt` excludes
+//! `--trace`.
 
 use jem_apps::workload_by_name;
+use jem_bench::ckpt::{CkptArgs, SweepSession};
 use jem_bench::obs::ObsArgs;
 use jem_bench::{arg_usize, print_table};
 use jem_core::runtime::decision_mix;
@@ -78,10 +82,42 @@ fn target<'a>(
     }
 }
 
+/// [`run_al`] behind a variant-level checkpoint unit: a completed
+/// variant replays its stored `(energy, instructions)` pair instead
+/// of re-running.
+#[allow(clippy::too_many_arguments)]
+fn run_al_unit(
+    session: &mut SweepSession,
+    name: &str,
+    w: &dyn jem_core::Workload,
+    p: &Profile,
+    scenario: &Scenario,
+    state: MethodState,
+    power_down: bool,
+    force_class: Option<ChannelClass>,
+    sink: &mut dyn TraceSink,
+) -> (f64, u64) {
+    let payload = session.unit(name, || {
+        let (e, instr) = run_al(w, p, scenario, state, power_down, force_class, sink);
+        let mut v = e.to_bits().to_le_bytes().to_vec();
+        v.extend_from_slice(&instr.to_le_bytes());
+        v
+    });
+    assert_eq!(payload.len(), 16, "corrupt stored ablation payload");
+    let e = f64::from_bits(u64::from_le_bytes(
+        payload[..8].try_into().expect("8 bytes"),
+    ));
+    let instr = u64::from_le_bytes(payload[8..].try_into().expect("8 bytes"));
+    (e, instr)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 120);
     let obs = ObsArgs::parse(&args);
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate_no_trace(&obs);
+    let mut session = SweepSession::open(&ckpt, format!("ablation runs={runs}"));
     let mut sink = obs.trace_sink();
     let mut null = NullSink;
 
@@ -95,7 +131,9 @@ fn main() {
     let mut json_ewma = Vec::new();
     let mut total_instructions = 0u64;
     for u in [0.0, 0.5, 0.7, 0.9, 1.0] {
-        let (e, instr) = run_al(
+        let (e, instr) = run_al_unit(
+            &mut session,
+            &format!("ewma/u{u:.1}"),
             w.as_ref(),
             &p,
             &scenario,
@@ -115,7 +153,9 @@ fn main() {
     );
 
     // 2. Power-down vs active idle.
-    let (on, on_instr) = run_al(
+    let (on, on_instr) = run_al_unit(
+        &mut session,
+        "powerdown/on",
         w.as_ref(),
         &p,
         &scenario,
@@ -124,7 +164,9 @@ fn main() {
         None,
         target(&mut sink, &mut null),
     );
-    let (off, off_instr) = run_al(
+    let (off, off_instr) = run_al_unit(
+        &mut session,
+        "powerdown/off",
         w.as_ref(),
         &p,
         &scenario,
@@ -147,7 +189,9 @@ fn main() {
     );
 
     // 3. Pilot tracking vs fixed worst-case power.
-    let (tracked, tracked_instr) = run_al(
+    let (tracked, tracked_instr) = run_al_unit(
+        &mut session,
+        "pilot/tracked",
         w.as_ref(),
         &p,
         &scenario,
@@ -156,7 +200,9 @@ fn main() {
         None,
         target(&mut sink, &mut null),
     );
-    let (fixed, fixed_instr) = run_al(
+    let (fixed, fixed_instr) = run_al_unit(
+        &mut session,
+        "pilot/fixed-c1",
         w.as_ref(),
         &p,
         &scenario,

@@ -161,7 +161,9 @@ fn record(args: &[String]) -> ExitCode {
         )
         .with("results", results.clone())
         .with("throughput", throughput_json(&results, k, &walls));
-    if let Err(e) = std::fs::write(&out, format!("{}\n", baseline.render_pretty())) {
+    if let Err(e) =
+        jem_obs::write_atomic(&out, format!("{}\n", baseline.render_pretty()).as_bytes())
+    {
         eprintln!("bench-history: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
@@ -280,7 +282,9 @@ fn check(args: &[String]) -> ExitCode {
             .with("baseline", baseline_path.as_str())
             .with("bin", bin)
             .with("throughput", fresh_tp);
-        if let Err(e) = std::fs::write(&path, format!("{}\n", doc.render_pretty())) {
+        if let Err(e) =
+            jem_obs::write_atomic(&path, format!("{}\n", doc.render_pretty()).as_bytes())
+        {
             eprintln!("bench-history: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

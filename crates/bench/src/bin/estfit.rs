@@ -21,6 +21,7 @@
 //! `total_sim_instructions` throughput denominator.
 
 use jem_apps::all_workloads;
+use jem_bench::ckpt::CkptArgs;
 use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, print_table};
 use jem_jvm::{OptLevel, Vm};
@@ -31,6 +32,9 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&args);
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    ckpt.note_stateless();
     let workloads = all_workloads();
     eprintln!("building profiles...");
     let profiles = build_profiles(&workloads, 42);

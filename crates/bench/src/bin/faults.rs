@@ -17,18 +17,22 @@
 //! bit-for-bit; rerun with `--seed N` to vary it.
 //!
 //! Usage: `faults [--runs N] [--seed N] [--trace out.json]
-//! [--metrics-out out.prom] [--json-out BENCH_faults.json]`
+//! [--metrics-out out.prom] [--json-out BENCH_faults.json]
+//! [--ckpt out.jck [--ckpt-every N]] [--resume out.jck]`
 //! (default 300 runs, seed 7). `--trace` records the resilient-AA runs
-//! across the whole severity sweep.
+//! across the whole severity sweep. `--ckpt` snapshots the sweep at
+//! invocation boundaries; a killed run continued with `--resume`
+//! produces byte-identical outputs (including the `.jtb` trace) to an
+//! uninterrupted one.
 
 use jem_apps::workload_by_name;
+use jem_bench::ckpt::{CkptArgs, SweepSession};
 use jem_bench::obs::{accumulate_accuracy, print_regret_table, ObsArgs};
 use jem_bench::{arg_usize, print_table};
 use jem_core::{
-    fill_run_metrics, run_scenario_traced, run_scenario_with, scenario_result_to_json, Profile,
-    ResilienceConfig, ScenarioResult, Strategy,
+    fill_run_metrics, scenario_result_to_json, Profile, ResilienceConfig, ScenarioResult, Strategy,
 };
-use jem_obs::{AccuracyTracker, Json, MetricsRegistry, NullSink, TraceSink};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry};
 use jem_sim::{Scenario, Situation};
 
 const LOSS_SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
@@ -38,8 +42,13 @@ fn main() {
     let runs = arg_usize(&args, "--runs", 300);
     let seed = arg_usize(&args, "--seed", 7) as u64;
     let obs = ObsArgs::parse(&args);
-    let mut sink = obs.trace_sink();
-    let mut null = NullSink;
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    let mut session = SweepSession::open(
+        &ckpt,
+        format!("faults runs={runs} seed={seed} trace={:?}", obs.trace),
+    );
+    let mut sink = obs.trace_sink_resumed(session.writer_state());
     let mut registry = MetricsRegistry::new();
     let mut tracker = AccuracyTracker::new();
     let mut json_points = Vec::new();
@@ -61,35 +70,33 @@ fn main() {
         let scenario =
             Scenario::paper_degraded(Situation::GoodDominant, &w.sizes(), seed, loss_bad)
                 .with_runs(runs);
-        let trace_target: &mut dyn TraceSink = match sink.as_mut() {
-            Some(ring) => ring,
-            None => &mut null,
-        };
-        let aa = run_scenario_traced(
+        let aa = session.run_unit(
+            &format!("loss{loss_bad:.2}/aa"),
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveAdaptive,
             &resilient,
-            trace_target,
-        )
-        .expect("scenario run failed");
-        let aa_naive = run_scenario_with(
+            sink.as_mut(),
+        );
+        let aa_naive = session.run_unit(
+            &format!("loss{loss_bad:.2}/aa_naive"),
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveAdaptive,
             &naive,
-        )
-        .expect("scenario run failed");
-        let al = run_scenario_with(
+            None,
+        );
+        let al = session.run_unit(
+            &format!("loss{loss_bad:.2}/al"),
             w.as_ref(),
             &profile,
             &scenario,
             Strategy::AdaptiveLocal,
             &resilient,
-        )
-        .expect("scenario run failed");
+            None,
+        );
         fill_run_metrics(&mut registry, &aa);
         accumulate_accuracy(&mut tracker, &profile, &aa);
         total_instructions += aa.instructions + aa_naive.instructions + al.instructions;

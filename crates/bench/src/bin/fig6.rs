@@ -15,16 +15,19 @@
 //! class.
 //!
 //! Usage: `fig6 [--full] [--trace out.json] [--metrics-out out.prom]
-//! [--json-out BENCH_fig6.json]`.
+//! [--json-out BENCH_fig6.json] [--ckpt out.jck] [--resume out.jck]`.
+//! Each grid cell is one checkpoint unit; a killed `--ckpt` run
+//! resumed with `--resume` skips completed cells and produces
+//! byte-identical outputs.
 
 use jem_apps::workload_by_name;
+use jem_bench::ckpt::{CkptArgs, SweepSession};
 use jem_bench::obs::{accumulate_accuracy, print_regret_table, ObsArgs};
 use jem_bench::{arg_flag, fmt_norm, print_table};
 use jem_core::{
-    fill_run_metrics, run_scenario_traced, scenario_result_to_json, Profile, ResilienceConfig,
-    ScenarioResult, Strategy,
+    fill_run_metrics, scenario_result_to_json, Profile, ResilienceConfig, ScenarioResult, Strategy,
 };
-use jem_obs::{AccuracyTracker, Json, MetricsRegistry, NullSink, TraceSink};
+use jem_obs::{AccuracyTracker, Json, MetricsRegistry};
 use jem_radio::{ChannelClass, ChannelProcess};
 use jem_sim::{Scenario, Situation, SizeDist};
 
@@ -32,8 +35,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = arg_flag(&args, "--full");
     let obs = ObsArgs::parse(&args);
-    let mut sink = obs.trace_sink();
-    let mut null = NullSink;
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    let mut session = SweepSession::open(&ckpt, format!("fig6 full={full} trace={:?}", obs.trace));
+    let mut sink = obs.trace_sink_resumed(session.writer_state());
     let mut registry = MetricsRegistry::new();
     let mut tracker = AccuracyTracker::new();
     let mut json_benches = Vec::new();
@@ -72,19 +77,15 @@ fn main() {
                     seed: 11,
                     faults: jem_sim::FaultSpec::NONE,
                 };
-                let s: &mut dyn TraceSink = match sink.as_mut() {
-                    Some(ring) => ring,
-                    None => &mut null,
-                };
-                let result = run_scenario_traced(
+                let result = session.run_unit(
+                    &format!("{name}/{size}/{}/{class:?}", strategy.key()),
                     w.as_ref(),
                     &profile,
                     &scenario,
                     strategy,
                     &ResilienceConfig::default(),
-                    s,
-                )
-                .expect("scenario run failed");
+                    sink.as_mut(),
+                );
                 fill_run_metrics(&mut registry, &result);
                 accumulate_accuracy(&mut tracker, &profile, &result);
                 total_instructions += result.instructions;

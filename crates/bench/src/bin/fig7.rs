@@ -24,6 +24,7 @@
 //! byte-identical run-to-run even with the grid running on all cores.
 
 use jem_apps::all_workloads;
+use jem_bench::ckpt::{CkptArgs, SweepSession};
 use jem_bench::obs::{print_regret_table, ObsArgs};
 use jem_bench::{arg_usize, build_profiles, fmt_norm, print_table};
 use jem_core::{accuracy_of, run_scenario, run_scenario_traced, ResilienceConfig, Strategy};
@@ -34,6 +35,12 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs = arg_usize(&args, "--runs", 300);
     let obs = ObsArgs::parse(&args);
+    // The parallel grid shards its trace through per-cell ring sinks,
+    // which cannot be checkpointed mid-stream — `--ckpt` therefore
+    // excludes `--trace` here and runs the grid sequentially, one
+    // resumable unit per (cell, strategy).
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate_no_trace(&obs);
     let tracing = obs.wants_events();
 
     let workloads = all_workloads();
@@ -54,44 +61,82 @@ fn main() {
         cells.len(),
         Strategy::ALL.len()
     );
-    let results = sweep(&cells, 0, |&(wi, sit)| {
-        let w = workloads[wi].as_ref();
-        let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
-        let mut energies = Vec::with_capacity(Strategy::ALL.len());
-        let mut trackers: Vec<(Strategy, AccuracyTracker)> = Vec::new();
-        let mut instructions = 0u64;
-        let mut shard = None;
-        for &s in &Strategy::ALL {
-            // Tracing draws nothing from the RNG, so the traced AA run
-            // is bit-identical to the untraced one; each cell's events
-            // land in the cell's own shard, merged in cell order below.
-            let result = if tracing && s == Strategy::AdaptiveAdaptive {
-                let mut ring = RingSink::new(1_000_000);
-                let result = run_scenario_traced(
+    type Cell = (
+        usize,
+        Situation,
+        Vec<f64>,
+        Vec<(Strategy, AccuracyTracker)>,
+        u64,
+        Option<TraceShard>,
+    );
+    let results: Vec<Cell> = if ckpt.enabled() {
+        let mut session = SweepSession::open(&ckpt, format!("fig7 runs={runs}"));
+        let mut out = Vec::with_capacity(cells.len());
+        for &(wi, sit) in &cells {
+            let w = workloads[wi].as_ref();
+            let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
+            let mut energies = Vec::with_capacity(Strategy::ALL.len());
+            let mut trackers: Vec<(Strategy, AccuracyTracker)> = Vec::new();
+            let mut instructions = 0u64;
+            for &s in &Strategy::ALL {
+                let result = session.run_unit(
+                    &format!("{}/{}/{}", w.name(), sit.key(), s.key()),
                     w,
                     &profiles[wi],
                     &scenario,
                     s,
                     &ResilienceConfig::default(),
-                    &mut ring,
-                )
-                .expect("scenario run failed");
-                shard = Some(TraceShard::new(
-                    format!("{}/{}", w.name(), sit.key()),
-                    ring.into_events(),
-                ));
-                result
-            } else {
-                run_scenario(w, &profiles[wi], &scenario, s)
-            };
-            energies.push(result.total_energy.nanojoules());
-            instructions += result.instructions;
-            if s.is_adaptive() {
-                trackers.push((s, accuracy_of(&profiles[wi], &result)));
+                    None,
+                );
+                energies.push(result.total_energy.nanojoules());
+                instructions += result.instructions;
+                if s.is_adaptive() {
+                    trackers.push((s, accuracy_of(&profiles[wi], &result)));
+                }
             }
+            out.push((wi, sit, energies, trackers, instructions, None));
         }
-        (wi, sit, energies, trackers, instructions, shard)
-    });
+        out
+    } else {
+        sweep(&cells, 0, |&(wi, sit)| {
+            let w = workloads[wi].as_ref();
+            let scenario = Scenario::paper(sit, &w.sizes(), 1000 + wi as u64).with_runs(runs);
+            let mut energies = Vec::with_capacity(Strategy::ALL.len());
+            let mut trackers: Vec<(Strategy, AccuracyTracker)> = Vec::new();
+            let mut instructions = 0u64;
+            let mut shard = None;
+            for &s in &Strategy::ALL {
+                // Tracing draws nothing from the RNG, so the traced AA run
+                // is bit-identical to the untraced one; each cell's events
+                // land in the cell's own shard, merged in cell order below.
+                let result = if tracing && s == Strategy::AdaptiveAdaptive {
+                    let mut ring = RingSink::new(1_000_000);
+                    let result = run_scenario_traced(
+                        w,
+                        &profiles[wi],
+                        &scenario,
+                        s,
+                        &ResilienceConfig::default(),
+                        &mut ring,
+                    )
+                    .expect("scenario run failed");
+                    shard = Some(TraceShard::new(
+                        format!("{}/{}", w.name(), sit.key()),
+                        ring.into_events(),
+                    ));
+                    result
+                } else {
+                    run_scenario(w, &profiles[wi], &scenario, s)
+                };
+                energies.push(result.total_energy.nanojoules());
+                instructions += result.instructions;
+                if s.is_adaptive() {
+                    trackers.push((s, accuracy_of(&profiles[wi], &result)));
+                }
+            }
+            (wi, sit, energies, trackers, instructions, shard)
+        })
+    };
 
     // Per-strategy predictor accuracy, merged across the whole grid
     // (merge of per-cell trackers equals tracking the concatenation).

@@ -24,6 +24,7 @@
 //! `total_sim_instructions` throughput denominator.
 
 use jem_apps::all_workloads;
+use jem_bench::ckpt::CkptArgs;
 use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, fmt_norm, print_table};
 use jem_core::Strategy;
@@ -34,6 +35,9 @@ use jem_radio::ChannelClass;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&args);
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    ckpt.note_stateless();
     // The paper's Fig 8 lists seven applications (jess is absent).
     let workloads: Vec<_> = all_workloads()
         .into_iter()

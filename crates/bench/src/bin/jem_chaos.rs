@@ -1,0 +1,299 @@
+//! jem-chaos — kill-level crash harness for the checkpointed bench
+//! bins.
+//!
+//! Proves the crash-safety contract end to end: run a bench bin as a
+//! subprocess, SIGKILL it at seeded random points mid-run, resume it
+//! from its checkpoint, repeat until at least `--kills` kills have
+//! landed, and assert that the survivor's outputs are **byte-equal**
+//! to a golden uninterrupted run — the `BENCH_*.json` document, the
+//! `.jtb` trace stream, and the trace's canonical re-encoding. Each
+//! torn `.jtb` left by a kill is additionally salvaged in place
+//! ([`jem_obs::salvage_jtb`]) and the salvaged prefix must load
+//! cleanly with an explicit `recovered` marker.
+//!
+//! Usage: `jem-chaos [--bin faults] [--kills 3] [--seed 1] [--runs
+//! 300] [--bench-seed 7] [--ckpt-every 25] [--dir DIR] [--keep]
+//! [--verbose]`
+//!
+//! The target bin must live next to `jem-chaos` in the build tree
+//! (any of the checkpoint-aware bench bins works; `faults` is the
+//! default — long scenario runs, fault injection, and a `.jtb` trace
+//! exercise every piece of checkpointed state).
+
+use jem_obs::{load_trace_bytes, salvage_jtb};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    bin: String,
+    kills: usize,
+    seed: u64,
+    runs: usize,
+    bench_seed: usize,
+    every: usize,
+    dir: Option<String>,
+    keep: bool,
+    verbose: bool,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("jem-chaos: error: {msg}");
+    std::process::exit(1);
+}
+
+/// The target bin sits next to jem-chaos in the build tree.
+fn sibling_bin(name: &str) -> PathBuf {
+    let me = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let dir = me.parent().unwrap_or_else(|| fail("exe has no parent"));
+    let p = dir.join(name);
+    if !p.exists() {
+        fail(&format!(
+            "{} not found next to jem-chaos — build the bench bins first",
+            p.display()
+        ));
+    }
+    p
+}
+
+fn command(opts: &Opts, bin: &Path, dir: &Path, extra: &[String]) -> Command {
+    let mut c = Command::new(bin);
+    c.arg("--runs")
+        .arg(opts.runs.to_string())
+        .arg("--seed")
+        .arg(opts.bench_seed.to_string())
+        .args(extra)
+        .current_dir(dir);
+    if opts.verbose {
+        c.stdout(Stdio::inherit()).stderr(Stdio::inherit());
+    } else {
+        c.stdout(Stdio::null()).stderr(Stdio::null());
+    }
+    c
+}
+
+/// Salvage a torn `.jtb` copy and require a loadable,
+/// recovered-marked prefix.
+fn check_salvage(bytes: &[u8], label: &str) {
+    match salvage_jtb(bytes) {
+        Ok((salvaged, report)) => {
+            let loaded = load_trace_bytes(&salvaged)
+                .unwrap_or_else(|e| fail(&format!("{label}: salvaged trace does not load: {e}")));
+            if report.already_complete {
+                return;
+            }
+            if loaded.recovered.is_none() {
+                fail(&format!(
+                    "{label}: salvaged trace is missing its recovered marker"
+                ));
+            }
+            println!(
+                "  salvage {label}: kept {} events in {} blocks, dropped {} bytes (marker ok)",
+                report.kept_events, report.kept_blocks, report.dropped_bytes
+            );
+        }
+        Err(e) => {
+            // A kill can land before the stream header is complete;
+            // only a torn file *with* a header must salvage.
+            if bytes.len() >= 16 {
+                fail(&format!("{label}: salvage failed: {e}"));
+            }
+        }
+    }
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let opts = Opts {
+        bin: jem_bench::arg_str(&args, "--bin").unwrap_or_else(|| "faults".to_string()),
+        kills: jem_bench::arg_usize(&args, "--kills", 3),
+        seed: jem_bench::arg_usize(&args, "--seed", 1) as u64,
+        runs: jem_bench::arg_usize(&args, "--runs", 300),
+        bench_seed: jem_bench::arg_usize(&args, "--bench-seed", 7),
+        every: jem_bench::arg_usize(&args, "--ckpt-every", 25),
+        dir: jem_bench::arg_str(&args, "--dir"),
+        keep: jem_bench::arg_flag(&args, "--keep"),
+        verbose: jem_bench::arg_flag(&args, "--verbose"),
+    };
+    let bin = sibling_bin(&opts.bin);
+    let dir = match &opts.dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("jem-chaos-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("mkdir: {e}")));
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+
+    // Golden uninterrupted run — the byte-equality oracle.
+    println!(
+        "golden: {} --runs {} --seed {} (uninterrupted)",
+        opts.bin, opts.runs, opts.bench_seed
+    );
+    let golden_start = Instant::now();
+    let status = command(
+        &opts,
+        &bin,
+        &dir,
+        &[
+            "--json-out".into(),
+            "golden.json".into(),
+            "--trace".into(),
+            "golden.jtb".into(),
+        ],
+    )
+    .status()
+    .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", bin.display())));
+    if !status.success() {
+        fail(&format!("golden run failed with {status}"));
+    }
+    let wall = golden_start.elapsed().max(Duration::from_millis(20));
+    println!("golden: done in {wall:.2?}");
+
+    // Kill/resume lineage: start fresh, kill at seeded fractions of
+    // the golden wall time, resume, until the run survives with at
+    // least `kills` landed kills. A lineage that finishes too early
+    // is wiped and restarted with new kill points.
+    let chaos_flags = |resume: bool| -> Vec<String> {
+        let mut v = vec![
+            "--json-out".into(),
+            "chaos.json".into(),
+            "--trace".into(),
+            "chaos.jtb".into(),
+            "--ckpt-every".into(),
+            opts.every.to_string(),
+        ];
+        v.push(if resume { "--resume" } else { "--ckpt" }.into());
+        v.push("chaos.jck".into());
+        v
+    };
+    let mut landed = 0usize;
+    let mut resumes = 0usize;
+    let mut attempts = 0usize;
+    let mut lineage_started = false;
+    loop {
+        attempts += 1;
+        if attempts > 40 * opts.kills.max(1) {
+            fail("kill points keep missing the run — is the target bin too fast?");
+        }
+        let mut child = command(&opts, &bin, &dir, &chaos_flags(lineage_started))
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", bin.display())));
+        lineage_started = true;
+        if landed < opts.kills {
+            // Earlier fractions hit the sweep's first units; later
+            // ones land mid-trace with checkpoints behind them.
+            let frac = rng.gen_range(0.05..0.85);
+            std::thread::sleep(wall.mul_f64(frac));
+            match child.try_wait() {
+                Ok(None) => {
+                    child.kill().unwrap_or_else(|e| fail(&format!("kill: {e}")));
+                    let _ = child.wait();
+                    landed += 1;
+                    println!(
+                        "kill {landed}/{} landed at ~{:.0}% of golden wall time",
+                        opts.kills,
+                        frac * 100.0
+                    );
+                    let torn = dir.join("chaos.jtb");
+                    if torn.exists() {
+                        check_salvage(&read(&torn), &format!("kill {landed}"));
+                    }
+                    continue;
+                }
+                Ok(Some(status)) => {
+                    // Finished before the kill fired: not enough
+                    // crash points in this lineage — restart it.
+                    if !status.success() {
+                        fail(&format!("chaos run failed with {status}"));
+                    }
+                    println!("  run finished before kill point — restarting lineage");
+                    for f in ["chaos.json", "chaos.jtb", "chaos.jck"] {
+                        let _ = std::fs::remove_file(dir.join(f));
+                    }
+                    landed = 0;
+                    resumes = 0;
+                    lineage_started = false;
+                    continue;
+                }
+                Err(e) => fail(&format!("try_wait: {e}")),
+            }
+        }
+        // Enough kills landed — let this resume run to completion.
+        resumes += 1;
+        let status = child.wait().unwrap_or_else(|e| fail(&format!("wait: {e}")));
+        if !status.success() {
+            fail(&format!("final resumed run failed with {status}"));
+        }
+        break;
+    }
+    println!(
+        "survivor: {landed} kill(s), {resumes} clean resume(s) + {} mid-kill resume(s)",
+        landed.saturating_sub(1)
+    );
+
+    // Byte-equality verdicts.
+    let mut ok = true;
+    let mut check_eq = |name: &str| {
+        let g = read(&dir.join(format!("golden.{name}")));
+        let c = read(&dir.join(format!("chaos.{name}")));
+        if g == c {
+            println!("PASS {name}: {} bytes, byte-identical", g.len());
+        } else {
+            ok = false;
+            let first = g.iter().zip(&c).position(|(a, b)| a != b);
+            println!(
+                "FAIL {name}: golden {} bytes vs chaos {} bytes, first difference at {:?}",
+                g.len(),
+                c.len(),
+                first
+            );
+        }
+    };
+    check_eq("json");
+    check_eq("jtb");
+
+    // Re-encode oracle: both traces must load and re-encode to the
+    // same canonical bytes (catches any well-formedness drift that
+    // raw byte equality alone would also catch, but with a loader's
+    // eyes — and verifies the survivor is a complete, footer-valid
+    // stream, not a salvage artifact).
+    let golden_trace = load_trace_bytes(&read(&dir.join("golden.jtb")))
+        .unwrap_or_else(|e| fail(&format!("golden.jtb does not load: {e}")));
+    let chaos_trace = load_trace_bytes(&read(&dir.join("chaos.jtb")))
+        .unwrap_or_else(|e| fail(&format!("chaos.jtb does not load: {e}")));
+    if chaos_trace.recovered.is_some() {
+        ok = false;
+        println!("FAIL reencode: survivor trace carries a recovered marker — it should be a complete stream");
+    }
+    let g_re = jem_obs::jtb_bytes(&golden_trace.shards);
+    let c_re = jem_obs::jtb_bytes(&chaos_trace.shards);
+    if g_re == c_re {
+        println!(
+            "PASS reencode: canonical re-encodings identical ({} bytes)",
+            g_re.len()
+        );
+    } else {
+        ok = false;
+        println!("FAIL reencode: canonical re-encodings differ");
+    }
+
+    if opts.keep || !ok {
+        println!("artifacts kept in {}", dir.display());
+    } else if opts.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if ok {
+        println!(
+            "chaos: {} survived {landed} SIGKILLs with byte-identical outputs",
+            opts.bin
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

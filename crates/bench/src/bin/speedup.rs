@@ -15,18 +15,21 @@
 //! (energy-wise).
 
 use jem_apps::all_workloads;
+use jem_bench::ckpt::{CkptArgs, SweepSession};
 use jem_bench::obs::ObsArgs;
 use jem_bench::{build_profiles, print_table};
-use jem_core::{run_scenario, run_scenario_traced, ResilienceConfig, Strategy};
-use jem_obs::{Json, NullSink, TraceSink};
+use jem_core::{ResilienceConfig, Strategy};
+use jem_obs::Json;
 use jem_radio::{ChannelClass, ChannelProcess};
 use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&args);
-    let mut sink = obs.trace_sink();
-    let mut null = NullSink;
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    let mut session = SweepSession::open(&ckpt, format!("speedup trace={:?}", obs.trace));
+    let mut sink = obs.trace_sink_resumed(session.writer_state());
     let workloads = all_workloads();
     eprintln!("building profiles...");
     let profiles = build_profiles(&workloads, 42);
@@ -45,23 +48,36 @@ fn main() {
                 seed: 77,
                 faults: jem_sim::FaultSpec::NONE,
             };
-            let interp = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Interpreter);
-            let local = run_scenario(w.as_ref(), p, &scenario(size), Strategy::Local2);
+            let policy = ResilienceConfig::default();
+            let interp = session.run_unit(
+                &format!("{}/{size}/interp", w.name()),
+                w.as_ref(),
+                p,
+                &scenario(size),
+                Strategy::Interpreter,
+                &policy,
+                None,
+            );
+            let local = session.run_unit(
+                &format!("{}/{size}/l2", w.name()),
+                w.as_ref(),
+                p,
+                &scenario(size),
+                Strategy::Local2,
+                &policy,
+                None,
+            );
             // Tracing draws nothing from the RNG, so the traced remote
             // run is bit-identical to the untraced one.
-            let s: &mut dyn TraceSink = match sink.as_mut() {
-                Some(s) => s,
-                None => &mut null,
-            };
-            let remote = run_scenario_traced(
+            let remote = session.run_unit(
+                &format!("{}/{size}/remote", w.name()),
                 w.as_ref(),
                 p,
                 &scenario(size),
                 Strategy::Remote,
-                &ResilienceConfig::default(),
-                s,
-            )
-            .expect("scenario run failed");
+                &policy,
+                sink.as_mut(),
+            );
             total_instructions += interp.instructions + local.instructions + remote.instructions;
             // Skip the first (cold, compiling) invocation on each side.
             let t_interp: f64 = interp.reports[1..].iter().map(|r| r.time.nanos()).sum();

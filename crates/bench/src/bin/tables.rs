@@ -11,6 +11,7 @@
 //! throughput denominator.
 
 use jem_apps::all_workloads;
+use jem_bench::ckpt::CkptArgs;
 use jem_bench::obs::ObsArgs;
 use jem_bench::print_table;
 use jem_core::Strategy;
@@ -176,6 +177,9 @@ fn tables_json() -> Json {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let obs = ObsArgs::parse(&args);
+    let ckpt = CkptArgs::parse(&args);
+    ckpt.validate(&obs);
+    ckpt.note_stateless();
     match args.get(1).map(String::as_str) {
         Some("fig1") => fig1(),
         Some("fig2") => fig2(),

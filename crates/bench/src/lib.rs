@@ -23,6 +23,7 @@
 
 use jem_core::{Profile, Workload};
 
+pub mod ckpt;
 pub mod obs;
 
 /// Render a fixed-width text table.

@@ -91,6 +91,18 @@ impl TraceSink for BenchSink {
             None => self.inner_sink().record(event),
         }
     }
+    fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        // Monitor tees carry unserialized window state, and ring sinks
+        // only materialize at exit — neither can resume mid-stream.
+        // (The checkpoint flags reject both combinations up front.)
+        if self.tee.is_some() {
+            return None;
+        }
+        match &mut self.inner {
+            SinkKind::File(f) => TraceSink::ckpt_state(f.as_mut()),
+            SinkKind::Ring(_) | SinkKind::Null(_) => None,
+        }
+    }
 }
 
 impl ObsArgs {
@@ -127,14 +139,30 @@ impl ObsArgs {
     /// events — far above any bench run, while still a hard cap
     /// against runaway memory.
     pub fn trace_sink(&self) -> Option<BenchSink> {
+        self.trace_sink_resumed(None)
+    }
+
+    /// Like [`ObsArgs::trace_sink`], but when `writer_state` carries a
+    /// checkpointed `.jtb` writer state the file sink reopens the
+    /// existing trace and continues appending exactly where the
+    /// checkpoint left it (post-checkpoint bytes from the crashed run
+    /// are truncated away), instead of starting a fresh file.
+    pub fn trace_sink_resumed(&self, writer_state: Option<&[u8]>) -> Option<BenchSink> {
         let inner = match &self.trace {
-            Some(path) if self.wants_jtb() => match FileSink::create(path) {
-                Ok(f) => SinkKind::File(Box::new(f)),
-                Err(err) => {
-                    eprintln!("error: cannot create {path}: {err}");
-                    std::process::exit(1);
+            Some(path) if self.wants_jtb() => {
+                let sink = match writer_state {
+                    Some(state) => FileSink::resume(path, state)
+                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+                    None => FileSink::create(path),
+                };
+                match sink {
+                    Ok(f) => SinkKind::File(Box::new(f)),
+                    Err(err) => {
+                        eprintln!("error: cannot create {path}: {err}");
+                        std::process::exit(1);
+                    }
                 }
-            },
+            }
             Some(_) => SinkKind::Ring(RingSink::new(1_000_000)),
             None if self.monitoring() => SinkKind::Null(NullSink),
             None => return None,
@@ -206,7 +234,7 @@ impl ObsArgs {
         };
         if let Some(path) = &self.trace {
             if self.wants_jtb() {
-                match std::fs::write(path, jtb_bytes(shards)) {
+                match jem_obs::write_atomic(path, &jtb_bytes(shards)) {
                     Ok(()) => eprintln!("wrote {path}"),
                     Err(err) => {
                         eprintln!("error: cannot write {path}: {err}");
@@ -246,7 +274,7 @@ impl ObsArgs {
 }
 
 fn write_file(path: &str, content: &str) {
-    match std::fs::write(path, content) {
+    match jem_obs::write_atomic(path, content.as_bytes()) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(err) => {
             eprintln!("error: cannot write {path}: {err}");

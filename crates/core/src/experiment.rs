@@ -6,16 +6,13 @@
 //! client's total energy, time, and decision statistics.
 
 use crate::estimate::Profile;
-use crate::fault::FaultInjector;
 use crate::resilience::{ExecError, ResilienceConfig};
-use crate::runtime::{EnergyAwareVm, InvocationReport, RunStats};
+use crate::runtime::{InvocationReport, RunStats};
 use crate::strategy::Strategy;
 use crate::workload::Workload;
 use jem_energy::{Energy, EnergyBreakdown, SimTime};
-use jem_obs::{TraceSink, Tracer};
+use jem_obs::TraceSink;
 use jem_sim::Scenario;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 /// Result of one scenario × strategy run.
 #[derive(Debug, Clone)]
@@ -140,34 +137,18 @@ fn run_scenario_inner(
     resilience: &ResilienceConfig,
     sink: Option<&mut dyn TraceSink>,
 ) -> Result<ScenarioResult, ExecError> {
-    let mut rng = SmallRng::seed_from_u64(scenario.seed);
-    let mut channel = scenario.channel.clone();
-    let mut vm = EnergyAwareVm::new(workload, profile)
-        .with_faults(FaultInjector::from_spec(&scenario.faults))
-        .with_resilience(*resilience);
-    if let Some(sink) = sink {
-        vm = vm.with_tracer(Tracer::attached(sink));
+    // One loop for plain, traced, checkpointed, and resumed runs:
+    // delegating here guarantees a checkpoint/resume cycle replays
+    // exactly the code an uninterrupted run executes.
+    match crate::ckpt::run_scenario_ckpt(
+        workload, profile, scenario, strategy, resilience, sink, None, 0, None,
+    ) {
+        Ok(result) => Ok(result),
+        Err(crate::ckpt::ScenarioError::Exec(e)) => Err(e),
+        Err(crate::ckpt::ScenarioError::Ckpt(e)) => {
+            unreachable!("no resume snapshot was supplied: {e}")
+        }
     }
-    let mut reports = Vec::with_capacity(scenario.runs);
-
-    for _ in 0..scenario.runs {
-        let size = scenario.sizes.sample(&mut rng);
-        let true_class = channel.advance(&mut rng);
-        let report = vm.invoke_once(strategy, size, true_class, &mut rng)?;
-        reports.push(report);
-        vm.end_invocation();
-    }
-
-    Ok(ScenarioResult {
-        strategy,
-        total_energy: vm.total_energy(),
-        breakdown: vm.client.machine.breakdown(),
-        total_time: vm.total_time(),
-        invocations: scenario.runs,
-        instructions: vm.client.machine.mix().total(),
-        stats: vm.stats.clone(),
-        reports,
-    })
 }
 
 /// Run a scenario under every strategy in `strategies`, returning the

@@ -113,6 +113,17 @@ impl TwoState {
     }
 }
 
+/// Serializable snapshot of a [`FaultInjector`]'s chain positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultState {
+    /// Gilbert–Elliott channel chain is in the `Bad` state.
+    pub channel_bad: bool,
+    /// Server-outage chain is faulted.
+    pub outage: bool,
+    /// Server-slowdown chain is faulted.
+    pub slowdown: bool,
+}
+
 /// What the injector decided for one remote request.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestFaults {
@@ -156,6 +167,29 @@ impl FaultInjector {
     /// The channel chain's current state (for diagnostics).
     pub fn channel_state(&self) -> ChannelState {
         self.channel.state()
+    }
+
+    /// Snapshot the chains' mutable state for checkpointing. The
+    /// specs are configuration (rebuilt from the scenario's
+    /// [`FaultSpec`]); only the three chain positions are dynamic.
+    pub fn export_state(&self) -> FaultState {
+        FaultState {
+            channel_bad: self.channel.state == ChannelState::Bad,
+            outage: self.outage.faulted,
+            slowdown: self.slowdown.faulted,
+        }
+    }
+
+    /// Restore chain state captured by [`FaultInjector::export_state`]
+    /// onto an injector built from the same spec.
+    pub fn import_state(&mut self, s: &FaultState) {
+        self.channel.state = if s.channel_bad {
+            ChannelState::Bad
+        } else {
+            ChannelState::Good
+        };
+        self.outage.faulted = s.outage;
+        self.slowdown.faulted = s.slowdown;
     }
 
     /// Advance every process one request and report what applies to

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod estimate;
 pub mod experiment;
 pub mod fault;
@@ -52,18 +53,23 @@ pub mod runtime;
 pub mod strategy;
 pub mod workload;
 
+pub use ckpt::{
+    capture_run, decode_result, encode_result, restore_run, run_scenario_ckpt, ChannelDyn,
+    CkptError, CkptFile, InflightCkpt, RunSnapshot, ScenarioError,
+};
 pub use estimate::Profile;
 pub use experiment::{
     run_scenario, run_scenario_traced, run_scenario_with, run_strategies, ScenarioResult,
 };
-pub use fault::{FaultInjector, RequestFaults};
+pub use fault::{FaultInjector, FaultState, RequestFaults};
 pub use fit::CurveFit;
 pub use observe::{accuracy_of, fill_run_metrics, oracle_choice, scenario_result_to_json};
 pub use partition::Partition;
 pub use predict::{Ewma, MethodState};
 pub use remote::{RemoteConfig, RemoteFailure, ServerNode};
 pub use resilience::{
-    BreakerPolicy, BreakerState, CircuitBreaker, ExecError, ResilienceConfig, RetryPolicy,
+    BreakerPolicy, BreakerSnapshot, BreakerState, CircuitBreaker, ExecError, ResilienceConfig,
+    RetryPolicy,
 };
 pub use runtime::{EnergyAwareVm, InvocationReport, RunStats};
 pub use strategy::{DecisionEstimates, Mode, Strategy};

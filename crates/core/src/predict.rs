@@ -37,6 +37,12 @@ impl Ewma {
         Ewma::new(PAPER_U)
     }
 
+    /// Restore the tracked value (checkpoint restore); `None` returns
+    /// the tracker to its unseeded state.
+    pub fn set_value(&mut self, value: Option<f64>) {
+        self.value = value;
+    }
+
     /// Fold in the current observation and return the updated
     /// prediction `x̄k = u·x̄(k−1) + (1−u)·xk`.
     pub fn update(&mut self, x: f64) -> f64 {

@@ -253,6 +253,42 @@ impl CircuitBreaker {
         }
         opens
     }
+
+    /// Snapshot the breaker's mutable state for checkpointing (the
+    /// policy is configuration, not state).
+    pub fn export_state(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            consecutive_failures: self.consecutive_failures,
+            cooldown_left: self.cooldown_left,
+            trips: self.trips,
+            recoveries: self.recoveries,
+        }
+    }
+
+    /// Restore state captured by [`CircuitBreaker::export_state`].
+    pub fn import_state(&mut self, s: &BreakerSnapshot) {
+        self.state = s.state;
+        self.consecutive_failures = s.consecutive_failures;
+        self.cooldown_left = s.cooldown_left;
+        self.trips = s.trips;
+        self.recoveries = s.recoveries;
+    }
+}
+
+/// Serializable snapshot of a [`CircuitBreaker`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// State-machine position.
+    pub state: BreakerState,
+    /// Consecutive remote failures seen.
+    pub consecutive_failures: u32,
+    /// Invocations left in the open-state cooldown.
+    pub cooldown_left: u32,
+    /// Times the breaker opened.
+    pub trips: u64,
+    /// Times a half-open probe closed the breaker again.
+    pub recoveries: u64,
 }
 
 /// The complete resilience configuration of a runtime.

@@ -37,7 +37,7 @@ pub fn decision_mix() -> InstrMix {
 }
 
 /// Where one invocation actually executed, with its accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvocationReport {
     /// Size parameter of this invocation.
     pub size: u32,
@@ -73,7 +73,7 @@ pub struct InvocationReport {
 }
 
 /// Aggregate statistics over a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// Invocations executed remotely.
     pub remote: u64,

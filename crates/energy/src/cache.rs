@@ -150,6 +150,40 @@ impl CacheSim {
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
     }
+
+    /// Snapshot the residency state (tag array + counters) for
+    /// checkpointing. Geometry is not included — it is configuration,
+    /// re-derivable from [`CacheSim::config`].
+    pub fn export_state(&self) -> CacheState {
+        CacheState {
+            tags: self.tags.to_vec(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restore residency state captured by [`CacheSim::export_state`]
+    /// on a cache of the same geometry.
+    ///
+    /// # Panics
+    /// If the tag array length does not match this cache's line count.
+    pub fn import_state(&mut self, state: &CacheState) {
+        assert_eq!(
+            state.tags.len(),
+            self.tags.len(),
+            "cache state geometry mismatch"
+        );
+        self.tags.copy_from_slice(&state.tags);
+        self.stats = state.stats;
+    }
+}
+
+/// Serializable residency snapshot of a [`CacheSim`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheState {
+    /// Tag array contents (`u64::MAX` = invalid line).
+    pub tags: Vec<u64>,
+    /// Hit/miss counters at snapshot time.
+    pub stats: CacheStats,
 }
 
 #[cfg(test)]

@@ -178,6 +178,21 @@ impl InstrMix {
         self.total() == 0 && self.mem_accesses == 0
     }
 
+    /// The raw per-class counts (indexed by [`InstrClass::index`]),
+    /// for checkpointing.
+    pub fn class_counts(&self) -> [u64; 6] {
+        self.counts
+    }
+
+    /// Rebuild a mix from raw parts captured by
+    /// [`InstrMix::class_counts`] and [`InstrMix::mem_accesses`].
+    pub fn from_parts(counts: [u64; 6], mem_accesses: u64) -> Self {
+        InstrMix {
+            counts,
+            mem_accesses,
+        }
+    }
+
     /// Scale every count by `factor` (used to expand per-iteration
     /// mixes; saturates on overflow, which simulation sizes never hit).
     #[must_use]

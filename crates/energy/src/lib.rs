@@ -32,8 +32,8 @@ pub mod machine;
 pub mod meter;
 pub mod units;
 
-pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use cache::{CacheConfig, CacheSim, CacheState, CacheStats};
 pub use itable::{EnergyTable, InstrClass, InstrMix};
-pub use machine::{Machine, MachineConfig, MemOp, PowerState};
+pub use machine::{Machine, MachineConfig, MachineState, MemOp, PowerState};
 pub use meter::{Component, EnergyBreakdown};
 pub use units::{Energy, Power, SimTime};

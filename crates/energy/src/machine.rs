@@ -21,7 +21,7 @@
 //! burns leakage, "assumed to be 10 % of the normal power consumption".
 //! [`Machine::power_down`] implements exactly that.
 
-use crate::cache::{CacheConfig, CacheSim, CacheStats};
+use crate::cache::{CacheConfig, CacheSim, CacheState, CacheStats};
 use crate::itable::{EnergyTable, InstrClass, InstrMix};
 use crate::meter::{Component, EnergyBreakdown};
 use crate::units::{Energy, Power, SimTime};
@@ -298,6 +298,45 @@ impl Machine {
         (energy, time)
     }
 
+    /// Snapshot the complete mutable state — counters, ledger, mix,
+    /// power state and cache residency — for checkpointing. Restoring
+    /// with [`Machine::import_state`] on a machine of the same
+    /// configuration reproduces all subsequent accounting bit-exactly.
+    pub fn export_state(&self) -> MachineState {
+        MachineState {
+            cycles: self.cycles,
+            extra_time: self.extra_time,
+            breakdown: self.breakdown,
+            mix: self.mix,
+            state: self.state,
+            icache: self.icache.as_ref().map(CacheSim::export_state),
+            dcache: self.dcache.as_ref().map(CacheSim::export_state),
+        }
+    }
+
+    /// Restore state captured by [`Machine::export_state`].
+    ///
+    /// # Panics
+    /// If the snapshot's cache presence or geometry does not match
+    /// this machine's configuration.
+    pub fn import_state(&mut self, state: &MachineState) {
+        self.cycles = state.cycles;
+        self.extra_time = state.extra_time;
+        self.breakdown = state.breakdown;
+        self.mix = state.mix;
+        self.state = state.state;
+        match (&mut self.icache, &state.icache) {
+            (Some(sim), Some(s)) => sim.import_state(s),
+            (None, None) => {}
+            _ => panic!("machine state icache presence mismatch"),
+        }
+        match (&mut self.dcache, &state.dcache) {
+            (Some(sim), Some(s)) => sim.import_state(s),
+            (None, None) => {}
+            _ => panic!("machine state dcache presence mismatch"),
+        }
+    }
+
     /// Reset energy/cycle accounting and caches (fresh run on the same
     /// configuration).
     pub fn reset(&mut self) {
@@ -315,6 +354,26 @@ impl Machine {
         }
         self.state = PowerState::Active;
     }
+}
+
+/// Serializable snapshot of a [`Machine`]'s complete mutable state
+/// (configuration excluded — it is static and re-derivable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// Cycle counter.
+    pub cycles: u64,
+    /// Wall time spent outside normal execution.
+    pub extra_time: SimTime,
+    /// Energy ledger.
+    pub breakdown: EnergyBreakdown,
+    /// Executed instruction histogram.
+    pub mix: InstrMix,
+    /// Power state.
+    pub state: PowerState,
+    /// I-cache residency, if configured.
+    pub icache: Option<CacheState>,
+    /// D-cache residency, if configured.
+    pub dcache: Option<CacheState>,
 }
 
 /// Opaque snapshot returned by [`Machine::checkpoint`].

@@ -178,7 +178,7 @@ fn main() -> ExitCode {
             .to_json()
             .with("a", paths[0].as_str())
             .with("b", paths[1].as_str());
-        if let Err(e) = std::fs::write(&path, doc.render_pretty()) {
+        if let Err(e) = jem_obs::write_atomic(&path, doc.render_pretty().as_bytes()) {
             eprintln!("jem-diff: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -28,6 +28,7 @@
 
 use jem_obs::profile::{CollapseWeight, TraceProfile};
 use jem_obs::wire::{is_jtb, load_trace_bytes, JtbIndex};
+use jem_obs::write_atomic;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -116,6 +117,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(note) = loaded.recovered {
+        eprintln!(
+            "jem-profile: {trace_path}: crash-recovered trace (salvage cut {} bytes / \
+             {} events); the kept prefix is invocation-aligned and profiles normally",
+            note.dropped_bytes, note.dropped_events
+        );
+    }
     let events = loaded.events();
     let profile = TraceProfile::fold(&events);
 
@@ -174,21 +182,29 @@ fn main() -> ExitCode {
     println!("{}", profile.render_hot_frames(top));
 
     if let Some(path) = collapsed {
-        if let Err(e) = std::fs::write(&path, profile.collapsed(CollapseWeight::EnergyNanojoules)) {
+        if let Err(e) = write_atomic(
+            &path,
+            profile
+                .collapsed(CollapseWeight::EnergyNanojoules)
+                .as_bytes(),
+        ) {
             eprintln!("jem-profile: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote energy-weighted collapsed stacks to {path}");
     }
     if let Some(path) = collapsed_time {
-        if let Err(e) = std::fs::write(&path, profile.collapsed(CollapseWeight::TimeNanos)) {
+        if let Err(e) = write_atomic(
+            &path,
+            profile.collapsed(CollapseWeight::TimeNanos).as_bytes(),
+        ) {
             eprintln!("jem-profile: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote time-weighted collapsed stacks to {path}");
     }
     if let Some(path) = json_out {
-        if let Err(e) = std::fs::write(&path, profile.to_json().render_pretty()) {
+        if let Err(e) = write_atomic(&path, profile.to_json().render_pretty().as_bytes()) {
             eprintln!("jem-profile: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

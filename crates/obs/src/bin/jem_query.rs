@@ -190,6 +190,13 @@ fn main() -> ExitCode {
             }
         }
         engine.note_dropped(stream.dropped());
+        if let Some(note) = stream.recovered() {
+            eprintln!(
+                "jem-query: {trace_path}: crash-recovered trace (salvage cut {} bytes / \
+                 {} events); queries run over the invocation-aligned prefix",
+                note.dropped_bytes, note.dropped_events
+            );
+        }
     } else {
         let loaded = match read_input(&trace_path).and_then(|b| load_trace_bytes(&b)) {
             Ok(l) => l,
@@ -198,6 +205,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(note) = loaded.recovered {
+            eprintln!(
+                "jem-query: {trace_path}: crash-recovered trace (salvage cut {} bytes / \
+                 {} events); queries run over the invocation-aligned prefix",
+                note.dropped_bytes, note.dropped_events
+            );
+        }
         for (idx, shard) in loaded.shards.iter().enumerate() {
             engine.name_shard(idx, &shard.name);
         }

@@ -31,6 +31,14 @@
 //! run yields byte-identical files — CI uses this as the
 //! JSON↔binary round-trip equivalence check.
 //!
+//! With `--salvage <out.jtb>`, a crash-torn `.jtb` (no footer/trailer
+//! — the writer was SIGKILLed mid-stream) is cut back to its last
+//! invocation-aligned block boundary and written out as a complete,
+//! first-class trace carrying an explicit `recovered` marker; the
+//! salvaged file is then validated like any other input. A file that
+//! is already complete is copied through unchanged. All outputs are
+//! written atomically (temp file + rename).
+//!
 //! Exits non-zero with a diagnostic on the first failure; prints a
 //! one-line summary on success. CI runs this against every trace the
 //! smoke job produces.
@@ -38,24 +46,34 @@
 use jem_energy::EnergyBreakdown;
 use jem_obs::json::Json;
 use jem_obs::schema::validate;
-use jem_obs::wire::{is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, JtbIndex};
-use jem_obs::{chrome_trace_sharded, TraceShard};
+use jem_obs::wire::{is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, salvage_jtb, JtbIndex};
+use jem_obs::{chrome_trace_sharded, write_atomic, TraceShard};
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: tracecheck <trace.jtb | trace.json | -> \
-     [--schema <schema.json>] [--summary] [--reencode <out.jtb|out.json>]";
+     [--schema <schema.json>] [--summary] [--reencode <out.jtb|out.json>] \
+     [--salvage <out.jtb>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path = None;
     let mut schema_path = None;
     let mut reencode_path = None;
+    let mut salvage_path = None;
     let mut summary = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--salvage" => {
+                if i + 1 >= args.len() {
+                    eprintln!("tracecheck: --salvage needs a path");
+                    return ExitCode::from(2);
+                }
+                salvage_path = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--schema" => {
                 if i + 1 >= args.len() {
                     eprintln!("tracecheck: --schema needs a path");
@@ -95,13 +113,43 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let bytes = match read_input(&trace_path) {
+    let mut bytes = match read_input(&trace_path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("tracecheck: cannot read {trace_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(out) = &salvage_path {
+        // Cut a crash-torn stream back to its last invocation-aligned
+        // boundary, then validate the salvaged bytes below like any
+        // other input.
+        let (salvaged, report) = match salvage_jtb(&bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: salvage failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_atomic(out, &salvaged) {
+            eprintln!("tracecheck: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if report.already_complete {
+            println!(
+                "tracecheck: {trace_path}: already complete ({} events), copied to {out}",
+                report.kept_events
+            );
+        } else {
+            println!(
+                "tracecheck: {trace_path}: salvaged {} events in {} blocks to {out} \
+                 (dropped {} bytes, {} decoded events past the last invocation boundary)",
+                report.kept_events, report.kept_blocks, report.dropped_bytes, report.dropped_events
+            );
+        }
+        bytes = salvaged;
+    }
 
     let (loaded, declared, format) = if is_jtb(&bytes) {
         if schema_path.is_some() {
@@ -179,6 +227,15 @@ fn main() -> ExitCode {
         (loaded, declared, "json")
     };
 
+    if let Some(note) = loaded.recovered {
+        println!(
+            "tracecheck: {trace_path}: crash-recovered trace — salvage dropped {} bytes \
+             ({} decoded events) past the last invocation boundary; the kept prefix is \
+             complete and invocation-aligned",
+            note.dropped_bytes, note.dropped_events
+        );
+    }
+
     let mut sum = EnergyBreakdown::new();
     let mut recorded = 0u64;
     for shard in &loaded.shards {
@@ -218,6 +275,13 @@ fn main() -> ExitCode {
         println!("  recorded events:      {recorded}");
         println!("  dropped events:       {}", loaded.dropped);
         println!("  shards:               {}", loaded.shards.len());
+        match loaded.recovered {
+            Some(n) => println!(
+                "  recovered:            yes ({} bytes / {} events cut at salvage)",
+                n.dropped_bytes, n.dropped_events
+            ),
+            None => println!("  recovered:            no"),
+        }
         let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
         for shard in &loaded.shards {
             for ev in &shard.events {
@@ -246,7 +310,7 @@ fn main() -> ExitCode {
         } else {
             format!("{}\n", chrome_trace_sharded(&shards).render()).into_bytes()
         };
-        if let Err(e) = std::fs::write(&out, bytes) {
+        if let Err(e) = write_atomic(&out, &bytes) {
             eprintln!("tracecheck: cannot write {out}: {e}");
             return ExitCode::FAILURE;
         }

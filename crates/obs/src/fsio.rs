@@ -1,0 +1,63 @@
+//! Crash-safe file output.
+//!
+//! Every finished artifact the workspace writes — `BENCH_*.json`,
+//! reports, baselines, health files, checkpoints — goes through
+//! [`write_atomic`]: write to a temporary file in the same directory,
+//! fsync it, then rename over the destination. A crash at any point
+//! leaves either the old contents or the new contents, never a torn
+//! file. (The streaming `.jtb` sink is the deliberate exception: it
+//! appends in place so a crash leaves a salvageable prefix — see
+//! [`crate::wire::salvage_jtb`].)
+
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replace `path` with `bytes`: temp file in the same
+/// directory, `fsync`, rename, then a best-effort fsync of the parent
+/// directory so the rename itself is durable.
+///
+/// # Errors
+/// Propagates create/write/sync/rename errors (the temp file is
+/// removed on failure, best-effort).
+pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp~");
+    let res = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if res.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return res;
+    }
+    let dir = Path::new(path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty());
+    if let Ok(d) = std::fs::File::open(dir.unwrap_or_else(|| Path::new("."))) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("jem-fsio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        let path = path.to_str().unwrap();
+        write_atomic(path, b"first").unwrap();
+        assert_eq!(std::fs::read(path).unwrap(), b"first");
+        write_atomic(path, b"second").unwrap();
+        assert_eq!(std::fs::read(path).unwrap(), b"second");
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp~")).exists(),
+            "temp file must not survive"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod accuracy;
 pub mod diff;
+pub mod fsio;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
@@ -55,6 +56,7 @@ pub mod wire;
 
 pub use accuracy::AccuracyTracker;
 pub use diff::{DiffEntry, DiffKind, DiffPolicy, DiffReport};
+pub use fsio::write_atomic;
 pub use json::{Json, JsonError};
 pub use metrics::{Buckets, Histogram, MetricsRegistry};
 pub use monitor::{AlertRecord, HealthReport, Monitor, MonitorConfig, MonitorSink, MonitorTee};
@@ -65,9 +67,9 @@ pub use query::{GroupKey, Query, QueryEngine, QueryResult, QueryRow};
 pub use trace::{
     chrome_trace, chrome_trace_sharded, chrome_trace_truncated, dropped_from_chrome_trace,
     events_from_chrome_trace, split_shards, NullSink, RingSink, TraceEvent, TraceEventKind,
-    TraceShard, TraceSink, Tracer,
+    TraceShard, TraceSink, Tracer, TracerState,
 };
 pub use wire::{
-    is_jtb, jtb_bytes, load_trace_bytes, load_trace_path, FileSink, JtbIndex, JtbStream, JtbWriter,
-    LoadedTrace, WriterSink,
+    is_jtb, jtb_bytes, load_trace_bytes, load_trace_path, salvage_jtb, FileSink, JtbIndex,
+    JtbStream, JtbWriter, LoadedTrace, RecoveredNote, SalvageReport, WriterSink,
 };

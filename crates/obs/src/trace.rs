@@ -469,6 +469,15 @@ pub trait TraceSink {
     }
     /// Record one event.
     fn record(&mut self, event: TraceEvent);
+    /// Checkpoint hook: flush buffered I/O to durable storage and
+    /// return an opaque serialized writer state from which the sink
+    /// can later be resumed ([`crate::wire::FileSink::resume`]).
+    /// Sinks that do not support crash-safe resumption return `None`
+    /// (the default) — checkpointing callers must then either reject
+    /// the configuration or checkpoint at coarser boundaries.
+    fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// The default sink: drops everything, reports itself disabled.
@@ -553,6 +562,23 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     fn record(&mut self, event: TraceEvent) {
         (**self).record(event);
     }
+    fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        (**self).ckpt_state()
+    }
+}
+
+/// Serializable snapshot of a [`Tracer`]'s counters (see
+/// [`Tracer::export_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TracerState {
+    /// Cumulative breakdown at the last emitted event (delta base).
+    pub last: EnergyBreakdown,
+    /// Next event sequence number.
+    pub seq: u64,
+    /// Current 1-based invocation index.
+    pub invocation: u64,
+    /// Next ordinal within the invocation.
+    pub ordinal: u64,
 }
 
 /// The runtime's handle: an optional sink plus the delta bookkeeping.
@@ -600,6 +626,39 @@ impl<'s> Tracer<'s> {
         } else {
             Tracer::off()
         }
+    }
+
+    /// Like [`Tracer::attached`], but resuming from a checkpointed
+    /// [`TracerState`]: sequence numbers, the invocation counter and
+    /// the delta baseline continue exactly where the original tracer
+    /// stopped.
+    pub fn attached_with(sink: &'s mut dyn TraceSink, state: &TracerState) -> Tracer<'s> {
+        let mut t = Tracer::attached(sink);
+        if t.sink.is_some() {
+            t.last = state.last;
+            t.seq = state.seq;
+            t.invocation = state.invocation;
+            t.ordinal = state.ordinal;
+        }
+        t
+    }
+
+    /// Snapshot the tracer's counters and delta baseline for
+    /// checkpointing (meaningful only between invocations).
+    pub fn export_state(&self) -> TracerState {
+        TracerState {
+            last: self.last,
+            seq: self.seq,
+            invocation: self.invocation,
+            ordinal: self.ordinal,
+        }
+    }
+
+    /// Checkpoint hook pass-through to the attached sink (see
+    /// [`TraceSink::ckpt_state`]); `None` when no sink is attached or
+    /// the sink does not support resumption.
+    pub fn sink_ckpt_state(&mut self) -> Option<Vec<u8>> {
+        self.sink.as_deref_mut().and_then(|s| s.ckpt_state())
     }
 
     /// Whether events are being recorded. Callers may skip building

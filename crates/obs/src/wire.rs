@@ -18,6 +18,7 @@
 //!          | 0x02 bytes:str               -- define next interned string
 //!          | 0x03 len:varint payload      -- one event block
 //!          | 0x04 dropped:varint          -- sink evicted events (truncated!)
+//!          | 0x06 bytes:varint events:varint -- crash-salvage marker
 //! footer  := 0x05 block-index             -- per-block counts + energy sums
 //! trailer := footer-offset:u64le  "JTBE"
 //! str     := len:varint utf8-bytes
@@ -75,6 +76,13 @@ const R_STRDEF: u8 = 0x02;
 const R_BLOCK: u8 = 0x03;
 const R_TRUNC: u8 = 0x04;
 const R_FOOTER: u8 = 0x05;
+/// Crash-salvage marker appended by [`salvage_jtb`]: the payload is
+/// `dropped-bytes:varint dropped-events:varint` describing the torn
+/// tail that had to be discarded.
+const R_RECOVER: u8 = 0x06;
+
+/// Leading magic of a serialized [`JtbWriter`] checkpoint state.
+const JWS_MAGIC: &[u8; 4] = b"JWS1";
 
 /// Preferred events per block: flushed at the next invocation start
 /// once this many are buffered.
@@ -222,6 +230,7 @@ fn kind_tag(kind: &TraceEventKind) -> u8 {
     }
 }
 
+#[derive(Clone)]
 struct Interner {
     ids: HashMap<String, u64>,
     /// Definition records accumulated since the last flush, written to
@@ -235,6 +244,15 @@ impl Interner {
             ids: HashMap::new(),
             pending_defs: Vec::new(),
         }
+    }
+
+    /// The interned strings in id order (id `i` at index `i`).
+    fn table(&self) -> Vec<String> {
+        let mut v = vec![String::new(); self.ids.len()];
+        for (s, &id) in &self.ids {
+            v[id as usize] = s.clone();
+        }
+        v
     }
 
     fn intern(&mut self, s: &str) -> u64 {
@@ -808,6 +826,142 @@ impl<W: Write> JtbWriter<W> {
     pub fn events_written(&self) -> u64 {
         self.index.events
     }
+
+    /// Byte offset the next record will land at (buffered events are
+    /// not yet included — they flush later, exactly as they would in
+    /// an uninterrupted run).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Mutable access to the underlying output (to flush it before a
+    /// checkpoint is taken).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
+    /// Serialize the writer's resumable state: offset, interner,
+    /// block index, and the still-buffered events. Restoring via
+    /// [`JtbWriter::resume`] onto an output truncated to
+    /// [`JtbWriter::offset`] continues the stream **byte-identically**
+    /// to an uninterrupted run — the block buffer is deliberately not
+    /// flushed, so block boundaries stay where they would have been.
+    pub fn encode_ckpt(&self) -> Vec<u8> {
+        let mut out = JWS_MAGIC.to_vec();
+        put_varint(&mut out, self.offset);
+        put_varint(&mut out, self.shards);
+        // Buffered events are encoded as a regular block against a
+        // scratch interner so decode can reuse `decode_block`. Ids in
+        // the payload resolve against the scratch table (existing
+        // strings plus any the buffer introduces); the restored
+        // interner keeps only the original prefix — the resumed
+        // flush re-interns the new ones in the same order, emitting
+        // the same definition records an uninterrupted run would.
+        let mut scratch = self.strings.clone();
+        let payload = if self.buf.is_empty() {
+            Vec::new()
+        } else {
+            encode_block(&self.buf, &mut scratch)
+        };
+        let all = scratch.table();
+        put_varint(&mut out, self.strings.ids.len() as u64);
+        put_varint(&mut out, all.len() as u64);
+        for s in &all {
+            put_varint(&mut out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        put_varint(&mut out, self.strings.pending_defs.len() as u64);
+        out.extend_from_slice(&self.strings.pending_defs);
+        let footer = render_footer(&self.index);
+        put_varint(&mut out, footer.len() as u64);
+        out.extend_from_slice(&footer);
+        put_varint(&mut out, payload.len() as u64);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Rebuild a writer from checkpoint `state` on an output already
+    /// positioned at the state's recorded offset. Writes no header —
+    /// every byte up to the offset is already in the output.
+    ///
+    /// # Errors
+    /// A message describing the state corruption.
+    pub fn resume(out: W, state: &[u8]) -> Result<JtbWriter<W>, String> {
+        Ok(JtbWriter::from_state(out, decode_writer_state(state)?))
+    }
+
+    fn from_state(out: W, st: WriterState) -> JtbWriter<W> {
+        JtbWriter {
+            out,
+            offset: st.offset,
+            buf: st.buf,
+            strings: st.strings,
+            index: st.index,
+            shards: st.shards,
+            finished: false,
+        }
+    }
+}
+
+/// Decoded [`JtbWriter::encode_ckpt`] state.
+struct WriterState {
+    offset: u64,
+    shards: u64,
+    strings: Interner,
+    index: JtbIndex,
+    buf: Vec<TraceEvent>,
+}
+
+fn decode_writer_state(state: &[u8]) -> Result<WriterState, String> {
+    let mut cur = Cur::new(state);
+    if cur.bytes(4)? != JWS_MAGIC {
+        return Err("jtb: bad writer-state magic".into());
+    }
+    let offset = cur.varint()?;
+    let shards = cur.varint()?;
+    let n_orig = cur.varint()? as usize;
+    let n_all = cur.varint()? as usize;
+    if n_orig > n_all {
+        return Err("jtb: writer-state string counts inconsistent".into());
+    }
+    let mut all = Vec::with_capacity(n_all.min(state.len()));
+    for _ in 0..n_all {
+        let len = cur.varint()? as usize;
+        let s = std::str::from_utf8(cur.bytes(len)?)
+            .map_err(|_| "jtb: writer-state string not utf-8".to_string())?;
+        all.push(s.to_string());
+    }
+    let n_pending = cur.varint()? as usize;
+    let pending_defs = cur.bytes(n_pending)?.to_vec();
+    let n_footer = cur.varint()? as usize;
+    let mut fcur = Cur::new(cur.bytes(n_footer)?);
+    if fcur.u8()? != R_FOOTER {
+        return Err("jtb: writer-state index is not a footer record".into());
+    }
+    let index = parse_footer(&mut fcur)?;
+    let n_payload = cur.varint()? as usize;
+    let payload = cur.bytes(n_payload)?;
+    let buf = if payload.is_empty() {
+        Vec::new()
+    } else {
+        decode_block(payload, &all)?
+    };
+    if cur.remaining() != 0 {
+        return Err("jtb: trailing bytes in writer state".into());
+    }
+    let mut strings = Interner::new();
+    for s in all.into_iter().take(n_orig) {
+        let id = strings.ids.len() as u64;
+        strings.ids.insert(s, id);
+    }
+    strings.pending_defs = pending_defs;
+    Ok(WriterState {
+        offset,
+        shards,
+        strings,
+        index,
+        buf,
+    })
 }
 
 /// A [`TraceSink`] streaming straight into a `.jtb` writer. Since
@@ -860,6 +1014,22 @@ impl<W: Write> WriterSink<W> {
         let writer = self.writer.take().expect("WriterSink::finish called twice");
         writer.finish()
     }
+
+    /// Flush the underlying output and serialize resumable writer
+    /// state (see [`JtbWriter::encode_ckpt`]). `None` if an I/O error
+    /// is latched — the error stays latched for
+    /// [`WriterSink::finish`] to report.
+    pub fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        if self.error.is_some() {
+            return None;
+        }
+        let w = self.writer.as_mut()?;
+        if let Err(e) = w.get_mut().flush() {
+            self.error = Some(e);
+            return None;
+        }
+        Some(w.encode_ckpt())
+    }
 }
 
 impl<W: Write> TraceSink for WriterSink<W> {
@@ -872,6 +1042,10 @@ impl<W: Write> TraceSink for WriterSink<W> {
                 self.error = Some(e);
             }
         }
+    }
+
+    fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        WriterSink::ckpt_state(self)
     }
 }
 
@@ -901,6 +1075,47 @@ impl FileSink {
         &self.path
     }
 
+    /// Reopen `path` at a checkpointed writer state: the file is
+    /// truncated to the state's recorded offset — discarding any
+    /// bytes written after the checkpoint was taken — and appending
+    /// resumes exactly where the checkpoint left off, so the finished
+    /// file is byte-identical to one from an uninterrupted run.
+    ///
+    /// # Errors
+    /// State corruption, or the file being shorter than the
+    /// checkpointed offset (it was checkpointed flushed, so a later
+    /// crash can only leave it longer).
+    pub fn resume(path: &str, state: &[u8]) -> Result<FileSink, String> {
+        use std::io::{Seek, SeekFrom};
+        let st = decode_writer_state(state)?;
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("jtb: cannot reopen {path}: {e}"))?;
+        let len = file
+            .metadata()
+            .map_err(|e| format!("jtb: cannot stat {path}: {e}"))?
+            .len();
+        if len < st.offset {
+            return Err(format!(
+                "jtb: {path} is shorter ({len} bytes) than its checkpointed offset {}",
+                st.offset
+            ));
+        }
+        file.set_len(st.offset)
+            .map_err(|e| format!("jtb: cannot truncate {path}: {e}"))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| format!("jtb: cannot seek {path}: {e}"))?;
+        Ok(FileSink {
+            path: path.to_string(),
+            inner: WriterSink {
+                writer: Some(JtbWriter::from_state(std::io::BufWriter::new(file), st)),
+                error: None,
+            },
+        })
+    }
+
     /// Begin a new shard.
     pub fn begin_shard(&mut self, name: &str) {
         self.inner.begin_shard(name);
@@ -923,6 +1138,19 @@ impl FileSink {
 impl TraceSink for FileSink {
     fn record(&mut self, event: TraceEvent) {
         self.inner.record(event);
+    }
+
+    fn ckpt_state(&mut self) -> Option<Vec<u8>> {
+        let state = self.inner.ckpt_state()?;
+        // The checkpoint claims every byte below `offset` is in the
+        // file; make that durable before the state escapes.
+        if let Some(w) = self.inner.writer.as_mut() {
+            if let Err(e) = w.get_mut().get_ref().sync_data() {
+                self.inner.error = Some(e);
+                return None;
+            }
+        }
+        Some(state)
     }
 }
 
@@ -955,6 +1183,7 @@ pub struct JtbStream<R: Read> {
     pending: VecDeque<TraceEvent>,
     pending_shard: usize,
     dropped: u64,
+    recovered: Option<RecoveredNote>,
     blocks_read: u64,
     events_read: u64,
     footer: Option<JtbIndex>,
@@ -981,6 +1210,7 @@ impl<R: Read> JtbStream<R> {
             pending: VecDeque::new(),
             pending_shard: 0,
             dropped: 0,
+            recovered: None,
             blocks_read: 0,
             events_read: 0,
             footer: None,
@@ -1070,6 +1300,14 @@ impl<R: Read> JtbStream<R> {
                 R_TRUNC => {
                     self.dropped = self.read_varint()?;
                 }
+                R_RECOVER => {
+                    let dropped_bytes = self.read_varint()?;
+                    let dropped_events = self.read_varint()?;
+                    self.recovered = Some(RecoveredNote {
+                        dropped_bytes,
+                        dropped_events,
+                    });
+                }
                 R_FOOTER => {
                     let footer = self.read_footer()?;
                     if footer.blocks.len() as u64 != self.blocks_read
@@ -1108,6 +1346,12 @@ impl<R: Read> JtbStream<R> {
     /// Declared dropped-event count (final once the stream ends).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The crash-salvage marker, if this trace went through
+    /// [`salvage_jtb`].
+    pub fn recovered(&self) -> Option<RecoveredNote> {
+        self.recovered
     }
 
     /// The validated footer index (available once the stream ends).
@@ -1162,6 +1406,206 @@ impl<R: Read> JtbStream<R> {
 }
 
 // ---------------------------------------------------------------
+// Crash salvage
+// ---------------------------------------------------------------
+
+/// What a [`salvage_jtb`] pass kept and discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// The input already had a valid footer and trailer; it was
+    /// returned unchanged (and no salvage marker was added).
+    pub already_complete: bool,
+    /// Blocks kept — all decode cleanly and the last one ends on an
+    /// `InvocationEnd` event.
+    pub kept_blocks: u64,
+    /// Events kept.
+    pub kept_events: u64,
+    /// Bytes discarded (torn tail plus dropped trailing blocks).
+    pub dropped_bytes: u64,
+    /// Fully-decoded events discarded with dropped trailing blocks.
+    pub dropped_events: u64,
+}
+
+/// Salvage a crash-torn `.jtb` file: scan the valid record prefix,
+/// cut trailing blocks until the kept events end on an invocation
+/// boundary (`InvocationEnd`), then emit a complete file — kept bytes
+/// verbatim, an explicit [`RecoveredNote`] record, and a rebuilt
+/// footer + trailer. The result loads through every normal path
+/// ([`load_trace_bytes`], `jem-profile`, `jem-query`, `tracecheck`)
+/// as a first-class trace. A file that already ends with a valid
+/// trailer is returned unchanged.
+///
+/// # Errors
+/// Bad leading magic, an unsupported version, or a tear inside the
+/// header itself — the cases where nothing is salvageable.
+pub fn salvage_jtb(bytes: &[u8]) -> Result<(Vec<u8>, SalvageReport), String> {
+    if !is_jtb(bytes) {
+        return Err("jtb: bad leading magic (not a .jtb file)".into());
+    }
+    if let Ok(index) = JtbIndex::read(bytes) {
+        return Ok((
+            bytes.to_vec(),
+            SalvageReport {
+                already_complete: true,
+                kept_blocks: index.blocks.len() as u64,
+                kept_events: index.events,
+                dropped_bytes: 0,
+                dropped_events: 0,
+            },
+        ));
+    }
+    let mut cur = Cur::new(bytes);
+    cur.bytes(JTB_MAGIC.len()).expect("magic checked by is_jtb");
+    let version = cur
+        .varint()
+        .map_err(|_| "jtb: torn inside the header — nothing salvageable".to_string())?;
+    if version != JTB_VERSION {
+        return Err(format!("jtb: unsupported version {version}"));
+    }
+    let header_end = cur.pos;
+
+    fn read_str_rec(cur: &mut Cur<'_>) -> Result<(), String> {
+        let len = cur.varint()? as usize;
+        let b = cur.bytes(len)?;
+        std::str::from_utf8(b).map_err(|_| "jtb: invalid utf-8 string".to_string())?;
+        Ok(())
+    }
+    fn read_strdef(cur: &mut Cur<'_>) -> Result<String, String> {
+        let len = cur.varint()? as usize;
+        let b = cur.bytes(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "jtb: invalid utf-8 string".into())
+    }
+
+    struct ScannedBlock {
+        meta: BlockMeta,
+        /// Byte offset one past the block record.
+        end: usize,
+        ends_invocation: bool,
+    }
+    let mut strings: Vec<String> = Vec::new();
+    let mut shard_offsets: Vec<usize> = Vec::new();
+    let mut blocks: Vec<ScannedBlock> = Vec::new();
+    // Ring-eviction count from a kept R_TRUNC record (pre-footer, so
+    // only present if the crash hit mid-finish), and counts from a
+    // prior salvage pass to fold into the new marker.
+    let mut prior_dropped = 0u64;
+    let mut prior_recover = (0u64, 0u64);
+    loop {
+        let record_start = cur.pos;
+        if cur.remaining() == 0 {
+            break;
+        }
+        let Ok(tag) = cur.u8() else { break };
+        match tag {
+            R_SHARD => {
+                if read_str_rec(&mut cur).is_err() {
+                    break;
+                }
+                shard_offsets.push(record_start);
+            }
+            R_STRDEF => {
+                let Ok(s) = read_strdef(&mut cur) else {
+                    break;
+                };
+                strings.push(s);
+            }
+            R_BLOCK => {
+                let parsed = cur
+                    .varint()
+                    .and_then(|len| cur.bytes(len as usize).map(|p| (len, p)))
+                    .and_then(|(len, p)| decode_block(p, &strings).map(|evs| (len, evs)));
+                let Ok((len, events)) = parsed else {
+                    break;
+                };
+                if events.is_empty() {
+                    // The writer never emits empty blocks.
+                    break;
+                }
+                let mut energy_nj = [0.0; 5];
+                for ev in &events {
+                    for (i, (_, e)) in ev.delta.iter().enumerate() {
+                        energy_nj[i] += e.nanojoules();
+                    }
+                }
+                let first = &events[0];
+                let last = &events[events.len() - 1];
+                blocks.push(ScannedBlock {
+                    meta: BlockMeta {
+                        offset: record_start as u64,
+                        len,
+                        events: events.len() as u64,
+                        shard: (shard_offsets.len() as u64).saturating_sub(1),
+                        first_seq: first.seq,
+                        first_invocation: first.invocation,
+                        t_first: first.at.nanos(),
+                        t_last: last.at.nanos(),
+                        energy_nj,
+                    },
+                    end: cur.pos,
+                    ends_invocation: matches!(last.kind, TraceEventKind::InvocationEnd { .. }),
+                });
+            }
+            R_TRUNC => {
+                let Ok(n) = cur.varint() else {
+                    break;
+                };
+                prior_dropped = prior_dropped.max(n);
+            }
+            R_RECOVER => {
+                let parsed = cur.varint().and_then(|b| cur.varint().map(|e| (b, e)));
+                let Ok((b, e)) = parsed else {
+                    break;
+                };
+                prior_recover.0 += b;
+                prior_recover.1 += e;
+            }
+            // A footer without a valid trailer (or any unknown tag):
+            // the tail from here on is regenerated.
+            _ => {
+                break;
+            }
+        }
+    }
+
+    // Cut trailing blocks until the kept events are a complete,
+    // invocation-aligned prefix.
+    let mut dropped_events = prior_recover.1;
+    while blocks.last().map(|b| !b.ends_invocation).unwrap_or(false) {
+        let b = blocks.pop().expect("guarded by map above");
+        dropped_events += b.meta.events;
+    }
+    let keep_end = blocks.last().map(|b| b.end).unwrap_or(header_end);
+    let dropped_bytes = (bytes.len() - keep_end) as u64 + prior_recover.0;
+
+    let index = JtbIndex {
+        blocks: blocks.iter().map(|b| b.meta.clone()).collect(),
+        shards: shard_offsets.iter().filter(|&&o| o < keep_end).count() as u64,
+        events: blocks.iter().map(|b| b.meta.events).sum(),
+        dropped: prior_dropped,
+    };
+    let mut out = bytes[..keep_end].to_vec();
+    if prior_dropped > 0 {
+        out.push(R_TRUNC);
+        put_varint(&mut out, prior_dropped);
+    }
+    out.push(R_RECOVER);
+    put_varint(&mut out, dropped_bytes);
+    put_varint(&mut out, dropped_events);
+    let footer_offset = out.len() as u64;
+    out.extend_from_slice(&render_footer(&index));
+    out.extend_from_slice(&footer_offset.to_le_bytes());
+    out.extend_from_slice(JTB_END_MAGIC);
+    let report = SalvageReport {
+        already_complete: false,
+        kept_blocks: index.blocks.len() as u64,
+        kept_events: index.events,
+        dropped_bytes,
+        dropped_events,
+    };
+    Ok((out, report))
+}
+
+// ---------------------------------------------------------------
 // Unified loader (format sniffing)
 // ---------------------------------------------------------------
 
@@ -1176,6 +1620,23 @@ pub struct LoadedTrace {
     /// `otherData.total_energy` for Chrome-trace inputs; `None` for
     /// `.jtb` (whose footer partial sums are exact by construction).
     pub declared_total: Option<EnergyBreakdown>,
+    /// The crash-salvage marker for traces that went through
+    /// [`salvage_jtb`]; `None` for traces written uninterrupted. The
+    /// kept events are a complete, invocation-aligned prefix — every
+    /// consumer can treat a recovered trace as first-class.
+    pub recovered: Option<RecoveredNote>,
+}
+
+/// The explicit marker a salvaged `.jtb` carries: what the salvage
+/// pass discarded after the last intact invocation-aligned block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredNote {
+    /// Bytes discarded (torn tail plus dropped trailing blocks).
+    pub dropped_bytes: u64,
+    /// Fully-decoded events discarded with trailing blocks cut to
+    /// restore invocation alignment (events inside the torn tail
+    /// itself are uncountable and excluded).
+    pub dropped_events: u64,
 }
 
 impl LoadedTrace {
@@ -1228,6 +1689,7 @@ pub fn load_jtb_bytes(bytes: &[u8]) -> Result<LoadedTrace, String> {
     let names = stream.shard_names().to_vec();
     Ok(LoadedTrace {
         dropped: stream.dropped(),
+        recovered: stream.recovered(),
         shards: name_shards(events, names),
         declared_total: None,
     })
@@ -1285,6 +1747,7 @@ pub fn load_chrome_doc(doc: &Json) -> Result<LoadedTrace, String> {
         shards: name_shards(events, names),
         dropped: dropped_from_chrome_trace(doc),
         declared_total,
+        recovered: None,
     })
 }
 
@@ -1603,6 +2066,156 @@ mod tests {
             jtb.len(),
             json.len()
         );
+    }
+
+    /// A realistic invocation-shaped stream: `InvocationStart`, body
+    /// events, `InvocationEnd`, repeated — what the runtime actually
+    /// emits, and what salvage's alignment rule is defined over.
+    fn invocation_stream(invocations: u64, per_inv: u64) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        let mut seq = 0u64;
+        for inv in 1..=invocations {
+            for ord in 0..per_inv {
+                let kind = if ord == 0 {
+                    TraceEventKind::InvocationStart {
+                        strategy: "AA".into(),
+                        method: format!("fe::M{}.run", inv % 7),
+                        size: 64,
+                        true_class: "C3".into(),
+                        chosen_class: "C4".into(),
+                    }
+                } else if ord == per_inv - 1 {
+                    TraceEventKind::InvocationEnd {
+                        mode: "local/L2".into(),
+                        energy: Energy::from_nanojoules(5.0 * inv as f64),
+                        time: SimTime::from_micros(2.0),
+                    }
+                } else {
+                    TraceEventKind::EarlyWake {
+                        wait: SimTime::from_nanos(ord as f64),
+                    }
+                };
+                events.push(TraceEvent {
+                    seq,
+                    invocation: inv,
+                    ordinal: ord,
+                    at: SimTime::from_nanos(seq as f64 * 10.0),
+                    delta: delta(Component::ALL[(seq % 5) as usize], 0.25 * ord as f64),
+                    kind,
+                });
+                seq += 1;
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn file_sink_resume_is_byte_identical() {
+        let dir = std::env::temp_dir().join(format!("jem-wire-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let golden_path = dir.join("golden.jtb");
+        let resumed_path = dir.join("resumed.jtb");
+        let events = invocation_stream(60, 30);
+
+        let mut sink = FileSink::create(golden_path.to_str().unwrap()).unwrap();
+        for ev in &events {
+            sink.record(ev.clone());
+        }
+        sink.finish().unwrap();
+
+        // Two kill/resume cycles: one checkpoint before any block has
+        // flushed (pure buffered state) and one after the first flush
+        // (interner + index state). Each "crash" writes extra events
+        // past the checkpoint that resume must discard.
+        let p = resumed_path.to_str().unwrap();
+        let (cut1, cut2) = (700, 1300);
+        let mut sink = FileSink::create(p).unwrap();
+        for ev in &events[..cut1] {
+            sink.record(ev.clone());
+        }
+        let state1 = sink.ckpt_state().unwrap();
+        for ev in &events[cut1..cut1 + 90] {
+            sink.record(ev.clone());
+        }
+        drop(sink); // crash: no finish
+
+        let mut sink = FileSink::resume(p, &state1).unwrap();
+        for ev in &events[cut1..cut2] {
+            sink.record(ev.clone());
+        }
+        let state2 = sink.ckpt_state().unwrap();
+        for ev in &events[cut2..cut2 + 90] {
+            sink.record(ev.clone());
+        }
+        drop(sink); // crash again
+
+        let mut sink = FileSink::resume(p, &state2).unwrap();
+        for ev in &events[cut2..] {
+            sink.record(ev.clone());
+        }
+        sink.finish().unwrap();
+
+        assert_eq!(
+            std::fs::read(&golden_path).unwrap(),
+            std::fs::read(&resumed_path).unwrap(),
+            "resumed stream must be byte-identical to the uninterrupted one"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_recovers_invocation_aligned_prefix() {
+        let events = invocation_stream(60, 30);
+        let bytes = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        assert!(load_jtb_bytes(&bytes).unwrap().recovered.is_none());
+
+        let torn = &bytes[..bytes.len() * 2 / 3];
+        assert!(load_jtb_bytes(torn).is_err(), "torn file must not load");
+        let (salvaged, report) = salvage_jtb(torn).unwrap();
+        assert!(!report.already_complete);
+        assert!(report.kept_events > 0);
+        assert!(report.dropped_bytes > 0);
+
+        let loaded = load_jtb_bytes(&salvaged).unwrap();
+        let note = loaded.recovered.expect("salvaged trace carries the marker");
+        assert_eq!(note.dropped_bytes, report.dropped_bytes);
+        assert_eq!(note.dropped_events, report.dropped_events);
+        assert_eq!(loaded.dropped, 0, "salvage drops are not ring evictions");
+        let kept = &loaded.shards[0].events;
+        assert_eq!(
+            kept.as_slice(),
+            &events[..kept.len()],
+            "kept prefix verbatim"
+        );
+        assert!(
+            matches!(
+                kept.last().unwrap().kind,
+                TraceEventKind::InvocationEnd { .. }
+            ),
+            "kept prefix ends on an invocation boundary"
+        );
+        let index = JtbIndex::read(&salvaged).unwrap();
+        assert_eq!(index.events, kept.len() as u64);
+
+        let (again, rep2) = salvage_jtb(&salvaged).unwrap();
+        assert!(rep2.already_complete);
+        assert_eq!(
+            again, salvaged,
+            "salvage of a complete file is the identity"
+        );
+    }
+
+    #[test]
+    fn salvage_any_cut_yields_a_loadable_prefix() {
+        let events = invocation_stream(20, 25);
+        let bytes = jtb_bytes(&[TraceShard::new("client", events.clone())]);
+        for cut in (5..bytes.len()).step_by(97) {
+            let (salvaged, _) = salvage_jtb(&bytes[..cut]).unwrap();
+            let loaded = load_jtb_bytes(&salvaged)
+                .unwrap_or_else(|e| panic!("cut {cut}: salvaged file must load: {e}"));
+            let kept = loaded.events();
+            assert_eq!(kept.as_slice(), &events[..kept.len()], "cut {cut}");
+        }
     }
 
     #[test]

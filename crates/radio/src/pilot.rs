@@ -104,6 +104,19 @@ impl PilotEstimator {
     pub fn observations(&self) -> u64 {
         self.observations
     }
+
+    /// Snapshot the tracker's mutable state for checkpointing. The
+    /// configuration (alpha, noise, fingers) is not included — it is
+    /// fixed at construction.
+    pub fn export_state(&self) -> (Option<f64>, u64) {
+        (self.tracked, self.observations)
+    }
+
+    /// Restore state captured by [`PilotEstimator::export_state`].
+    pub fn import_state(&mut self, tracked: Option<f64>, observations: u64) {
+        self.tracked = tracked;
+        self.observations = observations;
+    }
 }
 
 impl Default for PilotEstimator {

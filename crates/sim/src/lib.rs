@@ -26,7 +26,7 @@ pub mod parallel;
 pub mod scenario;
 pub mod stats;
 
-pub use des::EventQueue;
+pub use des::{EventQueue, QueueSnapshot};
 pub use dist::SizeDist;
 pub use faults::{FaultSpec, GilbertElliottSpec, ServerFaultSpec};
 pub use scenario::{Scenario, Situation};

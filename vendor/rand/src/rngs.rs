@@ -8,6 +8,24 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The raw xoshiro256++ state words, for checkpointing. Restoring
+    /// via [`SmallRng::from_state`] resumes the stream exactly.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from raw state words captured by
+    /// [`SmallRng::state`].
+    ///
+    /// # Panics
+    /// If `s` is the all-zero state (unreachable from any seed).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "xoshiro state must be nonzero");
+        SmallRng { s }
+    }
+}
+
 impl RngCore for SmallRng {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
