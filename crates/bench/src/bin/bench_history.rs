@@ -21,6 +21,10 @@
 //!   it as *soft*: past `--threshold` (default 0.5, i.e. ±50%) it
 //!   warns, and fails only when `--fail-on-throughput` is given
 //!   (intended for dedicated perf machines, not shared CI runners).
+//!   Runs below `--min-instr` simulated instructions (default 1M) are
+//!   process-overhead dominated — their instr/sec says nothing about
+//!   the simulator — so the throughput comparison is reported but
+//!   never gated, no matter the flags.
 //!
 //! `check` re-runs the binary with the args recorded in the baseline
 //! and diffs the fresh results against it with the same noise-aware
@@ -36,7 +40,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: bench-history record <bin> [--k N] [--out path] [-- <bin args>...]\n\
                      \x20      bench-history check <baseline.json> [--k N] [--rel-tol x] \
-                     [--threshold x] [--fail-on-throughput] [--report out.json]";
+                     [--threshold x] [--min-instr N] [--fail-on-throughput] [--report out.json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -186,6 +190,9 @@ fn check(args: &[String]) -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.5);
     let fail_on_throughput = args.iter().any(|a| a == "--fail-on-throughput");
+    let min_instr: u64 = jem_bench::arg_str(args, "--min-instr")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
     let report_path = jem_bench::arg_str(args, "--report");
 
     let text = match std::fs::read_to_string(baseline_path) {
@@ -252,13 +259,22 @@ fn check(args: &[String]) -> ExitCode {
     let fresh_ips = fresh_tp
         .get("sim_instructions_per_sec")
         .and_then(Json::as_f64);
+    let fresh_instr = fresh_tp.get("sim_instructions").and_then(Json::as_u64);
     if let (Some(old), Some(new)) = (base_ips, fresh_ips) {
         let rel = (new - old) / old;
         let line = format!(
             "throughput: {new:.3e} vs baseline {old:.3e} sim-instructions/sec ({:+.1}%)",
             rel * 100.0
         );
-        if rel < -threshold {
+        if fresh_instr.is_some_and(|i| i < min_instr) {
+            // Micro-runs: wall clock is dominated by process startup
+            // and I/O, not the simulator. Report, never gate.
+            eprintln!(
+                "bench-history: {line} [not gated: {} sim-instructions is below the \
+                 --min-instr floor of {min_instr}]",
+                fresh_instr.unwrap_or(0)
+            );
+        } else if rel < -threshold {
             if fail_on_throughput {
                 report.entries.push(jem_obs::DiffEntry {
                     kind: jem_obs::DiffKind::Changed,

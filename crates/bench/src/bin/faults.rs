@@ -18,7 +18,7 @@
 //!
 //! Usage: `faults [--runs N] [--seed N] [--trace out.json]
 //! [--metrics-out out.prom] [--json-out BENCH_faults.json]
-//! [--ckpt out.jck [--ckpt-every N]] [--resume out.jck]`
+//! [--ckpt out.jck [--ckpt-every N]] [--resume out.jck] [--slow-interp]`
 //! (default 300 runs, seed 7). `--trace` records the resilient-AA runs
 //! across the whole severity sweep. `--ckpt` snapshots the sweep at
 //! invocation boundaries; a killed run continued with `--resume`
@@ -39,6 +39,7 @@ const LOSS_SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    jem_bench::apply_engine_flag(&args);
     let runs = arg_usize(&args, "--runs", 300);
     let seed = arg_usize(&args, "--seed", 7) as u64;
     let obs = ObsArgs::parse(&args);

@@ -15,7 +15,8 @@
 //! class.
 //!
 //! Usage: `fig6 [--full] [--trace out.json] [--metrics-out out.prom]
-//! [--json-out BENCH_fig6.json] [--ckpt out.jck] [--resume out.jck]`.
+//! [--json-out BENCH_fig6.json] [--ckpt out.jck] [--resume out.jck]
+//! [--slow-interp]`.
 //! Each grid cell is one checkpoint unit; a killed `--ckpt` run
 //! resumed with `--resume` skips completed cells and produces
 //! byte-identical outputs.
@@ -33,6 +34,7 @@ use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    jem_bench::apply_engine_flag(&args);
     let full = arg_flag(&args, "--full");
     let obs = ObsArgs::parse(&args);
     let ckpt = CkptArgs::parse(&args);

@@ -25,6 +25,7 @@ use jem_sim::{Scenario, Situation, SizeDist};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    jem_bench::apply_engine_flag(&args);
     let obs = ObsArgs::parse(&args);
     let ckpt = CkptArgs::parse(&args);
     ckpt.validate(&obs);

@@ -76,6 +76,18 @@ pub fn arg_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Apply the `--slow-interp` engine flag: route every bytecode method
+/// through the reference per-op interpreter instead of the pre-decoded
+/// fast path (see `jem_jvm::set_slow_interp_default`). The two engines
+/// are observationally identical — `fastpath_equiv.rs` and the CI
+/// engine-differential step are the proof — so this only changes wall
+/// clock, never results. Call before any VM is constructed.
+pub fn apply_engine_flag(args: &[String]) {
+    if arg_flag(args, "--slow-interp") {
+        jem_jvm::set_slow_interp_default(true);
+    }
+}
+
 /// Parse a `--flag value` string option from argv.
 pub fn arg_str(args: &[String], flag: &str) -> Option<String> {
     args.iter()

@@ -11,7 +11,7 @@ use std::sync::OnceLock;
 use jem_core::ckpt::{run_scenario_ckpt, RunSnapshot};
 use jem_core::{encode_result, Profile, ResilienceConfig, Strategy, Workload};
 use jem_jvm::dsl::*;
-use jem_jvm::{Heap, MethodAttrs, MethodId, Program, Value};
+use jem_jvm::{set_slow_interp_default, Heap, MethodAttrs, MethodId, Program, Value, Vm};
 use jem_obs::FileSink;
 use jem_sim::{Scenario, Situation};
 use proptest::prelude::*;
@@ -223,4 +223,103 @@ proptest! {
         let _ = std::fs::remove_file(&golden_path);
         let _ = std::fs::remove_file(&chaos_path);
     }
+}
+
+/// The fast-path interpreter's pre-decoded method forms, batched-run
+/// metadata and per-handler charge plans are *derived* artifacts —
+/// never serialized into a [`RunSnapshot`]. A resumed VM therefore
+/// starts with those caches cold while a straight-through VM has them
+/// warm. This must be invisible: a second invocation on a freshly
+/// rebuilt (cold-cache) VM with imported machine state must leave the
+/// machine bit-identical to the warm VM that ran both legs — under
+/// both interpreter engines.
+#[test]
+fn cold_decode_cache_resume_is_bit_identical() {
+    let w = Kernel::new();
+    let args = vec![Value::Int(48)];
+
+    for slow in [false, true] {
+        // Warm: one VM runs both invocations, decode caches persist.
+        let mut warm = Vm::client(&w.program);
+        warm.options.slow_interp = slow;
+        let w1 = warm.invoke(w.method, args.clone()).expect("warm leg 1");
+        let w2 = warm.invoke(w.method, args.clone()).expect("warm leg 2");
+        assert_eq!(w1, w2, "deterministic kernel (slow={slow})");
+
+        // Cold: snapshot the machine after leg 1, rebuild the VM from
+        // scratch (empty decode/run/cost caches), import, run leg 2.
+        let mut first = Vm::client(&w.program);
+        first.options.slow_interp = slow;
+        let f1 = first.invoke(w.method, args.clone()).expect("first leg");
+        assert_eq!(f1, w1, "first leg result (slow={slow})");
+        let mid = first.machine.export_state();
+
+        let mut cold = Vm::client(&w.program);
+        cold.options.slow_interp = slow;
+        cold.machine.import_state(&mid);
+        cold.steps = first.steps;
+        let c2 = cold.invoke(w.method, args.clone()).expect("cold leg 2");
+        assert_eq!(c2, w2, "cold resume result (slow={slow})");
+        assert_eq!(cold.steps, warm.steps, "step counts (slow={slow})");
+        assert_eq!(
+            cold.machine.export_state(),
+            warm.machine.export_state(),
+            "machine state after cold-cache resume (slow={slow})"
+        );
+        assert_eq!(
+            cold.machine.energy().joules().to_bits(),
+            warm.machine.energy().joules().to_bits(),
+            "energy bits after cold-cache resume (slow={slow})"
+        );
+    }
+}
+
+/// Full-stack engine differential: an entire traced, checkpointed and
+/// resumed scenario executed on the reference per-op interpreter
+/// produces byte-identical `.jtb` trace streams and result encodings
+/// to the pre-decoded fast path. (Scenario layers build their own
+/// `VmOptions`, so the engine is selected through the process-wide
+/// default — the same switch the benches' `--slow-interp` flag uses.)
+#[test]
+fn traced_scenario_engine_differential() {
+    let w = Kernel::new();
+    let strategy = Strategy::AdaptiveAdaptive;
+    let scenario =
+        Scenario::paper_degraded(Situation::Uniform, &w.sizes(), 1234, 0.35).with_runs(12);
+    let policy = ResilienceConfig::default();
+
+    let mut outputs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for slow in [false, true] {
+        set_slow_interp_default(slow);
+        let path = temp_path(if slow { "eng-slow" } else { "eng-fast" });
+        let mut sink = FileSink::create(&path).expect("create sink");
+        let res = run_scenario_ckpt(
+            &w,
+            profile(),
+            &scenario,
+            strategy,
+            &policy,
+            Some(&mut sink),
+            None,
+            0,
+            None,
+        )
+        .expect("scenario run");
+        sink.finish().expect("finish sink");
+        let bytes = std::fs::read(&path).expect("read trace");
+        let _ = std::fs::remove_file(&path);
+        outputs.push((encode_result(&res), bytes));
+    }
+    set_slow_interp_default(false);
+
+    let (fast_res, fast_trace) = &outputs[0];
+    let (slow_res, slow_trace) = &outputs[1];
+    assert_eq!(
+        fast_res, slow_res,
+        "result encodings diverged between engines"
+    );
+    assert_eq!(
+        fast_trace, slow_trace,
+        "trace streams diverged between engines"
+    );
 }

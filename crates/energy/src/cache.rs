@@ -136,6 +136,17 @@ impl CacheSim {
         }
     }
 
+    /// Credit `n` accesses that are statically guaranteed to hit —
+    /// used by batched replay ([`crate::SeqPlan`]) when consecutive
+    /// fetches stay within a just-accessed line. Counters advance
+    /// exactly as if [`CacheSim::access`] had been called `n` times
+    /// with the line resident; tags are untouched (hits never modify
+    /// them), so the residency state stays bit-identical too.
+    #[inline]
+    pub fn credit_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
     /// Invalidate every line (e.g. after a simulated context switch).
     pub fn flush(&mut self) {
         self.tags.fill(INVALID);

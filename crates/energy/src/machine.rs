@@ -196,11 +196,181 @@ impl Machine {
         self.cycles += cycles;
     }
 
+    /// Replay a precompiled [`ChargePlan`]: one instruction fetch at
+    /// the plan's pc followed by its precomputed core-energy charge
+    /// sequence.
+    ///
+    /// This is the batched fast-path equivalent of
+    ///
+    /// ```text
+    /// machine.step(plan_pc, lead_class, MemOp::None);
+    /// machine.charge_mix(&mix_1);
+    /// ...
+    /// machine.charge_mix(&mix_n);
+    /// ```
+    ///
+    /// and is **bit-exact** with that sequence: the per-component
+    /// energy accumulators receive the identical `f64` additions in
+    /// the identical order (the plan stores each `energy(class) * n`
+    /// product individually rather than pre-summing them, because f64
+    /// addition is not associative), the I-cache sees the same access,
+    /// and the integer cycle/mix bookkeeping — which *is* associative
+    /// — is folded into single additions.
+    #[inline]
+    pub fn step_planned(&mut self, plan: &ChargePlan) {
+        debug_assert_eq!(self.state, PowerState::Active, "step while powered down");
+        let mut cycles = plan.cycles;
+        if let Some(icache) = &mut self.icache {
+            if !icache.access(plan.fetch_pc) {
+                cycles += self.config.miss_penalty_cycles as u64;
+                self.breakdown
+                    .charge(Component::Dram, self.config.table.main_memory);
+                self.mix.mem_accesses += 1;
+            }
+        }
+        for e in &plan.core[..plan.ncore as usize] {
+            self.breakdown.charge(Component::Core, *e);
+        }
+        for &(class, n) in &plan.classes[..plan.nclasses as usize] {
+            self.mix.record(class, n);
+        }
+        self.cycles += cycles;
+    }
+
+    /// Replay a precompiled [`ChargeSeq`]: several consecutive
+    /// dispatch plans merged into one batched replay.
+    ///
+    /// Bit-exact with calling [`Machine::step_planned`] once per
+    /// folded plan, in order: the I-cache sees the same fetches in the
+    /// same order; the Core accumulator receives the identical `f64`
+    /// additions in the identical order (each folded plan's products,
+    /// concatenated); the Dram accumulator adds the same
+    /// `table.main_memory` constant once per miss, and moving those
+    /// additions ahead of the core additions cannot change either
+    /// accumulator — they are *different* accumulators, and only the
+    /// per-accumulator addition order matters for f64 bit-equality;
+    /// the integer cycle/mix bookkeeping is associative and folded.
+    #[inline]
+    pub fn step_charge_seq(&mut self, seq: &ChargeSeq) {
+        debug_assert_eq!(self.state, PowerState::Active, "step while powered down");
+        let mut cycles = seq.cycles;
+        if let Some(icache) = &mut self.icache {
+            for &pc in seq.fetch_pcs.iter() {
+                if !icache.access(pc) {
+                    cycles += self.config.miss_penalty_cycles as u64;
+                    self.breakdown
+                        .charge(Component::Dram, self.config.table.main_memory);
+                    self.mix.mem_accesses += 1;
+                }
+            }
+        }
+        for e in seq.core.iter() {
+            self.breakdown.charge(Component::Core, *e);
+        }
+        for &(class, n) in seq.classes.iter() {
+            self.mix.record(class, n);
+        }
+        self.cycles += cycles;
+    }
+
+    /// Replay a precompiled [`SeqPlan`]: one straight-line emitted
+    /// micro-instruction sequence, batched.
+    ///
+    /// This is the bit-exact batched equivalent of calling
+    /// [`Machine::step`] once per micro with consecutive fetch
+    /// addresses `code_base + start, + instr_bytes, ...`:
+    ///
+    /// * **I-cache** — because `code_base` is line-aligned, the
+    ///   grouping of consecutive fetches into cache lines is static.
+    ///   Only the *first* fetch of each line is simulated; the
+    ///   follow-on fetches are guaranteed hits (a direct-mapped line
+    ///   just accessed cannot be evicted by fetches to other lines of
+    ///   the same sequence, and hits never modify tags), so they are
+    ///   credited in bulk via [`CacheSim::credit_hits`].
+    /// * **D-cache** — data-bearing micros are replayed individually,
+    ///   in issue order, at their true addresses (`frame_base +
+    ///   offset` for spills, `heap_addr` for the sequence's heap
+    ///   access), because heap locality is dynamic.
+    /// * **Core energy** — the per-micro `energy(class)` additions are
+    ///   replayed individually in order (f64 addition is not
+    ///   associative, so they cannot be pre-summed).
+    /// * **DRAM energy** — every miss charges the same
+    ///   `table.main_memory` constant, so reordering the D-cache
+    ///   misses after the I-cache misses leaves the DRAM accumulator
+    ///   bit-identical (adding the same constant `k` times is
+    ///   order-independent); the count of additions is preserved.
+    /// * **Cycles / mix** — integer bookkeeping is associative and is
+    ///   folded into single additions.
+    ///
+    /// # Panics
+    /// In debug builds, if called while powered down, if `code_base`
+    /// is not aligned to the plan's line size, or if the plan was
+    /// compiled for a different I-cache line size than this machine's.
+    #[inline]
+    pub fn step_seq(
+        &mut self,
+        plan: &SeqPlan,
+        code_base: u64,
+        frame_base: u64,
+        heap_addr: Option<u64>,
+    ) {
+        debug_assert_eq!(self.state, PowerState::Active, "step while powered down");
+        debug_assert_eq!(
+            code_base % u64::from(plan.line_bytes),
+            0,
+            "code base not line-aligned"
+        );
+        let penalty = u64::from(self.config.miss_penalty_cycles);
+        let mut cycles = plan.n;
+        if let Some(icache) = &mut self.icache {
+            debug_assert_eq!(
+                icache.config().line_bytes % plan.line_bytes,
+                0,
+                "plan line grouping incompatible with I-cache line size"
+            );
+            for &(off, extra) in plan.lines.iter() {
+                if !icache.access(code_base + off) {
+                    cycles += penalty;
+                    self.breakdown
+                        .charge(Component::Dram, self.config.table.main_memory);
+                    self.mix.mem_accesses += 1;
+                }
+                icache.credit_hits(u64::from(extra));
+            }
+        }
+        if let Some(dcache) = &mut self.dcache {
+            for mem in plan.mems.iter() {
+                let addr = match *mem {
+                    SeqDataRef::None => continue,
+                    SeqDataRef::Frame { offset, .. } => frame_base + offset,
+                    SeqDataRef::Heap { .. } => match heap_addr {
+                        Some(a) => a,
+                        None => continue,
+                    },
+                };
+                if !dcache.access(addr) {
+                    cycles += penalty;
+                    self.breakdown
+                        .charge(Component::Dram, self.config.table.main_memory);
+                    self.mix.mem_accesses += 1;
+                }
+            }
+        }
+        for e in plan.core.iter() {
+            self.breakdown.charge(Component::Core, *e);
+        }
+        for &(class, n) in plan.classes.iter() {
+            self.mix.record(class, n);
+        }
+        self.cycles += cycles;
+    }
+
     /// Bulk-charge an instruction mix without cache simulation — used
     /// for work whose memory behaviour is summarized rather than
     /// traced (e.g. JIT compiler passes, serialization loops). Each
     /// recorded memory access is priced as a DRAM access plus the miss
     /// penalty.
+    #[inline]
     pub fn charge_mix(&mut self, mix: &InstrMix) {
         debug_assert_eq!(self.state, PowerState::Active, "charge while powered down");
         for class in InstrClass::ALL {
@@ -384,6 +554,334 @@ pub struct MachineCheckpoint {
     breakdown: EnergyBreakdown,
 }
 
+/// Maximum number of distinct core-energy additions one plan can hold
+/// (one lead instruction plus each nonzero class of each folded mix).
+pub const CHARGE_PLAN_SLOTS: usize = 12;
+
+/// A precompiled per-dispatch charge plan for [`Machine::step_planned`].
+///
+/// Captures, once, the machine work the interpreter performs for every
+/// executed bytecode: the instruction fetch (an I-cache access at the
+/// handler's address), the lead instruction's core energy, and the
+/// core energies of one or more fixed [`InstrMix`]es (dispatch
+/// overhead + per-op operand traffic). The core charges are stored as
+/// the *individual* `energy(class) * count` products, in the exact
+/// order `charge_mix` would issue them, so replaying a plan is
+/// bit-identical to the unbatched call sequence — see
+/// [`Machine::step_planned`].
+///
+/// Plans depend only on an [`EnergyTable`], so they can be built once
+/// per machine configuration and reused for the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChargePlan {
+    /// Simulated fetch address (drives the I-cache).
+    fetch_pc: u64,
+    /// Ordered core-energy additions.
+    core: [Energy; CHARGE_PLAN_SLOTS],
+    /// Number of valid entries in `core`.
+    ncore: u8,
+    /// Folded instruction-histogram delta (lead + all mixes), stored
+    /// as nonzero `(class, count)` pairs so replay touches only the
+    /// classes actually present.
+    classes: [(InstrClass, u64); 6],
+    /// Number of valid entries in `classes`.
+    nclasses: u8,
+    /// Folded cycle delta (miss penalties are added dynamically).
+    cycles: u64,
+}
+
+impl ChargePlan {
+    /// Compile a plan equivalent to `step(fetch_pc, lead, MemOp::None)`
+    /// followed by `charge_mix(m)` for each mix in `mixes`, in order.
+    ///
+    /// # Panics
+    /// If a mix records main-memory accesses (those need dynamic
+    /// pricing, which a static plan cannot fold), or if the mixes need
+    /// more than [`CHARGE_PLAN_SLOTS`] distinct core additions.
+    pub fn compile(
+        table: &EnergyTable,
+        fetch_pc: u64,
+        lead: InstrClass,
+        mixes: &[InstrMix],
+    ) -> Self {
+        let mut core = [Energy::ZERO; CHARGE_PLAN_SLOTS];
+        core[0] = table.energy(lead);
+        let mut ncore = 1usize;
+        let mut folded = InstrMix::new().with(lead, 1);
+        let mut cycles = 1u64;
+        for mix in mixes {
+            assert_eq!(
+                mix.mem_accesses, 0,
+                "ChargePlan cannot fold mixes with main-memory accesses"
+            );
+            for class in InstrClass::ALL {
+                let n = mix.count(class);
+                if n > 0 {
+                    assert!(ncore < CHARGE_PLAN_SLOTS, "ChargePlan overflow");
+                    // The identical product `charge_mix` computes, so
+                    // the replayed addition carries identical bits.
+                    core[ncore] = table.energy(class) * n as f64;
+                    ncore += 1;
+                }
+            }
+            folded += *mix;
+            cycles += mix.total();
+        }
+        let mut classes = [(InstrClass::Nop, 0u64); 6];
+        let mut nclasses = 0usize;
+        for class in InstrClass::ALL {
+            let n = folded.count(class);
+            if n > 0 {
+                classes[nclasses] = (class, n);
+                nclasses += 1;
+            }
+        }
+        ChargePlan {
+            fetch_pc,
+            core,
+            ncore: ncore as u8,
+            classes,
+            nclasses: nclasses as u8,
+            cycles,
+        }
+    }
+
+    /// The simulated fetch address this plan accesses.
+    pub fn fetch_pc(&self) -> u64 {
+        self.fetch_pc
+    }
+}
+
+/// Several consecutive [`ChargePlan`]s merged into one batched replay
+/// for [`Machine::step_charge_seq`] — the "superinstruction" charge
+/// form: one call replays what would otherwise be several
+/// `step_planned` dispatches.
+///
+/// Merging is purely structural: the fetch addresses are kept
+/// individually (cache outcomes stay dynamic) and the core-energy
+/// products are concatenated in plan order, so replay is bit-exact
+/// with the unmerged sequence — see [`Machine::step_charge_seq`].
+#[derive(Debug, Clone)]
+pub struct ChargeSeq {
+    /// Fetch addresses of the folded plans, in order.
+    fetch_pcs: Box<[u64]>,
+    /// Concatenated ordered core-energy additions.
+    core: Box<[Energy]>,
+    /// Folded instruction-histogram delta, as nonzero
+    /// `(class, count)` pairs.
+    classes: Box<[(InstrClass, u64)]>,
+    /// Folded base cycles (miss penalties are added dynamically).
+    cycles: u64,
+}
+
+impl ChargeSeq {
+    /// Merge `plans` into one replay equivalent to
+    /// `step_planned(plans[0]); step_planned(plans[1]); ...`.
+    pub fn merge(plans: &[&ChargePlan]) -> Self {
+        let fetch_pcs: Vec<u64> = plans.iter().map(|p| p.fetch_pc).collect();
+        let mut core = Vec::new();
+        let mut folded = InstrMix::new();
+        let mut cycles = 0u64;
+        for p in plans {
+            core.extend_from_slice(&p.core[..p.ncore as usize]);
+            for &(class, n) in &p.classes[..p.nclasses as usize] {
+                folded.record(class, n);
+            }
+            cycles += p.cycles;
+        }
+        let classes: Vec<(InstrClass, u64)> = InstrClass::ALL
+            .into_iter()
+            .filter_map(|class| {
+                let n = folded.count(class);
+                (n > 0).then_some((class, n))
+            })
+            .collect();
+        ChargeSeq {
+            fetch_pcs: fetch_pcs.into_boxed_slice(),
+            core: core.into_boxed_slice(),
+            classes: classes.into_boxed_slice(),
+            cycles,
+        }
+    }
+
+    /// Number of folded dispatches (= step-budget increments the
+    /// caller owes when replaying this merged plan).
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.fetch_pcs.len() as u64
+    }
+}
+
+/// Data access performed by one micro-instruction of a [`SeqPlan`].
+///
+/// Addresses are split into a static part (captured at compile time)
+/// and a dynamic part (supplied to [`Machine::step_seq`] per replay),
+/// mirroring how JIT-emitted code addresses its spill frame and heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqDataRef {
+    /// No data access.
+    None,
+    /// Spill-frame access at `frame_base + offset`.
+    Frame {
+        /// Write (store) rather than read.
+        store: bool,
+        /// Byte offset from the frame base supplied at replay time.
+        offset: u64,
+    },
+    /// Heap access at the address supplied at replay time.
+    Heap {
+        /// Write (store) rather than read.
+        store: bool,
+    },
+}
+
+/// A precompiled batched charge plan for one straight-line sequence of
+/// emitted micro-instructions, replayed by [`Machine::step_seq`].
+///
+/// Compiled once per (sequence, energy table, I-cache geometry) — in
+/// practice when native code is installed into a VM — and replayed on
+/// every execution of the sequence. The plan pre-resolves everything
+/// static about the accounting (line grouping of the consecutive
+/// fetches, per-micro core-energy products, folded instruction
+/// histogram and base cycles) while keeping everything dynamic (cache
+/// hit/miss outcomes, data addresses) live. Replay is bit-exact with
+/// the equivalent per-micro [`Machine::step`] loop — see
+/// [`Machine::step_seq`] for the argument.
+#[derive(Debug, Clone)]
+pub struct SeqPlan {
+    /// One entry per I-cache line the sequence's fetches touch, in
+    /// first-touch order: byte offset (from the line-aligned code
+    /// base) of the line's first fetch, plus the number of guaranteed
+    /// follow-on hits to that line.
+    lines: Box<[(u64, u32)]>,
+    /// Ordered per-micro core-energy additions.
+    core: Box<[Energy]>,
+    /// Data-bearing micros, in issue order.
+    mems: Box<[SeqDataRef]>,
+    /// Folded instruction histogram of the whole sequence, as nonzero
+    /// `(class, count)` pairs.
+    classes: Box<[(InstrClass, u64)]>,
+    /// Micro count (= base cycles).
+    n: u64,
+    /// Whether any [`SeqDataRef::Heap`] entry exists.
+    has_heap: bool,
+    /// I-cache line size the line grouping assumes.
+    line_bytes: u32,
+}
+
+impl SeqPlan {
+    /// Compile a plan equivalent to, for each `(class, mem)` micro at
+    /// index `i`,
+    /// `step(code_base + start_byte + i * instr_bytes, class, mem)`,
+    /// assuming `code_base` will be aligned to `line_bytes`.
+    ///
+    /// `line_bytes` is the grouping granule: any power of two that
+    /// divides the target I-cache's actual line size is sound (two
+    /// fetches within one granule are then always within one cache
+    /// line), so callers unsure of the exact geometry can group
+    /// conservatively, e.g. at `actual_line_bytes.min(32)` when code
+    /// bases are 32-byte aligned.
+    ///
+    /// # Panics
+    /// If `line_bytes` is not a power of two or `instr_bytes` is zero.
+    pub fn compile(
+        table: &EnergyTable,
+        start_byte: u64,
+        instr_bytes: u64,
+        line_bytes: u32,
+        micros: &[(InstrClass, SeqDataRef)],
+    ) -> Self {
+        assert!(instr_bytes > 0, "zero-size instructions");
+        let offs: Vec<(u64, InstrClass, SeqDataRef)> = micros
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, mem))| (start_byte + i as u64 * instr_bytes, class, mem))
+            .collect();
+        Self::compile_at(table, line_bytes, &offs)
+    }
+
+    /// Compile a plan equivalent to, for each `(off, class, mem)` micro,
+    /// `step(code_base + off, class, mem)` in slice order, assuming
+    /// `code_base` will be aligned to `line_bytes`.
+    ///
+    /// Unlike [`SeqPlan::compile`] the fetch offsets are explicit, so a
+    /// caller can merge several consecutive emitted sequences (e.g. a
+    /// straight-line run of JIT'd instructions) into one plan. Offsets
+    /// need not be contiguous or even monotonic: only *consecutive*
+    /// same-line fetches are grouped into guaranteed hits, which is
+    /// sound regardless of the overall offset pattern.
+    ///
+    /// # Panics
+    /// If `line_bytes` is not a power of two.
+    pub fn compile_at(
+        table: &EnergyTable,
+        line_bytes: u32,
+        micros: &[(u64, InstrClass, SeqDataRef)],
+    ) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lb = u64::from(line_bytes);
+        let mut lines: Vec<(u64, u32)> = Vec::new();
+        let mut core = Vec::with_capacity(micros.len());
+        let mut mems = Vec::new();
+        let mut mix = InstrMix::new();
+        let mut has_heap = false;
+        for &(off, class, mem) in micros {
+            match lines.last_mut() {
+                Some(&mut (first, ref mut extra)) if off / lb == first / lb => *extra += 1,
+                _ => lines.push((off, 0)),
+            }
+            core.push(table.energy(class));
+            mix.record(class, 1);
+            match mem {
+                SeqDataRef::None => {}
+                SeqDataRef::Frame { .. } => mems.push(mem),
+                SeqDataRef::Heap { .. } => {
+                    has_heap = true;
+                    mems.push(mem);
+                }
+            }
+        }
+        let classes: Vec<(InstrClass, u64)> = InstrClass::ALL
+            .into_iter()
+            .filter_map(|class| {
+                let n = mix.count(class);
+                (n > 0).then_some((class, n))
+            })
+            .collect();
+        SeqPlan {
+            lines: lines.into_boxed_slice(),
+            core: core.into_boxed_slice(),
+            mems: mems.into_boxed_slice(),
+            classes: classes.into_boxed_slice(),
+            n: micros.len() as u64,
+            has_heap,
+            line_bytes,
+        }
+    }
+
+    /// Number of micro-instructions the plan replays.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when the plan replays no micros at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when replay needs a resolved heap address (the sequence
+    /// contains a heap-touching micro).
+    #[inline]
+    pub fn wants_heap_addr(&self) -> bool {
+        self.has_heap
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +937,198 @@ mod tests {
         assert_eq!(m.cycles(), 15 + 2 * 10);
         let expect = 10.0 * 2.846 + 5.0 * 4.814 + 2.0 * 4.94;
         assert!((m.energy().nanojoules() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_planned_is_bit_exact_with_unbatched_sequence() {
+        // A plan replay must leave the machine in *bit-identical*
+        // state to the step + charge_mix sequence it compiles.
+        let dispatch = InstrMix::new()
+            .with(InstrClass::Load, 1)
+            .with(InstrClass::AluSimple, 2);
+        let work = InstrMix::new()
+            .with(InstrClass::Load, 3)
+            .with(InstrClass::AluSimple, 1)
+            .with(InstrClass::Branch, 1);
+        let mut slow = client();
+        let mut fast = client();
+        let plan = ChargePlan::compile(
+            &fast.config().table.clone(),
+            0x1000_0080,
+            InstrClass::Branch,
+            &[dispatch, work],
+        );
+        for rep in 0..1000 {
+            // Interleave other traffic so the accumulators hold
+            // "ugly" partial sums, not round numbers.
+            slow.step(0x9000 + rep * 64, InstrClass::Load, MemOp::Read(rep * 8));
+            fast.step(0x9000 + rep * 64, InstrClass::Load, MemOp::Read(rep * 8));
+            slow.step(0x1000_0080, InstrClass::Branch, MemOp::None);
+            slow.charge_mix(&dispatch);
+            slow.charge_mix(&work);
+            fast.step_planned(&plan);
+            assert_eq!(slow.breakdown(), fast.breakdown(), "rep {rep}");
+        }
+        assert_eq!(slow.cycles(), fast.cycles());
+        assert_eq!(slow.mix(), fast.mix());
+        assert_eq!(slow.icache_stats(), fast.icache_stats());
+        assert_eq!(slow.dcache_stats(), fast.dcache_stats());
+        assert_eq!(
+            slow.energy().nanojoules().to_bits(),
+            fast.energy().nanojoules().to_bits()
+        );
+    }
+
+    #[test]
+    fn step_charge_seq_is_bit_exact_with_per_plan_replay() {
+        // A merged ChargeSeq must leave the machine bit-identical to
+        // replaying its component plans one at a time.
+        let table = EnergyTable::microsparc_iiep();
+        let mixes = [
+            InstrMix::new()
+                .with(InstrClass::Load, 1)
+                .with(InstrClass::AluSimple, 2),
+            InstrMix::new().with(InstrClass::AluSimple, 1),
+            InstrMix::new()
+                .with(InstrClass::Load, 2)
+                .with(InstrClass::Branch, 1)
+                .with(InstrClass::AluComplex, 1),
+        ];
+        let plans: Vec<ChargePlan> = (0..3)
+            .map(|i| {
+                ChargePlan::compile(
+                    &table,
+                    0x1000_0000 + i * 0x40,
+                    InstrClass::Branch,
+                    &mixes[..=i as usize],
+                )
+            })
+            .collect();
+        let seq = ChargeSeq::merge(&plans.iter().collect::<Vec<_>>());
+        assert_eq!(seq.steps(), 3);
+        let mut slow = client();
+        let mut fast = client();
+        for rep in 0..1000u64 {
+            // Interleave other traffic so accumulators hold ugly
+            // partial sums and the fetched lines get evicted.
+            slow.step(rep * 8192, InstrClass::Load, MemOp::Read(rep * 16));
+            fast.step(rep * 8192, InstrClass::Load, MemOp::Read(rep * 16));
+            for p in &plans {
+                slow.step_planned(p);
+            }
+            fast.step_charge_seq(&seq);
+            assert_eq!(slow.breakdown(), fast.breakdown(), "rep {rep}");
+        }
+        assert_eq!(slow.export_state(), fast.export_state());
+        assert_eq!(
+            slow.energy().nanojoules().to_bits(),
+            fast.energy().nanojoules().to_bits()
+        );
+    }
+
+    #[test]
+    fn step_seq_is_bit_exact_with_per_micro_steps() {
+        // Replaying a SeqPlan must leave the machine bit-identical to
+        // the per-micro step loop it compiles: same energy bits, same
+        // cycles, mixes, and cache counters/residency.
+        use InstrClass::*;
+        let seqs: Vec<(u64, Vec<(InstrClass, SeqDataRef)>)> = vec![
+            // Unaligned start, crosses a 32-byte line boundary.
+            (
+                20,
+                vec![
+                    (Load, SeqDataRef::None),
+                    (
+                        AluSimple,
+                        SeqDataRef::Frame {
+                            store: false,
+                            offset: 8,
+                        },
+                    ),
+                    (
+                        Store,
+                        SeqDataRef::Frame {
+                            store: true,
+                            offset: 16,
+                        },
+                    ),
+                    (Load, SeqDataRef::Heap { store: false }),
+                    (Branch, SeqDataRef::None),
+                ],
+            ),
+            // Empty sequence.
+            (0, vec![]),
+            // Long sequence spanning many lines.
+            (
+                64,
+                (0..40)
+                    .map(|i| {
+                        (
+                            if i % 3 == 0 { AluComplex } else { Nop },
+                            if i % 7 == 0 {
+                                SeqDataRef::Heap { store: i % 2 == 0 }
+                            } else {
+                                SeqDataRef::None
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        ];
+        let mut slow = client();
+        let mut fast = client();
+        let table = slow.config().table.clone();
+        let plans: Vec<SeqPlan> = seqs
+            .iter()
+            .map(|(start, micros)| SeqPlan::compile(&table, *start, 4, 32, micros))
+            .collect();
+        let code_base = 0x3000_0040;
+        let frame_base = 0x5000_2000;
+        for rep in 0..500u64 {
+            // Interleave unrelated traffic so accumulators hold ugly
+            // partial sums and cache residency churns.
+            slow.step(rep * 96, Load, MemOp::Read(rep * 40));
+            fast.step(rep * 96, Load, MemOp::Read(rep * 40));
+            for ((start, micros), plan) in seqs.iter().zip(&plans) {
+                let heap_addr = if rep % 5 == 4 {
+                    None
+                } else {
+                    Some(0x8000 + rep * 24)
+                };
+                let mut pc = code_base + start;
+                for &(class, mem) in micros {
+                    let op = match mem {
+                        SeqDataRef::None => MemOp::None,
+                        SeqDataRef::Frame { store, offset } => {
+                            let a = frame_base + offset;
+                            if store {
+                                MemOp::Write(a)
+                            } else {
+                                MemOp::Read(a)
+                            }
+                        }
+                        SeqDataRef::Heap { store } => match heap_addr {
+                            Some(a) if store => MemOp::Write(a),
+                            Some(a) => MemOp::Read(a),
+                            None => MemOp::None,
+                        },
+                    };
+                    slow.step(pc, class, op);
+                    pc += 4;
+                }
+                fast.step_seq(plan, code_base, frame_base, heap_addr);
+                assert_eq!(slow.breakdown(), fast.breakdown(), "rep {rep}");
+            }
+        }
+        assert_eq!(slow.cycles(), fast.cycles());
+        assert_eq!(slow.mix(), fast.mix());
+        assert_eq!(slow.icache_stats(), fast.icache_stats());
+        assert_eq!(slow.dcache_stats(), fast.dcache_stats());
+        assert_eq!(slow.export_state(), fast.export_state());
+        assert_eq!(
+            slow.energy().nanojoules().to_bits(),
+            fast.energy().nanojoules().to_bits()
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn handler_address(op: &Op) -> u64 {
 }
 
 /// Dense opcode index (for handler addressing).
-fn opcode_index(op: &Op) -> u64 {
+pub(crate) fn opcode_index(op: &Op) -> u64 {
     match op {
         Op::IConst(_) => 0,
         Op::FConst(_) => 1,

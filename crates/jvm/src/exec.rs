@@ -1,285 +1,410 @@
 //! The native-code executor.
 //!
-//! Runs a [`NativeCode`] object: NIR semantics over a virtual register
-//! file, with every emitted micro-instruction issued to the simulated
-//! [`Machine`](jem_energy::Machine) — instruction fetches walk the
-//! method's code region (so big, heavily inlined Local3 bodies exert
-//! real I-cache pressure), heap accesses touch their true simulated
-//! addresses, and spilled registers generate frame traffic.
+//! Runs a method's pre-decoded executable plan (an
+//! [`XCode`], compiled at install time from the JIT's
+//! [`NativeCode`](crate::emit::NativeCode)): NIR semantics over a
+//! virtual register file, with every emitted micro-instruction issued
+//! to the simulated [`Machine`](jem_energy::Machine) — instruction
+//! fetches walk the method's code region (so big, heavily inlined
+//! Local3 bodies exert real I-cache pressure), heap accesses touch
+//! their true simulated addresses, and spilled registers generate
+//! frame traffic.
+//!
+//! The hot loop interprets compact fixed-size [`XOp`]s rather than the
+//! NIR itself: register numbers are pre-narrowed, operators pre-split
+//! into per-op variants, inline-cache slots precomputed, so dispatch
+//! is one match on a 16-byte op with no nested decoding.
 //!
 //! Results are bit-identical to the interpreter's: both engines share
 //! [`crate::arith`] and the same heap.
 
-use crate::arith;
-use crate::bytecode::ClassId;
-use crate::costs::{self, NATIVE_INSTR_BYTES};
-use crate::emit::{MicroMem, NativeCode};
-use crate::nir::{BlockId, NInst};
+use crate::arith::{f2i, fcmp, icmp};
+use crate::bytecode::{ClassId, MethodId};
+use crate::costs;
+use crate::runplan::{XCode, XOp, NONE, NO_RUN};
 use crate::value::{Type, Value};
 use crate::vm::Vm;
 use crate::VmError;
-use jem_energy::MemOp;
+use std::cell::Cell;
 
-/// Execute `code` (installed at simulated address `base`) with `args`.
+/// Where control goes after one instruction's semantics.
+enum Ctl {
+    /// Fall through to the next instruction.
+    Next,
+    /// Jump to a block.
+    Jump(u32),
+    /// Return from the method.
+    Ret(Option<Value>),
+}
+
+/// Execute a method's pre-decoded plan `x` (installed at simulated
+/// address `base`) with `args`.
+///
+/// `ics` holds the method's monomorphic inline caches, indexed by the
+/// virtual call's emitted instruction offset: `(class << 32) | target`
+/// packed per site, `u64::MAX` when cold. The cache memoizes the
+/// immutable program's vtable lookups, so hits are observationally
+/// identical to the full resolution path.
+///
+/// `x` also carries the batched charge plans compiled at install time
+/// for this VM's machine: per-instruction plans plus merged
+/// multi-instruction runs whose charging is hoisted to the run head
+/// (see [`crate::runplan`]); replaying either is bit-exact with
+/// stepping the micros one by one (see
+/// [`jem_energy::Machine::step_seq`]).
 ///
 /// # Errors
 /// Any [`VmError`] raised by the executed code.
 pub fn run(
     vm: &mut Vm<'_>,
-    code: &NativeCode,
+    x: &XCode,
     base: u64,
+    ics: &[Cell<u64>],
     args: Vec<Value>,
 ) -> Result<Option<Value>, VmError> {
-    let func = &code.func;
-    let mut regs: Vec<Value> = vec![Value::Int(0); func.nregs as usize];
+    // The register file is pooled; the wrapper keeps recycling off the
+    // hot path and covers every exit (returns and errors alike).
+    let mut regs = vm.take_buf();
+    let out = run_inner(vm, x, base, ics, args, &mut regs);
+    vm.put_buf(regs);
+    out
+}
+
+fn run_inner(
+    vm: &mut Vm<'_>,
+    x: &XCode,
+    base: u64,
+    ics: &[Cell<u64>],
+    args: Vec<Value>,
+    regs: &mut Vec<Value>,
+) -> Result<Option<Value>, VmError> {
+    regs.resize(x.nregs as usize, Value::Int(0));
     regs[..args.len()].copy_from_slice(&args);
     vm.machine.charge_mix(&costs::arg_copy_mix(args.len()));
+    vm.put_buf(args);
 
     let frame_base = costs::FRAME_BASE + u64::from(vm.depth()) * 8192;
 
     let mut block = 0usize;
     let mut ii = 0usize;
 
+    'blocks: loop {
+        // Hoist the per-block slices: the inner loop then indexes flat
+        // slices instead of chasing nested spines per instruction.
+        let xb = &x.blocks[block];
+        let ops = &xb.ops[..];
+
+        loop {
+            // Batched fast path: a multi-instruction run starts here and
+            // the remaining step budget covers all of it, so the whole
+            // run's charges are hoisted ahead of its (machine-free,
+            // interior-infallible) semantics — bit-exact with the
+            // per-instruction path below (see [`crate::runplan`]).
+            let ri = xb.run_at[ii];
+            if ri != NO_RUN {
+                let run = &xb.runs[ri as usize];
+                if vm.options.step_budget.saturating_sub(vm.steps) >= run.steps {
+                    vm.machine.step_seq(&run.plan, base, frame_base, None);
+                    let end = ii + run.len as usize;
+                    vm.bump_steps(run.steps)?;
+                    for op in &ops[ii..end] {
+                        match step_semantics(vm, regs, op, ics, &x.args_pool)? {
+                            Ctl::Next => {}
+                            Ctl::Jump(b) => {
+                                block = b as usize;
+                                ii = 0;
+                                continue 'blocks;
+                            }
+                            Ctl::Ret(v) => return Ok(v),
+                        }
+                    }
+                    ii = end;
+                    continue;
+                }
+            }
+
+            let op = &ops[ii];
+            let plan = &xb.plans[ii];
+
+            // Heap address for the (at most one) heap micro, resolved only
+            // when the plan needs it, before charging so the D-cache sees
+            // the true location.
+            let heap_addr: Option<u64> = if !plan.wants_heap_addr() {
+                None
+            } else {
+                match op {
+                    XOp::ALoad { arr, idx, .. } | XOp::AStore { arr, idx, .. } => {
+                        match (regs[*arr as usize], regs[*idx as usize]) {
+                            (Value::Ref(h), Value::Int(i)) if i >= 0 => {
+                                Some(vm.heap.element_address(h, i as usize))
+                            }
+                            _ => None,
+                        }
+                    }
+                    XOp::ArrLen { arr, .. } => match regs[*arr as usize] {
+                        Value::Ref(h) => Some(vm.heap.address_of(h)),
+                        _ => None,
+                    },
+                    XOp::GetField { obj, slot, .. } | XOp::PutField { obj, slot, .. } => {
+                        match regs[*obj as usize] {
+                            Value::Ref(h) => Some(vm.heap.field_address(h, *slot as usize)),
+                            _ => None,
+                        }
+                    }
+                    XOp::CallVirt { recv, .. } => match regs[*recv as usize] {
+                        Value::Ref(h) => Some(vm.heap.address_of(h)),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            };
+
+            // Charge the emitted micro sequence (batched, bit-exact).
+            vm.machine.step_seq(plan, base, frame_base, heap_addr);
+            vm.bump_steps(plan.len().max(1))?;
+
+            match step_semantics(vm, regs, op, ics, &x.args_pool)? {
+                Ctl::Next => ii += 1,
+                Ctl::Jump(b) => {
+                    block = b as usize;
+                    ii = 0;
+                    continue 'blocks;
+                }
+                Ctl::Ret(v) => return Ok(v),
+            }
+        }
+    }
+}
+
+/// One instruction's semantics — charging has already happened on the
+/// caller's side (either per instruction or hoisted for a whole run).
+#[inline]
+fn step_semantics(
+    vm: &mut Vm<'_>,
+    regs: &mut [Value],
+    op: &XOp,
+    ics: &[Cell<u64>],
+    pool: &[u16],
+) -> Result<Ctl, VmError> {
     macro_rules! geti {
         ($r:expr) => {
-            regs[$r.0 as usize].as_int()?
+            regs[$r as usize].as_int()?
         };
     }
     macro_rules! getf {
         ($r:expr) => {
-            regs[$r.0 as usize].as_float()?
+            regs[$r as usize].as_float()?
         };
     }
     macro_rules! getref {
         ($r:expr) => {
-            regs[$r.0 as usize].as_ref()?
+            regs[$r as usize].as_ref()?
         };
     }
     macro_rules! set {
         ($r:expr, $v:expr) => {
-            regs[$r.0 as usize] = $v
+            regs[$r as usize] = $v
         };
     }
+    // Flattened integer/float binary ops: operands load left-to-right
+    // then apply, exactly as `arith::ibin`/`arith::fbin` would.
+    macro_rules! ibin {
+        ($d:expr, $a:expr, $b:expr, |$x:ident, $y:ident| $e:expr) => {{
+            let $x = geti!(*$a);
+            let $y = geti!(*$b);
+            set!(*$d, Value::Int($e));
+        }};
+    }
+    macro_rules! fbin {
+        ($d:expr, $a:expr, $b:expr, |$x:ident, $y:ident| $e:expr) => {{
+            let $x = getf!(*$a);
+            let $y = getf!(*$b);
+            set!(*$d, Value::Float($e));
+        }};
+    }
 
-    loop {
-        let inst = &func.blocks[block].insts[ii];
-
-        // Heap address for the (at most one) heap micro, computed
-        // before charging so the D-cache sees the true location.
-        let heap_addr: Option<u64> = match inst {
-            NInst::ALoadOp { arr, idx, .. } | NInst::AStoreOp { arr, idx, .. } => {
-                match (regs[arr.0 as usize], regs[idx.0 as usize]) {
-                    (Value::Ref(h), Value::Int(i)) if i >= 0 => {
-                        Some(vm.heap.element_address(h, i as usize))
-                    }
-                    _ => None,
-                }
+    match op {
+        XOp::IConst { d, v } => set!(*d, Value::Int(*v)),
+        XOp::FConst { d, v } => set!(*d, Value::Float(*v)),
+        XOp::NullConst { d } => set!(*d, Value::Null),
+        XOp::Mov { d, s } => set!(*d, regs[*s as usize]),
+        XOp::IAdd { d, a, b } => ibin!(d, a, b, |x, y| x.wrapping_add(y)),
+        XOp::ISub { d, a, b } => ibin!(d, a, b, |x, y| x.wrapping_sub(y)),
+        XOp::IMul { d, a, b } => ibin!(d, a, b, |x, y| x.wrapping_mul(y)),
+        XOp::IDiv { d, a, b } => {
+            let x = geti!(*a);
+            let y = geti!(*b);
+            if y == 0 {
+                return Err(VmError::DivByZero);
             }
-            NInst::ArrLenOp { arr, .. } => match regs[arr.0 as usize] {
-                Value::Ref(h) => Some(vm.heap.address_of(h)),
-                _ => None,
-            },
-            NInst::GetFieldOp { obj, slot, .. } => match regs[obj.0 as usize] {
-                Value::Ref(h) => Some(vm.heap.field_address(h, *slot as usize)),
-                _ => None,
-            },
-            NInst::PutFieldOp { obj, slot, .. } => match regs[obj.0 as usize] {
-                Value::Ref(h) => Some(vm.heap.field_address(h, *slot as usize)),
-                _ => None,
-            },
-            NInst::CallVirtOp { recv, .. } => match regs[recv.0 as usize] {
-                Value::Ref(h) => Some(vm.heap.address_of(h)),
-                _ => None,
-            },
-            _ => None,
-        };
-
-        // Charge the emitted micro sequence.
-        let seq = &code.micros[block][ii];
-        let mut pc = base + u64::from(code.offsets[block][ii]) * NATIVE_INSTR_BYTES;
-        let mut spill_cursor = 0u64;
-        for micro in seq {
-            let mem = match micro.mem {
-                MicroMem::None => MemOp::None,
-                MicroMem::Frame => {
-                    // Distinct spill slots per access in sequence
-                    // (addresses don't need to be exact, only local).
-                    spill_cursor += 1;
-                    let addr = frame_base + spill_cursor * 8;
-                    if micro.class == jem_energy::InstrClass::Store {
-                        MemOp::Write(addr)
-                    } else {
-                        MemOp::Read(addr)
-                    }
-                }
-                MicroMem::Heap => match heap_addr {
-                    Some(a) => {
-                        if micro.class == jem_energy::InstrClass::Store {
-                            MemOp::Write(a)
-                        } else {
-                            MemOp::Read(a)
-                        }
-                    }
-                    None => MemOp::None,
-                },
-            };
-            vm.machine.step(pc, micro.class, mem);
-            pc += NATIVE_INSTR_BYTES;
+            set!(*d, Value::Int(x.wrapping_div(y)));
         }
-        vm.bump_steps(seq.len().max(1) as u64)?;
-
-        // Execute semantics.
-        let mut next: Option<BlockId> = None;
-        match inst {
-            NInst::IConst { d, v } => set!(d, Value::Int(*v)),
-            NInst::FConst { d, v } => set!(d, Value::Float(*v)),
-            NInst::NullConst { d } => set!(d, Value::Null),
-            NInst::Mov { d, s } => set!(d, regs[s.0 as usize]),
-            NInst::IBinOp { op, d, a, b } => {
-                let r = arith::ibin(*op, geti!(a), geti!(b))?;
-                set!(d, Value::Int(r));
+        XOp::IRem { d, a, b } => {
+            let x = geti!(*a);
+            let y = geti!(*b);
+            if y == 0 {
+                return Err(VmError::DivByZero);
             }
-            NInst::IShlImm { d, a, k } => {
-                let r = geti!(a).wrapping_shl(u32::from(*k));
-                set!(d, Value::Int(r));
+            set!(*d, Value::Int(x.wrapping_rem(y)));
+        }
+        XOp::IAnd { d, a, b } => ibin!(d, a, b, |x, y| x & y),
+        XOp::IOr { d, a, b } => ibin!(d, a, b, |x, y| x | y),
+        XOp::IXor { d, a, b } => ibin!(d, a, b, |x, y| x ^ y),
+        XOp::IShl { d, a, b } => ibin!(d, a, b, |x, y| x.wrapping_shl(y as u32 & 31)),
+        XOp::IShr { d, a, b } => ibin!(d, a, b, |x, y| x.wrapping_shr(y as u32 & 31)),
+        XOp::IShlImm { d, a, k } => {
+            let r = geti!(*a).wrapping_shl(u32::from(*k));
+            set!(*d, Value::Int(r));
+        }
+        XOp::INeg { d, a } => {
+            let r = geti!(*a).wrapping_neg();
+            set!(*d, Value::Int(r));
+        }
+        XOp::ICmp { d, a, b } => ibin!(d, a, b, |x, y| icmp(x, y)),
+        XOp::FAdd { d, a, b } => fbin!(d, a, b, |x, y| x + y),
+        XOp::FSub { d, a, b } => fbin!(d, a, b, |x, y| x - y),
+        XOp::FMul { d, a, b } => fbin!(d, a, b, |x, y| x * y),
+        XOp::FDiv { d, a, b } => fbin!(d, a, b, |x, y| x / y),
+        XOp::FNeg { d, a } => {
+            let r = -getf!(*a);
+            set!(*d, Value::Float(r));
+        }
+        XOp::FCmp { d, a, b } => {
+            let x = getf!(*a);
+            let y = getf!(*b);
+            set!(*d, Value::Int(fcmp(x, y)));
+        }
+        XOp::I2F { d, a } => {
+            let r = f64::from(geti!(*a));
+            set!(*d, Value::Float(r));
+        }
+        XOp::F2I { d, a } => {
+            let r = f2i(getf!(*a));
+            set!(*d, Value::Int(r));
+        }
+        XOp::NewArr { d, ty, len } => {
+            let n = geti!(*len);
+            if n < 0 {
+                return Err(VmError::NegativeArrayLength(n));
             }
-            NInst::INegOp { d, a } => {
-                let r = geti!(a).wrapping_neg();
-                set!(d, Value::Int(r));
-            }
-            NInst::ICmpOp { d, a, b } => {
-                let r = arith::icmp(geti!(a), geti!(b));
-                set!(d, Value::Int(r));
-            }
-            NInst::FBinOp { op, d, a, b } => {
-                let r = arith::fbin(*op, getf!(a), getf!(b));
-                set!(d, Value::Float(r));
-            }
-            NInst::FNegOp { d, a } => {
-                let r = -getf!(a);
-                set!(d, Value::Float(r));
-            }
-            NInst::FCmpOp { d, a, b } => {
-                let r = arith::fcmp(getf!(a), getf!(b));
-                set!(d, Value::Int(r));
-            }
-            NInst::I2FOp { d, a } => {
-                let r = f64::from(geti!(a));
-                set!(d, Value::Float(r));
-            }
-            NInst::F2IOp { d, a } => {
-                let r = arith::f2i(getf!(a));
-                set!(d, Value::Int(r));
-            }
-            NInst::NewArr { d, ty, len } => {
-                let n = geti!(len);
-                if n < 0 {
-                    return Err(VmError::NegativeArrayLength(n));
-                }
-                let bytes = match ty {
-                    Type::Float => 8,
-                    _ => 4,
-                } * n as u64;
-                vm.machine.charge_mix(&costs::alloc_zero_mix(bytes));
-                let h = vm.heap.alloc_array(*ty, n as usize);
-                set!(d, Value::Ref(h));
-            }
-            NInst::NewObj { d, class } => {
-                let c = vm.program.class(*class);
-                vm.machine
-                    .charge_mix(&costs::alloc_zero_mix(8 * c.field_types.len() as u64));
-                let h = vm.heap.alloc_object(class.0, &c.field_types);
-                set!(d, Value::Ref(h));
-            }
-            NInst::ALoadOp { d, arr, idx, .. } => {
-                let h = getref!(arr);
-                let i = geti!(idx);
-                if i < 0 {
-                    return Err(VmError::IndexOutOfBounds {
-                        index: usize::MAX,
-                        len: vm.heap.array_len(h)?,
-                    });
-                }
-                let v = vm.heap.array_get(h, i as usize)?;
-                set!(d, v);
-            }
-            NInst::AStoreOp { arr, idx, val, .. } => {
-                let h = getref!(arr);
-                let i = geti!(idx);
-                if i < 0 {
-                    return Err(VmError::IndexOutOfBounds {
-                        index: usize::MAX,
-                        len: vm.heap.array_len(h)?,
-                    });
-                }
-                vm.heap.array_set(h, i as usize, regs[val.0 as usize])?;
-            }
-            NInst::ArrLenOp { d, arr } => {
-                let h = getref!(arr);
-                let n = vm.heap.array_len(h)?;
-                set!(d, Value::Int(n as i32));
-            }
-            NInst::GetFieldOp { d, obj, slot, .. } => {
-                let h = getref!(obj);
-                let v = vm.heap.field_get(h, *slot as usize)?;
-                set!(d, v);
-            }
-            NInst::PutFieldOp { obj, slot, val } => {
-                let h = getref!(obj);
-                vm.heap.field_set(h, *slot as usize, regs[val.0 as usize])?;
-            }
-            NInst::CallOp { d, target, args } => {
-                let argv: Vec<Value> = args.iter().map(|r| regs[r.0 as usize]).collect();
-                let ret = vm.invoke(*target, argv)?;
-                if let (Some(d), Some(v)) = (d, ret) {
-                    set!(d, v);
-                }
-            }
-            NInst::CallVirtOp {
-                d,
-                slot,
-                recv,
-                args,
-            } => {
-                let h = getref!(recv);
-                let class = ClassId(vm.heap.class_of(h)?);
-                let vtable = &vm.program.class(class).vtable;
-                let target = *vtable.get(*slot as usize).ok_or(VmError::BadVSlot(*slot))?;
-                let mut argv: Vec<Value> = Vec::with_capacity(args.len() + 1);
-                argv.push(Value::Ref(h));
-                argv.extend(args.iter().map(|r| regs[r.0 as usize]));
-                let ret = vm.invoke(target, argv)?;
-                if let (Some(d), Some(v)) = (d, ret) {
-                    set!(d, v);
-                }
-            }
-            NInst::Jmp { target } => next = Some(*target),
-            NInst::BrCond {
-                cond,
-                a,
-                b,
-                then_,
-                else_,
-            } => {
-                next = Some(if cond.eval(geti!(a), geti!(b)) {
-                    *then_
-                } else {
-                    *else_
+            let bytes = match ty {
+                Type::Float => 8,
+                _ => 4,
+            } * n as u64;
+            vm.machine.charge_mix(&costs::alloc_zero_mix(bytes));
+            let h = vm.heap.alloc_array(*ty, n as usize);
+            set!(*d, Value::Ref(h));
+        }
+        XOp::NewObj { d, class } => {
+            let c = vm.program.class(ClassId(*class));
+            vm.machine
+                .charge_mix(&costs::alloc_zero_mix(8 * c.field_types.len() as u64));
+            let h = vm.heap.alloc_object(*class, &c.field_types);
+            set!(*d, Value::Ref(h));
+        }
+        XOp::ALoad { d, arr, idx } => {
+            let h = getref!(*arr);
+            let i = geti!(*idx);
+            if i < 0 {
+                return Err(VmError::IndexOutOfBounds {
+                    index: usize::MAX,
+                    len: vm.heap.array_len(h)?,
                 });
             }
-            NInst::Ret { val } => {
-                return Ok(val.map(|v| regs[v.0 as usize]));
+            let v = vm.heap.array_get(h, i as usize)?;
+            set!(*d, v);
+        }
+        XOp::AStore { arr, idx, val } => {
+            let h = getref!(*arr);
+            let i = geti!(*idx);
+            if i < 0 {
+                return Err(VmError::IndexOutOfBounds {
+                    index: usize::MAX,
+                    len: vm.heap.array_len(h)?,
+                });
+            }
+            vm.heap.array_set(h, i as usize, regs[*val as usize])?;
+        }
+        XOp::ArrLen { d, arr } => {
+            let h = getref!(*arr);
+            let n = vm.heap.array_len(h)?;
+            set!(*d, Value::Int(n as i32));
+        }
+        XOp::GetField { d, obj, slot } => {
+            let h = getref!(*obj);
+            let v = vm.heap.field_get(h, *slot as usize)?;
+            set!(*d, v);
+        }
+        XOp::PutField { obj, slot, val } => {
+            let h = getref!(*obj);
+            vm.heap.field_set(h, *slot as usize, regs[*val as usize])?;
+        }
+        XOp::Call {
+            d,
+            argc,
+            target,
+            argi,
+        } => {
+            let mut argv = vm.take_buf();
+            let args = &pool[*argi as usize..*argi as usize + *argc as usize];
+            argv.extend(args.iter().map(|&r| regs[r as usize]));
+            let ret = vm.invoke(MethodId(*target), argv)?;
+            if *d != NONE {
+                if let Some(v) = ret {
+                    set!(*d, v);
+                }
             }
         }
-
-        match next {
-            Some(b) => {
-                block = b.0 as usize;
-                ii = 0;
+        XOp::CallVirt {
+            d,
+            slot,
+            recv,
+            argc,
+            ic,
+            argi,
+        } => {
+            let h = getref!(*recv);
+            let class = vm.heap.class_of(h)?;
+            let ic = ics.get(*ic as usize);
+            let cached = ic.map_or(u64::MAX, Cell::get);
+            let target = if (cached >> 32) as u32 == class {
+                MethodId(cached as u32)
+            } else {
+                let vtable = &vm.program.class(ClassId(class)).vtable;
+                let t = *vtable.get(*slot as usize).ok_or(VmError::BadVSlot(*slot))?;
+                if let Some(c) = ic {
+                    c.set((u64::from(class) << 32) | u64::from(t.0));
+                }
+                t
+            };
+            let mut argv = vm.take_buf();
+            argv.push(Value::Ref(h));
+            let args = &pool[*argi as usize..*argi as usize + *argc as usize];
+            argv.extend(args.iter().map(|&r| regs[r as usize]));
+            let ret = vm.invoke(target, argv)?;
+            if *d != NONE {
+                if let Some(v) = ret {
+                    set!(*d, v);
+                }
             }
-            None => ii += 1,
+        }
+        XOp::Jmp { t } => return Ok(Ctl::Jump(*t)),
+        XOp::Br { cond, a, b, t, e } => {
+            return Ok(Ctl::Jump(if cond.eval(geti!(*a), geti!(*b)) {
+                *t
+            } else {
+                *e
+            }));
+        }
+        XOp::Ret { v } => {
+            return Ok(Ctl::Ret(if *v == NONE {
+                None
+            } else {
+                Some(regs[*v as usize])
+            }));
         }
     }
+    Ok(Ctl::Next)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod arith;
 pub mod bytecode;
 pub mod class;
 pub mod costs;
+pub mod decode;
 pub mod dsl;
 pub mod emit;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod lower;
 pub mod nir;
 pub mod opt;
 pub mod regalloc;
+pub mod runplan;
 pub mod serial;
 pub mod value;
 pub mod verify;
@@ -53,4 +55,4 @@ pub use error::{VerifyError, VmError};
 pub use heap::Heap;
 pub use jit::{compile, CompileReport, Compiled};
 pub use value::{Handle, Type, Value};
-pub use vm::{MethodCode, Vm, VmOptions};
+pub use vm::{set_slow_interp_default, MethodCode, Vm, VmOptions};

@@ -1,0 +1,883 @@
+//! Pre-decoded execution form and run-level batched charge planning
+//! for the native executor.
+//!
+//! Installing native code compiles a [`NativeCode`] object into an
+//! [`XCode`]: the executable plan [`crate::exec`] actually runs. It
+//! contains two cooperating artifacts, both derived (never
+//! serialized):
+//!
+//! 1. **A pre-decoded instruction stream** ([`XOp`]) — the NIR
+//!    flattened into a dense array of small fixed-size ops with every
+//!    field pre-resolved: register numbers narrowed to `u16`, binary
+//!    operators split into per-op variants (no inner operator match at
+//!    run time), call argument lists pooled into one flat side table,
+//!    and each virtual call's inline-cache slot index precomputed.
+//! 2. **Batched charge plans** — a per-instruction [`SeqPlan`] (the
+//!    reference-shaped path) plus merged multi-instruction *runs*
+//!    whose charging is hoisted to the run head.
+//!
+//! # Why hoisting run charges is bit-exact
+//!
+//! The reference execution model interleaves accounting and semantics
+//! per instruction: charge the instruction's emitted micro sequence,
+//! then run its semantics, then the next instruction. For most
+//! straight-line NIR that interleaving is unobservable — the semantics
+//! of register-only instructions never touch the simulated
+//! [`Machine`](jem_energy::Machine), so the machine sees the exact same
+//! event sequence whether the charges land one instruction at a time
+//! or all at once at the head of the run. A run must preserve that
+//! equivalence on **every** path, including errors, so its shape is
+//! constrained:
+//!
+//! * No instruction in a run may touch the machine from its semantics
+//!   (allocations charge a zeroing mix, calls recurse into the VM) or
+//!   carry a heap-addressed micro (the D-cache needs the address
+//!   resolved *after* the preceding semantics ran). Such instructions
+//!   execute on the per-instruction path.
+//! * Every instruction except the last must have **infallible**
+//!   semantics: if semantics `i` could fail, the reference sequence
+//!   stops after charge `i`, while the batched sequence already
+//!   charged the whole run. Infallibility is proven by a conservative
+//!   forward type inference over the virtual registers ([`Ty`]): only
+//!   values the engine itself constructed (constants, arithmetic
+//!   results, conversions, copies of those) get a known type —
+//!   arguments, heap loads and call returns are never trusted. A
+//!   fallible instruction may still *end* a run: the reference charges
+//!   it before running its semantics, so both engines have charged
+//!   exactly the same prefix when the error surfaces.
+//! * The step budget is handled by the executor: the batched path is
+//!   only taken when the remaining budget covers the whole run, so the
+//!   folded `bump_steps` cannot fail mid-run; otherwise the
+//!   per-instruction path reproduces the reference budget error
+//!   exactly.
+//!
+//! Because the semantics inside a run never touch the I-cache, the
+//! merged plan's consecutive fetches remain back-to-back, which is
+//! precisely the property [`SeqPlan`] line grouping relies on.
+
+use crate::bytecode::{Cond, FBin, IBin};
+use crate::costs::NATIVE_INSTR_BYTES;
+use crate::emit::{Micro, MicroMem, NativeCode};
+use crate::nir::{NFunc, NInst, VReg};
+use crate::value::Type;
+use jem_energy::{InstrClass, MachineConfig, SeqDataRef, SeqPlan};
+
+/// Sentinel for [`XBlock::run_at`] slots where no batched run starts.
+pub const NO_RUN: u32 = u32::MAX;
+
+/// Sentinel register number meaning "absent" (void call destination,
+/// void return). Valid registers are `< NONE` — enforced at decode.
+pub const NONE: u16 = u16::MAX;
+
+/// One pre-decoded executable instruction. Fixed 16-byte layout, every
+/// field pre-resolved; semantics are identical to the corresponding
+/// [`NInst`] as executed by the reference path.
+#[derive(Debug, Clone)]
+pub enum XOp {
+    /// `r[d] = v`
+    IConst {
+        /// Destination.
+        d: u16,
+        /// Immediate.
+        v: i32,
+    },
+    /// `r[d] = v` (float)
+    FConst {
+        /// Destination.
+        d: u16,
+        /// Immediate.
+        v: f64,
+    },
+    /// `r[d] = null`
+    NullConst {
+        /// Destination.
+        d: u16,
+    },
+    /// `r[d] = r[s]`
+    Mov {
+        /// Destination.
+        d: u16,
+        /// Source.
+        s: u16,
+    },
+    /// `r[d] = r[a] + r[b]` (wrapping)
+    IAdd {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] - r[b]` (wrapping)
+    ISub {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] * r[b]` (wrapping)
+    IMul {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] / r[b]` (traps on zero)
+    IDiv {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] % r[b]` (traps on zero)
+    IRem {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] & r[b]`
+    IAnd {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] | r[b]`
+    IOr {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] ^ r[b]`
+    IXor {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] << (r[b] & 31)`
+    IShl {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] >> (r[b] & 31)` (arithmetic)
+    IShr {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] << k`
+    IShlImm {
+        /// Destination.
+        d: u16,
+        /// Operand.
+        a: u16,
+        /// Shift amount.
+        k: u8,
+    },
+    /// `r[d] = -r[a]` (wrapping)
+    INeg {
+        /// Destination.
+        d: u16,
+        /// Operand.
+        a: u16,
+    },
+    /// `r[d] = sign(r[a] - r[b])`
+    ICmp {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] + r[b]` (float)
+    FAdd {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] - r[b]` (float)
+    FSub {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] * r[b]` (float)
+    FMul {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = r[a] / r[b]` (float, IEEE — no trap)
+    FDiv {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = -r[a]` (float)
+    FNeg {
+        /// Destination.
+        d: u16,
+        /// Operand.
+        a: u16,
+    },
+    /// `r[d] = sign(r[a] - r[b])` (float, NaN → -1)
+    FCmp {
+        /// Destination.
+        d: u16,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// `r[d] = (float) r[a]`
+    I2F {
+        /// Destination.
+        d: u16,
+        /// Operand.
+        a: u16,
+    },
+    /// `r[d] = (int) r[a]` (truncating, saturating)
+    F2I {
+        /// Destination.
+        d: u16,
+        /// Operand.
+        a: u16,
+    },
+    /// `r[d] = new ty[r[len]]`
+    NewArr {
+        /// Destination.
+        d: u16,
+        /// Element type.
+        ty: Type,
+        /// Length register.
+        len: u16,
+    },
+    /// `r[d] = new class()`
+    NewObj {
+        /// Destination.
+        d: u16,
+        /// Class id.
+        class: u32,
+    },
+    /// `r[d] = r[arr][r[idx]]`
+    ALoad {
+        /// Destination.
+        d: u16,
+        /// Array register.
+        arr: u16,
+        /// Index register.
+        idx: u16,
+    },
+    /// `r[arr][r[idx]] = r[val]`
+    AStore {
+        /// Array register.
+        arr: u16,
+        /// Index register.
+        idx: u16,
+        /// Value register.
+        val: u16,
+    },
+    /// `r[d] = r[arr].length`
+    ArrLen {
+        /// Destination.
+        d: u16,
+        /// Array register.
+        arr: u16,
+    },
+    /// `r[d] = r[obj].field[slot]`
+    GetField {
+        /// Destination.
+        d: u16,
+        /// Object register.
+        obj: u16,
+        /// Field slot.
+        slot: u16,
+    },
+    /// `r[obj].field[slot] = r[val]`
+    PutField {
+        /// Object register.
+        obj: u16,
+        /// Field slot.
+        slot: u16,
+        /// Value register.
+        val: u16,
+    },
+    /// Static call; argument registers at
+    /// `args_pool[argi..argi + argc]`.
+    Call {
+        /// Destination, or [`NONE`] for void.
+        d: u16,
+        /// Argument count.
+        argc: u16,
+        /// Callee method id.
+        target: u32,
+        /// Start index into [`XCode::args_pool`].
+        argi: u32,
+    },
+    /// Virtual call; argument registers (receiver excluded) at
+    /// `args_pool[argi..argi + argc]`.
+    CallVirt {
+        /// Destination, or [`NONE`] for void.
+        d: u16,
+        /// Vtable slot.
+        slot: u16,
+        /// Receiver register.
+        recv: u16,
+        /// Argument count.
+        argc: u16,
+        /// Precomputed inline-cache slot (the call's emitted
+        /// instruction offset).
+        ic: u32,
+        /// Start index into [`XCode::args_pool`].
+        argi: u32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target block.
+        t: u32,
+    },
+    /// Conditional branch on an integer compare.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+        /// Taken target.
+        t: u32,
+        /// Fall-through target.
+        e: u32,
+    },
+    /// Return `r[v]` ([`NONE`] for void).
+    Ret {
+        /// Returned register or [`NONE`].
+        v: u16,
+    },
+}
+
+/// The executable plan for one installed method: pre-decoded ops plus
+/// charge plans, compiled against one machine's energy table and
+/// I-cache geometry. A derived artifact — cache-reconstructable from
+/// the [`NativeCode`], never serialized.
+#[derive(Debug)]
+pub struct XCode {
+    /// Per-block executable form.
+    pub blocks: Vec<XBlock>,
+    /// Register file size.
+    pub nregs: u32,
+    /// Pooled call-argument registers (see [`XOp::Call`]).
+    pub args_pool: Vec<u16>,
+}
+
+/// One basic block of an [`XCode`]: decoded ops, the per-instruction
+/// charge plans (the reference-shaped path) and the batched
+/// multi-instruction runs layered over them.
+#[derive(Debug)]
+pub struct XBlock {
+    /// Pre-decoded instructions.
+    pub ops: Vec<XOp>,
+    /// Per-instruction batched charge plan (one straight-line emitted
+    /// micro sequence each).
+    pub plans: Vec<SeqPlan>,
+    /// Multi-instruction batched runs (each covers ≥ 2 instructions).
+    pub runs: Vec<SeqRun>,
+    /// `run_at[ii]` is the index into [`XBlock::runs`] of the run
+    /// starting at instruction `ii`, or [`NO_RUN`].
+    pub run_at: Vec<u32>,
+}
+
+/// One batched run: a maximal straight-line stretch of instructions
+/// whose charging is hoisted to the run head.
+#[derive(Debug)]
+pub struct SeqRun {
+    /// Number of instructions covered.
+    pub len: u32,
+    /// Step-budget cost of the whole run: `Σ max(1, micros_i)`,
+    /// matching what the per-instruction path would bump.
+    pub steps: u64,
+    /// The merged charge plan (never heap-addressed).
+    pub plan: SeqPlan,
+}
+
+/// Inferred virtual-register type, for proving semantics infallible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    /// Definitely `Value::Int`.
+    Int,
+    /// Definitely `Value::Float`.
+    Float,
+    /// Definitely a reference or null (never `Int`/`Float`).
+    Other,
+    /// Unknown / conflicting — assume nothing.
+    Any,
+}
+
+fn meet(a: Ty, b: Ty) -> Ty {
+    if a == b {
+        a
+    } else {
+        Ty::Any
+    }
+}
+
+/// Apply one instruction's register effect to the type state. The
+/// state describes the *success* path — the only path that continues —
+/// so besides typing the def, an instruction *refines* its operands:
+/// `FAdd a, b` only continues if both unwrapped as floats, so every
+/// later use may assume `Float`. This is what lets an untrusted
+/// ([`Ty::Any`]) argument register break a run once at its first use
+/// instead of at every use on every loop iteration.
+fn apply(inst: &NInst, tys: &mut [Ty]) {
+    fn set(tys: &mut [Ty], d: VReg, t: Ty) {
+        tys[d.0 as usize] = t;
+    }
+    // Operand refinement (before the def: the def overwrites on
+    // overlap).
+    match inst {
+        NInst::IBinOp { a, b, .. } | NInst::ICmpOp { a, b, .. } | NInst::BrCond { a, b, .. } => {
+            set(tys, *a, Ty::Int);
+            set(tys, *b, Ty::Int);
+        }
+        NInst::IShlImm { a, .. } | NInst::INegOp { a, .. } | NInst::I2FOp { a, .. } => {
+            set(tys, *a, Ty::Int)
+        }
+        NInst::FBinOp { a, b, .. } | NInst::FCmpOp { a, b, .. } => {
+            set(tys, *a, Ty::Float);
+            set(tys, *b, Ty::Float);
+        }
+        NInst::FNegOp { a, .. } | NInst::F2IOp { a, .. } => set(tys, *a, Ty::Float),
+        NInst::NewArr { len, .. } => set(tys, *len, Ty::Int),
+        NInst::ALoadOp { arr, idx, .. } => {
+            set(tys, *arr, Ty::Other);
+            set(tys, *idx, Ty::Int);
+        }
+        NInst::AStoreOp { arr, idx, .. } => {
+            set(tys, *arr, Ty::Other);
+            set(tys, *idx, Ty::Int);
+        }
+        NInst::ArrLenOp { arr, .. } => set(tys, *arr, Ty::Other),
+        NInst::GetFieldOp { obj, .. } | NInst::PutFieldOp { obj, .. } => set(tys, *obj, Ty::Other),
+        NInst::CallVirtOp { recv, .. } => set(tys, *recv, Ty::Other),
+        _ => {}
+    }
+    match inst {
+        NInst::IConst { d, .. } => set(tys, *d, Ty::Int),
+        NInst::FConst { d, .. } => set(tys, *d, Ty::Float),
+        NInst::NullConst { d } => set(tys, *d, Ty::Other),
+        NInst::Mov { d, s } => tys[d.0 as usize] = tys[s.0 as usize],
+        NInst::IBinOp { d, .. }
+        | NInst::IShlImm { d, .. }
+        | NInst::INegOp { d, .. }
+        | NInst::ICmpOp { d, .. }
+        | NInst::FCmpOp { d, .. }
+        | NInst::F2IOp { d, .. }
+        | NInst::ArrLenOp { d, .. } => set(tys, *d, Ty::Int),
+        NInst::FBinOp { d, .. } | NInst::FNegOp { d, .. } | NInst::I2FOp { d, .. } => {
+            set(tys, *d, Ty::Float)
+        }
+        NInst::NewArr { d, .. } | NInst::NewObj { d, .. } => set(tys, *d, Ty::Other),
+        // Values materialized from outside the engine's own register
+        // dataflow are never trusted.
+        NInst::ALoadOp { d, .. } | NInst::GetFieldOp { d, .. } => set(tys, *d, Ty::Any),
+        NInst::CallOp { d, .. } | NInst::CallVirtOp { d, .. } => {
+            if let Some(d) = d {
+                set(tys, *d, Ty::Any);
+            }
+        }
+        NInst::AStoreOp { .. }
+        | NInst::PutFieldOp { .. }
+        | NInst::Jmp { .. }
+        | NInst::BrCond { .. }
+        | NInst::Ret { .. } => {}
+    }
+}
+
+/// Whether `inst`'s semantics provably cannot return an error, given
+/// the register types on entry to the instruction.
+fn infallible(inst: &NInst, tys: &[Ty]) -> bool {
+    let int = |r: &VReg| tys[r.0 as usize] == Ty::Int;
+    let flt = |r: &VReg| tys[r.0 as usize] == Ty::Float;
+    match inst {
+        NInst::IConst { .. }
+        | NInst::FConst { .. }
+        | NInst::NullConst { .. }
+        | NInst::Mov { .. }
+        | NInst::Jmp { .. }
+        | NInst::Ret { .. } => true,
+        // Div/Rem fail on a zero divisor regardless of types.
+        NInst::IBinOp { op, a, b, .. } => !matches!(op, IBin::Div | IBin::Rem) && int(a) && int(b),
+        NInst::IShlImm { a, .. } | NInst::INegOp { a, .. } | NInst::I2FOp { a, .. } => int(a),
+        NInst::ICmpOp { a, b, .. } | NInst::BrCond { a, b, .. } => int(a) && int(b),
+        NInst::FBinOp { a, b, .. } | NInst::FCmpOp { a, b, .. } => flt(a) && flt(b),
+        NInst::FNegOp { a, .. } | NInst::F2IOp { a, .. } => flt(a),
+        // Heap, allocation and call instructions never sit inside a
+        // run, so their fallibility is moot — report fallible.
+        _ => false,
+    }
+}
+
+/// Forward type inference: the register type state on entry to every
+/// block. Non-argument registers start as `Int` (the executor
+/// zero-initializes the register file with `Value::Int(0)`); argument
+/// registers start as [`Ty::Any`] because caller-supplied values are
+/// not trusted.
+fn infer(func: &NFunc, nargs: usize) -> Vec<Vec<Ty>> {
+    let nregs = func.nregs as usize;
+    let mut entry = vec![Ty::Int; nregs];
+    for t in entry.iter_mut().take(nargs.min(nregs)) {
+        *t = Ty::Any;
+    }
+    let mut states: Vec<Option<Vec<Ty>>> = vec![None; func.blocks.len()];
+    states[0] = Some(entry);
+    let mut work = vec![0usize];
+    while let Some(b) = work.pop() {
+        let mut tys = states[b].clone().expect("worklist block has a state");
+        for inst in &func.blocks[b].insts {
+            apply(inst, &mut tys);
+        }
+        let succs: [Option<usize>; 2] = match func.blocks[b].insts.last() {
+            Some(NInst::Jmp { target }) => [Some(target.0 as usize), None],
+            Some(NInst::BrCond { then_, else_, .. }) => {
+                [Some(then_.0 as usize), Some(else_.0 as usize)]
+            }
+            _ => [None, None],
+        };
+        for succ in succs.into_iter().flatten() {
+            match &mut states[succ] {
+                Some(old) => {
+                    let mut changed = false;
+                    for (o, n) in old.iter_mut().zip(&tys) {
+                        let m = meet(*o, *n);
+                        if m != *o {
+                            *o = m;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(succ);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(tys.clone());
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    states
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| vec![Ty::Any; nregs]))
+        .collect()
+}
+
+/// The `(byte offset, class, data ref)` micros of one emitted
+/// instruction, as the reference executor would step them. The spill
+/// cursor resets per instruction, mirroring the executor's frame
+/// addressing.
+fn inst_micros(seq: &[Micro], off: u32, out: &mut Vec<(u64, InstrClass, SeqDataRef)>) {
+    let mut spill_cursor = 0u64;
+    for (i, m) in seq.iter().enumerate() {
+        let store = m.class == InstrClass::Store;
+        let mem = match m.mem {
+            MicroMem::None => SeqDataRef::None,
+            MicroMem::Frame => {
+                spill_cursor += 1;
+                SeqDataRef::Frame {
+                    store,
+                    offset: spill_cursor * 8,
+                }
+            }
+            MicroMem::Heap => SeqDataRef::Heap { store },
+        };
+        out.push((
+            (u64::from(off) + i as u64) * NATIVE_INSTR_BYTES,
+            m.class,
+            mem,
+        ));
+    }
+}
+
+/// Narrow a register number, enforcing the `u16` decode invariant.
+fn r(v: VReg) -> u16 {
+    debug_assert!(v.0 < u32::from(NONE));
+    v.0 as u16
+}
+
+/// Decode one NIR instruction. `ic` is the instruction's emitted
+/// offset (inline-cache slot for virtual calls); call argument
+/// registers are appended to `pool`.
+fn decode_op(inst: &NInst, ic: u32, pool: &mut Vec<u16>) -> XOp {
+    match inst {
+        NInst::IConst { d, v } => XOp::IConst { d: r(*d), v: *v },
+        NInst::FConst { d, v } => XOp::FConst { d: r(*d), v: *v },
+        NInst::NullConst { d } => XOp::NullConst { d: r(*d) },
+        NInst::Mov { d, s } => XOp::Mov { d: r(*d), s: r(*s) },
+        NInst::IBinOp { op, d, a, b } => {
+            let (d, a, b) = (r(*d), r(*a), r(*b));
+            match op {
+                IBin::Add => XOp::IAdd { d, a, b },
+                IBin::Sub => XOp::ISub { d, a, b },
+                IBin::Mul => XOp::IMul { d, a, b },
+                IBin::Div => XOp::IDiv { d, a, b },
+                IBin::Rem => XOp::IRem { d, a, b },
+                IBin::And => XOp::IAnd { d, a, b },
+                IBin::Or => XOp::IOr { d, a, b },
+                IBin::Xor => XOp::IXor { d, a, b },
+                IBin::Shl => XOp::IShl { d, a, b },
+                IBin::Shr => XOp::IShr { d, a, b },
+            }
+        }
+        NInst::IShlImm { d, a, k } => XOp::IShlImm {
+            d: r(*d),
+            a: r(*a),
+            k: *k,
+        },
+        NInst::INegOp { d, a } => XOp::INeg { d: r(*d), a: r(*a) },
+        NInst::ICmpOp { d, a, b } => XOp::ICmp {
+            d: r(*d),
+            a: r(*a),
+            b: r(*b),
+        },
+        NInst::FBinOp { op, d, a, b } => {
+            let (d, a, b) = (r(*d), r(*a), r(*b));
+            match op {
+                FBin::Add => XOp::FAdd { d, a, b },
+                FBin::Sub => XOp::FSub { d, a, b },
+                FBin::Mul => XOp::FMul { d, a, b },
+                FBin::Div => XOp::FDiv { d, a, b },
+            }
+        }
+        NInst::FNegOp { d, a } => XOp::FNeg { d: r(*d), a: r(*a) },
+        NInst::FCmpOp { d, a, b } => XOp::FCmp {
+            d: r(*d),
+            a: r(*a),
+            b: r(*b),
+        },
+        NInst::I2FOp { d, a } => XOp::I2F { d: r(*d), a: r(*a) },
+        NInst::F2IOp { d, a } => XOp::F2I { d: r(*d), a: r(*a) },
+        NInst::NewArr { d, ty, len } => XOp::NewArr {
+            d: r(*d),
+            ty: *ty,
+            len: r(*len),
+        },
+        NInst::NewObj { d, class } => XOp::NewObj {
+            d: r(*d),
+            class: class.0,
+        },
+        NInst::ALoadOp { d, arr, idx, .. } => XOp::ALoad {
+            d: r(*d),
+            arr: r(*arr),
+            idx: r(*idx),
+        },
+        NInst::AStoreOp { arr, idx, val, .. } => XOp::AStore {
+            arr: r(*arr),
+            idx: r(*idx),
+            val: r(*val),
+        },
+        NInst::ArrLenOp { d, arr } => XOp::ArrLen {
+            d: r(*d),
+            arr: r(*arr),
+        },
+        NInst::GetFieldOp { d, obj, slot, .. } => XOp::GetField {
+            d: r(*d),
+            obj: r(*obj),
+            slot: *slot,
+        },
+        NInst::PutFieldOp { obj, slot, val } => XOp::PutField {
+            obj: r(*obj),
+            slot: *slot,
+            val: r(*val),
+        },
+        NInst::CallOp { d, target, args } => {
+            let argi = pool.len() as u32;
+            pool.extend(args.iter().map(|&a| r(a)));
+            XOp::Call {
+                d: d.map_or(NONE, r),
+                argc: args.len() as u16,
+                target: target.0,
+                argi,
+            }
+        }
+        NInst::CallVirtOp {
+            d,
+            slot,
+            recv,
+            args,
+        } => {
+            let argi = pool.len() as u32;
+            pool.extend(args.iter().map(|&a| r(a)));
+            XOp::CallVirt {
+                d: d.map_or(NONE, r),
+                slot: *slot,
+                recv: r(*recv),
+                argc: args.len() as u16,
+                ic,
+                argi,
+            }
+        }
+        NInst::Jmp { target } => XOp::Jmp { t: target.0 },
+        NInst::BrCond {
+            cond,
+            a,
+            b,
+            then_,
+            else_,
+        } => XOp::Br {
+            cond: *cond,
+            a: r(*a),
+            b: r(*b),
+            t: then_.0,
+            e: else_.0,
+        },
+        NInst::Ret { val } => XOp::Ret {
+            v: val.map_or(NONE, r),
+        },
+    }
+}
+
+/// Compile `code` into its executable plan against `config`'s energy
+/// table and I-cache geometry: pre-decoded ops, per-instruction charge
+/// plans and batched runs. `nargs` is the method's invoke arity
+/// (argument registers are typed [`Ty::Any`]). Grouping at
+/// `line_bytes.min(32)` is sound because code bases are 32-byte
+/// aligned (see [`SeqPlan::compile_at`]).
+///
+/// # Panics
+/// If the function uses ≥ `u16::MAX` virtual registers (far beyond
+/// anything the JIT emits).
+pub fn compile(config: &MachineConfig, code: &NativeCode, nargs: usize) -> XCode {
+    assert!(
+        code.func.nregs < u32::from(NONE),
+        "register file too large to pre-decode"
+    );
+    let line_bytes = config.icache.map_or(32, |c| c.line_bytes).min(32);
+    let states = infer(&code.func, nargs);
+    let mut scratch: Vec<(u64, InstrClass, SeqDataRef)> = Vec::new();
+    let mut args_pool: Vec<u16> = Vec::new();
+    let blocks = code
+        .func
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(b, block)| {
+            let seqs = &code.micros[b];
+            let offs = &code.offsets[b];
+            let ninsts = block.insts.len();
+
+            // Decoded ops and per-instruction plans (the
+            // reference-shaped path).
+            let mut ops = Vec::with_capacity(ninsts);
+            let mut insts = Vec::with_capacity(ninsts);
+            for (ii, inst) in block.insts.iter().enumerate() {
+                ops.push(decode_op(inst, offs[ii], &mut args_pool));
+                scratch.clear();
+                inst_micros(&seqs[ii], offs[ii], &mut scratch);
+                insts.push(SeqPlan::compile_at(&config.table, line_bytes, &scratch));
+            }
+
+            // Partition into batched runs.
+            let mut tys = states[b].clone();
+            let mut runs = Vec::new();
+            let mut run_at = vec![NO_RUN; ninsts];
+            let mut start = 0usize;
+            let mut steps = 0u64;
+            scratch.clear();
+            let close = |scratch: &mut Vec<(u64, InstrClass, SeqDataRef)>,
+                         runs: &mut Vec<SeqRun>,
+                         run_at: &mut [u32],
+                         start: usize,
+                         end: usize,
+                         steps: u64| {
+                if end - start >= 2 {
+                    run_at[start] = runs.len() as u32;
+                    runs.push(SeqRun {
+                        len: (end - start) as u32,
+                        steps,
+                        plan: SeqPlan::compile_at(&config.table, line_bytes, scratch),
+                    });
+                }
+                scratch.clear();
+            };
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let excluded = matches!(
+                    inst,
+                    NInst::NewArr { .. }
+                        | NInst::NewObj { .. }
+                        | NInst::CallOp { .. }
+                        | NInst::CallVirtOp { .. }
+                ) || seqs[ii].iter().any(|m| m.mem == MicroMem::Heap);
+                if excluded {
+                    close(&mut scratch, &mut runs, &mut run_at, start, ii, steps);
+                    apply(inst, &mut tys);
+                    start = ii + 1;
+                    steps = 0;
+                    continue;
+                }
+                let ok = infallible(inst, &tys);
+                inst_micros(&seqs[ii], offs[ii], &mut scratch);
+                steps += (seqs[ii].len() as u64).max(1);
+                apply(inst, &mut tys);
+                if !ok {
+                    // A fallible instruction may end a run but not sit
+                    // inside one.
+                    close(&mut scratch, &mut runs, &mut run_at, start, ii + 1, steps);
+                    start = ii + 1;
+                    steps = 0;
+                }
+            }
+            close(&mut scratch, &mut runs, &mut run_at, start, ninsts, steps);
+
+            XBlock {
+                ops,
+                plans: insts,
+                runs,
+                run_at,
+            }
+        })
+        .collect();
+
+    XCode {
+        blocks,
+        nregs: code.func.nregs,
+        args_pool,
+    }
+}

@@ -11,13 +11,33 @@
 
 use crate::bytecode::MethodId;
 use crate::class::Program;
-use crate::costs::NATIVE_CODE_BASE;
+use crate::costs::{NATIVE_CODE_BASE, NATIVE_INSTR_BYTES};
+use crate::decode::{CostCache, DecodedMethod, MethodRuns};
 use crate::emit::NativeCode;
 use crate::heap::Heap;
+use crate::runplan::XCode;
 use crate::value::Value;
 use crate::VmError;
 use jem_energy::{Machine, MachineConfig};
+use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for [`VmOptions::slow_interp`].
+static SLOW_INTERP_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Select which interpreter engine freshly constructed [`VmOptions`]
+/// default to: `true` routes bytecode methods through the reference
+/// per-op interpreter ([`crate::interp`]), `false` (the default)
+/// through the pre-decoded fast path ([`crate::decode`]).
+///
+/// Both engines are observationally identical — this switch exists so
+/// differential tests and `--slow-interp` bench flags can exercise the
+/// reference engine through scenario layers that don't thread
+/// `VmOptions` explicitly.
+pub fn set_slow_interp_default(slow: bool) {
+    SLOW_INTERP_DEFAULT.store(slow, Ordering::Relaxed);
+}
 
 /// Execution limits (runaway guards for property tests and experiment
 /// sweeps).
@@ -27,6 +47,9 @@ pub struct VmOptions {
     pub step_budget: u64,
     /// Maximum host call depth.
     pub max_call_depth: u32,
+    /// Use the reference per-op interpreter instead of the pre-decoded
+    /// fast path (see [`set_slow_interp_default`]).
+    pub slow_interp: bool,
 }
 
 impl Default for VmOptions {
@@ -34,6 +57,7 @@ impl Default for VmOptions {
         VmOptions {
             step_budget: u64::MAX,
             max_call_depth: 128,
+            slow_interp: SLOW_INTERP_DEFAULT.load(Ordering::Relaxed),
         }
     }
 }
@@ -49,6 +73,18 @@ pub enum MethodCode {
         code: Rc<NativeCode>,
         /// Simulated base address of the emitted instructions.
         base: u64,
+        /// Monomorphic inline caches, one slot per emitted native
+        /// instruction offset, `(class << 32) | target` per virtual
+        /// call site (`u64::MAX` = cold). Pure memoization of the
+        /// immutable program's vtables — never serialized; a fresh
+        /// (cold) vector after resume is observationally identical.
+        ics: Rc<Vec<Cell<u64>>>,
+        /// The pre-decoded executable plan: flat [`crate::runplan::XOp`]
+        /// stream plus batched charge plans (per-instruction plans and
+        /// merged multi-instruction runs), compiled for this machine's
+        /// energy table and I-cache geometry at install time. A
+        /// derived artifact — never serialized.
+        plans: Rc<XCode>,
     },
 }
 
@@ -68,6 +104,19 @@ pub struct Vm<'p> {
     /// Charged instruction events so far (for the step budget).
     pub steps: u64,
     pub(crate) depth: u32,
+    /// Lazily decoded fast-path form of each bytecode method — a
+    /// derived artifact, rebuilt on demand, never serialized.
+    decoded: Vec<Option<Rc<DecodedMethod>>>,
+    /// Lazily compiled batched-run metadata per bytecode method (for
+    /// this machine's energy table) — derived, never serialized.
+    runs: Vec<Option<Rc<MethodRuns>>>,
+    /// Lazily built per-handler charge plans for this machine's
+    /// energy table.
+    cost_cache: Option<Rc<CostCache>>,
+    /// Reusable `Value` buffers (argument vectors, register files,
+    /// operand stacks), recycled across invocations so the hot
+    /// engines stay allocation-free on the call path.
+    scratch: Vec<Vec<Value>>,
 }
 
 impl<'p> Vm<'p> {
@@ -82,6 +131,26 @@ impl<'p> Vm<'p> {
             next_code_addr: NATIVE_CODE_BASE,
             steps: 0,
             depth: 0,
+            decoded: vec![None; program.methods.len()],
+            runs: vec![None; program.methods.len()],
+            cost_cache: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Take a cleared scratch buffer from the pool (empty, but with
+    /// whatever capacity its last user grew it to).
+    #[inline]
+    pub(crate) fn take_buf(&mut self) -> Vec<Value> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Return a scratch buffer to the pool.
+    #[inline]
+    pub(crate) fn put_buf(&mut self, mut buf: Vec<Value>) {
+        if self.scratch.len() < 64 {
+            buf.clear();
+            self.scratch.push(buf);
         }
     }
 
@@ -112,7 +181,16 @@ impl<'p> Vm<'p> {
         self.next_code_addr += code.code_bytes as u64;
         // Keep code regions line-aligned.
         self.next_code_addr = (self.next_code_addr + 31) & !31;
-        self.code[m.0 as usize] = MethodCode::Native { code, base };
+        let nslots = (code.code_bytes as u64 / NATIVE_INSTR_BYTES) as usize + 1;
+        let ics = Rc::new(vec![Cell::new(u64::MAX); nslots]);
+        let nargs = self.program.method(m).invoke_arity();
+        let plans = Rc::new(crate::runplan::compile(self.machine.config(), &code, nargs));
+        self.code[m.0 as usize] = MethodCode::Native {
+            code,
+            base,
+            ics,
+            plans,
+        };
     }
 
     /// Revert `m` to interpreted execution.
@@ -139,11 +217,20 @@ impl<'p> Vm<'p> {
         }
         self.depth += 1;
         let result = match &self.code[m.0 as usize] {
-            MethodCode::Bytecode => crate::interp::run(self, m, args),
-            MethodCode::Native { code, base } => {
-                let code = Rc::clone(code);
+            MethodCode::Bytecode => {
+                if self.options.slow_interp {
+                    crate::interp::run(self, m, args)
+                } else {
+                    crate::decode::run(self, m, args)
+                }
+            }
+            MethodCode::Native {
+                base, ics, plans, ..
+            } => {
                 let base = *base;
-                crate::exec::run(self, &code, base, args)
+                let ics = Rc::clone(ics);
+                let plans = Rc::clone(plans);
+                crate::exec::run(self, &plans, base, &ics, args)
             }
         };
         self.depth -= 1;
@@ -153,6 +240,43 @@ impl<'p> Vm<'p> {
     /// Current host call depth (used for frame addressing).
     pub fn depth(&self) -> u32 {
         self.depth
+    }
+
+    /// The decoded fast-path form of `m`, translating on first use.
+    pub(crate) fn decoded_code(&mut self, m: MethodId) -> Rc<DecodedMethod> {
+        if let Some(d) = &self.decoded[m.0 as usize] {
+            return Rc::clone(d);
+        }
+        let program = self.program;
+        let d = Rc::new(crate::decode::decode_method(program.method(m), &|mid| {
+            program.method(mid).sig.arity() as u32
+        }));
+        self.decoded[m.0 as usize] = Some(Rc::clone(&d));
+        d
+    }
+
+    /// The batched-run metadata of `m` for this machine's energy
+    /// table, compiled on first use.
+    pub(crate) fn decoded_runs(&mut self, m: MethodId) -> Rc<MethodRuns> {
+        if let Some(r) = &self.runs[m.0 as usize] {
+            return Rc::clone(r);
+        }
+        let dm = self.decoded_code(m);
+        let cc = self.cost_cache();
+        let r = Rc::new(crate::decode::compile_runs(self.program, m, &dm, &cc));
+        self.runs[m.0 as usize] = Some(Rc::clone(&r));
+        r
+    }
+
+    /// The per-handler charge plans for this machine's energy table,
+    /// compiled on first use.
+    pub(crate) fn cost_cache(&mut self) -> Rc<CostCache> {
+        if let Some(c) = &self.cost_cache {
+            return Rc::clone(c);
+        }
+        let c = Rc::new(CostCache::new(&self.machine.config().table));
+        self.cost_cache = Some(Rc::clone(&c));
+        c
     }
 
     /// Charge `n` instruction events against the step budget.

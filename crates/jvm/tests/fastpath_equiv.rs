@@ -1,0 +1,570 @@
+//! Differential property tests: the pre-decoded fast-path interpreter
+//! ([`jem_jvm::decode`]) is observationally identical to the reference
+//! per-op interpreter ([`jem_jvm::interp`]) — same returned value or
+//! error, same step count, same cycle count, and *bit-identical*
+//! energy accounting (total, per-component breakdown, instruction mix,
+//! and cache hit/miss counters).
+//!
+//! Three obligations are checked:
+//!
+//! 1. **Random verified programs** (proptest): the same DSL program
+//!    generator as `prop_jit_equiv`, extended with float arithmetic
+//!    and a static call so the fused-op, batched-run, conversion and
+//!    invoke paths are all exercised.
+//! 2. **Unverified rogue-return programs** (deterministic): hand-built
+//!    bytecode whose callees' runtime return presence contradicts the
+//!    static signature. These invalidate the fast path's dataflow
+//!    assumptions mid-frame; the taint guard must fall back to per-op
+//!    execution and still match the reference engine exactly.
+//! 3. **Step-budget cutoffs**: for every budget value across a run's
+//!    full length, both engines stop at the same instruction with the
+//!    same error and the same machine state — batching must never
+//!    over- or under-charge at the boundary.
+
+use jem_jvm::class::{MethodAttrs, MethodSig, ProgramBuilder};
+use jem_jvm::dsl::*;
+use jem_jvm::verify::verify_program;
+use jem_jvm::{MethodId, Op, Program, Type, Value, Vm, VmError};
+use proptest::prelude::*;
+
+/// Everything observable about a finished VM, with energies captured
+/// as raw bit patterns so `-0.0`/`0.0` or NaN artifacts could never
+/// mask a divergence.
+#[derive(Debug, Clone, PartialEq)]
+struct Fingerprint {
+    steps: u64,
+    cycles: u64,
+    energy_bits: u64,
+    component_bits: Vec<(String, u64)>,
+    mix: Vec<(String, u64)>,
+    icache: Option<jem_energy::CacheStats>,
+    dcache: Option<jem_energy::CacheStats>,
+    state: jem_energy::MachineState,
+}
+
+fn fingerprint(vm: &Vm) -> Fingerprint {
+    let m = &vm.machine;
+    Fingerprint {
+        steps: vm.steps,
+        cycles: m.cycles(),
+        energy_bits: m.energy().joules().to_bits(),
+        component_bits: m
+            .breakdown()
+            .iter()
+            .map(|(c, e)| (format!("{c:?}"), e.joules().to_bits()))
+            .collect(),
+        mix: {
+            use jem_energy::InstrClass::*;
+            let mix = m.mix();
+            [Load, Store, Branch, AluSimple, AluComplex, Nop]
+                .iter()
+                .map(|c| (format!("{c:?}"), mix.count(*c)))
+                .collect()
+        },
+        icache: m.icache_stats(),
+        dcache: m.dcache_stats(),
+        state: m.export_state(),
+    }
+}
+
+/// Run `id(args)` on a fresh client VM with the chosen engine and
+/// budget, returning the outcome plus the machine fingerprint.
+fn run_engine(
+    program: &Program,
+    id: MethodId,
+    args: &[Value],
+    slow: bool,
+    budget: u64,
+) -> (Result<Option<Value>, VmError>, Fingerprint) {
+    let mut vm = Vm::client(program);
+    vm.options.slow_interp = slow;
+    vm.options.step_budget = budget;
+    let got = vm.invoke(id, args.to_vec());
+    let fp = fingerprint(&vm);
+    (got, fp)
+}
+
+/// Assert both engines agree on result and machine state.
+fn assert_engines_agree(program: &Program, id: MethodId, args: &[Value], budget: u64, ctx: &str) {
+    let (slow_res, slow_fp) = run_engine(program, id, args, true, budget);
+    let (fast_res, fast_fp) = run_engine(program, id, args, false, budget);
+    assert_eq!(fast_res, slow_res, "result diverged: {ctx}");
+    assert_eq!(fast_fp, slow_fp, "machine state diverged: {ctx}");
+}
+
+// ---------------------------------------------------------------
+// 1. Random verified programs
+// ---------------------------------------------------------------
+
+/// Same expression AST as `prop_jit_equiv`, which together with the
+/// module skeleton below covers loads/stores, all integer binops,
+/// comparisons, branches, loops and array traffic.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(u8),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Rem(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    // arr[e & 15]
+    Load(Box<E>),
+    // g(e) — static call to a helper method
+    Call(Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    Assign(u8, E),
+    Store(E, E), // arr[e1 & 15] = e2
+    If(E, E, Vec<S>, Vec<S>),
+    Loop(u8, Vec<S>), // bounded 0..k loop over a fresh counter
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-64i32..64).prop_map(E::Const), (0u8..3).prop_map(E::Var),];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Load(Box::new(a))),
+            inner.clone().prop_map(|a| E::Call(Box::new(a))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let base = prop_oneof![
+        ((0u8..3), expr_strategy()).prop_map(|(v, e)| S::Assign(v, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, v)| S::Store(i, v)),
+    ];
+    base.prop_recursive(2, 16, 4, |inner| {
+        let stmts = prop::collection::vec(inner, 1..4);
+        prop_oneof![
+            (
+                expr_strategy(),
+                expr_strategy(),
+                stmts.clone(),
+                stmts.clone()
+            )
+                .prop_map(|(a, b, t, e)| S::If(a, b, t, e)),
+            ((1u8..4), stmts).prop_map(|(k, b)| S::Loop(k, b)),
+        ]
+    })
+}
+
+fn to_expr(e: &E) -> Expr {
+    match e {
+        E::Const(c) => iconst(*c),
+        E::Var(v) => var(&format!("v{v}")),
+        E::Add(a, b) => to_expr(a).add(to_expr(b)),
+        E::Sub(a, b) => to_expr(a).sub(to_expr(b)),
+        E::Mul(a, b) => to_expr(a).mul(to_expr(b)),
+        E::Div(a, b) => to_expr(a).div(to_expr(b)),
+        E::Rem(a, b) => to_expr(a).rem(to_expr(b)),
+        E::Shl(a, b) => to_expr(a).shl(to_expr(b)),
+        E::Xor(a, b) => to_expr(a).bitxor(to_expr(b)),
+        E::Load(i) => var("arr").index(to_expr(i).bitand(iconst(15))),
+        E::Call(a) => call("g", vec![to_expr(a)]),
+    }
+}
+
+fn to_stmts(stmts: &[S], fresh: &mut u32) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            S::Assign(v, e) => assign(&format!("v{v}"), to_expr(e)),
+            S::Store(i, v) => set_index(var("arr"), to_expr(i).bitand(iconst(15)), to_expr(v)),
+            S::If(a, b, t, e) => {
+                let mut f1 = *fresh;
+                let body_t = to_stmts(t, &mut f1);
+                let body_e = to_stmts(e, &mut f1);
+                *fresh = f1;
+                if_else(to_expr(a).lt(to_expr(b)), body_t, body_e)
+            }
+            S::Loop(k, b) => {
+                let name = format!("i{fresh}");
+                *fresh += 1;
+                let body = to_stmts(b, fresh);
+                for_(&name, iconst(0), iconst(i32::from(*k)), body)
+            }
+        })
+        .collect()
+}
+
+fn build(stmts: &[S]) -> (Program, MethodId) {
+    let mut m = ModuleBuilder::new();
+    // A small helper so random expressions exercise the Call path.
+    m.func(
+        "g",
+        vec![("x", DType::Int)],
+        Some(DType::Int),
+        vec![ret(var("x").mul(iconst(3)).bitxor(var("x").shr(iconst(2))))],
+    );
+    let mut fresh = 0;
+    let mut body = vec![let_("arr", new_arr(DType::Int, iconst(16)))];
+    // Seed the array deterministically from the parameters.
+    body.push(for_(
+        "s",
+        iconst(0),
+        iconst(16),
+        vec![set_index(
+            var("arr"),
+            var("s"),
+            var("v0").add(var("s").mul(iconst(7))),
+        )],
+    ));
+    body.extend(to_stmts(stmts, &mut fresh));
+    // A float tail so FArith / I2F / F2I and their fused forms run.
+    body.push(let_(
+        "fx",
+        var("v1").to_f().div(fconst(3.5)).mul(fconst(1.25)),
+    ));
+    body.push(assign(
+        "fx",
+        var("fx").add(var("v2").to_f()).sub(fconst(0.125)).neg(),
+    ));
+    // Fold the state into one observable value.
+    let mut acc = var("v0").bitxor(var("v1")).bitxor(var("fx").to_i());
+    for i in 0..16 {
+        let prev = acc.clone();
+        acc = acc
+            .mul(iconst(31))
+            .add(var("arr").index(iconst(i)))
+            .bitxor(prev.shr(iconst(7)));
+    }
+    body.push(ret(acc));
+    m.func(
+        "f",
+        vec![("v0", DType::Int), ("v1", DType::Int), ("v2", DType::Int)],
+        Some(DType::Int),
+        body,
+    );
+    let p = m.compile().expect("generated programs compile");
+    let id = p.find_method(MODULE_CLASS, "f").expect("f exists");
+    (p, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10 })]
+
+    #[test]
+    fn fast_path_matches_reference(
+        stmts in prop::collection::vec(stmt_strategy(), 1..5),
+        a in -1000i32..1000,
+        b in -1000i32..1000,
+        c in -1000i32..1000,
+    ) {
+        let (program, id) = build(&stmts);
+        verify_program(&program).expect("generated programs verify");
+        let args = vec![Value::Int(a), Value::Int(b), Value::Int(c)];
+
+        let (slow_res, slow_fp) = run_engine(&program, id, &args, true, 50_000_000);
+        let (fast_res, fast_fp) = run_engine(&program, id, &args, false, 50_000_000);
+        prop_assert_eq!(&fast_res, &slow_res, "result diverged (stmts: {:?})", stmts);
+        prop_assert_eq!(&fast_fp, &slow_fp, "machine state diverged (stmts: {:?})", stmts);
+    }
+}
+
+// ---------------------------------------------------------------
+// 2. Unverified rogue-return programs (taint guard)
+// ---------------------------------------------------------------
+
+fn attrs() -> MethodAttrs {
+    MethodAttrs {
+        potential: false,
+        local_only: false,
+        size_param: None,
+    }
+}
+
+/// A caller that interleaves batched straight-line stretches with a
+/// call to `callee`, inside a loop so tainted frames re-execute the
+/// same run sites. Locals: 0 = loop counter, 1 = accumulator.
+fn rogue_caller_body(callee: MethodId) -> Vec<Op> {
+    let mut code = vec![
+        Op::IConst(0),
+        Op::Store(0),
+        Op::IConst(1),
+        Op::Store(1),
+        // loop head (index 4)
+        Op::Load(1),
+        Op::IConst(7),
+        Op::IArith(jem_jvm::IBin::Mul),
+        Op::IConst(13),
+        Op::IArith(jem_jvm::IBin::Add),
+        Op::Call(callee),
+    ];
+    code.extend([
+        Op::Store(1),
+        // counter += 1, loop while counter < 6
+        Op::Load(0),
+        Op::IConst(1),
+        Op::IArith(jem_jvm::IBin::Add),
+        Op::Dup,
+        Op::Store(0),
+        Op::IConst(6),
+        Op::ICmpBr(jem_jvm::Cond::Lt, 4),
+        Op::Load(1),
+        Op::RetVal,
+    ]);
+    code
+}
+
+/// Callee declares `-> int` but returns nothing: the caller's static
+/// stack model expects a push that never happens.
+#[test]
+fn rogue_missing_return_matches_reference() {
+    let mut b = ProgramBuilder::new();
+    let c = b.add_class("App", None, &[]);
+    let callee = b.add_static_method(
+        c,
+        "liar",
+        MethodSig::new(vec![], Some(Type::Int)),
+        0,
+        vec![Op::Nop, Op::Ret],
+        attrs(),
+    );
+    let main = b.add_static_method(
+        c,
+        "main",
+        MethodSig::new(vec![], Some(Type::Int)),
+        2,
+        rogue_caller_body(callee),
+        attrs(),
+    );
+    let p = b.finish();
+    assert_engines_agree(&p, main, &[], u64::MAX, "missing-return taint");
+}
+
+/// Virtual dispatch where every override *declares* `-> int` (so the
+/// static vtable scan confidently predicts a push), but the subclass
+/// override returns nothing at runtime. The prediction is violated
+/// only when a `Sub` receiver flows through the call site — the taint
+/// guard must catch it there.
+#[test]
+fn rogue_virtual_missing_return_matches_reference() {
+    let mut b = ProgramBuilder::new();
+    let base = b.add_class("Base", None, &[]);
+    let (_m_base, slot) = b.add_virtual_method(
+        base,
+        "poly",
+        MethodSig::new(vec![], Some(Type::Int)),
+        1,
+        vec![Op::IConst(17), Op::RetVal],
+        attrs(),
+    );
+    let sub = b.add_class("Sub", Some(base), &[]);
+    let (_m_sub, slot2) = b.add_virtual_method(
+        sub,
+        "poly",
+        MethodSig::new(vec![], Some(Type::Int)),
+        1,
+        // Declares a return it never produces.
+        vec![Op::Ret],
+        attrs(),
+    );
+    assert_eq!(slot, slot2, "override shares the vtable slot");
+    // main(which): pick the receiver class, then loop over the call
+    // site with a sentinel beneath the predicted return slot so the
+    // honest (Base) and lying (Sub) receivers both execute cleanly.
+    let main_code = vec![
+        Op::IConst(0),
+        Op::Store(1),
+        Op::Load(0), // receiver selector: 0 → Base, else Sub
+        Op::BrZ(jem_jvm::Cond::Eq, 7),
+        Op::New(sub),
+        Op::Store(2),
+        Op::Goto(9),
+        Op::New(base),
+        Op::Store(2),
+        // loop head (index 9): sentinel, then the virtual call
+        Op::IConst(99),
+        Op::Load(2),
+        Op::CallVirt { slot, argc: 0 },
+        // Pops the returned value (Base) or the sentinel (Sub).
+        Op::Store(1),
+        Op::Load(0),
+        Op::IConst(1),
+        Op::IArith(jem_jvm::IBin::Add),
+        Op::Dup,
+        Op::Store(0),
+        Op::IConst(9),
+        Op::ICmpBr(jem_jvm::Cond::Lt, 9),
+        Op::Load(1),
+        Op::RetVal,
+    ];
+    let main = b.add_static_method(
+        base,
+        "main",
+        MethodSig::new(vec![Type::Int], Some(Type::Int)),
+        3,
+        main_code,
+        attrs(),
+    );
+    let p = b.finish();
+    for which in [0, 1] {
+        assert_engines_agree(
+            &p,
+            main,
+            &[Value::Int(which)],
+            u64::MAX,
+            &format!("virtual missing return, which={which}"),
+        );
+    }
+}
+
+/// Virtual dispatch with *inconsistent* override return behaviour:
+/// one override returns a value, the other does not, so the static
+/// analysis cannot predict the stack effect of the call site at all.
+#[test]
+fn rogue_inconsistent_virtual_matches_reference() {
+    let mut b = ProgramBuilder::new();
+    let base = b.add_class("Base", None, &[]);
+    let (m_base, slot) = b.add_virtual_method(
+        base,
+        "poly",
+        MethodSig::new(vec![], Some(Type::Int)),
+        1,
+        vec![Op::IConst(5), Op::RetVal],
+        attrs(),
+    );
+    let sub = b.add_class("Sub", Some(base), &[]);
+    let (_m_sub, slot2) = b.add_virtual_method(
+        sub,
+        "poly",
+        MethodSig::new(vec![], Some(Type::Int)),
+        1,
+        // Lies about its own signature *and* disagrees with Base.
+        vec![Op::Ret],
+        attrs(),
+    );
+    assert_eq!(slot, slot2, "override shares the vtable slot");
+    let _ = m_base;
+    // main(which): news the chosen class, calls poly in a loop.
+    let main_code = vec![
+        Op::IConst(0),
+        Op::Store(1),
+        // loop head (index 2)
+        Op::Load(0), // receiver selector: 0 → Base, else Sub
+        Op::BrZ(jem_jvm::Cond::Eq, 8),
+        Op::New(sub),
+        Op::Store(2),
+        Op::Goto(10),
+        Op::Nop,
+        Op::New(base),
+        Op::Store(2),
+        // call site (index 10)
+        Op::Load(2),
+        Op::CallVirt { slot, argc: 0 },
+        Op::Nop,
+        // accumulate loop counter arithmetic so runs exist
+        Op::Load(1),
+        Op::IConst(1),
+        Op::IArith(jem_jvm::IBin::Add),
+        Op::Dup,
+        Op::Store(1),
+        Op::IConst(4),
+        Op::ICmpBr(jem_jvm::Cond::Lt, 2),
+        Op::Load(1),
+        Op::RetVal,
+    ];
+    let main = b.add_static_method(
+        base,
+        "main",
+        MethodSig::new(vec![Type::Int], Some(Type::Int)),
+        3,
+        main_code,
+        attrs(),
+    );
+    let p = b.finish();
+    for which in [0, 1] {
+        assert_engines_agree(
+            &p,
+            main,
+            &[Value::Int(which)],
+            u64::MAX,
+            &format!("inconsistent virtual, which={which}"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// 3. Step-budget cutoffs
+// ---------------------------------------------------------------
+
+/// Both engines must stop at exactly the same instruction, with the
+/// same error and bit-identical machine state, for *every* budget
+/// value from 0 to past the program's full length. The fast path may
+/// only take a batched run when the whole run fits in the remaining
+/// budget, so each cutoff lands inside per-op execution.
+#[test]
+fn step_budget_cutoffs_match_reference() {
+    let mut m = ModuleBuilder::new();
+    m.func(
+        "g",
+        vec![("x", DType::Int)],
+        Some(DType::Int),
+        vec![ret(var("x").mul(iconst(3)).add(iconst(1)))],
+    );
+    m.func(
+        "f",
+        vec![("v0", DType::Int)],
+        Some(DType::Int),
+        vec![
+            let_("acc", iconst(0)),
+            let_("fx", fconst(0.0)),
+            for_(
+                "i",
+                iconst(0),
+                iconst(8),
+                vec![
+                    assign(
+                        "acc",
+                        var("acc")
+                            .mul(iconst(31))
+                            .add(call("g", vec![var("i").add(var("v0"))]))
+                            .bitxor(var("i").shl(iconst(2))),
+                    ),
+                    assign("fx", var("fx").add(var("i").to_f().div(fconst(2.0)))),
+                ],
+            ),
+            ret(var("acc").bitxor(var("fx").to_i())),
+        ],
+    );
+    let p = m.compile().expect("compiles");
+    verify_program(&p).expect("verifies");
+    let id = p.find_method(MODULE_CLASS, "f").expect("f exists");
+    let args = [Value::Int(9)];
+
+    // Full length first, to know where "past the end" is.
+    let (full_res, full_fp) = run_engine(&p, id, &args, true, u64::MAX);
+    assert!(full_res.is_ok(), "reference run succeeds: {full_res:?}");
+    let total = full_fp.steps;
+    assert!(total > 40, "program long enough to slice ({total} steps)");
+
+    for budget in 0..=total + 2 {
+        let (slow_res, slow_fp) = run_engine(&p, id, &args, true, budget);
+        let (fast_res, fast_fp) = run_engine(&p, id, &args, false, budget);
+        assert_eq!(fast_res, slow_res, "result diverged at budget {budget}");
+        assert_eq!(
+            fast_fp, slow_fp,
+            "machine state diverged at budget {budget}"
+        );
+        if budget < total {
+            assert_eq!(
+                slow_res,
+                Err(VmError::StepBudgetExceeded),
+                "budget {budget} should cut the run short"
+            );
+        }
+    }
+}
