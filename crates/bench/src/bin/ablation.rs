@@ -10,11 +10,12 @@
 //!    strategies carry per invocation.
 //!
 //! Usage: `ablation [--runs N] [--trace out.json]
+//! [--timeline out.jts [--sample-every SIM_MS]]
 //! [--json-out BENCH_ablation.json] [--ckpt out.jck] [--resume
 //! out.jck]` (default 120 runs). `--trace` records every variant's
 //! runs in order. Checkpointing is variant-level (the ablation loops
 //! bypass the resumable scenario runner), so `--ckpt` excludes
-//! `--trace`.
+//! `--trace` and `--timeline`.
 
 use jem_apps::workload_by_name;
 use jem_bench::ckpt::{CkptArgs, SweepSession};

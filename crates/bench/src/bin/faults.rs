@@ -17,13 +17,15 @@
 //! bit-for-bit; rerun with `--seed N` to vary it.
 //!
 //! Usage: `faults [--runs N] [--seed N] [--trace out.json]
+//! [--timeline out.jts [--sample-every SIM_MS]]
 //! [--metrics-out out.prom] [--json-out BENCH_faults.json]
 //! [--ckpt out.jck [--ckpt-every N]] [--resume out.jck] [--slow-interp]`
 //! (default 300 runs, seed 7). `--trace` records the resilient-AA runs
-//! across the whole severity sweep. `--ckpt` snapshots the sweep at
-//! invocation boundaries; a killed run continued with `--resume`
-//! produces byte-identical outputs (including the `.jtb` trace) to an
-//! uninterrupted one.
+//! across the whole severity sweep; `--timeline` streams the `.jts`
+//! sim-time-series sidecar of the same runs. `--ckpt` snapshots the
+//! sweep at invocation boundaries; a killed run continued with
+//! `--resume` produces byte-identical outputs (including the `.jtb`
+//! trace and `.jts` timeline) to an uninterrupted one.
 
 use jem_apps::workload_by_name;
 use jem_bench::ckpt::{CkptArgs, SweepSession};
@@ -47,7 +49,10 @@ fn main() {
     ckpt.validate(&obs);
     let mut session = SweepSession::open(
         &ckpt,
-        format!("faults runs={runs} seed={seed} trace={:?}", obs.trace),
+        format!(
+            "faults runs={runs} seed={seed} trace={:?} timeline={:?}",
+            obs.trace, obs.timeline
+        ),
     );
     let mut sink = obs.trace_sink_resumed(session.writer_state());
     let mut registry = MetricsRegistry::new();

@@ -15,6 +15,7 @@
 //! class.
 //!
 //! Usage: `fig6 [--full] [--trace out.json] [--metrics-out out.prom]
+//! [--timeline out.jts [--sample-every SIM_MS]]
 //! [--json-out BENCH_fig6.json] [--ckpt out.jck] [--resume out.jck]
 //! [--slow-interp]`.
 //! Each grid cell is one checkpoint unit; a killed `--ckpt` run
@@ -39,7 +40,13 @@ fn main() {
     let obs = ObsArgs::parse(&args);
     let ckpt = CkptArgs::parse(&args);
     ckpt.validate(&obs);
-    let mut session = SweepSession::open(&ckpt, format!("fig6 full={full} trace={:?}", obs.trace));
+    let mut session = SweepSession::open(
+        &ckpt,
+        format!(
+            "fig6 full={full} trace={:?} timeline={:?}",
+            obs.trace, obs.timeline
+        ),
+    );
     let mut sink = obs.trace_sink_resumed(session.writer_state());
     let mut registry = MetricsRegistry::new();
     let mut tracker = AccuracyTracker::new();

@@ -16,8 +16,10 @@
 //! 10% and 22% savings vs the best static), and AA saves more than AL.
 //!
 //! Usage: `fig7 [--runs N] [--trace out.json] [--metrics-out out.prom]
+//! [--timeline out.jts [--sample-every SIM_MS]]
 //! [--json-out BENCH_fig7.json]` (default 300 runs, the paper's
-//! count). `--trace` records the AA strategy of *every* grid cell:
+//! count). `--timeline` replays the collected shards through the
+//! `.jts` sampler at export time (delta-sum mode; see DESIGN.md §14). `--trace` records the AA strategy of *every* grid cell:
 //! each parallel cell collects into its own `RingSink` shard, and the
 //! shards are merged in deterministic cell order into one multi-track
 //! Chrome trace (`chrome_trace_sharded`), so the traced sweep is

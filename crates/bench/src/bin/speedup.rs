@@ -29,7 +29,10 @@ fn main() {
     let obs = ObsArgs::parse(&args);
     let ckpt = CkptArgs::parse(&args);
     ckpt.validate(&obs);
-    let mut session = SweepSession::open(&ckpt, format!("speedup trace={:?}", obs.trace));
+    let mut session = SweepSession::open(
+        &ckpt,
+        format!("speedup trace={:?} timeline={:?}", obs.trace, obs.timeline),
+    );
     let mut sink = obs.trace_sink_resumed(session.writer_state());
     let workloads = all_workloads();
     eprintln!("building profiles...");

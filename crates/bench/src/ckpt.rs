@@ -99,6 +99,9 @@ impl CkptArgs {
         if self.enabled() && obs.trace.is_some() {
             fail("--ckpt and --trace cannot be combined in this bin");
         }
+        if self.enabled() && obs.timeline.is_some() {
+            fail("--ckpt and --timeline cannot be combined in this bin");
+        }
     }
 
     /// For bins with no scenario state (constant tables, profile-only

@@ -6,6 +6,12 @@
 //!   a `.jtb` extension selects the compact binary format, streamed to
 //!   disk in bounded memory, anything else the Chrome `trace_event`
 //!   JSON document (open in Perfetto / `chrome://tracing`);
+//! * `--timeline out.jts` — stream the sim-time-series sidecar: the
+//!   deterministic `.jts` timeline of derived run state (cumulative
+//!   energy, predictor estimates, channel/breaker state, counters)
+//!   sampled every `--sample-every` sim-milliseconds (default 1, 0 =
+//!   invocation boundaries only) plus a forced sample at every
+//!   invocation end;
 //! * `--monitor` — run the online invariant monitors over the event
 //!   stream and print the health report;
 //! * `--health-out out.json` — write the health report as JSON
@@ -22,11 +28,12 @@
 
 use crate::print_table;
 use jem_core::{accuracy_of, Profile, ScenarioResult};
+use jem_energy::EnergyBreakdown;
 use jem_obs::wire::{jtb_bytes, FileSink};
 use jem_obs::{
     chrome_trace_sharded, chrome_trace_truncated, AccuracyTracker, HealthReport, Json,
-    MetricsRegistry, MonitorConfig, MonitorTee, NullSink, RingSink, TraceEvent, TraceShard,
-    TraceSink,
+    MetricsRegistry, MonitorConfig, MonitorTee, NullSink, RingSink, TimelineSink, TraceEvent,
+    TraceShard, TraceSink,
 };
 
 /// Where a bin should write its optional observability outputs.
@@ -42,6 +49,11 @@ pub struct ObsArgs {
     pub metrics_out: Option<String>,
     /// `--json-out` path (machine-readable results).
     pub json_out: Option<String>,
+    /// `--timeline` path (`.jts` sim-time-series sidecar).
+    pub timeline: Option<String>,
+    /// `--sample-every` cadence in sim-milliseconds (0 = invocation
+    /// boundaries only).
+    pub sample_every_ms: f64,
 }
 
 /// Where collected events go before export.
@@ -60,6 +72,10 @@ enum SinkKind {
 pub struct BenchSink {
     inner: SinkKind,
     tee: Option<MonitorTee>,
+    /// `.jts` sidecar writer. A side observer, not part of the sink
+    /// chain: it sees the raw (pre-monitor) stream with the tracer's
+    /// exact cumulative ledger.
+    timeline: Option<TimelineSink>,
 }
 
 impl BenchSink {
@@ -72,13 +88,9 @@ impl BenchSink {
     }
 }
 
-impl TraceSink for BenchSink {
-    fn enabled(&self) -> bool {
-        // Monitoring needs the event stream even when nothing is
-        // persisted.
-        self.tee.is_some() || !matches!(self.inner, SinkKind::Null(_))
-    }
-    fn record(&mut self, event: TraceEvent) {
+impl BenchSink {
+    /// Forward one event down the (tee ->) inner chain.
+    fn forward(&mut self, event: TraceEvent) {
         match &mut self.tee {
             Some(tee) => {
                 let inner: &mut dyn TraceSink = match &mut self.inner {
@@ -91,6 +103,26 @@ impl TraceSink for BenchSink {
             None => self.inner_sink().record(event),
         }
     }
+}
+
+impl TraceSink for BenchSink {
+    fn enabled(&self) -> bool {
+        // Monitoring and the timeline need the event stream even when
+        // no trace is persisted.
+        self.tee.is_some() || self.timeline.is_some() || !matches!(self.inner, SinkKind::Null(_))
+    }
+    fn record(&mut self, event: TraceEvent) {
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.observe(&event, None);
+        }
+        self.forward(event);
+    }
+    fn record_with_ledger(&mut self, event: TraceEvent, ledger: &EnergyBreakdown) {
+        if let Some(tl) = self.timeline.as_mut() {
+            tl.observe(&event, Some(ledger));
+        }
+        self.forward(event);
+    }
     fn ckpt_state(&mut self) -> Option<Vec<u8>> {
         // Monitor tees carry unserialized window state, and ring sinks
         // only materialize at exit — neither can resume mid-stream.
@@ -98,9 +130,81 @@ impl TraceSink for BenchSink {
         if self.tee.is_some() {
             return None;
         }
-        match &mut self.inner {
-            SinkKind::File(f) => TraceSink::ckpt_state(f.as_mut()),
+        let jtb = match &mut self.inner {
+            SinkKind::File(f) => match TraceSink::ckpt_state(f.as_mut()) {
+                Some(s) => Some(s),
+                // A file sink that cannot checkpoint poisons the whole
+                // state — resuming without it would desync the trace.
+                None => return None,
+            },
             SinkKind::Ring(_) | SinkKind::Null(_) => None,
+        };
+        match self.timeline.as_mut() {
+            None => jtb,
+            Some(tl) => {
+                let jts = TraceSink::ckpt_state(tl)?;
+                Some(encode_composite_state(jtb.as_deref(), &jts))
+            }
+        }
+    }
+}
+
+/// Composite writer-state magic: a `.jtb` writer state and a `.jts`
+/// timeline state packed into the one opaque blob the checkpoint file
+/// carries.
+const JCS_MAGIC: &[u8; 4] = b"JCS1";
+
+fn encode_composite_state(jtb: Option<&[u8]>, jts: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + jtb.map_or(0, <[u8]>::len) + jts.len());
+    out.extend_from_slice(JCS_MAGIC);
+    match jtb {
+        Some(s) => {
+            out.push(1);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&(jts.len() as u32).to_le_bytes());
+    out.extend_from_slice(jts);
+    out
+}
+
+/// The two writer-state parts a checkpoint can carry.
+type SplitState<'a> = (Option<&'a [u8]>, Option<&'a [u8]>);
+
+/// Split a checkpointed writer state into its `.jtb` and `.jts`
+/// parts. Plain (non-composite) states are `.jtb`-only.
+fn split_composite_state(state: &[u8]) -> SplitState<'_> {
+    if state.len() < 5 || &state[..4] != JCS_MAGIC {
+        return (Some(state), None);
+    }
+    let parse = || -> Option<SplitState<'_>> {
+        let mut pos = 4;
+        let has_jtb = state[pos] == 1;
+        pos += 1;
+        let jtb = if has_jtb {
+            let len = u32::from_le_bytes(state.get(pos..pos + 4)?.try_into().ok()?) as usize;
+            pos += 4;
+            let part = state.get(pos..pos + len)?;
+            pos += len;
+            Some(part)
+        } else {
+            None
+        };
+        let len = u32::from_le_bytes(state.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let jts = state.get(pos..pos + len)?;
+        if pos + len != state.len() {
+            return None;
+        }
+        Some((jtb, Some(jts)))
+    };
+    match parse() {
+        Some(parts) => parts,
+        None => {
+            eprintln!("error: corrupt composite writer state in checkpoint");
+            std::process::exit(1);
         }
     }
 }
@@ -108,12 +212,24 @@ impl TraceSink for BenchSink {
 impl ObsArgs {
     /// Parse the output flags from argv.
     pub fn parse(args: &[String]) -> ObsArgs {
+        let sample_every_ms = match crate::arg_str(args, "--sample-every") {
+            None => 1.0,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms >= 0.0 => ms,
+                _ => {
+                    eprintln!("error: --sample-every expects a non-negative sim-ms number");
+                    std::process::exit(2);
+                }
+            },
+        };
         ObsArgs {
             trace: crate::arg_str(args, "--trace"),
             monitor: crate::arg_flag(args, "--monitor"),
             health_out: crate::arg_str(args, "--health-out"),
             metrics_out: crate::arg_str(args, "--metrics-out"),
             json_out: crate::arg_str(args, "--json-out"),
+            timeline: crate::arg_str(args, "--timeline"),
+            sample_every_ms,
         }
     }
 
@@ -122,10 +238,15 @@ impl ObsArgs {
         self.monitor || self.health_out.is_some()
     }
 
-    /// Whether traced runs are wanted at all (`--trace`, or monitors
-    /// that need the event stream).
+    /// Whether traced runs are wanted at all (`--trace`, a
+    /// `--timeline` sidecar, or monitors that need the event stream).
     pub fn wants_events(&self) -> bool {
-        self.trace.is_some() || self.monitoring()
+        self.trace.is_some() || self.timeline.is_some() || self.monitoring()
+    }
+
+    /// The sampling cadence in sim-nanoseconds.
+    fn sample_every_ns(&self) -> f64 {
+        self.sample_every_ms * 1e6
     }
 
     /// Whether `--trace` selects the binary format.
@@ -148,9 +269,13 @@ impl ObsArgs {
     /// checkpoint left it (post-checkpoint bytes from the crashed run
     /// are truncated away), instead of starting a fresh file.
     pub fn trace_sink_resumed(&self, writer_state: Option<&[u8]>) -> Option<BenchSink> {
+        let (jtb_state, jts_state) = match writer_state {
+            Some(state) => split_composite_state(state),
+            None => (None, None),
+        };
         let inner = match &self.trace {
             Some(path) if self.wants_jtb() => {
-                let sink = match writer_state {
+                let sink = match jtb_state {
                     Some(state) => FileSink::resume(path, state)
                         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
                     None => FileSink::create(path),
@@ -164,14 +289,29 @@ impl ObsArgs {
                 }
             }
             Some(_) => SinkKind::Ring(RingSink::new(1_000_000)),
-            None if self.monitoring() => SinkKind::Null(NullSink),
+            None if self.monitoring() || self.timeline.is_some() => SinkKind::Null(NullSink),
             None => return None,
         };
+        let timeline = self.timeline.as_ref().map(|path| {
+            let sink = match jts_state {
+                Some(state) => TimelineSink::resume(path, state)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+                None => TimelineSink::create(path, self.sample_every_ns()),
+            };
+            match sink {
+                Ok(tl) => tl,
+                Err(err) => {
+                    eprintln!("error: cannot create {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        });
         Some(BenchSink {
             inner,
             tee: self
                 .monitoring()
                 .then(|| MonitorTee::new(MonitorConfig::default())),
+            timeline,
         })
     }
 
@@ -182,6 +322,16 @@ impl ObsArgs {
         let Some(sink) = sink else { return };
         if let Some(tee) = sink.tee {
             self.emit_health(&tee.finish());
+        }
+        if let Some(tl) = sink.timeline {
+            let path = tl.path().to_string();
+            match tl.finish() {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(err) => {
+                    eprintln!("error: cannot write {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
         }
         match sink.inner {
             SinkKind::Ring(ring) => {
@@ -211,6 +361,28 @@ impl ObsArgs {
     /// an independent run, so the tee resets per shard and alerts land
     /// in their shard's track).
     pub fn write_trace_sharded(&self, shards: &[TraceShard]) {
+        // Sharded sweeps collect events first and replay them here, so
+        // the tracer's exact ledger is gone; the timeline falls back to
+        // its delta-sum replay mode (cumulative columns then equal the
+        // trace-sum columns — still deterministic, still reconciling
+        // with the trace, but re-rounded relative to the live ledger).
+        if let Some(path) = &self.timeline {
+            let tl = TimelineSink::create(path, self.sample_every_ns()).and_then(|mut tl| {
+                for shard in shards {
+                    for ev in &shard.events {
+                        tl.observe(ev, None);
+                    }
+                }
+                tl.finish()
+            });
+            match tl {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(err) => {
+                    eprintln!("error: cannot write {path}: {err}");
+                    std::process::exit(1);
+                }
+            }
+        }
         let monitored;
         let shards = if self.monitoring() {
             let mut tee = MonitorTee::new(MonitorConfig::default());

@@ -615,6 +615,7 @@ impl<'a> EnergyAwareVm<'a> {
                 mode: mode.to_string(),
                 energy,
                 time,
+                instructions: self.client.machine.mix().total(),
             });
         }
         Ok(InvocationReport {

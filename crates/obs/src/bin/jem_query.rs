@@ -12,8 +12,21 @@
 //!   --hist                per-group histogram of per-event energy deltas
 //!   --top <n>             hot-frame mode: print the n hottest profile
 //!                         frames instead (predicates are ignored)
+//!   --series <name>       timeline mode: windowed aggregation of one
+//!                         series from a `.jts` timeline (only
+//!                         `--since`/`--until`/`--json` apply)
 //!   --json                machine-readable output (jem-query/v1)
 //! ```
+//!
+//! With `--series`, the input must be a `.jts` timeline sidecar (from
+//! `--timeline`). Per segment the engine reports the sampled value at
+//! the window end, the delta across the window, and min/max of the
+//! in-window samples; label-coded series report the label at the
+//! window end plus the distinct labels seen. Windows anchored at 0
+//! over cumulative `energy.<c>.trace_nj` series reconcile *bit-exactly*
+//! with summing the same component's deltas from the run's `.jtb`
+//! trace over the same window — both are the identical sequence of
+//! f64 additions.
 //!
 //! Accepts both trace formats — the compact binary `.jtb` (sniffed by
 //! magic and processed block-by-block in O(block) memory) and the
@@ -27,21 +40,26 @@
 //! Truncated inputs (dropped events) are processed but loudly flagged;
 //! exit status is 0 on success, 1 on errors, 2 on usage errors.
 
+use jem_obs::json::Json;
 use jem_obs::profile::ProfileFolder;
 use jem_obs::query::{GroupKey, Query, QueryEngine};
+use jem_obs::timeline::series_is_label;
 use jem_obs::wire::{is_jtb, load_trace_bytes, JtbStream};
+use jem_obs::Timeline;
 use std::io::{BufReader, Read};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: jem-query <trace.jtb | trace.json | -> [--kind <name>]... \
+const USAGE: &str = "usage: jem-query <trace.jtb | timeline.jts | trace.json | -> \
+                     [--kind <name>]... \
                      [--method <s>] [--mode <s>] [--shard <s>] [--since <ns>] [--until <ns>] \
-                     [--group-by <k,k,…>] [--hist] [--top <n>] [--json]";
+                     [--group-by <k,k,…>] [--hist] [--top <n>] [--series <name>] [--json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut trace_path = None;
     let mut query = Query::default();
     let mut top: Option<usize> = None;
+    let mut series: Option<String> = None;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
@@ -123,6 +141,14 @@ fn main() -> ExitCode {
                 top = Some(v);
                 i += 2;
             }
+            "--series" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-query: --series needs a series name");
+                    return ExitCode::from(2);
+                };
+                series = Some(v);
+                i += 2;
+            }
             "--json" => {
                 json = true;
                 i += 1;
@@ -149,6 +175,10 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+
+    if let Some(name) = series {
+        return series_window(&trace_path, &name, query.since_ns, query.until_ns, json);
+    }
 
     if let Some(top) = top {
         return hot_frames(&trace_path, top);
@@ -228,6 +258,152 @@ fn main() -> ExitCode {
         println!("{}", result.to_json().render_pretty());
     } else {
         println!("{}", result.render_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--series` mode: windowed aggregation of one timeline series.
+///
+/// The window is `[since, until]` sim-ns (defaults: segment start /
+/// segment end). Value-at-window-end is the last sample at or before
+/// `until`; the window delta subtracts the last sample at or before
+/// `since`, so a window anchored at 0 returns the plain cumulative
+/// value — bit-exact against a sequential `.jtb` sum for the
+/// `energy.<c>.trace_nj` family.
+fn series_window(
+    trace_path: &str,
+    name: &str,
+    since: Option<f64>,
+    until: Option<f64>,
+    json: bool,
+) -> ExitCode {
+    let bytes = match read_input(trace_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("jem-query: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let tl = match Timeline::read(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jem-query: {trace_path}: {e} (--series needs a .jts timeline)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(idx) = tl.series_index(name) else {
+        eprintln!("jem-query: unknown series '{name}'; available:");
+        for s in &tl.series {
+            eprintln!("  {s}");
+        }
+        return ExitCode::from(2);
+    };
+    let a = since;
+    let b = until;
+    let is_label = series_is_label(idx);
+    let label_of = |v: f64| -> String {
+        tl.labels
+            .get(v as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("#{v}"))
+    };
+
+    let mut seg_rows = Vec::new();
+    let mut total_delta = 0.0f64;
+    for (si, seg) in tl.segments.iter().enumerate() {
+        let lo = a.unwrap_or(f64::NEG_INFINITY);
+        let hi = b.unwrap_or(seg.end_t);
+        let end_val = seg.value_at(idx, hi);
+        let start_val = match a {
+            Some(a) => seg.value_at(idx, a),
+            None => 0.0,
+        };
+        let in_window: Vec<f64> = seg
+            .times
+            .iter()
+            .zip(&seg.cols[idx])
+            .filter(|(t, _)| **t >= lo && **t <= hi)
+            .map(|(_, v)| *v)
+            .collect();
+        let samples = in_window.len();
+        if is_label {
+            let mut seen: Vec<String> = Vec::new();
+            for v in &in_window {
+                let l = label_of(*v);
+                if !seen.contains(&l) {
+                    seen.push(l);
+                }
+            }
+            seg_rows.push((
+                si,
+                samples,
+                Json::object()
+                    .with("segment", si as u64)
+                    .with("samples", samples as u64)
+                    .with("value_at_end", label_of(end_val))
+                    .with(
+                        "labels_seen",
+                        Json::Arr(seen.iter().map(|l| Json::from(l.as_str())).collect()),
+                    ),
+                format!(
+                    "segment {si}: samples={samples} value@end={} labels-seen=[{}]",
+                    label_of(end_val),
+                    seen.join(", ")
+                ),
+            ));
+        } else {
+            let delta = end_val - start_val;
+            total_delta += delta;
+            let min = in_window.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = in_window.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut obj = Json::object()
+                .with("segment", si as u64)
+                .with("samples", samples as u64)
+                .with("value_at_end", end_val)
+                .with("delta", delta);
+            let mut line =
+                format!("segment {si}: samples={samples} value@end={end_val} delta={delta}");
+            if samples > 0 {
+                obj = obj.with("min", min).with("max", max);
+                line.push_str(&format!(" min={min} max={max}"));
+            }
+            seg_rows.push((si, samples, obj, line));
+        }
+    }
+
+    if json {
+        let mut doc = Json::object()
+            .with("format", "jem-query/v1")
+            .with("series", name)
+            .with("sample_every_ns", tl.sample_every_ns);
+        if let Some(a) = since {
+            doc = doc.with("since_ns", a);
+        }
+        if let Some(b) = until {
+            doc = doc.with("until_ns", b);
+        }
+        doc = doc.with(
+            "segments",
+            Json::Arr(seg_rows.into_iter().map(|(_, _, obj, _)| obj).collect()),
+        );
+        if !is_label {
+            doc = doc.with("total_delta", total_delta);
+        }
+        println!("{}", doc.render_pretty());
+    } else {
+        let window = match (since, until) {
+            (Some(a), Some(b)) => format!("[{a}, {b}] sim-ns"),
+            (Some(a), None) => format!("[{a}, end] sim-ns"),
+            (None, Some(b)) => format!("[start, {b}] sim-ns"),
+            (None, None) => "[start, end]".to_string(),
+        };
+        println!("series {name} over {window}");
+        for (_, _, _, line) in &seg_rows {
+            println!("{line}");
+        }
+        if !is_label {
+            println!("total delta: {total_delta}");
+        }
     }
     ExitCode::SUCCESS
 }

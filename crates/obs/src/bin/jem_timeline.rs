@@ -1,0 +1,410 @@
+//! Inspect, export, and compare `.jts` sim-time-series timelines.
+//!
+//! ```text
+//! jem-timeline <timeline.jts> [options]
+//!   --series <name>     restrict output to this series (repeatable;
+//!                       default: all series)
+//!   --window a:b        keep samples with sim-time in [a, b] sim-ms
+//!   --csv               CSV export (segment,t_ns,<series…>) to stdout
+//!   --json              jem-timeline/v1 JSON document to stdout
+//!   --sparkline         one unicode sparkline per selected series
+//!   --overlay <b.jts>   A/B comparison: window-end values and deltas
+//!                       per series against a second timeline
+//!   --out <path>        write --csv/--json output to a file
+//!                       (atomically) instead of stdout
+//!   --schema <path>     with --json: validate the document against
+//!                       this JSON Schema before printing
+//! ```
+//!
+//! Without an export flag, prints a human summary (cadence, segments,
+//! samples, per-series window-end values). All output is
+//! deterministic: the same `.jts` input yields byte-identical output,
+//! so CI can diff exports across runs. Values are printed with Rust's
+//! shortest-roundtrip float formatting — re-parsing a CSV or JSON
+//! export recovers the sampled values bit-for-bit.
+//!
+//! Label-coded series (`channel.*`, `breaker.state`) export their
+//! label *ids* in CSV (plottable), and both id and label text in JSON
+//! via the document's `labels` table.
+//!
+//! The `jem-timeline/v1` JSON document is validated in CI against
+//! `schemas/timeline.schema.json`; per segment it carries parallel
+//! arrays: `times` plus `values` (one inner array per selected series,
+//! in `series` order).
+//!
+//! Exit status: 0 on success, 1 on errors, 2 on usage errors.
+
+use jem_obs::json::Json;
+use jem_obs::timeline::series_is_label;
+use jem_obs::{write_atomic, Timeline};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jem-timeline <timeline.jts> [--series <name>]... [--window a:b] \
+                     [--csv | --json | --sparkline | --overlay <b.jts>] [--out <path>] \
+                     [--schema <schema.json>]";
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Sparklines are resampled down to at most this many cells.
+const SPARK_WIDTH: usize = 64;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut series: Vec<String> = Vec::new();
+    let mut window: Option<(f64, f64)> = None;
+    let mut csv = false;
+    let mut json = false;
+    let mut sparkline = false;
+    let mut overlay: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut schema: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
+        match args[i].as_str() {
+            "--series" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-timeline: --series needs a series name");
+                    return ExitCode::from(2);
+                };
+                series.push(v);
+                i += 2;
+            }
+            "--window" => {
+                let parsed = take(i).and_then(|v| {
+                    let (a, b) = v.split_once(':')?;
+                    let a: f64 = a.parse().ok()?;
+                    let b: f64 = b.parse().ok()?;
+                    (a.is_finite() && b.is_finite() && a <= b).then_some((a, b))
+                });
+                let Some(w) = parsed else {
+                    eprintln!("jem-timeline: --window needs a:b in sim-ms with a <= b");
+                    return ExitCode::from(2);
+                };
+                window = Some(w);
+                i += 2;
+            }
+            "--overlay" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-timeline: --overlay needs a .jts path");
+                    return ExitCode::from(2);
+                };
+                overlay = Some(v);
+                i += 2;
+            }
+            "--schema" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-timeline: --schema needs a path");
+                    return ExitCode::from(2);
+                };
+                schema = Some(v);
+                i += 2;
+            }
+            "--out" => {
+                let Some(v) = take(i) else {
+                    eprintln!("jem-timeline: --out needs a path");
+                    return ExitCode::from(2);
+                };
+                out = Some(v);
+                i += 2;
+            }
+            "--csv" => {
+                csv = true;
+                i += 1;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--sparkline" => {
+                sparkline = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if other.starts_with("--") {
+                    eprintln!("jem-timeline: unknown option '{other}'");
+                    return ExitCode::from(2);
+                }
+                if path.is_some() {
+                    eprintln!("jem-timeline: unexpected argument '{other}'");
+                    return ExitCode::from(2);
+                }
+                path = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if csv as u8 + json as u8 + sparkline as u8 + overlay.is_some() as u8 > 1 {
+        eprintln!("jem-timeline: --csv, --json, --sparkline and --overlay are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    let tl = match load(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jem-timeline: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Resolve the selected series to column indices (default: all).
+    let selected: Vec<usize> = if series.is_empty() {
+        (0..tl.series.len()).collect()
+    } else {
+        let mut idxs = Vec::with_capacity(series.len());
+        for name in &series {
+            match tl.series_index(name) {
+                Some(idx) => idxs.push(idx),
+                None => {
+                    eprintln!("jem-timeline: unknown series '{name}'; available:");
+                    for s in &tl.series {
+                        eprintln!("  {s}");
+                    }
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        idxs
+    };
+    // --window is in sim-ms for human ergonomics; samples are sim-ns.
+    let win_ns = window.map(|(a, b)| (a * 1e6, b * 1e6));
+    let in_window = |t: f64| win_ns.is_none_or(|(a, b)| t >= a && t <= b);
+
+    if let Some(b_path) = overlay {
+        let other = match load(&b_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("jem-timeline: {b_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return render_overlay(&tl, &path, &other, &b_path, &selected, win_ns);
+    }
+
+    let rendered = if csv {
+        render_csv(&tl, &selected, &in_window)
+    } else if json {
+        let doc = tl.export_json(&selected, in_window);
+        if let Some(schema_path) = &schema {
+            if let Err(e) = check_schema(&doc, schema_path) {
+                eprintln!("jem-timeline: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("jem-timeline: output validates against {schema_path}");
+        }
+        format!("{}\n", doc.render_pretty())
+    } else if sparkline {
+        render_sparklines(&tl, &selected, &in_window)
+    } else {
+        render_summary(&tl, &path, &selected, win_ns)
+    };
+    match out {
+        Some(out) => {
+            if let Err(e) = write_atomic(&out, rendered.as_bytes()) {
+                eprintln!("jem-timeline: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {out}");
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Timeline, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    Timeline::read(&bytes)
+}
+
+/// Validate the rendered document against a JSON Schema (the CI gate
+/// for `schemas/timeline.schema.json`).
+fn check_schema(doc: &Json, schema_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read schema {schema_path}: {e}"))?;
+    let schema = Json::parse(&text).map_err(|e| format!("schema {schema_path}: {e}"))?;
+    let errors = jem_obs::schema::validate(doc, &schema);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "output fails schema validation: {}",
+            errors.join("; ")
+        ))
+    }
+}
+
+/// CSV export: one row per kept sample, label series as numeric ids.
+fn render_csv(tl: &Timeline, selected: &[usize], in_window: &dyn Fn(f64) -> bool) -> String {
+    let mut out = String::from("segment,t_ns");
+    for &idx in selected {
+        out.push(',');
+        out.push_str(&tl.series[idx]);
+    }
+    out.push('\n');
+    for (si, seg) in tl.segments.iter().enumerate() {
+        for (row, t) in seg.times.iter().enumerate() {
+            if !in_window(*t) {
+                continue;
+            }
+            out.push_str(&format!("{si},{t}"));
+            for &idx in selected {
+                out.push_str(&format!(",{}", seg.cols[idx][row]));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One sparkline per series over the concatenated in-window samples.
+fn render_sparklines(tl: &Timeline, selected: &[usize], in_window: &dyn Fn(f64) -> bool) -> String {
+    let mut out = String::new();
+    let width = tl.series.iter().map(String::len).max().unwrap_or(0);
+    for &idx in selected {
+        let vals: Vec<f64> = tl
+            .segments
+            .iter()
+            .flat_map(|seg| {
+                seg.times
+                    .iter()
+                    .zip(&seg.cols[idx])
+                    .filter(|(t, _)| in_window(**t))
+                    .map(|(_, v)| *v)
+            })
+            .collect();
+        let line = sparkline(&vals);
+        let (lo, hi) = match (
+            vals.iter().cloned().reduce(f64::min),
+            vals.iter().cloned().reduce(f64::max),
+        ) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => (0.0, 0.0),
+        };
+        out.push_str(&format!(
+            "{name:<width$}  {line}  [{lo} .. {hi}]\n",
+            name = tl.series[idx]
+        ));
+    }
+    out
+}
+
+/// Resample to at most [`SPARK_WIDTH`] cells (last sample per cell)
+/// and map each value onto the 8-step block ramp.
+fn sparkline(vals: &[f64]) -> String {
+    if vals.is_empty() {
+        return "(no samples)".to_string();
+    }
+    let cells = vals.len().min(SPARK_WIDTH);
+    let mut picked = Vec::with_capacity(cells);
+    for c in 0..cells {
+        // Last value of each equal-count chunk, so the final cell is
+        // always the final sample.
+        let end = ((c + 1) * vals.len()).div_ceil(cells);
+        picked.push(vals[end - 1]);
+    }
+    let lo = picked.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = picked.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    picked
+        .iter()
+        .map(|v| {
+            let step = if span > 0.0 {
+                (((v - lo) / span) * 7.0).round() as usize
+            } else {
+                0
+            };
+            SPARK[step.min(7)]
+        })
+        .collect()
+}
+
+/// Human summary: file shape plus per-series window-end values.
+fn render_summary(
+    tl: &Timeline,
+    path: &str,
+    selected: &[usize],
+    win_ns: Option<(f64, f64)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{path}: {} segments, {} samples, {} series, cadence {} sim-ns\n",
+        tl.segments.len(),
+        tl.samples(),
+        tl.series.len(),
+        tl.sample_every_ns
+    ));
+    if let Some((a, b)) = win_ns {
+        out.push_str(&format!("window: [{a}, {b}] sim-ns\n"));
+    }
+    let width = tl.series.iter().map(String::len).max().unwrap_or(0);
+    for (si, seg) in tl.segments.iter().enumerate() {
+        let end = win_ns.map_or(seg.end_t, |(_, b)| b.min(seg.end_t));
+        out.push_str(&format!("segment {si} (end {} sim-ns):\n", seg.end_t));
+        for &idx in selected {
+            let v = seg.value_at(idx, end);
+            if series_is_label(idx) {
+                let label = tl.labels.get(v as usize).map_or("?", String::as_str);
+                out.push_str(&format!("  {:<width$}  {label}\n", tl.series[idx]));
+            } else {
+                out.push_str(&format!("  {:<width$}  {v}\n", tl.series[idx]));
+            }
+        }
+    }
+    out
+}
+
+/// A/B comparison: window-end value per series from each file, with
+/// the B−A delta for numeric series.
+fn render_overlay(
+    a: &Timeline,
+    a_path: &str,
+    b: &Timeline,
+    b_path: &str,
+    selected: &[usize],
+    win_ns: Option<(f64, f64)>,
+) -> ExitCode {
+    let end_of = |tl: &Timeline, seg: usize| -> f64 {
+        let end = tl.segments[seg].end_t;
+        win_ns.map_or(end, |(_, w)| w.min(end))
+    };
+    let segs = a.segments.len().min(b.segments.len());
+    if a.segments.len() != b.segments.len() {
+        println!(
+            "note: segment count differs (A={}, B={}); comparing the first {segs}",
+            a.segments.len(),
+            b.segments.len()
+        );
+    }
+    let width = a.series.iter().map(String::len).max().unwrap_or(0);
+    for seg in 0..segs {
+        println!("segment {seg}: A={a_path} B={b_path}");
+        for &idx in selected {
+            let name = &a.series[idx];
+            // Match by name, not index, so overlays survive future
+            // series reordering between file versions.
+            let Some(b_idx) = b.series_index(name) else {
+                println!("  {name:<width$}  (missing in B)");
+                continue;
+            };
+            let va = a.segments[seg].value_at(idx, end_of(a, seg));
+            let vb = b.segments[seg].value_at(b_idx, end_of(b, seg));
+            if series_is_label(idx) {
+                let la = a.labels.get(va as usize).map_or("?", String::as_str);
+                let lb = b.labels.get(vb as usize).map_or("?", String::as_str);
+                let marker = if la == lb { "" } else { "  *" };
+                println!("  {name:<width$}  A={la} B={lb}{marker}");
+            } else {
+                println!("  {name:<width$}  A={va} B={vb} delta={}", vb - va);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

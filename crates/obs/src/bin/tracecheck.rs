@@ -4,10 +4,15 @@
 //! tracecheck <trace.jtb | trace.json | -> [--schema schemas/trace.schema.json] [--summary]
 //! ```
 //!
-//! Accepts both trace formats: the compact binary `.jtb` (sniffed by
-//! magic, regardless of extension) and the Chrome `trace_event` JSON
-//! document. `-` reads from stdin (for piping straight out of a bench
-//! bin). Checks, in order:
+//! Accepts all three exported formats, sniffed by magic regardless of
+//! extension: the compact binary `.jtb` trace, the `.jts` sim-time
+//! timeline sidecar, and the Chrome `trace_event` JSON document. `-`
+//! reads from stdin (for piping straight out of a bench bin).
+//!
+//! A `.jts` input is fully decoded and checked for monotone sim-time,
+//! samples within segment bounds, monotone counter series, and the
+//! bit-exact rate-integral-vs-footer reconciliation; the other flags
+//! do not apply to timelines. Trace inputs check, in order:
 //! 1. the input decodes — JSON parse for Chrome traces; header, block,
 //!    footer and trailer integrity for `.jtb`;
 //! 2. (with `--schema`, JSON inputs only) it validates against the
@@ -46,13 +51,14 @@
 use jem_energy::EnergyBreakdown;
 use jem_obs::json::Json;
 use jem_obs::schema::validate;
+use jem_obs::timeline::is_jts;
 use jem_obs::wire::{is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, salvage_jtb, JtbIndex};
 use jem_obs::{chrome_trace_sharded, write_atomic, TraceShard};
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: tracecheck <trace.jtb | trace.json | -> \
+const USAGE: &str = "usage: tracecheck <trace.jtb | timeline.jts | trace.json | -> \
      [--schema <schema.json>] [--summary] [--reencode <out.jtb|out.json>] \
      [--salvage <out.jtb>]";
 
@@ -120,6 +126,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if is_jts(&bytes) {
+        if schema_path.is_some() || reencode_path.is_some() || salvage_path.is_some() {
+            eprintln!("tracecheck: --schema/--reencode/--salvage do not apply to .jts timelines");
+            return ExitCode::from(2);
+        }
+        return match jem_obs::validate_jts(&bytes) {
+            Ok(s) => {
+                println!(
+                    "tracecheck: {trace_path}: OK (jts, {} segments, {} samples, \
+                     {} series, cadence {} sim-ns, rate integrals reconcile bit-exactly)",
+                    s.segments, s.samples, s.series, s.sample_every_ns
+                );
+                if summary {
+                    println!("  segments:             {}", s.segments);
+                    println!("  samples:              {}", s.samples);
+                    println!("  series:               {}", s.series);
+                    println!("  sample cadence:       {} sim-ns", s.sample_every_ns);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     if let Some(out) = &salvage_path {
         // Cut a crash-torn stream back to its last invocation-aligned

@@ -28,9 +28,15 @@
 //! * [`query`] — a streaming filter / project / aggregate engine over
 //!   traces (`jem-query`), reconciling bit-exactly with [`profile`],
 //! * [`monitor`] — online invariant monitors (energy conservation,
-//!   negative deltas, retry storms, breaker flap, predictor regret)
-//!   that tee any sink, inject structured alert events, and emit an
-//!   end-of-run health report.
+//!   negative deltas, retry storms, breaker flap, predictor regret,
+//!   regret trend, energy-rate anomalies) that tee any sink, inject
+//!   structured alert events, and emit an end-of-run health report,
+//! * [`timeline`] — the `.jts` sim-time-series sidecar: a
+//!   deterministic sampler that snapshots derived run state (energy
+//!   cumulative/rates, predictor estimates, channel/breaker state,
+//!   counters) at a sim-time cadence into a compact columnar format
+//!   whose energy-rate integrals reconcile bit-exactly with the run's
+//!   final breakdown.
 //!
 //! Because the workspace's vendored `serde` is a no-op stub, the
 //! [`json`] module supplies the deterministic JSON reader/writer that
@@ -51,6 +57,7 @@ pub mod monitor;
 pub mod profile;
 pub mod query;
 pub mod schema;
+pub mod timeline;
 pub mod trace;
 pub mod wire;
 
@@ -64,6 +71,9 @@ pub use profile::{
     CellStats, CollapseWeight, InvocationResolver, ProfileFolder, ResolvedEvent, TraceProfile,
 };
 pub use query::{GroupKey, Query, QueryEngine, QueryResult, QueryRow};
+pub use timeline::{
+    is_jts, series_names, validate_jts, JtsSummary, Timeline, TimelineSegment, TimelineSink,
+};
 pub use trace::{
     chrome_trace, chrome_trace_sharded, chrome_trace_truncated, dropped_from_chrome_trace,
     events_from_chrome_trace, split_shards, NullSink, RingSink, TraceEvent, TraceEventKind,

@@ -132,6 +132,42 @@ impl Histogram {
         out
     }
 
+    /// Deterministic quantile estimate from the bucket counts (`None`
+    /// when empty). Finds the bucket holding the `q`-rank observation
+    /// and interpolates linearly inside it — the same estimator as
+    /// Prometheus' `histogram_quantile`, with two refinements the
+    /// recorded extremes allow: the first bucket's lower edge is the
+    /// observed minimum (not 0), the overflow bucket returns the
+    /// observed maximum, and the result is clamped to `[min, max]`.
+    /// Pure arithmetic over counts, so identically-seeded runs render
+    /// identical estimates.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = acc;
+            acc += c;
+            if c > 0 && acc as f64 >= target {
+                let upper = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                if !upper.is_finite() {
+                    return Some(self.max);
+                }
+                let lower = if i == 0 {
+                    self.min.min(upper)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((target - prev as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lower + (upper - lower) * frac;
+                return Some(v.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Merge another histogram's observations into this one. Both must
     /// share the same bucket boundaries.
     pub fn merge(&mut self, other: &Histogram) {
@@ -172,10 +208,20 @@ impl Histogram {
             .with("count", self.count);
         if self.count > 0 {
             obj = obj.with("min", self.min).with("max", self.max);
+            for (name, q) in QUANTILES {
+                if let Some(v) = self.quantile(q) {
+                    obj = obj.with(name, v);
+                }
+            }
         }
         obj
     }
 }
+
+/// The quantile estimates both expositions precompute for every
+/// non-empty histogram, so latency/energy distributions are readable
+/// without post-processing the bucket counts.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)];
 
 /// Canonical label rendering: `key="value",…` sorted by key.
 fn render_labels(labels: &[(&str, String)]) -> String {
@@ -300,6 +346,11 @@ impl MetricsRegistry {
                 }
                 let _ = writeln!(out, "{}_sum{} {}", family, braced(labels), fmt(h.sum()));
                 let _ = writeln!(out, "{}_count{} {}", family, braced(labels), h.count());
+                for (name, q) in QUANTILES {
+                    if let Some(v) = h.quantile(q) {
+                        let _ = writeln!(out, "{family}_{name}{} {}", braced(labels), fmt(v));
+                    }
+                }
             }
         }
         out
@@ -414,6 +465,48 @@ mod tests {
         assert_eq!(cum[2], (100.0, 3));
         assert_eq!(cum[3].1, 4);
         assert!(cum[3].0.is_infinite());
+    }
+
+    #[test]
+    fn quantile_estimates_are_deterministic_and_ordered() {
+        let mut h = Histogram::new(&Buckets::log(1.0, 2.0, 12));
+        assert_eq!(h.quantile(0.5), None);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p90 = h.quantile(0.90).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Log buckets quantize, so allow the bucket's span, but the
+        // estimates must bracket the true ranks and stay ordered.
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=100.0).contains(&p90), "p90 = {p90}");
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+        // Extremes clamp to observed min/max.
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+        // Single observation: every quantile is that observation.
+        let mut one = Histogram::new(&Buckets::log(1.0, 2.0, 4));
+        one.observe(3.0);
+        assert_eq!(one.quantile(0.5), Some(3.0));
+        assert_eq!(one.quantile(0.99), Some(3.0));
+    }
+
+    #[test]
+    fn exposition_includes_quantiles() {
+        let mut r = MetricsRegistry::new();
+        r.observe("lat_ns", &[], &Buckets::log(1.0, 2.0, 4), 3.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_ns_p50 3"), "{text}");
+        assert!(text.contains("lat_ns_p90 3"), "{text}");
+        assert!(text.contains("lat_ns_p99 3"), "{text}");
+        let doc = r.to_json().render();
+        assert!(doc.contains("\"p50\":3"), "{doc}");
+        assert!(doc.contains("\"p99\":3"), "{doc}");
+        // Empty histograms render no quantile lines.
+        let r2 = MetricsRegistry::new();
+        assert!(!r2.render_prometheus().contains("_p50"));
     }
 
     #[test]

@@ -25,7 +25,19 @@
 //!   the running mean relative error between the chosen candidate's
 //!   predicted energy and the invocation's actual energy must stay
 //!   under a threshold (only invocations that executed in the chosen
-//!   mode count — fallbacks measure resilience, not prediction).
+//!   mode count — fallbacks measure resilience, not prediction);
+//! * **regret-trend** — the series-driven twin of predictor-regret:
+//!   compares the mean relative prediction error of the most recent
+//!   decision window against the window before it and fires when the
+//!   error is *worsening* past a factor — a converged predictor that
+//!   starts diverging (channel drift, faults) trips this long before
+//!   the running mean crosses the absolute regret threshold;
+//! * **energy-rate-anomaly** — tracks the per-invocation energy rate
+//!   (invocation energy over invocation sim-time, the same derived
+//!   series the `.jts` timeline exports) across a sliding window and
+//!   fires when one invocation's rate jumps past a multiple of the
+//!   window mean — the signature of retry storms burning PA power or
+//!   a mispredicted offload under a degraded channel.
 //!
 //! Monitoring draws nothing from the RNG and never mutates the
 //! simulation: monitored and unmonitored runs are bit-identical in
@@ -61,6 +73,21 @@ pub struct MonitorConfig {
     /// Maximum tolerated mean relative error of chosen-candidate
     /// predictions.
     pub regret_mean_threshold: f64,
+    /// Followed decisions per comparison window of the regret-trend
+    /// watchdog (it compares two adjacent windows of this size).
+    pub trend_window: u64,
+    /// Fire when the recent window's mean relative error exceeds the
+    /// prior window's mean by this factor …
+    pub trend_factor: f64,
+    /// … and is at least this large in absolute terms (a converged
+    /// predictor tripling a near-zero error is not a pathology).
+    pub trend_min_err: f64,
+    /// Sliding window (in completed invocations) of the
+    /// energy-rate-anomaly watchdog.
+    pub rate_window: u64,
+    /// Fire when an invocation's energy rate (nJ/ns) exceeds the
+    /// window mean by this factor.
+    pub rate_factor: f64,
 }
 
 impl Default for MonitorConfig {
@@ -73,6 +100,11 @@ impl Default for MonitorConfig {
             flap_max: 12,
             regret_min_decisions: 50,
             regret_mean_threshold: 1.0,
+            trend_window: 25,
+            trend_factor: 4.0,
+            trend_min_err: 0.5,
+            rate_window: 30,
+            rate_factor: 8.0,
         }
     }
 }
@@ -209,6 +241,13 @@ pub struct Monitor {
     flap_window: VecDeque<u64>,
     flap_cooldown_until: u64,
     regret: RegretState,
+    /// Relative errors of recent followed decisions (regret-trend),
+    /// capped at two comparison windows.
+    trend_errs: VecDeque<f64>,
+    trend_cooldown_until: u64,
+    /// Energy rates (nJ/ns) of recent completed invocations.
+    rate_window: VecDeque<f64>,
+    rate_cooldown_until: u64,
 }
 
 impl Monitor {
@@ -224,6 +263,10 @@ impl Monitor {
             flap_window: VecDeque::new(),
             flap_cooldown_until: 0,
             regret: RegretState::default(),
+            trend_errs: VecDeque::new(),
+            trend_cooldown_until: 0,
+            rate_window: VecDeque::new(),
+            rate_cooldown_until: 0,
         }
     }
 
@@ -238,6 +281,10 @@ impl Monitor {
         self.flap_window.clear();
         self.flap_cooldown_until = 0;
         self.regret = RegretState::default();
+        self.trend_errs.clear();
+        self.trend_cooldown_until = 0;
+        self.rate_window.clear();
+        self.rate_cooldown_until = 0;
     }
 
     /// Evaluate one event; returns the alerts it fired (usually none).
@@ -346,7 +393,9 @@ impl Monitor {
                     ));
                 }
             }
-            TraceEventKind::InvocationEnd { mode, energy, .. } => {
+            TraceEventKind::InvocationEnd {
+                mode, energy, time, ..
+            } => {
                 if let Some(sum) = self.inv_sum_nj.take() {
                     let want = energy.nanojoules();
                     let tol = self.config.conservation_rel_tol * want.abs().max(1.0);
@@ -366,9 +415,9 @@ impl Monitor {
                     // followed — a fallback measures resilience.
                     if chosen == *mode {
                         let actual = energy.nanojoules();
+                        let rel_err = (predicted - actual).abs() / actual.abs().max(1.0);
                         self.regret.decisions += 1;
-                        self.regret.rel_err_sum +=
-                            (predicted - actual).abs() / actual.abs().max(1.0);
+                        self.regret.rel_err_sum += rel_err;
                         let mean = self.regret.rel_err_sum / self.regret.decisions as f64;
                         if self.regret.decisions >= self.config.regret_min_decisions
                             && mean > self.config.regret_mean_threshold
@@ -385,6 +434,66 @@ impl Monitor {
                                 ),
                             ));
                         }
+                        // Regret trend: adjacent-window comparison of
+                        // the same error series the timeline exports.
+                        let w = self.config.trend_window as usize;
+                        if w > 0 {
+                            self.trend_errs.push_back(rel_err);
+                            while self.trend_errs.len() > 2 * w {
+                                self.trend_errs.pop_front();
+                            }
+                            if self.trend_errs.len() == 2 * w
+                                && ev.invocation >= self.trend_cooldown_until
+                            {
+                                let prior = self.trend_errs.iter().take(w).sum::<f64>() / w as f64;
+                                let recent = self.trend_errs.iter().skip(w).sum::<f64>() / w as f64;
+                                if recent > self.config.trend_min_err
+                                    && recent > self.config.trend_factor * prior
+                                {
+                                    self.trend_cooldown_until =
+                                        ev.invocation + self.config.trend_window;
+                                    alerts.push(self.fire(
+                                        ev,
+                                        "regret-trend",
+                                        "warn",
+                                        format!(
+                                            "mean relative prediction error rose from {prior:.3} to {recent:.3} \
+                                             across adjacent {w}-decision windows (max factor {:.1})",
+                                            self.config.trend_factor
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Energy-rate anomaly: per-invocation energy rate
+                // (nJ/ns ≡ W) against the sliding-window mean.
+                let t_ns = time.nanos();
+                let w = self.config.rate_window as usize;
+                if t_ns > 0.0 && w > 0 {
+                    let rate = energy.nanojoules() / t_ns;
+                    if self.rate_window.len() >= w && ev.invocation >= self.rate_cooldown_until {
+                        let mean =
+                            self.rate_window.iter().sum::<f64>() / self.rate_window.len() as f64;
+                        if mean > 0.0 && rate > self.config.rate_factor * mean {
+                            self.rate_cooldown_until = ev.invocation + self.config.rate_window;
+                            alerts.push(self.fire(
+                                ev,
+                                "energy-rate-anomaly",
+                                "warn",
+                                format!(
+                                    "invocation energy rate {rate:.6} nJ/ns is {:.1}x the \
+                                     {w}-invocation mean {mean:.6} (max factor {:.1})",
+                                    rate / mean,
+                                    self.config.rate_factor
+                                ),
+                            ));
+                        }
+                    }
+                    self.rate_window.push_back(rate);
+                    while self.rate_window.len() > w {
+                        self.rate_window.pop_front();
                     }
                 }
             }
@@ -573,6 +682,7 @@ mod tests {
                 mode: "interpret".into(),
                 energy: Energy::from_nanojoules(declared_nj),
                 time: SimTime::from_nanos(10.0),
+                instructions: 100 * invocation,
             },
         )
     }
@@ -727,6 +837,7 @@ mod tests {
                     mode: "interpret".into(),
                     energy: Energy::from_nanojoules(10_000.0),
                     time: SimTime::from_nanos(10.0),
+                    instructions: 100 * inv,
                 },
             );
             fired += m.observe(&e).len();
@@ -750,6 +861,7 @@ mod tests {
                 mode: "local/L3".into(), // fell back
                 energy: Energy::from_nanojoules(10_000.0),
                 time: SimTime::from_nanos(10.0),
+                instructions: 100,
             },
         );
         assert!(m2.observe(&e).is_empty());
@@ -812,5 +924,93 @@ mod tests {
         let got = out.into_events();
         let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, [0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn energy_rate_anomaly_fires_on_spike_not_on_steady_load() {
+        let config = MonitorConfig {
+            rate_window: 5,
+            rate_factor: 3.0,
+            ..MonitorConfig::default()
+        };
+        // Steady energy rate: never fires.
+        let mut m = Monitor::new(config.clone());
+        let mut seq = 0;
+        for inv in 1..=20u64 {
+            m.observe(&start(seq, inv));
+            m.observe(&end(seq + 1, inv, 1, 100.0, 100.0));
+            seq += 2;
+        }
+        assert!(m.finish().healthy());
+
+        // One invocation spikes to 20x the window mean: fires once,
+        // then the cooldown suppresses the rest of the window.
+        let mut m = Monitor::new(config);
+        let mut fired = 0;
+        let mut seq = 0;
+        for inv in 1..=12u64 {
+            let nj = if inv >= 7 { 2000.0 } else { 100.0 };
+            m.observe(&start(seq, inv));
+            fired += m.observe(&end(seq + 1, inv, 1, nj, nj)).len();
+            seq += 2;
+        }
+        assert_eq!(fired, 1, "spike fires exactly once inside the cooldown");
+        let report = m.finish();
+        assert_eq!(report.counts.get("energy-rate-anomaly"), Some(&1));
+    }
+
+    #[test]
+    fn regret_trend_fires_when_prediction_error_worsens() {
+        let config = MonitorConfig {
+            trend_window: 3,
+            trend_factor: 2.0,
+            trend_min_err: 0.1,
+            ..MonitorConfig::default()
+        };
+        let decision = |seq, inv| {
+            ev(
+                seq,
+                inv,
+                1,
+                EnergyBreakdown::new(),
+                TraceEventKind::DecisionEvaluated {
+                    k: inv,
+                    s_bar: 64.0,
+                    pa_bar_w: 0.4,
+                    interpret_nj: 1000.0,
+                    remote_nj: 500.0,
+                    local_nj: [800.0, 700.0, 600.0],
+                    chosen: "interpret".into(),
+                    remote_allowed: true,
+                },
+            )
+        };
+        // Converged predictor (error ~0) that suddenly degrades to a
+        // large error: the adjacent-window comparison fires.
+        let mut m = Monitor::new(config.clone());
+        let mut fired = 0;
+        let mut seq = 0;
+        for inv in 1..=6u64 {
+            let actual = if inv > 3 { 3000.0 } else { 1000.0 };
+            m.observe(&start(seq, inv));
+            m.observe(&decision(seq + 1, inv));
+            fired += m.observe(&end(seq + 2, inv, 2, actual, actual)).len();
+            seq += 3;
+        }
+        assert_eq!(fired, 1, "worsening trend fires once");
+        let report = m.finish();
+        assert_eq!(report.counts.get("regret-trend"), Some(&1));
+
+        // A constantly-bad-but-stable predictor does not trend.
+        let mut m = Monitor::new(config);
+        let mut fired = 0;
+        let mut seq = 0;
+        for inv in 1..=12u64 {
+            m.observe(&start(seq, inv));
+            m.observe(&decision(seq + 1, inv));
+            fired += m.observe(&end(seq + 2, inv, 2, 1400.0, 1400.0)).len();
+            seq += 3;
+        }
+        assert_eq!(fired, 0, "stable error is regret, not a trend");
     }
 }

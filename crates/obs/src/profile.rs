@@ -682,6 +682,7 @@ mod tests {
                     mode: "local/L2".into(),
                     energy: Energy::from_nanojoules(361.0),
                     time: SimTime::from_nanos(190.0),
+                    instructions: 1_000,
                 },
             ),
             // Second invocation: remote with a backoff retry.
@@ -732,6 +733,7 @@ mod tests {
                     mode: "remote".into(),
                     energy: Energy::from_nanojoules(110.0),
                     time: SimTime::from_nanos(200.0),
+                    instructions: 2_000,
                 },
             ),
         ]

@@ -495,6 +495,7 @@ mod tests {
                     mode: "remote".into(),
                     energy: Energy::from_nanojoules(49.0),
                     time: SimTime::from_nanos(50.0),
+                    instructions: 500,
                 },
             ),
         ]

@@ -149,6 +149,10 @@ pub enum TraceEventKind {
         energy: Energy,
         /// Client wall time of the whole invocation.
         time: SimTime,
+        /// Cumulative sim-instructions retired on the client machine
+        /// at invocation end (a run-level counter, not per-invocation:
+        /// consumers difference consecutive events for rates).
+        instructions: u64,
     },
 }
 
@@ -255,10 +259,16 @@ impl TraceEventKind {
                 .with("monitor", monitor.as_str())
                 .with("severity", severity.as_str())
                 .with("message", message.as_str()),
-            TraceEventKind::InvocationEnd { mode, energy, time } => Json::object()
+            TraceEventKind::InvocationEnd {
+                mode,
+                energy,
+                time,
+                instructions,
+            } => Json::object()
                 .with("mode", mode.as_str())
                 .with("energy_nj", energy.nanojoules())
-                .with("time_ns", time.nanos()),
+                .with("time_ns", time.nanos())
+                .with("instructions", *instructions),
         }
     }
 
@@ -361,6 +371,7 @@ impl TraceEventKind {
                 mode: s("mode")?,
                 energy: Energy::from_nanojoules(n("energy_nj")?),
                 time: SimTime::from_nanos(n("time_ns")?),
+                instructions: u("instructions")?,
             },
             other => return Err(format!("unknown event kind '{other}'")),
         })
@@ -469,6 +480,17 @@ pub trait TraceSink {
     }
     /// Record one event.
     fn record(&mut self, event: TraceEvent);
+    /// Record one event together with the machine's *cumulative*
+    /// energy ledger at that instant. [`Tracer::emit`] always calls
+    /// this entry point; the default drops the ledger and forwards to
+    /// [`TraceSink::record`], so ordinary sinks never see it. Sinks
+    /// that derive running state from the exact ledger (the timeline
+    /// sampler — prefix-summing the per-event deltas re-rounds every
+    /// step, so only the ledger value is bit-exact) override it.
+    fn record_with_ledger(&mut self, event: TraceEvent, ledger: &EnergyBreakdown) {
+        let _ = ledger;
+        self.record(event);
+    }
     /// Checkpoint hook: flush buffered I/O to durable storage and
     /// return an opaque serialized writer state from which the sink
     /// can later be resumed ([`crate::wire::FileSink::resume`]).
@@ -561,6 +583,9 @@ impl<T: TraceSink + ?Sized> TraceSink for &mut T {
     }
     fn record(&mut self, event: TraceEvent) {
         (**self).record(event);
+    }
+    fn record_with_ledger(&mut self, event: TraceEvent, ledger: &EnergyBreakdown) {
+        (**self).record_with_ledger(event, ledger);
     }
     fn ckpt_state(&mut self) -> Option<Vec<u8>> {
         (**self).ckpt_state()
@@ -695,7 +720,7 @@ impl<'s> Tracer<'s> {
             };
             self.seq += 1;
             self.ordinal += 1;
-            sink.record(event);
+            sink.record_with_ledger(event, &breakdown);
         }
     }
 }
@@ -971,6 +996,7 @@ mod tests {
                 mode: "local/L3".into(),
                 energy: Energy::from_microjoules(7.0),
                 time: SimTime::from_millis(2.0),
+                instructions: 123_456,
             },
         ];
         for kind in kinds {

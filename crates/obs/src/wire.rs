@@ -101,15 +101,15 @@ pub fn is_jtb(bytes: &[u8]) -> bool {
 // Primitive codecs
 // ---------------------------------------------------------------
 
-fn zigzag(i: i64) -> u64 {
+pub(crate) fn zigzag(i: i64) -> u64 {
     ((i << 1) ^ (i >> 63)) as u64
 }
 
-fn unzigzag(u: u64) -> i64 {
+pub(crate) fn unzigzag(u: u64) -> i64 {
     ((u >> 1) as i64) ^ -((u & 1) as i64)
 }
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -122,7 +122,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Encode `v` in the maybe-scaled codec (see module docs).
-fn put_msf(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_msf(out: &mut Vec<u8>, v: f64) {
     let s = v * 1000.0;
     if s.is_finite() && s.fract() == 0.0 && s.abs() < 9.0e15 {
         let i = s as i64;
@@ -139,21 +139,21 @@ fn put_msf(out: &mut Vec<u8>, v: f64) {
 }
 
 /// A byte cursor with decode-error context.
-struct Cur<'a> {
+pub(crate) struct Cur<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(data: &'a [u8]) -> Cur<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Cur<'a> {
         Cur { data, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.data.len() - self.pos
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
         let b = *self
             .data
             .get(self.pos)
@@ -162,7 +162,7 @@ impl<'a> Cur<'a> {
         Ok(b)
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
         if self.remaining() < n {
             return Err("jtb: unexpected end of data".into());
         }
@@ -171,7 +171,7 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
-    fn varint(&mut self) -> Result<u64, String> {
+    pub(crate) fn varint(&mut self) -> Result<u64, String> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -187,14 +187,14 @@ impl<'a> Cur<'a> {
         }
     }
 
-    fn f64(&mut self) -> Result<f64, String> {
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
         let b = self.bytes(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(f64::from_bits(u64::from_le_bytes(a)))
     }
 
-    fn msf(&mut self) -> Result<f64, String> {
+    pub(crate) fn msf(&mut self) -> Result<f64, String> {
         let tag = self.varint()?;
         if tag & 1 == 1 {
             return Ok(unzigzag(tag >> 1) as f64 / 1000.0);
@@ -362,10 +362,16 @@ fn encode_kind(out: &mut Vec<u8>, strings: &mut Interner, kind: &TraceEventKind)
             put_str(out, strings, severity);
             put_str(out, strings, message);
         }
-        TraceEventKind::InvocationEnd { mode, energy, time } => {
+        TraceEventKind::InvocationEnd {
+            mode,
+            energy,
+            time,
+            instructions,
+        } => {
             put_str(out, strings, mode);
             put_msf(out, energy.nanojoules());
             put_msf(out, time.nanos());
+            put_varint(out, *instructions);
         }
     }
 }
@@ -452,6 +458,7 @@ fn decode_kind(cur: &mut Cur<'_>, strings: &[String]) -> Result<TraceEventKind, 
             mode: get(cur)?,
             energy: Energy::from_nanojoules(cur.msf()?),
             time: SimTime::from_nanos(cur.msf()?),
+            instructions: cur.varint()?,
         },
         other => return Err(format!("jtb: unknown event kind tag {other}")),
     })
@@ -1846,6 +1853,7 @@ mod tests {
                 mode: "local/L3".into(),
                 energy: Energy::from_microjoules(7.0),
                 time: SimTime::from_millis(2.0),
+                instructions: 987_654_321,
             },
         ];
         kinds
@@ -2089,6 +2097,7 @@ mod tests {
                         mode: "local/L2".into(),
                         energy: Energy::from_nanojoules(5.0 * inv as f64),
                         time: SimTime::from_micros(2.0),
+                        instructions: 100 * inv,
                     }
                 } else {
                     TraceEventKind::EarlyWake {
