@@ -1,0 +1,491 @@
+//! `jem-top` — a live terminal dashboard for a running bench.
+//!
+//! ```text
+//! jem-top <http://HOST:PORT | HOST:PORT | run.jts> [options]
+//!   --refresh <ms>   wall-clock redraw cadence (default 500)
+//!   --once           render a single frame and exit (no ANSI clear;
+//!                    the scriptable/CI snapshot mode)
+//!   --frames <n>     stop after n redraws
+//!   --window a:b     restrict sparklines to [a, b] sim-ms
+//! ```
+//!
+//! Two sources, picked by the argument's shape:
+//!
+//! * an address (`http://127.0.0.1:6220` or bare `127.0.0.1:6220`) —
+//!   polls the embedded `--serve` endpoints of a live bench run:
+//!   `/series` for the sparkline panels, `/health` for alerts, and
+//!   `/metrics` for the decision mix and completion flag;
+//! * a `.jts` path — tails the growing timeline of a run started with
+//!   `--timeline run.jts --flush-every N` (no server needed), showing
+//!   the same panels minus the decision mix and alerts, which only the
+//!   live endpoints carry.
+//!
+//! Panels: per-component energy rate sparklines (per-sample deltas of
+//! the cumulative ledger) with running totals, predictor relative
+//! error, channel/breaker state, retry/fallback/degraded counters —
+//! the run state the paper's adaptive strategies act on. The dashboard
+//! is a pure reader: it never writes anywhere and the observed run is
+//! byte-identical with or without it.
+//!
+//! Exit status: 0 on success (including a completed run), 1 on errors,
+//! 2 on usage errors.
+
+use jem_obs::tui::{fmt_si, spark_row, BOLD, CLEAR_HOME, RESET};
+use jem_obs::wire::FollowStatus;
+use jem_obs::{Json, JtsReader};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: jem-top <http://HOST:PORT | HOST:PORT | run.jts> \
+                     [--refresh <ms>] [--once] [--frames <n>] [--window a:b]";
+
+/// Per-series sample cap; sparkline resampling keeps the shape when
+/// old samples roll off.
+const KEEP: usize = 8192;
+
+/// The energy components shown as rate panels, in ledger order.
+const COMPONENTS: [&str; 5] = ["core", "dram", "leakage", "radio-tx", "radio-rx"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source = None;
+    let mut refresh_ms: u64 = 500;
+    let mut frames: Option<usize> = None;
+    let mut once = false;
+    let mut window: Option<(f64, f64)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
+        match args[i].as_str() {
+            "--refresh" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-top: --refresh needs a wall-clock millisecond count");
+                    return ExitCode::from(2);
+                };
+                refresh_ms = v;
+                i += 2;
+            }
+            "--frames" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-top: --frames needs an integer");
+                    return ExitCode::from(2);
+                };
+                frames = Some(v);
+                i += 2;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            "--window" => {
+                let parsed = take(i).and_then(|v| {
+                    let (a, b) = v.split_once(':')?;
+                    let a: f64 = a.parse().ok()?;
+                    let b: f64 = b.parse().ok()?;
+                    (a.is_finite() && b.is_finite() && a <= b).then_some((a, b))
+                });
+                let Some(w) = parsed else {
+                    eprintln!("jem-top: --window needs a:b in sim-ms with a <= b");
+                    return ExitCode::from(2);
+                };
+                window = Some(w);
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                if other.starts_with("--") {
+                    eprintln!("jem-top: unknown option '{other}'");
+                    return ExitCode::from(2);
+                }
+                if source.is_some() {
+                    eprintln!("jem-top: unexpected argument '{other}'");
+                    return ExitCode::from(2);
+                }
+                source = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(source) = source else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if once {
+        frames = Some(1);
+    }
+    let win_ns = window.map(|(a, b)| (a * 1e6, b * 1e6));
+
+    // An existing .jts file (or a .jts-suffixed path) selects follow
+    // mode; everything else is treated as a live-server address.
+    if source.ends_with(".jts") || std::path::Path::new(&source).exists() {
+        follow_jts(&source, refresh_ms, frames, once, win_ns)
+    } else {
+        let addr = source.strip_prefix("http://").unwrap_or(&source);
+        watch_http(addr, refresh_ms, frames, once, win_ns)
+    }
+}
+
+// ---------------------------------------------------------------
+// HTTP mode
+// ---------------------------------------------------------------
+
+/// One `GET` against the embedded server; returns the body of a 200.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read from {addr}: {e}"))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(format!("{addr}: malformed HTTP response"));
+    };
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Fetch one `/series` document and flatten it: all in-window sample
+/// values across segments, plus the end value/label.
+fn fetch_series(
+    addr: &str,
+    name: &str,
+    win_ns: Option<(f64, f64)>,
+) -> Result<(Vec<f64>, f64, Option<String>), String> {
+    let mut path = format!("/series?name={name}");
+    if let Some((a, b)) = win_ns {
+        // The endpoint's window= is in sim-ms, like --window.
+        path.push_str(&format!("&window={}:{}", a / 1e6, b / 1e6));
+    }
+    let body = http_get(addr, &path)?;
+    let doc = Json::parse(&body).map_err(|e| format!("{name}: {e}"))?;
+    let mut vals = Vec::new();
+    if let Some(Json::Arr(segments)) = doc.get("segments") {
+        for seg in segments {
+            if let Some(Json::Arr(values)) = seg.get("values") {
+                vals.extend(values.iter().filter_map(Json::as_f64));
+            }
+        }
+    }
+    let end = doc.get("end_value").and_then(Json::as_f64).unwrap_or(0.0);
+    let end_label = doc
+        .get("end_label")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    Ok((vals, end, end_label))
+}
+
+/// Per-sample deltas of a cumulative column — the "rate" view the
+/// energy panels sparkline.
+fn deltas(cum: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(cum.len());
+    let mut prev = 0.0;
+    for &v in cum {
+        out.push(v - prev);
+        prev = v;
+    }
+    out
+}
+
+fn watch_http(
+    addr: &str,
+    refresh_ms: u64,
+    frames: Option<usize>,
+    once: bool,
+    win_ns: Option<(f64, f64)>,
+) -> ExitCode {
+    let mut drawn = 0usize;
+    loop {
+        let frame = match render_http_frame(addr, win_ns, once) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("jem-top: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{frame}");
+        let _ = std::io::stdout().flush();
+        drawn += 1;
+        let complete = frame.contains("(complete)");
+        if complete || frames.is_some_and(|n| drawn >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(refresh_ms));
+    }
+}
+
+fn render_http_frame(addr: &str, win_ns: Option<(f64, f64)>, once: bool) -> Result<String, String> {
+    let metrics = http_get(addr, "/metrics")?;
+    let health = Json::parse(&http_get(addr, "/health")?).map_err(|e| format!("/health: {e}"))?;
+    let complete = metric_value(&metrics, "jem_live_run_complete").unwrap_or(0.0) > 0.0;
+    let events = metric_value(&metrics, "jem_live_events_total").unwrap_or(0.0);
+    let invocations = metric_value(&metrics, "jem_live_invocations_total").unwrap_or(0.0);
+
+    let mut out = String::new();
+    if !once {
+        out.push_str(CLEAR_HOME);
+    }
+    out.push_str(&format!(
+        "{BOLD}jem-top{RESET}  http://{addr}  events={} invocations={}  {}\n",
+        fmt_si(events),
+        fmt_si(invocations),
+        if complete { "(complete)" } else { "(running)" }
+    ));
+
+    let healthy = health.get("healthy").map(|h| matches!(h, Json::Bool(true)));
+    let total_alerts = health
+        .get("total_alerts")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "health: {}  alerts={total_alerts}\n\n",
+        match healthy {
+            Some(true) => "OK",
+            _ => "DEGRADED",
+        }
+    ));
+
+    out.push_str(&format!("{BOLD}energy rate (nJ/sample){RESET}\n"));
+    let name_w = COMPONENTS.iter().map(|c| c.len()).max().unwrap_or(0);
+    for c in COMPONENTS {
+        let (cum, end, _) = fetch_series(addr, &format!("energy.{c}.cum_nj"), win_ns)?;
+        let rate = deltas(&cum);
+        out.push_str(&format!(
+            "  {}  total {} nJ\n",
+            spark_row(c, name_w, &rate),
+            fmt_si(end)
+        ));
+    }
+
+    let (err, err_end, _) = fetch_series(addr, "predictor.err_rel", win_ns)?;
+    out.push_str(&format!(
+        "\n{BOLD}predictor{RESET}\n  {}  now {}\n",
+        spark_row("err_rel", name_w, &err),
+        fmt_si(err_end)
+    ));
+
+    let (_, _, breaker) = fetch_series(addr, "breaker.state", win_ns)?;
+    let (_, retries, _) = fetch_series(addr, "counters.retries", win_ns)?;
+    let (_, fallbacks, _) = fetch_series(addr, "counters.fallbacks", win_ns)?;
+    let (_, degraded, _) = fetch_series(addr, "counters.degraded", win_ns)?;
+    out.push_str(&format!(
+        "\nbreaker: {}  retries={} fallbacks={} degraded={}\n",
+        breaker.as_deref().unwrap_or("?"),
+        fmt_si(retries),
+        fmt_si(fallbacks),
+        fmt_si(degraded)
+    ));
+
+    let decisions = decision_mix(&metrics);
+    if !decisions.is_empty() {
+        out.push_str("decisions:");
+        for (mode, n) in &decisions {
+            out.push_str(&format!("  {mode}={n}"));
+        }
+        out.push('\n');
+    }
+
+    if let Some(Json::Arr(alerts)) = health.get("alerts") {
+        if !alerts.is_empty() {
+            out.push_str(&format!("\n{BOLD}active alerts{RESET}\n"));
+            for a in alerts.iter().take(8) {
+                match (
+                    a.get("monitor").and_then(Json::as_str),
+                    a.get("message").and_then(Json::as_str),
+                ) {
+                    (Some(m), Some(msg)) => out.push_str(&format!("  [{m}] {msg}\n")),
+                    _ => out.push_str(&format!("  {}\n", a.render())),
+                }
+            }
+            if alerts.len() > 8 {
+                out.push_str(&format!("  … and {} more\n", alerts.len() - 8));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// First sample of an unlabeled metric family in Prometheus text.
+fn metric_value(text: &str, family: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(family)?;
+        let rest = rest.trim_start();
+        if rest.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        rest.split_whitespace().next()?.parse().ok()
+    })
+}
+
+/// `jem_live_decisions_total{mode="…"} N` pairs, in exposition order.
+fn decision_mix(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("jem_live_decisions_total{mode=\"") else {
+            continue;
+        };
+        let Some((mode, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(n) = rest
+            .trim_start_matches('}')
+            .split_whitespace()
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((mode.to_string(), n as u64));
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// .jts follow mode
+// ---------------------------------------------------------------
+
+fn follow_jts(
+    path: &str,
+    refresh_ms: u64,
+    frames: Option<usize>,
+    once: bool,
+    win_ns: Option<(f64, f64)>,
+) -> ExitCode {
+    use jem_obs::timeline::{series_is_label, series_names};
+    let catalogue = series_names();
+    let idx_of = |name: &str| -> usize {
+        catalogue
+            .iter()
+            .position(|s| s == name)
+            .expect("v1 series catalogue")
+    };
+    let cum_idx: Vec<usize> = COMPONENTS
+        .iter()
+        .map(|c| idx_of(&format!("energy.{c}.cum_nj")))
+        .collect();
+    let err_idx = idx_of("predictor.err_rel");
+    let breaker_idx = idx_of("breaker.state");
+    let retries_idx = idx_of("counters.retries");
+    let fallbacks_idx = idx_of("counters.fallbacks");
+    let degraded_idx = idx_of("counters.degraded");
+
+    let mut follower = match JtsReader::follow(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jem-top: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Rate buffers per component plus the err_rel panel; scalars track
+    // the latest sample only.
+    let mut rates: Vec<Vec<f64>> = vec![Vec::new(); COMPONENTS.len()];
+    let mut prev_cum = vec![0.0f64; COMPONENTS.len()];
+    let mut prev_segment = usize::MAX;
+    let mut errs: Vec<f64> = Vec::new();
+    let mut last = [0.0f64; jem_obs::timeline::N_SERIES];
+    let mut drawn = 0usize;
+    loop {
+        let mut done = false;
+        loop {
+            match follower.poll() {
+                Ok(FollowStatus::Events(samples)) => {
+                    for s in samples {
+                        if win_ns.is_some_and(|(a, b)| s.t < a || s.t > b) {
+                            continue;
+                        }
+                        if s.segment != prev_segment {
+                            // Cumulative columns restart per segment.
+                            prev_segment = s.segment;
+                            prev_cum.iter_mut().for_each(|v| *v = 0.0);
+                        }
+                        for (slot, &idx) in cum_idx.iter().enumerate() {
+                            rates[slot].push(s.vals[idx] - prev_cum[slot]);
+                            prev_cum[slot] = s.vals[idx];
+                            if rates[slot].len() > KEEP {
+                                let cut = rates[slot].len() - KEEP;
+                                rates[slot].drain(..cut);
+                            }
+                        }
+                        errs.push(s.vals[err_idx]);
+                        if errs.len() > KEEP {
+                            let cut = errs.len() - KEEP;
+                            errs.drain(..cut);
+                        }
+                        last.copy_from_slice(&s.vals);
+                    }
+                }
+                Ok(FollowStatus::Idle) => break,
+                Ok(FollowStatus::End) => {
+                    done = true;
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("jem-top: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        if !once {
+            out.push_str(CLEAR_HOME);
+        }
+        out.push_str(&format!(
+            "{BOLD}jem-top{RESET}  {path}  segments={} samples={}  {}\n\n",
+            follower.segments(),
+            follower.samples(),
+            if done { "(complete)" } else { "(following)" }
+        ));
+        out.push_str(&format!("{BOLD}energy rate (nJ/sample){RESET}\n"));
+        let name_w = COMPONENTS.iter().map(|c| c.len()).max().unwrap_or(0);
+        for (slot, c) in COMPONENTS.iter().enumerate() {
+            out.push_str(&format!(
+                "  {}  total {} nJ\n",
+                spark_row(c, name_w, &rates[slot]),
+                fmt_si(last[cum_idx[slot]])
+            ));
+        }
+        out.push_str(&format!(
+            "\n{BOLD}predictor{RESET}\n  {}  now {}\n",
+            spark_row("err_rel", name_w, &errs),
+            fmt_si(last[err_idx])
+        ));
+        debug_assert!(series_is_label(breaker_idx));
+        // The .jts label table only lands in the footer, so a run
+        // still in flight shows the numeric label id.
+        let breaker = follower
+            .labels()
+            .get(last[breaker_idx] as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("#{}", last[breaker_idx]));
+        out.push_str(&format!(
+            "\nbreaker: {breaker}  retries={} fallbacks={} degraded={}\n",
+            fmt_si(last[retries_idx]),
+            fmt_si(last[fallbacks_idx]),
+            fmt_si(last[degraded_idx])
+        ));
+        // The decision mix and alerts only exist server-side; the .jts
+        // panel set is the subset the timeline carries.
+        print!("{out}");
+        let _ = std::io::stdout().flush();
+        drawn += 1;
+        if done || frames.is_some_and(|n| drawn >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(refresh_ms));
+    }
+}

@@ -11,6 +11,7 @@
 //!
 //! Usage: `ablation [--runs N] [--trace out.json]
 //! [--timeline out.jts [--sample-every SIM_MS]]
+//! [--serve ADDR] [--flush-every SIM_MS]
 //! [--json-out BENCH_ablation.json] [--ckpt out.jck] [--resume
 //! out.jck]` (default 120 runs). `--trace` records every variant's
 //! runs in order. Checkpointing is variant-level (the ablation loops

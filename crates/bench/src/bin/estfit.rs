@@ -13,7 +13,7 @@
 //! estimators.
 //!
 //! Usage: `estfit [--metrics-out out.prom]
-//! [--json-out BENCH_estfit.json]`.
+//! [--json-out BENCH_estfit.json] [--serve ADDR]`.
 //!
 //! Fit and held-out evaluation are seeded and profile-driven — no
 //! scenario runs, so the `--json-out` document is fully deterministic

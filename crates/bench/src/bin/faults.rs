@@ -19,6 +19,7 @@
 //! Usage: `faults [--runs N] [--seed N] [--trace out.json]
 //! [--timeline out.jts [--sample-every SIM_MS]]
 //! [--metrics-out out.prom] [--json-out BENCH_faults.json]
+//! [--serve ADDR] [--flush-every SIM_MS]
 //! [--ckpt out.jck [--ckpt-every N]] [--resume out.jck] [--slow-interp]`
 //! (default 300 runs, seed 7). `--trace` records the resilient-AA runs
 //! across the whole severity sweep; `--timeline` streams the `.jts`
@@ -104,6 +105,7 @@ fn main() {
             None,
         );
         fill_run_metrics(&mut registry, &aa);
+        obs.publish_metrics(&registry);
         accumulate_accuracy(&mut tracker, &profile, &aa);
         total_instructions += aa.instructions + aa_naive.instructions + al.instructions;
         json_points.push(

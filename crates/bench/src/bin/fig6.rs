@@ -16,7 +16,8 @@
 //!
 //! Usage: `fig6 [--full] [--trace out.json] [--metrics-out out.prom]
 //! [--timeline out.jts [--sample-every SIM_MS]]
-//! [--json-out BENCH_fig6.json] [--ckpt out.jck] [--resume out.jck]
+//! [--json-out BENCH_fig6.json] [--serve ADDR] [--flush-every SIM_MS]
+//! [--ckpt out.jck] [--resume out.jck]
 //! [--slow-interp]`.
 //! Each grid cell is one checkpoint unit; a killed `--ckpt` run
 //! resumed with `--resume` skips completed cells and produces
@@ -96,6 +97,7 @@ fn main() {
                     sink.as_mut(),
                 );
                 fill_run_metrics(&mut registry, &result);
+                obs.publish_metrics(&registry);
                 accumulate_accuracy(&mut tracker, &profile, &result);
                 total_instructions += result.instructions;
                 result

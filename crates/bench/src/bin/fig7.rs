@@ -17,6 +17,7 @@
 //!
 //! Usage: `fig7 [--runs N] [--trace out.json] [--metrics-out out.prom]
 //! [--timeline out.jts [--sample-every SIM_MS]]
+//! [--serve ADDR] [--flush-every SIM_MS]
 //! [--json-out BENCH_fig7.json]` (default 300 runs, the paper's
 //! count). `--timeline` replays the collected shards through the
 //! `.jts` sampler at export time (delta-sum mode; see DESIGN.md §14). `--trace` records the AA strategy of *every* grid cell:

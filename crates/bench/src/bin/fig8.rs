@@ -16,7 +16,7 @@
 //!   hence cheaper download (the paper's sort L2→L3 case) — whether
 //!   that occurs here is reported from the measured code sizes.
 //!
-//! Usage: `fig8 [--json-out BENCH_fig8.json]`.
+//! Usage: `fig8 [--json-out BENCH_fig8.json] [--serve ADDR]`.
 //!
 //! The figures here are derived purely from calibrated profiles — no
 //! scenario runs, so the `--json-out` document is fully deterministic

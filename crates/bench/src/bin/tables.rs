@@ -1,7 +1,8 @@
 //! The paper's constant tables: Fig 1 (instruction energies), Fig 2
 //! (radio component powers), Fig 3 (benchmarks), Fig 5 (strategies).
 //!
-//! Usage: `tables [fig1|fig2|fig3|fig5] [--json-out BENCH_tables.json]`
+//! Usage: `tables [fig1|fig2|fig3|fig5] [--json-out BENCH_tables.json]
+//! [--serve ADDR]`
 //! — no figure argument prints all; `--json-out` always writes all
 //! four tables machine-readably.
 //!

@@ -89,6 +89,12 @@ impl CkptArgs {
         if self.every == 0 {
             fail("--ckpt-every must be at least 1");
         }
+        if obs.flush_every_ms.is_some() {
+            fail(
+                "--ckpt and --flush-every cannot be combined: resume truncates back to \
+                 the checkpointed offset, which assumes the default block cadence",
+            );
+        }
     }
 
     /// Stricter gate for bins whose traced runs bypass the resumable

@@ -18,7 +18,17 @@
 //!   (implies `--monitor`);
 //! * `--metrics-out out.prom` — write the run's metrics registry in
 //!   Prometheus text format;
-//! * `--json-out BENCH_x.json` — write machine-readable results.
+//! * `--json-out BENCH_x.json` — write machine-readable results;
+//! * `--serve ADDR` — expose the run live over an embedded HTTP
+//!   server (`/metrics`, `/health`, `/series`, `/events` SSE) while it
+//!   executes; the sim publishes copies into a shared snapshot, so the
+//!   run itself — and every file it writes — is byte-identical with or
+//!   without the flag;
+//! * `--flush-every SIM-MS` — flush `--trace`/`--timeline` streams to
+//!   disk on the first invocation boundary after every SIM-MS of
+//!   sim-time, so `--follow` readers and `jem-top` can tail a run in
+//!   flight. Changes where `.jtb`/`.jts` blocks are cut (the decoded
+//!   stream is identical); leave unset for byte-identical output.
 //!
 //! Outputs are deterministic: identically-seeded runs write
 //! byte-identical files (sim-time timestamps only, sorted label sets,
@@ -29,12 +39,14 @@
 use crate::print_table;
 use jem_core::{accuracy_of, Profile, ScenarioResult};
 use jem_energy::EnergyBreakdown;
+use jem_obs::serve::DEFAULT_LIVE_CADENCE_NS;
 use jem_obs::wire::{jtb_bytes, FileSink};
 use jem_obs::{
-    chrome_trace_sharded, chrome_trace_truncated, AccuracyTracker, HealthReport, Json,
-    MetricsRegistry, MonitorConfig, MonitorTee, NullSink, RingSink, TimelineSink, TraceEvent,
-    TraceShard, TraceSink,
+    chrome_trace_sharded, chrome_trace_truncated, AccuracyTracker, HealthReport, Json, LiveServer,
+    LiveState, MetricsRegistry, MonitorConfig, MonitorTee, NullSink, RingSink, TimelineSink,
+    TraceEvent, TraceShard, TraceSink,
 };
+use std::sync::Arc;
 
 /// Where a bin should write its optional observability outputs.
 #[derive(Debug, Clone, Default)]
@@ -54,6 +66,14 @@ pub struct ObsArgs {
     /// `--sample-every` cadence in sim-milliseconds (0 = invocation
     /// boundaries only).
     pub sample_every_ms: f64,
+    /// `--serve` bind address (live HTTP observability).
+    pub serve: Option<String>,
+    /// `--flush-every` cadence in sim-milliseconds (invocation-aligned
+    /// stream flushing for live followers).
+    pub flush_every_ms: Option<f64>,
+    /// The live snapshot store behind `--serve`, shared with the
+    /// server's connection threads. `None` unless `--serve` was given.
+    pub live: Option<Arc<LiveState>>,
 }
 
 /// Where collected events go before export.
@@ -76,6 +96,11 @@ pub struct BenchSink {
     /// chain: it sees the raw (pre-monitor) stream with the tracer's
     /// exact cumulative ledger.
     timeline: Option<TimelineSink>,
+    /// Live `--serve` snapshot store. Another side observer: events
+    /// are published (copied) into it before they enter the sink
+    /// chain, and server threads only ever read the copies — the run
+    /// stays byte-identical with or without it.
+    live: Option<Arc<LiveState>>,
 }
 
 impl BenchSink {
@@ -107,17 +132,26 @@ impl BenchSink {
 
 impl TraceSink for BenchSink {
     fn enabled(&self) -> bool {
-        // Monitoring and the timeline need the event stream even when
-        // no trace is persisted.
-        self.tee.is_some() || self.timeline.is_some() || !matches!(self.inner, SinkKind::Null(_))
+        // Monitoring, the timeline, and the live server need the event
+        // stream even when no trace is persisted.
+        self.tee.is_some()
+            || self.timeline.is_some()
+            || self.live.is_some()
+            || !matches!(self.inner, SinkKind::Null(_))
     }
     fn record(&mut self, event: TraceEvent) {
+        if let Some(live) = self.live.as_deref() {
+            live.publish_event(&event, None);
+        }
         if let Some(tl) = self.timeline.as_mut() {
             tl.observe(&event, None);
         }
         self.forward(event);
     }
     fn record_with_ledger(&mut self, event: TraceEvent, ledger: &EnergyBreakdown) {
+        if let Some(live) = self.live.as_deref() {
+            live.publish_event(&event, Some(ledger));
+        }
         if let Some(tl) = self.timeline.as_mut() {
             tl.observe(&event, Some(ledger));
         }
@@ -222,14 +256,49 @@ impl ObsArgs {
                 }
             },
         };
+        let flush_every_ms = match crate::arg_str(args, "--flush-every") {
+            None => None,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(ms) if ms.is_finite() && ms > 0.0 => Some(ms),
+                _ => {
+                    eprintln!("error: --flush-every expects a positive sim-ms number");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let timeline = crate::arg_str(args, "--timeline");
+        let serve = crate::arg_str(args, "--serve");
+        let live = serve.as_ref().map(|addr| {
+            // The /series cadence follows the timeline's when one is
+            // being written, so the live view matches the .jts file.
+            let cadence = if timeline.is_some() {
+                sample_every_ms * 1e6
+            } else {
+                DEFAULT_LIVE_CADENCE_NS
+            };
+            let state = Arc::new(LiveState::new(cadence));
+            match LiveServer::start(addr, Arc::clone(&state)) {
+                Ok(server) => {
+                    eprintln!("serving live observability on http://{}", server.addr());
+                    state
+                }
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    std::process::exit(1);
+                }
+            }
+        });
         ObsArgs {
             trace: crate::arg_str(args, "--trace"),
             monitor: crate::arg_flag(args, "--monitor"),
             health_out: crate::arg_str(args, "--health-out"),
             metrics_out: crate::arg_str(args, "--metrics-out"),
             json_out: crate::arg_str(args, "--json-out"),
-            timeline: crate::arg_str(args, "--timeline"),
+            timeline,
             sample_every_ms,
+            serve,
+            flush_every_ms,
+            live,
         }
     }
 
@@ -241,7 +310,7 @@ impl ObsArgs {
     /// Whether traced runs are wanted at all (`--trace`, a
     /// `--timeline` sidecar, or monitors that need the event stream).
     pub fn wants_events(&self) -> bool {
-        self.trace.is_some() || self.timeline.is_some() || self.monitoring()
+        self.trace.is_some() || self.timeline.is_some() || self.monitoring() || self.live.is_some()
     }
 
     /// The sampling cadence in sim-nanoseconds.
@@ -281,7 +350,12 @@ impl ObsArgs {
                     None => FileSink::create(path),
                 };
                 match sink {
-                    Ok(f) => SinkKind::File(Box::new(f)),
+                    Ok(mut f) => {
+                        if let Some(ms) = self.flush_every_ms {
+                            f.set_flush_every(ms * 1e6);
+                        }
+                        SinkKind::File(Box::new(f))
+                    }
                     Err(err) => {
                         eprintln!("error: cannot create {path}: {err}");
                         std::process::exit(1);
@@ -289,7 +363,9 @@ impl ObsArgs {
                 }
             }
             Some(_) => SinkKind::Ring(RingSink::new(1_000_000)),
-            None if self.monitoring() || self.timeline.is_some() => SinkKind::Null(NullSink),
+            None if self.monitoring() || self.timeline.is_some() || self.live.is_some() => {
+                SinkKind::Null(NullSink)
+            }
             None => return None,
         };
         let timeline = self.timeline.as_ref().map(|path| {
@@ -299,7 +375,12 @@ impl ObsArgs {
                 None => TimelineSink::create(path, self.sample_every_ns()),
             };
             match sink {
-                Ok(tl) => tl,
+                Ok(mut tl) => {
+                    if let Some(ms) = self.flush_every_ms {
+                        tl.set_flush_every(ms * 1e6);
+                    }
+                    tl
+                }
                 Err(err) => {
                     eprintln!("error: cannot create {path}: {err}");
                     std::process::exit(1);
@@ -312,6 +393,7 @@ impl ObsArgs {
                 .monitoring()
                 .then(|| MonitorTee::new(MonitorConfig::default())),
             timeline,
+            live: self.live.clone(),
         })
     }
 
@@ -319,7 +401,10 @@ impl ObsArgs {
     /// format, with any ring truncation declared) and the health
     /// report (printed, and written when `--health-out` was given).
     pub fn finish_trace(&self, sink: Option<BenchSink>) {
-        let Some(sink) = sink else { return };
+        let Some(sink) = sink else {
+            self.finish_serve();
+            return;
+        };
         if let Some(tee) = sink.tee {
             self.emit_health(&tee.finish());
         }
@@ -353,6 +438,17 @@ impl ObsArgs {
             }
             SinkKind::Null(_) => {}
         }
+        self.finish_serve();
+    }
+
+    /// Mark the live `--serve` state complete (idempotent; no-op
+    /// without `--serve`): `/events` streams terminate after draining
+    /// and `/health` is final. The server keeps answering until the
+    /// process exits, so late scrapes still see the finished run.
+    fn finish_serve(&self) {
+        if let Some(live) = self.live.as_deref() {
+            live.publish_done();
+        }
     }
 
     /// Write a multi-shard trace — one track per shard, merged in
@@ -361,6 +457,17 @@ impl ObsArgs {
     /// an independent run, so the tee resets per shard and alerts land
     /// in their shard's track).
     pub fn write_trace_sharded(&self, shards: &[TraceShard]) {
+        // Sharded sweeps only materialize their events here, at the
+        // end — replay them into the live state so `--serve` endpoints
+        // expose the finished sweep, even if nothing streamed mid-run.
+        if let Some(live) = self.live.as_deref() {
+            for shard in shards {
+                for ev in &shard.events {
+                    live.publish_event(ev, None);
+                }
+            }
+            live.publish_done();
+        }
         // Sharded sweeps collect events first and replay them here, so
         // the tracer's exact ledger is gone; the timeline falls back to
         // its delta-sum replay mode (cumulative columns then equal the
@@ -430,8 +537,19 @@ impl ObsArgs {
         }
     }
 
-    /// Write the metrics registry (no-op without `--metrics-out`).
+    /// Publish the registry's current rendering to the live `/metrics`
+    /// endpoint (no-op without `--serve`). Bench bins call this after
+    /// filling each sweep point's metrics so scrapes see the run grow.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        if let Some(live) = self.live.as_deref() {
+            live.publish_metrics(registry);
+        }
+    }
+
+    /// Write the metrics registry (no-op without `--metrics-out`) and
+    /// publish it to the live endpoint when one is being served.
     pub fn write_metrics(&self, registry: &MetricsRegistry) {
+        self.publish_metrics(registry);
         if let Some(path) = &self.metrics_out {
             write_file(path, &registry.render_prometheus());
         }

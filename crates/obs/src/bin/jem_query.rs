@@ -15,6 +15,10 @@
 //!   --series <name>       timeline mode: windowed aggregation of one
 //!                         series from a `.jts` timeline (only
 //!                         `--since`/`--until`/`--json` apply)
+//!   --follow              tail a growing `.jtb` file (a live run
+//!                         started with `--flush-every`): keep polling
+//!                         for appended events and print the query
+//!                         result once the writer lands the footer
 //!   --json                machine-readable output (jem-query/v1)
 //! ```
 //!
@@ -44,7 +48,7 @@ use jem_obs::json::Json;
 use jem_obs::profile::ProfileFolder;
 use jem_obs::query::{GroupKey, Query, QueryEngine};
 use jem_obs::timeline::series_is_label;
-use jem_obs::wire::{is_jtb, load_trace_bytes, JtbStream};
+use jem_obs::wire::{is_jtb, load_trace_bytes, FollowStatus, JtbStream};
 use jem_obs::Timeline;
 use std::io::{BufReader, Read};
 use std::process::ExitCode;
@@ -52,7 +56,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: jem-query <trace.jtb | timeline.jts | trace.json | -> \
                      [--kind <name>]... \
                      [--method <s>] [--mode <s>] [--shard <s>] [--since <ns>] [--until <ns>] \
-                     [--group-by <k,k,…>] [--hist] [--top <n>] [--series <name>] [--json]";
+                     [--group-by <k,k,…>] [--hist] [--top <n>] [--series <name>] \
+                     [--follow] [--json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +65,7 @@ fn main() -> ExitCode {
     let mut query = Query::default();
     let mut top: Option<usize> = None;
     let mut series: Option<String> = None;
+    let mut follow = false;
     let mut json = false;
     let mut i = 0;
     while i < args.len() {
@@ -149,6 +155,10 @@ fn main() -> ExitCode {
                 series = Some(v);
                 i += 2;
             }
+            "--follow" => {
+                follow = true;
+                i += 1;
+            }
             "--json" => {
                 json = true;
                 i += 1;
@@ -175,6 +185,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+
+    if follow {
+        if series.is_some() || top.is_some() {
+            eprintln!("jem-query: --follow cannot be combined with --series or --top");
+            return ExitCode::from(2);
+        }
+        if trace_path == "-" {
+            eprintln!("jem-query: --follow needs a file path, not stdin");
+            return ExitCode::from(2);
+        }
+        return follow_query(&trace_path, query, json);
+    }
 
     if let Some(name) = series {
         return series_window(&trace_path, &name, query.since_ns, query.until_ns, json);
@@ -253,6 +275,49 @@ fn main() -> ExitCode {
         }
     }
 
+    let result = engine.finish();
+    if json {
+        println!("{}", result.to_json().render_pretty());
+    } else {
+        println!("{}", result.render_text());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--follow` mode: tail a growing `.jtb` file, feeding appended
+/// events into the engine as the writer flushes them, and print the
+/// query result once the footer lands. Torn tails (a block the writer
+/// is mid-way through) park the follower until more bytes arrive;
+/// real corruption still fails loudly.
+fn follow_query(trace_path: &str, query: Query, json: bool) -> ExitCode {
+    let mut engine = QueryEngine::new(query);
+    let mut follower = match JtbStream::follow(trace_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jem-query: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        match follower.poll() {
+            Ok(FollowStatus::Events(events)) => {
+                for (shard_idx, ev) in events {
+                    if let Some(name) = follower.shard_names().get(shard_idx) {
+                        let name = name.clone();
+                        engine.name_shard(shard_idx, &name);
+                    }
+                    engine.push(ev);
+                }
+            }
+            Ok(FollowStatus::Idle) => std::thread::sleep(std::time::Duration::from_millis(100)),
+            Ok(FollowStatus::End) => break,
+            Err(e) => {
+                eprintln!("jem-query: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    engine.note_dropped(follower.dropped());
     let result = engine.finish();
     if json {
         println!("{}", result.to_json().render_pretty());

@@ -14,6 +14,16 @@
 //!                       (atomically) instead of stdout
 //!   --schema <path>     with --json: validate the document against
 //!                       this JSON Schema before printing
+//!   --follow            tail a growing `.jts` (a live run started
+//!                       with `--flush-every`): stream each decoded
+//!                       sample as a CSV row, exit when the footer
+//!                       lands
+//!   --live              with --sparkline: refresh-loop dashboard over
+//!                       the followed file (shares the `jem-top`
+//!                       renderer); exits when the run completes
+//!   --refresh <ms>      wall-clock refresh/poll cadence for
+//!                       --follow/--live (default 500)
+//!   --frames <n>        with --live: stop after n redraws (CI hook)
 //! ```
 //!
 //! Without an export flag, prints a human summary (cadence, segments,
@@ -35,17 +45,15 @@
 //! Exit status: 0 on success, 1 on errors, 2 on usage errors.
 
 use jem_obs::json::Json;
-use jem_obs::timeline::series_is_label;
-use jem_obs::{write_atomic, Timeline};
+use jem_obs::timeline::{series_is_label, series_names};
+use jem_obs::tui::{spark_row, BOLD, CLEAR_HOME, RESET};
+use jem_obs::wire::FollowStatus;
+use jem_obs::{write_atomic, JtsReader, Timeline};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: jem-timeline <timeline.jts> [--series <name>]... [--window a:b] \
-                     [--csv | --json | --sparkline | --overlay <b.jts>] [--out <path>] \
-                     [--schema <schema.json>]";
-
-const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-/// Sparklines are resampled down to at most this many cells.
-const SPARK_WIDTH: usize = 64;
+                     [--csv | --json | --sparkline [--live] | --overlay <b.jts> | --follow] \
+                     [--out <path>] [--schema <schema.json>] [--refresh <ms>] [--frames <n>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +66,10 @@ fn main() -> ExitCode {
     let mut overlay: Option<String> = None;
     let mut out: Option<String> = None;
     let mut schema: Option<String> = None;
+    let mut follow = false;
+    let mut live = false;
+    let mut refresh_ms: u64 = 500;
+    let mut frames: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
@@ -120,6 +132,30 @@ fn main() -> ExitCode {
                 sparkline = true;
                 i += 1;
             }
+            "--follow" => {
+                follow = true;
+                i += 1;
+            }
+            "--live" => {
+                live = true;
+                i += 1;
+            }
+            "--refresh" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-timeline: --refresh needs a wall-clock millisecond count");
+                    return ExitCode::from(2);
+                };
+                refresh_ms = v;
+                i += 2;
+            }
+            "--frames" => {
+                let Some(v) = take(i).and_then(|v| v.parse().ok()) else {
+                    eprintln!("jem-timeline: --frames needs an integer");
+                    return ExitCode::from(2);
+                };
+                frames = Some(v);
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -142,9 +178,50 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if csv as u8 + json as u8 + sparkline as u8 + overlay.is_some() as u8 > 1 {
-        eprintln!("jem-timeline: --csv, --json, --sparkline and --overlay are mutually exclusive");
+    if csv as u8 + json as u8 + sparkline as u8 + overlay.is_some() as u8 + follow as u8 > 1 {
+        eprintln!(
+            "jem-timeline: --csv, --json, --sparkline, --overlay and --follow \
+             are mutually exclusive"
+        );
         return ExitCode::from(2);
+    }
+    if live && !sparkline {
+        eprintln!("jem-timeline: --live requires --sparkline");
+        return ExitCode::from(2);
+    }
+    if (follow || live) && out.is_some() {
+        eprintln!("jem-timeline: --follow/--live stream to stdout; --out does not apply");
+        return ExitCode::from(2);
+    }
+
+    // The follow modes resolve series against the static v1 catalogue
+    // (the follower checks the file header carries exactly that).
+    if follow || live {
+        let catalogue = series_names();
+        let selected: Vec<usize> = if series.is_empty() {
+            (0..catalogue.len()).collect()
+        } else {
+            let mut idxs = Vec::with_capacity(series.len());
+            for name in &series {
+                match catalogue.iter().position(|s| s == name) {
+                    Some(idx) => idxs.push(idx),
+                    None => {
+                        eprintln!("jem-timeline: unknown series '{name}'; available:");
+                        for s in &catalogue {
+                            eprintln!("  {s}");
+                        }
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            idxs
+        };
+        let win_ns = window.map(|(a, b)| (a * 1e6, b * 1e6));
+        return if live {
+            live_sparklines(&path, &catalogue, &selected, win_ns, refresh_ms, frames)
+        } else {
+            follow_stream(&path, &catalogue, &selected, win_ns, refresh_ms)
+        };
     }
 
     let tl = match load(&path) {
@@ -264,7 +341,8 @@ fn render_csv(tl: &Timeline, selected: &[usize], in_window: &dyn Fn(f64) -> bool
     out
 }
 
-/// One sparkline per series over the concatenated in-window samples.
+/// One sparkline per series over the concatenated in-window samples
+/// (row format shared with `jem-top` via [`jem_obs::tui`]).
 fn render_sparklines(tl: &Timeline, selected: &[usize], in_window: &dyn Fn(f64) -> bool) -> String {
     let mut out = String::new();
     let width = tl.series.iter().map(String::len).max().unwrap_or(0);
@@ -280,50 +358,146 @@ fn render_sparklines(tl: &Timeline, selected: &[usize], in_window: &dyn Fn(f64) 
                     .map(|(_, v)| *v)
             })
             .collect();
-        let line = sparkline(&vals);
-        let (lo, hi) = match (
-            vals.iter().cloned().reduce(f64::min),
-            vals.iter().cloned().reduce(f64::max),
-        ) {
-            (Some(lo), Some(hi)) => (lo, hi),
-            _ => (0.0, 0.0),
-        };
-        out.push_str(&format!(
-            "{name:<width$}  {line}  [{lo} .. {hi}]\n",
-            name = tl.series[idx]
-        ));
+        out.push_str(&spark_row(&tl.series[idx], width, &vals));
+        out.push('\n');
     }
     out
 }
 
-/// Resample to at most [`SPARK_WIDTH`] cells (last sample per cell)
-/// and map each value onto the 8-step block ramp.
-fn sparkline(vals: &[f64]) -> String {
-    if vals.is_empty() {
-        return "(no samples)".to_string();
+/// Per-series sample buffer capped for unbounded live runs; sparkline
+/// resampling keeps the visual shape when old samples roll off.
+const LIVE_KEEP: usize = 8192;
+
+/// Drain every decodable sample out of a follower. Returns `Ok(true)`
+/// once the footer landed (the run is complete), `Ok(false)` when the
+/// reader caught up with a still-growing file.
+fn drain(
+    follower: &mut jem_obs::JtsFollower,
+    mut sink: impl FnMut(jem_obs::JtsSample),
+) -> Result<bool, String> {
+    loop {
+        match follower.poll()? {
+            FollowStatus::Events(samples) => {
+                for s in samples {
+                    sink(s);
+                }
+            }
+            FollowStatus::Idle => return Ok(false),
+            FollowStatus::End => return Ok(true),
+        }
     }
-    let cells = vals.len().min(SPARK_WIDTH);
-    let mut picked = Vec::with_capacity(cells);
-    for c in 0..cells {
-        // Last value of each equal-count chunk, so the final cell is
-        // always the final sample.
-        let end = ((c + 1) * vals.len()).div_ceil(cells);
-        picked.push(vals[end - 1]);
+}
+
+/// `--follow`: stream each decoded sample as a CSV row as the writer
+/// flushes them; exit when the footer lands.
+fn follow_stream(
+    path: &str,
+    catalogue: &[String],
+    selected: &[usize],
+    win_ns: Option<(f64, f64)>,
+    refresh_ms: u64,
+) -> ExitCode {
+    let mut follower = match JtsReader::follow(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jem-timeline: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut header = String::from("segment,t_ns");
+    for &idx in selected {
+        header.push(',');
+        header.push_str(&catalogue[idx]);
     }
-    let lo = picked.iter().cloned().fold(f64::INFINITY, f64::min);
-    let hi = picked.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = hi - lo;
-    picked
+    println!("{header}");
+    loop {
+        let done = drain(&mut follower, |s| {
+            if win_ns.is_some_and(|(a, b)| s.t < a || s.t > b) {
+                return;
+            }
+            let mut row = format!("{},{}", s.segment, s.t);
+            for &idx in selected {
+                row.push_str(&format!(",{}", s.vals[idx]));
+            }
+            println!("{row}");
+        });
+        match done {
+            Ok(true) => return ExitCode::SUCCESS,
+            Ok(false) => std::thread::sleep(std::time::Duration::from_millis(refresh_ms)),
+            Err(e) => {
+                eprintln!("jem-timeline: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+/// `--sparkline --live`: refresh-loop dashboard over a followed
+/// `.jts`, one [`spark_row`] per selected series (the `jem-top` row
+/// renderer). Redraws every `refresh_ms` until the run completes or
+/// `--frames` is exhausted.
+fn live_sparklines(
+    path: &str,
+    catalogue: &[String],
+    selected: &[usize],
+    win_ns: Option<(f64, f64)>,
+    refresh_ms: u64,
+    frames: Option<usize>,
+) -> ExitCode {
+    let mut follower = match JtsReader::follow(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jem-timeline: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let width = selected
         .iter()
-        .map(|v| {
-            let step = if span > 0.0 {
-                (((v - lo) / span) * 7.0).round() as usize
-            } else {
-                0
-            };
-            SPARK[step.min(7)]
-        })
-        .collect()
+        .map(|&idx| catalogue[idx].len())
+        .max()
+        .unwrap_or(0);
+    let mut data: Vec<Vec<f64>> = vec![Vec::new(); selected.len()];
+    let mut drawn = 0usize;
+    loop {
+        let done = drain(&mut follower, |s| {
+            if win_ns.is_some_and(|(a, b)| s.t < a || s.t > b) {
+                return;
+            }
+            for (slot, &idx) in selected.iter().enumerate() {
+                let buf = &mut data[slot];
+                buf.push(s.vals[idx]);
+                if buf.len() > LIVE_KEEP {
+                    buf.drain(..buf.len() - LIVE_KEEP);
+                }
+            }
+        });
+        let done = match done {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("jem-timeline: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut frame = String::from(CLEAR_HOME);
+        frame.push_str(&format!(
+            "{BOLD}jem-timeline --live{RESET}  {path}  segments={} samples={}{}\n",
+            follower.segments(),
+            follower.samples(),
+            if done { "  (complete)" } else { "" }
+        ));
+        for (slot, &idx) in selected.iter().enumerate() {
+            frame.push_str(&spark_row(&catalogue[idx], width, &data[slot]));
+            frame.push('\n');
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        drawn += 1;
+        if done || frames.is_some_and(|n| drawn >= n) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms));
+    }
 }
 
 /// Human summary: file shape plus per-series window-end values.

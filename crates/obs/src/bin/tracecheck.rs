@@ -44,6 +44,13 @@
 //! is already complete is copied through unchanged. All outputs are
 //! written atomically (temp file + rename).
 //!
+//! With `--follow`, validate-the-prefix mode for a run still in
+//! flight (`.jtb` or `.jts`, sniffed by magic): every complete record
+//! currently in the file is decoded and checked, a torn tail — the
+//! block the writer is mid-way through — parks cleanly instead of
+//! failing, and the exit status is 0 whether the file is complete or
+//! still growing. Only real corruption exits non-zero.
+//!
 //! Exits non-zero with a diagnostic on the first failure; prints a
 //! one-line summary on success. CI runs this against every trace the
 //! smoke job produces.
@@ -52,15 +59,18 @@ use jem_energy::EnergyBreakdown;
 use jem_obs::json::Json;
 use jem_obs::schema::validate;
 use jem_obs::timeline::is_jts;
-use jem_obs::wire::{is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, salvage_jtb, JtbIndex};
-use jem_obs::{chrome_trace_sharded, write_atomic, TraceShard};
+use jem_obs::wire::{
+    is_jtb, jtb_bytes, load_chrome_doc, load_jtb_bytes, salvage_jtb, FollowStatus, JtbIndex,
+    JtbStream,
+};
+use jem_obs::{chrome_trace_sharded, write_atomic, JtsReader, TraceShard};
 use std::collections::BTreeMap;
 use std::io::Read;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: tracecheck <trace.jtb | timeline.jts | trace.json | -> \
      [--schema <schema.json>] [--summary] [--reencode <out.jtb|out.json>] \
-     [--salvage <out.jtb>]";
+     [--salvage <out.jtb>] [--follow]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +79,7 @@ fn main() -> ExitCode {
     let mut reencode_path = None;
     let mut salvage_path = None;
     let mut summary = false;
+    let mut follow = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -100,6 +111,10 @@ fn main() -> ExitCode {
                 summary = true;
                 i += 1;
             }
+            "--follow" => {
+                follow = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -118,6 +133,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+
+    if follow {
+        if schema_path.is_some() || reencode_path.is_some() || salvage_path.is_some() {
+            eprintln!("tracecheck: --follow cannot be combined with --schema/--reencode/--salvage");
+            return ExitCode::from(2);
+        }
+        if trace_path == "-" {
+            eprintln!("tracecheck: --follow needs a file path, not stdin");
+            return ExitCode::from(2);
+        }
+        return follow_validate(&trace_path);
+    }
 
     let mut bytes = match read_input(&trace_path) {
         Ok(t) => t,
@@ -349,6 +376,100 @@ fn main() -> ExitCode {
         }
         println!("tracecheck: re-encoded {trace_path} -> {out}");
     }
+    ExitCode::SUCCESS
+}
+
+/// `--follow`: validate every complete record currently in a growing
+/// `.jtb` or `.jts` file (sniffed by magic). A torn tail — the record
+/// the writer is mid-way through — is expected and parks cleanly;
+/// only real corruption fails. Exit 0 whether the file is complete or
+/// still growing, so scripts can poll a live run.
+fn follow_validate(trace_path: &str) -> ExitCode {
+    let head = {
+        let mut f = match std::fs::File::open(trace_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tracecheck: cannot read {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut head = [0u8; 4];
+        match f.read(&mut head) {
+            Ok(n) => head[..n].to_vec(),
+            Err(e) => {
+                eprintln!("tracecheck: cannot read {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if head.len() < 4 {
+        // Not even a magic yet: a writer that just created the file.
+        println!("tracecheck: {trace_path}: OK prefix (0 records, header still being written)");
+        return ExitCode::SUCCESS;
+    }
+    if is_jts(&head) {
+        let mut follower = match JtsReader::follow(trace_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let complete = loop {
+            match follower.poll() {
+                Ok(FollowStatus::Events(_)) => {}
+                Ok(FollowStatus::Idle) => break false,
+                Ok(FollowStatus::End) => break true,
+                Err(e) => {
+                    eprintln!("tracecheck: {trace_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        println!(
+            "tracecheck: {trace_path}: OK prefix (jts, {} segments, {} samples, {})",
+            follower.segments(),
+            follower.samples(),
+            if complete {
+                "complete"
+            } else {
+                "still growing"
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+    if !is_jtb(&head) {
+        eprintln!("tracecheck: {trace_path}: --follow needs a .jtb or .jts input (bad magic)");
+        return ExitCode::FAILURE;
+    }
+    let mut follower = match JtbStream::follow(trace_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("tracecheck: {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let complete = loop {
+        match follower.poll() {
+            Ok(FollowStatus::Events(_)) => {}
+            Ok(FollowStatus::Idle) => break false,
+            Ok(FollowStatus::End) => break true,
+            Err(e) => {
+                eprintln!("tracecheck: {trace_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "tracecheck: {trace_path}: OK prefix (jtb, {} events, {} dropped, {})",
+        follower.events_read(),
+        follower.dropped(),
+        if complete {
+            "complete"
+        } else {
+            "still growing"
+        }
+    );
     ExitCode::SUCCESS
 }
 

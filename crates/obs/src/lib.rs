@@ -36,7 +36,13 @@
 //!   cumulative/rates, predictor estimates, channel/breaker state,
 //!   counters) at a sim-time cadence into a compact columnar format
 //!   whose energy-rate integrals reconcile bit-exactly with the run's
-//!   final breakdown.
+//!   final breakdown,
+//! * [`serve`] — the live-run exposition layer: a dependency-free
+//!   HTTP server over a published [`serve::LiveState`] snapshot
+//!   (`/metrics`, `/health`, `/series`, `/events` SSE). Data flows
+//!   strictly sim → server; serving a run never perturbs it,
+//! * [`tui`] — shared plain-ANSI rendering (unicode sparklines,
+//!   refresh-frame helpers) for `jem-top` and `jem-timeline --live`.
 //!
 //! Because the workspace's vendored `serde` is a no-op stub, the
 //! [`json`] module supplies the deterministic JSON reader/writer that
@@ -57,8 +63,10 @@ pub mod monitor;
 pub mod profile;
 pub mod query;
 pub mod schema;
+pub mod serve;
 pub mod timeline;
 pub mod trace;
+pub mod tui;
 pub mod wire;
 
 pub use accuracy::AccuracyTracker;
@@ -71,8 +79,10 @@ pub use profile::{
     CellStats, CollapseWeight, InvocationResolver, ProfileFolder, ResolvedEvent, TraceProfile,
 };
 pub use query::{GroupKey, Query, QueryEngine, QueryResult, QueryRow};
+pub use serve::{LiveServer, LiveState};
 pub use timeline::{
-    is_jts, series_names, validate_jts, JtsSummary, Timeline, TimelineSegment, TimelineSink,
+    is_jts, series_names, validate_jts, JtsFollower, JtsReader, JtsSample, JtsSummary, Timeline,
+    TimelineSegment, TimelineSink,
 };
 pub use trace::{
     chrome_trace, chrome_trace_sharded, chrome_trace_truncated, dropped_from_chrome_trace,
@@ -80,6 +90,7 @@ pub use trace::{
     TraceShard, TraceSink, Tracer, TracerState,
 };
 pub use wire::{
-    is_jtb, jtb_bytes, load_trace_bytes, load_trace_path, salvage_jtb, FileSink, JtbIndex,
-    JtbStream, JtbWriter, LoadedTrace, RecoveredNote, SalvageReport, WriterSink,
+    is_jtb, jtb_bytes, load_trace_bytes, load_trace_path, salvage_jtb, FileSink, FollowStatus,
+    JtbFollower, JtbIndex, JtbStream, JtbWriter, LoadedTrace, RecoveredNote, SalvageReport,
+    WriterSink,
 };

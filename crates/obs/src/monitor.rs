@@ -528,6 +528,12 @@ impl Monitor {
     pub fn finish(self) -> HealthReport {
         self.report
     }
+
+    /// Snapshot the report so far without consuming the monitor — the
+    /// live `/health` endpoint polls this mid-run.
+    pub fn report(&self) -> HealthReport {
+        self.report.clone()
+    }
 }
 
 /// The sink-agnostic tee core: forwards events to any sink, injecting
@@ -593,6 +599,11 @@ impl MonitorTee {
     /// Finish monitoring and yield the health report.
     pub fn finish(self) -> HealthReport {
         self.monitor.finish()
+    }
+
+    /// Snapshot the report so far without consuming the tee.
+    pub fn report(&self) -> HealthReport {
+        self.monitor.report()
     }
 }
 

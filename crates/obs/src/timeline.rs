@@ -67,7 +67,7 @@
 //! byte-identical to an uninterrupted one.
 
 use crate::trace::{TraceEvent, TraceEventKind, TraceSink};
-use crate::wire::{put_msf, put_varint, unzigzag, zigzag, Cur};
+use crate::wire::{put_msf, put_varint, unzigzag, zigzag, Cur, FollowStatus};
 use jem_energy::{Component, EnergyBreakdown};
 use std::io::Write;
 
@@ -93,21 +93,21 @@ pub fn is_jts(bytes: &[u8]) -> bool {
 // Series catalogue
 // ---------------------------------------------------------------
 
-const COMPONENTS: usize = 5;
-const S_CUM: usize = 0; // + component index
-const S_TRACE: usize = S_CUM + COMPONENTS; // + component index
-const S_EI: usize = 10;
-const S_ER: usize = 11;
-const S_EL1: usize = 12;
-const S_ERR: usize = 15;
-const S_TRUE_CLASS: usize = 16;
-const S_CHOSEN_CLASS: usize = 17;
-const S_BREAKER: usize = 18;
-const S_RETRIES: usize = 19;
-const S_FALLBACKS: usize = 20;
-const S_DEGRADED: usize = 21;
-const S_INSTRUCTIONS: usize = 22;
-const S_INVOCATIONS: usize = 23;
+pub(crate) const COMPONENTS: usize = 5;
+pub(crate) const S_CUM: usize = 0; // + component index
+pub(crate) const S_TRACE: usize = S_CUM + COMPONENTS; // + component index
+pub(crate) const S_EI: usize = 10;
+pub(crate) const S_ER: usize = 11;
+pub(crate) const S_EL1: usize = 12;
+pub(crate) const S_ERR: usize = 15;
+pub(crate) const S_TRUE_CLASS: usize = 16;
+pub(crate) const S_CHOSEN_CLASS: usize = 17;
+pub(crate) const S_BREAKER: usize = 18;
+pub(crate) const S_RETRIES: usize = 19;
+pub(crate) const S_FALLBACKS: usize = 20;
+pub(crate) const S_DEGRADED: usize = 21;
+pub(crate) const S_INSTRUCTIONS: usize = 22;
+pub(crate) const S_INVOCATIONS: usize = 23;
 /// Number of series every `.jts` file carries (the catalogue is
 /// fixed: series identity is positional, names are self-describing).
 pub const N_SERIES: usize = 24;
@@ -218,28 +218,28 @@ fn get_f64_bits(cur: &mut Cur<'_>) -> Result<f64, String> {
 
 /// Derived run state, updated per event and copied out per sample.
 #[derive(Clone)]
-struct Sampler {
+pub(crate) struct Sampler {
     /// Sample cadence in sim-ns (0 = invocation boundaries only).
-    every: f64,
+    pub(crate) every: f64,
     /// Current value of every series.
-    vals: [f64; N_SERIES],
+    pub(crate) vals: [f64; N_SERIES],
     /// Next scheduled sample time.
-    next_t: f64,
+    pub(crate) next_t: f64,
     /// Timestamp of the last applied event.
-    last_t: f64,
+    pub(crate) last_t: f64,
     /// State changed since the last emitted sample.
-    dirty: bool,
+    pub(crate) dirty: bool,
     /// Last event sequence number (restart detection).
-    prev_seq: Option<u64>,
+    pub(crate) prev_seq: Option<u64>,
     /// Chosen mode + predicted nJ of the pending decision, for the
     /// prediction-error series (same semantics as the regret monitor).
     pending: Option<(String, f64)>,
     /// Label table for the label-coded series; id 0 is "" (unknown).
-    labels: Vec<String>,
+    pub(crate) labels: Vec<String>,
 }
 
 impl Sampler {
-    fn new(every: f64) -> Sampler {
+    pub(crate) fn new(every: f64) -> Sampler {
         let mut s = Sampler {
             every,
             vals: [0.0; N_SERIES],
@@ -255,7 +255,7 @@ impl Sampler {
     }
 
     /// Reset per-segment state (the label table is file-global).
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.vals = [0.0; N_SERIES];
         self.next_t = self.every;
         self.last_t = 0.0;
@@ -274,7 +274,7 @@ impl Sampler {
         (self.labels.len() - 1) as f64
     }
 
-    fn apply(&mut self, ev: &TraceEvent, ledger: Option<&EnergyBreakdown>) {
+    pub(crate) fn apply(&mut self, ev: &TraceEvent, ledger: Option<&EnergyBreakdown>) {
         self.dirty = true;
         self.last_t = ev.at.nanos();
         for c in Component::ALL {
@@ -386,6 +386,10 @@ pub struct TimelineSink {
     /// Flushed sample count of the open segment (`None` = no segment).
     cur_flushed: Option<u64>,
     closed: Vec<SegMeta>,
+    /// Invocation-aligned flush cadence (`--flush-every`); `None` (the
+    /// default) keeps the output byte-identical to previous releases.
+    flush_every_ns: Option<f64>,
+    last_flush_t: f64,
 }
 
 impl TimelineSink {
@@ -407,6 +411,8 @@ impl TimelineSink {
             prev_vals: [0.0; N_SERIES],
             cur_flushed: None,
             closed: Vec::new(),
+            flush_every_ns: None,
+            last_flush_t: 0.0,
         };
         let mut header = Vec::new();
         header.extend_from_slice(JTS_MAGIC);
@@ -432,6 +438,17 @@ impl TimelineSink {
     /// The configured sample cadence (sim-ns).
     pub fn sample_every_ns(&self) -> f64 {
         self.sampler.every
+    }
+
+    /// Flush the open block and the file whenever an invocation ends
+    /// at least `sim_ns` of sim-time after the previous flush — the
+    /// `--flush-every` backend. Flushes land right after the forced
+    /// invocation-end sample, so followers always see whole
+    /// invocations. Blocks are cut early (the byte layout changes) but
+    /// the decoded timeline is identical; off by default, keeping
+    /// output byte-identical.
+    pub fn set_flush_every(&mut self, sim_ns: f64) {
+        self.flush_every_ns = Some(sim_ns);
     }
 
     fn write(&mut self, bytes: &[u8]) {
@@ -475,6 +492,19 @@ impl TimelineSink {
             if self.sampler.every > 0.0 {
                 while self.sampler.next_t <= at {
                     self.sampler.next_t += self.sampler.every;
+                }
+            }
+            if let Some(every) = self.flush_every_ns {
+                if at >= self.last_flush_t + every {
+                    self.last_flush_t = at;
+                    self.flush_block();
+                    if self.error.is_none() {
+                        if let Some(out) = self.out.as_mut() {
+                            if let Err(e) = out.flush() {
+                                self.error = Some(e);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -805,6 +835,8 @@ impl TimelineSink {
             prev_vals,
             cur_flushed,
             closed,
+            flush_every_ns: None,
+            last_flush_t: 0.0,
         })
     }
 }
@@ -1145,6 +1177,310 @@ impl Timeline {
             .with("series", Json::Arr(series))
             .with("labels", Json::Arr(labels))
             .with("segments", Json::Arr(segments))
+    }
+}
+
+// ---------------------------------------------------------------
+// Follow-mode reader
+// ---------------------------------------------------------------
+
+/// One decoded live sample from a followed `.jts` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JtsSample {
+    /// Zero-based segment index the sample belongs to.
+    pub segment: usize,
+    /// Sim-time of the sample (ns).
+    pub t: f64,
+    /// All [`N_SERIES`] column values at the sample.
+    pub vals: [f64; N_SERIES],
+}
+
+/// Tail a growing `.jts` file: decodes complete sample blocks as they
+/// land, treats torn tails as [`FollowStatus::Idle`], and carries the
+/// per-series delta chain across polls so the concatenation of polled
+/// samples converges to exactly the [`Timeline::read`] full-file
+/// decode once the writer finishes. Labels live only in the footer,
+/// so [`JtsFollower::labels`] is empty until the file completes —
+/// live consumers show `label#N` for label-coded series meanwhile.
+pub struct JtsFollower {
+    file: std::fs::File,
+    file_pos: u64,
+    buf: Vec<u8>,
+    /// Absolute file offset of `buf[0]`.
+    buf_offset: u64,
+    header_done: bool,
+    sample_every_ns: f64,
+    series: Vec<String>,
+    /// Per-segment decoded sample counts (`len()` = segments so far).
+    seg_samples: Vec<u64>,
+    prev_vals: [f64; N_SERIES],
+    labels: Vec<String>,
+    done: bool,
+}
+
+impl JtsFollower {
+    /// Open `path` for tailing. The file must exist but may be empty
+    /// or torn mid-record.
+    ///
+    /// # Errors
+    /// Only filesystem errors; nothing is decoded yet.
+    pub fn open(path: &str) -> Result<JtsFollower, String> {
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("jts: cannot open {path}: {e}"))?;
+        Ok(JtsFollower {
+            file,
+            file_pos: 0,
+            buf: Vec::new(),
+            buf_offset: 0,
+            header_done: false,
+            sample_every_ns: 0.0,
+            series: Vec::new(),
+            seg_samples: Vec::new(),
+            prev_vals: [0.0; N_SERIES],
+            labels: Vec::new(),
+            done: false,
+        })
+    }
+
+    /// Read newly-appended bytes and decode every complete record.
+    ///
+    /// # Errors
+    /// Real corruption only; short data is [`FollowStatus::Idle`].
+    pub fn poll(&mut self) -> Result<FollowStatus<JtsSample>, String> {
+        use std::io::{Read as _, Seek, SeekFrom};
+        if self.done {
+            return Ok(FollowStatus::End);
+        }
+        self.file
+            .seek(SeekFrom::Start(self.file_pos))
+            .map_err(|e| format!("jts: seek failed: {e}"))?;
+        let mut fresh = Vec::new();
+        self.file
+            .read_to_end(&mut fresh)
+            .map_err(|e| format!("jts: read failed: {e}"))?;
+        self.file_pos += fresh.len() as u64;
+        self.buf.extend_from_slice(&fresh);
+
+        let mut out = Vec::new();
+        let mut committed = 0usize;
+        loop {
+            match self.parse_one(committed, &mut out) {
+                Ok(Some(next)) => {
+                    committed = next;
+                    if self.done {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) if crate::wire::is_torn_tail(&e) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.drain(..committed);
+        self.buf_offset += committed as u64;
+        if !out.is_empty() {
+            Ok(FollowStatus::Events(out))
+        } else if self.done {
+            Ok(FollowStatus::End)
+        } else {
+            Ok(FollowStatus::Idle)
+        }
+    }
+
+    /// Parse one header/record at `from`, appending samples to `out`;
+    /// `None` when the buffer is exhausted. State mutations only
+    /// happen once the whole record parsed, so a torn-tail abort
+    /// leaves the follower consistent.
+    fn parse_one(
+        &mut self,
+        from: usize,
+        out: &mut Vec<JtsSample>,
+    ) -> Result<Option<usize>, String> {
+        let data = &self.buf[from..];
+        if data.is_empty() {
+            return Ok(None);
+        }
+        let mut cur = Cur::new(data);
+        if !self.header_done {
+            if cur.bytes(4)? != JTS_MAGIC {
+                return Err("jts: missing JTS1 magic".into());
+            }
+            let version = cur.varint()?;
+            if version != 1 {
+                return Err(format!("jts: unsupported version {version}"));
+            }
+            let sample_every_ns = cur.msf()?;
+            let n_series = cur.varint()? as usize;
+            if n_series != N_SERIES {
+                return Err(format!(
+                    "jts: file has {n_series} series, this build expects {N_SERIES}"
+                ));
+            }
+            let mut series = Vec::with_capacity(n_series);
+            for _ in 0..n_series {
+                series.push(get_string(&mut cur)?);
+            }
+            self.sample_every_ns = sample_every_ns;
+            self.series = series;
+            self.header_done = true;
+            return Ok(Some(from + cur.pos()));
+        }
+        let record_offset = self.buf_offset + from as u64;
+        match cur.u8()? {
+            R_SEGMENT => {
+                self.seg_samples.push(0);
+                self.prev_vals = [0.0; N_SERIES];
+            }
+            R_SAMPLES => {
+                let len = cur.varint()? as usize;
+                let mut bcur = Cur::new(cur.bytes(len)?);
+                if self.seg_samples.is_empty() {
+                    return Err("jts: sample block before any segment record".into());
+                }
+                let segment = self.seg_samples.len() - 1;
+                let n = bcur.varint()? as usize;
+                if n == 0 || n > BLOCK_SAMPLES {
+                    return Err(format!("jts: implausible block sample count {n}"));
+                }
+                // Decode the whole block before touching carries, so a
+                // mid-block corruption error doesn't half-commit.
+                let mut times = Vec::with_capacity(n);
+                let mut t = bcur.msf()?;
+                times.push(t);
+                let mut prev_d: i64 = 0;
+                for _ in 1..n {
+                    let tag = bcur.varint()?;
+                    if tag & 1 == 1 {
+                        let a =
+                            scaled(t).ok_or("jts: scaled timestamp delta against raw previous")?;
+                        let d = prev_d + unzigzag(tag >> 1);
+                        t = (a + d) as f64 / 1000.0;
+                        prev_d = d;
+                    } else if tag == 0 {
+                        t = get_f64_bits(&mut bcur)?;
+                        prev_d = 0;
+                    } else {
+                        return Err("jts: reserved timestamp tag".into());
+                    }
+                    times.push(t);
+                }
+                let mut cols: Vec<Vec<f64>> = std::iter::repeat_with(|| Vec::with_capacity(n))
+                    .take(N_SERIES)
+                    .collect();
+                let mut prev_vals = self.prev_vals;
+                for (s, prev) in prev_vals.iter_mut().enumerate() {
+                    for _ in 0..n {
+                        let v = get_val(&mut bcur, *prev)?;
+                        cols[s].push(v);
+                        *prev = v;
+                    }
+                }
+                if bcur.remaining() != 0 {
+                    return Err("jts: trailing bytes in sample block".into());
+                }
+                self.prev_vals = prev_vals;
+                *self.seg_samples.last_mut().expect("non-empty") += n as u64;
+                for (row, &t) in times.iter().enumerate() {
+                    let mut vals = [0.0; N_SERIES];
+                    for (s, col) in cols.iter().enumerate() {
+                        vals[s] = col[row];
+                    }
+                    out.push(JtsSample { segment, t, vals });
+                }
+            }
+            R_FOOTER => {
+                let flen = cur.varint()? as usize;
+                let mut fcur = Cur::new(cur.bytes(flen)?);
+                let n_labels = fcur.varint()? as usize;
+                if n_labels > 1 << 20 {
+                    return Err("jts: implausible label count".into());
+                }
+                let mut labels = Vec::with_capacity(n_labels);
+                for _ in 0..n_labels {
+                    labels.push(get_string(&mut fcur)?);
+                }
+                let n_segments = fcur.varint()? as usize;
+                if n_segments != self.seg_samples.len() {
+                    return Err(format!(
+                        "jts: {} segment records but footer declares {n_segments}",
+                        self.seg_samples.len()
+                    ));
+                }
+                let mut total = 0u64;
+                for &decoded in &self.seg_samples {
+                    let samples = fcur.varint()?;
+                    let _end_t = get_f64_bits(&mut fcur)?;
+                    for _ in 0..2 * COMPONENTS {
+                        get_f64_bits(&mut fcur)?;
+                    }
+                    if samples != decoded {
+                        return Err(format!(
+                            "jts: segment holds {decoded} samples but footer declares {samples}"
+                        ));
+                    }
+                    total += samples;
+                }
+                let declared_total = fcur.varint()?;
+                if fcur.remaining() != 0 {
+                    return Err("jts: trailing bytes in footer".into());
+                }
+                if total != declared_total {
+                    return Err(format!(
+                        "jts: {total} decoded samples but footer declares {declared_total}"
+                    ));
+                }
+                let trailer = cur.bytes(12)?;
+                let mut off = [0u8; 8];
+                off.copy_from_slice(&trailer[..8]);
+                if u64::from_le_bytes(off) != record_offset || &trailer[8..] != JTS_END_MAGIC {
+                    return Err("jts: bad trailer (truncated or corrupt file)".into());
+                }
+                self.labels = labels;
+                self.done = true;
+            }
+            other => return Err(format!("jts: unknown record tag {other}")),
+        }
+        Ok(Some(from + cur.pos()))
+    }
+
+    /// Sampling cadence (sim-ns); 0 until the header has arrived.
+    pub fn sample_every_ns(&self) -> f64 {
+        self.sample_every_ns
+    }
+
+    /// Series names (empty until the header has arrived).
+    pub fn series(&self) -> &[String] {
+        &self.series
+    }
+
+    /// Segments seen so far.
+    pub fn segments(&self) -> usize {
+        self.seg_samples.len()
+    }
+
+    /// Samples decoded so far across all segments.
+    pub fn samples(&self) -> u64 {
+        self.seg_samples.iter().sum()
+    }
+
+    /// Label table — only populated after [`FollowStatus::End`]
+    /// (labels are written with the footer).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// Reader-role alias for [`Timeline`], so follow mode reads as
+/// `JtsReader::follow(path)` next to `JtbStream::follow(path)`.
+pub type JtsReader = Timeline;
+
+impl Timeline {
+    /// Open `path` in follow (tail) mode.
+    ///
+    /// # Errors
+    /// Filesystem errors opening the path.
+    pub fn follow(path: &str) -> Result<JtsFollower, String> {
+        JtsFollower::open(path)
     }
 }
 

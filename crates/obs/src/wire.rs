@@ -153,6 +153,11 @@ impl<'a> Cur<'a> {
         self.data.len() - self.pos
     }
 
+    /// Bytes consumed so far (follow-mode readers commit up to here).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8, String> {
         let b = *self
             .data
@@ -770,6 +775,19 @@ impl<W: Write> JtbWriter<W> {
         self.index.dropped += n;
     }
 
+    /// Flush the buffered block (even below the preferred block size)
+    /// and the underlying writer, so live followers see every event
+    /// recorded so far. Changes where blocks are cut — only the
+    /// `--flush-every` opt-in path calls this; the default cadence
+    /// keeps output byte-identical to previous releases.
+    ///
+    /// # Errors
+    /// Propagates the underlying write/flush error.
+    pub fn flush_now(&mut self) -> std::io::Result<()> {
+        self.flush_block()?;
+        self.out.flush()
+    }
+
     fn flush_block(&mut self) -> std::io::Result<()> {
         if self.buf.is_empty() {
             return Ok(());
@@ -977,6 +995,8 @@ fn decode_writer_state(state: &[u8]) -> Result<WriterState, String> {
 pub struct WriterSink<W: Write> {
     writer: Option<JtbWriter<W>>,
     error: Option<std::io::Error>,
+    flush_every_ns: Option<f64>,
+    last_flush_t: f64,
 }
 
 impl<W: Write> WriterSink<W> {
@@ -988,7 +1008,31 @@ impl<W: Write> WriterSink<W> {
         Ok(WriterSink {
             writer: Some(JtbWriter::new(out)?),
             error: None,
+            flush_every_ns: None,
+            last_flush_t: 0.0,
         })
+    }
+
+    /// Flush the open block and the output whenever a new invocation
+    /// starts at least `sim_ns` of sim-time after the previous flush —
+    /// the `--flush-every` backend. Flushes land on invocation
+    /// boundaries so followers always see whole invocations; the block
+    /// layout changes (blocks are cut early), but the decoded stream
+    /// is identical. Off by default, keeping output byte-identical.
+    pub fn set_flush_every(&mut self, sim_ns: f64) {
+        self.flush_every_ns = Some(sim_ns);
+    }
+
+    /// Flush the buffered block and the output now, latching errors.
+    pub fn flush_now(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush_now() {
+                self.error = Some(e);
+            }
+        }
     }
 
     /// Begin a new shard in the underlying writer.
@@ -1043,6 +1087,18 @@ impl<W: Write> TraceSink for WriterSink<W> {
     fn record(&mut self, event: TraceEvent) {
         if self.error.is_some() {
             return;
+        }
+        // Flush *before* pushing an invocation's first event, so the
+        // flushed prefix ends exactly at the previous invocation's
+        // final event — followers never see a half-invocation.
+        if let Some(every) = self.flush_every_ns {
+            if event.ordinal == 0 && event.at.nanos() >= self.last_flush_t + every {
+                self.last_flush_t = event.at.nanos();
+                self.flush_now();
+                if self.error.is_some() {
+                    return;
+                }
+            }
         }
         if let Some(w) = self.writer.as_mut() {
             if let Err(e) = w.push(event) {
@@ -1119,8 +1175,18 @@ impl FileSink {
             inner: WriterSink {
                 writer: Some(JtbWriter::from_state(std::io::BufWriter::new(file), st)),
                 error: None,
+                flush_every_ns: None,
+                last_flush_t: 0.0,
             },
         })
+    }
+
+    /// Enable invocation-aligned flushing every `sim_ns` of sim-time
+    /// (see [`WriterSink::set_flush_every`]) — the `--flush-every`
+    /// flag. Not compatible with checkpoint/resume byte-identity, so
+    /// callers gate it against `--ckpt`.
+    pub fn set_flush_every(&mut self, sim_ns: f64) {
+        self.inner.set_flush_every(sim_ns);
     }
 
     /// Begin a new shard.
@@ -1409,6 +1475,265 @@ impl<R: Read> JtbStream<R> {
             events,
             dropped,
         })
+    }
+}
+
+// ---------------------------------------------------------------
+// Follow-mode reader
+// ---------------------------------------------------------------
+
+/// One [`JtbFollower::poll`] / [`crate::timeline::JtsFollower::poll`]
+/// outcome.
+#[derive(Debug, PartialEq)]
+pub enum FollowStatus<T> {
+    /// New complete items decoded since the previous poll.
+    Events(Vec<T>),
+    /// No complete new records yet — the writer is (or may still be)
+    /// mid-record. A torn tail is indistinguishable from a live
+    /// writer, so this never errors; poll again later.
+    Idle,
+    /// The footer and trailer arrived and validated: the file is
+    /// complete and no further items will appear.
+    End,
+}
+
+/// Whether a decode error means "ran off the end of the bytes read so
+/// far" (a torn tail — retryable) rather than real corruption. The
+/// shared cursor and the stream reader both funnel every short read
+/// through this one message.
+pub(crate) fn is_torn_tail(err: &str) -> bool {
+    err.contains("unexpected end of data") || err.contains("unexpected end of stream")
+}
+
+/// Tail a growing `.jtb` file: [`JtbFollower::poll`] decodes every
+/// record that has fully arrived and treats a torn tail as
+/// [`FollowStatus::Idle`] instead of an error, resuming at the same
+/// record boundary on the next poll. Decode state (string interner,
+/// shard names, block counts) is carried across polls, so the
+/// concatenation of all polled events converges to exactly the
+/// [`JtbStream`] full-file fold once the writer finishes.
+pub struct JtbFollower {
+    file: std::fs::File,
+    /// Absolute file offset of the next byte to read.
+    file_pos: u64,
+    /// Unconsumed bytes (the tail of a possibly-torn record).
+    buf: Vec<u8>,
+    /// Absolute file offset of `buf[0]`.
+    buf_offset: u64,
+    header_done: bool,
+    strings: Vec<String>,
+    shard_names: Vec<String>,
+    dropped: u64,
+    recovered: Option<RecoveredNote>,
+    blocks_read: u64,
+    events_read: u64,
+    footer: Option<JtbIndex>,
+    done: bool,
+}
+
+impl JtbFollower {
+    /// Open `path` for tailing. The file must exist but may be empty
+    /// or torn mid-record — even a partial header is just
+    /// [`FollowStatus::Idle`] until more bytes land.
+    ///
+    /// # Errors
+    /// Only filesystem errors (the path does not exist / cannot be
+    /// opened); nothing is decoded yet.
+    pub fn open(path: &str) -> Result<JtbFollower, String> {
+        let file =
+            std::fs::File::open(path).map_err(|e| format!("jtb: cannot open {path}: {e}"))?;
+        Ok(JtbFollower {
+            file,
+            file_pos: 0,
+            buf: Vec::new(),
+            buf_offset: 0,
+            header_done: false,
+            strings: Vec::new(),
+            shard_names: Vec::new(),
+            dropped: 0,
+            recovered: None,
+            blocks_read: 0,
+            events_read: 0,
+            footer: None,
+            done: false,
+        })
+    }
+
+    /// Read any newly-appended bytes and decode every complete record.
+    ///
+    /// # Errors
+    /// Real corruption only (bad magic, unknown tag, inconsistent
+    /// footer). Short data is never an error here.
+    pub fn poll(&mut self) -> Result<FollowStatus<(usize, TraceEvent)>, String> {
+        use std::io::{Read as _, Seek, SeekFrom};
+        if self.done {
+            return Ok(FollowStatus::End);
+        }
+        self.file
+            .seek(SeekFrom::Start(self.file_pos))
+            .map_err(|e| format!("jtb: seek failed: {e}"))?;
+        let mut fresh = Vec::new();
+        self.file
+            .read_to_end(&mut fresh)
+            .map_err(|e| format!("jtb: read failed: {e}"))?;
+        self.file_pos += fresh.len() as u64;
+        self.buf.extend_from_slice(&fresh);
+
+        let mut out = Vec::new();
+        let mut committed = 0usize;
+        loop {
+            match self.parse_one(committed, &mut out) {
+                Ok(Some(next)) => {
+                    committed = next;
+                    if self.done {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) if is_torn_tail(&e) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.drain(..committed);
+        self.buf_offset += committed as u64;
+        if !out.is_empty() {
+            Ok(FollowStatus::Events(out))
+        } else if self.done {
+            Ok(FollowStatus::End)
+        } else {
+            Ok(FollowStatus::Idle)
+        }
+    }
+
+    /// Parse one header/record starting at `from`; push decoded events
+    /// to `out`. Returns the new committed offset, or `None` when the
+    /// buffer is fully consumed. A torn-tail error leaves all state
+    /// before `from` intact (mutations below only happen once the
+    /// whole record parsed).
+    fn parse_one(
+        &mut self,
+        from: usize,
+        out: &mut Vec<(usize, TraceEvent)>,
+    ) -> Result<Option<usize>, String> {
+        let data = &self.buf[from..];
+        if data.is_empty() {
+            return Ok(None);
+        }
+        let mut cur = Cur::new(data);
+        if !self.header_done {
+            let magic = cur.bytes(4)?;
+            if magic != JTB_MAGIC {
+                return Err("jtb: bad leading magic (not a .jtb file)".into());
+            }
+            let version = cur.varint()?;
+            if version != JTB_VERSION {
+                return Err(format!("jtb: unsupported version {version}"));
+            }
+            self.header_done = true;
+            return Ok(Some(from + cur.pos));
+        }
+        let record_offset = self.buf_offset + from as u64;
+        match cur.u8()? {
+            R_SHARD => {
+                let name = cur_string(&mut cur)?;
+                self.shard_names.push(name);
+            }
+            R_STRDEF => {
+                let s = cur_string(&mut cur)?;
+                self.strings.push(s);
+            }
+            R_BLOCK => {
+                let len = cur.varint()? as usize;
+                let payload = cur.bytes(len)?;
+                let events = decode_block(payload, &self.strings)?;
+                self.blocks_read += 1;
+                self.events_read += events.len() as u64;
+                let shard = self.shard_names.len().saturating_sub(1);
+                out.extend(events.into_iter().map(|ev| (shard, ev)));
+            }
+            R_TRUNC => {
+                self.dropped = cur.varint()?;
+            }
+            R_RECOVER => {
+                let dropped_bytes = cur.varint()?;
+                let dropped_events = cur.varint()?;
+                self.recovered = Some(RecoveredNote {
+                    dropped_bytes,
+                    dropped_events,
+                });
+            }
+            R_FOOTER => {
+                let footer = parse_footer(&mut cur)?;
+                let trailer = cur.bytes(12)?;
+                let mut off = [0u8; 8];
+                off.copy_from_slice(&trailer[..8]);
+                if u64::from_le_bytes(off) != record_offset || &trailer[8..] != JTB_END_MAGIC {
+                    return Err("jtb: bad trailer (truncated or corrupt file)".into());
+                }
+                if footer.blocks.len() as u64 != self.blocks_read
+                    || footer.events != self.events_read
+                {
+                    return Err(format!(
+                        "jtb: footer disagrees with stream ({} blocks / {} events vs {} / {})",
+                        footer.blocks.len(),
+                        footer.events,
+                        self.blocks_read,
+                        self.events_read
+                    ));
+                }
+                self.dropped = self.dropped.max(footer.dropped);
+                self.footer = Some(footer);
+                self.done = true;
+            }
+            other => return Err(format!("jtb: unknown record tag 0x{other:02x}")),
+        }
+        Ok(Some(from + cur.pos))
+    }
+
+    /// Shard names seen so far.
+    pub fn shard_names(&self) -> &[String] {
+        &self.shard_names
+    }
+
+    /// Declared dropped-event count so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The crash-salvage marker, if one has streamed past.
+    pub fn recovered(&self) -> Option<RecoveredNote> {
+        self.recovered
+    }
+
+    /// Events decoded so far.
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    /// The validated footer index, once [`FollowStatus::End`] was
+    /// returned.
+    pub fn index(&self) -> Option<&JtbIndex> {
+        self.footer.as_ref()
+    }
+}
+
+fn cur_string(cur: &mut Cur<'_>) -> Result<String, String> {
+    let len = cur.varint()? as usize;
+    if len > 1 << 20 {
+        return Err("jtb: implausible string length".into());
+    }
+    String::from_utf8(cur.bytes(len)?.to_vec()).map_err(|_| "jtb: invalid utf-8 string".into())
+}
+
+impl JtbStream<std::io::BufReader<std::fs::File>> {
+    /// Open `path` in follow (tail) mode: the returned
+    /// [`JtbFollower`] decodes incrementally as the file grows instead
+    /// of erroring at a torn tail the way a plain stream would.
+    ///
+    /// # Errors
+    /// Filesystem errors opening the path.
+    pub fn follow(path: &str) -> Result<JtbFollower, String> {
+        JtbFollower::open(path)
     }
 }
 
