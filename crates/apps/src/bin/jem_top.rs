@@ -7,6 +7,7 @@
 //!                    the scriptable/CI snapshot mode)
 //!   --frames <n>     stop after n redraws
 //!   --window a:b     restrict sparklines to [a, b] sim-ms
+//!   --timeout <ms>   HTTP connect/read/write timeout (default 5000)
 //! ```
 //!
 //! Two sources, picked by the argument's shape:
@@ -14,7 +15,10 @@
 //! * an address (`http://127.0.0.1:6220` or bare `127.0.0.1:6220`) —
 //!   polls the embedded `--serve` endpoints of a live bench run:
 //!   `/series` for the sparkline panels, `/health` for alerts, and
-//!   `/metrics` for the decision mix and completion flag;
+//!   `/metrics` for the decision mix and completion flag. Every
+//!   request carries a connect *and* read/write deadline
+//!   (`--timeout`, default 5 s), so `--once` against a server that
+//!   never comes up fails fast with a clear error instead of hanging;
 //! * a `.jts` path — tails the growing timeline of a run started with
 //!   `--timeline run.jts --flush-every N` (no server needed), showing
 //!   the same panels minus the decision mix and alerts, which only the
@@ -34,12 +38,12 @@ use jem_obs::tui::{fmt_si, spark_row, BOLD, CLEAR_HOME, RESET};
 use jem_obs::wire::FollowStatus;
 use jem_obs::{Json, JtsReader};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: jem-top <http://HOST:PORT | HOST:PORT | run.jts> \
-                     [--refresh <ms>] [--once] [--frames <n>] [--window a:b]";
+                     [--refresh <ms>] [--once] [--frames <n>] [--window a:b] [--timeout <ms>]";
 
 /// Per-series sample cap; sparkline resampling keeps the shape when
 /// old samples roll off.
@@ -55,6 +59,7 @@ fn main() -> ExitCode {
     let mut frames: Option<usize> = None;
     let mut once = false;
     let mut window: Option<(f64, f64)> = None;
+    let mut timeout_ms: u64 = 5000;
     let mut i = 0;
     while i < args.len() {
         let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
@@ -78,6 +83,17 @@ fn main() -> ExitCode {
             "--once" => {
                 once = true;
                 i += 1;
+            }
+            "--timeout" => {
+                let Some(v) = take(i)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&v| v > 0)
+                else {
+                    eprintln!("jem-top: --timeout needs a positive millisecond count");
+                    return ExitCode::from(2);
+                };
+                timeout_ms = v;
+                i += 2;
             }
             "--window" => {
                 let parsed = take(i).and_then(|v| {
@@ -126,7 +142,14 @@ fn main() -> ExitCode {
         follow_jts(&source, refresh_ms, frames, once, win_ns)
     } else {
         let addr = source.strip_prefix("http://").unwrap_or(&source);
-        watch_http(addr, refresh_ms, frames, once, win_ns)
+        watch_http(
+            addr,
+            refresh_ms,
+            frames,
+            once,
+            win_ns,
+            Duration::from_millis(timeout_ms),
+        )
     }
 }
 
@@ -135,10 +158,26 @@ fn main() -> ExitCode {
 // ---------------------------------------------------------------
 
 /// One `GET` against the embedded server; returns the body of a 200.
-fn http_get(addr: &str, path: &str) -> Result<String, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+/// Connect, read and write all carry `timeout` as their deadline, so
+/// a server that never comes up (or stops mid-response) surfaces as a
+/// prompt, explicit error rather than an indefinite hang.
+fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<String, String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}: no addresses"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout).map_err(|e| {
+        format!(
+            "cannot connect {addr} within {}ms: {e}",
+            timeout.as_millis()
+        )
+    })?;
     stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
         .map_err(|e| e.to_string())?;
     stream
         .write_all(
@@ -165,13 +204,14 @@ fn fetch_series(
     addr: &str,
     name: &str,
     win_ns: Option<(f64, f64)>,
+    timeout: Duration,
 ) -> Result<(Vec<f64>, f64, Option<String>), String> {
     let mut path = format!("/series?name={name}");
     if let Some((a, b)) = win_ns {
         // The endpoint's window= is in sim-ms, like --window.
         path.push_str(&format!("&window={}:{}", a / 1e6, b / 1e6));
     }
-    let body = http_get(addr, &path)?;
+    let body = http_get(addr, &path, timeout)?;
     let doc = Json::parse(&body).map_err(|e| format!("{name}: {e}"))?;
     let mut vals = Vec::new();
     if let Some(Json::Arr(segments)) = doc.get("segments") {
@@ -207,10 +247,11 @@ fn watch_http(
     frames: Option<usize>,
     once: bool,
     win_ns: Option<(f64, f64)>,
+    timeout: Duration,
 ) -> ExitCode {
     let mut drawn = 0usize;
     loop {
-        let frame = match render_http_frame(addr, win_ns, once) {
+        let frame = match render_http_frame(addr, win_ns, once, timeout) {
             Ok(f) => f,
             Err(e) => {
                 eprintln!("jem-top: {e}");
@@ -228,9 +269,15 @@ fn watch_http(
     }
 }
 
-fn render_http_frame(addr: &str, win_ns: Option<(f64, f64)>, once: bool) -> Result<String, String> {
-    let metrics = http_get(addr, "/metrics")?;
-    let health = Json::parse(&http_get(addr, "/health")?).map_err(|e| format!("/health: {e}"))?;
+fn render_http_frame(
+    addr: &str,
+    win_ns: Option<(f64, f64)>,
+    once: bool,
+    timeout: Duration,
+) -> Result<String, String> {
+    let metrics = http_get(addr, "/metrics", timeout)?;
+    let health =
+        Json::parse(&http_get(addr, "/health", timeout)?).map_err(|e| format!("/health: {e}"))?;
     let complete = metric_value(&metrics, "jem_live_run_complete").unwrap_or(0.0) > 0.0;
     let events = metric_value(&metrics, "jem_live_events_total").unwrap_or(0.0);
     let invocations = metric_value(&metrics, "jem_live_invocations_total").unwrap_or(0.0);
@@ -262,7 +309,7 @@ fn render_http_frame(addr: &str, win_ns: Option<(f64, f64)>, once: bool) -> Resu
     out.push_str(&format!("{BOLD}energy rate (nJ/sample){RESET}\n"));
     let name_w = COMPONENTS.iter().map(|c| c.len()).max().unwrap_or(0);
     for c in COMPONENTS {
-        let (cum, end, _) = fetch_series(addr, &format!("energy.{c}.cum_nj"), win_ns)?;
+        let (cum, end, _) = fetch_series(addr, &format!("energy.{c}.cum_nj"), win_ns, timeout)?;
         let rate = deltas(&cum);
         out.push_str(&format!(
             "  {}  total {} nJ\n",
@@ -271,17 +318,17 @@ fn render_http_frame(addr: &str, win_ns: Option<(f64, f64)>, once: bool) -> Resu
         ));
     }
 
-    let (err, err_end, _) = fetch_series(addr, "predictor.err_rel", win_ns)?;
+    let (err, err_end, _) = fetch_series(addr, "predictor.err_rel", win_ns, timeout)?;
     out.push_str(&format!(
         "\n{BOLD}predictor{RESET}\n  {}  now {}\n",
         spark_row("err_rel", name_w, &err),
         fmt_si(err_end)
     ));
 
-    let (_, _, breaker) = fetch_series(addr, "breaker.state", win_ns)?;
-    let (_, retries, _) = fetch_series(addr, "counters.retries", win_ns)?;
-    let (_, fallbacks, _) = fetch_series(addr, "counters.fallbacks", win_ns)?;
-    let (_, degraded, _) = fetch_series(addr, "counters.degraded", win_ns)?;
+    let (_, _, breaker) = fetch_series(addr, "breaker.state", win_ns, timeout)?;
+    let (_, retries, _) = fetch_series(addr, "counters.retries", win_ns, timeout)?;
+    let (_, fallbacks, _) = fetch_series(addr, "counters.fallbacks", win_ns, timeout)?;
+    let (_, degraded, _) = fetch_series(addr, "counters.degraded", win_ns, timeout)?;
     out.push_str(&format!(
         "\nbreaker: {}  retries={} fallbacks={} degraded={}\n",
         breaker.as_deref().unwrap_or("?"),

@@ -257,4 +257,5 @@ fn main() {
             .with("helper_overhead_nj", overhead.nanojoules()),
     );
     obs.finish_trace(sink);
+    obs.archive_run(&args);
 }

@@ -134,4 +134,5 @@ fn main() {
             .with("points", Json::Arr(json_points)),
     );
     obs.write_metrics(&registry);
+    obs.archive_run(&args);
 }

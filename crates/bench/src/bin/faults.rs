@@ -170,4 +170,5 @@ fn main() {
     );
     obs.write_metrics(&registry);
     obs.finish_trace(sink);
+    obs.archive_run(&args);
 }

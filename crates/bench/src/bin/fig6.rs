@@ -162,4 +162,5 @@ fn main() {
     );
     obs.write_metrics(&registry);
     obs.finish_trace(sink);
+    obs.archive_run(&args);
 }

@@ -262,4 +262,5 @@ fn main() {
             .collect();
         obs.write_trace_sharded(&shards);
     }
+    obs.archive_run(&args);
 }

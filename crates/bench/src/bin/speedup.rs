@@ -157,4 +157,5 @@ fn main() {
             .with("points", Json::Arr(json_points)),
     );
     obs.finish_trace(sink);
+    obs.archive_run(&args);
 }

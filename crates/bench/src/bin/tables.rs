@@ -194,4 +194,5 @@ fn main() {
         }
     }
     obs.write_json(&tables_json());
+    obs.archive_run(&args);
 }

@@ -28,7 +28,13 @@
 //!   disk on the first invocation boundary after every SIM-MS of
 //!   sim-time, so `--follow` readers and `jem-top` can tail a run in
 //!   flight. Changes where `.jtb`/`.jts` blocks are cut (the decoded
-//!   stream is identical); leave unset for byte-identical output.
+//!   stream is identical); leave unset for byte-identical output;
+//! * `--archive DIR` — after all outputs are written, ingest them into
+//!   the `jem-lab` experiment archive at DIR under the run's
+//!   deterministic fingerprint (bin, identity args, seed, schema
+//!   versions). A pure post-hoc observer: the archive copies the
+//!   already-written files, so every output stays byte-identical with
+//!   or without the flag.
 //!
 //! Outputs are deterministic: identically-seeded runs write
 //! byte-identical files (sim-time timestamps only, sorted label sets,
@@ -74,6 +80,9 @@ pub struct ObsArgs {
     /// The live snapshot store behind `--serve`, shared with the
     /// server's connection threads. `None` unless `--serve` was given.
     pub live: Option<Arc<LiveState>>,
+    /// `--archive` directory (`jem-lab` experiment archive to ingest
+    /// this run's artifacts into after they are written).
+    pub archive: Option<String>,
 }
 
 /// Where collected events go before export.
@@ -299,6 +308,7 @@ impl ObsArgs {
             serve,
             flush_every_ms,
             live,
+            archive: crate::arg_str(args, "--archive"),
         }
     }
 
@@ -559,6 +569,55 @@ impl ObsArgs {
     pub fn write_json(&self, doc: &Json) {
         if let Some(path) = &self.json_out {
             write_file(path, &format!("{}\n", doc.render_pretty()));
+        }
+    }
+
+    /// Ingest this run's written artifacts into the `--archive`
+    /// experiment archive (no-op without the flag). Bins call this
+    /// last, after every output file exists — the archive reads the
+    /// files back from disk, so archiving can never perturb them.
+    /// `argv` is the bin's full argv (program name first); the run's
+    /// fingerprint is derived from its identity arguments.
+    pub fn archive_run(&self, argv: &[String]) {
+        let Some(root) = &self.archive else {
+            return;
+        };
+        let mut files: Vec<(String, String)> = Vec::new();
+        if let Some(p) = &self.json_out {
+            files.push(("bench".to_string(), p.clone()));
+        }
+        if let Some(p) = &self.trace {
+            files.push(("trace".to_string(), p.clone()));
+        }
+        if let Some(p) = &self.timeline {
+            files.push(("timeline".to_string(), p.clone()));
+        }
+        if let Some(p) = &self.health_out {
+            files.push(("health".to_string(), p.clone()));
+        }
+        if let Some(p) = &self.metrics_out {
+            files.push(("metrics".to_string(), p.clone()));
+        }
+        if files.is_empty() {
+            eprintln!(
+                "warning: --archive {root}: nothing to ingest (no --json-out / --trace / \
+                 --timeline / --health-out / --metrics-out)"
+            );
+            return;
+        }
+        let meta = jem_obs::RunMeta::from_argv(argv);
+        let ingested = jem_obs::Archive::open_or_create(root)
+            .and_then(|archive| archive.ingest_files(&meta, &files));
+        match ingested {
+            Ok(record) => eprintln!(
+                "archived {} ({} artifact(s)) into {root}",
+                record.label(),
+                record.artifacts.len()
+            ),
+            Err(err) => {
+                eprintln!("error: --archive {root}: {err}");
+                std::process::exit(1);
+            }
         }
     }
 }

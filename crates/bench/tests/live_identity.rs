@@ -35,6 +35,7 @@ fn obs_args(jtb: &str, jts: &str, live: Option<Arc<LiveState>>) -> ObsArgs {
         serve: live.as_ref().map(|_| "test".to_string()),
         flush_every_ms: None,
         live,
+        archive: None,
     }
 }
 

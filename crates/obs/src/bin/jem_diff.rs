@@ -1,7 +1,9 @@
-//! Compare two runs' exported artifacts.
+//! Compare two runs' exported artifacts — or one baseline against a
+//! whole batch of candidates.
 //!
 //! ```text
 //! jem-diff <a.json> <b.json> [options]
+//! jem-diff --batch <baseline> <candidate>... [options]
 //!   --rel-tol <x>        relative tolerance for strict numbers (default 0)
 //!   --noisy-rel-tol <x>  tolerance for noisy keys before failing (default 0.5)
 //!   --noisy <marker>     extra key substring treated as noisy (repeatable)
@@ -9,20 +11,27 @@
 //!   --json-out <path>    write the machine-readable diff report
 //! ```
 //!
-//! Both inputs must be artifacts from this workspace: trace files —
-//! binary `.jtb` (sniffed by magic) or Chrome-trace JSON (detected by
-//! its `traceEvents` member), compared semantically in either format
-//! and across formats (per-method × per-mode energy deltas, adaptive
+//! Inputs must be artifacts from this workspace: trace files — binary
+//! `.jtb` (sniffed by magic) or Chrome-trace JSON (detected by its
+//! `traceEvents` member), compared semantically in either format and
+//! across formats (per-method × per-mode energy deltas, adaptive
 //! decision flips with the recorded candidate energies, event-kind
 //! count deltas) — or any other JSON document (`--json-out` results,
 //! metrics, profiles — compared structurally).
 //!
+//! `--batch` compares the baseline against each candidate in turn and
+//! emits one combined `jem-diff/v1` report with a `batch` table
+//! (per-candidate outcomes) instead of requiring N separate
+//! invocations. The `jem-lab` regression detector's per-line compare
+//! path emits the same combined shape.
+//!
 //! Exit status: 0 when no failing difference was found (notes inside
-//! the noisy tolerance are fine), 1 when the runs differ, 2 on usage
-//! errors. Diffing an artifact against itself is empty by
-//! construction; CI leans on that for the determinism gate.
+//! the noisy tolerance are fine), 1 when the runs differ (any
+//! candidate, in batch mode), 2 on usage errors. Diffing an artifact
+//! against itself is empty by construction; CI leans on that for the
+//! determinism gate.
 
-use jem_obs::diff::{diff_json, diff_traces, DiffPolicy, DiffReport};
+use jem_obs::diff::{combine_batch, diff_json, diff_traces, DiffPolicy, DiffReport};
 use jem_obs::json::Json;
 use jem_obs::trace::{events_from_chrome_trace, TraceEvent};
 use jem_obs::wire::{is_jtb, load_jtb_bytes};
@@ -36,13 +45,46 @@ enum Input {
 }
 
 const USAGE: &str = "usage: jem-diff <a.json> <b.json> [--rel-tol <x>] [--noisy-rel-tol <x>] \
-                     [--noisy <marker>]... [--ignore <marker>]... [--json-out <path>]";
+                     [--noisy <marker>]... [--ignore <marker>]... [--json-out <path>]\n\
+                     \u{20}      jem-diff --batch <baseline> <candidate>... [same options]";
+
+fn load_input(path: &str) -> Result<Input, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if is_jtb(&bytes) {
+        return load_jtb_bytes(&bytes)
+            .map(|l| Input::Trace(l.events()))
+            .map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| format!("{path}: input is neither .jtb (bad magic) nor UTF-8 JSON"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("traceEvents").is_some() {
+        events_from_chrome_trace(&doc)
+            .map(Input::Trace)
+            .map_err(|e| format!("{path}: {e}"))
+    } else {
+        Ok(Input::Doc(doc))
+    }
+}
+
+fn compare(a: &Input, b: &Input, policy: &DiffPolicy) -> Result<DiffReport, String> {
+    match (a, b) {
+        (Input::Trace(ea), Input::Trace(eb)) => Ok(diff_traces(ea, eb, policy)),
+        (Input::Doc(da), Input::Doc(db)) => {
+            let mut r = DiffReport::default();
+            diff_json(da, db, policy, &mut r);
+            Ok(r)
+        }
+        _ => Err("cannot compare a trace against a non-trace document".to_string()),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<String> = Vec::new();
     let mut policy = DiffPolicy::default();
     let mut json_out = None;
+    let mut batch = false;
     let mut i = 0;
     while i < args.len() {
         let take = |i: usize| -> Option<String> { args.get(i + 1).cloned() };
@@ -88,6 +130,10 @@ fn main() -> ExitCode {
                 json_out = Some(v);
                 i += 2;
             }
+            "--batch" => {
+                batch = true;
+                i += 1;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -102,72 +148,80 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if batch {
+        if paths.len() < 2 {
+            eprintln!("jem-diff: --batch needs a baseline and at least one candidate");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        let baseline = match load_input(&paths[0]) {
+            Ok(input) => input,
+            Err(e) => {
+                eprintln!("jem-diff: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut parts = Vec::with_capacity(paths.len() - 1);
+        let mut any_changed = false;
+        for path in &paths[1..] {
+            let candidate = match load_input(path) {
+                Ok(input) => input,
+                Err(e) => {
+                    eprintln!("jem-diff: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match compare(&baseline, &candidate, &policy) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("jem-diff: {e} ({} vs {path})", paths[0]);
+                    return ExitCode::from(2);
+                }
+            };
+            any_changed = any_changed || report.has_changes();
+            println!(
+                "{path}: {}",
+                if report.has_changes() {
+                    "CHANGED"
+                } else if report.is_empty() {
+                    "identical"
+                } else {
+                    "notes only"
+                }
+            );
+            print!("{}", report.render_text());
+            parts.push((path.clone(), report));
+        }
+        if let Some(out) = json_out {
+            let doc = combine_batch(&paths[0], &parts);
+            if let Err(e) = jem_obs::write_atomic(&out, doc.render_pretty().as_bytes()) {
+                eprintln!("jem-diff: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if any_changed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     if paths.len() != 2 {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
-
-    let mut inputs = Vec::with_capacity(2);
-    for path in &paths {
-        let bytes = match std::fs::read(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("jem-diff: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if is_jtb(&bytes) {
-            match load_jtb_bytes(&bytes) {
-                Ok(l) => inputs.push(Input::Trace(l.events())),
-                Err(e) => {
-                    eprintln!("jem-diff: {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            continue;
+    let (a_input, b_input) = match (load_input(&paths[0]), load_input(&paths[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("jem-diff: {e}");
+            return ExitCode::FAILURE;
         }
-        let text = match String::from_utf8(bytes) {
-            Ok(t) => t,
-            Err(_) => {
-                eprintln!("jem-diff: {path}: input is neither .jtb (bad magic) nor UTF-8 JSON");
-                return ExitCode::FAILURE;
-            }
-        };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("jem-diff: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if doc.get("traceEvents").is_some() {
-            match events_from_chrome_trace(&doc) {
-                Ok(ev) => inputs.push(Input::Trace(ev)),
-                Err(e) => {
-                    eprintln!("jem-diff: {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else {
-            inputs.push(Input::Doc(doc));
-        }
-    }
-    let b_input = inputs.pop().expect("two inputs");
-    let a_input = inputs.pop().expect("two inputs");
-
-    let report = match (&a_input, &b_input) {
-        (Input::Trace(ea), Input::Trace(eb)) => diff_traces(ea, eb, &policy),
-        (Input::Doc(a), Input::Doc(b)) => {
-            let mut r = DiffReport::default();
-            diff_json(a, b, &policy, &mut r);
-            r
-        }
-        _ => {
-            eprintln!(
-                "jem-diff: cannot compare a trace against a non-trace document \
-                 ({} vs {})",
-                paths[0], paths[1]
-            );
+    };
+    let report = match compare(&a_input, &b_input, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jem-diff: {e} ({} vs {})", paths[0], paths[1]);
             return ExitCode::from(2);
         }
     };

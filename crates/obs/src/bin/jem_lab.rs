@@ -1,0 +1,498 @@
+//! The experiment-archive CLI over [`jem_obs::lab`].
+//!
+//! ```text
+//! jem-lab ingest <archive> --bin <name> [--run-args "<args>"] <kind>=<path>...
+//! jem-lab ls <archive>
+//! jem-lab query <archive> (--series <name> | --column <path>)
+//!               [--window a:b] [--group-by fingerprint|bin|args] [--json]
+//! jem-lab check <archive> [--rel-tol <x>] [--noisy-rel-tol <x>]
+//!               [--throughput-threshold <x>] [--json-out <path>]
+//!               [--schema <schema.json>]
+//! jem-lab report <archive> --out <report.html> [--json-out <path>]
+//!               [--schema <schema.json>]
+//! jem-lab verify <archive>
+//! ```
+//!
+//! * `ingest` stores a run's artifact files (`bench=BENCH_x.json
+//!   trace=x.jtb timeline=x.jts health=x.json metrics=x.prom
+//!   bench-history=baseline.json`) under the fingerprint derived from
+//!   `--bin` and `--run-args` (output-path flags are stripped; the
+//!   seed is parsed from `--seed` within the run args). Bench bins do
+//!   this automatically when run with `--archive <dir>`.
+//! * `query` selects a timeline series (window-end value per segment)
+//!   or a JSON column path (with `*` wildcards) across every archived
+//!   run, grouped and reduced with Welford summaries. `--window` is in
+//!   sim-ms, like `jem-timeline`.
+//! * `check` runs the regression detector (strict rel-1e-9 energy gate
+//!   between consecutive generations of each fingerprint line,
+//!   throughput threshold + changepoint tests over the line's
+//!   history) and writes a `jem-lab/v1` report. `--schema` validates
+//!   the emitted document against `schemas/lab-report.schema.json`
+//!   before writing (the CI self-check).
+//! * `report` renders the self-contained static HTML report (inline
+//!   SVG only, no external resources).
+//! * `verify` recomputes every manifest fingerprint and blob hash.
+//!
+//! Exit status: 0 on success (for `check`: no regressions; for
+//! `verify`: archive intact), 1 when regressions were flagged / the
+//! archive is damaged / an operation failed, 2 on usage errors.
+
+use jem_obs::json::Json;
+use jem_obs::lab::{
+    check, html_report, query, Archive, CheckConfig, LabGroupBy, LabQuery, LabSelector, RunMeta,
+};
+use jem_obs::tui::fmt_si;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: jem-lab <ingest|ls|query|check|report|verify> <archive> [options]\n\
+  ingest <archive> --bin <name> [--run-args \"<args>\"] <kind>=<path>...\n\
+  ls     <archive>\n\
+  query  <archive> (--series <name> | --column <path>) [--window a:b] \
+[--group-by fingerprint|bin|args] [--json]\n\
+  check  <archive> [--rel-tol <x>] [--noisy-rel-tol <x>] [--throughput-threshold <x>] \
+[--json-out <path>] [--schema <schema.json>]\n\
+  report <archive> --out <report.html> [--json-out <path>] [--schema <schema.json>]\n\
+  verify <archive>";
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("jem-lab: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage_err("missing command");
+    };
+    let Some(root) = args.get(1) else {
+        return usage_err("missing archive directory");
+    };
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "ingest" => cmd_ingest(root, rest),
+        "ls" => cmd_ls(root),
+        "query" => cmd_query(root, rest),
+        "check" => cmd_check(root, rest),
+        "report" => cmd_report(root, rest),
+        "verify" => cmd_verify(root),
+        "--help" | "-h" => {
+            eprintln!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => usage_err(&format!("unknown command '{other}'")),
+    }
+}
+
+fn open(root: &str) -> Result<Archive, ExitCode> {
+    Archive::open_or_create(root).map_err(|e| {
+        eprintln!("jem-lab: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_ingest(root: &str, rest: &[String]) -> ExitCode {
+    let mut bin = None;
+    let mut run_args: Vec<String> = Vec::new();
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--bin" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--bin needs a name");
+                };
+                bin = Some(v.clone());
+                i += 2;
+            }
+            "--run-args" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--run-args needs a string");
+                };
+                run_args = v.split_whitespace().map(str::to_string).collect();
+                i += 2;
+            }
+            other => {
+                let Some((kind, path)) = other.split_once('=') else {
+                    return usage_err(&format!(
+                        "expected <kind>=<path>, got '{other}' \
+                         (kinds: bench, bench-history, trace, timeline, health, metrics)"
+                    ));
+                };
+                files.push((kind.to_string(), path.to_string()));
+                i += 1;
+            }
+        }
+    }
+    let Some(bin) = bin else {
+        return usage_err("ingest needs --bin");
+    };
+    if files.is_empty() {
+        return usage_err("ingest needs at least one <kind>=<path> artifact");
+    }
+    let mut argv = vec![bin];
+    argv.extend(run_args);
+    let meta = RunMeta::from_argv(&argv);
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match archive.ingest_files(&meta, &files) {
+        Ok(record) => {
+            println!(
+                "ingested {} ({} artifact(s), run {})",
+                record.label(),
+                record.artifacts.len(),
+                record.run_id
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ls(root: &str) -> ExitCode {
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match archive.runs() {
+        Ok(runs) => {
+            for run in &runs {
+                println!(
+                    "{}  seed={}  artifacts=[{}]  args=[{}]",
+                    run.label(),
+                    run.meta
+                        .seed
+                        .map_or_else(|| "-".to_string(), |s| s.to_string()),
+                    run.artifacts
+                        .iter()
+                        .map(|a| a.kind.as_str())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    run.meta.args.join(" ")
+                );
+            }
+            println!("{} run(s)", runs.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_query(root: &str, rest: &[String]) -> ExitCode {
+    let mut selector = None;
+    let mut window = None;
+    let mut group_by = LabGroupBy::Fingerprint;
+    let mut json = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--series" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--series needs a name");
+                };
+                selector = Some(LabSelector::Series(v.clone()));
+                i += 2;
+            }
+            "--column" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--column needs a path");
+                };
+                selector = Some(LabSelector::Column(v.clone()));
+                i += 2;
+            }
+            "--window" => {
+                // Sim-ms for human ergonomics, like jem-timeline.
+                let parsed = rest.get(i + 1).and_then(|v| {
+                    let (a, b) = v.split_once(':')?;
+                    let (a, b): (f64, f64) = (a.parse().ok()?, b.parse().ok()?);
+                    (a <= b).then_some((a * 1e6, b * 1e6))
+                });
+                let Some(w) = parsed else {
+                    return usage_err("--window needs a:b in sim-ms with a <= b");
+                };
+                window = Some(w);
+                i += 2;
+            }
+            "--group-by" => {
+                group_by = match rest.get(i + 1).map(String::as_str) {
+                    Some("fingerprint") => LabGroupBy::Fingerprint,
+                    Some("bin") => LabGroupBy::Bin,
+                    Some("args") => LabGroupBy::Args,
+                    _ => return usage_err("--group-by needs fingerprint|bin|args"),
+                };
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => return usage_err(&format!("unknown query option '{other}'")),
+        }
+    }
+    let Some(selector) = selector else {
+        return usage_err("query needs --series <name> or --column <path>");
+    };
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let spec = LabQuery {
+        selector,
+        window,
+        group_by,
+    };
+    match query(&archive, &spec) {
+        Ok(groups) => {
+            if json {
+                let doc = Json::object().with(
+                    "groups",
+                    Json::Arr(groups.iter().map(|g| g.to_json()).collect()),
+                );
+                println!("{}", doc.render_pretty());
+            } else {
+                for g in &groups {
+                    println!(
+                        "{}: n={} mean={} stddev={} min={} max={} ({} run(s))",
+                        g.key,
+                        g.summary.count(),
+                        fmt_si(g.summary.mean()),
+                        fmt_si(g.summary.stddev()),
+                        fmt_si(g.summary.min()),
+                        fmt_si(g.summary.max()),
+                        g.runs.len()
+                    );
+                    for r in &g.runs {
+                        println!(
+                            "  {}: n={} mean={}",
+                            r.label,
+                            r.summary.count(),
+                            fmt_si(r.summary.mean())
+                        );
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validate a rendered report against a schema file; `Ok` when it
+/// conforms.
+fn check_schema(doc: &Json, schema_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(schema_path)
+        .map_err(|e| format!("cannot read schema {schema_path}: {e}"))?;
+    let schema = Json::parse(&text).map_err(|e| format!("schema {schema_path}: {e}"))?;
+    let errors = jem_obs::schema::validate(doc, &schema);
+    if errors.is_empty() {
+        return Ok(());
+    }
+    let mut msg = format!("report fails schema validation against {schema_path}:");
+    for e in errors.iter().take(10) {
+        msg.push_str(&format!("\n  {e}"));
+    }
+    if errors.len() > 10 {
+        msg.push_str(&format!("\n  … and {} more", errors.len() - 10));
+    }
+    Err(msg)
+}
+
+fn parse_check_args(
+    rest: &[String],
+) -> Result<(CheckConfig, Option<String>, Option<String>), String> {
+    let mut cfg = CheckConfig::default();
+    let mut json_out = None;
+    let mut schema = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let num = |v: Option<&String>| -> Result<f64, String> {
+            v.and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("{} needs a number", rest[i]))
+        };
+        match rest[i].as_str() {
+            "--rel-tol" => {
+                cfg.rel_tol = num(rest.get(i + 1))?;
+                i += 2;
+            }
+            "--noisy-rel-tol" => {
+                cfg.noisy_rel_tol = num(rest.get(i + 1))?;
+                i += 2;
+            }
+            "--throughput-threshold" => {
+                cfg.throughput_threshold = num(rest.get(i + 1))?;
+                i += 2;
+            }
+            "--json-out" => {
+                json_out = Some(
+                    rest.get(i + 1)
+                        .cloned()
+                        .ok_or("--json-out needs a path".to_string())?,
+                );
+                i += 2;
+            }
+            "--schema" => {
+                schema = Some(
+                    rest.get(i + 1)
+                        .cloned()
+                        .ok_or("--schema needs a path".to_string())?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown check option '{other}'")),
+        }
+    }
+    Ok((cfg, json_out, schema))
+}
+
+fn cmd_check(root: &str, rest: &[String]) -> ExitCode {
+    let (cfg, json_out, schema) = match parse_check_args(rest) {
+        Ok(v) => v,
+        Err(e) => return usage_err(&e),
+    };
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match check(&archive, &cfg) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if let Some(schema_path) = &schema {
+                if let Err(e) = check_schema(&report.to_json(), schema_path) {
+                    eprintln!("jem-lab: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("jem-lab: report validates against {schema_path}");
+            }
+            if let Some(path) = json_out {
+                if let Err(e) =
+                    jem_obs::write_atomic(&path, report.to_json().render_pretty().as_bytes())
+                {
+                    eprintln!("jem-lab: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if report.flagged() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_report(root: &str, rest: &[String]) -> ExitCode {
+    let mut out = None;
+    let mut json_out = None;
+    let mut schema = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--out" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--out needs a path");
+                };
+                out = Some(v.clone());
+                i += 2;
+            }
+            "--json-out" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--json-out needs a path");
+                };
+                json_out = Some(v.clone());
+                i += 2;
+            }
+            "--schema" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return usage_err("--schema needs a path");
+                };
+                schema = Some(v.clone());
+                i += 2;
+            }
+            other => return usage_err(&format!("unknown report option '{other}'")),
+        }
+    }
+    let Some(out) = out else {
+        return usage_err("report needs --out <report.html>");
+    };
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let report = match check(&archive, &CheckConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(schema_path) = &schema {
+        if let Err(e) = check_schema(&report.to_json(), schema_path) {
+            eprintln!("jem-lab: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("jem-lab: report validates against {schema_path}");
+    }
+    if let Some(path) = json_out {
+        if let Err(e) = jem_obs::write_atomic(&path, report.to_json().render_pretty().as_bytes()) {
+            eprintln!("jem-lab: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match html_report(&archive, &report) {
+        Ok(html) => {
+            if let Err(e) = jem_obs::write_atomic(&out, html.as_bytes()) {
+                eprintln!("jem-lab: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {out} ({} line(s), {} flag(s))",
+                report.lines.len(),
+                report.flags.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_verify(root: &str) -> ExitCode {
+    let archive = match open(root) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    match archive.verify() {
+        Ok(findings) if findings.is_empty() => {
+            println!("archive OK");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("jem-lab: {f}");
+            }
+            eprintln!("jem-lab: {} integrity finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("jem-lab: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

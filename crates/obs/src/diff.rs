@@ -319,6 +319,55 @@ fn join(path: &str, key: &str) -> String {
     }
 }
 
+/// Combine a baseline-vs-N-candidates batch of comparisons into one
+/// `jem-diff/v1` document. The top-level `entries` are every
+/// candidate's entries with the candidate name prefixed onto the
+/// path (so the combined document is itself a valid, readable
+/// `jem-diff/v1` report), and a `batch` table records the baseline
+/// plus per-candidate outcome counts. Shared by `jem-diff --batch`
+/// and the `jem-lab` regression detector's per-line compare path.
+pub fn combine_batch(baseline: &str, parts: &[(String, DiffReport)]) -> Json {
+    let mut combined = DiffReport::default();
+    let mut candidates = Vec::with_capacity(parts.len());
+    for (name, report) in parts {
+        for e in &report.entries {
+            combined.entries.push(DiffEntry {
+                kind: e.kind,
+                path: format!("{name}/{}", e.path),
+                detail: e.detail.clone(),
+                rel_delta: e.rel_delta,
+            });
+        }
+        candidates.push(
+            Json::object()
+                .with("name", name.as_str())
+                .with("changed", report.has_changes())
+                .with(
+                    "changes",
+                    report
+                        .entries
+                        .iter()
+                        .filter(|e| e.kind == DiffKind::Changed)
+                        .count() as u64,
+                )
+                .with(
+                    "notes",
+                    report
+                        .entries
+                        .iter()
+                        .filter(|e| e.kind == DiffKind::Note)
+                        .count() as u64,
+                ),
+        );
+    }
+    combined.to_json().with(
+        "batch",
+        Json::object()
+            .with("baseline", baseline)
+            .with("candidates", Json::Arr(candidates)),
+    )
+}
+
 /// One run's decision record, for flip detection.
 #[derive(Debug, Clone)]
 struct Decision {
@@ -575,6 +624,46 @@ mod tests {
         assert!(flip.detail.contains("'remote'"));
         assert!(flip.detail.contains("'local/L2'"));
         assert!(flip.detail.contains("ER=700.0"));
+    }
+
+    #[test]
+    fn combine_batch_prefixes_and_counts() {
+        let base = doc(1.0, 1.0);
+        let same = doc(1.0, 1.0);
+        let changed = doc(2.0, 1.0);
+        let policy = DiffPolicy::default();
+        let mut r_same = DiffReport::default();
+        diff_json(&base, &same, &policy, &mut r_same);
+        let mut r_changed = DiffReport::default();
+        diff_json(&base, &changed, &policy, &mut r_changed);
+        let combined = combine_batch(
+            "baseline.json",
+            &[
+                ("cand-a".to_string(), r_same),
+                ("cand-b".to_string(), r_changed),
+            ],
+        );
+        assert_eq!(
+            combined.get("schema").and_then(Json::as_str),
+            Some("jem-diff/v1")
+        );
+        assert_eq!(combined.get("changed").and_then(Json::as_bool), Some(true));
+        let batch = combined.get("batch").unwrap();
+        assert_eq!(
+            batch.get("baseline").and_then(Json::as_str),
+            Some("baseline.json")
+        );
+        let cands = batch.get("candidates").and_then(Json::as_array).unwrap();
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].get("changed").and_then(Json::as_bool), Some(false));
+        assert_eq!(cands[1].get("changed").and_then(Json::as_bool), Some(true));
+        // Entries are prefixed with the candidate name.
+        let entries = combined.get("entries").and_then(Json::as_array).unwrap();
+        assert!(entries.iter().all(|e| e
+            .get("path")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("cand-")));
     }
 
     #[test]

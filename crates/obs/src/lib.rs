@@ -42,7 +42,13 @@
 //!   (`/metrics`, `/health`, `/series`, `/events` SSE). Data flows
 //!   strictly sim → server; serving a run never perturbs it,
 //! * [`tui`] — shared plain-ANSI rendering (unicode sparklines,
-//!   refresh-frame helpers) for `jem-top` and `jem-timeline --live`.
+//!   refresh-frame helpers) for `jem-top` and `jem-timeline --live`,
+//! * [`lab`] — the cross-run experiment archive (`jem-lab`):
+//!   content-addressed artifact storage keyed by deterministic run
+//!   fingerprints, a cross-run query engine with Welford-summary
+//!   grouping, a regression detector (strict energy gate + throughput
+//!   changepoint tests) emitting `jem-lab/v1` reports, and a
+//!   self-contained static HTML report with inline SVG sparklines.
 //!
 //! Because the workspace's vendored `serde` is a no-op stub, the
 //! [`json`] module supplies the deterministic JSON reader/writer that
@@ -58,6 +64,7 @@ pub mod accuracy;
 pub mod diff;
 pub mod fsio;
 pub mod json;
+pub mod lab;
 pub mod metrics;
 pub mod monitor;
 pub mod profile;
@@ -70,9 +77,14 @@ pub mod tui;
 pub mod wire;
 
 pub use accuracy::AccuracyTracker;
-pub use diff::{DiffEntry, DiffKind, DiffPolicy, DiffReport};
+pub use diff::{combine_batch, DiffEntry, DiffKind, DiffPolicy, DiffReport};
 pub use fsio::write_atomic;
 pub use json::{Json, JsonError};
+pub use lab::{
+    check, html_report, identity_args, query, sha256, sha256_hex, Archive, ArtifactRef,
+    CheckConfig, GroupResult, LabFlag, LabGroupBy, LabLine, LabQuery, LabReport, LabSelector,
+    RunMeta, RunRecord, RunValues,
+};
 pub use metrics::{Buckets, Histogram, MetricsRegistry};
 pub use monitor::{AlertRecord, HealthReport, Monitor, MonitorConfig, MonitorSink, MonitorTee};
 pub use profile::{
